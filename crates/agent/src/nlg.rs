@@ -1,0 +1,136 @@
+//! Natural-language generation: verbalising query results through an
+//! intent's response template.
+
+use obcs_kb::ResultSet;
+
+/// Fills an intent response template: `{entities}` with the entity values
+/// used, `{results}` with verbalised rows.
+pub fn fill_response(template: &str, entities: &[(String, String)], results: &ResultSet) -> String {
+    let entity_text = if entities.is_empty() {
+        "your request".to_string()
+    } else {
+        entities
+            .iter()
+            .map(|(_, v)| v.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    template
+        .replace("{entities}", &entity_text)
+        .replace("{results}", &render_results(results))
+}
+
+/// Verbalises a result set: single-column results become a comma list,
+/// multi-column results become one line per row.
+pub fn render_results(results: &ResultSet) -> String {
+    if results.rows.is_empty() {
+        return "(no results found)".to_string();
+    }
+    if results.columns.len() == 1 {
+        let values: Vec<String> = results.rows.iter().map(|r| r[0].to_string()).collect();
+        values.join(", ")
+    } else {
+        results
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&results.columns)
+                    .map(|(v, c)| format!("{c}: {v}"))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Merges several result sets (an intent's multiple templates, e.g. the
+/// union augmentation) into one labelled body.
+pub fn render_merged(results: &[(String, ResultSet)]) -> String {
+    let non_empty: Vec<&(String, ResultSet)> =
+        results.iter().filter(|(_, r)| !r.rows.is_empty()).collect();
+    if non_empty.is_empty() {
+        return "(no results found)".to_string();
+    }
+    if non_empty.len() == 1 {
+        return render_results(&non_empty[0].1);
+    }
+    non_empty
+        .iter()
+        .map(|(label, r)| format!("{label}: {}", render_results(r)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obcs_kb::Value;
+
+    fn rs(columns: &[&str], rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    #[test]
+    fn single_column_comma_list() {
+        let r = rs(&["name"], vec![vec![Value::text("A")], vec![Value::text("B")]]);
+        assert_eq!(render_results(&r), "A, B");
+    }
+
+    #[test]
+    fn multi_column_lines() {
+        let r = rs(
+            &["name", "dose"],
+            vec![vec![Value::text("A"), Value::text("5mg")]],
+        );
+        assert_eq!(render_results(&r), "name: A; dose: 5mg");
+    }
+
+    #[test]
+    fn empty_results_message() {
+        let r = rs(&["name"], vec![]);
+        assert_eq!(render_results(&r), "(no results found)");
+    }
+
+    #[test]
+    fn fill_response_substitutes() {
+        let r = rs(&["name"], vec![vec![Value::text("X")]]);
+        let text = fill_response(
+            "Here are the Precautions for {entities}:\n{results}",
+            &[("Drug".into(), "Aspirin".into())],
+            &r,
+        );
+        assert_eq!(text, "Here are the Precautions for Aspirin:\nX");
+    }
+
+    #[test]
+    fn merged_results_label_sections() {
+        let merged = render_merged(&[
+            ("Contra Indications".into(), rs(&["d"], vec![vec![Value::text("x")]])),
+            ("Black Box Warnings".into(), rs(&["d"], vec![])),
+            ("Risks".into(), rs(&["d"], vec![vec![Value::text("y")]])),
+        ]);
+        assert!(merged.contains("Contra Indications: x"));
+        assert!(!merged.contains("Black Box"));
+        assert!(merged.contains("Risks: y"));
+    }
+
+    #[test]
+    fn merged_single_section_unlabelled() {
+        let merged = render_merged(&[
+            ("Only".into(), rs(&["d"], vec![vec![Value::text("x")]])),
+            ("Empty".into(), rs(&["d"], vec![])),
+        ]);
+        assert_eq!(merged, "x");
+    }
+
+    #[test]
+    fn merged_all_empty() {
+        let merged = render_merged(&[("A".into(), rs(&["d"], vec![]))]);
+        assert_eq!(merged, "(no results found)");
+    }
+}

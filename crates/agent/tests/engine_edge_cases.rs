@@ -1,0 +1,148 @@
+//! Edge-case integration tests for the conversation engine: classifier-
+//! detected management intents, concept-guided resolution preferences,
+//! and context interactions that the happy-path tests don't reach.
+
+use obcs_agent::{AgentConfig, ConversationAgent, ReplyKind};
+use obcs_core::testutil::fig2_fixture;
+use obcs_core::{bootstrap, BootstrapConfig, SmeFeedback};
+
+fn agent_with_management() -> ConversationAgent {
+    let (onto, kb, mapping) = fig2_fixture();
+    let drug = onto.concept_id("Drug").unwrap();
+    let sme = SmeFeedback::new()
+        .management_intent("Gratitude", "Happy to help! Anything else?")
+        .labelled_query("Gratitude", "much obliged")
+        .labelled_query("Gratitude", "much obliged indeed")
+        .labelled_query("Gratitude", "i am much obliged")
+        .entity_only(drug);
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &sme);
+    ConversationAgent::new(onto, kb, mapping, space, AgentConfig::default())
+}
+
+#[test]
+fn classifier_detected_management_uses_canned_response() {
+    let mut a = agent_with_management();
+    // "much obliged" is not in the rule catalog; the classifier routes it
+    // to the registered management intent at high confidence.
+    let r = a.respond("much obliged");
+    assert_eq!(r.kind, ReplyKind::Management, "{r:?}");
+    assert_eq!(r.text, "Happy to help! Anything else?");
+}
+
+#[test]
+fn rule_catalog_outranks_classifier_for_known_phrasings() {
+    let mut a = agent_with_management();
+    // "thanks" is in the rule catalog — it must use the catalog response
+    // (which carries the stateful behaviour), not the canned intent.
+    let r = a.respond("thanks");
+    assert_eq!(r.text, "You're welcome! Anything else?");
+}
+
+#[test]
+fn concept_mention_resolves_intent_when_classifier_is_unsure() {
+    let (onto, kb, mapping) = fig2_fixture();
+    let space = bootstrap(
+        &onto,
+        &kb,
+        &mapping,
+        BootstrapConfig::default(),
+        &SmeFeedback::new(),
+    );
+    // An impossible threshold forces the concept-guided path.
+    let mut a = ConversationAgent::new(
+        onto,
+        kb,
+        mapping,
+        space,
+        AgentConfig { intent_confidence_threshold: 2.0, ..AgentConfig::default() },
+    );
+    let r = a.respond("precaution for Aspirin");
+    assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
+    let name = r
+        .intent
+        .and_then(|id| a.space().intent(id))
+        .map(|i| i.name.clone());
+    assert_eq!(name.as_deref(), Some("Precautions of Drug"));
+}
+
+#[test]
+fn concept_resolution_prefers_satisfied_requirements() {
+    let (onto, kb, mapping) = fig2_fixture();
+    let space = bootstrap(
+        &onto,
+        &kb,
+        &mapping,
+        BootstrapConfig::default(),
+        &SmeFeedback::new(),
+    );
+    let mut a = ConversationAgent::new(
+        onto,
+        kb,
+        mapping,
+        space,
+        AgentConfig { intent_confidence_threshold: 2.0, ..AgentConfig::default() },
+    );
+    // "dosage" is the focus of both "Dosages of Drug" (requires Drug) and
+    // the indirect dosage intents (require Drug + Indication). With only a
+    // drug in hand, the drug-scoped intent must win.
+    let r = a.respond("dosage for Aspirin");
+    let name = r
+        .intent
+        .and_then(|id| a.space().intent(id))
+        .map(|i| i.name.clone());
+    assert_eq!(name.as_deref(), Some("Dosages of Drug"), "{r:?}");
+    assert_eq!(r.kind, ReplyKind::Fulfilment);
+}
+
+#[test]
+fn elicitation_answer_with_unrelated_entity_still_merges() {
+    let (onto, kb, mapping) = fig2_fixture();
+    let space = bootstrap(
+        &onto,
+        &kb,
+        &mapping,
+        BootstrapConfig::default(),
+        &SmeFeedback::new(),
+    );
+    let mut a = ConversationAgent::new(onto, kb, mapping, space, AgentConfig::default());
+    let r1 = a.respond("show me the precaution");
+    assert_eq!(r1.kind, ReplyKind::Elicitation);
+    // The user answers with a full phrase instead of a bare value.
+    let r2 = a.respond("for the drug Aspirin please");
+    assert_eq!(r2.kind, ReplyKind::Fulfilment, "{r2:?}");
+}
+
+#[test]
+fn empty_and_whitespace_utterances_fall_back() {
+    let (onto, kb, mapping) = fig2_fixture();
+    let space = bootstrap(
+        &onto,
+        &kb,
+        &mapping,
+        BootstrapConfig::default(),
+        &SmeFeedback::new(),
+    );
+    let mut a = ConversationAgent::new(onto, kb, mapping, space, AgentConfig::default());
+    for u in ["", "   ", "???"] {
+        let r = a.respond(u);
+        assert_eq!(r.kind, ReplyKind::Fallback, "utterance {u:?} → {r:?}");
+    }
+    assert_eq!(a.log.len(), 3, "every turn is logged");
+}
+
+#[test]
+fn turn_counter_advances_once_per_utterance() {
+    let (onto, kb, mapping) = fig2_fixture();
+    let space = bootstrap(
+        &onto,
+        &kb,
+        &mapping,
+        BootstrapConfig::default(),
+        &SmeFeedback::new(),
+    );
+    let mut a = ConversationAgent::new(onto, kb, mapping, space, AgentConfig::default());
+    a.respond("hello");
+    a.respond("what drug treats Fever?");
+    a.respond("thanks");
+    assert_eq!(a.context().turn, 3);
+}

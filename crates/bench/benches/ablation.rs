@@ -1,0 +1,89 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the cost
+//! side of each alternative (the quality side is printed by
+//! `repro -- ablation-*`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obcs_bench::World;
+use obcs_core::concepts::{identify_key_concepts, KeyConceptConfig};
+use obcs_core::training::{generate_all, TrainingGenConfig};
+use obcs_ontology::centrality::{centrality, CentralityMeasure};
+use std::hint::black_box;
+
+fn bench_centrality_measures(c: &mut Criterion) {
+    let world = World::small(7);
+    let mut group = c.benchmark_group("ablation/centrality");
+    for (name, measure) in [
+        ("degree", CentralityMeasure::Degree),
+        ("pagerank", CentralityMeasure::PageRank),
+        ("betweenness", CentralityMeasure::Betweenness),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(centrality(&world.onto, measure)))
+        });
+        group.bench_function(format!("{name}_full_selection"), |b| {
+            b.iter(|| {
+                black_box(identify_key_concepts(
+                    &world.onto,
+                    &world.mapping,
+                    KeyConceptConfig { measure, ..Default::default() },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_volume(c: &mut Criterion) {
+    let world = World::small(7);
+    let mut group = c.benchmark_group("ablation/training_volume");
+    group.sample_size(10);
+    for per_pattern in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(per_pattern),
+            &per_pattern,
+            |b, &per_pattern| {
+                b.iter(|| {
+                    black_box(generate_all(
+                        &world.space.intents,
+                        &world.onto,
+                        &world.kb,
+                        &world.mapping,
+                        &world.space.synonyms,
+                        TrainingGenConfig {
+                            examples_per_pattern: per_pattern,
+                            ..Default::default()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_union_detection(c: &mut Criterion) {
+    use obcs_kb::ontogen::{generate_ontology, OntogenOptions};
+    let world = World::small(7);
+    let mut group = c.benchmark_group("ablation/ontogen_union_detection");
+    group.sample_size(10);
+    for detect in [false, true] {
+        group.bench_with_input(BenchmarkId::from_parameter(detect), &detect, |b, &detect| {
+            b.iter(|| {
+                black_box(generate_ontology(
+                    &world.kb,
+                    "gen",
+                    OntogenOptions { detect_unions: detect },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_centrality_measures,
+    bench_training_volume,
+    bench_union_detection
+);
+criterion_main!(benches);

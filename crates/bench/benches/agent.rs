@@ -1,0 +1,57 @@
+//! Online-engine benches: full end-to-end turn latency for every reply
+//! kind the paper's system produces (the agent must feel interactive —
+//! its whole pipeline runs per user utterance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obcs_bench::World;
+use std::hint::black_box;
+
+fn bench_agent(c: &mut Criterion) {
+    let world = World::small(7);
+
+    let mut group = c.benchmark_group("agent_turn");
+    group.sample_size(30);
+    let cases: &[(&str, &str)] = &[
+        ("fulfilment_lookup", "show me the precautions for Aspirin"),
+        ("fulfilment_relationship", "what drugs treat Psoriasis for adult patients"),
+        ("management_greeting", "hello"),
+        ("management_thanks", "thanks"),
+        ("entity_only_proposal", "Warfarin"),
+        ("fallback_gibberish", "apfjhd"),
+    ];
+    for (name, utterance) in cases {
+        // A fresh agent per case would dominate the measurement with
+        // assembly cost; reuse one and reset between iterations.
+        let mut mdx = world.agent();
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                mdx.agent.reset();
+                black_box(mdx.agent.respond(utterance))
+            })
+        });
+    }
+    group.finish();
+
+    // Slot-filling conversation: two turns (elicit + answer).
+    let mut mdx = world.agent();
+    let mut group = c.benchmark_group("agent_conversation");
+    group.sample_size(30);
+    group.bench_function("elicit_then_fulfil", |b| {
+        b.iter(|| {
+            mdx.agent.reset();
+            black_box(mdx.agent.respond("show me drugs that treat psoriasis"));
+            black_box(mdx.agent.respond("pediatric"))
+        })
+    });
+    group.finish();
+
+    // Agent assembly (NLU training + tree generation) — the online-side
+    // startup cost.
+    let mut group = c.benchmark_group("agent_assembly");
+    group.sample_size(10);
+    group.bench_function("from_space", |b| b.iter(|| black_box(world.agent())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_agent);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Offline-pipeline benches: the cost of bootstrapping a conversation
+//! space (paper §4) as a function of ontology/KB scale — the price the
+//! paper's approach pays *once* instead of weeks of manual conversation
+//! design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obcs_core::concepts::{identify_dependent_concepts, identify_key_concepts, KeyConceptConfig};
+use obcs_core::{bootstrap, BootstrapConfig};
+use obcs_kb::stats::CategoricalPolicy;
+use obcs_mdx::data::MdxDataConfig;
+use obcs_mdx::sme::mdx_sme_feedback;
+use obcs_nlq::OntologyMapping;
+use std::hint::black_box;
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap");
+    group.sample_size(10);
+    for drugs in [40usize, 80, 150] {
+        let onto = obcs_mdx::ontology::build_mdx_ontology();
+        let kb = obcs_mdx::data::build_mdx_kb(MdxDataConfig { drugs, seed: 7 });
+        let mapping = OntologyMapping::infer(&onto, &kb);
+        let sme = mdx_sme_feedback(&onto);
+        group.bench_with_input(BenchmarkId::new("full_space", drugs), &drugs, |b, _| {
+            b.iter(|| {
+                black_box(bootstrap(
+                    &onto,
+                    &kb,
+                    &mapping,
+                    BootstrapConfig::default(),
+                    &sme,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let onto = obcs_mdx::ontology::build_mdx_ontology();
+    let kb = obcs_mdx::data::build_mdx_kb(MdxDataConfig { drugs: 80, seed: 7 });
+    let mapping = OntologyMapping::infer(&onto, &kb);
+
+    c.bench_function("stage/key_concepts", |b| {
+        b.iter(|| {
+            black_box(identify_key_concepts(
+                &onto,
+                &mapping,
+                KeyConceptConfig::default(),
+            ))
+        })
+    });
+    let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
+    c.bench_function("stage/dependent_concepts", |b| {
+        b.iter(|| {
+            black_box(identify_dependent_concepts(
+                &onto,
+                &kb,
+                &mapping,
+                &keys,
+                CategoricalPolicy::default(),
+            ))
+        })
+    });
+    c.bench_function("stage/mapping_inference", |b| {
+        b.iter(|| black_box(OntologyMapping::infer(&onto, &kb)))
+    });
+    c.bench_function("stage/mdx_ontology_build", |b| {
+        b.iter(|| black_box(obcs_mdx::ontology::build_mdx_ontology()))
+    });
+}
+
+criterion_group!(benches, bench_bootstrap, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Classifier benches: training and prediction latency on the
+//! bootstrapped MDX training set (the component replacing the paper's
+//! Watson Assistant NLC), for both model families.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obcs_bench::World;
+use obcs_classifier::logreg::{LogReg, LogRegConfig};
+use obcs_classifier::naive_bayes::{NaiveBayes, NaiveBayesConfig};
+use obcs_classifier::{Classifier, Dataset};
+use std::hint::black_box;
+
+fn dataset(world: &World) -> Dataset {
+    let mut data = Dataset::new();
+    for e in &world.space.training {
+        if let Some(i) = world.space.intent(e.intent) {
+            data.push(e.text.clone(), i.name.clone());
+        }
+    }
+    data
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let world = World::small(7);
+    let data = dataset(&world);
+
+    c.bench_function("classifier/naive_bayes_train", |b| {
+        b.iter(|| black_box(NaiveBayes::train(&data, NaiveBayesConfig::default())))
+    });
+    let mut group = c.benchmark_group("classifier/logreg_train");
+    group.sample_size(10);
+    group.bench_function("default", |b| {
+        b.iter(|| black_box(LogReg::train(&data, LogRegConfig::default())))
+    });
+    group.finish();
+
+    let nb = NaiveBayes::train(&data, NaiveBayesConfig::default());
+    let lr = LogReg::train(&data, LogRegConfig { epochs: 10, ..Default::default() });
+    let probes = [
+        "show me the precautions for aspirin",
+        "dosage for tazarotene for psoriasis",
+        "thanks a lot",
+        "apfjhd",
+    ];
+    c.bench_function("classifier/naive_bayes_predict", |b| {
+        b.iter(|| {
+            for p in probes {
+                black_box(nb.predict(p));
+            }
+        })
+    });
+    c.bench_function("classifier/logreg_predict", |b| {
+        b.iter(|| {
+            for p in probes {
+                black_box(lr.predict(p));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_classifier);
+criterion_main!(benches);

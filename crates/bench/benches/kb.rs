@@ -1,0 +1,74 @@
+//! Knowledge-base engine benches: SQL parsing, single-table filters, hash
+//! joins (direct FK and M:N bridge), and the statistics the bootstrapper
+//! relies on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obcs_bench::World;
+use obcs_kb::sql::parser::parse;
+use obcs_kb::stats::{column_stats, table_is_categorical, CategoricalPolicy};
+use std::hint::black_box;
+
+fn bench_kb(c: &mut Criterion) {
+    let world = World::full(7);
+    let kb = &world.kb;
+
+    let mut group = c.benchmark_group("kb");
+    group.bench_function("parse_join_query", |b| {
+        b.iter(|| {
+            black_box(parse(
+                "SELECT p.description FROM precaution p \
+                 INNER JOIN drug d ON p.drug_id = d.drug_id WHERE d.name = 'Aspirin'",
+            ))
+        })
+    });
+    group.bench_function("point_filter", |b| {
+        b.iter(|| black_box(kb.query("SELECT name FROM drug WHERE name = 'Aspirin'")))
+    });
+    group.bench_function("fk_join", |b| {
+        b.iter(|| {
+            black_box(kb.query(
+                "SELECT p.description FROM precaution p \
+                 INNER JOIN drug d ON p.drug_id = d.drug_id WHERE d.name = 'Aspirin'",
+            ))
+        })
+    });
+    group.bench_function("bridge_join_two_hops", |b| {
+        b.iter(|| {
+            black_box(kb.query(
+                "SELECT DISTINCT g.name FROM drug g \
+                 INNER JOIN treats t ON g.drug_id = t.drug_id \
+                 INNER JOIN condition c ON t.condition_id = c.condition_id \
+                 WHERE c.name = 'Psoriasis'",
+            ))
+        })
+    });
+    group.bench_function("five_way_join", |b| {
+        b.iter(|| {
+            black_box(kb.query(
+                "SELECT d.description FROM dosage d \
+                 INNER JOIN drug g ON d.drug_id = g.drug_id \
+                 INNER JOIN condition c ON d.condition_id = c.condition_id \
+                 INNER JOIN age_group a ON d.age_group_id = a.age_group_id \
+                 INNER JOIN frequency f ON d.frequency_id = f.frequency_id \
+                 WHERE g.name = 'Tazarotene' AND c.name = 'Psoriasis' AND a.name = 'pediatric'",
+            ))
+        })
+    });
+    group.bench_function("distinct_order_limit", |b| {
+        b.iter(|| {
+            black_box(kb.query(
+                "SELECT DISTINCT name FROM drug ORDER BY name DESC LIMIT 10",
+            ))
+        })
+    });
+    group.bench_function("column_stats", |b| {
+        b.iter(|| black_box(column_stats(kb, "dosage", "description")))
+    });
+    group.bench_function("categorical_detection", |b| {
+        b.iter(|| black_box(table_is_categorical(kb, "age_group", CategoricalPolicy::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kb);
+criterion_main!(benches);

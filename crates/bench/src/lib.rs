@@ -1,0 +1,46 @@
+//! # obcs-bench
+//!
+//! The benchmark and reproduction harness: shared world-building used by
+//! both the `repro` binary (which regenerates every table and figure of
+//! the paper) and the Criterion benches.
+
+use obcs_core::ConversationSpace;
+use obcs_kb::KnowledgeBase;
+use obcs_mdx::data::MdxDataConfig;
+use obcs_mdx::ConversationalMdx;
+use obcs_nlq::OntologyMapping;
+use obcs_ontology::Ontology;
+use obcs_sim::utterance::ValuePools;
+
+/// All offline artifacts of the MDX world, built once and shared.
+pub struct World {
+    pub onto: Ontology,
+    pub kb: KnowledgeBase,
+    pub mapping: OntologyMapping,
+    pub space: ConversationSpace,
+    pub pools: ValuePools,
+    pub config: MdxDataConfig,
+}
+
+impl World {
+    /// Builds the full-scale world (150 drugs).
+    pub fn full(seed: u64) -> Self {
+        Self::with_config(MdxDataConfig { seed, ..MdxDataConfig::default() })
+    }
+
+    /// Builds a reduced world for fast benches.
+    pub fn small(seed: u64) -> Self {
+        Self::with_config(MdxDataConfig { drugs: 60, seed })
+    }
+
+    pub fn with_config(config: MdxDataConfig) -> Self {
+        let (onto, kb, mapping, space) = ConversationalMdx::bootstrap_space(config);
+        let pools = ValuePools::from_kb(&kb);
+        World { onto, kb, mapping, space, pools, config }
+    }
+
+    /// Assembles a fresh online agent over this world's configuration.
+    pub fn agent(&self) -> ConversationalMdx {
+        ConversationalMdx::with_config(self.config)
+    }
+}

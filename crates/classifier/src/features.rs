@@ -1,0 +1,151 @@
+//! Vocabulary construction and TF-IDF feature vectors.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tokenize::features;
+
+/// A vocabulary mapping feature strings to indices, with document
+/// frequencies for IDF weighting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocabulary {
+    index: HashMap<String, usize>,
+    doc_freq: Vec<usize>,
+    documents: usize,
+}
+
+impl Vocabulary {
+    /// Builds a vocabulary over a corpus, keeping features that appear in
+    /// at least `min_df` documents.
+    pub fn build<'a>(corpus: impl Iterator<Item = &'a str>, min_df: usize) -> Self {
+        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut documents = 0usize;
+        for doc in corpus {
+            documents += 1;
+            let mut feats = features(doc);
+            feats.sort_unstable();
+            feats.dedup();
+            for f in feats {
+                *df.entry(f).or_insert(0) += 1;
+            }
+        }
+        let mut kept: Vec<(String, usize)> = df
+            .into_iter()
+            .filter(|&(_, c)| c >= min_df.max(1))
+            .collect();
+        // Deterministic index assignment.
+        kept.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut index = HashMap::with_capacity(kept.len());
+        let mut doc_freq = Vec::with_capacity(kept.len());
+        for (i, (feat, c)) in kept.into_iter().enumerate() {
+            index.insert(feat, i);
+            doc_freq.push(c);
+        }
+        Vocabulary { index, doc_freq, documents }
+    }
+
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Index of a feature if in the vocabulary.
+    pub fn get(&self, feature: &str) -> Option<usize> {
+        self.index.get(feature).copied()
+    }
+
+    /// Smoothed inverse document frequency of feature `i`.
+    pub fn idf(&self, i: usize) -> f64 {
+        ((1.0 + self.documents as f64) / (1.0 + self.doc_freq[i] as f64)).ln() + 1.0
+    }
+
+    /// Sparse raw term counts of a text, as (feature index, count).
+    pub fn counts(&self, text: &str) -> Vec<(usize, f64)> {
+        let mut counts: HashMap<usize, f64> = HashMap::new();
+        for f in features(text) {
+            if let Some(i) = self.get(&f) {
+                *counts.entry(i).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut v: Vec<(usize, f64)> = counts.into_iter().collect();
+        v.sort_unstable_by_key(|&(i, _)| i);
+        v
+    }
+
+    /// Sparse L2-normalised TF-IDF vector of a text.
+    pub fn tfidf(&self, text: &str) -> Vec<(usize, f64)> {
+        let mut v = self.counts(text);
+        for (i, w) in v.iter_mut() {
+            *w *= self.idf(*i);
+        }
+        let norm: f64 = v.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in v.iter_mut() {
+                *w /= norm;
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "show me precautions for aspirin",
+            "show me dosage for aspirin",
+            "what drugs treat fever",
+        ]
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let v1 = Vocabulary::build(corpus().into_iter(), 1);
+        let v2 = Vocabulary::build(corpus().into_iter(), 1);
+        assert_eq!(v1.len(), v2.len());
+        assert_eq!(v1.get("aspirin"), v2.get("aspirin"));
+    }
+
+    #[test]
+    fn min_df_prunes_rare_features() {
+        let v = Vocabulary::build(corpus().into_iter(), 2);
+        assert!(v.get("aspirin").is_some(), "appears in 2 docs");
+        assert!(v.get("fever").is_none(), "appears in 1 doc");
+    }
+
+    #[test]
+    fn idf_downweights_common_features() {
+        let v = Vocabulary::build(corpus().into_iter(), 1);
+        let common = v.get("show").unwrap(); // 2 docs
+        let rare = v.get("fever").unwrap(); // 1 doc
+        assert!(v.idf(rare) > v.idf(common));
+    }
+
+    #[test]
+    fn counts_accumulate_repeats() {
+        let v = Vocabulary::build(["a a b"].into_iter(), 1);
+        let c = v.counts("a a a b");
+        let a_idx = v.get("a").unwrap();
+        assert!(c.contains(&(a_idx, 3.0)));
+    }
+
+    #[test]
+    fn tfidf_is_unit_norm() {
+        let v = Vocabulary::build(corpus().into_iter(), 1);
+        let t = v.tfidf("show me precautions for aspirin");
+        let norm: f64 = t.iter().map(|&(_, w)| w * w).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oov_text_yields_empty_vector() {
+        let v = Vocabulary::build(corpus().into_iter(), 1);
+        assert!(v.tfidf("zzz qqq").is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! # obcs-classifier
+//!
+//! From-scratch text classification for intent detection. The paper uses
+//! IBM Watson Assistant's natural-language classifier as a black box: it is
+//! trained on the examples the bootstrapper generates and returns, for each
+//! user utterance, the detected intent with a confidence score. This crate
+//! provides the equivalent component:
+//!
+//! * a text pipeline — tokenizer with unigram+bigram features and TF-IDF
+//!   weighting ([`tokenize`], [`features`]),
+//! * a multinomial Naive Bayes classifier ([`naive_bayes`]) and a
+//!   one-vs-rest logistic-regression classifier trained with SGD
+//!   ([`logreg`]), both exposing calibrated-ish confidence scores,
+//! * stratified train/test splitting ([`split`]) and evaluation metrics —
+//!   per-class precision/recall/F1, macro/micro averages, confusion matrix
+//!   ([`metrics`]) — used to reproduce the paper's Table 5.
+//!
+//! ## Example
+//!
+//! ```
+//! use obcs_classifier::{Dataset, naive_bayes::NaiveBayes, Classifier};
+//!
+//! let mut data = Dataset::new();
+//! data.push("show me precautions for aspirin", "precautions");
+//! data.push("give me the precautions for ibuprofen", "precautions");
+//! data.push("what drugs treat fever", "treatment");
+//! data.push("which drug treats headache", "treatment");
+//! let model = NaiveBayes::train(&data, Default::default());
+//! let pred = model.predict("precautions for tylenol");
+//! assert_eq!(pred.label, "precautions");
+//! assert!(pred.confidence > 0.5);
+//! ```
+
+pub mod features;
+pub mod logreg;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod split;
+pub mod tokenize;
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled text dataset.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    pub texts: Vec<String>,
+    pub labels: Vec<String>,
+}
+
+impl Dataset {
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    pub fn push(&mut self, text: impl Into<String>, label: impl Into<String>) {
+        self.texts.push(text.into());
+        self.labels.push(label.into());
+    }
+
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Distinct labels in first-appearance order.
+    pub fn label_set(&self) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        self.labels
+            .iter()
+            .filter(|l| seen.insert(l.as_str()))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Iterates `(text, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.texts
+            .iter()
+            .map(String::as_str)
+            .zip(self.labels.iter().map(String::as_str))
+    }
+
+    /// Appends all examples of another dataset.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        self.texts.extend(other.texts.iter().cloned());
+        self.labels.extend(other.labels.iter().cloned());
+    }
+}
+
+/// A prediction: the winning label and its confidence in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    pub label: String,
+    pub confidence: f64,
+}
+
+/// Common interface of the intent classifiers.
+pub trait Classifier {
+    /// Predicts the most likely label with a confidence score. Returns
+    /// a prediction with empty label and zero confidence for a model
+    /// trained on no data.
+    fn predict(&self, text: &str) -> Prediction;
+
+    /// Full (label, probability) distribution, descending by probability.
+    fn predict_all(&self, text: &str) -> Vec<(String, f64)>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_basics() {
+        let mut d = Dataset::new();
+        assert!(d.is_empty());
+        d.push("a", "x");
+        d.push("b", "y");
+        d.push("c", "x");
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.label_set(), vec!["x", "y"]);
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs[2], ("c", "x"));
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a = Dataset::new();
+        a.push("a", "x");
+        let mut b = Dataset::new();
+        b.push("b", "y");
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.labels, vec!["x", "y"]);
+    }
+}

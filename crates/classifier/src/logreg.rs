@@ -1,0 +1,195 @@
+//! One-vs-rest logistic regression trained with mini-batch SGD over TF-IDF
+//! features. Slower to train than Naive Bayes but usually better calibrated
+//! on the bootstrapped training distributions; the `repro` harness compares
+//! both (classifier ablation).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::features::Vocabulary;
+use crate::naive_bayes::softmax;
+use crate::{Classifier, Dataset, Prediction};
+
+/// Hyper-parameters for logistic-regression training.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LogRegConfig {
+    pub epochs: usize,
+    pub learning_rate: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    pub min_df: usize,
+    /// RNG seed for example shuffling.
+    pub seed: u64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig { epochs: 30, learning_rate: 0.5, l2: 1e-4, min_df: 1, seed: 7 }
+    }
+}
+
+/// A trained one-vs-rest logistic-regression model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogReg {
+    vocab: Vocabulary,
+    labels: Vec<String>,
+    /// `weights[label][feature]`.
+    weights: Vec<Vec<f64>>,
+    bias: Vec<f64>,
+}
+
+impl LogReg {
+    /// Trains one binary logistic regression per label (one-vs-rest).
+    pub fn train(data: &Dataset, config: LogRegConfig) -> Self {
+        let vocab = Vocabulary::build(data.texts.iter().map(String::as_str), config.min_df);
+        let labels: Vec<String> = data.label_set().into_iter().map(str::to_string).collect();
+        let k = labels.len();
+        let v = vocab.len();
+        let vectors: Vec<Vec<(usize, f64)>> =
+            data.texts.iter().map(|t| vocab.tfidf(t)).collect();
+        let label_ids: Vec<usize> = data
+            .labels
+            .iter()
+            .map(|l| labels.iter().position(|x| x == l).expect("label in set"))
+            .collect();
+
+        let mut weights = vec![vec![0.0f64; v]; k];
+        let mut bias = vec![0.0f64; k];
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        for epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            // Simple 1/(1+epoch) learning-rate decay.
+            let lr = config.learning_rate / (1.0 + epoch as f64 * 0.1);
+            for &i in &order {
+                let x = &vectors[i];
+                let yi = label_ids[i];
+                for li in 0..k {
+                    let target = if li == yi { 1.0 } else { 0.0 };
+                    let z = bias[li]
+                        + x.iter().map(|&(f, w)| w * weights[li][f]).sum::<f64>();
+                    let p = sigmoid(z);
+                    let err = p - target;
+                    bias[li] -= lr * err;
+                    let wl = &mut weights[li];
+                    for &(f, w) in x {
+                        wl[f] -= lr * (err * w + config.l2 * wl[f]);
+                    }
+                }
+            }
+        }
+        LogReg { vocab, labels, weights, bias }
+    }
+
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    fn scores(&self, text: &str) -> Vec<f64> {
+        let x = self.vocab.tfidf(text);
+        (0..self.labels.len())
+            .map(|li| {
+                self.bias[li]
+                    + x.iter()
+                        .map(|&(f, w)| w * self.weights[li][f])
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Classifier for LogReg {
+    fn predict(&self, text: &str) -> Prediction {
+        self.predict_all(text)
+            .into_iter()
+            .next()
+            .map(|(label, confidence)| Prediction { label, confidence })
+            .unwrap_or(Prediction { label: String::new(), confidence: 0.0 })
+    }
+
+    fn predict_all(&self, text: &str) -> Vec<(String, f64)> {
+        let probs = softmax(&self.scores(text));
+        let mut out: Vec<(String, f64)> =
+            self.labels.iter().cloned().zip(probs).collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("probabilities are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let mut d = Dataset::new();
+        for t in [
+            "show me the precautions for aspirin",
+            "give me the precautions for ibuprofen",
+            "tell me about precautions for tylenol",
+        ] {
+            d.push(t, "precautions");
+        }
+        for t in [
+            "what drugs treat fever",
+            "which drug treats psoriasis",
+            "show me drugs that treat acne",
+        ] {
+            d.push(t, "treatment");
+        }
+        d
+    }
+
+    #[test]
+    fn learns_separable_intents() {
+        let m = LogReg::train(&data(), LogRegConfig::default());
+        assert_eq!(m.predict("precautions for calcium").label, "precautions");
+        assert_eq!(m.predict("what drug treats migraine").label, "treatment");
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed() {
+        let m1 = LogReg::train(&data(), LogRegConfig::default());
+        let m2 = LogReg::train(&data(), LogRegConfig::default());
+        let a = m1.predict_all("drugs that treat fever");
+        let b = m2.predict_all("drugs that treat fever");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let m = LogReg::train(&data(), LogRegConfig::default());
+        let all = m.predict_all("precautions for x");
+        let total: f64 = all.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_model_is_graceful() {
+        let m = LogReg::train(&Dataset::new(), LogRegConfig::default());
+        let p = m.predict("anything");
+        assert!(p.label.is_empty());
+    }
+
+    #[test]
+    fn sigmoid_is_stable() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(-1000.0) < 1e-100);
+    }
+}

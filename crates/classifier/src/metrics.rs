@@ -1,0 +1,242 @@
+//! Evaluation metrics: per-class precision/recall/F1, macro and micro
+//! averages, and a confusion matrix — the machinery behind the paper's
+//! Table 5 F1 column.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Precision/recall/F1 for one class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    /// Number of gold examples of this class.
+    pub support: usize,
+}
+
+/// Evaluation report over a test set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Per-class metrics keyed by label, sorted by label for determinism.
+    pub per_class: Vec<(String, ClassMetrics)>,
+    pub macro_f1: f64,
+    pub micro_f1: f64,
+    pub accuracy: f64,
+    pub total: usize,
+}
+
+impl Report {
+    /// Metrics for one label.
+    pub fn class(&self, label: &str) -> Option<ClassMetrics> {
+        self.per_class
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, m)| m)
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<40} {:>9} {:>9} {:>9} {:>8}\n",
+            "intent", "precision", "recall", "F1", "support"
+        ));
+        for (label, m) in &self.per_class {
+            out.push_str(&format!(
+                "{:<40} {:>9.2} {:>9.2} {:>9.2} {:>8}\n",
+                label, m.precision, m.recall, m.f1, m.support
+            ));
+        }
+        out.push_str(&format!(
+            "macro F1 {:.3}  micro F1 {:.3}  accuracy {:.3}  n={}\n",
+            self.macro_f1, self.micro_f1, self.accuracy, self.total
+        ));
+        out
+    }
+}
+
+/// Computes the report from parallel gold/predicted label slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn evaluate(gold: &[String], predicted: &[String]) -> Report {
+    assert_eq!(gold.len(), predicted.len(), "gold/predicted length mismatch");
+    let mut labels: Vec<&str> = gold
+        .iter()
+        .chain(predicted.iter())
+        .map(String::as_str)
+        .collect();
+    labels.sort_unstable();
+    labels.dedup();
+
+    let mut tp: HashMap<&str, usize> = HashMap::new();
+    let mut fp: HashMap<&str, usize> = HashMap::new();
+    let mut fnc: HashMap<&str, usize> = HashMap::new();
+    let mut support: HashMap<&str, usize> = HashMap::new();
+    let mut correct = 0usize;
+    for (g, p) in gold.iter().zip(predicted) {
+        *support.entry(g).or_insert(0) += 1;
+        if g == p {
+            *tp.entry(g).or_insert(0) += 1;
+            correct += 1;
+        } else {
+            *fp.entry(p).or_insert(0) += 1;
+            *fnc.entry(g).or_insert(0) += 1;
+        }
+    }
+
+    let mut per_class = Vec::with_capacity(labels.len());
+    let mut macro_sum = 0.0;
+    for label in &labels {
+        let tp = *tp.get(label).unwrap_or(&0) as f64;
+        let fp = *fp.get(label).unwrap_or(&0) as f64;
+        let fnc = *fnc.get(label).unwrap_or(&0) as f64;
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = if tp + fnc > 0.0 { tp / (tp + fnc) } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        macro_sum += f1;
+        per_class.push((
+            label.to_string(),
+            ClassMetrics {
+                precision,
+                recall,
+                f1,
+                support: *support.get(label).unwrap_or(&0),
+            },
+        ));
+    }
+    let total = gold.len();
+    let accuracy = if total > 0 { correct as f64 / total as f64 } else { 0.0 };
+    // Micro F1 over single-label classification equals accuracy.
+    Report {
+        per_class,
+        macro_f1: if labels.is_empty() { 0.0 } else { macro_sum / labels.len() as f64 },
+        micro_f1: accuracy,
+        accuracy,
+        total,
+    }
+}
+
+/// A confusion matrix with deterministic label ordering.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    pub labels: Vec<String>,
+    /// `counts[gold][predicted]`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    pub fn compute(gold: &[String], predicted: &[String]) -> Self {
+        assert_eq!(gold.len(), predicted.len());
+        let mut labels: Vec<String> = gold
+            .iter()
+            .chain(predicted.iter())
+            .cloned()
+            .collect();
+        labels.sort();
+        labels.dedup();
+        let index: HashMap<&str, usize> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.as_str(), i))
+            .collect();
+        let mut counts = vec![vec![0usize; labels.len()]; labels.len()];
+        for (g, p) in gold.iter().zip(predicted) {
+            counts[index[g.as_str()]][index[p.as_str()]] += 1;
+        }
+        ConfusionMatrix { labels, counts }
+    }
+
+    /// The most confused (gold, predicted, count) pairs, descending.
+    pub fn top_confusions(&self, n: usize) -> Vec<(String, String, usize)> {
+        let mut pairs = Vec::new();
+        for (g, row) in self.counts.iter().enumerate() {
+            for (p, &c) in row.iter().enumerate() {
+                if g != p && c > 0 {
+                    pairs.push((self.labels[g].clone(), self.labels[p].clone(), c));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        pairs.truncate(n);
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let gold = s(&["a", "b", "a"]);
+        let r = evaluate(&gold, &gold);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.macro_f1, 1.0);
+        assert_eq!(r.class("a").unwrap().support, 2);
+    }
+
+    #[test]
+    fn known_f1_values() {
+        // gold: a a b b; pred: a b b b
+        // class a: tp=1 fp=0 fn=1 → p=1, r=0.5, f1=2/3
+        // class b: tp=2 fp=1 fn=0 → p=2/3, r=1, f1=0.8
+        let r = evaluate(&s(&["a", "a", "b", "b"]), &s(&["a", "b", "b", "b"]));
+        let a = r.class("a").unwrap();
+        let b = r.class("b").unwrap();
+        assert!((a.f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((b.f1 - 0.8).abs() < 1e-12);
+        assert!((r.macro_f1 - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-12);
+        assert!((r.accuracy - 0.75).abs() < 1e-12);
+        assert_eq!(r.micro_f1, r.accuracy);
+    }
+
+    #[test]
+    fn class_never_predicted_has_zero_precision() {
+        let r = evaluate(&s(&["a", "a"]), &s(&["b", "b"]));
+        let a = r.class("a").unwrap();
+        assert_eq!(a.precision, 0.0);
+        assert_eq!(a.recall, 0.0);
+        assert_eq!(a.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = evaluate(&[], &[]);
+        assert_eq!(r.total, 0);
+        assert_eq!(r.accuracy, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        evaluate(&s(&["a"]), &s(&[]));
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = ConfusionMatrix::compute(&s(&["a", "a", "b"]), &s(&["a", "b", "b"]));
+        assert_eq!(cm.labels, vec!["a", "b"]);
+        assert_eq!(cm.counts[0], vec![1, 1]); // gold a → pred a:1, b:1
+        assert_eq!(cm.counts[1], vec![0, 1]);
+        assert_eq!(cm.top_confusions(5), vec![("a".into(), "b".into(), 1)]);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = evaluate(&s(&["a", "b"]), &s(&["a", "b"]));
+        let txt = r.render();
+        assert!(txt.contains("precision"));
+        assert!(txt.contains("macro F1 1.000"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Stratified train/test splitting with a seeded RNG.
+//!
+//! The paper's evaluation (§7.1) splits the augmented example set into
+//! training and test sets whose per-intent distribution mirrors real usage;
+//! stratification keeps every intent represented in both splits.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::Dataset;
+
+/// Splits a dataset into (train, test) with `test_fraction` of each class
+/// in the test set (at least one test example per class with ≥ 2 examples).
+pub fn stratified_split(data: &Dataset, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test_fraction must be in [0, 1), got {test_fraction}"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Group example indices per label, in encounter order.
+    let labels = data.label_set();
+    let mut train = Dataset::new();
+    let mut test = Dataset::new();
+    for label in labels {
+        let mut indices: Vec<usize> = data
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.as_str() == label)
+            .map(|(i, _)| i)
+            .collect();
+        indices.shuffle(&mut rng);
+        let mut n_test = (indices.len() as f64 * test_fraction).round() as usize;
+        if indices.len() >= 2 && test_fraction > 0.0 {
+            n_test = n_test.clamp(1, indices.len() - 1);
+        } else {
+            n_test = n_test.min(indices.len().saturating_sub(1));
+        }
+        for (k, &i) in indices.iter().enumerate() {
+            if k < n_test {
+                test.push(data.texts[i].clone(), data.labels[i].clone());
+            } else {
+                train.push(data.texts[i].clone(), data.labels[i].clone());
+            }
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(per_class: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for label in ["a", "b", "c"] {
+            for i in 0..per_class {
+                d.push(format!("{label} example {i}"), label);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn split_sizes_approximate_fraction() {
+        let d = data(10);
+        let (train, test) = stratified_split(&d, 0.3, 42);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(test.len(), 9); // 3 per class
+        assert_eq!(train.len(), 21);
+    }
+
+    #[test]
+    fn every_class_in_both_splits() {
+        let d = data(4);
+        let (train, test) = stratified_split(&d, 0.25, 1);
+        for label in ["a", "b", "c"] {
+            assert!(train.labels.iter().any(|l| l == label));
+            assert!(test.labels.iter().any(|l| l == label));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let d = data(10);
+        let (t1, e1) = stratified_split(&d, 0.3, 5);
+        let (t2, e2) = stratified_split(&d, 0.3, 5);
+        assert_eq!(t1.texts, t2.texts);
+        assert_eq!(e1.texts, e2.texts);
+        let (t3, _) = stratified_split(&d, 0.3, 6);
+        assert!(t1.texts != t3.texts, "different seed should differ");
+    }
+
+    #[test]
+    fn singleton_class_stays_in_train() {
+        let mut d = Dataset::new();
+        d.push("only one", "solo");
+        for i in 0..5 {
+            d.push(format!("x {i}"), "multi");
+        }
+        let (train, test) = stratified_split(&d, 0.4, 0);
+        assert!(train.labels.iter().any(|l| l == "solo"));
+        assert!(!test.labels.iter().any(|l| l == "solo"));
+    }
+
+    #[test]
+    fn zero_fraction_puts_all_in_train() {
+        let d = data(5);
+        let (train, test) = stratified_split(&d, 0.0, 0);
+        assert_eq!(train.len(), d.len());
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn invalid_fraction_panics() {
+        stratified_split(&data(2), 1.0, 0);
+    }
+
+    #[test]
+    fn no_example_leaks_between_splits() {
+        let d = data(10);
+        let (train, test) = stratified_split(&d, 0.3, 9);
+        for t in &test.texts {
+            assert!(!train.texts.contains(t));
+        }
+    }
+}

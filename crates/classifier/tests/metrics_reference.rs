@@ -1,0 +1,71 @@
+//! Reference-value tests for the evaluation metrics: hand-computed
+//! precision/recall/F1 on small fixtures, so the Table 5 machinery is
+//! anchored to externally checkable numbers.
+
+use obcs_classifier::metrics::{evaluate, ConfusionMatrix};
+
+fn s(v: &[&str]) -> Vec<String> {
+    v.iter().map(|x| x.to_string()).collect()
+}
+
+#[test]
+fn three_class_hand_computed() {
+    // gold:     a a a b b c
+    // predicted a b a b c c
+    let gold = s(&["a", "a", "a", "b", "b", "c"]);
+    let pred = s(&["a", "b", "a", "b", "c", "c"]);
+    let r = evaluate(&gold, &pred);
+    // a: tp=2 fp=0 fn=1 → p=1.000 r=0.667 f1=0.800
+    // b: tp=1 fp=1 fn=1 → p=0.500 r=0.500 f1=0.500
+    // c: tp=1 fp=1 fn=0 → p=0.500 r=1.000 f1=0.667
+    let a = r.class("a").unwrap();
+    assert!((a.precision - 1.0).abs() < 1e-12);
+    assert!((a.recall - 2.0 / 3.0).abs() < 1e-12);
+    assert!((a.f1 - 0.8).abs() < 1e-12);
+    let b = r.class("b").unwrap();
+    assert!((b.f1 - 0.5).abs() < 1e-12);
+    let c = r.class("c").unwrap();
+    assert!((c.f1 - 2.0 / 3.0).abs() < 1e-12);
+    assert!((r.macro_f1 - (0.8 + 0.5 + 2.0 / 3.0) / 3.0).abs() < 1e-12);
+    assert!((r.accuracy - 4.0 / 6.0).abs() < 1e-12);
+}
+
+#[test]
+fn label_in_predictions_only_still_reported() {
+    // The classifier hallucinated class "x" that never occurs in gold.
+    let r = evaluate(&s(&["a", "a"]), &s(&["x", "a"]));
+    let x = r.class("x").unwrap();
+    assert_eq!(x.support, 0);
+    assert_eq!(x.precision, 0.0);
+    assert_eq!(x.f1, 0.0);
+    // Macro averages over the union of labels (the paper's per-intent
+    // table lists every intent, predicted or not).
+    assert_eq!(r.per_class.len(), 2);
+}
+
+#[test]
+fn confusion_matrix_row_sums_equal_support() {
+    let gold = s(&["a", "a", "a", "b", "b", "c"]);
+    let pred = s(&["a", "b", "a", "b", "c", "c"]);
+    let cm = ConfusionMatrix::compute(&gold, &pred);
+    let report = evaluate(&gold, &pred);
+    for (i, label) in cm.labels.iter().enumerate() {
+        let row_sum: usize = cm.counts[i].iter().sum();
+        assert_eq!(row_sum, report.class(label).unwrap().support, "{label}");
+    }
+    // Diagonal = true positives → accuracy.
+    let diag: usize = (0..cm.labels.len()).map(|i| cm.counts[i][i]).sum();
+    assert!((diag as f64 / gold.len() as f64 - report.accuracy).abs() < 1e-12);
+}
+
+#[test]
+fn top_confusions_are_ordered() {
+    let gold = s(&["a", "a", "a", "b"]);
+    let pred = s(&["b", "b", "c", "b"]);
+    let cm = ConfusionMatrix::compute(&gold, &pred);
+    let top = cm.top_confusions(10);
+    assert_eq!(top[0], ("a".into(), "b".into(), 2));
+    assert_eq!(top[1], ("a".into(), "c".into(), 1));
+    // Truncation respected.
+    assert_eq!(cm.top_confusions(1).len(), 1);
+}

@@ -1,0 +1,93 @@
+//! Property-based tests over both classifier families and the evaluation
+//! machinery.
+
+use obcs_classifier::logreg::{LogReg, LogRegConfig};
+use obcs_classifier::naive_bayes::{NaiveBayes, NaiveBayesConfig};
+use obcs_classifier::split::stratified_split;
+use obcs_classifier::{Classifier, Dataset};
+use proptest::prelude::*;
+
+fn dataset(labels: &[u8], texts: &[String]) -> Dataset {
+    let mut d = Dataset::new();
+    for (l, t) in labels.iter().zip(texts) {
+        d.push(t.clone(), format!("c{}", l % 3));
+    }
+    d
+}
+
+proptest! {
+    /// Stratified splitting partitions the dataset: no loss, no
+    /// duplication, per-class counts preserved.
+    #[test]
+    fn split_partitions_dataset(
+        labels in proptest::collection::vec(0u8..3, 4..60),
+        frac in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let texts: Vec<String> = (0..labels.len()).map(|i| format!("text {i}")).collect();
+        let data = dataset(&labels, &texts);
+        let (train, test) = stratified_split(&data, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        let mut all: Vec<&String> = train.texts.iter().chain(test.texts.iter()).collect();
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), data.len(), "no duplicates, no losses");
+        // Per-class counts preserved across the split.
+        for label in data.label_set() {
+            let total = data.labels.iter().filter(|l| l.as_str() == label).count();
+            let split_total = train.labels.iter().filter(|l| l.as_str() == label).count()
+                + test.labels.iter().filter(|l| l.as_str() == label).count();
+            prop_assert_eq!(total, split_total);
+        }
+    }
+
+    /// Both models train without panicking on arbitrary corpora, and the
+    /// training data itself is classified mostly correctly by NB when the
+    /// classes use disjoint vocabulary.
+    #[test]
+    fn disjoint_vocabulary_is_learned(n_per_class in 2usize..8) {
+        let mut data = Dataset::new();
+        for i in 0..n_per_class {
+            data.push(format!("alpha bravo charlie {i}"), "a");
+            data.push(format!("delta echo foxtrot {i}"), "b");
+            data.push(format!("golf hotel india {i}"), "c");
+        }
+        let nb = NaiveBayes::train(&data, NaiveBayesConfig::default());
+        let lr = LogReg::train(&data, LogRegConfig { epochs: 20, ..Default::default() });
+        for (text, label) in data.iter() {
+            prop_assert_eq!(nb.predict(text).label, label.to_string());
+            prop_assert_eq!(lr.predict(text).label, label.to_string());
+        }
+    }
+
+    /// Prediction confidence is a probability and predict_all is a
+    /// distribution over exactly the trained labels.
+    #[test]
+    fn predictions_are_distributions(probe in "\\PC{0,40}") {
+        let mut data = Dataset::new();
+        data.push("one two three", "x");
+        data.push("four five six", "y");
+        let nb = NaiveBayes::train(&data, NaiveBayesConfig::default());
+        let all = nb.predict_all(&probe);
+        prop_assert_eq!(all.len(), 2);
+        let total: f64 = all.iter().map(|&(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(all.iter().all(|&(_, p)| (0.0..=1.0).contains(&p)));
+    }
+}
+
+#[test]
+fn logreg_and_nb_agree_on_easy_data() {
+    let mut data = Dataset::new();
+    for t in ["precautions for aspirin", "precautions for ibuprofen", "drug precautions"] {
+        data.push(t, "precautions");
+    }
+    for t in ["what treats fever", "drugs that treat acne", "treatment for headache"] {
+        data.push(t, "treatment");
+    }
+    let nb = NaiveBayes::train(&data, NaiveBayesConfig::default());
+    let lr = LogReg::train(&data, LogRegConfig::default());
+    for probe in ["precautions for tylenol", "what treats migraine"] {
+        assert_eq!(nb.predict(probe).label, lr.predict(probe).label, "probe: {probe}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Key- and dependent-concept identification (paper §4.2.1).
+//!
+//! Key concepts "can stand on their own and usually represent the domain
+//! entities that a common user would be interested in" — identified by a
+//! centrality analysis of the ontology graph followed by statistical
+//! segregation of the ranking. Dependent concepts are immediate neighbours
+//! of a key concept that are not key concepts themselves and whose instance
+//! data behaves like a categorical attribute; they describe the key concept
+//! (e.g. `Precaution` for `Drug`).
+
+use obcs_kb::stats::{table_is_categorical, CategoricalPolicy};
+use obcs_kb::KnowledgeBase;
+use obcs_nlq::OntologyMapping;
+use obcs_ontology::centrality::{centrality, CentralityMeasure};
+use obcs_ontology::segregation::{segregate, Cut};
+use obcs_ontology::{ConceptId, Ontology};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for key-concept identification.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyConceptConfig {
+    pub measure: CentralityMeasure,
+    pub cut: Cut,
+    /// Require key concepts to be *nameable* — their instances carry a
+    /// proper name column (`name`/`title`/`label`) users can refer to them
+    /// by. Dependent concepts typically only have free-text descriptions.
+    /// Disable for the ablation bench.
+    pub require_nameable: bool,
+}
+
+impl Default for KeyConceptConfig {
+    fn default() -> Self {
+        KeyConceptConfig {
+            measure: CentralityMeasure::Degree,
+            cut: Cut::LargestGap { min: 2, max: 12 },
+            require_nameable: true,
+        }
+    }
+}
+
+/// The role assigned to a concept by the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConceptRole {
+    Key,
+    Dependent,
+    Other,
+}
+
+/// Special semantics a dependent concept may carry (paper Fig. 2 legend).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DependentSemantics {
+    /// A plain dependent concept.
+    Plain,
+    /// A union parent: queries are augmented with one pattern per member.
+    Union(Vec<ConceptId>),
+    /// An inheritance parent: augmented with one pattern per child.
+    Inheritance(Vec<ConceptId>),
+}
+
+/// A dependent concept attached to one key concept.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependentConcept {
+    pub concept: ConceptId,
+    /// The key concept this one describes.
+    pub of_key: ConceptId,
+    pub semantics: DependentSemantics,
+}
+
+/// Identifies key concepts: centrality ranking over eligible candidates,
+/// then statistical segregation of that ranking.
+///
+/// Eligibility (the "stand on their own" test of the paper):
+/// * participates in at least one domain relationship,
+/// * is not a union/inheritance parent or member — those are dependent
+///   concepts with special semantics (Fig. 2 legend) and surface through
+///   pattern augmentation,
+/// * when `require_nameable` is set, its instances carry a proper name
+///   column in the KB.
+pub fn identify_key_concepts(
+    onto: &Ontology,
+    mapping: &OntologyMapping,
+    config: KeyConceptConfig,
+) -> Vec<ConceptId> {
+    let scored = centrality(onto, config.measure);
+    let eligible: Vec<_> = scored
+        .into_iter()
+        .filter(|s| {
+            let c = s.concept;
+            let in_hierarchy = onto
+                .neighbors(c)
+                .any(|(_, op)| op.kind.is_hierarchical());
+            let has_domain_edges =
+                onto.neighbors(c).any(|(_, op)| !op.kind.is_hierarchical());
+            has_domain_edges
+                && !in_hierarchy
+                && (!config.require_nameable || mapping.is_nameable(c))
+        })
+        .collect();
+    segregate(&eligible, config.cut)
+}
+
+/// Identifies the dependent concepts of each key concept: immediate
+/// neighbours over domain relationships that are not key concepts
+/// themselves and whose instance data is categorical (or that are abstract
+/// hierarchy parents, which are kept for augmentation).
+pub fn identify_dependent_concepts(
+    onto: &Ontology,
+    kb: &KnowledgeBase,
+    mapping: &OntologyMapping,
+    key_concepts: &[ConceptId],
+    policy: CategoricalPolicy,
+) -> Vec<DependentConcept> {
+    let mut out = Vec::new();
+    for &key in key_concepts {
+        let mut neighbors: Vec<ConceptId> = onto
+            .neighbors(key)
+            .filter(|(_, op)| !op.kind.is_hierarchical())
+            .map(|(c, _)| c)
+            .filter(|c| *c != key && !key_concepts.contains(c))
+            .collect();
+        neighbors.sort();
+        neighbors.dedup();
+        for n in neighbors {
+            let semantics = dependent_semantics(onto, n);
+            let keep = match &semantics {
+                // Abstract parents qualify through their members.
+                DependentSemantics::Union(_) | DependentSemantics::Inheritance(_) => true,
+                DependentSemantics::Plain => match mapping.table(n) {
+                    Some(table) => table_is_categorical(kb, table, policy).unwrap_or(false)
+                        || !kb.table(table).map(|t| t.is_empty()).unwrap_or(true),
+                    None => false,
+                },
+            };
+            if keep {
+                out.push(DependentConcept { concept: n, of_key: key, semantics });
+            }
+        }
+    }
+    out
+}
+
+/// Detects union/inheritance semantics of a concept.
+pub fn dependent_semantics(onto: &Ontology, concept: ConceptId) -> DependentSemantics {
+    let members = onto.union_members(concept);
+    if !members.is_empty() {
+        return DependentSemantics::Union(members);
+    }
+    let children = onto.is_a_children(concept);
+    if !children.is_empty() {
+        return DependentSemantics::Inheritance(children);
+    }
+    DependentSemantics::Plain
+}
+
+/// Query-completion metadata (paper §4.2.1, end): for each key concept the
+/// dependents that can complete a partial query, and vice versa.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompletionMetadata {
+    /// key concept → its dependent concepts.
+    pub dependents_of_key: Vec<(ConceptId, Vec<ConceptId>)>,
+    /// dependent concept → the key concepts it describes.
+    pub keys_of_dependent: Vec<(ConceptId, Vec<ConceptId>)>,
+}
+
+impl CompletionMetadata {
+    pub fn build(dependents: &[DependentConcept]) -> Self {
+        let mut dok: Vec<(ConceptId, Vec<ConceptId>)> = Vec::new();
+        let mut kod: Vec<(ConceptId, Vec<ConceptId>)> = Vec::new();
+        for d in dependents {
+            match dok.iter_mut().find(|(k, _)| *k == d.of_key) {
+                Some((_, v)) => v.push(d.concept),
+                None => dok.push((d.of_key, vec![d.concept])),
+            }
+            match kod.iter_mut().find(|(c, _)| *c == d.concept) {
+                Some((_, v)) => v.push(d.of_key),
+                None => kod.push((d.concept, vec![d.of_key])),
+            }
+        }
+        CompletionMetadata { dependents_of_key: dok, keys_of_dependent: kod }
+    }
+
+    /// The key concepts a dependent concept belongs to.
+    pub fn keys_for(&self, dependent: ConceptId) -> &[ConceptId] {
+        self.keys_of_dependent
+            .iter()
+            .find(|(c, _)| *c == dependent)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The dependent concepts of a key concept.
+    pub fn dependents_for(&self, key: ConceptId) -> &[ConceptId] {
+        self.dependents_of_key
+            .iter()
+            .find(|(c, _)| *c == key)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig2_fixture;
+
+    #[test]
+    fn drug_is_a_key_concept() {
+        let (onto, _, mapping) = fig2_fixture();
+        let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
+        let drug = onto.concept_id("Drug").unwrap();
+        assert!(keys.contains(&drug), "Drug is the hub of the ontology");
+    }
+
+    #[test]
+    fn union_members_are_not_key_concepts() {
+        let (onto, _, mapping) = fig2_fixture();
+        let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
+        let ci = onto.concept_id("ContraIndication").unwrap();
+        assert!(!keys.contains(&ci));
+    }
+
+    #[test]
+    fn dependents_of_drug_include_precaution_and_risk() {
+        let (onto, kb, mapping) = fig2_fixture();
+        let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
+        let deps = identify_dependent_concepts(
+            &onto,
+            &kb,
+            &mapping,
+            &keys,
+            CategoricalPolicy::default(),
+        );
+        let drug = onto.concept_id("Drug").unwrap();
+        let prec = onto.concept_id("Precaution").unwrap();
+        let risk = onto.concept_id("Risk").unwrap();
+        assert!(deps.iter().any(|d| d.concept == prec && d.of_key == drug));
+        let risk_dep = deps.iter().find(|d| d.concept == risk).expect("Risk is dependent");
+        assert!(matches!(risk_dep.semantics, DependentSemantics::Union(ref m) if m.len() == 2));
+    }
+
+    #[test]
+    fn inheritance_semantics_detected() {
+        let (onto, kb, mapping) = fig2_fixture();
+        let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
+        let deps = identify_dependent_concepts(
+            &onto,
+            &kb,
+            &mapping,
+            &keys,
+            CategoricalPolicy::default(),
+        );
+        let di = onto.concept_id("DrugInteraction").unwrap();
+        let dep = deps.iter().find(|d| d.concept == di).expect("DrugInteraction dependent");
+        assert!(
+            matches!(dep.semantics, DependentSemantics::Inheritance(ref c) if c.len() == 2)
+        );
+    }
+
+    #[test]
+    fn key_concepts_are_not_their_own_dependents() {
+        let (onto, kb, mapping) = fig2_fixture();
+        let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
+        let deps = identify_dependent_concepts(
+            &onto,
+            &kb,
+            &mapping,
+            &keys,
+            CategoricalPolicy::default(),
+        );
+        for d in &deps {
+            assert!(!keys.contains(&d.concept));
+        }
+    }
+
+    #[test]
+    fn completion_metadata_roundtrip() {
+        let (onto, kb, mapping) = fig2_fixture();
+        let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
+        let deps = identify_dependent_concepts(
+            &onto,
+            &kb,
+            &mapping,
+            &keys,
+            CategoricalPolicy::default(),
+        );
+        let meta = CompletionMetadata::build(&deps);
+        let drug = onto.concept_id("Drug").unwrap();
+        let prec = onto.concept_id("Precaution").unwrap();
+        assert!(meta.dependents_for(drug).contains(&prec));
+        assert_eq!(meta.keys_for(prec), &[drug]);
+        assert!(meta.keys_for(drug).is_empty());
+    }
+
+    #[test]
+    fn empty_ontology_yields_nothing() {
+        let onto = Ontology::new("empty");
+        let mapping = OntologyMapping::default();
+        let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
+        assert!(keys.is_empty());
+    }
+}

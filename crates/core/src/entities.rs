@@ -1,0 +1,184 @@
+//! Entity extraction and synonym population for the conversation space
+//! (paper §4.5, Tables 1–2).
+//!
+//! Three steps: (1) every ontology concept becomes an entity, with
+//! union/inheritance groupings captured; (2) categorical key/dependent
+//! concepts get their KB instance values as examples; (3) domain-specific
+//! synonym dictionaries are applied for both concept names and instance
+//! values.
+
+use obcs_kb::KnowledgeBase;
+use obcs_nlq::OntologyMapping;
+use obcs_ontology::{ConceptId, Ontology};
+use serde::{Deserialize, Serialize};
+
+use crate::training::instance_values;
+
+/// What an entity stands for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// The concept itself ("Drug", "Precaution").
+    Concept,
+    /// A grouping entity for a union/inheritance parent, listing its
+    /// members (Table 1, "Concepts under Risk").
+    Grouping(Vec<ConceptId>),
+}
+
+/// One entity of the conversation space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntityDef {
+    pub concept: ConceptId,
+    pub name: String,
+    pub kind: EntityKind,
+    /// Instance values from the KB (Table 1, "Instances of Drug").
+    pub examples: Vec<String>,
+    /// Synonyms for the concept name (Table 2).
+    pub synonyms: Vec<String>,
+}
+
+/// A synonym dictionary: canonical phrase → synonyms. Applies to both
+/// concept names and instance values.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SynonymDict {
+    entries: Vec<(String, Vec<String>)>,
+}
+
+impl SynonymDict {
+    pub fn new() -> Self {
+        SynonymDict::default()
+    }
+
+    /// Registers synonyms for a canonical phrase (merged if present).
+    pub fn add(&mut self, canonical: impl Into<String>, synonyms: &[&str]) {
+        let canonical = canonical.into();
+        match self.entries.iter_mut().find(|(c, _)| *c == canonical) {
+            Some((_, list)) => {
+                for s in synonyms {
+                    if !list.iter().any(|x| x == s) {
+                        list.push((*s).to_string());
+                    }
+                }
+            }
+            None => self
+                .entries
+                .push((canonical, synonyms.iter().map(|s| s.to_string()).collect())),
+        }
+    }
+
+    /// Synonyms of a canonical phrase (case-insensitive lookup).
+    pub fn synonyms_of(&self, canonical: &str) -> &[String] {
+        self.entries
+            .iter()
+            .find(|(c, _)| c.eq_ignore_ascii_case(canonical))
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(canonical, synonyms)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.entries.iter().map(|(c, v)| (c.as_str(), v.as_slice()))
+    }
+}
+
+/// Extracts the entity population of the conversation space.
+pub fn extract_entities(
+    onto: &Ontology,
+    kb: &KnowledgeBase,
+    mapping: &OntologyMapping,
+    synonyms: &SynonymDict,
+    max_examples: usize,
+) -> Vec<EntityDef> {
+    let mut out = Vec::new();
+    for c in onto.concepts() {
+        let members = {
+            let mut m = onto.union_members(c.id);
+            m.extend(onto.is_a_children(c.id));
+            m
+        };
+        let kind = if members.is_empty() {
+            EntityKind::Concept
+        } else {
+            EntityKind::Grouping(members)
+        };
+        let spaced = crate::patterns::spaced(&c.name);
+        let examples = instance_values(onto, kb, mapping, c.id, max_examples);
+        out.push(EntityDef {
+            concept: c.id,
+            name: c.name.clone(),
+            kind,
+            examples,
+            synonyms: synonyms.synonyms_of(&spaced).to_vec(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig2_fixture;
+
+    #[test]
+    fn every_concept_becomes_an_entity() {
+        let (onto, kb, mapping) = fig2_fixture();
+        let entities = extract_entities(&onto, &kb, &mapping, &SynonymDict::new(), 10);
+        assert_eq!(entities.len(), onto.concept_count());
+    }
+
+    #[test]
+    fn union_parent_is_grouping_entity() {
+        let (onto, kb, mapping) = fig2_fixture();
+        let entities = extract_entities(&onto, &kb, &mapping, &SynonymDict::new(), 10);
+        let risk = onto.concept_id("Risk").unwrap();
+        let e = entities.iter().find(|e| e.concept == risk).unwrap();
+        assert!(matches!(e.kind, EntityKind::Grouping(ref m) if m.len() == 2));
+    }
+
+    #[test]
+    fn drug_entity_has_instance_examples() {
+        let (onto, kb, mapping) = fig2_fixture();
+        let entities = extract_entities(&onto, &kb, &mapping, &SynonymDict::new(), 10);
+        let drug = onto.concept_id("Drug").unwrap();
+        let e = entities.iter().find(|e| e.concept == drug).unwrap();
+        assert!(e.examples.contains(&"Aspirin".to_string()));
+    }
+
+    #[test]
+    fn synonyms_are_attached() {
+        let (onto, kb, mapping) = fig2_fixture();
+        let mut dict = SynonymDict::new();
+        dict.add("Drug", &["medicine", "meds", "medication"]);
+        dict.add("Precaution", &["caution", "safe to give"]);
+        let entities = extract_entities(&onto, &kb, &mapping, &dict, 10);
+        let drug = onto.concept_id("Drug").unwrap();
+        let e = entities.iter().find(|e| e.concept == drug).unwrap();
+        assert_eq!(e.synonyms.len(), 3);
+    }
+
+    #[test]
+    fn synonym_dict_merging_and_lookup() {
+        let mut dict = SynonymDict::new();
+        dict.add("Adverse Effect", &["side effect"]);
+        dict.add("Adverse Effect", &["adverse reaction", "side effect"]);
+        assert_eq!(dict.synonyms_of("adverse effect").len(), 2, "deduplicated");
+        assert!(dict.synonyms_of("unknown").is_empty());
+        assert_eq!(dict.len(), 1);
+    }
+
+    #[test]
+    fn example_limit_respected() {
+        let (onto, kb, mapping) = fig2_fixture();
+        let entities = extract_entities(&onto, &kb, &mapping, &SynonymDict::new(), 1);
+        for e in &entities {
+            assert!(e.examples.len() <= 1);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Intent generation: grounding intents on the extracted query patterns
+//! (paper §4.2).
+//!
+//! Each lookup group (a dependent concept plus its union/inheritance
+//! expansions) becomes one intent; each direct relationship direction and
+//! each indirect pattern becomes one intent. Intent names are derived from
+//! the pattern structure and can be renamed by SME feedback.
+
+use obcs_ontology::{ConceptId, Ontology};
+use serde::{Deserialize, Serialize};
+
+use crate::patterns::{PatternKind, QueryPattern};
+
+/// Stable identifier of an intent within one conversation space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IntentId(pub u32);
+
+/// What an intent asks the system to do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IntentGoal {
+    /// A domain query intent, grounded in one or more query patterns (the
+    /// augmented patterns of a union/inheritance dependent share the
+    /// intent).
+    Query(Vec<QueryPattern>),
+    /// A keyword-style intent for utterances mentioning only an entity of
+    /// this concept (paper §6.1, DRUG_GENERAL).
+    EntityOnly(ConceptId),
+    /// A domain-independent conversation-management intent (paper §5.2
+    /// step 3); handled by the dialogue layer.
+    ConversationManagement,
+}
+
+/// One intent of the conversation space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Intent {
+    pub id: IntentId,
+    /// Unique name, e.g. `Precautions of Drug`.
+    pub name: String,
+    pub goal: IntentGoal,
+    /// Entities the intent logically depends on; the dialogue must elicit
+    /// missing ones (slot filling).
+    pub required_entities: Vec<ConceptId>,
+    /// Entities captured when present but never elicited.
+    pub optional_entities: Vec<ConceptId>,
+    /// Template for the agent's fulfilment response; `{topic}`, `{entities}`
+    /// and `{results}` are substituted by the dialogue layer.
+    pub response_template: String,
+}
+
+impl Intent {
+    /// The patterns grounding this intent (empty for non-query intents).
+    pub fn patterns(&self) -> &[QueryPattern] {
+        match &self.goal {
+            IntentGoal::Query(ps) => ps,
+            _ => &[],
+        }
+    }
+
+    /// Whether this intent is a domain query.
+    pub fn is_query(&self) -> bool {
+        matches!(self.goal, IntentGoal::Query(_))
+    }
+}
+
+/// Derives an intent name from a pattern group.
+pub fn intent_name(onto: &Ontology, group: &[QueryPattern]) -> String {
+    let lead = &group[0];
+    match lead.kind {
+        PatternKind::Lookup => format!(
+            "{} of {}",
+            pluralish(&lead.topic),
+            onto.concept_name(lead.required[0])
+        ),
+        PatternKind::DirectRelationship => format!(
+            "{} That {} {}",
+            pluralish(&lead.topic),
+            title_case(lead.relation_phrase.as_deref().unwrap_or("Relate To")),
+            onto.concept_name(lead.required[0])
+        ),
+        PatternKind::InverseRelationship => format!(
+            "{} {} {}",
+            pluralish(&lead.topic),
+            title_case(lead.relation_phrase.as_deref().unwrap_or("Related To")),
+            onto.concept_name(lead.required[0])
+        ),
+        PatternKind::IndirectRelationship => {
+            if lead.required.len() == 1 {
+                format!(
+                    "{} and {} for {}",
+                    pluralish(&lead.topic),
+                    lead.intermediates
+                        .iter()
+                        .map(|&c| onto.concept_name(c))
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                    onto.concept_name(lead.required[0])
+                )
+            } else {
+                format!(
+                    "{} of {} for {}",
+                    pluralish(&lead.topic),
+                    onto.concept_name(lead.required[0]),
+                    onto.concept_name(lead.required[1])
+                )
+            }
+        }
+    }
+}
+
+/// Builds intents from pattern groups. Lookup groups arrive as-is; each
+/// relationship pattern is its own group of one.
+pub fn build_intents(
+    onto: &Ontology,
+    lookup_groups: Vec<Vec<QueryPattern>>,
+    relationship_patterns: Vec<QueryPattern>,
+    next_id: &mut u32,
+) -> Vec<Intent> {
+    let mut intents = Vec::new();
+    let mut push = |group: Vec<QueryPattern>, intents: &mut Vec<Intent>| {
+        if group.is_empty() {
+            return;
+        }
+        let name = intent_name(onto, &group);
+        let required = group[0].required.clone();
+        let topic = group[0].topic.clone();
+        let id = IntentId(*next_id);
+        *next_id += 1;
+        intents.push(Intent {
+            id,
+            name,
+            required_entities: required,
+            optional_entities: Vec::new(),
+            response_template: format!(
+                "Here are the {} for {{entities}}:\n{{results}}",
+                pluralish(&topic)
+            ),
+            goal: IntentGoal::Query(group),
+        });
+    };
+    for group in lookup_groups {
+        push(group, &mut intents);
+    }
+    for pattern in relationship_patterns {
+        push(vec![pattern], &mut intents);
+    }
+    // Deduplicate names deterministically by suffixing.
+    let mut seen: Vec<String> = Vec::new();
+    for intent in &mut intents {
+        if seen.contains(&intent.name) {
+            let mut n = 2;
+            while seen.contains(&format!("{} ({n})", intent.name)) {
+                n += 1;
+            }
+            intent.name = format!("{} ({n})", intent.name);
+        }
+        seen.push(intent.name.clone());
+    }
+    intents
+}
+
+/// Builds the keyword-style entity-only intent for a popular concept
+/// (paper §6.1: DRUG_GENERAL).
+pub fn entity_only_intent(onto: &Ontology, concept: ConceptId, next_id: &mut u32) -> Intent {
+    let id = IntentId(*next_id);
+    *next_id += 1;
+    let name = format!("{}_GENERAL", onto.concept_name(concept).to_uppercase());
+    Intent {
+        id,
+        name,
+        goal: IntentGoal::EntityOnly(concept),
+        required_entities: vec![concept],
+        optional_entities: Vec::new(),
+        response_template: format!(
+            "Would you like to see the {{proposal}} of {{entities}}? \
+             ({} details available)",
+            onto.concept_name(concept)
+        ),
+    }
+}
+
+/// Naive pluralisation for intent names ("Precaution" → "Precautions").
+fn pluralish(word: &str) -> String {
+    if word.ends_with('s') || word.ends_with("(s)") {
+        word.to_string()
+    } else {
+        format!("{word}s")
+    }
+}
+
+fn title_case(phrase: &str) -> String {
+    phrase
+        .split_whitespace()
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::{
+        identify_dependent_concepts, identify_key_concepts, KeyConceptConfig,
+    };
+    use crate::patterns::{
+        direct_relationship_patterns, indirect_relationship_patterns, lookup_patterns,
+    };
+    use crate::testutil::fig2_fixture;
+    use obcs_kb::stats::CategoricalPolicy;
+
+    fn intents() -> (Ontology, Vec<Intent>) {
+        let (onto, kb, mapping) = fig2_fixture();
+        let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
+        let deps = identify_dependent_concepts(
+            &onto,
+            &kb,
+            &mapping,
+            &keys,
+            CategoricalPolicy::default(),
+        );
+        let lookups = lookup_patterns(&onto, &deps);
+        let mut rels = direct_relationship_patterns(&onto, &keys);
+        rels.extend(indirect_relationship_patterns(&onto, &keys, 2));
+        let mut next = 0;
+        let out = build_intents(&onto, lookups, rels, &mut next);
+        (onto, out)
+    }
+
+    #[test]
+    fn intent_ids_are_unique_and_sequential() {
+        let (_, intents) = intents();
+        for (i, intent) in intents.iter().enumerate() {
+            assert_eq!(intent.id, IntentId(i as u32));
+        }
+    }
+
+    #[test]
+    fn intent_names_are_unique() {
+        let (_, intents) = intents();
+        let mut names: Vec<&str> = intents.iter().map(|i| i.name.as_str()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn lookup_intent_requires_its_key_concept() {
+        let (onto, intents) = intents();
+        let drug = onto.concept_id("Drug").unwrap();
+        let prec_intent = intents
+            .iter()
+            .find(|i| i.name == "Precautions of Drug")
+            .expect("precaution intent exists");
+        assert_eq!(prec_intent.required_entities, vec![drug]);
+        assert_eq!(prec_intent.patterns().len(), 1);
+    }
+
+    #[test]
+    fn union_group_is_one_intent_with_three_patterns() {
+        let (onto, intents) = intents();
+        let risk = onto.concept_id("Risk").unwrap();
+        let risk_intent = intents
+            .iter()
+            .find(|i| i.patterns().first().map(|p| p.focus) == Some(risk))
+            .expect("risk intent");
+        assert_eq!(risk_intent.patterns().len(), 3);
+        assert_eq!(risk_intent.name, "Risks of Drug");
+    }
+
+    #[test]
+    fn relationship_intent_names() {
+        let (_, intents) = intents();
+        let names: Vec<&str> = intents.iter().map(|i| i.name.as_str()).collect();
+        assert!(names.contains(&"Drugs That Treats Indication"), "names: {names:?}");
+        assert!(names.contains(&"Indications Is Treated By Drug"), "names: {names:?}");
+    }
+
+    #[test]
+    fn entity_only_intent_shape() {
+        let (onto, _) = intents();
+        let drug = onto.concept_id("Drug").unwrap();
+        let mut next = 100;
+        let intent = entity_only_intent(&onto, drug, &mut next);
+        assert_eq!(intent.name, "DRUG_GENERAL");
+        assert_eq!(intent.id, IntentId(100));
+        assert!(!intent.is_query());
+        assert_eq!(intent.required_entities, vec![drug]);
+        assert_eq!(next, 101);
+    }
+
+    #[test]
+    fn pluralish_behaviour() {
+        assert_eq!(pluralish("Precaution"), "Precautions");
+        assert_eq!(pluralish("Precautions"), "Precautions");
+    }
+}

@@ -1,0 +1,50 @@
+//! # obcs-core
+//!
+//! The paper's primary contribution: **bootstrapping a conversation space
+//! from a domain ontology** (SIGMOD'20, §4). Given a domain ontology and
+//! the knowledge base it describes, this crate automatically derives every
+//! artifact a conversation system needs:
+//!
+//! * **Key concepts** (§4.2.1) — centrality analysis over the ontology
+//!   graph plus statistical segregation picks the standalone domain
+//!   entities users ask about ([`concepts`]).
+//! * **Dependent concepts** — neighbourhood concepts whose instance data
+//!   behaves categorically, describing attributes of a key concept; union
+//!   and inheritance semantics are detected and handled ([`concepts`]).
+//! * **Query patterns** (§4.2.1, Figs. 3–6) — lookup patterns (with
+//!   union/inheritance augmentation), direct relationship patterns
+//!   (forward and inverse), and indirect multi-hop relationship patterns
+//!   ([`patterns`]).
+//! * **Intents** — one per pattern family, with required/optional entities
+//!   and response templates ([`intents`]).
+//! * **Training examples** (§4.3, Figs. 7–8) — generated from paraphrase
+//!   frames × KB instance values, with SME augmentation from prior user
+//!   queries ([`training`]).
+//! * **Entities and synonyms** (§4.5, Tables 1–2) — ontology concepts,
+//!   hierarchy groupings, instance values, and domain synonym dictionaries
+//!   ([`entities`]).
+//! * **Structured query templates** (§4.4, Fig. 9) — one parameterised SQL
+//!   template per pattern, produced through the NLQ service ([`templates`]).
+//! * **SME feedback** (§4.2.2) — programmatic refinement: extra patterns,
+//!   pruning, intent renames, labelled prior queries, synonyms ([`sme`]).
+//!
+//! The orchestration entry point is [`bootstrap`], which produces a
+//! [`ConversationSpace`].
+
+pub mod concepts;
+pub mod entities;
+pub mod intents;
+pub mod patterns;
+pub mod sme;
+pub mod sme_format;
+pub mod space;
+pub mod templates;
+pub mod testutil;
+pub mod training;
+
+pub use concepts::{ConceptRole, DependentConcept, DependentSemantics, KeyConceptConfig};
+pub use intents::{Intent, IntentId};
+pub use patterns::{PatternKind, QueryPattern};
+pub use sme::SmeFeedback;
+pub use space::{bootstrap, BootstrapConfig, ConversationSpace};
+pub use training::TrainingExample;

@@ -1,0 +1,389 @@
+//! Query-pattern extraction from the domain ontology (paper §4.2.1,
+//! Figures 3–6).
+//!
+//! Three pattern families are extracted around the identified key and
+//! dependent concepts:
+//!
+//! * **Lookup** — information about a key concept with reference to a
+//!   dependent concept ("Show me the Precautions for \<@Drug>?"). When the
+//!   dependent concept is a union or inheritance parent, the pattern is
+//!   augmented with one pattern per member/child, all grouped under a
+//!   single intent (Fig. 4).
+//! * **Direct relationship** — pairs of key concepts connected by a
+//!   one-hop relationship, one pattern per direction (forward verbalised
+//!   with the relationship name, inverse with its inverse name; Fig. 5).
+//! * **Indirect relationship** — pairs of key concepts connected via
+//!   multi-hop paths through intermediate concepts; two patterns per path,
+//!   one projecting the endpoints and one projecting the intermediate
+//!   (Fig. 6).
+
+use obcs_ontology::graph::{paths_up_to, EdgeFilter, Path};
+use obcs_ontology::{ConceptId, Ontology};
+use serde::{Deserialize, Serialize};
+
+use crate::concepts::{DependentConcept, DependentSemantics};
+
+/// The family a query pattern belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    Lookup,
+    DirectRelationship,
+    InverseRelationship,
+    IndirectRelationship,
+}
+
+/// One extracted query pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryPattern {
+    pub kind: PatternKind,
+    /// The concept whose information the query projects.
+    pub focus: ConceptId,
+    /// Filter slots: concepts whose instance must be supplied (required
+    /// entities of the intent).
+    pub required: Vec<ConceptId>,
+    /// Intermediate concepts on the relationship path (indirect patterns).
+    pub intermediates: Vec<ConceptId>,
+    /// Verbalisation of the relationship ("treats" / "is treated by").
+    pub relation_phrase: Option<String>,
+    /// The display phrase of the requested information (dependent-concept
+    /// name for lookups, focus name otherwise), already space-separated.
+    pub topic: String,
+    /// For augmented patterns: the abstract parent this pattern was derived
+    /// from (the union/inheritance dependent).
+    pub derived_from: Option<ConceptId>,
+}
+
+impl QueryPattern {
+    /// Renders the canonical pattern phrase shown in the paper's figures,
+    /// e.g. `Show me the Precautions for <@Drug>?`.
+    pub fn render(&self, onto: &Ontology) -> String {
+        match self.kind {
+            PatternKind::Lookup => format!(
+                "Show me the {} for <@{}>?",
+                self.topic,
+                onto.concept_name(self.required[0])
+            ),
+            PatternKind::DirectRelationship => format!(
+                "What {} {} <@{}>?",
+                self.topic,
+                self.relation_phrase.as_deref().unwrap_or("relates to"),
+                onto.concept_name(self.required[0])
+            ),
+            PatternKind::InverseRelationship => format!(
+                "What {} {} <@{}>?",
+                self.topic,
+                self.relation_phrase.as_deref().unwrap_or("is related to"),
+                onto.concept_name(self.required[0])
+            ),
+            PatternKind::IndirectRelationship => {
+                let inter = self
+                    .intermediates
+                    .iter()
+                    .map(|&c| spaced(onto.concept_name(c)))
+                    .collect::<Vec<_>>()
+                    .join(" and ");
+                match self.required.len() {
+                    1 => format!(
+                        "Give me the {} and its {} that {} <@{}>?",
+                        self.topic,
+                        inter,
+                        self.relation_phrase.as_deref().unwrap_or("relates to"),
+                        onto.concept_name(self.required[0])
+                    ),
+                    _ => format!(
+                        "Give me the {} for <@{}> that {} <@{}>?",
+                        inter,
+                        onto.concept_name(self.required[0]),
+                        self.relation_phrase.as_deref().unwrap_or("relates to"),
+                        onto.concept_name(self.required[1])
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// `DrugFoodInteraction` → `Drug Food Interaction`.
+pub fn spaced(name: &str) -> String {
+    obcs_nlq::annotate::split_camel(name)
+}
+
+/// Extracts lookup patterns: one per (key, dependent) pair, augmented for
+/// union/inheritance dependents. Returns groups — each group is the set of
+/// patterns that share one intent (Fig. 4: the union parent's pattern plus
+/// one per member).
+pub fn lookup_patterns(
+    onto: &Ontology,
+    dependents: &[DependentConcept],
+) -> Vec<Vec<QueryPattern>> {
+    let mut groups = Vec::new();
+    for dep in dependents {
+        let mut group = Vec::new();
+        let base = QueryPattern {
+            kind: PatternKind::Lookup,
+            focus: dep.concept,
+            required: vec![dep.of_key],
+            intermediates: Vec::new(),
+            relation_phrase: None,
+            topic: spaced(onto.concept_name(dep.concept)),
+            derived_from: None,
+        };
+        group.push(base);
+        let expansions: &[ConceptId] = match &dep.semantics {
+            DependentSemantics::Plain => &[],
+            DependentSemantics::Union(members) => members,
+            DependentSemantics::Inheritance(children) => children,
+        };
+        for &member in expansions {
+            group.push(QueryPattern {
+                kind: PatternKind::Lookup,
+                focus: member,
+                required: vec![dep.of_key],
+                intermediates: Vec::new(),
+                relation_phrase: None,
+                topic: spaced(onto.concept_name(member)),
+                derived_from: Some(dep.concept),
+            });
+        }
+        groups.push(group);
+    }
+    groups
+}
+
+/// Extracts direct relationship patterns between pairs of key concepts:
+/// a forward and (when an inverse verbalisation exists) an inverse pattern
+/// per one-hop relationship (Fig. 5). Each direction is its own intent.
+pub fn direct_relationship_patterns(
+    onto: &Ontology,
+    key_concepts: &[ConceptId],
+) -> Vec<QueryPattern> {
+    let mut out = Vec::new();
+    for op in onto.object_properties() {
+        if op.kind.is_hierarchical() {
+            continue;
+        }
+        if !key_concepts.contains(&op.source) || !key_concepts.contains(&op.target) {
+            continue;
+        }
+        if op.source == op.target {
+            continue;
+        }
+        // Forward: "What Drug treats <@Indication>?" — projects the source,
+        // filters on the target.
+        out.push(QueryPattern {
+            kind: PatternKind::DirectRelationship,
+            focus: op.source,
+            required: vec![op.target],
+            intermediates: Vec::new(),
+            relation_phrase: Some(op.name.clone()),
+            topic: spaced(onto.concept_name(op.source)),
+            derived_from: None,
+        });
+        // Inverse: "What Indications are treated by <@Drug>?" — projects
+        // the target, filters on the source.
+        if let Some(inverse) = &op.inverse_name {
+            out.push(QueryPattern {
+                kind: PatternKind::InverseRelationship,
+                focus: op.target,
+                required: vec![op.source],
+                intermediates: Vec::new(),
+                relation_phrase: Some(inverse.clone()),
+                topic: spaced(onto.concept_name(op.target)),
+                derived_from: None,
+            });
+        }
+    }
+    out
+}
+
+/// Extracts indirect relationship patterns: pairs of key concepts
+/// connected by a 2..=`max_hops`-hop path of domain relationships whose
+/// interior nodes are not key concepts. Two patterns per (pair, path):
+/// pattern 1 projects the focus + intermediate filtered by the far key;
+/// pattern 2 projects the intermediate filtered by both keys (Fig. 6).
+pub fn indirect_relationship_patterns(
+    onto: &Ontology,
+    key_concepts: &[ConceptId],
+    max_hops: usize,
+) -> Vec<QueryPattern> {
+    let mut out = Vec::new();
+    for (i, &a) in key_concepts.iter().enumerate() {
+        for &b in key_concepts.iter().skip(i + 1) {
+            for path in paths_up_to(onto, a, b, max_hops, EdgeFilter::DomainOnly) {
+                if path.len() < 2 {
+                    continue;
+                }
+                let concepts = path.concepts(onto);
+                let interior = &concepts[1..concepts.len() - 1];
+                if interior.iter().any(|c| key_concepts.contains(c)) {
+                    continue; // covered by shorter patterns around that key
+                }
+                let relation = relation_of_path(onto, &path);
+                // Pattern 1: "Give me the Drug and its Dosage that treats
+                // <@Indication>" — focus a, filter b.
+                out.push(QueryPattern {
+                    kind: PatternKind::IndirectRelationship,
+                    focus: a,
+                    required: vec![b],
+                    intermediates: interior.to_vec(),
+                    relation_phrase: relation.clone(),
+                    topic: spaced(onto.concept_name(a)),
+                    derived_from: None,
+                });
+                // Pattern 2: "Give me the Dosage for <@Drug> that treats
+                // <@Indication>" — focus the (first) intermediate, filter
+                // both keys.
+                out.push(QueryPattern {
+                    kind: PatternKind::IndirectRelationship,
+                    focus: interior[0],
+                    required: vec![a, b],
+                    intermediates: interior.to_vec(),
+                    relation_phrase: relation,
+                    topic: spaced(onto.concept_name(interior[0])),
+                    derived_from: None,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A human phrase for the path's relationship: the name of its last hop
+/// (the hop that reaches the far key concept).
+fn relation_of_path(onto: &Ontology, path: &Path) -> Option<String> {
+    path.hops
+        .last()
+        .map(|h| onto.object_property(h.property).name.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::{
+        identify_dependent_concepts, identify_key_concepts, KeyConceptConfig,
+    };
+    use obcs_kb::stats::CategoricalPolicy;
+    use obcs_ontology::OntologyBuilder;
+
+    fn fig2() -> (Ontology, Vec<ConceptId>, Vec<DependentConcept>) {
+        let (onto, kb, mapping) = crate::testutil::fig2_fixture();
+        let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
+        let deps = identify_dependent_concepts(
+            &onto,
+            &kb,
+            &mapping,
+            &keys,
+            CategoricalPolicy::default(),
+        );
+        (onto, keys, deps)
+    }
+
+    #[test]
+    fn lookup_pattern_renders_like_figure3() {
+        let (onto, _, deps) = fig2();
+        let groups = lookup_patterns(&onto, &deps);
+        let rendered: Vec<String> = groups
+            .iter()
+            .flat_map(|g| g.iter().map(|p| p.render(&onto)))
+            .collect();
+        assert!(
+            rendered.contains(&"Show me the Precaution for <@Drug>?".to_string()),
+            "rendered: {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn union_dependent_is_augmented_like_figure4() {
+        let (onto, _, deps) = fig2();
+        let groups = lookup_patterns(&onto, &deps);
+        let risk = onto.concept_id("Risk").unwrap();
+        let group = groups
+            .iter()
+            .find(|g| g[0].focus == risk)
+            .expect("risk lookup group");
+        assert_eq!(group.len(), 3, "parent + two members");
+        let topics: Vec<&str> = group.iter().map(|p| p.topic.as_str()).collect();
+        assert!(topics.contains(&"Contra Indication"));
+        assert!(topics.contains(&"Black Box Warning"));
+        assert_eq!(group[1].derived_from, Some(risk));
+        // All share the same required key concept.
+        assert!(group.iter().all(|p| p.required == group[0].required));
+    }
+
+    #[test]
+    fn inheritance_dependent_is_augmented() {
+        let (onto, _, deps) = fig2();
+        let groups = lookup_patterns(&onto, &deps);
+        let di = onto.concept_id("DrugInteraction").unwrap();
+        let group = groups.iter().find(|g| g[0].focus == di).expect("interaction group");
+        assert_eq!(group.len(), 3);
+    }
+
+    #[test]
+    fn direct_patterns_have_forward_and_inverse() {
+        let (onto, keys, _) = fig2();
+        let pats = direct_relationship_patterns(&onto, &keys);
+        let drug = onto.concept_id("Drug").unwrap();
+        let ind = onto.concept_id("Indication").unwrap();
+        let fwd = pats
+            .iter()
+            .find(|p| p.kind == PatternKind::DirectRelationship)
+            .expect("forward pattern");
+        assert_eq!(fwd.focus, drug);
+        assert_eq!(fwd.required, vec![ind]);
+        assert_eq!(fwd.render(&onto), "What Drug treats <@Indication>?");
+        let inv = pats
+            .iter()
+            .find(|p| p.kind == PatternKind::InverseRelationship)
+            .expect("inverse pattern");
+        assert_eq!(inv.focus, ind);
+        assert_eq!(inv.render(&onto), "What Indication is treated by <@Drug>?");
+    }
+
+    #[test]
+    fn indirect_patterns_via_dosage_like_figure6() {
+        let (onto, keys, _) = fig2();
+        let pats = indirect_relationship_patterns(&onto, &keys, 2);
+        let dosage = onto.concept_id("Dosage").unwrap();
+        assert_eq!(pats.len(), 2, "one 2-hop path → two patterns, got {pats:?}");
+        assert!(pats.iter().any(|p| p.focus == dosage && p.required.len() == 2));
+        assert!(pats
+            .iter()
+            .any(|p| p.intermediates == vec![dosage] && p.required.len() == 1));
+    }
+
+    #[test]
+    fn indirect_skips_paths_through_key_concepts() {
+        // A - K - B where all three are key: interior K blocks the pattern.
+        let onto = OntologyBuilder::new("t")
+            .relation("r1", "A", "K")
+            .relation("r2", "K", "B")
+            .build()
+            .unwrap();
+        let a = onto.concept_id("A").unwrap();
+        let k = onto.concept_id("K").unwrap();
+        let b = onto.concept_id("B").unwrap();
+        let pats = indirect_relationship_patterns(&onto, &[a, k, b], 2);
+        assert!(pats.is_empty());
+        // Without K as key, the path is admissible.
+        let pats = indirect_relationship_patterns(&onto, &[a, b], 2);
+        assert_eq!(pats.len(), 2);
+    }
+
+    #[test]
+    fn self_relationships_are_skipped_in_direct_patterns() {
+        let mut builder = OntologyBuilder::new("t").relation("r", "A", "B");
+        builder = builder.relation("interactsWith", "A", "A");
+        let onto = builder.build().unwrap();
+        let a = onto.concept_id("A").unwrap();
+        let b = onto.concept_id("B").unwrap();
+        let pats = direct_relationship_patterns(&onto, &[a, b]);
+        assert_eq!(pats.len(), 1, "self-loop produces no pattern");
+    }
+
+    #[test]
+    fn spaced_names() {
+        assert_eq!(spaced("BlackBoxWarning"), "Black Box Warning");
+        assert_eq!(spaced("Drug"), "Drug");
+    }
+}

@@ -1,0 +1,283 @@
+//! SME feedback integration (paper §4.2.2, §4.3.2).
+//!
+//! Subject-matter experts refine the bootstrapped conversation space
+//! through a declarative feedback object: extra query patterns annotated on
+//! the ontology, pruning of unrealistic patterns, intent renames, labelled
+//! prior user queries as additional training examples, and synonym
+//! additions. Feedback is applied after automatic extraction and before
+//! template/training generation is finalised.
+
+use obcs_ontology::{ConceptId, Ontology};
+use serde::{Deserialize, Serialize};
+
+use crate::entities::SynonymDict;
+use crate::intents::{Intent, IntentGoal};
+use crate::patterns::QueryPattern;
+use crate::training::{ExampleSource, TrainingExample};
+
+/// A labelled prior user query supplied by an SME (Fig. 8 augmentation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelledQuery {
+    /// Intent name the query belongs to (resolved against intent names
+    /// after renames).
+    pub intent_name: String,
+    pub text: String,
+}
+
+/// Declarative SME feedback on a bootstrapped space.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SmeFeedback {
+    /// Intents to remove entirely (unrealistic patterns, §4.2.2).
+    pub pruned_intents: Vec<String>,
+    /// Intent renames: (generated name, product name).
+    pub renames: Vec<(String, String)>,
+    /// Additional query patterns to append, grouped into new intents:
+    /// (intent name, patterns).
+    pub additional_intents: Vec<(String, Vec<QueryPattern>)>,
+    /// Prior user queries labelled with intents.
+    pub labelled_queries: Vec<LabelledQuery>,
+    /// Synonym additions (canonical phrase, synonyms).
+    pub synonyms: Vec<(String, Vec<String>)>,
+    /// Concepts that deserve an entity-only keyword intent (§6.1).
+    pub entity_only_concepts: Vec<ConceptId>,
+    /// Conversation-management intents to register in the space: (name,
+    /// response template). The dialogue layer handles their behaviour;
+    /// registering them here makes them part of the classifier's label
+    /// space (the paper's 14 management intents, §6.1).
+    pub management_intents: Vec<(String, String)>,
+}
+
+impl SmeFeedback {
+    pub fn new() -> Self {
+        SmeFeedback::default()
+    }
+
+    /// Marks an intent for pruning.
+    pub fn prune(mut self, intent_name: &str) -> Self {
+        self.pruned_intents.push(intent_name.to_string());
+        self
+    }
+
+    /// Renames a generated intent.
+    pub fn rename(mut self, from: &str, to: &str) -> Self {
+        self.renames.push((from.to_string(), to.to_string()));
+        self
+    }
+
+    /// Adds a labelled prior user query.
+    pub fn labelled_query(mut self, intent_name: &str, text: &str) -> Self {
+        self.labelled_queries.push(LabelledQuery {
+            intent_name: intent_name.to_string(),
+            text: text.to_string(),
+        });
+        self
+    }
+
+    /// Adds synonyms for a canonical phrase.
+    pub fn synonym(mut self, canonical: &str, synonyms: &[&str]) -> Self {
+        self.synonyms.push((
+            canonical.to_string(),
+            synonyms.iter().map(|s| s.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Requests an entity-only intent for a concept.
+    pub fn entity_only(mut self, concept: ConceptId) -> Self {
+        self.entity_only_concepts.push(concept);
+        self
+    }
+
+    /// Adds a new intent from SME-identified patterns.
+    pub fn additional_intent(mut self, name: &str, patterns: Vec<QueryPattern>) -> Self {
+        self.additional_intents.push((name.to_string(), patterns));
+        self
+    }
+
+    /// Registers a conversation-management intent.
+    pub fn management_intent(mut self, name: &str, response: &str) -> Self {
+        self.management_intents
+            .push((name.to_string(), response.to_string()));
+        self
+    }
+
+    /// Applies pruning, renames and additional intents to the intent list.
+    /// Returns the names of pruned intents that did not exist (for
+    /// diagnostics).
+    pub fn apply_to_intents(
+        &self,
+        intents: &mut Vec<Intent>,
+        next_id: &mut u32,
+        _onto: &Ontology,
+    ) -> Vec<String> {
+        let mut missing = Vec::new();
+        for name in &self.pruned_intents {
+            let before = intents.len();
+            intents.retain(|i| &i.name != name);
+            if intents.len() == before {
+                missing.push(name.clone());
+            }
+        }
+        for (from, to) in &self.renames {
+            match intents.iter_mut().find(|i| &i.name == from) {
+                Some(i) => i.name = to.clone(),
+                None => missing.push(from.clone()),
+            }
+        }
+        for (name, response) in &self.management_intents {
+            let id = crate::intents::IntentId(*next_id);
+            *next_id += 1;
+            intents.push(Intent {
+                id,
+                name: name.clone(),
+                goal: IntentGoal::ConversationManagement,
+                required_entities: Vec::new(),
+                optional_entities: Vec::new(),
+                response_template: response.clone(),
+            });
+        }
+        for (name, patterns) in &self.additional_intents {
+            if patterns.is_empty() {
+                continue;
+            }
+            let required = patterns[0].required.clone();
+            let topic = patterns[0].topic.clone();
+            let id = crate::intents::IntentId(*next_id);
+            *next_id += 1;
+            intents.push(Intent {
+                id,
+                name: name.clone(),
+                required_entities: required,
+                optional_entities: Vec::new(),
+                response_template: format!(
+                    "Here are the {}{} for {{entities}}:\n{{results}}",
+                    topic,
+                    if topic.ends_with('s') { "" } else { "s" }
+                ),
+                goal: IntentGoal::Query(patterns.clone()),
+            });
+        }
+        missing
+    }
+
+    /// Converts the labelled prior queries into training examples. Queries
+    /// whose intent name does not resolve are returned in the error list.
+    pub fn training_examples(
+        &self,
+        intents: &[Intent],
+    ) -> (Vec<TrainingExample>, Vec<LabelledQuery>) {
+        let mut out = Vec::new();
+        let mut unresolved = Vec::new();
+        for q in &self.labelled_queries {
+            match intents.iter().find(|i| i.name == q.intent_name) {
+                Some(i) => out.push(TrainingExample {
+                    text: q.text.clone(),
+                    intent: i.id,
+                    source: ExampleSource::SmeAugmented,
+                }),
+                None => unresolved.push(q.clone()),
+            }
+        }
+        (out, unresolved)
+    }
+
+    /// Merges the synonym additions into a dictionary.
+    pub fn apply_synonyms(&self, dict: &mut SynonymDict) {
+        for (canonical, synonyms) in &self.synonyms {
+            let refs: Vec<&str> = synonyms.iter().map(String::as_str).collect();
+            dict.add(canonical.clone(), &refs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intents::IntentId;
+    use crate::patterns::PatternKind;
+    use crate::testutil::fig2_fixture;
+
+    fn dummy_intent(id: u32, name: &str) -> Intent {
+        Intent {
+            id: IntentId(id),
+            name: name.to_string(),
+            goal: IntentGoal::ConversationManagement,
+            required_entities: Vec::new(),
+            optional_entities: Vec::new(),
+            response_template: String::new(),
+        }
+    }
+
+    #[test]
+    fn pruning_removes_and_reports_missing() {
+        let (onto, _, _) = fig2_fixture();
+        let mut intents = vec![dummy_intent(0, "keep"), dummy_intent(1, "drop")];
+        let fb = SmeFeedback::new().prune("drop").prune("ghost");
+        let mut next = 2;
+        let missing = fb.apply_to_intents(&mut intents, &mut next, &onto);
+        assert_eq!(intents.len(), 1);
+        assert_eq!(intents[0].name, "keep");
+        assert_eq!(missing, vec!["ghost".to_string()]);
+    }
+
+    #[test]
+    fn rename_applies() {
+        let (onto, _, _) = fig2_fixture();
+        let mut intents = vec![dummy_intent(0, "Precautions of Drug")];
+        let fb = SmeFeedback::new().rename("Precautions of Drug", "Drug Precautions");
+        let mut next = 1;
+        fb.apply_to_intents(&mut intents, &mut next, &onto);
+        assert_eq!(intents[0].name, "Drug Precautions");
+    }
+
+    #[test]
+    fn additional_intent_gets_fresh_id() {
+        let (onto, _, _) = fig2_fixture();
+        let drug = onto.concept_id("Drug").unwrap();
+        let ind = onto.concept_id("Indication").unwrap();
+        let pattern = QueryPattern {
+            kind: PatternKind::Lookup,
+            focus: ind,
+            required: vec![drug],
+            intermediates: vec![],
+            relation_phrase: None,
+            topic: "Uses".into(),
+            derived_from: None,
+        };
+        let mut intents = vec![dummy_intent(0, "existing")];
+        let fb = SmeFeedback::new().additional_intent("Uses of Drug", vec![pattern]);
+        let mut next = 1;
+        fb.apply_to_intents(&mut intents, &mut next, &onto);
+        assert_eq!(intents.len(), 2);
+        assert_eq!(intents[1].id, IntentId(1));
+        assert_eq!(next, 2);
+        assert!(intents[1].is_query());
+    }
+
+    #[test]
+    fn labelled_queries_resolve_after_rename() {
+        let (onto, _, _) = fig2_fixture();
+        let mut intents = vec![dummy_intent(0, "Precautions of Drug")];
+        let fb = SmeFeedback::new()
+            .rename("Precautions of Drug", "Drug Precautions")
+            .labelled_query("Drug Precautions", "is aspirin safe to give")
+            .labelled_query("Nonexistent", "hello");
+        let mut next = 1;
+        fb.apply_to_intents(&mut intents, &mut next, &onto);
+        let (examples, unresolved) = fb.training_examples(&intents);
+        assert_eq!(examples.len(), 1);
+        assert_eq!(examples[0].source, ExampleSource::SmeAugmented);
+        assert_eq!(unresolved.len(), 1);
+    }
+
+    #[test]
+    fn synonyms_merge_into_dict() {
+        let fb = SmeFeedback::new()
+            .synonym("Adverse Effect", &["side effect", "AE"])
+            .synonym("Drug", &["medication"]);
+        let mut dict = SynonymDict::new();
+        fb.apply_synonyms(&mut dict);
+        assert_eq!(dict.synonyms_of("adverse effect").len(), 2);
+        assert_eq!(dict.synonyms_of("drug").len(), 1);
+    }
+}

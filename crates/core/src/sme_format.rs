@@ -1,0 +1,333 @@
+//! A plain-text annotation format for SME feedback — the reproduction of
+//! the paper's §4.2.2 tooling that "allows SMEs to interact with our
+//! domain ontology, and mark expected query patterns as annotations".
+//!
+//! SMEs edit a text file; [`parse`] turns it into an [`SmeFeedback`]
+//! resolved against the domain ontology. One directive per line:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! prune: Dosages of Condition
+//! rename: Drug Interactions of Drug -> Drug-Drug Interactions
+//! synonym: Adverse Effect = side effect, adverse reaction, AE
+//! example: Uses of Drug :: what does aspirin do
+//! entity-only: Drug
+//! management: Greeting :: Hello. This is {agent}.
+//! pattern: Storage of Drug :: lookup Storage of Drug
+//! pattern: Drugs That Interact With Drug :: relationship Drug interactsWith Drug
+//! ```
+
+use std::fmt;
+
+use obcs_ontology::Ontology;
+
+use crate::patterns::{spaced, PatternKind, QueryPattern};
+use crate::sme::SmeFeedback;
+
+/// Errors from parsing an SME annotation file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmeFormatError {
+    /// A line had no recognised directive.
+    UnknownDirective { line: usize, text: String },
+    /// A directive was malformed.
+    Malformed { line: usize, message: String },
+    /// A pattern referenced a concept missing from the ontology.
+    UnknownConcept { line: usize, name: String },
+}
+
+impl fmt::Display for SmeFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmeFormatError::UnknownDirective { line, text } => {
+                write!(f, "line {line}: unknown directive `{text}`")
+            }
+            SmeFormatError::Malformed { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            SmeFormatError::UnknownConcept { line, name } => {
+                write!(f, "line {line}: unknown concept `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SmeFormatError {}
+
+/// Parses an SME annotation file into feedback, resolving concepts against
+/// the ontology.
+///
+/// ```
+/// let (onto, _, _) = obcs_core::testutil::fig2_fixture();
+/// let fb = obcs_core::sme_format::parse(
+///     "synonym: Drug = medicine, meds\nentity-only: Drug\n",
+///     &onto,
+/// ).unwrap();
+/// assert_eq!(fb.synonyms.len(), 1);
+/// assert_eq!(fb.entity_only_concepts.len(), 1);
+/// ```
+pub fn parse(text: &str, onto: &Ontology) -> Result<SmeFeedback, SmeFormatError> {
+    let mut fb = SmeFeedback::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((directive, rest)) = line.split_once(':') else {
+            return Err(SmeFormatError::UnknownDirective {
+                line: lineno,
+                text: line.to_string(),
+            });
+        };
+        let rest = rest.trim();
+        match directive.trim() {
+            "prune" => {
+                fb = fb.prune(rest);
+            }
+            "rename" => {
+                let (from, to) = rest.split_once("->").ok_or(SmeFormatError::Malformed {
+                    line: lineno,
+                    message: "rename needs `old -> new`".into(),
+                })?;
+                fb = fb.rename(from.trim(), to.trim());
+            }
+            "synonym" => {
+                let (canonical, list) =
+                    rest.split_once('=').ok_or(SmeFormatError::Malformed {
+                        line: lineno,
+                        message: "synonym needs `Canonical = a, b, c`".into(),
+                    })?;
+                let synonyms: Vec<&str> =
+                    list.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+                if synonyms.is_empty() {
+                    return Err(SmeFormatError::Malformed {
+                        line: lineno,
+                        message: "synonym list is empty".into(),
+                    });
+                }
+                fb = fb.synonym(canonical.trim(), &synonyms);
+            }
+            "example" => {
+                let (intent, example) =
+                    rest.split_once("::").ok_or(SmeFormatError::Malformed {
+                        line: lineno,
+                        message: "example needs `Intent Name :: utterance`".into(),
+                    })?;
+                fb = fb.labelled_query(intent.trim(), example.trim());
+            }
+            "entity-only" => {
+                let concept =
+                    onto.concept_id(rest).map_err(|_| SmeFormatError::UnknownConcept {
+                        line: lineno,
+                        name: rest.to_string(),
+                    })?;
+                fb = fb.entity_only(concept);
+            }
+            "management" => {
+                let (name, response) =
+                    rest.split_once("::").ok_or(SmeFormatError::Malformed {
+                        line: lineno,
+                        message: "management needs `Name :: response`".into(),
+                    })?;
+                fb = fb.management_intent(name.trim(), response.trim());
+            }
+            "pattern" => {
+                let (intent, spec) = rest.split_once("::").ok_or(SmeFormatError::Malformed {
+                    line: lineno,
+                    message: "pattern needs `Intent Name :: lookup|relationship …`".into(),
+                })?;
+                let pattern = parse_pattern(spec.trim(), onto, lineno)?;
+                fb = fb.additional_intent(intent.trim(), vec![pattern]);
+            }
+            other => {
+                return Err(SmeFormatError::UnknownDirective {
+                    line: lineno,
+                    text: other.to_string(),
+                })
+            }
+        }
+    }
+    Ok(fb)
+}
+
+/// `lookup Focus of Key` | `relationship Focus relName Required`
+fn parse_pattern(
+    spec: &str,
+    onto: &Ontology,
+    lineno: usize,
+) -> Result<QueryPattern, SmeFormatError> {
+    let resolve = |name: &str| {
+        onto.concept_id(name).map_err(|_| SmeFormatError::UnknownConcept {
+            line: lineno,
+            name: name.to_string(),
+        })
+    };
+    let tokens: Vec<&str> = spec.split_whitespace().collect();
+    match tokens.as_slice() {
+        ["lookup", focus, "of", key] => {
+            let focus_id = resolve(focus)?;
+            Ok(QueryPattern {
+                kind: PatternKind::Lookup,
+                focus: focus_id,
+                required: vec![resolve(key)?],
+                intermediates: Vec::new(),
+                relation_phrase: None,
+                topic: spaced(focus),
+                derived_from: None,
+            })
+        }
+        ["relationship", focus, relation, required] => {
+            let focus_id = resolve(focus)?;
+            Ok(QueryPattern {
+                kind: PatternKind::DirectRelationship,
+                focus: focus_id,
+                required: vec![resolve(required)?],
+                intermediates: Vec::new(),
+                relation_phrase: Some(spaced(relation).to_lowercase()),
+                topic: spaced(focus),
+                derived_from: None,
+            })
+        }
+        _ => Err(SmeFormatError::Malformed {
+            line: lineno,
+            message: format!(
+                "pattern spec must be `lookup F of K` or `relationship F rel K`, got `{spec}`"
+            ),
+        }),
+    }
+}
+
+/// Renders feedback back to the annotation format (for tooling that lets
+/// SMEs start from the current state). Additional-intent patterns are
+/// rendered only for the two supported shapes.
+pub fn render(fb: &SmeFeedback, onto: &Ontology) -> String {
+    let mut out = String::new();
+    for p in &fb.pruned_intents {
+        out.push_str(&format!("prune: {p}\n"));
+    }
+    for (from, to) in &fb.renames {
+        out.push_str(&format!("rename: {from} -> {to}\n"));
+    }
+    for (canonical, synonyms) in &fb.synonyms {
+        out.push_str(&format!("synonym: {canonical} = {}\n", synonyms.join(", ")));
+    }
+    for q in &fb.labelled_queries {
+        out.push_str(&format!("example: {} :: {}\n", q.intent_name, q.text));
+    }
+    for &c in &fb.entity_only_concepts {
+        out.push_str(&format!("entity-only: {}\n", onto.concept_name(c)));
+    }
+    for (name, response) in &fb.management_intents {
+        out.push_str(&format!("management: {name} :: {response}\n"));
+    }
+    for (name, patterns) in &fb.additional_intents {
+        for p in patterns {
+            match p.kind {
+                PatternKind::Lookup if p.required.len() == 1 => {
+                    out.push_str(&format!(
+                        "pattern: {name} :: lookup {} of {}\n",
+                        onto.concept_name(p.focus),
+                        onto.concept_name(p.required[0])
+                    ));
+                }
+                PatternKind::DirectRelationship if p.required.len() == 1 => {
+                    out.push_str(&format!(
+                        "pattern: {name} :: relationship {} {} {}\n",
+                        onto.concept_name(p.focus),
+                        p.relation_phrase.as_deref().unwrap_or("relatesTo").replace(' ', ""),
+                        onto.concept_name(p.required[0])
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig2_fixture;
+
+    const SAMPLE: &str = r#"
+# MDX SME annotations
+prune: Dosages of Condition
+rename: Drug Interactions of Drug -> Drug-Drug Interactions
+synonym: Adverse Effect = side effect, adverse reaction, AE
+example: Uses of Drug :: what does aspirin do
+entity-only: Drug
+management: Greeting :: Hello. This is {agent}.
+pattern: Indications of Drug :: lookup Indication of Drug
+pattern: Drugs That Treat Indication :: relationship Drug treats Indication
+"#;
+
+    #[test]
+    fn parses_all_directives() {
+        let (onto, _, _) = fig2_fixture();
+        let fb = parse(SAMPLE, &onto).expect("parses");
+        assert_eq!(fb.pruned_intents, vec!["Dosages of Condition"]);
+        assert_eq!(fb.renames.len(), 1);
+        assert_eq!(fb.synonyms[0].1.len(), 3);
+        assert_eq!(fb.labelled_queries[0].text, "what does aspirin do");
+        assert_eq!(fb.entity_only_concepts.len(), 1);
+        assert_eq!(fb.management_intents[0].0, "Greeting");
+        assert_eq!(fb.additional_intents.len(), 2);
+        assert_eq!(fb.additional_intents[0].1[0].kind, PatternKind::Lookup);
+        assert_eq!(
+            fb.additional_intents[1].1[0].relation_phrase.as_deref(),
+            Some("treats")
+        );
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let (onto, _, _) = fig2_fixture();
+        let fb = parse(SAMPLE, &onto).expect("parses");
+        let rendered = render(&fb, &onto);
+        let back = parse(&rendered, &onto).expect("re-parses");
+        assert_eq!(back.pruned_intents, fb.pruned_intents);
+        assert_eq!(back.renames, fb.renames);
+        assert_eq!(back.synonyms, fb.synonyms);
+        assert_eq!(back.labelled_queries, fb.labelled_queries);
+        assert_eq!(back.entity_only_concepts, fb.entity_only_concepts);
+        assert_eq!(back.additional_intents.len(), fb.additional_intents.len());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let (onto, _, _) = fig2_fixture();
+        let err = parse("nonsense without colon", &onto).unwrap_err();
+        assert!(matches!(err, SmeFormatError::UnknownDirective { line: 1, .. }), "{err}");
+        let err = parse("\nrename: only old name", &onto).unwrap_err();
+        assert!(matches!(err, SmeFormatError::Malformed { line: 2, .. }), "{err}");
+        let err = parse("entity-only: Ghost", &onto).unwrap_err();
+        assert!(matches!(err, SmeFormatError::UnknownConcept { .. }), "{err}");
+        let err = parse("pattern: X :: lookup Ghost of Drug", &onto).unwrap_err();
+        assert!(matches!(err, SmeFormatError::UnknownConcept { .. }), "{err}");
+        let err = parse("pattern: X :: teleport A to B", &onto).unwrap_err();
+        assert!(matches!(err, SmeFormatError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn parsed_feedback_drives_bootstrap() {
+        let (onto, kb, mapping) = fig2_fixture();
+        let fb = parse(
+            "example: Precautions of Drug :: is aspirin safe to give\nentity-only: Drug\n",
+            &onto,
+        )
+        .expect("parses");
+        let space = crate::bootstrap(
+            &onto,
+            &kb,
+            &mapping,
+            crate::BootstrapConfig::default(),
+            &fb,
+        );
+        assert!(space.intent_by_name("DRUG_GENERAL").is_some());
+        assert!(space
+            .training
+            .iter()
+            .any(|e| e.text == "is aspirin safe to give"));
+    }
+}

@@ -1,0 +1,282 @@
+//! The conversation space and the bootstrapping orchestration (paper §4).
+//!
+//! [`bootstrap`] runs the full offline pipeline of Figure 1(a): key- and
+//! dependent-concept identification, query-pattern extraction, intent
+//! generation, SME feedback application, training-example generation,
+//! entity and synonym population, and structured-query-template generation.
+
+use obcs_kb::stats::CategoricalPolicy;
+use obcs_kb::KnowledgeBase;
+use obcs_nlq::OntologyMapping;
+use obcs_ontology::{ConceptId, Ontology};
+use serde::{Deserialize, Serialize};
+
+use crate::concepts::{
+    identify_dependent_concepts, identify_key_concepts, CompletionMetadata, DependentConcept,
+    KeyConceptConfig,
+};
+use crate::entities::{extract_entities, EntityDef, SynonymDict};
+use crate::intents::{build_intents, entity_only_intent, Intent, IntentId};
+use crate::patterns::{
+    direct_relationship_patterns, indirect_relationship_patterns, lookup_patterns,
+};
+use crate::sme::SmeFeedback;
+use crate::templates::{generate_templates, IntentTemplates};
+use crate::training::{generate_all, TrainingExample, TrainingGenConfig};
+
+/// Configuration of the bootstrapping pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapConfig {
+    pub key_concepts: KeyConceptConfig,
+    pub categorical: CategoricalPolicy,
+    pub training: TrainingGenConfig,
+    /// Maximum hops for indirect relationship patterns (paper uses 2).
+    pub max_indirect_hops: usize,
+    /// Maximum instance examples stored per entity.
+    pub max_entity_examples: usize,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        BootstrapConfig {
+            key_concepts: KeyConceptConfig::default(),
+            categorical: CategoricalPolicy::default(),
+            training: TrainingGenConfig::default(),
+            max_indirect_hops: 2,
+            max_entity_examples: 64,
+        }
+    }
+}
+
+/// The bootstrapped conversation space: every artifact the online system
+/// needs (paper §4.1 building blocks plus templates and completion
+/// metadata).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConversationSpace {
+    pub ontology_name: String,
+    pub key_concepts: Vec<ConceptId>,
+    pub dependents: Vec<DependentConcept>,
+    pub intents: Vec<Intent>,
+    pub training: Vec<TrainingExample>,
+    pub entities: Vec<EntityDef>,
+    pub synonyms: SynonymDict,
+    pub templates: Vec<IntentTemplates>,
+    pub completion: CompletionMetadata,
+    /// Patterns that could not receive a template, with reasons.
+    pub skipped_templates: Vec<(IntentId, String, String)>,
+}
+
+impl ConversationSpace {
+    pub fn intent(&self, id: IntentId) -> Option<&Intent> {
+        self.intents.iter().find(|i| i.id == id)
+    }
+
+    pub fn intent_by_name(&self, name: &str) -> Option<&Intent> {
+        self.intents.iter().find(|i| i.name == name)
+    }
+
+    pub fn templates_for(&self, id: IntentId) -> &[crate::templates::LabeledTemplate] {
+        self.templates
+            .iter()
+            .find(|t| t.intent == id)
+            .map(|t| t.templates.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Counts of the space's artifacts, printed by the repro harness
+    /// against the paper's §6 inventory.
+    pub fn inventory(&self) -> SpaceInventory {
+        use crate::intents::IntentGoal;
+        use crate::patterns::PatternKind;
+        let mut lookup = 0usize;
+        let mut relationship = 0usize;
+        let mut entity_only = 0usize;
+        let mut management = 0usize;
+        for i in &self.intents {
+            match &i.goal {
+                IntentGoal::Query(ps) => match ps[0].kind {
+                    PatternKind::Lookup => lookup += 1,
+                    _ => relationship += 1,
+                },
+                IntentGoal::EntityOnly(_) => entity_only += 1,
+                IntentGoal::ConversationManagement => management += 1,
+            }
+        }
+        SpaceInventory {
+            intents_total: self.intents.len(),
+            lookup_intents: lookup,
+            relationship_intents: relationship,
+            entity_only_intents: entity_only,
+            management_intents: management,
+            entities: self.entities.len(),
+            training_examples: self.training.len(),
+            templates: self.templates.iter().map(|t| t.templates.len()).sum(),
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("space serialisation cannot fail")
+    }
+
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Artifact counts of a conversation space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceInventory {
+    pub intents_total: usize,
+    pub lookup_intents: usize,
+    pub relationship_intents: usize,
+    pub entity_only_intents: usize,
+    pub management_intents: usize,
+    pub entities: usize,
+    pub training_examples: usize,
+    pub templates: usize,
+}
+
+/// Runs the full offline bootstrapping pipeline (Figure 1a).
+///
+/// ```
+/// use obcs_core::{bootstrap, BootstrapConfig, SmeFeedback};
+///
+/// let (onto, kb, mapping) = obcs_core::testutil::fig2_fixture();
+/// let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
+/// // Lookup intents for Drug's dependent concepts, relationship intents
+/// // for Drug↔Indication, training examples and SQL templates — all from
+/// // the ontology alone.
+/// assert!(space.intent_by_name("Precautions of Drug").is_some());
+/// assert!(space.inventory().training_examples > 50);
+/// ```
+pub fn bootstrap(
+    onto: &Ontology,
+    kb: &KnowledgeBase,
+    mapping: &OntologyMapping,
+    config: BootstrapConfig,
+    sme: &SmeFeedback,
+) -> ConversationSpace {
+    // §4.2.1 — concepts and patterns.
+    let key_concepts = identify_key_concepts(onto, mapping, config.key_concepts);
+    let dependents =
+        identify_dependent_concepts(onto, kb, mapping, &key_concepts, config.categorical);
+    let lookups = lookup_patterns(onto, &dependents);
+    let mut relationship = direct_relationship_patterns(onto, &key_concepts);
+    relationship.extend(indirect_relationship_patterns(
+        onto,
+        &key_concepts,
+        config.max_indirect_hops,
+    ));
+
+    // Intent generation.
+    let mut next_id = 0u32;
+    let mut intents = build_intents(onto, lookups, relationship, &mut next_id);
+
+    // §4.2.2 — SME feedback on intents (prune / rename / add).
+    sme.apply_to_intents(&mut intents, &mut next_id, onto);
+    for &concept in &sme.entity_only_concepts {
+        intents.push(entity_only_intent(onto, concept, &mut next_id));
+    }
+
+    // §4.5 — entities + synonyms (SME synonyms first: they feed entity
+    // definitions).
+    let mut synonyms = SynonymDict::new();
+    sme.apply_synonyms(&mut synonyms);
+    let entities =
+        extract_entities(onto, kb, mapping, &synonyms, config.max_entity_examples);
+
+    // §4.3 — training examples: generated + SME augmentation.
+    let mut training =
+        generate_all(&intents, onto, kb, mapping, &synonyms, config.training);
+    let (sme_examples, _unresolved) = sme.training_examples(&intents);
+    training.extend(sme_examples);
+
+    // §4.4 — structured query templates.
+    let (templates, skipped_templates) = generate_templates(&intents, onto, kb, mapping);
+
+    let completion = CompletionMetadata::build(&dependents);
+    ConversationSpace {
+        ontology_name: onto.name.clone(),
+        key_concepts,
+        dependents,
+        intents,
+        training,
+        entities,
+        synonyms,
+        templates,
+        completion,
+        skipped_templates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig2_fixture;
+
+    fn space() -> (Ontology, KnowledgeBase, OntologyMapping, ConversationSpace) {
+        let (onto, kb, mapping) = fig2_fixture();
+        let drug = onto.concept_id("Drug").unwrap();
+        let sme = SmeFeedback::new()
+            .synonym("Drug", &["medicine", "medication"])
+            .entity_only(drug)
+            .labelled_query("Precautions of Drug", "is aspirin safe to give?");
+        let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &sme);
+        (onto, kb, mapping, space)
+    }
+
+    #[test]
+    fn bootstrap_produces_all_artifact_kinds() {
+        let (_, _, _, space) = space();
+        let inv = space.inventory();
+        assert!(inv.lookup_intents >= 3, "inventory: {inv:?}");
+        assert!(inv.relationship_intents >= 3, "inventory: {inv:?}");
+        assert_eq!(inv.entity_only_intents, 1);
+        assert!(inv.entities == 10, "one per concept");
+        assert!(inv.training_examples > 50);
+        assert!(inv.templates >= inv.lookup_intents);
+    }
+
+    #[test]
+    fn sme_examples_present_in_training() {
+        let (_, _, _, space) = space();
+        assert!(space
+            .training
+            .iter()
+            .any(|e| e.text == "is aspirin safe to give?"));
+    }
+
+    #[test]
+    fn lookup_and_template_lookup_by_id() {
+        let (_, _, _, space) = space();
+        let intent = space.intent_by_name("Precautions of Drug").unwrap();
+        assert!(space.intent(intent.id).is_some());
+        assert!(!space.templates_for(intent.id).is_empty());
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic() {
+        let (onto, kb, mapping) = fig2_fixture();
+        let sme = SmeFeedback::new();
+        let a = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &sme);
+        let b = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &sme);
+        assert_eq!(a.training, b.training);
+        assert_eq!(a.inventory(), b.inventory());
+    }
+
+    #[test]
+    fn space_json_roundtrip() {
+        let (_, _, _, space) = space();
+        let json = space.to_json();
+        let back = ConversationSpace::from_json(&json).unwrap();
+        assert_eq!(back.inventory(), space.inventory());
+        assert_eq!(back.intents.len(), space.intents.len());
+    }
+
+    #[test]
+    fn completion_metadata_links_dependents() {
+        let (onto, _, _, space) = space();
+        let drug = onto.concept_id("Drug").unwrap();
+        assert!(!space.completion.dependents_for(drug).is_empty());
+    }
+}

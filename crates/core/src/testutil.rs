@@ -1,0 +1,136 @@
+//! A miniature, fully populated reproduction of the paper's Figure 2
+//! ontology with a backing knowledge base. Used by unit tests across
+//! crates and by the smaller examples; the full-scale use case lives in
+//! `obcs-mdx`.
+
+use obcs_kb::schema::{ColumnType, TableSchema};
+use obcs_kb::{KnowledgeBase, Value};
+use obcs_nlq::OntologyMapping;
+use obcs_ontology::{Ontology, OntologyBuilder};
+
+/// Builds the mini Figure-2 world: `(ontology, kb, mapping)`.
+///
+/// Concepts: Drug, Indication, Precaution, Dosage, Risk (= ContraIndication
+/// ∪ BlackBoxWarning), DrugInteraction (⊇ DrugFoodInteraction,
+/// DrugLabInteraction). Drug is the hub; Dosage links Drug to Indication in
+/// two hops. All concrete concepts have tables with a few seeded rows.
+pub fn fig2_fixture() -> (Ontology, KnowledgeBase, OntologyMapping) {
+    let onto = OntologyBuilder::new("mini-mdx")
+        .data("Drug", &["name", "brand"])
+        .data("Indication", &["name"])
+        .data("Precaution", &["description"])
+        .data("Dosage", &["description", "route"])
+        .data("Risk", &["summary"])
+        .data("ContraIndication", &["description"])
+        .data("BlackBoxWarning", &["description"])
+        .data("DrugInteraction", &["description"])
+        .data("DrugFoodInteraction", &["mechanism"])
+        .data("DrugLabInteraction", &["note"])
+        .relation_with_inverse("treats", "is treated by", "Drug", "Indication")
+        .relation("hasPrecaution", "Drug", "Precaution")
+        .relation("hasDosage", "Drug", "Dosage")
+        .relation("dosageFor", "Dosage", "Indication")
+        .relation("hasRisk", "Drug", "Risk")
+        .relation("interacts", "Drug", "DrugInteraction")
+        .union("Risk", &["ContraIndication", "BlackBoxWarning"])
+        .is_a("DrugFoodInteraction", "DrugInteraction")
+        .is_a("DrugLabInteraction", "DrugInteraction")
+        .build()
+        .expect("static fixture ontology is valid");
+
+    let mut kb = KnowledgeBase::new();
+    kb.create_table(
+        TableSchema::new("drug")
+            .column("drug_id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("brand", ColumnType::Text)
+            .primary_key("drug_id"),
+    )
+    .expect("fixture schema");
+    kb.create_table(
+        TableSchema::new("indication")
+            .column("indication_id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .primary_key("indication_id"),
+    )
+    .expect("fixture schema");
+    // The direct Drug--treats-->Indication edge is realised by an M:N
+    // bridge table named after the relationship.
+    kb.create_table(
+        TableSchema::new("treats")
+            .column("id", ColumnType::Int)
+            .column("drug_id", ColumnType::Int)
+            .column("indication_id", ColumnType::Int)
+            .primary_key("id")
+            .foreign_key("drug_id", "drug", "drug_id")
+            .foreign_key("indication_id", "indication", "indication_id"),
+    )
+    .expect("fixture schema");
+    for t in ["precaution", "risk", "drug_interaction"] {
+        kb.create_table(
+            TableSchema::new(t)
+                .column("id", ColumnType::Int)
+                .column("drug_id", ColumnType::Int)
+                .column("description", ColumnType::Text)
+                .primary_key("id")
+                .foreign_key("drug_id", "drug", "drug_id"),
+        )
+        .expect("fixture schema");
+    }
+    kb.create_table(
+        TableSchema::new("dosage")
+            .column("id", ColumnType::Int)
+            .column("drug_id", ColumnType::Int)
+            .column("indication_id", ColumnType::Int)
+            .column("description", ColumnType::Text)
+            .column("route", ColumnType::Text)
+            .primary_key("id")
+            .foreign_key("drug_id", "drug", "drug_id")
+            .foreign_key("indication_id", "indication", "indication_id"),
+    )
+    .expect("fixture schema");
+
+    for (i, n) in ["Aspirin", "Ibuprofen", "Tazarotene"].iter().enumerate() {
+        kb.insert(
+            "drug",
+            vec![Value::Int(i as i64), Value::text(*n), Value::text(format!("Brand{i}"))],
+        )
+        .expect("fixture rows");
+    }
+    for (i, n) in ["Fever", "Psoriasis"].iter().enumerate() {
+        kb.insert("indication", vec![Value::Int(i as i64), Value::text(*n)])
+            .expect("fixture rows");
+    }
+    for t in ["precaution", "risk", "drug_interaction"] {
+        for i in 0..3i64 {
+            kb.insert(
+                t,
+                vec![Value::Int(i), Value::Int(i), Value::text(format!("{t} info {i}"))],
+            )
+            .expect("fixture rows");
+        }
+    }
+    // Aspirin/Ibuprofen treat Fever; Tazarotene treats Psoriasis.
+    for (i, (drug, ind)) in [(0, 0), (1, 0), (2, 1)].iter().enumerate() {
+        kb.insert(
+            "treats",
+            vec![Value::Int(i as i64), Value::Int(*drug), Value::Int(*ind)],
+        )
+        .expect("fixture rows");
+    }
+    for i in 0..3i64 {
+        kb.insert(
+            "dosage",
+            vec![
+                Value::Int(i),
+                Value::Int(i),
+                Value::Int(i % 2),
+                Value::text(format!("{}mg daily", (i + 1) * 100)),
+                Value::text(if i % 2 == 0 { "ORAL" } else { "TOPICAL" }),
+            ],
+        )
+        .expect("fixture rows");
+    }
+    let mapping = OntologyMapping::infer(&onto, &kb);
+    (onto, kb, mapping)
+}

@@ -1,0 +1,125 @@
+//! Bootstrap-configuration tests: the pipeline must behave sensibly across
+//! the knob space (cuts, centrality measures, hop limits, training sizes).
+
+use obcs_core::concepts::KeyConceptConfig;
+use obcs_core::testutil::fig2_fixture;
+use obcs_core::training::TrainingGenConfig;
+use obcs_core::{bootstrap, BootstrapConfig, SmeFeedback};
+use obcs_ontology::centrality::CentralityMeasure;
+use obcs_ontology::segregation::Cut;
+
+fn space_with(config: BootstrapConfig) -> obcs_core::ConversationSpace {
+    let (onto, kb, mapping) = fig2_fixture();
+    bootstrap(&onto, &kb, &mapping, config, &SmeFeedback::new())
+}
+
+#[test]
+fn every_centrality_measure_yields_a_usable_space() {
+    for measure in [
+        CentralityMeasure::Degree,
+        CentralityMeasure::PageRank,
+        CentralityMeasure::Betweenness,
+    ] {
+        let space = space_with(BootstrapConfig {
+            key_concepts: KeyConceptConfig { measure, ..Default::default() },
+            ..Default::default()
+        });
+        let inv = space.inventory();
+        assert!(
+            inv.lookup_intents >= 3,
+            "{measure:?}: lookup intents {}",
+            inv.lookup_intents
+        );
+        assert!(inv.training_examples > 0, "{measure:?}");
+    }
+}
+
+#[test]
+fn top_k_cut_bounds_the_key_set() {
+    let space = space_with(BootstrapConfig {
+        key_concepts: KeyConceptConfig {
+            cut: Cut::TopK(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    assert_eq!(space.key_concepts.len(), 1);
+    // One key concept → no relationship intents between key pairs.
+    assert_eq!(space.inventory().relationship_intents, 0);
+}
+
+#[test]
+fn indirect_hops_zero_removes_indirect_patterns() {
+    let with = space_with(BootstrapConfig { max_indirect_hops: 2, ..Default::default() });
+    let without = space_with(BootstrapConfig { max_indirect_hops: 1, ..Default::default() });
+    assert!(
+        with.inventory().relationship_intents > without.inventory().relationship_intents,
+        "indirect patterns need 2 hops: {} vs {}",
+        with.inventory().relationship_intents,
+        without.inventory().relationship_intents
+    );
+}
+
+#[test]
+fn training_volume_scales_with_config() {
+    let small = space_with(BootstrapConfig {
+        training: TrainingGenConfig { examples_per_pattern: 4, ..Default::default() },
+        ..Default::default()
+    });
+    let large = space_with(BootstrapConfig {
+        training: TrainingGenConfig { examples_per_pattern: 24, ..Default::default() },
+        ..Default::default()
+    });
+    assert!(
+        large.inventory().training_examples > small.inventory().training_examples * 2,
+        "{} vs {}",
+        large.inventory().training_examples,
+        small.inventory().training_examples
+    );
+}
+
+#[test]
+fn different_seeds_differ_only_in_training_text() {
+    let (onto, kb, mapping) = fig2_fixture();
+    let a = bootstrap(
+        &onto,
+        &kb,
+        &mapping,
+        BootstrapConfig {
+            training: TrainingGenConfig { seed: 1, ..Default::default() },
+            ..Default::default()
+        },
+        &SmeFeedback::new(),
+    );
+    let b = bootstrap(
+        &onto,
+        &kb,
+        &mapping,
+        BootstrapConfig {
+            training: TrainingGenConfig { seed: 2, ..Default::default() },
+            ..Default::default()
+        },
+        &SmeFeedback::new(),
+    );
+    // Structure identical…
+    assert_eq!(a.intents.len(), b.intents.len());
+    assert_eq!(a.key_concepts, b.key_concepts);
+    assert_eq!(a.templates.len(), b.templates.len());
+    // …text sampling differs.
+    let ta: Vec<&str> = a.training.iter().map(|e| e.text.as_str()).collect();
+    let tb: Vec<&str> = b.training.iter().map(|e| e.text.as_str()).collect();
+    assert_ne!(ta, tb);
+}
+
+#[test]
+fn skipped_templates_are_reported_not_silently_dropped() {
+    let space = space_with(BootstrapConfig::default());
+    // The fixture's union members (ContraIndication, BlackBoxWarning) have
+    // tables, so nothing should be skipped there; the isA children of
+    // DrugInteraction have no tables → reported.
+    for (intent, topic, reason) in &space.skipped_templates {
+        assert!(space.intent(*intent).is_some());
+        assert!(!topic.is_empty());
+        assert!(!reason.is_empty());
+    }
+}

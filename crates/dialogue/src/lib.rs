@@ -1,0 +1,31 @@
+//! # obcs-dialogue
+//!
+//! The dialogue layer of the conversation system (paper §5): the
+//! structural representation of conversation flow, built in three steps —
+//!
+//! 1. a **Dialogue Logic Table** specifying, per intent, its examples,
+//!    required entities with elicitation prompts, optional entities, and
+//!    response template (Tables 3–4) ([`logic_table`]);
+//! 2. a **dialogue tree** generated from the table, implementing slot
+//!    filling: if every required entity of the detected intent is present
+//!    in the conversation context, the response fires; otherwise the agent
+//!    elicits the missing entity (Fig. 10) ([`tree`]);
+//! 3. augmentation with **conversation-management** nodes — the
+//!    domain-independent interaction patterns of the Natural Conversation
+//!    Framework \[24\]: openings, closings, appreciations, repeat and
+//!    definition-request repairs, acknowledgements, aborts
+//!    ([`management`]).
+//!
+//! Persistent [`context`] carries intents and entities across turns so
+//! users can build a query over multiple utterances and modify it
+//! incrementally ("I mean pediatric").
+
+pub mod context;
+pub mod logic_table;
+pub mod management;
+pub mod tree;
+
+pub use context::ConversationContext;
+pub use logic_table::{DialogueLogicTable, LogicRow};
+pub use management::{ManagementCatalog, ManagementPattern, PatternLevel};
+pub use tree::{AgentAction, DialogueTree};

@@ -1,0 +1,205 @@
+//! The Dialogue Logic Table (paper §5.2 step 1, Tables 3–4): the
+//! declarative specification from which the dialogue tree is generated.
+
+use obcs_core::{ConversationSpace, IntentId};
+use obcs_ontology::{ConceptId, Ontology};
+use serde::{Deserialize, Serialize};
+
+/// One required entity of an intent, with its elicitation prompt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequiredEntity {
+    pub concept: ConceptId,
+    /// What the agent says to elicit this entity ("For which drug?").
+    pub elicitation: String,
+}
+
+/// One row of the dialogue logic table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicRow {
+    pub intent: IntentId,
+    pub intent_name: String,
+    /// One representative training example (helps designers read the
+    /// table; Table 3 column 2).
+    pub example: String,
+    pub required: Vec<RequiredEntity>,
+    pub optional: Vec<ConceptId>,
+    /// Agent response template with `{entities}` / `{results}` markers.
+    pub response_template: String,
+}
+
+/// The dialogue logic table of a conversation space.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DialogueLogicTable {
+    pub rows: Vec<LogicRow>,
+}
+
+impl DialogueLogicTable {
+    /// Generates the table from a bootstrapped conversation space (the
+    /// automated path of §5.2 step 2). Elicitation prompts are derived
+    /// from the concept names ("For which drug?").
+    pub fn from_space(space: &ConversationSpace, onto: &Ontology) -> Self {
+        let rows = space
+            .intents
+            .iter()
+            .map(|intent| {
+                let example = space
+                    .training
+                    .iter()
+                    .find(|e| e.intent == intent.id)
+                    .map(|e| e.text.clone())
+                    .unwrap_or_default();
+                LogicRow {
+                    intent: intent.id,
+                    intent_name: intent.name.clone(),
+                    example,
+                    required: intent
+                        .required_entities
+                        .iter()
+                        .map(|&c| RequiredEntity {
+                            concept: c,
+                            elicitation: default_elicitation(onto, c),
+                        })
+                        .collect(),
+                    optional: intent.optional_entities.clone(),
+                    response_template: intent.response_template.clone(),
+                }
+            })
+            .collect();
+        DialogueLogicTable { rows }
+    }
+
+    pub fn row(&self, intent: IntentId) -> Option<&LogicRow> {
+        self.rows.iter().find(|r| r.intent == intent)
+    }
+
+    /// Overrides the elicitation prompt of one intent's required entity
+    /// (designer customisation, e.g. "Adult or pediatric?").
+    pub fn set_elicitation(&mut self, intent: IntentId, concept: ConceptId, prompt: &str) {
+        if let Some(row) = self.rows.iter_mut().find(|r| r.intent == intent) {
+            if let Some(req) = row.required.iter_mut().find(|r| r.concept == concept) {
+                req.elicitation = prompt.to_string();
+            }
+        }
+    }
+
+    /// Marks a concept as an optional entity for an intent.
+    pub fn add_optional(&mut self, intent: IntentId, concept: ConceptId) {
+        if let Some(row) = self.rows.iter_mut().find(|r| r.intent == intent) {
+            if !row.optional.contains(&concept) {
+                row.optional.push(concept);
+            }
+        }
+    }
+
+    /// Renders the table as aligned text (the repro harness prints this for
+    /// Tables 3–4).
+    pub fn render(&self, onto: &Ontology) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<38} | {:<44} | {:<22} | {:<28} | {}\n",
+            "Intent Name", "Intent Example", "Required Entities", "Agent Elicitation", "Agent Response"
+        ));
+        for row in &self.rows {
+            let required: Vec<&str> = row
+                .required
+                .iter()
+                .map(|r| onto.concept_name(r.concept))
+                .collect();
+            let elicit: Vec<&str> =
+                row.required.iter().map(|r| r.elicitation.as_str()).collect();
+            out.push_str(&format!(
+                "{:<38} | {:<44} | {:<22} | {:<28} | {}\n",
+                truncate(&row.intent_name, 38),
+                truncate(&row.example, 44),
+                truncate(&required.join(", "), 22),
+                truncate(&elicit.join(" / "), 28),
+                truncate(&row.response_template.replace('\n', " "), 44),
+            ));
+        }
+        out
+    }
+}
+
+/// "For which drug?" from a concept named `Drug`.
+pub fn default_elicitation(onto: &Ontology, concept: ConceptId) -> String {
+    let name = obcs_nlq::annotate::split_camel(onto.concept_name(concept)).to_lowercase();
+    format!("For which {name}?")
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obcs_core::{bootstrap, BootstrapConfig, SmeFeedback};
+    use obcs_core::testutil::fig2_fixture;
+
+    fn table() -> (Ontology, ConversationSpace, DialogueLogicTable) {
+        let (onto, kb, mapping) = fig2_fixture();
+        let space = bootstrap(
+            &onto,
+            &kb,
+            &mapping,
+            BootstrapConfig::default(),
+            &SmeFeedback::new(),
+        );
+        let table = DialogueLogicTable::from_space(&space, &onto);
+        (onto, space, table)
+    }
+
+    #[test]
+    fn one_row_per_intent_with_examples() {
+        let (_, space, table) = table();
+        assert_eq!(table.rows.len(), space.intents.len());
+        let prec = space.intent_by_name("Precautions of Drug").unwrap();
+        let row = table.row(prec.id).unwrap();
+        assert!(!row.example.is_empty(), "example from training data");
+        assert_eq!(row.required.len(), 1);
+        assert_eq!(row.required[0].elicitation, "For which drug?");
+    }
+
+    #[test]
+    fn elicitation_override() {
+        let (onto, space, mut table) = table();
+        let prec = space.intent_by_name("Precautions of Drug").unwrap();
+        let drug = onto.concept_id("Drug").unwrap();
+        table.set_elicitation(prec.id, drug, "Which medication do you mean?");
+        assert_eq!(
+            table.row(prec.id).unwrap().required[0].elicitation,
+            "Which medication do you mean?"
+        );
+    }
+
+    #[test]
+    fn optional_entities_addable() {
+        let (onto, space, mut table) = table();
+        let prec = space.intent_by_name("Precautions of Drug").unwrap();
+        let ind = onto.concept_id("Indication").unwrap();
+        table.add_optional(prec.id, ind);
+        table.add_optional(prec.id, ind); // idempotent
+        assert_eq!(table.row(prec.id).unwrap().optional, vec![ind]);
+    }
+
+    #[test]
+    fn render_contains_headers_and_rows() {
+        let (onto, _, table) = table();
+        let txt = table.render(&onto);
+        assert!(txt.contains("Intent Name"));
+        assert!(txt.contains("Precautions of Drug"));
+        assert!(txt.contains("For which drug?"));
+    }
+
+    #[test]
+    fn multi_hop_elicitation_splits_camel_case() {
+        let (onto, _, _) = table();
+        let dfi = onto.concept_id("DrugFoodInteraction").unwrap();
+        assert_eq!(default_elicitation(&onto, dfi), "For which drug food interaction?");
+    }
+}

@@ -1,0 +1,146 @@
+//! Additional dialogue-tree flow tests: multi-topic context reuse, the
+//! proposal queue exhausting, and glossary-driven definition repair edge
+//! cases.
+
+use obcs_core::testutil::fig2_fixture;
+use obcs_core::{bootstrap, BootstrapConfig, SmeFeedback};
+use obcs_dialogue::tree::TurnInput;
+use obcs_dialogue::{AgentAction, ConversationContext, DialogueTree};
+use obcs_ontology::ConceptId;
+
+fn world() -> (obcs_ontology::Ontology, obcs_core::ConversationSpace, DialogueTree) {
+    let (onto, kb, mapping) = fig2_fixture();
+    let drug = onto.concept_id("Drug").unwrap();
+    let sme = SmeFeedback::new().entity_only(drug);
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &sme);
+    let tree = DialogueTree::from_space(&space, &onto, "Tester");
+    (onto, space, tree)
+}
+
+fn turn(
+    intent: Option<obcs_core::IntentId>,
+    utterance: &str,
+    entities: &[(ConceptId, &str)],
+) -> TurnInput {
+    TurnInput {
+        utterance: utterance.to_string(),
+        intent,
+        entities: entities.iter().map(|&(c, v)| (c, v.to_string())).collect(),
+    }
+}
+
+#[test]
+fn proposal_queue_exhausts_then_resets() {
+    let (onto, space, tree) = world();
+    let drug = onto.concept_id("Drug").unwrap();
+    let mut ctx = ConversationContext::new();
+    let proposal_count = tree
+        .proposals
+        .iter()
+        .find(|(c, _)| *c == drug)
+        .map(|(_, v)| v.len())
+        .expect("drug has proposals");
+    assert!(proposal_count >= 3, "fixture offers several lookups");
+
+    let mut seen = Vec::new();
+    for _ in 0..proposal_count {
+        let action = tree.evaluate(&mut ctx, &turn(None, "aspirin", &[(drug, "Aspirin")]));
+        match action {
+            AgentAction::Propose { intent, .. } => {
+                assert!(!seen.contains(&intent), "proposals never repeat");
+                seen.push(intent);
+            }
+            other => panic!("expected Propose, got {other:?}"),
+        }
+        let action = tree.evaluate(&mut ctx, &turn(None, "no", &[]));
+        assert!(matches!(action, AgentAction::Say { .. }));
+    }
+    // All proposals rejected → the agent asks for a new formulation and
+    // clears the rejection list so a later mention starts over.
+    let action = tree.evaluate(&mut ctx, &turn(None, "aspirin", &[(drug, "Aspirin")]));
+    match action {
+        AgentAction::Say { text } => assert!(text.contains("modify"), "{text}"),
+        other => panic!("expected Say, got {other:?}"),
+    }
+    let action = tree.evaluate(&mut ctx, &turn(None, "aspirin", &[(drug, "Aspirin")]));
+    assert!(
+        matches!(action, AgentAction::Propose { intent, .. } if intent == seen[0]),
+        "queue restarts from the top"
+    );
+    let _ = space;
+}
+
+#[test]
+fn switching_topics_keeps_compatible_entities() {
+    let (onto, space, tree) = world();
+    let drug = onto.concept_id("Drug").unwrap();
+    let prec = space.intent_by_name("Precautions of Drug").unwrap();
+    let risks = space.intent_by_name("Risks of Drug").unwrap();
+    let mut ctx = ConversationContext::new();
+    let a1 = tree.evaluate(
+        &mut ctx,
+        &turn(Some(prec.id), "precautions for aspirin", &[(drug, "Aspirin")]),
+    );
+    assert_eq!(a1, AgentAction::Fulfill { intent: prec.id });
+    // New intent, no entity mentioned: Drug carries over, fulfils directly.
+    let a2 = tree.evaluate(&mut ctx, &turn(Some(risks.id), "and the risks?", &[]));
+    assert_eq!(a2, AgentAction::Fulfill { intent: risks.id });
+    assert_eq!(ctx.entity(drug), Some("Aspirin"));
+}
+
+#[test]
+fn affirm_without_pending_proposal_is_harmless() {
+    let (_, _, tree) = world();
+    let mut ctx = ConversationContext::new();
+    let action = tree.evaluate(&mut ctx, &turn(None, "yes", &[]));
+    match action {
+        AgentAction::Say { text } => assert!(!text.is_empty()),
+        other => panic!("expected Say, got {other:?}"),
+    }
+}
+
+#[test]
+fn definition_of_unknown_term_falls_through_to_domain() {
+    let (onto, space, tree) = world();
+    let drug = onto.concept_id("Drug").unwrap();
+    let mut ctx = ConversationContext::new();
+    // "what does Aspirin mean" captures a term with no glossary entry; the
+    // engine treats it as domain input (here: an entity mention →
+    // proposal).
+    let action = tree.evaluate(
+        &mut ctx,
+        &turn(None, "what does Aspirin mean", &[(drug, "Aspirin")]),
+    );
+    assert!(
+        matches!(action, AgentAction::Propose { .. }),
+        "unknown term falls through: {action:?}"
+    );
+    let _ = space;
+}
+
+#[test]
+fn paraphrase_with_no_history_is_graceful() {
+    let (_, _, tree) = world();
+    let mut ctx = ConversationContext::new();
+    let action = tree.evaluate(&mut ctx, &turn(None, "what did you say", &[]));
+    match action {
+        AgentAction::Say { text } => assert!(text.contains("haven't said"), "{text}"),
+        other => panic!("expected Say, got {other:?}"),
+    }
+}
+
+#[test]
+fn elicitation_prompt_comes_from_logic_table() {
+    let (onto, space, mut tree) = world();
+    let drug = onto.concept_id("Drug").unwrap();
+    let prec = space.intent_by_name("Precautions of Drug").unwrap();
+    tree.logic.set_elicitation(prec.id, drug, "Which medication, exactly?");
+    let mut ctx = ConversationContext::new();
+    let action = tree.evaluate(&mut ctx, &turn(Some(prec.id), "precautions", &[]));
+    match action {
+        AgentAction::Elicit { prompt, .. } => {
+            assert_eq!(prompt, "Which medication, exactly?");
+        }
+        other => panic!("expected Elicit, got {other:?}"),
+    }
+}

@@ -1,0 +1,337 @@
+//! Data-driven ontology generation from the KB schema and instance data —
+//! the paper's automated ontology-creation path (\[18\], §3 "Ontology
+//! Creation", option 2).
+//!
+//! Inference rules:
+//!
+//! * every table becomes a concept (CamelCased table name);
+//! * every non-key column becomes a data property;
+//! * every foreign key becomes a functional object property named after the
+//!   FK column (stripped of `_id`), or `has<Target>` when the FK column is
+//!   just the target's key name;
+//! * a table whose *primary key is also a foreign key* to another table is
+//!   a specialisation: `child isA parent`;
+//! * when all isA children of a parent have *disjoint and exhaustive*
+//!   primary-key sets over the parent's keys (checked against instance
+//!   data), the isA group is upgraded to a `unionOf` — matching the paper's
+//!   use of data statistics to discover union semantics.
+
+use obcs_ontology::{ConceptId, Ontology, RelationKind};
+
+use crate::store::{KbError, KnowledgeBase};
+use crate::value::Value;
+
+/// Options controlling generation.
+#[derive(Debug, Clone, Copy)]
+pub struct OntogenOptions {
+    /// Upgrade exhaustive disjoint isA families to unionOf (needs data).
+    pub detect_unions: bool,
+}
+
+impl Default for OntogenOptions {
+    fn default() -> Self {
+        OntogenOptions { detect_unions: true }
+    }
+}
+
+/// Generates a domain ontology from the KB's schema and data.
+pub fn generate_ontology(
+    kb: &KnowledgeBase,
+    name: &str,
+    options: OntogenOptions,
+) -> Result<Ontology, KbError> {
+    let mut onto = Ontology::new(name);
+    let tables = kb.table_names();
+
+    // Pass 1: concepts and data properties.
+    let mut concept_of: Vec<(String, ConceptId)> = Vec::new();
+    for t in &tables {
+        let table = kb.table(t)?;
+        let concept_name = camel_case(t);
+        let cid = onto
+            .add_concept(&concept_name)
+            .map_err(|e| KbError::Semantic(format!("ontology generation: {e}")))?;
+        concept_of.push(((*t).to_string(), cid));
+        for col in &table.schema.columns {
+            let is_pk = table.schema.primary_key.as_deref() == Some(col.name.as_str());
+            let is_fk = table.schema.is_foreign_key(&col.name);
+            if !is_pk && !is_fk {
+                onto.add_data_property(cid, &col.name)
+                    .map_err(|e| KbError::Semantic(format!("ontology generation: {e}")))?;
+            }
+        }
+    }
+    let concept_for = |table: &str| -> Option<ConceptId> {
+        concept_of
+            .iter()
+            .find(|(t, _)| t == table)
+            .map(|&(_, c)| c)
+    };
+
+    // Pass 2: relationships. PK-as-FK → isA candidate; other FK →
+    // functional object property.
+    let mut isa_children: Vec<(ConceptId, ConceptId, String)> = Vec::new(); // (child, parent, child table)
+    for t in &tables {
+        let table = kb.table(t)?;
+        let source = concept_for(t).expect("pass 1 covered all tables");
+        for fk in &table.schema.foreign_keys {
+            let Some(target) = concept_for(&fk.references_table) else {
+                continue;
+            };
+            let pk_is_fk = table.schema.primary_key.as_deref() == Some(fk.column.as_str());
+            if pk_is_fk && source != target {
+                isa_children.push((source, target, (*t).to_string()));
+            } else if source != target || !pk_is_fk {
+                let rel = relationship_name(&fk.column, &fk.references_table);
+                onto.add_object_property(&rel, source, target, RelationKind::Functional)
+                    .map_err(|e| KbError::Semantic(format!("ontology generation: {e}")))?;
+            }
+        }
+    }
+
+    // Pass 3: group isA children per parent; upgrade to unionOf when the
+    // children partition the parent's key set.
+    let mut parents: Vec<ConceptId> = isa_children.iter().map(|&(_, p, _)| p).collect();
+    parents.sort();
+    parents.dedup();
+    for parent in parents {
+        let children: Vec<&(ConceptId, ConceptId, String)> = isa_children
+            .iter()
+            .filter(|&&(_, p, _)| p == parent)
+            .collect();
+        let make_union = options.detect_unions
+            && children.len() >= 2
+            && partitions_parent(kb, &concept_of, parent, &children)?;
+        for &(child, _, _) in &children {
+            if make_union {
+                onto.add_object_property("unionOf", *child, parent, RelationKind::UnionOf)
+            } else {
+                onto.add_is_a(*child, parent)
+            }
+            .map_err(|e| KbError::Semantic(format!("ontology generation: {e}")))?;
+        }
+    }
+    Ok(onto)
+}
+
+/// Do the children's PK sets partition (disjoint + exhaustive) the parent's
+/// PK set?
+fn partitions_parent(
+    kb: &KnowledgeBase,
+    concept_of: &[(String, ConceptId)],
+    parent: ConceptId,
+    children: &[&(ConceptId, ConceptId, String)],
+) -> Result<bool, KbError> {
+    let parent_table = concept_of
+        .iter()
+        .find(|&&(_, c)| c == parent)
+        .map(|(t, _)| t.clone())
+        .expect("parent concept came from a table");
+    let parent_keys = pk_values(kb, &parent_table)?;
+    if parent_keys.is_empty() {
+        return Ok(false);
+    }
+    let mut seen: std::collections::HashSet<Value> = std::collections::HashSet::new();
+    let mut total = 0usize;
+    for (_, _, child_table) in children.iter().copied() {
+        let keys = pk_values(kb, child_table)?;
+        total += keys.len();
+        for k in keys {
+            if !seen.insert(k) {
+                return Ok(false); // overlap → not disjoint
+            }
+        }
+    }
+    // Exhaustive: every parent key covered, and no stray child keys.
+    Ok(total == parent_keys.len() && parent_keys.iter().all(|k| seen.contains(k)))
+}
+
+fn pk_values(kb: &KnowledgeBase, table: &str) -> Result<Vec<Value>, KbError> {
+    let t = kb.table(table)?;
+    let Some(pk) = &t.schema.primary_key else {
+        return Ok(Vec::new());
+    };
+    kb.distinct_values(table, pk)
+}
+
+/// `drug_food_interaction` → `DrugFoodInteraction`.
+pub fn camel_case(snake: &str) -> String {
+    snake
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let mut c = s.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+/// Derives a relationship name from an FK column: `treats_id` → `treats`,
+/// `drug_id` → `hasDrug` (generic possession when the column is just the
+/// target's key).
+fn relationship_name(fk_column: &str, target_table: &str) -> String {
+    let stripped = fk_column.strip_suffix("_id").unwrap_or(fk_column);
+    if stripped == target_table || stripped.is_empty() {
+        format!("has{}", camel_case(target_table))
+    } else {
+        stripped.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, TableSchema};
+
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.create_table(
+            TableSchema::new("drug")
+                .column("drug_id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .column("brand", ColumnType::Text)
+                .primary_key("drug_id"),
+        )
+        .unwrap();
+        kb.create_table(
+            TableSchema::new("precaution")
+                .column("prec_id", ColumnType::Int)
+                .column("drug_id", ColumnType::Int)
+                .column("description", ColumnType::Text)
+                .primary_key("prec_id")
+                .foreign_key("drug_id", "drug", "drug_id"),
+        )
+        .unwrap();
+        // Risk hierarchy: risk(pk), contra_indication(pk=fk), black_box_warning(pk=fk)
+        kb.create_table(
+            TableSchema::new("risk")
+                .column("risk_id", ColumnType::Int)
+                .column("summary", ColumnType::Text)
+                .primary_key("risk_id"),
+        )
+        .unwrap();
+        for child in ["contra_indication", "black_box_warning"] {
+            kb.create_table(
+                TableSchema::new(child)
+                    .column("risk_id", ColumnType::Int)
+                    .column("detail", ColumnType::Text)
+                    .primary_key("risk_id")
+                    .foreign_key("risk_id", "risk", "risk_id"),
+            )
+            .unwrap();
+        }
+        kb
+    }
+
+    fn populate_union(kb: &mut KnowledgeBase) {
+        for i in 0..6 {
+            kb.insert("risk", vec![Value::Int(i), Value::text(format!("r{i}"))]).unwrap();
+        }
+        for i in 0..3 {
+            kb.insert("contra_indication", vec![Value::Int(i), Value::text("ci")]).unwrap();
+        }
+        for i in 3..6 {
+            kb.insert("black_box_warning", vec![Value::Int(i), Value::text("bbw")]).unwrap();
+        }
+    }
+
+    #[test]
+    fn tables_become_concepts_with_data_properties() {
+        let kb = kb();
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
+        let drug = o.concept_by_name("Drug").unwrap();
+        let props: Vec<&str> = o.data_properties_of(drug.id).map(|p| p.name.as_str()).collect();
+        assert_eq!(props, vec!["name", "brand"], "keys are not data properties");
+        assert!(o.concept_by_name("Precaution").is_some());
+        assert!(o.concept_by_name("BlackBoxWarning").is_some());
+    }
+
+    #[test]
+    fn fk_becomes_functional_relationship() {
+        let kb = kb();
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
+        let prec = o.concept_id("Precaution").unwrap();
+        let rels: Vec<_> = o
+            .outgoing(prec)
+            .filter(|op| op.kind == RelationKind::Functional)
+            .collect();
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels[0].name, "hasDrug");
+        assert_eq!(o.concept_name(rels[0].target), "Drug");
+    }
+
+    #[test]
+    fn pk_as_fk_yields_isa_without_union_data() {
+        let kb = kb(); // empty instance data → cannot verify partition
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
+        let risk = o.concept_id("Risk").unwrap();
+        assert_eq!(o.is_a_children(risk).len(), 2);
+        assert!(o.union_members(risk).is_empty());
+    }
+
+    #[test]
+    fn partitioning_children_upgrade_to_union() {
+        let mut kb = kb();
+        populate_union(&mut kb);
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
+        let risk = o.concept_id("Risk").unwrap();
+        assert_eq!(o.union_members(risk).len(), 2);
+        assert!(o.is_a_children(risk).is_empty());
+    }
+
+    #[test]
+    fn overlap_prevents_union() {
+        let mut kb = kb();
+        populate_union(&mut kb);
+        // Key 0 is already a contra_indication; adding it as a black box
+        // warning makes the children overlap → not disjoint.
+        kb.insert("black_box_warning", vec![Value::Int(0), Value::text("dup")]).unwrap();
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
+        let risk = o.concept_id("Risk").unwrap();
+        assert!(o.union_members(risk).is_empty(), "overlapping children → isA only");
+        assert_eq!(o.is_a_children(risk).len(), 2);
+
+        // Non-exhaustive coverage also prevents the upgrade.
+        let mut kb2 = self::kb();
+        populate_union(&mut kb2);
+        kb2.insert("risk", vec![Value::Int(6), Value::text("uncovered")]).unwrap();
+        let o2 = generate_ontology(&kb2, "gen", OntogenOptions::default()).unwrap();
+        let risk2 = o2.concept_id("Risk").unwrap();
+        assert!(o2.union_members(risk2).is_empty(), "non-exhaustive → isA only");
+    }
+
+    #[test]
+    fn union_detection_can_be_disabled() {
+        let mut kb = kb();
+        populate_union(&mut kb);
+        let o = generate_ontology(&kb, "gen", OntogenOptions { detect_unions: false }).unwrap();
+        let risk = o.concept_id("Risk").unwrap();
+        assert!(o.union_members(risk).is_empty());
+        assert_eq!(o.is_a_children(risk).len(), 2);
+    }
+
+    #[test]
+    fn camel_case_conversion() {
+        assert_eq!(camel_case("drug"), "Drug");
+        assert_eq!(camel_case("drug_food_interaction"), "DrugFoodInteraction");
+        assert_eq!(camel_case("__x__"), "X");
+    }
+
+    #[test]
+    fn relationship_naming() {
+        assert_eq!(relationship_name("drug_id", "drug"), "hasDrug");
+        assert_eq!(relationship_name("treats_id", "indication"), "treats");
+        assert_eq!(relationship_name("cause", "drug"), "cause");
+    }
+
+    #[test]
+    fn generated_ontology_validates() {
+        let mut kb = kb();
+        populate_union(&mut kb);
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
+        assert!(obcs_ontology::validate(&o).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Abstract syntax tree for the SQL subset.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A possibly-qualified column reference (`name` or `qualifier.name`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Table name or alias, when qualified.
+    pub qualifier: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn new(qualifier: Option<&str>, column: &str) -> Self {
+        ColumnRef {
+            qualifier: qualifier.map(str::to_string),
+            column: column.to_string(),
+        }
+    }
+
+    pub fn bare(column: &str) -> Self {
+        ColumnRef { qualifier: None, column: column.to_string() }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// A table in the FROM/JOIN clause with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is addressable by (alias if present).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// Comparison operators in WHERE predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompareOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// SQL LIKE with `%` wildcards (case-sensitive).
+    Like,
+    /// Case-insensitive substring containment.
+    Contains,
+}
+
+/// A single predicate: column vs literal, or column vs column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    ColumnLiteral { column: ColumnRef, op: CompareOp, literal: Value },
+    ColumnColumn { left: ColumnRef, op: CompareOp, right: ColumnRef },
+}
+
+/// One INNER JOIN clause with an equality condition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Join {
+    pub table: TableRef,
+    pub left: ColumnRef,
+    pub right: ColumnRef,
+}
+
+/// An ORDER BY item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderBy {
+    pub column: ColumnRef,
+    pub descending: bool,
+}
+
+/// A projected item: a column or `*`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectItem {
+    Star,
+    Column(ColumnRef),
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Select {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: TableRef,
+    pub joins: Vec<Join>,
+    /// Conjunction of predicates (empty = no WHERE clause).
+    pub predicates: Vec<Predicate>,
+    pub order_by: Option<OrderBy>,
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::bare("name").to_string(), "name");
+        assert_eq!(ColumnRef::new(Some("d"), "name").to_string(), "d.name");
+    }
+
+    #[test]
+    fn table_binding_prefers_alias() {
+        let t = TableRef { table: "drug".into(), alias: Some("d".into()) };
+        assert_eq!(t.binding(), "d");
+        let t = TableRef { table: "drug".into(), alias: None };
+        assert_eq!(t.binding(), "drug");
+    }
+}

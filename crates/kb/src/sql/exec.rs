@@ -1,0 +1,488 @@
+//! Executor for the SQL subset: binds column references, runs hash joins,
+//! filters, projects, and applies DISTINCT/ORDER BY/LIMIT.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::store::{KbError, KnowledgeBase, ResultSet};
+use crate::value::Value;
+
+use super::ast::{ColumnRef, CompareOp, Predicate, Select, SelectItem};
+
+/// A bound column: which joined-table slot and which column index within it.
+#[derive(Debug, Clone, Copy)]
+struct Bound {
+    slot: usize,
+    col: usize,
+}
+
+/// Per-binding schema info used during name resolution.
+struct Binding<'a> {
+    name: &'a str,
+    table: &'a str,
+    columns: Vec<&'a str>,
+}
+
+/// Executes a parsed SELECT against the knowledge base.
+pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> {
+    // Resolve bindings: FROM table plus one per join.
+    let mut bindings: Vec<Binding<'_>> = Vec::with_capacity(1 + stmt.joins.len());
+    let from_table = kb.table(&stmt.from.table)?;
+    bindings.push(Binding {
+        name: stmt.from.binding(),
+        table: &stmt.from.table,
+        columns: from_table.schema.columns.iter().map(|c| c.name.as_str()).collect(),
+    });
+    for join in &stmt.joins {
+        let t = kb.table(&join.table.table)?;
+        bindings.push(Binding {
+            name: join.table.binding(),
+            table: &join.table.table,
+            columns: t.schema.columns.iter().map(|c| c.name.as_str()).collect(),
+        });
+    }
+    // Reject duplicate binding names.
+    {
+        let mut seen = HashSet::new();
+        for b in &bindings {
+            if !seen.insert(b.name) {
+                return Err(KbError::Semantic(format!(
+                    "duplicate table binding `{}`; add aliases",
+                    b.name
+                )));
+            }
+        }
+    }
+
+    let resolve = |cref: &ColumnRef| -> Result<Bound, KbError> {
+        match &cref.qualifier {
+            Some(q) => {
+                let slot = bindings
+                    .iter()
+                    .position(|b| b.name == q)
+                    .ok_or_else(|| KbError::Semantic(format!("unknown table or alias `{q}`")))?;
+                let col = bindings[slot]
+                    .columns
+                    .iter()
+                    .position(|c| *c == cref.column)
+                    .ok_or_else(|| KbError::UnknownColumn {
+                        table: bindings[slot].table.to_string(),
+                        column: cref.column.clone(),
+                    })?;
+                Ok(Bound { slot, col })
+            }
+            None => {
+                let mut found = None;
+                for (slot, b) in bindings.iter().enumerate() {
+                    if let Some(col) = b.columns.iter().position(|c| *c == cref.column) {
+                        if found.is_some() {
+                            return Err(KbError::Semantic(format!(
+                                "ambiguous column `{}`",
+                                cref.column
+                            )));
+                        }
+                        found = Some(Bound { slot, col });
+                    }
+                }
+                found.ok_or_else(|| KbError::Semantic(format!("unknown column `{}`", cref.column)))
+            }
+        }
+    };
+
+    // Start with the base table's rows as single-slot tuples.
+    // A tuple is a Vec of row references, one per slot filled so far.
+    let mut tuples: Vec<Vec<&[Value]>> = from_table
+        .rows
+        .iter()
+        .map(|r| vec![r.as_slice()])
+        .collect();
+
+    // Apply each join with a hash join on the equality key.
+    for (join_idx, join) in stmt.joins.iter().enumerate() {
+        let right_table = kb.table(&join.table.table)?;
+        let left_bound = resolve(&join.left)?;
+        let right_bound = resolve(&join.right)?;
+        let new_slot = join_idx + 1;
+        // Exactly one side must refer to the newly joined table.
+        let (existing, incoming) = if right_bound.slot == new_slot && left_bound.slot < new_slot {
+            (left_bound, right_bound)
+        } else if left_bound.slot == new_slot && right_bound.slot < new_slot {
+            (right_bound, left_bound)
+        } else {
+            return Err(KbError::Semantic(format!(
+                "join condition must relate `{}` to an earlier table",
+                join.table.binding()
+            )));
+        };
+        // Build hash index over the incoming table's key column.
+        let mut index: HashMap<&Value, Vec<&[Value]>> = HashMap::new();
+        for row in &right_table.rows {
+            let key = &row[incoming.col];
+            if !key.is_null() {
+                index.entry(key).or_default().push(row.as_slice());
+            }
+        }
+        let mut next = Vec::new();
+        for tuple in &tuples {
+            let key = &tuple[existing.slot][existing.col];
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = index.get(key) {
+                for m in matches {
+                    let mut t = tuple.clone();
+                    t.push(m);
+                    next.push(t);
+                }
+            }
+        }
+        tuples = next;
+    }
+
+    // Filter.
+    let preds: Vec<(Bound, CompareOp, PredRhs)> = stmt
+        .predicates
+        .iter()
+        .map(|p| match p {
+            Predicate::ColumnLiteral { column, op, literal } => {
+                Ok((resolve(column)?, *op, PredRhs::Literal(literal.clone())))
+            }
+            Predicate::ColumnColumn { left, op, right } => {
+                Ok((resolve(left)?, *op, PredRhs::Column(resolve(right)?)))
+            }
+        })
+        .collect::<Result<_, KbError>>()?;
+    tuples.retain(|tuple| {
+        preds.iter().all(|(bound, op, rhs)| {
+            let lhs = &tuple[bound.slot][bound.col];
+            let rhs_val = match rhs {
+                PredRhs::Literal(v) => v,
+                PredRhs::Column(b) => &tuple[b.slot][b.col],
+            };
+            compare(lhs, *op, rhs_val)
+        })
+    });
+
+    // Project.
+    let mut out_cols: Vec<String> = Vec::new();
+    let mut projections: Vec<Bound> = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Star => {
+                for (slot, b) in bindings.iter().enumerate() {
+                    for (col, name) in b.columns.iter().enumerate() {
+                        out_cols.push(if bindings.len() > 1 {
+                            format!("{}.{name}", b.name)
+                        } else {
+                            (*name).to_string()
+                        });
+                        projections.push(Bound { slot, col });
+                    }
+                }
+            }
+            SelectItem::Column(cref) => {
+                out_cols.push(cref.column.clone());
+                projections.push(resolve(cref)?);
+            }
+        }
+    }
+    let mut rows: Vec<Vec<Value>> = tuples
+        .iter()
+        .map(|t| {
+            projections
+                .iter()
+                .map(|b| t[b.slot][b.col].clone())
+                .collect()
+        })
+        .collect();
+
+    // DISTINCT.
+    if stmt.distinct {
+        let mut seen = HashSet::new();
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    // ORDER BY — applied on the projected columns if the sort column is
+    // projected, otherwise on the underlying tuples; since tuples are gone
+    // by now, we require the sort key to be among the projected columns or
+    // resolvable. For simplicity (and matching our generated queries), the
+    // sort key must resolve; we re-project it per row using its position in
+    // the projection when present, else error.
+    if let Some(order) = &stmt.order_by {
+        let key_bound = resolve(&order.column)?;
+        let key_pos = projections
+            .iter()
+            .position(|b| b.slot == key_bound.slot && b.col == key_bound.col)
+            .ok_or_else(|| {
+                KbError::Semantic(format!(
+                    "ORDER BY column `{}` must appear in the SELECT list",
+                    order.column
+                ))
+            })?;
+        rows.sort_by(|a, b| {
+            let ord = a[key_pos].total_cmp(&b[key_pos]);
+            if order.descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+
+    // LIMIT.
+    if let Some(n) = stmt.limit {
+        rows.truncate(n);
+    }
+
+    Ok(ResultSet { columns: out_cols, rows })
+}
+
+enum PredRhs {
+    Literal(Value),
+    Column(Bound),
+}
+
+fn compare(lhs: &Value, op: CompareOp, rhs: &Value) -> bool {
+    use std::cmp::Ordering::*;
+    if lhs.is_null() || rhs.is_null() {
+        return false;
+    }
+    match op {
+        CompareOp::Eq => lhs.sql_eq(rhs),
+        CompareOp::Ne => !lhs.sql_eq(rhs),
+        CompareOp::Lt => lhs.total_cmp(rhs) == Less,
+        CompareOp::Le => lhs.total_cmp(rhs) != Greater,
+        CompareOp::Gt => lhs.total_cmp(rhs) == Greater,
+        CompareOp::Ge => lhs.total_cmp(rhs) != Less,
+        CompareOp::Like => match (lhs.as_text(), rhs.as_text()) {
+            (Some(s), Some(pat)) => like_match(s, pat),
+            _ => false,
+        },
+        CompareOp::Contains => match (lhs.as_text(), rhs.as_text()) {
+            (Some(s), Some(needle)) => {
+                s.to_lowercase().contains(&needle.to_lowercase())
+            }
+            _ => false,
+        },
+    }
+}
+
+/// SQL LIKE with `%` (any sequence) and `_` (any single char) wildcards.
+fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try consuming 0..=len chars.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, TableSchema};
+
+    fn medical_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.create_table(
+            TableSchema::new("drug")
+                .column("drug_id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .primary_key("drug_id"),
+        )
+        .unwrap();
+        kb.create_table(
+            TableSchema::new("precautions")
+                .column("prec_id", ColumnType::Int)
+                .column("drug_id", ColumnType::Int)
+                .column("description", ColumnType::Text)
+                .primary_key("prec_id")
+                .foreign_key("drug_id", "drug", "drug_id"),
+        )
+        .unwrap();
+        for (id, name) in [(1, "Aspirin"), (2, "Ibuprofen"), (3, "Tazarotene")] {
+            kb.insert("drug", vec![Value::Int(id), Value::text(name)]).unwrap();
+        }
+        for (id, drug, desc) in [
+            (1, 1, "avoid with bleeding disorders"),
+            (2, 2, "take with food"),
+            (3, 2, "avoid in third trimester"),
+        ] {
+            kb.insert(
+                "precautions",
+                vec![Value::Int(id), Value::Int(drug), Value::text(desc)],
+            )
+            .unwrap();
+        }
+        kb
+    }
+
+    #[test]
+    fn join_with_filter_matches_paper_template() {
+        let kb = medical_kb();
+        let rs = kb
+            .query(
+                "SELECT precautions.description FROM precautions \
+                 INNER JOIN drug ON precautions.drug_id = drug.drug_id \
+                 WHERE drug.name = 'Ibuprofen'",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.columns, vec!["description"]);
+    }
+
+    #[test]
+    fn aliases_work() {
+        let kb = medical_kb();
+        let rs = kb
+            .query(
+                "SELECT p.description FROM precautions p \
+                 INNER JOIN drug d ON p.drug_id = d.drug_id WHERE d.name = 'Aspirin'",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn unqualified_unambiguous_columns_resolve() {
+        let kb = medical_kb();
+        let rs = kb
+            .query(
+                "SELECT description FROM precautions \
+                 INNER JOIN drug ON precautions.drug_id = drug.drug_id WHERE name = 'Aspirin'",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_column_errors() {
+        let kb = medical_kb();
+        let err = kb
+            .query(
+                "SELECT drug_id FROM precautions \
+                 INNER JOIN drug ON precautions.drug_id = drug.drug_id",
+            )
+            .unwrap_err();
+        assert!(matches!(err, KbError::Semantic(_)));
+    }
+
+    #[test]
+    fn self_join_requires_aliases() {
+        let kb = medical_kb();
+        let err = kb
+            .query("SELECT * FROM drug INNER JOIN drug ON drug.drug_id = drug.drug_id")
+            .unwrap_err();
+        assert!(matches!(err, KbError::Semantic(_)));
+        let rs = kb
+            .query("SELECT a.name FROM drug a INNER JOIN drug b ON a.drug_id = b.drug_id")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn star_projection_qualifies_when_joined() {
+        let kb = medical_kb();
+        let rs = kb.query("SELECT * FROM drug").unwrap();
+        assert_eq!(rs.columns, vec!["drug_id", "name"]);
+        let rs = kb
+            .query(
+                "SELECT * FROM precautions p INNER JOIN drug d ON p.drug_id = d.drug_id",
+            )
+            .unwrap();
+        assert!(rs.columns.contains(&"p.description".to_string()));
+        assert!(rs.columns.contains(&"d.name".to_string()));
+    }
+
+    #[test]
+    fn distinct_order_limit() {
+        let kb = medical_kb();
+        let rs = kb
+            .query(
+                "SELECT DISTINCT d.name FROM drug d \
+                 INNER JOIN precautions p ON d.drug_id = p.drug_id \
+                 ORDER BY name DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::text("Ibuprofen")]]);
+    }
+
+    #[test]
+    fn order_by_must_be_projected() {
+        let kb = medical_kb();
+        assert!(kb.query("SELECT name FROM drug ORDER BY drug_id").is_err());
+        assert!(kb.query("SELECT name FROM drug ORDER BY name").is_ok());
+    }
+
+    #[test]
+    fn like_and_contains() {
+        let kb = medical_kb();
+        let rs = kb
+            .query("SELECT name FROM drug WHERE name LIKE 'Asp%'")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        let rs = kb
+            .query("SELECT name FROM drug WHERE name CONTAINS 'IBU'")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1, "CONTAINS is case-insensitive");
+        let rs = kb
+            .query("SELECT name FROM drug WHERE name LIKE '%e_'")
+            .unwrap();
+        // "Tazarotene" ends 'n','e' — pattern %e_ matches ...e + one char.
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut kb = medical_kb();
+        kb.insert(
+            "precautions",
+            vec![Value::Int(4), Value::Null, Value::text("orphan")],
+        )
+        .unwrap();
+        let rs = kb
+            .query(
+                "SELECT p.description FROM precautions p \
+                 INNER JOIN drug d ON p.drug_id = d.drug_id",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3, "NULL drug_id must not join");
+    }
+
+    #[test]
+    fn comparison_operators_on_ints() {
+        let kb = medical_kb();
+        let rs = kb.query("SELECT name FROM drug WHERE drug_id >= 2").unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        let rs = kb.query("SELECT name FROM drug WHERE drug_id != 2").unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn empty_result_is_ok() {
+        let kb = medical_kb();
+        let rs = kb
+            .query("SELECT name FROM drug WHERE name = 'Nothing'")
+            .unwrap();
+        assert!(rs.rows.is_empty());
+        assert_eq!(rs.single_column().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn like_match_edge_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "a%c"));
+        assert!(like_match("ac", "a%c"));
+        assert!(!like_match("ab", "a%c"));
+        assert!(like_match("a%b", "a%b")); // literal interpretation via %
+    }
+}

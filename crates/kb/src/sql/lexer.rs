@@ -1,0 +1,268 @@
+//! Tokenizer for the SQL subset.
+
+use crate::store::KbError;
+
+/// A lexical token with its source position (byte offset) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved).
+    Ident(String),
+    /// Single-quoted string literal with `''` escapes resolved.
+    StringLit(String),
+    Int(i64),
+    Float(f64),
+    Comma,
+    Dot,
+    Star,
+    LParen,
+    RParen,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A token paired with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// Tokenizes a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, KbError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, offset: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Spanned { token: Token::Dot, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Star, offset: start });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Spanned { token: Token::Eq, offset: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(KbError::Parse(format!("unexpected `!` at byte {start}")));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Spanned { token: Token::Le, offset: start });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Spanned { token: Token::Ne, offset: start });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Spanned { token: Token::Lt, offset: start });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(KbError::Parse(format!(
+                                "unterminated string literal starting at byte {start}"
+                            )))
+                        }
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Advance over one UTF-8 character.
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Spanned { token: Token::StringLit(s), offset: start });
+            }
+            '0'..='9' | '-' => {
+                let mut j = i + 1;
+                let mut is_float = false;
+                while j < bytes.len() {
+                    match bytes[j] as char {
+                        '0'..='9' => j += 1,
+                        '.' if !is_float
+                            && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit()) =>
+                        {
+                            is_float = true;
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[i..j];
+                if text == "-" {
+                    return Err(KbError::Parse(format!("unexpected `-` at byte {start}")));
+                }
+                let token = if is_float {
+                    Token::Float(
+                        text.parse()
+                            .map_err(|e| KbError::Parse(format!("bad float `{text}`: {e}")))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse()
+                            .map_err(|e| KbError::Parse(format!("bad integer `{text}`: {e}")))?,
+                    )
+                };
+                tokens.push(Spanned { token, offset: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let c = bytes[j] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned {
+                    token: Token::Ident(input[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(KbError::Parse(format!(
+                    "unexpected character `{other}` at byte {start}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn basic_select_tokens() {
+        assert_eq!(
+            toks("SELECT a.b, c FROM t"),
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::Comma,
+                Token::Ident("c".into()),
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks("'O''Neil'"), vec![Token::StringLit("O'Neil".into())]);
+        assert_eq!(toks("''"), vec![Token::StringLit(String::new())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Token::Int(42)]);
+        assert_eq!(toks("-7"), vec![Token::Int(-7)]);
+        assert_eq!(toks("2.5"), vec![Token::Float(2.5)]);
+        // A trailing dot is a Dot token, not part of the number.
+        assert_eq!(toks("2."), vec![Token::Int(2), Token::Dot]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= != <> < <= > >="),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("'naïve — ☃'"), vec![Token::StringLit("naïve — ☃".into())]);
+    }
+
+    #[test]
+    fn bad_characters_error() {
+        assert!(lex("SELECT #").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! A hand-written SQL subset sufficient for the queries the conversation
+//! system generates (paper §4.4, Fig. 9):
+//!
+//! ```sql
+//! SELECT [DISTINCT] col [, col ...]
+//! FROM table [alias]
+//! [INNER JOIN table [alias] ON col = col ...]
+//! [WHERE col OP literal [AND ...]]
+//! [ORDER BY col [ASC|DESC]]
+//! [LIMIT n]
+//! ```
+//!
+//! with `OP ∈ {=, !=, <>, <, <=, >, >=, LIKE, CONTAINS}`. `LIKE` supports
+//! `%` wildcards; `CONTAINS` is case-insensitive substring match (used for
+//! partial-entity disambiguation, paper §6.1).
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{ColumnRef, CompareOp, Predicate, Select, TableRef};

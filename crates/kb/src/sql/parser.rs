@@ -1,0 +1,331 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::store::KbError;
+use crate::value::Value;
+
+use super::ast::{
+    ColumnRef, CompareOp, Join, OrderBy, Predicate, Select, SelectItem, TableRef,
+};
+use super::lexer::{lex, Spanned, Token};
+
+/// Parses one SELECT statement.
+pub fn parse(input: &str) -> Result<Select, KbError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let select = p.select()?;
+    if p.pos != p.tokens.len() {
+        return Err(KbError::Parse(format!(
+            "trailing input after statement at byte {}",
+            p.tokens[p.pos].offset
+        )));
+    }
+    Ok(select)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the next token if it is the given keyword
+    /// (case-insensitive).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), KbError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(KbError::Parse(format!("expected `{kw}` {}", self.here())))
+        }
+    }
+
+    fn here(&self) -> String {
+        match self.tokens.get(self.pos) {
+            Some(t) => format!("at byte {}", t.offset),
+            None => "at end of input".to_string(),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, KbError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(KbError::Parse(format!(
+                "expected identifier, got {other:?} {}",
+                self.here()
+            ))),
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, KbError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = vec![self.select_item()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.next();
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_keyword("INNER");
+            if inner {
+                self.expect_keyword("JOIN")?;
+            } else if !self.eat_keyword("JOIN") {
+                break;
+            }
+            let table = self.table_ref()?;
+            self.expect_keyword("ON")?;
+            let left = self.column_ref()?;
+            match self.next() {
+                Some(Token::Eq) => {}
+                other => {
+                    return Err(KbError::Parse(format!(
+                        "JOIN conditions must use `=`, got {other:?}"
+                    )))
+                }
+            }
+            let right = self.column_ref()?;
+            joins.push(Join { table, left, right });
+        }
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            predicates.push(self.predicate()?);
+            while self.eat_keyword("AND") {
+                predicates.push(self.predicate()?);
+            }
+        }
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let column = self.column_ref()?;
+            let descending = if self.eat_keyword("DESC") {
+                true
+            } else {
+                self.eat_keyword("ASC");
+                false
+            };
+            Some(OrderBy { column, descending })
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(KbError::Parse(format!(
+                        "LIMIT expects a non-negative integer, got {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Select { distinct, items, from, joins, predicates, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, KbError> {
+        if matches!(self.peek(), Some(Token::Star)) {
+            self.next();
+            return Ok(SelectItem::Star);
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, KbError> {
+        let table = self.ident()?;
+        // An alias is any identifier that is not a clause keyword.
+        let alias = match self.peek() {
+            Some(Token::Ident(s)) if !is_clause_keyword(s) => {
+                let a = s.clone();
+                self.pos += 1;
+                Some(a)
+            }
+            _ => None,
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, KbError> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Some(Token::Dot)) {
+            self.next();
+            let column = self.ident()?;
+            Ok(ColumnRef { qualifier: Some(first), column })
+        } else {
+            Ok(ColumnRef { qualifier: None, column: first })
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, KbError> {
+        let column = self.column_ref()?;
+        let op = match self.next() {
+            Some(Token::Eq) => CompareOp::Eq,
+            Some(Token::Ne) => CompareOp::Ne,
+            Some(Token::Lt) => CompareOp::Lt,
+            Some(Token::Le) => CompareOp::Le,
+            Some(Token::Gt) => CompareOp::Gt,
+            Some(Token::Ge) => CompareOp::Ge,
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("LIKE") => CompareOp::Like,
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("CONTAINS") => CompareOp::Contains,
+            other => {
+                return Err(KbError::Parse(format!(
+                    "expected comparison operator, got {other:?}"
+                )))
+            }
+        };
+        match self.peek() {
+            Some(Token::StringLit(_)) | Some(Token::Int(_)) | Some(Token::Float(_)) => {
+                let literal = match self.next() {
+                    Some(Token::StringLit(s)) => Value::Text(s),
+                    Some(Token::Int(i)) => Value::Int(i),
+                    Some(Token::Float(f)) => Value::float(f).ok_or_else(|| {
+                        KbError::Parse("non-finite float literal".to_string())
+                    })?,
+                    _ => unreachable!("peeked literal"),
+                };
+                Ok(Predicate::ColumnLiteral { column, op, literal })
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("TRUE") => {
+                self.next();
+                Ok(Predicate::ColumnLiteral { column, op, literal: Value::Bool(true) })
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("FALSE") => {
+                self.next();
+                Ok(Predicate::ColumnLiteral { column, op, literal: Value::Bool(false) })
+            }
+            Some(Token::Ident(_)) => {
+                let right = self.column_ref()?;
+                Ok(Predicate::ColumnColumn { left: column, op, right })
+            }
+            other => Err(KbError::Parse(format!(
+                "expected literal or column after operator, got {other:?}"
+            ))),
+        }
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    const KEYWORDS: &[&str] = &[
+        "INNER", "JOIN", "ON", "WHERE", "AND", "ORDER", "BY", "LIMIT", "ASC", "DESC", "FROM",
+        "SELECT", "DISTINCT",
+    ];
+    KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figure9_query() {
+        // The template query of Fig. 9 (modulo whitespace).
+        let q = "SELECT oPrecautions.description \
+                 FROM precautions oPrecautions \
+                 INNER JOIN drug oDrug ON oPrecautions.drug_id = oDrug.drug_id \
+                 WHERE oDrug.name = 'Ibuprofen'";
+        let s = parse(q).unwrap();
+        assert!(!s.distinct);
+        assert_eq!(s.items.len(), 1);
+        assert_eq!(s.from.binding(), "oPrecautions");
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.predicates.len(), 1);
+    }
+
+    #[test]
+    fn parses_star_and_distinct() {
+        let s = parse("SELECT DISTINCT * FROM t").unwrap();
+        assert!(s.distinct);
+        assert_eq!(s.items, vec![SelectItem::Star]);
+    }
+
+    #[test]
+    fn parses_multi_join_where_order_limit() {
+        let q = "SELECT a.x, b.y FROM a INNER JOIN b ON a.id = b.a_id \
+                 INNER JOIN c ON b.id = c.b_id \
+                 WHERE a.x > 3 AND b.y != 'z' ORDER BY a.x DESC LIMIT 10";
+        let s = parse(q).unwrap();
+        assert_eq!(s.joins.len(), 2);
+        assert_eq!(s.predicates.len(), 2);
+        assert!(s.order_by.as_ref().unwrap().descending);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("select x from t where x = 1 order by x limit 2").is_ok());
+    }
+
+    #[test]
+    fn join_keyword_without_inner() {
+        let s = parse("SELECT x FROM a JOIN b ON a.i = b.i").unwrap();
+        assert_eq!(s.joins.len(), 1);
+    }
+
+    #[test]
+    fn like_and_contains_operators() {
+        let s = parse("SELECT x FROM t WHERE x LIKE '%asp%' AND x CONTAINS 'cal'").unwrap();
+        assert!(matches!(
+            s.predicates[0],
+            Predicate::ColumnLiteral { op: CompareOp::Like, .. }
+        ));
+        assert!(matches!(
+            s.predicates[1],
+            Predicate::ColumnLiteral { op: CompareOp::Contains, .. }
+        ));
+    }
+
+    #[test]
+    fn column_column_predicate() {
+        let s = parse("SELECT x FROM t WHERE t.a = t.b").unwrap();
+        assert!(matches!(s.predicates[0], Predicate::ColumnColumn { .. }));
+    }
+
+    #[test]
+    fn boolean_literals() {
+        let s = parse("SELECT x FROM t WHERE flag = TRUE").unwrap();
+        assert!(matches!(
+            &s.predicates[0],
+            Predicate::ColumnLiteral { literal: Value::Bool(true), .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("SELEC x FROM t").is_err());
+        assert!(parse("SELECT x FROM t WHERE").is_err());
+        assert!(parse("SELECT x FROM t LIMIT -1").is_err());
+        assert!(parse("SELECT x FROM t extra garbage here now").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT x FROM a JOIN b ON a.i > b.i").is_err());
+    }
+
+    #[test]
+    fn alias_vs_keyword_disambiguation() {
+        // `WHERE` must not be eaten as an alias.
+        let s = parse("SELECT x FROM t WHERE x = 1").unwrap();
+        assert!(s.from.alias.is_none());
+        let s = parse("SELECT x FROM t u WHERE x = 1").unwrap();
+        assert_eq!(s.from.alias.as_deref(), Some("u"));
+    }
+}

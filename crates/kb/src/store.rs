@@ -1,0 +1,418 @@
+//! The knowledge-base store: tables of typed rows with constraint checking
+//! and a query entry point.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::TableSchema;
+use crate::sql;
+use crate::value::Value;
+
+/// Errors produced by the store and the SQL engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KbError {
+    TableExists(String),
+    UnknownTable(String),
+    UnknownColumn { table: String, column: String },
+    SchemaInvalid(String),
+    ArityMismatch { table: String, expected: usize, got: usize },
+    TypeMismatch { table: String, column: String, value: String },
+    NullPrimaryKey { table: String },
+    DuplicatePrimaryKey { table: String, key: String },
+    ForeignKeyViolation { table: String, column: String, value: String },
+    /// SQL parse error with position information.
+    Parse(String),
+    /// SQL semantic error (ambiguous column, unknown alias, ...).
+    Semantic(String),
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            KbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            KbError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            KbError::SchemaInvalid(msg) => write!(f, "invalid schema: {msg}"),
+            KbError::ArityMismatch { table, expected, got } => {
+                write!(f, "table `{table}` expects {expected} values, got {got}")
+            }
+            KbError::TypeMismatch { table, column, value } => {
+                write!(f, "value `{value}` not admissible in `{table}.{column}`")
+            }
+            KbError::NullPrimaryKey { table } => {
+                write!(f, "primary key of `{table}` cannot be NULL")
+            }
+            KbError::DuplicatePrimaryKey { table, key } => {
+                write!(f, "duplicate primary key `{key}` in `{table}`")
+            }
+            KbError::ForeignKeyViolation { table, column, value } => {
+                write!(f, "`{table}.{column}` = `{value}` references a missing row")
+            }
+            KbError::Parse(msg) => write!(f, "SQL parse error: {msg}"),
+            KbError::Semantic(msg) => write!(f, "SQL error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+/// One stored table: schema plus row data and a primary-key index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    pub schema: TableSchema,
+    pub rows: Vec<Vec<Value>>,
+    /// PK value → row position, present when the schema declares a PK.
+    #[serde(skip)]
+    pk_index: HashMap<Value, usize>,
+}
+
+impl Table {
+    fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: Vec::new(), pk_index: HashMap::new() }
+    }
+
+    /// Finds a row by primary-key value.
+    pub fn row_by_pk(&self, key: &Value) -> Option<&[Value]> {
+        self.pk_index.get(key).map(|&i| self.rows[i].as_slice())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn rebuild_pk_index(&mut self) {
+        self.pk_index.clear();
+        if let Some(pk) = self.schema.primary_key.clone() {
+            let idx = self.schema.column_index(&pk).expect("checked schema");
+            for (i, row) in self.rows.iter().enumerate() {
+                self.pk_index.insert(row[idx].clone(), i);
+            }
+        }
+    }
+}
+
+/// The result of a query: column headers plus rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// Output column labels (unqualified names, or `table.column` when
+    /// needed for disambiguation).
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Values of the single output column; errors if the shape differs.
+    pub fn single_column(&self) -> Result<Vec<&Value>, KbError> {
+        if self.columns.len() != 1 {
+            return Err(KbError::Semantic(format!(
+                "expected a single output column, got {}",
+                self.columns.len()
+            )));
+        }
+        Ok(self.rows.iter().map(|r| &r[0]).collect())
+    }
+
+    /// Renders a compact ASCII table for transcripts and the repro harness.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(" | "));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The in-memory knowledge base: a named collection of tables.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    tables: HashMap<String, Table>,
+}
+
+impl KnowledgeBase {
+    pub fn new() -> Self {
+        KnowledgeBase::default()
+    }
+
+    /// Creates a table from a checked schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), KbError> {
+        schema.check().map_err(KbError::SchemaInvalid)?;
+        if self.tables.contains_key(&schema.name) {
+            return Err(KbError::TableExists(schema.name));
+        }
+        self.tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Inserts a row, enforcing arity, types, PK uniqueness and FK
+    /// referential integrity (referenced tables must be populated first).
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), KbError> {
+        // FK checks need immutable access to other tables, so validate
+        // before mutably borrowing the target table.
+        {
+            let t = self
+                .tables
+                .get(table)
+                .ok_or_else(|| KbError::UnknownTable(table.to_string()))?;
+            if row.len() != t.schema.columns.len() {
+                return Err(KbError::ArityMismatch {
+                    table: table.to_string(),
+                    expected: t.schema.columns.len(),
+                    got: row.len(),
+                });
+            }
+            for (col, v) in t.schema.columns.iter().zip(&row) {
+                if !col.ty.admits(v) {
+                    return Err(KbError::TypeMismatch {
+                        table: table.to_string(),
+                        column: col.name.clone(),
+                        value: v.to_string(),
+                    });
+                }
+            }
+            if let Some(pk) = &t.schema.primary_key {
+                let idx = t.schema.column_index(pk).expect("checked schema");
+                if row[idx].is_null() {
+                    return Err(KbError::NullPrimaryKey { table: table.to_string() });
+                }
+                if t.pk_index.contains_key(&row[idx]) {
+                    return Err(KbError::DuplicatePrimaryKey {
+                        table: table.to_string(),
+                        key: row[idx].to_string(),
+                    });
+                }
+            }
+            for fk in &t.schema.foreign_keys {
+                let idx = t.schema.column_index(&fk.column).expect("checked schema");
+                let v = &row[idx];
+                if v.is_null() {
+                    continue;
+                }
+                let target = self
+                    .tables
+                    .get(&fk.references_table)
+                    .ok_or_else(|| KbError::UnknownTable(fk.references_table.clone()))?;
+                let ok = match (&target.schema.primary_key, &fk.references_column) {
+                    (Some(pk), rc) if pk == rc => target.pk_index.contains_key(v),
+                    _ => {
+                        let ridx = target.schema.column_index(&fk.references_column).ok_or_else(
+                            || KbError::UnknownColumn {
+                                table: fk.references_table.clone(),
+                                column: fk.references_column.clone(),
+                            },
+                        )?;
+                        target.rows.iter().any(|r| r[ridx].sql_eq(v))
+                    }
+                };
+                if !ok {
+                    return Err(KbError::ForeignKeyViolation {
+                        table: table.to_string(),
+                        column: fk.column.clone(),
+                        value: v.to_string(),
+                    });
+                }
+            }
+        }
+        let t = self.tables.get_mut(table).expect("existence checked above");
+        if let Some(pk) = t.schema.primary_key.clone() {
+            let idx = t.schema.column_index(&pk).expect("checked schema");
+            t.pk_index.insert(row[idx].clone(), t.rows.len());
+        }
+        t.rows.push(row);
+        Ok(())
+    }
+
+    /// Parses and executes a SQL query against the store.
+    pub fn query(&self, sql_text: &str) -> Result<ResultSet, KbError> {
+        let stmt = sql::parser::parse(sql_text)?;
+        sql::exec::execute(self, &stmt)
+    }
+
+    /// Table lookup.
+    pub fn table(&self, name: &str) -> Result<&Table, KbError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| KbError::UnknownTable(name.to_string()))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Table names in sorted order (deterministic iteration).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// All distinct non-null values of one column, sorted.
+    pub fn distinct_values(&self, table: &str, column: &str) -> Result<Vec<Value>, KbError> {
+        let t = self.table(table)?;
+        let idx = t
+            .schema
+            .column_index(column)
+            .ok_or_else(|| KbError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        let mut vals: Vec<Value> = t
+            .rows
+            .iter()
+            .map(|r| r[idx].clone())
+            .filter(|v| !v.is_null())
+            .collect();
+        vals.sort_by(|a, b| a.total_cmp(b));
+        vals.dedup();
+        Ok(vals)
+    }
+
+    /// Rebuilds all PK indexes (after deserialisation).
+    pub fn rebuild_indexes(&mut self) {
+        for t in self.tables.values_mut() {
+            t.rebuild_pk_index();
+        }
+    }
+
+    /// Parses a KB from JSON, rebuilding indexes.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let mut kb: KnowledgeBase = serde_json::from_str(json)?;
+        kb.rebuild_indexes();
+        Ok(kb)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("KB serialisation cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn kb_with_drug() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.create_table(
+            TableSchema::new("drug")
+                .column("drug_id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .primary_key("drug_id"),
+        )
+        .unwrap();
+        kb
+    }
+
+    #[test]
+    fn create_insert_lookup() {
+        let mut kb = kb_with_drug();
+        kb.insert("drug", vec![Value::Int(1), Value::text("Aspirin")]).unwrap();
+        let t = kb.table("drug").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.row_by_pk(&Value::Int(1)).unwrap()[1],
+            Value::text("Aspirin")
+        );
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut kb = kb_with_drug();
+        let err = kb
+            .create_table(TableSchema::new("drug").column("x", ColumnType::Int))
+            .unwrap_err();
+        assert_eq!(err, KbError::TableExists("drug".into()));
+    }
+
+    #[test]
+    fn arity_and_type_enforced() {
+        let mut kb = kb_with_drug();
+        assert!(matches!(
+            kb.insert("drug", vec![Value::Int(1)]),
+            Err(KbError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            kb.insert("drug", vec![Value::text("x"), Value::text("y")]),
+            Err(KbError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pk_constraints_enforced() {
+        let mut kb = kb_with_drug();
+        kb.insert("drug", vec![Value::Int(1), Value::text("A")]).unwrap();
+        assert!(matches!(
+            kb.insert("drug", vec![Value::Int(1), Value::text("B")]),
+            Err(KbError::DuplicatePrimaryKey { .. })
+        ));
+        assert!(matches!(
+            kb.insert("drug", vec![Value::Null, Value::text("C")]),
+            Err(KbError::NullPrimaryKey { .. })
+        ));
+    }
+
+    #[test]
+    fn fk_enforced_and_null_fk_allowed() {
+        let mut kb = kb_with_drug();
+        kb.create_table(
+            TableSchema::new("dosage")
+                .column("dosage_id", ColumnType::Int)
+                .column("drug_id", ColumnType::Int)
+                .primary_key("dosage_id")
+                .foreign_key("drug_id", "drug", "drug_id"),
+        )
+        .unwrap();
+        kb.insert("drug", vec![Value::Int(1), Value::text("A")]).unwrap();
+        kb.insert("dosage", vec![Value::Int(10), Value::Int(1)]).unwrap();
+        assert!(matches!(
+            kb.insert("dosage", vec![Value::Int(11), Value::Int(99)]),
+            Err(KbError::ForeignKeyViolation { .. })
+        ));
+        // NULL FK is allowed.
+        kb.insert("dosage", vec![Value::Int(12), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn distinct_values_sorted_deduped() {
+        let mut kb = kb_with_drug();
+        for (i, n) in ["B", "A", "B"].iter().enumerate() {
+            kb.insert("drug", vec![Value::Int(i as i64), Value::text(*n)]).unwrap();
+        }
+        assert_eq!(
+            kb.distinct_values("drug", "name").unwrap(),
+            vec![Value::text("A"), Value::text("B")]
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_rebuilds_pk_index() {
+        let mut kb = kb_with_drug();
+        kb.insert("drug", vec![Value::Int(7), Value::text("A")]).unwrap();
+        let kb2 = KnowledgeBase::from_json(&kb.to_json()).unwrap();
+        assert!(kb2.table("drug").unwrap().row_by_pk(&Value::Int(7)).is_some());
+        // And the rebuilt index still prevents duplicates.
+        let mut kb3 = kb2.clone();
+        assert!(kb3.insert("drug", vec![Value::Int(7), Value::text("B")]).is_err());
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut kb = kb_with_drug();
+        kb.create_table(TableSchema::new("a_table").column("x", ColumnType::Int))
+            .unwrap();
+        assert_eq!(kb.table_names(), vec!["a_table", "drug"]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Typed cell values stored in the knowledge base.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single cell value. `Float` is wrapped so `Value` can be `Eq`/`Hash`
+/// (NaN is rejected at construction).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    /// A finite float, stored via its bit pattern for hashing.
+    Float(FiniteF64),
+    Text(String),
+}
+
+/// A finite (non-NaN, non-infinite) f64 usable as a hash key.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FiniteF64(f64);
+
+impl FiniteF64 {
+    /// Wraps a float; panics if not finite. Use [`Value::float`] for a
+    /// checked constructor.
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite(), "KB float values must be finite, got {v}");
+        // Normalise -0.0 to 0.0 so equal values hash identically.
+        FiniteF64(if v == 0.0 { 0.0 } else { v })
+    }
+
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for FiniteF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for FiniteF64 {}
+impl std::hash::Hash for FiniteF64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+impl PartialOrd for FiniteF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FiniteF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("finite floats are totally ordered")
+    }
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Checked float constructor; returns `None` for NaN/infinite input.
+    pub fn float(v: f64) -> Option<Self> {
+        v.is_finite().then(|| Value::Float(FiniteF64::new(v)))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The text content if this is a `Text` value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Total ordering across values of the *same* variant; across variants
+    /// the order is Null < Bool < Int/Float (numeric) < Text. Ints and
+    /// floats compare numerically.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Bool(_), _) => Ordering::Less,
+            (_, Bool(_)) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.cmp(b),
+            (Int(a), Float(b)) => (*a as f64)
+                .partial_cmp(&b.get())
+                .expect("finite comparison"),
+            (Float(a), Int(b)) => a
+                .get()
+                .partial_cmp(&(*b as f64))
+                .expect("finite comparison"),
+            (Int(_) | Float(_), Text(_)) => Ordering::Less,
+            (Text(_), Int(_) | Float(_)) => Ordering::Greater,
+            (Text(a), Text(b)) => a.cmp(b),
+        }
+    }
+
+    /// SQL-style equality: `NULL` equals nothing, ints and floats compare
+    /// numerically.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{}", v.get()),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a single-quoted SQL literal.
+pub fn sql_quote(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn null_never_equals() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Null.sql_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert!(Value::Int(2).sql_eq(&Value::float(2.0).unwrap()));
+        assert!(!Value::Int(2).sql_eq(&Value::float(2.5).unwrap()));
+    }
+
+    #[test]
+    fn float_rejects_nan() {
+        assert!(Value::float(f64::NAN).is_none());
+        assert!(Value::float(f64::INFINITY).is_none());
+        assert!(Value::float(1.5).is_some());
+    }
+
+    #[test]
+    fn negative_zero_normalised() {
+        let a = Value::float(0.0).unwrap();
+        let b = Value::float(-0.0).unwrap();
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn total_order_is_stable() {
+        let mut vals = vec![
+            Value::text("b"),
+            Value::Int(3),
+            Value::Null,
+            Value::float(1.5).unwrap(),
+            Value::text("a"),
+            Value::Bool(true),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::float(1.5).unwrap(),
+                Value::Int(3),
+                Value::text("a"),
+                Value::text("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn sql_quote_escapes_single_quotes() {
+        assert_eq!(sql_quote("O'Neil"), "'O''Neil'");
+        assert_eq!(sql_quote("plain"), "'plain'");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::text("x").to_string(), "x");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::float(2.5).unwrap().to_string(), "2.5");
+    }
+}

@@ -1,0 +1,33 @@
+//! # obcs-mdx
+//!
+//! The Micromedex (MDX) use case of the paper (§6): a synthetic,
+//! full-scale medical knowledge base and the Conversational MDX agent
+//! assembled on top of it through the ontology-driven bootstrapping
+//! pipeline.
+//!
+//! The real Micromedex content is proprietary; this crate generates a
+//! *synthetic equivalent at the same structural scale* (see DESIGN.md):
+//!
+//! * a hand-curated medical domain ontology with exactly the dimensions
+//!   the paper reports — **59 concepts, 178 data properties, 58
+//!   relationships** including functional, isA and unionOf ([`ontology`]);
+//! * a seeded synthetic KB with drugs (including every drug and condition
+//!   the paper's transcripts mention — Tazarotene, Fluocinonide,
+//!   Benztropine Mesylate a.k.a. Cogentin, psoriasis, …), conditions,
+//!   dosages, interactions, risks and the other dependent content sets
+//!   ([`data`]);
+//! * the domain synonym dictionaries of Table 2 plus brand-name and
+//!   base-with-salt synonyms (§6.1) ([`synonyms`]);
+//! * the SME feedback of §4.2.2/§6.1: intent renames to the product
+//!   names of Table 5, pruning of unrealistic patterns, labelled prior
+//!   user queries, the DRUG_GENERAL entity-only intent, and the 13
+//!   conversation-management intents ([`sme`]);
+//! * the assembled [`ConversationalMdx`] agent ([`assemble`]).
+
+pub mod assemble;
+pub mod data;
+pub mod ontology;
+pub mod sme;
+pub mod synonyms;
+
+pub use assemble::ConversationalMdx;

@@ -1,0 +1,239 @@
+//! The MDX domain ontology: a hand-curated medical ontology at exactly the
+//! scale the paper reports for the generated Micromedex ontology —
+//! **59 concepts, 178 data properties, 58 relationships** (functional,
+//! isA, unionOf) — with `Drug` and `Condition` as the hub entities of
+//! Figure 2.
+
+use obcs_ontology::{Ontology, OntologyBuilder};
+
+/// Key concept: Drug (6 data properties).
+pub const DRUG_PROPS: &[&str] = &[
+    "name",
+    "brand",
+    "base_salt",
+    "description",
+    "drug_class_name",
+    "approval_year",
+];
+
+/// Key concept: Condition (4 data properties).
+pub const CONDITION_PROPS: &[&str] = &["name", "icd_code", "description", "category"];
+
+/// The 14 dependent concepts of `Drug` (paper §6.1: 14 lookup intents),
+/// each with 4 data properties. The first property is the *descriptive*
+/// column projected by lookup templates.
+pub const DEPENDENTS: &[(&str, [&str; 4])] = &[
+    ("Administration", ["description", "instructions", "timing", "note"]),
+    ("AdverseEffect", ["description", "effect", "onset", "note"]),
+    ("Dosage", ["description", "amount", "regimen", "note"]),
+    ("DoseAdjustment", ["description", "adjustment", "rationale", "note"]),
+    ("DrugInteraction", ["description", "summary", "onset", "note"]),
+    ("IvCompatibility", ["description", "result_note", "study_basis", "note"]),
+    ("MechanismOfAction", ["description", "pathway", "pharmacology", "note"]),
+    ("Monitoring", ["description", "parameter", "target_range", "note"]),
+    ("Pharmacokinetics", ["description", "profile", "kinetics_note", "note"]),
+    ("Precaution", ["description", "detail", "applies_to", "note"]),
+    ("RegulatoryStatus", ["description", "status_note", "region", "note"]),
+    ("Risk", ["description", "summary", "severity_note", "note"]),
+    ("Toxicology", ["description", "presentation", "management", "note"]),
+    ("Use", ["description", "indication_note", "evidence_note", "note"]),
+];
+
+/// Hierarchy children (3 data properties each): the `Risk` union members
+/// and the `DrugInteraction` isA children of Figure 2.
+pub const HIERARCHY_CHILDREN: &[(&str, [&str; 3])] = &[
+    ("ContraIndication", ["description", "basis", "note"]),
+    ("BlackBoxWarning", ["description", "boxed_text", "note"]),
+    ("DrugDrugInteraction", ["description", "management", "documentation"]),
+    ("DrugFoodInteraction", ["mechanism", "management", "documentation"]),
+    ("DrugLabInteraction", ["note_text", "effect_on_test", "documentation"]),
+];
+
+/// Satellite concepts: categorical attributes of the dependent concepts
+/// (never direct neighbours of a key concept, so they generate no intents
+/// of their own). `(satellite, parent dependent, relation name, props)`.
+/// 18 satellites carry 3 properties, 17 carry 2 → 88 in total.
+pub const SATELLITES: &[(&str, &str, &str, &[&str])] = &[
+    // Dosage facets.
+    ("AgeGroup", "Dosage", "forAgeGroup", &["name", "min_age", "max_age"]),
+    ("DoseUnit", "Dosage", "inUnit", &["name", "system", "abbreviation"]),
+    ("Frequency", "Dosage", "atFrequency", &["name", "per_day", "interval_hours"]),
+    ("TherapyDuration", "Dosage", "forDuration", &["name", "days", "note_text"]),
+    // Administration facets.
+    ("Route", "Administration", "viaRoute", &["name", "site", "invasive"]),
+    ("DoseForm", "Administration", "inForm", &["name", "physical_state", "strength_note"]),
+    // Adverse-effect facets.
+    ("Severity", "AdverseEffect", "withSeverity", &["name", "rank", "action_required"]),
+    ("Incidence", "AdverseEffect", "withIncidence", &["name", "rate"]),
+    ("OrganSystem", "AdverseEffect", "onOrganSystem", &["name", "body_region", "icd_chapter"]),
+    // Use facets.
+    ("Efficacy", "Use", "withEfficacy", &["name", "rank", "definition"]),
+    ("EvidenceRating", "Use", "withEvidence", &["name", "description"]),
+    ("Recommendation", "Use", "withRecommendation", &["name", "strength"]),
+    // Pharmacokinetics facets.
+    ("Absorption", "Pharmacokinetics", "hasAbsorption", &["name", "description"]),
+    ("Distribution", "Pharmacokinetics", "hasDistribution", &["name", "description"]),
+    ("Metabolism", "Pharmacokinetics", "hasMetabolism", &["name", "description"]),
+    ("Excretion", "Pharmacokinetics", "hasExcretion", &["name", "description"]),
+    ("HalfLife", "Pharmacokinetics", "hasHalfLife", &["name", "hours"]),
+    // Toxicology facets.
+    ("ToxicDose", "Toxicology", "atToxicDose", &["name", "threshold"]),
+    ("ClinicalEffect", "Toxicology", "withClinicalEffect", &["name", "description"]),
+    ("OverdoseTreatment", "Toxicology", "treatedBy", &["name", "description"]),
+    // Monitoring facets.
+    ("LabTest", "Monitoring", "usesLabTest", &["name", "specimen", "units"]),
+    // Regulatory facets.
+    ("Schedule", "RegulatoryStatus", "underSchedule", &["name", "authority", "restrictions"]),
+    ("ApprovalStatus", "RegulatoryStatus", "withApproval", &["name", "description"]),
+    // IV compatibility facets.
+    ("Solution", "IvCompatibility", "inSolution", &["name", "tonicity", "abbreviation"]),
+    ("CompatibilityResult", "IvCompatibility", "withResult", &["name", "description"]),
+    // Precaution facets.
+    ("PatientPopulation", "Precaution", "forPopulation", &["name", "criteria", "note_text"]),
+    ("PregnancyCategory", "Precaution", "inPregnancyCategory", &["name", "risk_summary", "authority"]),
+    ("LactationRisk", "Precaution", "withLactationRisk", &["name", "description"]),
+    // Dose-adjustment facets.
+    ("RenalFunction", "DoseAdjustment", "forRenalFunction", &["name", "crcl_range", "stage"]),
+    ("HepaticFunction", "DoseAdjustment", "forHepaticFunction", &["name", "child_pugh", "stage"]),
+    // Mechanism facets.
+    ("DrugClass", "MechanismOfAction", "inClass", &["name", "atc_code", "description"]),
+    ("DrugTarget", "MechanismOfAction", "onTarget", &["name", "target_type"]),
+    // Hierarchy-child facets.
+    ("InteractionEffect", "DrugDrugInteraction", "withEffect", &["name", "description"]),
+    ("Food", "DrugFoodInteraction", "withFood", &["name", "category", "note_text"]),
+    ("WarningSource", "BlackBoxWarning", "issuedBy", &["name", "region"]),
+];
+
+/// Standalone reference-metadata concepts (3 data properties each, no
+/// relationships).
+pub const STANDALONE: &[(&str, [&str; 3])] = &[
+    ("Citation", ["title", "source", "year"]),
+    ("ContentVersion", ["version", "released", "editor"]),
+    ("Disclaimer", ["title", "body_text", "audience"]),
+];
+
+/// Builds the MDX domain ontology.
+pub fn build_mdx_ontology() -> Ontology {
+    let mut b = OntologyBuilder::new("mdx")
+        .data("Drug", DRUG_PROPS)
+        .data("Condition", CONDITION_PROPS)
+        .concept_described(
+            "Drug",
+            "a substance used in the diagnosis, treatment, or prevention of disease",
+        )
+        .concept_described("Condition", "a disease, finding, or disorder affecting a patient");
+    for (name, props) in DEPENDENTS {
+        b = b.data(name, props.as_slice());
+        b = b.relation(&format!("has{name}"), "Drug", name);
+    }
+    // Key-to-key relationships.
+    b = b.relation_with_inverse("treats", "is treated by", "Drug", "Condition");
+    b = b.relation_with_inverse("may cause", "may be caused by", "Drug", "Condition");
+    // Indirect links realising Fig. 6: Dosage and Toxicology connect to
+    // Condition.
+    b = b.relation("dosageFor", "Dosage", "Condition");
+    b = b.relation("toxicFor", "Toxicology", "Condition");
+    // Hierarchy.
+    for (name, props) in HIERARCHY_CHILDREN {
+        b = b.data(name, props.as_slice());
+    }
+    b = b.union("Risk", &["ContraIndication", "BlackBoxWarning"]);
+    b = b.is_a("DrugDrugInteraction", "DrugInteraction");
+    b = b.is_a("DrugFoodInteraction", "DrugInteraction");
+    b = b.is_a("DrugLabInteraction", "DrugInteraction");
+    // Satellites.
+    for (name, parent, relation, props) in SATELLITES {
+        b = b.data(name, props);
+        b = b.relation(relation, parent, name);
+    }
+    // Standalone metadata concepts.
+    for (name, props) in STANDALONE {
+        b = b.data(name, props.as_slice());
+    }
+    // Glossary-bearing descriptions (used by definition-request repair).
+    b = b
+        .concept_described(
+            "Efficacy",
+            "the capacity for beneficial change (or therapeutic effect) of a given intervention",
+        )
+        .concept_described(
+            "ContraIndication",
+            "a condition or factor that makes a particular treatment inadvisable",
+        )
+        .concept_described(
+            "BlackBoxWarning",
+            "the strongest warning the FDA requires, indicating a serious or life-threatening risk",
+        )
+        .concept_described(
+            "AdverseEffect",
+            "an unintended and harmful reaction to a medication",
+        )
+        .concept_described(
+            "IvCompatibility",
+            "whether two intravenous preparations can be administered together",
+        );
+    b.build().expect("static MDX ontology is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obcs_ontology::validate;
+
+    #[test]
+    fn matches_paper_scale_59_178_58() {
+        let o = build_mdx_ontology();
+        assert_eq!(o.concept_count(), 59, "paper: 59 concepts");
+        assert_eq!(o.data_property_count(), 178, "paper: 178 properties");
+        assert_eq!(o.object_property_count(), 58, "paper: 58 relationships");
+    }
+
+    #[test]
+    fn ontology_validates_cleanly() {
+        let o = build_mdx_ontology();
+        let issues = validate(&o);
+        assert!(issues.is_empty(), "{:?}", issues.iter().map(|i| i.render(&o)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn figure2_structures_present() {
+        let o = build_mdx_ontology();
+        let risk = o.concept_id("Risk").unwrap();
+        assert_eq!(o.union_members(risk).len(), 2);
+        let di = o.concept_id("DrugInteraction").unwrap();
+        assert_eq!(o.is_a_children(di).len(), 3);
+        let drug = o.concept_id("Drug").unwrap();
+        let treats = o
+            .outgoing(drug)
+            .find(|op| op.name == "treats")
+            .expect("treats edge");
+        assert_eq!(treats.inverse_name.as_deref(), Some("is treated by"));
+        assert_eq!(o.concept_name(treats.target), "Condition");
+    }
+
+    #[test]
+    fn glossary_descriptions_present() {
+        let o = build_mdx_ontology();
+        let eff = o.concept_by_name("Efficacy").unwrap();
+        assert!(eff.description.as_deref().unwrap().contains("beneficial change"));
+    }
+
+    #[test]
+    fn full_mdx_ontology_round_trips_through_turtle() {
+        let o = build_mdx_ontology();
+        let ttl = obcs_ontology::turtle::to_turtle(&o);
+        let back = obcs_ontology::turtle::from_turtle(&ttl).expect("round-trip");
+        assert_eq!(back.concept_count(), 59);
+        assert_eq!(back.data_property_count(), 178);
+        assert_eq!(back.object_property_count(), 58);
+        assert!(validate(&back).is_empty());
+    }
+
+    #[test]
+    fn drug_is_the_hub() {
+        let o = build_mdx_ontology();
+        let drug = o.concept_id("Drug").unwrap();
+        // 14 dependents + 2 condition edges.
+        assert_eq!(o.outgoing(drug).count(), 16);
+    }
+}

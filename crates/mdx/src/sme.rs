@@ -1,0 +1,225 @@
+//! The SME feedback applied to the bootstrapped MDX conversation space
+//! (paper §4.2.2, §4.3.2, §6.1): renames to the product intent names of
+//! Table 5, pruning of unrealistic generated patterns, labelled prior user
+//! queries as training augmentation, the DRUG_GENERAL entity-only intent,
+//! and the conversation-management intents.
+
+use obcs_core::SmeFeedback;
+use obcs_ontology::Ontology;
+
+/// The 13 conversation-management intents registered with the classifier
+/// (the paper's §6.1 management intents), as `(name, response)`.
+pub const MANAGEMENT_INTENTS: &[(&str, &str)] = &[
+    ("Greeting", "Hello. This is {agent}. How can I help you today?"),
+    ("Capability Check", "I can answer drug reference questions: treatments, dosing, interactions, and more."),
+    ("Help Request", "Try asking, for example: \"show me drugs that treat psoriasis\"."),
+    ("Appreciation", "You're welcome! Anything else?"),
+    ("Acknowledgement", "Anything else?"),
+    ("Affirmation", "Great."),
+    ("Disconfirmation", "OK. Please modify your search."),
+    ("Repeat Request", "Let me repeat that for you."),
+    ("Definition Request", "Let me define that term."),
+    ("Paraphrase Request", "Let me put that differently."),
+    ("Abort", "OK, never mind. What else can I help you with?"),
+    ("Closing", "Thank you for using {agent}. Goodbye."),
+    ("Chitchat", "I'm a drug reference assistant — let's talk medications."),
+];
+
+/// Training phrasings for each management intent (SME-labelled, since the
+/// classifier needs examples across all 36 intents for Table 5).
+const MANAGEMENT_EXAMPLES: &[(&str, &[&str])] = &[
+    ("Greeting", &["hello", "hi there", "hey", "good morning", "greetings to you", "hello micromedex"]),
+    ("Capability Check", &["what can you do", "what do you know", "what questions can i ask", "tell me your capabilities", "what are you able to answer"]),
+    ("Help Request", &["help", "i need help", "how does this work", "show me instructions", "how do i search", "what should i type"]),
+    ("Appreciation", &["thanks", "thank you", "thanks a lot", "thank you so much", "appreciate it", "many thanks"]),
+    ("Acknowledgement", &["ok", "okay", "got it", "understood", "i see", "alright then"]),
+    ("Affirmation", &["yes", "yes please", "yeah", "sure", "that would be great", "correct"]),
+    ("Disconfirmation", &["no", "nope", "no thanks", "not that", "that is not what i want", "wrong"]),
+    ("Repeat Request", &["what did you say", "please repeat", "say that again", "repeat the last answer", "come again please", "pardon me"]),
+    ("Definition Request", &["what do you mean by effective", "what does contraindication mean", "define black box warning", "meaning of adverse effect", "what do you mean by iv compatibility"]),
+    ("Paraphrase Request", &["what do you mean", "i don't understand", "can you rephrase", "please say that differently", "that was confusing"]),
+    ("Abort", &["never mind", "forget it", "cancel that", "stop", "skip this", "drop it"]),
+    ("Closing", &["goodbye", "bye", "see you later", "i'm done", "that's all for today", "exit"]),
+    ("Chitchat", &["how are you", "who are you", "are you a robot", "tell me about yourself", "what's your name"]),
+];
+
+/// Prior user queries labelled by SMEs (Fig. 8 augmentation): phrasings the
+/// automatic generator would not produce.
+const PRIOR_QUERIES: &[(&str, &[&str])] = &[
+    ("Dose Adjustments for Drug", &[
+        "find dose adjustment for aspirin",
+        "give me the increased dosage for aspirin",
+        "how do i perform a dose adjustment for aspirin",
+        "i want to see the modifications to dosing for aspirin",
+        "renal dosing changes for metformin",
+    ]),
+    ("Adverse Effects of Drug", &[
+        "what are the side effects of cogentin",
+        "cogentin adverse effects",
+        "side effects of ibuprofen",
+        "does amoxicillin cause rash",
+        "negative reactions to warfarin",
+    ]),
+    ("Drugs That Treat Condition", &[
+        "show me drugs that treat psoriasis",
+        "what can i give for fever",
+        "treatment options for acne",
+        "what's used for bronchitis",
+        "best medication for hypertension",
+        "medications for migraine",
+        "meds for fever",
+        "drugs for psoriasis",
+    ]),
+    ("Dosages of Drug", &[
+        "how much aspirin should i give",
+        "how much amoxicillin can i give",
+        "dosing of warfarin",
+    ]),
+    ("Drug Dosage for Condition", &[
+        "give me the dosage for tazarotene for acne",
+        "dosage for tazarotene",
+        "how much ibuprofen for fever",
+        "tazarotene dosing in psoriasis",
+        "aspirin dose for headache",
+        "dose of amoxicillin to treat otitis media",
+        "dose of aspirin to treat fever",
+    ]),
+    ("Uses of Drug", &[
+        "what is aspirin used for",
+        "uses of benazepril",
+        "what is tazarotene for",
+        "why would someone take metformin",
+        "indication for adalimumab",
+        "what does aspirin do",
+        "what does metformin do",
+        "why take ibuprofen",
+    ]),
+    ("Drug-Drug Interactions", &[
+        "what are the drug interactions for aspirin",
+        "does warfarin interact with aspirin",
+        "drug-drug interactions of amiodarone",
+        "can i combine ibuprofen and warfarin",
+        "interactions between sertraline and tramadol",
+    ]),
+    ("IV Compatibility of Drug", &[
+        "iv compatibility of heparin",
+        "is heparin compatible with normal saline",
+        "y-site compatibility for furosemide",
+        "can i run morphine with d5w",
+    ]),
+    ("Administration of Drug", &[
+        "how do i administer adalimumab",
+        "how should tazarotene be applied",
+        "administration instructions for insulin glargine",
+        "how to take omeprazole",
+    ]),
+    ("Regulatory Status for Drug", &[
+        "regulatory status for oxycodone",
+        "is tramadol a controlled substance",
+        "what schedule is morphine",
+        "is loratadine over the counter",
+    ]),
+    ("Precautions of Drug", &[
+        "show me the precautions for benazepril",
+        "is aspirin safe to give in pregnancy",
+        "precautions for methotrexate",
+        "cautions for warfarin in elderly",
+    ]),
+];
+
+/// Intent names the generated space produces that SMEs prune as unlikely
+/// real-world requests (§4.2.2).
+const PRUNED: &[&str] = &["Dosages of Condition", "Toxicologys of Condition"];
+
+/// Renames from generated names to the paper's product intent names
+/// (Table 5 / Fig. 12).
+const RENAMES: &[(&str, &str)] = &[
+    ("Dosages of Drug for Condition", "Drug Dosage for Condition"),
+    ("Administrations of Drug", "Administration of Drug"),
+    ("Iv Compatibilitys of Drug", "IV Compatibility of Drug"),
+    ("Drugs That Treats Condition", "Drugs That Treat Condition"),
+    ("Drug Interactions of Drug", "Drug-Drug Interactions"),
+    ("Dose Adjustments of Drug", "Dose Adjustments for Drug"),
+    ("Regulatory Status of Drug", "Regulatory Status for Drug"),
+    ("Pharmacokinetics of Drug", "Pharmacokinetics"),
+    ("Toxicologys of Drug", "Toxicology of Drug"),
+    ("Toxicologys of Drug for Condition", "Drug Toxicology for Condition"),
+    ("Conditions Is Treated By Drug", "Conditions Treated by Drug"),
+    ("Mechanism Of Actions of Drug", "Mechanism of Action of Drug"),
+    ("Monitorings of Drug", "Monitoring of Drug"),
+];
+
+/// Builds the full MDX SME feedback.
+pub fn mdx_sme_feedback(onto: &Ontology) -> SmeFeedback {
+    let mut fb = SmeFeedback::new();
+    for name in PRUNED {
+        fb = fb.prune(name);
+    }
+    for (from, to) in RENAMES {
+        fb = fb.rename(from, to);
+    }
+    for (name, response) in MANAGEMENT_INTENTS {
+        fb = fb.management_intent(name, response);
+    }
+    for (intent, examples) in MANAGEMENT_EXAMPLES {
+        for e in *examples {
+            fb = fb.labelled_query(intent, e);
+        }
+    }
+    for (intent, queries) in PRIOR_QUERIES {
+        for q in *queries {
+            fb = fb.labelled_query(intent, q);
+        }
+    }
+    // Concept synonyms (Table 2) ride along with the feedback.
+    for (canonical, synonyms) in crate::synonyms::concept_synonyms().iter() {
+        let refs: Vec<&str> = synonyms.iter().map(String::as_str).collect();
+        fb = fb.synonym(canonical, &refs);
+    }
+    // DRUG_GENERAL: keyword-only drug mentions (§6.1).
+    let drug = onto.concept_id("Drug").expect("Drug concept");
+    fb = fb.entity_only(drug);
+    fb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::build_mdx_ontology;
+
+    #[test]
+    fn feedback_is_complete() {
+        let onto = build_mdx_ontology();
+        let fb = mdx_sme_feedback(&onto);
+        assert_eq!(fb.pruned_intents.len(), 2);
+        assert_eq!(fb.renames.len(), 13);
+        assert_eq!(fb.management_intents.len(), 13);
+        assert!(fb.labelled_queries.len() > 80);
+        assert_eq!(fb.entity_only_concepts.len(), 1);
+        assert!(!fb.synonyms.is_empty());
+    }
+
+    #[test]
+    fn every_management_intent_has_examples() {
+        for (name, _) in MANAGEMENT_INTENTS {
+            assert!(
+                MANAGEMENT_EXAMPLES.iter().any(|(n, ex)| n == name && ex.len() >= 5),
+                "management intent `{name}` lacks examples"
+            );
+        }
+    }
+
+    #[test]
+    fn prior_queries_target_renamed_names() {
+        // Every prior-query intent name must be a post-rename product name
+        // or an auto-generated name that survives.
+        let renamed: Vec<&str> = RENAMES.iter().map(|&(_, to)| to).collect();
+        let auto_survivors = ["Uses of Drug", "Adverse Effects of Drug", "Precautions of Drug", "Dosages of Drug"];
+        for (intent, _) in PRIOR_QUERIES {
+            assert!(
+                renamed.contains(intent) || auto_survivors.contains(intent),
+                "prior queries target unknown intent `{intent}`"
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! MDX synonym dictionaries (paper Table 2 + §6.1 brand and base-with-salt
+//! synonyms).
+
+use obcs_core::entities::SynonymDict;
+
+use crate::data::CURATED_DRUGS;
+
+/// The concept-level synonym dictionary of Table 2, extended with the
+/// domain vocabulary the §6.3 transcripts exercise ("side effects").
+pub fn concept_synonyms() -> SynonymDict {
+    let mut dict = SynonymDict::new();
+    dict.add("Adverse Effect", &["side effect", "side effects", "adverse reaction", "AE"]);
+    dict.add("Condition", &["disease", "finding", "disorder", "indication"]);
+    dict.add("Drug", &["medicine", "meds", "medication", "substance"]);
+    dict.add("Precaution", &["caution", "safe to give", "warnings to consider"]);
+    dict.add(
+        "Dose Adjustment",
+        &["dosing modification", "dose reduction", "increased dosage", "modifications to dosing"],
+    );
+    dict.add("Dosage", &["dose", "dosing", "dose amount"]);
+    dict.add(
+        "Use",
+        &["uses", "indication for use", "what is it for", "indications", "indicated use",
+          "purpose", "used for"],
+    );
+    dict.add("Drug Interaction", &["interaction", "interactions"]);
+    dict.add("Iv Compatibility", &["iv compatibility", "y-site compatibility", "iv compat"]);
+    dict.add("Administration", &["how to give", "how to take", "administration instructions"]);
+    dict.add("Regulatory Status", &["regulatory", "schedule status", "legal status"]);
+    dict.add("Black Box Warning", &["boxed warning", "black box"]);
+    dict.add("Contra Indication", &["contraindication", "contraindications", "do not use with"]);
+    dict.add("Mechanism Of Action", &["mechanism", "how it works", "moa", "pharmacology"]);
+    dict.add(
+        "Pharmacokinetics",
+        &["pk", "kinetics", "half life", "metabolism", "pharmacokinetic profile",
+          "how it is metabolized"],
+    );
+    dict.add("Toxicology", &["overdose", "poisoning", "tox", "toxicity", "too much"]);
+    dict.add("Monitoring", &["labs to monitor", "monitoring parameters"]);
+    dict
+}
+
+/// Instance-level synonyms: every curated drug answers to its brand name
+/// and its base-with-salt description (§6.1: Cyclogel → Cyclopentolate).
+/// Returns `(canonical drug name, synonym)` pairs.
+pub fn drug_instance_synonyms() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for (name, brand, salt, _) in CURATED_DRUGS {
+        if !brand.eq_ignore_ascii_case(name) {
+            out.push((name.to_string(), brand.to_string()));
+        }
+        if !salt.eq_ignore_ascii_case(name) {
+            out.push((name.to_string(), salt.to_string()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_entries_present() {
+        let dict = concept_synonyms();
+        assert!(dict
+            .synonyms_of("Adverse Effect")
+            .iter()
+            .any(|s| s == "side effect"));
+        assert!(dict.synonyms_of("Drug").iter().any(|s| s == "medication"));
+        assert!(dict
+            .synonyms_of("Dose Adjustment")
+            .iter()
+            .any(|s| s == "dosing modification"));
+    }
+
+    #[test]
+    fn cogentin_maps_to_benztropine() {
+        let syn = drug_instance_synonyms();
+        assert!(syn
+            .iter()
+            .any(|(c, s)| c == "Benztropine Mesylate" && s == "Cogentin"));
+        assert!(syn
+            .iter()
+            .any(|(c, s)| c == "Cyclopentolate" && s == "Cyclogel"));
+        assert!(syn
+            .iter()
+            .any(|(c, s)| c == "Cyclopentolate" && s == "Cyclopentolate Hydrochloride"));
+    }
+
+    #[test]
+    fn no_self_synonyms() {
+        for (c, s) in drug_instance_synonyms() {
+            assert_ne!(c.to_lowercase(), s.to_lowercase());
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Evidence annotation: locating mentions of ontology concepts, data
+//! properties, and KB instance values inside an utterance.
+//!
+//! This is the first stage of the Athena-style interpretation pipeline: the
+//! utterance is scanned for the longest token spans that match (a) concept
+//! names and their registered synonyms, (b) data property names, and (c)
+//! instance values from the label columns of nameable concepts.
+
+use std::collections::HashMap;
+
+use obcs_kb::KnowledgeBase;
+use obcs_ontology::{ConceptId, Ontology};
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::OntologyMapping;
+
+/// What an annotated span refers to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Evidence {
+    /// A mention of the concept itself ("precautions", "drug").
+    Concept(ConceptId),
+    /// A mention of an instance of the concept ("Aspirin" → Drug).
+    Instance { concept: ConceptId, value: String },
+}
+
+/// An annotated token span `[start, end)` over the utterance's tokens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Annotation {
+    pub start: usize,
+    pub end: usize,
+    pub evidence: Evidence,
+}
+
+/// A lexicon mapping normalised phrases to evidence, built once per
+/// conversation space and reused for every utterance.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Lexicon {
+    /// Normalised phrase → all evidences it may refer to.
+    entries: HashMap<String, Vec<Evidence>>,
+    /// Longest phrase length in tokens (bounds the span search).
+    max_tokens: usize,
+}
+
+impl Lexicon {
+    /// Builds the lexicon from concept names and instance values.
+    pub fn build(onto: &Ontology, kb: &KnowledgeBase, mapping: &OntologyMapping) -> Self {
+        let mut lex = Lexicon::default();
+        for c in onto.concepts() {
+            lex.add_phrase(&split_camel(&c.name), Evidence::Concept(c.id));
+        }
+        for concept in mapping.nameable_concepts() {
+            // Only concepts whose instances carry proper names contribute
+            // instance values — free-text description columns of dependent
+            // concepts would pollute the vocabulary.
+            if !mapping.is_nameable(concept) {
+                continue;
+            }
+            let (Some(table), Some(label)) = (mapping.table(concept), mapping.label(concept))
+            else {
+                continue;
+            };
+            if let Ok(values) = kb.distinct_values(table, label) {
+                for v in values {
+                    if let Some(s) = v.as_text() {
+                        lex.add_phrase(
+                            s,
+                            Evidence::Instance { concept, value: s.to_string() },
+                        );
+                    }
+                }
+            }
+        }
+        lex
+    }
+
+    /// Registers an additional phrase (synonyms, abbreviations), together
+    /// with a naive plural/singular variant of its last word so "show me
+    /// the precautions" matches the `Precaution` concept.
+    pub fn add_phrase(&mut self, phrase: &str, evidence: Evidence) {
+        let norm = normalize(phrase);
+        if norm.is_empty() {
+            return;
+        }
+        for variant in number_variants(&norm) {
+            let token_count = variant.split(' ').count();
+            self.max_tokens = self.max_tokens.max(token_count);
+            let entry = self.entries.entry(variant).or_default();
+            if !entry.contains(&evidence) {
+                entry.push(evidence.clone());
+            }
+        }
+    }
+
+    /// All evidences for a normalised phrase.
+    pub fn lookup(&self, phrase: &str) -> &[Evidence] {
+        self.entries
+            .get(&normalize(phrase))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Annotates an utterance: greedy longest-match over token spans,
+    /// left to right, no overlaps.
+    pub fn annotate(&self, utterance: &str) -> Vec<Annotation> {
+        let tokens = tokens_of(utterance);
+        let mut annotations = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut matched = false;
+            let max_len = self.max_tokens.min(tokens.len() - i);
+            for len in (1..=max_len).rev() {
+                let phrase = tokens[i..i + len].join(" ");
+                let evs = self.lookup(&phrase);
+                if !evs.is_empty() {
+                    for ev in evs {
+                        annotations.push(Annotation {
+                            start: i,
+                            end: i + len,
+                            evidence: ev.clone(),
+                        });
+                    }
+                    i += len;
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                i += 1;
+            }
+        }
+        annotations
+    }
+
+    /// Replaces every recognised *instance* span with a placeholder token
+    /// derived from its concept (`"dosage for Aspirin"` → `"dosage for
+    /// entdrug"`). Intent classifiers train and predict on masked text so
+    /// specific entity values don't act as spurious intent features — the
+    /// paper's intent + entity separation.
+    pub fn mask(&self, utterance: &str, onto: &Ontology) -> String {
+        let tokens = tokens_of(utterance);
+        let annotations = self.annotate(utterance);
+        let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+        let mut i = 0;
+        while i < tokens.len() {
+            let instance_span = annotations.iter().find(|a| {
+                a.start == i && matches!(a.evidence, Evidence::Instance { .. })
+            });
+            match instance_span {
+                Some(a) => {
+                    if let Evidence::Instance { concept, .. } = &a.evidence {
+                        out.push(format!(
+                            "ent{}",
+                            onto.concept_name(*concept).to_lowercase()
+                        ));
+                    }
+                    i = a.end;
+                }
+                None => {
+                    out.push(tokens[i].clone());
+                    i += 1;
+                }
+            }
+        }
+        out.join(" ")
+    }
+
+    /// Finds instance values whose text *contains* the given partial
+    /// phrase — the paper's partial-entity matching (§6.1): "Calcium" →
+    /// ["Calcium Carbonate", ...]. Returns (concept, value) pairs sorted
+    /// for determinism.
+    pub fn partial_matches(&self, partial: &str) -> Vec<(ConceptId, String)> {
+        let needle = normalize(partial);
+        // Very short fragments match half the vocabulary; require a
+        // meaningful stem. A phrase with an exact entry is a full match,
+        // not a partial one.
+        if needle.len() < 4 || self.entries.contains_key(&needle) {
+            return Vec::new();
+        }
+        let mut out: Vec<(ConceptId, String)> = self
+            .entries
+            .iter()
+            .filter(|(phrase, _)| phrase.contains(&needle) && **phrase != needle)
+            .flat_map(|(_, evs)| {
+                evs.iter().filter_map(|ev| match ev {
+                    Evidence::Instance { concept, value } => Some((*concept, value.clone())),
+                    Evidence::Concept(_) => None,
+                })
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// The phrase itself plus a naive singular/plural variant of its last
+/// word (`precaution` ↔ `precautions`). Words already ending in `ss`
+/// ("pharmacokinetics"-style nouns are handled by the plural variant) or
+/// shorter than 3 characters are left alone.
+fn number_variants(norm: &str) -> Vec<String> {
+    let mut out = vec![norm.to_string()];
+    let Some(last) = norm.rsplit(' ').next() else {
+        return out;
+    };
+    if last.len() < 3 {
+        return out;
+    }
+    if let Some(stem) = last.strip_suffix('s') {
+        if !stem.ends_with('s') && stem.len() >= 3 {
+            out.push(format!("{}{stem}", &norm[..norm.len() - last.len()]));
+        }
+    } else {
+        out.push(format!("{norm}s"));
+    }
+    out
+}
+
+/// Normalises a phrase: lowercase, alphanumeric tokens joined by single
+/// spaces.
+pub fn normalize(phrase: &str) -> String {
+    tokens_of(phrase).join(" ")
+}
+
+fn tokens_of(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// `DrugFoodInteraction` → `Drug Food Interaction` (for lexicon phrases).
+pub fn split_camel(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    let chars: Vec<char> = name.chars().collect();
+    for (i, &ch) in chars.iter().enumerate() {
+        if ch.is_uppercase() && i > 0 && chars[i - 1].is_lowercase() {
+            out.push(' ');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obcs_kb::schema::{ColumnType, TableSchema};
+    use obcs_kb::Value;
+    use obcs_ontology::OntologyBuilder;
+
+    fn fixture() -> (Ontology, KnowledgeBase, OntologyMapping) {
+        let onto = OntologyBuilder::new("m")
+            .data("Drug", &["name"])
+            .data("DrugFoodInteraction", &["description"])
+            .relation("interacts", "Drug", "DrugFoodInteraction")
+            .build()
+            .unwrap();
+        let mut kb = KnowledgeBase::new();
+        kb.create_table(
+            TableSchema::new("drug")
+                .column("drug_id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .primary_key("drug_id"),
+        )
+        .unwrap();
+        for (i, n) in ["Aspirin", "Calcium Carbonate", "Calcium Citrate"].iter().enumerate() {
+            kb.insert("drug", vec![Value::Int(i as i64), Value::text(*n)]).unwrap();
+        }
+        let mapping = OntologyMapping::infer(&onto, &kb);
+        (onto, kb, mapping)
+    }
+
+    #[test]
+    fn annotates_concepts_and_instances() {
+        let (onto, kb, mapping) = fixture();
+        let lex = Lexicon::build(&onto, &kb, &mapping);
+        let drug = onto.concept_id("Drug").unwrap();
+        let anns = lex.annotate("show me the drug aspirin");
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].evidence, Evidence::Concept(drug));
+        assert_eq!(
+            anns[1].evidence,
+            Evidence::Instance { concept: drug, value: "Aspirin".into() }
+        );
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let (onto, kb, mapping) = fixture();
+        let lex = Lexicon::build(&onto, &kb, &mapping);
+        let anns = lex.annotate("dosage of calcium carbonate please");
+        let values: Vec<&str> = anns
+            .iter()
+            .filter_map(|a| match &a.evidence {
+                Evidence::Instance { value, .. } => Some(value.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, vec!["Calcium Carbonate"]);
+    }
+
+    #[test]
+    fn camel_case_concepts_match_spaced_text() {
+        let (onto, kb, mapping) = fixture();
+        let lex = Lexicon::build(&onto, &kb, &mapping);
+        let dfi = onto.concept_id("DrugFoodInteraction").unwrap();
+        let anns = lex.annotate("any drug food interaction for aspirin?");
+        assert!(anns.iter().any(|a| a.evidence == Evidence::Concept(dfi)));
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let (onto, kb, mapping) = fixture();
+        let lex = Lexicon::build(&onto, &kb, &mapping);
+        let anns = lex.annotate("ASPIRIN");
+        assert_eq!(anns.len(), 1);
+    }
+
+    #[test]
+    fn synonyms_via_add_phrase() {
+        let (onto, kb, mapping) = fixture();
+        let mut lex = Lexicon::build(&onto, &kb, &mapping);
+        let drug = onto.concept_id("Drug").unwrap();
+        lex.add_phrase("medicine", Evidence::Concept(drug));
+        let anns = lex.annotate("which medicine helps");
+        assert_eq!(anns[0].evidence, Evidence::Concept(drug));
+    }
+
+    #[test]
+    fn partial_entity_matching() {
+        let (onto, kb, mapping) = fixture();
+        let lex = Lexicon::build(&onto, &kb, &mapping);
+        let matches = lex.partial_matches("calcium");
+        let values: Vec<&str> = matches.iter().map(|(_, v)| v.as_str()).collect();
+        assert_eq!(values, vec!["Calcium Carbonate", "Calcium Citrate"]);
+        assert!(lex.partial_matches("aspirin").is_empty(), "exact match is not partial");
+        assert!(lex.partial_matches("").is_empty());
+    }
+
+    #[test]
+    fn no_overlapping_annotations() {
+        let (onto, kb, mapping) = fixture();
+        let lex = Lexicon::build(&onto, &kb, &mapping);
+        let anns = lex.annotate("calcium carbonate calcium citrate");
+        assert_eq!(anns.len(), 2);
+        assert!(anns[0].end <= anns[1].start);
+    }
+
+    #[test]
+    fn normalize_and_split_camel() {
+        assert_eq!(normalize("  Hello,  WORLD! "), "hello world");
+        assert_eq!(split_camel("DrugFoodInteraction"), "Drug Food Interaction");
+        assert_eq!(split_camel("Drug"), "Drug");
+        // Consecutive capitals (acronyms) stay together.
+        assert_eq!(split_camel("IVCompatibility"), "IVCompatibility");
+    }
+
+    #[test]
+    fn ambiguous_phrase_yields_all_evidences() {
+        let (onto, kb, mapping) = fixture();
+        let mut lex = Lexicon::build(&onto, &kb, &mapping);
+        let drug = onto.concept_id("Drug").unwrap();
+        let dfi = onto.concept_id("DrugFoodInteraction").unwrap();
+        lex.add_phrase("thing", Evidence::Concept(drug));
+        lex.add_phrase("thing", Evidence::Concept(dfi));
+        let anns = lex.annotate("thing");
+        assert_eq!(anns.len(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Tests for entity masking and lexicon number-variants — the features
+//! the intent classifier's accuracy rests on.
+
+use obcs_kb::schema::{ColumnType, TableSchema};
+use obcs_kb::{KnowledgeBase, Value};
+use obcs_nlq::annotate::{Evidence, Lexicon};
+use obcs_nlq::OntologyMapping;
+use obcs_ontology::{Ontology, OntologyBuilder};
+use proptest::prelude::*;
+
+fn world() -> (Ontology, KnowledgeBase, OntologyMapping) {
+    let onto = OntologyBuilder::new("m")
+        .data("Drug", &["name"])
+        .data("Condition", &["name"])
+        .data("Precaution", &["description"])
+        .relation("treats", "Drug", "Condition")
+        .relation("has", "Drug", "Precaution")
+        .build()
+        .unwrap();
+    let mut kb = KnowledgeBase::new();
+    kb.create_table(
+        TableSchema::new("drug")
+            .column("drug_id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .primary_key("drug_id"),
+    )
+    .unwrap();
+    kb.create_table(
+        TableSchema::new("condition")
+            .column("condition_id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .primary_key("condition_id"),
+    )
+    .unwrap();
+    for (i, n) in ["Aspirin", "Calcium Carbonate"].iter().enumerate() {
+        kb.insert("drug", vec![Value::Int(i as i64), Value::text(*n)]).unwrap();
+    }
+    kb.insert("condition", vec![Value::Int(0), Value::text("Fever")]).unwrap();
+    let mapping = OntologyMapping::infer(&onto, &kb);
+    (onto, kb, mapping)
+}
+
+#[test]
+fn mask_replaces_instances_with_concept_placeholders() {
+    let (onto, kb, mapping) = world();
+    let lex = Lexicon::build(&onto, &kb, &mapping);
+    assert_eq!(
+        lex.mask("dosage of Aspirin for Fever", &onto),
+        "dosage of entdrug for entcondition"
+    );
+    // Multi-word instances collapse to a single placeholder.
+    assert_eq!(
+        lex.mask("precautions for calcium carbonate", &onto),
+        // "precautions" is the plural variant of the Precaution concept —
+        // concept mentions are kept as-is, instances masked.
+        "precautions for entdrug"
+    );
+}
+
+#[test]
+fn mask_of_entityless_text_is_normalisation_only() {
+    let (onto, kb, mapping) = world();
+    let lex = Lexicon::build(&onto, &kb, &mapping);
+    assert_eq!(lex.mask("Hello, THERE!", &onto), "hello there");
+    assert_eq!(lex.mask("", &onto), "");
+}
+
+#[test]
+fn plural_variants_match_in_both_directions() {
+    let (onto, kb, mapping) = world();
+    let lex = Lexicon::build(&onto, &kb, &mapping);
+    let prec = onto.concept_id("Precaution").unwrap();
+    // Singular concept name matches a plural mention and vice versa.
+    assert!(lex
+        .annotate("precautions for aspirin")
+        .iter()
+        .any(|a| a.evidence == Evidence::Concept(prec)));
+    assert!(lex
+        .annotate("precaution for aspirin")
+        .iter()
+        .any(|a| a.evidence == Evidence::Concept(prec)));
+}
+
+#[test]
+fn synonym_phrases_also_mask() {
+    let (onto, kb, mapping) = world();
+    let mut lex = Lexicon::build(&onto, &kb, &mapping);
+    let drug = onto.concept_id("Drug").unwrap();
+    lex.add_phrase("asa", Evidence::Instance { concept: drug, value: "Aspirin".into() });
+    assert_eq!(lex.mask("dosage of asa", &onto), "dosage of entdrug");
+}
+
+proptest! {
+    /// Masking never panics and its output contains no original instance
+    /// values.
+    #[test]
+    fn mask_never_panics_and_removes_known_instances(text in "\\PC{0,50}") {
+        let (onto, kb, mapping) = world();
+        let lex = Lexicon::build(&onto, &kb, &mapping);
+        let masked = lex.mask(&text, &onto);
+        prop_assert!(!masked.to_lowercase().contains("aspirin"));
+    }
+
+    /// Annotation spans never overlap and stay within the token range.
+    #[test]
+    fn annotations_are_well_formed(text in "[a-zA-Z ]{0,60}") {
+        let (onto, kb, mapping) = world();
+        let lex = Lexicon::build(&onto, &kb, &mapping);
+        let anns = lex.annotate(&text);
+        for w in anns.windows(2) {
+            prop_assert!(w[0].end <= w[1].start || w[0].start == w[1].start,
+                "overlap: {:?}", w);
+        }
+        for a in &anns {
+            prop_assert!(a.start < a.end);
+        }
+    }
+}

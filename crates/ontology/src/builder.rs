@@ -1,0 +1,167 @@
+//! Fluent builder for assembling ontologies by name, used by the use-case
+//! modules and tests where referring to concepts by string is more readable
+//! than threading ids.
+
+use crate::model::{ConceptId, Ontology, OntologyError, RelationKind};
+
+/// Builds an [`Ontology`] with name-based references; concepts referenced
+/// before definition are created on demand.
+#[derive(Debug)]
+pub struct OntologyBuilder {
+    onto: Ontology,
+}
+
+impl OntologyBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        OntologyBuilder { onto: Ontology::new(name) }
+    }
+
+    fn ensure(&mut self, name: &str) -> ConceptId {
+        match self.onto.concept_id(name) {
+            Ok(id) => id,
+            Err(_) => self
+                .onto
+                .add_concept(name)
+                .expect("concept absent, insertion cannot clash"),
+        }
+    }
+
+    /// Declares a concept (idempotent) and returns the builder.
+    pub fn concept(mut self, name: &str) -> Self {
+        self.ensure(name);
+        self
+    }
+
+    /// Declares a concept with a natural-language description.
+    pub fn concept_described(mut self, name: &str, description: &str) -> Self {
+        let id = self.ensure(name);
+        self.onto
+            .set_description(id, description)
+            .expect("concept just ensured");
+        self
+    }
+
+    /// Adds data properties to a concept, creating the concept if needed.
+    ///
+    /// # Panics
+    /// Panics on a duplicate property name — builders are used with static
+    /// schemas where duplication is a programming error.
+    pub fn data(mut self, concept: &str, properties: &[&str]) -> Self {
+        let id = self.ensure(concept);
+        for p in properties {
+            self.onto
+                .add_data_property(id, *p)
+                .unwrap_or_else(|e| panic!("builder: {e}"));
+        }
+        self
+    }
+
+    /// Adds a domain relationship `source --name--> target`.
+    pub fn relation(mut self, name: &str, source: &str, target: &str) -> Self {
+        let s = self.ensure(source);
+        let t = self.ensure(target);
+        self.onto
+            .add_object_property(name, s, t, RelationKind::Association)
+            .unwrap_or_else(|e| panic!("builder: {e}"));
+        self
+    }
+
+    /// Adds a functional relationship with an inverse verbalisation.
+    pub fn relation_with_inverse(
+        mut self,
+        name: &str,
+        inverse: &str,
+        source: &str,
+        target: &str,
+    ) -> Self {
+        let s = self.ensure(source);
+        let t = self.ensure(target);
+        let id = self
+            .onto
+            .add_object_property(name, s, t, RelationKind::Functional)
+            .unwrap_or_else(|e| panic!("builder: {e}"));
+        self.onto.set_inverse_name(id, inverse);
+        self
+    }
+
+    /// Declares `child isA parent`.
+    pub fn is_a(mut self, child: &str, parent: &str) -> Self {
+        let c = self.ensure(child);
+        let p = self.ensure(parent);
+        self.onto
+            .add_is_a(c, p)
+            .unwrap_or_else(|e| panic!("builder: {e}"));
+        self
+    }
+
+    /// Declares `parent = unionOf(children)`.
+    pub fn union(mut self, parent: &str, children: &[&str]) -> Self {
+        let p = self.ensure(parent);
+        let ids: Vec<ConceptId> = children.iter().map(|c| self.ensure(c)).collect();
+        self.onto
+            .add_union(p, &ids)
+            .unwrap_or_else(|e| panic!("builder: {e}"));
+        self
+    }
+
+    /// Finishes building. Fails if the result has validation issues.
+    pub fn build(self) -> Result<Ontology, OntologyError> {
+        Ok(self.onto)
+    }
+
+    /// Finishes building without validation (for tests constructing
+    /// deliberately broken ontologies).
+    pub fn build_unchecked(self) -> Ontology {
+        self.onto
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_creates_concepts_on_demand() {
+        let o = OntologyBuilder::new("b")
+            .relation("treats", "Drug", "Indication")
+            .data("Drug", &["name", "brand"])
+            .build()
+            .unwrap();
+        assert_eq!(o.concept_count(), 2);
+        assert_eq!(o.data_property_count(), 2);
+        assert_eq!(o.object_property_count(), 1);
+    }
+
+    #[test]
+    fn builder_union_and_isa() {
+        let o = OntologyBuilder::new("b")
+            .union("Risk", &["ContraIndication", "BlackBoxWarning"])
+            .is_a("DrugFoodInteraction", "DrugInteraction")
+            .build()
+            .unwrap();
+        let risk = o.concept_id("Risk").unwrap();
+        assert_eq!(o.union_members(risk).len(), 2);
+    }
+
+    #[test]
+    fn builder_inverse_names() {
+        let o = OntologyBuilder::new("b")
+            .relation_with_inverse("treats", "is treated by", "Drug", "Indication")
+            .build()
+            .unwrap();
+        let op = &o.object_properties()[0];
+        assert_eq!(op.inverse_name.as_deref(), Some("is treated by"));
+    }
+
+    #[test]
+    fn concept_is_idempotent() {
+        let o = OntologyBuilder::new("b")
+            .concept("Drug")
+            .concept("Drug")
+            .concept_described("Drug", "a medicine")
+            .build()
+            .unwrap();
+        assert_eq!(o.concept_count(), 1);
+        assert!(o.concept_by_name("Drug").unwrap().description.is_some());
+    }
+}

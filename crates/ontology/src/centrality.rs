@@ -1,0 +1,279 @@
+//! Centrality analyses over the ontology graph.
+//!
+//! The paper (§4.2.1, citing \[25\]) identifies *key concepts* — concepts that
+//! "can stand on their own" and represent the domain entities users ask
+//! about — by running a centrality analysis of the ontology graph and
+//! ranking concepts by score. This module provides three interchangeable
+//! measures (degree, PageRank, betweenness) so the choice can be ablated.
+
+use std::collections::VecDeque;
+
+use crate::model::{ConceptId, Ontology, RelationKind};
+
+/// A concept with its centrality score, ordered descending by score with
+/// concept id as tie-breaker for determinism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredConcept {
+    pub concept: ConceptId,
+    pub score: f64,
+}
+
+/// Which centrality measure to use for key-concept identification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CentralityMeasure {
+    /// Undirected degree, counting domain edges plus hierarchy edges
+    /// weighted down (a union parent should not dominate purely via its
+    /// members).
+    Degree,
+    /// PageRank over the undirected graph (damping 0.85, 50 iterations).
+    PageRank,
+    /// Brandes betweenness centrality over the undirected graph.
+    Betweenness,
+}
+
+/// Computes centrality scores for every concept, sorted descending.
+pub fn centrality(onto: &Ontology, measure: CentralityMeasure) -> Vec<ScoredConcept> {
+    let mut scored = match measure {
+        CentralityMeasure::Degree => degree(onto),
+        CentralityMeasure::PageRank => pagerank(onto, 0.85, 50),
+        CentralityMeasure::Betweenness => betweenness(onto),
+    };
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("centrality scores are finite")
+            .then_with(|| a.concept.cmp(&b.concept))
+    });
+    scored
+}
+
+/// Degree centrality. Domain edges count 1.0 on each endpoint; hierarchy
+/// edges (isA/unionOf) count 0.5 — they indicate structure but not the kind
+/// of standalone entity users query directly, matching the paper's
+/// observation that concepts like `Risk` are *dependent* concepts despite
+/// high connectivity.
+fn degree(onto: &Ontology) -> Vec<ScoredConcept> {
+    let mut scores = vec![0.0f64; onto.concept_count()];
+    for op in onto.object_properties() {
+        let w = if op.kind.is_hierarchical() { 0.5 } else { 1.0 };
+        scores[op.source.0 as usize] += w;
+        scores[op.target.0 as usize] += w;
+    }
+    // Data properties also signal entity richness: a concept with many
+    // attributes is more likely a first-class domain entity.
+    for dp in onto.data_properties() {
+        scores[dp.concept.0 as usize] += 0.25;
+    }
+    to_scored(scores)
+}
+
+/// PageRank on the undirected ontology graph.
+fn pagerank(onto: &Ontology, damping: f64, iterations: usize) -> Vec<ScoredConcept> {
+    let n = onto.concept_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Undirected adjacency.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for op in onto.object_properties() {
+        adj[op.source.0 as usize].push(op.target.0 as usize);
+        adj[op.target.0 as usize].push(op.source.0 as usize);
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        let base = (1.0 - damping) / n as f64;
+        next.iter_mut().for_each(|x| *x = base);
+        let mut dangling = 0.0;
+        for (i, neighbors) in adj.iter().enumerate() {
+            if neighbors.is_empty() {
+                dangling += rank[i];
+            } else {
+                let share = damping * rank[i] / neighbors.len() as f64;
+                for &j in neighbors {
+                    next[j] += share;
+                }
+            }
+        }
+        // Redistribute dangling mass uniformly.
+        let spill = damping * dangling / n as f64;
+        next.iter_mut().for_each(|x| *x += spill);
+        std::mem::swap(&mut rank, &mut next);
+    }
+    to_scored(rank)
+}
+
+/// Brandes' algorithm for betweenness centrality on the unweighted
+/// undirected ontology graph.
+fn betweenness(onto: &Ontology) -> Vec<ScoredConcept> {
+    let n = onto.concept_count();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for op in onto.object_properties() {
+        adj[op.source.0 as usize].push(op.target.0 as usize);
+        adj[op.target.0 as usize].push(op.source.0 as usize);
+    }
+    let mut scores = vec![0.0f64; n];
+    for s in 0..n {
+        // Single-source shortest paths (BFS).
+        let mut stack = Vec::new();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![-1i64; n];
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w in &adj[v] {
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            }
+        }
+        // Accumulation.
+        let mut delta = vec![0.0f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                scores[w] += delta[w];
+            }
+        }
+    }
+    // Undirected graph: each pair counted twice.
+    scores.iter_mut().for_each(|x| *x /= 2.0);
+    to_scored(scores)
+}
+
+fn to_scored(scores: Vec<f64>) -> Vec<ScoredConcept> {
+    scores
+        .into_iter()
+        .enumerate()
+        .map(|(i, score)| ScoredConcept { concept: ConceptId(i as u32), score })
+        .collect()
+}
+
+/// Counts the number of *domain* (non-hierarchical) edges incident to a
+/// concept. Useful as a quick structural signal.
+pub fn domain_degree(onto: &Ontology, concept: ConceptId) -> usize {
+    onto.neighbors(concept)
+        .filter(|(_, op)| !op.kind.is_hierarchical())
+        .count()
+}
+
+/// Convenience: true if a concept participates in any hierarchy edge with
+/// the given kind, as parent.
+pub fn is_hierarchy_parent(onto: &Ontology, concept: ConceptId, kind: RelationKind) -> bool {
+    onto.incoming(concept).any(|op| op.kind == kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Ontology, RelationKind};
+
+    /// A hub-and-spoke graph: Hub connected to 4 spokes, one spoke chain.
+    fn hub() -> (Ontology, ConceptId) {
+        let mut o = Ontology::new("t");
+        let hub = o.add_concept("Hub").unwrap();
+        for i in 0..4 {
+            let s = o.add_concept(format!("S{i}")).unwrap();
+            o.add_object_property("r", hub, s, RelationKind::Association)
+                .unwrap();
+        }
+        (o, hub)
+    }
+
+    #[test]
+    fn degree_ranks_hub_first() {
+        let (o, hub) = hub();
+        let scored = centrality(&o, CentralityMeasure::Degree);
+        assert_eq!(scored[0].concept, hub);
+        assert!(scored[0].score > scored[1].score);
+    }
+
+    #[test]
+    fn pagerank_ranks_hub_first_and_sums_to_one() {
+        let (o, hub) = hub();
+        let scored = centrality(&o, CentralityMeasure::PageRank);
+        assert_eq!(scored[0].concept, hub);
+        let total: f64 = scored.iter().map(|s| s.score).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pagerank mass = {total}");
+    }
+
+    #[test]
+    fn betweenness_of_bridge_node() {
+        // A - B - C: B lies on the only A..C shortest path.
+        let mut o = Ontology::new("t");
+        let a = o.add_concept("A").unwrap();
+        let b = o.add_concept("B").unwrap();
+        let c = o.add_concept("C").unwrap();
+        o.add_object_property("r", a, b, RelationKind::Association)
+            .unwrap();
+        o.add_object_property("r", b, c, RelationKind::Association)
+            .unwrap();
+        let scored = centrality(&o, CentralityMeasure::Betweenness);
+        assert_eq!(scored[0].concept, b);
+        assert!((scored[0].score - 1.0).abs() < 1e-9);
+        assert!((scored[1].score - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchy_edges_weigh_less_in_degree() {
+        let mut o = Ontology::new("t");
+        let domain_hub = o.add_concept("DomainHub").unwrap();
+        let union_hub = o.add_concept("UnionHub").unwrap();
+        for i in 0..3 {
+            let s = o.add_concept(format!("D{i}")).unwrap();
+            o.add_object_property("r", domain_hub, s, RelationKind::Association)
+                .unwrap();
+            let u = o.add_concept(format!("U{i}")).unwrap();
+            o.add_union(union_hub, &[u]).unwrap();
+        }
+        let scored = centrality(&o, CentralityMeasure::Degree);
+        assert_eq!(scored[0].concept, domain_hub);
+    }
+
+    #[test]
+    fn empty_ontology_yields_empty_scores() {
+        let o = Ontology::new("empty");
+        for m in [
+            CentralityMeasure::Degree,
+            CentralityMeasure::PageRank,
+            CentralityMeasure::Betweenness,
+        ] {
+            assert!(centrality(&o, m).is_empty());
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_isolated_nodes() {
+        let mut o = Ontology::new("t");
+        o.add_concept("Lonely").unwrap();
+        o.add_concept("Alone").unwrap();
+        let scored = centrality(&o, CentralityMeasure::PageRank);
+        let total: f64 = scored.iter().map(|s| s.score).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn domain_degree_excludes_hierarchy() {
+        let mut o = Ontology::new("t");
+        let a = o.add_concept("A").unwrap();
+        let b = o.add_concept("B").unwrap();
+        let c = o.add_concept("C").unwrap();
+        o.add_object_property("r", a, b, RelationKind::Association)
+            .unwrap();
+        o.add_is_a(c, a).unwrap();
+        assert_eq!(domain_degree(&o, a), 1);
+        assert!(is_hierarchy_parent(&o, a, RelationKind::IsA));
+        assert!(!is_hierarchy_parent(&o, b, RelationKind::IsA));
+    }
+}

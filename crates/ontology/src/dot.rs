@@ -1,0 +1,89 @@
+//! Graphviz DOT export of an ontology, used by the `repro -- fig2` harness
+//! to regenerate the paper's Figure 2 ontology snippet.
+
+use std::fmt::Write as _;
+
+use crate::model::{Ontology, RelationKind};
+
+/// Renders the ontology as a Graphviz `digraph`.
+///
+/// Concepts become ellipse nodes, data properties become orange boxes (as in
+/// the paper's Figure 2), and object properties become labelled edges with
+/// hierarchy edges drawn dashed.
+pub fn to_dot(onto: &Ontology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&onto.name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=ellipse, fontsize=11];");
+    for c in onto.concepts() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", c.id, escape(&c.name));
+        for dp in onto.data_properties_of(c.id) {
+            let node = format!("{}_dp{}", c.id, dp.id.0);
+            let _ = writeln!(
+                out,
+                "  {node} [shape=box, style=filled, fillcolor=orange, fontsize=9, label=\"{}\"];",
+                escape(&dp.name)
+            );
+            let _ = writeln!(out, "  {} -> {node} [arrowhead=none, style=dotted];", c.id);
+        }
+    }
+    for op in onto.object_properties() {
+        let style = match op.kind {
+            RelationKind::IsA | RelationKind::UnionOf => ", style=dashed",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"{}];",
+            op.source,
+            op.target,
+            escape(&op.name),
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Ontology;
+
+    #[test]
+    fn dot_contains_nodes_edges_and_properties() {
+        let mut o = Ontology::new("demo");
+        let drug = o.add_concept("Drug").unwrap();
+        let ind = o.add_concept("Indication").unwrap();
+        o.add_data_property(drug, "name").unwrap();
+        o.add_object_property("treats", drug, ind, RelationKind::Association)
+            .unwrap();
+        let dot = to_dot(&o);
+        assert!(dot.contains("digraph \"demo\""));
+        assert!(dot.contains("label=\"Drug\""));
+        assert!(dot.contains("label=\"treats\""));
+        assert!(dot.contains("fillcolor=orange"));
+    }
+
+    #[test]
+    fn hierarchy_edges_are_dashed() {
+        let mut o = Ontology::new("demo");
+        let a = o.add_concept("A").unwrap();
+        let b = o.add_concept("B").unwrap();
+        o.add_is_a(a, b).unwrap();
+        assert!(to_dot(&o).contains("style=dashed"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut o = Ontology::new("has \"quotes\"");
+        o.add_concept("A\"B").unwrap();
+        let dot = to_dot(&o);
+        assert!(dot.contains("has \\\"quotes\\\""));
+        assert!(dot.contains("A\\\"B"));
+    }
+}

@@ -1,0 +1,362 @@
+//! Graph algorithms over the ontology: shortest relationship paths and
+//! bounded path enumeration.
+//!
+//! The bootstrapper uses these to find *indirect relationship patterns*
+//! (paper §4.2.1, Fig. 6): pairs of key concepts connected via multi-hop
+//! relationship chains through intermediate concepts. The NLQ service uses
+//! shortest paths for join-path discovery when translating a natural
+//! language query into SQL.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::model::{ConceptId, ObjectPropertyId, Ontology, RelationKind};
+
+/// One hop of a relationship path: the edge traversed and the direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hop {
+    pub property: ObjectPropertyId,
+    /// `true` if the edge was traversed source→target.
+    pub forward: bool,
+}
+
+/// A path between two concepts as a sequence of hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    pub start: ConceptId,
+    pub hops: Vec<Hop>,
+}
+
+impl Path {
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The concepts visited along the path, starting with `start`.
+    pub fn concepts(&self, onto: &Ontology) -> Vec<ConceptId> {
+        let mut out = vec![self.start];
+        for hop in &self.hops {
+            let op = onto.object_property(hop.property);
+            out.push(if hop.forward { op.target } else { op.source });
+        }
+        out
+    }
+
+    /// The final concept of the path.
+    pub fn end(&self, onto: &Ontology) -> ConceptId {
+        *self.concepts(onto).last().expect("path has a start")
+    }
+
+    /// Renders the path as `A -[r]-> B <-[s]- C` for diagnostics.
+    pub fn render(&self, onto: &Ontology) -> String {
+        let mut s = onto.concept_name(self.start).to_string();
+        for hop in &self.hops {
+            let op = onto.object_property(hop.property);
+            let next = if hop.forward { op.target } else { op.source };
+            if hop.forward {
+                s.push_str(&format!(" -[{}]-> {}", op.name, onto.concept_name(next)));
+            } else {
+                s.push_str(&format!(" <-[{}]- {}", op.name, onto.concept_name(next)));
+            }
+        }
+        s
+    }
+}
+
+/// Which edges a traversal may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeFilter {
+    /// All edges, including isA/unionOf.
+    All,
+    /// Only domain relationships (Association/Functional).
+    DomainOnly,
+}
+
+impl EdgeFilter {
+    fn admits(self, kind: RelationKind) -> bool {
+        match self {
+            EdgeFilter::All => true,
+            EdgeFilter::DomainOnly => !kind.is_hierarchical(),
+        }
+    }
+}
+
+/// Breadth-first shortest path between two concepts, treating edges as
+/// undirected. Returns `None` if disconnected.
+pub fn shortest_path(
+    onto: &Ontology,
+    from: ConceptId,
+    to: ConceptId,
+    filter: EdgeFilter,
+) -> Option<Path> {
+    if from == to {
+        return Some(Path { start: from, hops: Vec::new() });
+    }
+    let mut prev: HashMap<ConceptId, (ConceptId, Hop)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    while let Some(node) = queue.pop_front() {
+        for op in onto.outgoing(node).filter(|op| filter.admits(op.kind)) {
+            step(onto, &mut prev, &mut queue, node, op.target, Hop { property: op.id, forward: true }, from);
+        }
+        for op in onto.incoming(node).filter(|op| filter.admits(op.kind)) {
+            step(onto, &mut prev, &mut queue, node, op.source, Hop { property: op.id, forward: false }, from);
+        }
+        if prev.contains_key(&to) {
+            break;
+        }
+    }
+    prev.contains_key(&to).then(|| {
+        let mut hops = Vec::new();
+        let mut node = to;
+        while node != from {
+            let (p, hop) = prev[&node];
+            hops.push(hop);
+            node = p;
+        }
+        hops.reverse();
+        Path { start: from, hops }
+    })
+}
+
+fn step(
+    _onto: &Ontology,
+    prev: &mut HashMap<ConceptId, (ConceptId, Hop)>,
+    queue: &mut VecDeque<ConceptId>,
+    node: ConceptId,
+    next: ConceptId,
+    hop: Hop,
+    from: ConceptId,
+) {
+    if next != from && !prev.contains_key(&next) {
+        prev.insert(next, (node, hop));
+        queue.push_back(next);
+    }
+}
+
+/// Enumerates all simple paths (no repeated concept) between two concepts
+/// with at most `max_hops` hops, treating edges as undirected.
+///
+/// Used to find indirect relationship patterns: the bootstrapper asks for
+/// all 2-hop paths between pairs of key concepts.
+pub fn paths_up_to(
+    onto: &Ontology,
+    from: ConceptId,
+    to: ConceptId,
+    max_hops: usize,
+    filter: EdgeFilter,
+) -> Vec<Path> {
+    let mut results = Vec::new();
+    let mut visited = vec![from];
+    let mut hops = Vec::new();
+    dfs(onto, from, to, max_hops, filter, &mut visited, &mut hops, &mut results);
+    // Deterministic order: shorter paths first, then by hop ids.
+    results.sort_by(|a, b| {
+        a.len()
+            .cmp(&b.len())
+            .then_with(|| hop_key(a).cmp(&hop_key(b)))
+    });
+    results
+}
+
+fn hop_key(p: &Path) -> Vec<(u32, bool)> {
+    p.hops.iter().map(|h| (h.property.0, h.forward)).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    onto: &Ontology,
+    node: ConceptId,
+    to: ConceptId,
+    budget: usize,
+    filter: EdgeFilter,
+    visited: &mut Vec<ConceptId>,
+    hops: &mut Vec<Hop>,
+    results: &mut Vec<Path>,
+) {
+    if node == to && !hops.is_empty() {
+        results.push(Path { start: visited[0], hops: hops.clone() });
+        return;
+    }
+    if budget == 0 {
+        return;
+    }
+    let candidates: Vec<(ConceptId, Hop)> = onto
+        .outgoing(node)
+        .filter(|op| filter.admits(op.kind))
+        .map(|op| (op.target, Hop { property: op.id, forward: true }))
+        .chain(
+            onto.incoming(node)
+                .filter(|op| filter.admits(op.kind))
+                .map(|op| (op.source, Hop { property: op.id, forward: false })),
+        )
+        .collect();
+    for (next, hop) in candidates {
+        if visited.contains(&next) {
+            continue;
+        }
+        visited.push(next);
+        hops.push(hop);
+        dfs(onto, next, to, budget - 1, filter, visited, hops, results);
+        hops.pop();
+        visited.pop();
+    }
+}
+
+/// Concepts reachable from `from` within `max_hops` undirected hops,
+/// excluding `from` itself. Deterministic (sorted by id).
+pub fn reachable_within(
+    onto: &Ontology,
+    from: ConceptId,
+    max_hops: usize,
+    filter: EdgeFilter,
+) -> Vec<ConceptId> {
+    let mut dist: HashMap<ConceptId, usize> = HashMap::new();
+    dist.insert(from, 0);
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    while let Some(node) = queue.pop_front() {
+        let d = dist[&node];
+        if d == max_hops {
+            continue;
+        }
+        let neighbors: Vec<ConceptId> = onto
+            .neighbors(node)
+            .filter(|(_, op)| filter.admits(op.kind))
+            .map(|(c, _)| c)
+            .collect();
+        for next in neighbors {
+            dist.entry(next).or_insert_with(|| {
+                queue.push_back(next);
+                d + 1
+            });
+        }
+    }
+    let mut out: Vec<ConceptId> = dist.into_keys().filter(|&c| c != from).collect();
+    out.sort();
+    out
+}
+
+/// Whether the undirected ontology graph is connected (considering all
+/// edges). An empty ontology is trivially connected.
+pub fn is_connected(onto: &Ontology) -> bool {
+    let n = onto.concept_count();
+    if n <= 1 {
+        return true;
+    }
+    let start = onto.concepts()[0].id;
+    reachable_within(onto, start, n, EdgeFilter::All).len() == n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Ontology, RelationKind};
+
+    /// Drug --treats--> Indication, Drug --has--> Dosage --for--> Indication
+    fn diamond() -> (Ontology, ConceptId, ConceptId, ConceptId) {
+        let mut o = Ontology::new("t");
+        let drug = o.add_concept("Drug").unwrap();
+        let ind = o.add_concept("Indication").unwrap();
+        let dosage = o.add_concept("Dosage").unwrap();
+        o.add_object_property("treats", drug, ind, RelationKind::Association)
+            .unwrap();
+        o.add_object_property("has", drug, dosage, RelationKind::Association)
+            .unwrap();
+        o.add_object_property("for", dosage, ind, RelationKind::Association)
+            .unwrap();
+        (o, drug, ind, dosage)
+    }
+
+    #[test]
+    fn shortest_path_prefers_direct_edge() {
+        let (o, drug, ind, _) = diamond();
+        let p = shortest_path(&o, drug, ind, EdgeFilter::All).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.end(&o), ind);
+    }
+
+    #[test]
+    fn shortest_path_same_node_is_empty() {
+        let (o, drug, _, _) = diamond();
+        let p = shortest_path(&o, drug, drug, EdgeFilter::All).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn shortest_path_uses_inverse_direction() {
+        let (o, drug, ind, _) = diamond();
+        let p = shortest_path(&o, ind, drug, EdgeFilter::All).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(!p.hops[0].forward);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut o = Ontology::new("t");
+        let a = o.add_concept("A").unwrap();
+        let b = o.add_concept("B").unwrap();
+        assert!(shortest_path(&o, a, b, EdgeFilter::All).is_none());
+        assert!(!is_connected(&o));
+    }
+
+    #[test]
+    fn paths_up_to_finds_direct_and_indirect() {
+        let (o, drug, ind, dosage) = diamond();
+        let paths = paths_up_to(&o, drug, ind, 2, EdgeFilter::All);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].len(), 1); // direct treats
+        assert_eq!(paths[1].len(), 2); // via Dosage
+        assert_eq!(paths[1].concepts(&o), vec![drug, dosage, ind]);
+    }
+
+    #[test]
+    fn paths_respect_hop_budget() {
+        let (o, drug, ind, _) = diamond();
+        let paths = paths_up_to(&o, drug, ind, 1, EdgeFilter::All);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn domain_only_filter_skips_hierarchy() {
+        let mut o = Ontology::new("t");
+        let a = o.add_concept("A").unwrap();
+        let b = o.add_concept("B").unwrap();
+        o.add_is_a(a, b).unwrap();
+        assert!(shortest_path(&o, a, b, EdgeFilter::DomainOnly).is_none());
+        assert!(shortest_path(&o, a, b, EdgeFilter::All).is_some());
+    }
+
+    #[test]
+    fn render_shows_directions() {
+        let (o, drug, ind, _) = diamond();
+        let paths = paths_up_to(&o, drug, ind, 2, EdgeFilter::All);
+        assert_eq!(paths[0].render(&o), "Drug -[treats]-> Indication");
+        assert_eq!(
+            paths[1].render(&o),
+            "Drug -[has]-> Dosage -[for]-> Indication"
+        );
+    }
+
+    #[test]
+    fn reachable_within_is_sorted_and_bounded() {
+        let (o, drug, ind, dosage) = diamond();
+        assert_eq!(reachable_within(&o, drug, 1, EdgeFilter::All), vec![ind, dosage]);
+        let mut o2 = o.clone();
+        let far = o2.add_concept("Far").unwrap();
+        o2.add_object_property("r", ind, far, RelationKind::Association)
+            .unwrap();
+        assert!(!reachable_within(&o2, drug, 1, EdgeFilter::All).contains(&far));
+        assert!(reachable_within(&o2, drug, 2, EdgeFilter::All).contains(&far));
+    }
+
+    #[test]
+    fn connectivity_of_diamond() {
+        let (o, ..) = diamond();
+        assert!(is_connected(&o));
+    }
+}

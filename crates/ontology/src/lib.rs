@@ -1,0 +1,61 @@
+//! # obcs-ontology
+//!
+//! An OWL-flavoured domain-ontology model used as the semantic backbone of
+//! the ontology-based conversation system (SIGMOD'20).
+//!
+//! The ontology provides a structured view of a knowledge base in terms of
+//! *concepts* (OWL classes), *data properties* attached to concepts, and
+//! *object properties* (relationships) between concepts. Two special
+//! relationship families carry extra semantics that the conversation
+//! bootstrapper exploits (paper §3):
+//!
+//! * **isA** — subsumption: every instance of the child concept is an
+//!   instance of the parent concept (e.g. `DrugFoodInteraction isA
+//!   DrugInteraction`).
+//! * **unionOf** — a special case of subsumption where the children of the
+//!   same parent are mutually exclusive and exhaustive (e.g. `Risk =
+//!   ContraIndication ∪ BlackBoxWarning`).
+//!
+//! On top of the data model the crate offers graph utilities needed by the
+//! bootstrapping pipeline of the paper:
+//!
+//! * adjacency / neighbourhood queries ([`Ontology::neighbors`]),
+//! * shortest relationship paths and bounded path enumeration
+//!   ([`graph::shortest_path`], [`graph::paths_up_to`]),
+//! * centrality analyses — degree, PageRank and Brandes betweenness
+//!   ([`centrality`]) — used to identify *key concepts* (§4.2.1),
+//! * statistical segregation of ranked scores ([`segregation`]) used to cut
+//!   the top-k key concepts,
+//! * structural validation ([`validate`]), DOT export ([`dot`]) and JSON
+//!   (de)serialisation via serde.
+//!
+//! ## Example
+//!
+//! ```
+//! use obcs_ontology::{Ontology, RelationKind};
+//!
+//! let mut onto = Ontology::new("demo");
+//! let drug = onto.add_concept("Drug").unwrap();
+//! let indication = onto.add_concept("Indication").unwrap();
+//! onto.add_data_property(drug, "name").unwrap();
+//! onto.add_object_property("treats", drug, indication, RelationKind::Functional)
+//!     .unwrap();
+//! assert_eq!(onto.concept_count(), 2);
+//! assert_eq!(onto.neighbors(drug).count(), 1);
+//! ```
+
+pub mod builder;
+pub mod centrality;
+pub mod dot;
+pub mod graph;
+pub mod model;
+pub mod segregation;
+pub mod turtle;
+pub mod validate;
+
+pub use builder::OntologyBuilder;
+pub use model::{
+    Concept, ConceptId, DataProperty, DataPropertyId, ObjectProperty, ObjectPropertyId,
+    Ontology, OntologyError, RelationKind,
+};
+pub use validate::{validate, ValidationIssue};

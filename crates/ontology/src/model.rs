@@ -1,0 +1,547 @@
+//! Core ontology data model: concepts, data properties, object properties,
+//! subsumption (isA) and union (unionOf) relationships.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a concept within one [`Ontology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConceptId(pub u32);
+
+/// Stable identifier of a data property within one [`Ontology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DataPropertyId(pub u32);
+
+/// Stable identifier of an object property within one [`Ontology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectPropertyId(pub u32);
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The semantics of an object property between two concepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelationKind {
+    /// A plain many-to-many association.
+    Association,
+    /// A functional relationship: each source instance maps to at most one
+    /// target instance.
+    Functional,
+    /// Subsumption: the *source* is a child of the *target* (`source isA
+    /// target`).
+    IsA,
+    /// Union membership: the *source* is one of the mutually exclusive and
+    /// exhaustive constituents of the *target* (`target = unionOf(...,
+    /// source, ...)`).
+    UnionOf,
+}
+
+impl RelationKind {
+    /// Whether this kind encodes a hierarchy edge rather than a domain
+    /// relationship.
+    pub fn is_hierarchical(self) -> bool {
+        matches!(self, RelationKind::IsA | RelationKind::UnionOf)
+    }
+}
+
+impl fmt::Display for RelationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelationKind::Association => "association",
+            RelationKind::Functional => "functional",
+            RelationKind::IsA => "isA",
+            RelationKind::UnionOf => "unionOf",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An OWL class: a domain entity type such as `Drug` or `Indication`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Concept {
+    /// Identifier, equal to the concept's position in [`Ontology::concepts`].
+    pub id: ConceptId,
+    /// Unique human-readable name (e.g. `"Drug"`).
+    pub name: String,
+    /// Optional natural-language description used for definition-request
+    /// repair in the dialogue layer.
+    pub description: Option<String>,
+    /// Data properties attached to this concept.
+    pub data_properties: Vec<DataPropertyId>,
+}
+
+/// A data property (attribute) of a concept, e.g. `Drug.name`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataProperty {
+    pub id: DataPropertyId,
+    /// Property name, unique within its owning concept.
+    pub name: String,
+    /// Owning concept.
+    pub concept: ConceptId,
+}
+
+/// A directed, named relationship between two concepts, e.g.
+/// `Drug --treats--> Indication`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjectProperty {
+    pub id: ObjectPropertyId,
+    /// Relationship name (e.g. `"treats"`). Not necessarily unique.
+    pub name: String,
+    /// Optional verbalisation of the inverse direction (e.g. `"is treated
+    /// by"`), used when generating inverse relationship patterns (Fig. 5).
+    pub inverse_name: Option<String>,
+    pub source: ConceptId,
+    pub target: ConceptId,
+    pub kind: RelationKind,
+}
+
+/// Errors produced by ontology mutation and lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntologyError {
+    /// A concept with this name already exists.
+    DuplicateConcept(String),
+    /// A data property with this name already exists on the concept.
+    DuplicateDataProperty { concept: String, property: String },
+    /// A referenced concept id is not part of this ontology.
+    UnknownConcept(ConceptId),
+    /// A concept name lookup failed.
+    UnknownConceptName(String),
+    /// An edge would relate a concept to itself with hierarchical semantics.
+    SelfHierarchy(String),
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OntologyError::DuplicateConcept(name) => {
+                write!(f, "concept `{name}` already exists")
+            }
+            OntologyError::DuplicateDataProperty { concept, property } => {
+                write!(f, "data property `{property}` already exists on `{concept}`")
+            }
+            OntologyError::UnknownConcept(id) => write!(f, "unknown concept id {id}"),
+            OntologyError::UnknownConceptName(name) => write!(f, "unknown concept `{name}`"),
+            OntologyError::SelfHierarchy(name) => {
+                write!(f, "concept `{name}` cannot be its own parent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OntologyError {}
+
+/// A domain ontology: concepts, their data properties, and the object
+/// properties (relationships) between them.
+///
+/// The structure is append-only: concepts and properties can be added but
+/// not removed, which keeps all ids stable — the bootstrapping pipeline
+/// stores ids in derived artifacts (patterns, intents) and relies on this.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ontology {
+    /// Ontology name, e.g. `"mdx"`.
+    pub name: String,
+    concepts: Vec<Concept>,
+    data_properties: Vec<DataProperty>,
+    object_properties: Vec<ObjectProperty>,
+    #[serde(skip)]
+    concept_index: HashMap<String, ConceptId>,
+    /// Outgoing edges per concept (including hierarchical edges).
+    #[serde(skip)]
+    outgoing: Vec<Vec<ObjectPropertyId>>,
+    /// Incoming edges per concept (including hierarchical edges).
+    #[serde(skip)]
+    incoming: Vec<Vec<ObjectPropertyId>>,
+}
+
+impl Ontology {
+    /// Creates an empty ontology with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Ontology {
+            name: name.into(),
+            concepts: Vec::new(),
+            data_properties: Vec::new(),
+            object_properties: Vec::new(),
+            concept_index: HashMap::new(),
+            outgoing: Vec::new(),
+            incoming: Vec::new(),
+        }
+    }
+
+    /// Rebuilds the derived indexes (name map, adjacency). Must be called
+    /// after deserialisation; [`Ontology::from_json`] does so automatically.
+    pub fn rebuild_indexes(&mut self) {
+        self.concept_index = self
+            .concepts
+            .iter()
+            .map(|c| (c.name.clone(), c.id))
+            .collect();
+        self.outgoing = vec![Vec::new(); self.concepts.len()];
+        self.incoming = vec![Vec::new(); self.concepts.len()];
+        for op in &self.object_properties {
+            self.outgoing[op.source.0 as usize].push(op.id);
+            self.incoming[op.target.0 as usize].push(op.id);
+        }
+    }
+
+    /// Parses an ontology from its JSON representation, rebuilding indexes.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let mut onto: Ontology = serde_json::from_str(json)?;
+        onto.rebuild_indexes();
+        Ok(onto)
+    }
+
+    /// Serialises the ontology to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ontology serialisation cannot fail")
+    }
+
+    /// Adds a concept; names must be unique.
+    pub fn add_concept(&mut self, name: impl Into<String>) -> Result<ConceptId, OntologyError> {
+        let name = name.into();
+        if self.concept_index.contains_key(&name) {
+            return Err(OntologyError::DuplicateConcept(name));
+        }
+        let id = ConceptId(self.concepts.len() as u32);
+        self.concept_index.insert(name.clone(), id);
+        self.concepts.push(Concept {
+            id,
+            name,
+            description: None,
+            data_properties: Vec::new(),
+        });
+        self.outgoing.push(Vec::new());
+        self.incoming.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Sets the natural-language description of a concept.
+    pub fn set_description(
+        &mut self,
+        concept: ConceptId,
+        description: impl Into<String>,
+    ) -> Result<(), OntologyError> {
+        let c = self
+            .concepts
+            .get_mut(concept.0 as usize)
+            .ok_or(OntologyError::UnknownConcept(concept))?;
+        c.description = Some(description.into());
+        Ok(())
+    }
+
+    /// Adds a data property to a concept; property names must be unique per
+    /// concept.
+    pub fn add_data_property(
+        &mut self,
+        concept: ConceptId,
+        name: impl Into<String>,
+    ) -> Result<DataPropertyId, OntologyError> {
+        let name = name.into();
+        let concept_name = self.concept(concept)?.name.clone();
+        let duplicate = self.concepts[concept.0 as usize]
+            .data_properties
+            .iter()
+            .any(|&dp| self.data_properties[dp.0 as usize].name == name);
+        if duplicate {
+            return Err(OntologyError::DuplicateDataProperty {
+                concept: concept_name,
+                property: name,
+            });
+        }
+        let id = DataPropertyId(self.data_properties.len() as u32);
+        self.data_properties.push(DataProperty { id, name, concept });
+        self.concepts[concept.0 as usize].data_properties.push(id);
+        Ok(id)
+    }
+
+    /// Adds a directed object property between two concepts.
+    pub fn add_object_property(
+        &mut self,
+        name: impl Into<String>,
+        source: ConceptId,
+        target: ConceptId,
+        kind: RelationKind,
+    ) -> Result<ObjectPropertyId, OntologyError> {
+        let name = name.into();
+        self.concept(source)?;
+        self.concept(target)?;
+        if kind.is_hierarchical() && source == target {
+            return Err(OntologyError::SelfHierarchy(
+                self.concepts[source.0 as usize].name.clone(),
+            ));
+        }
+        let id = ObjectPropertyId(self.object_properties.len() as u32);
+        self.object_properties.push(ObjectProperty {
+            id,
+            name,
+            inverse_name: None,
+            source,
+            target,
+            kind,
+        });
+        self.outgoing[source.0 as usize].push(id);
+        self.incoming[target.0 as usize].push(id);
+        Ok(id)
+    }
+
+    /// Records the inverse verbalisation of an object property (e.g.
+    /// `treats` / `is treated by`).
+    pub fn set_inverse_name(&mut self, prop: ObjectPropertyId, inverse: impl Into<String>) {
+        if let Some(op) = self.object_properties.get_mut(prop.0 as usize) {
+            op.inverse_name = Some(inverse.into());
+        }
+    }
+
+    /// Declares `child isA parent`.
+    pub fn add_is_a(
+        &mut self,
+        child: ConceptId,
+        parent: ConceptId,
+    ) -> Result<ObjectPropertyId, OntologyError> {
+        self.add_object_property("isA", child, parent, RelationKind::IsA)
+    }
+
+    /// Declares `parent = unionOf(children...)`, adding one `unionOf` edge
+    /// per child.
+    pub fn add_union(
+        &mut self,
+        parent: ConceptId,
+        children: &[ConceptId],
+    ) -> Result<Vec<ObjectPropertyId>, OntologyError> {
+        children
+            .iter()
+            .map(|&child| self.add_object_property("unionOf", child, parent, RelationKind::UnionOf))
+            .collect()
+    }
+
+    /// Looks up a concept by id.
+    pub fn concept(&self, id: ConceptId) -> Result<&Concept, OntologyError> {
+        self.concepts
+            .get(id.0 as usize)
+            .ok_or(OntologyError::UnknownConcept(id))
+    }
+
+    /// Looks up a concept by exact name.
+    pub fn concept_by_name(&self, name: &str) -> Option<&Concept> {
+        self.concept_index
+            .get(name)
+            .map(|&id| &self.concepts[id.0 as usize])
+    }
+
+    /// Id of a concept by exact name.
+    pub fn concept_id(&self, name: &str) -> Result<ConceptId, OntologyError> {
+        self.concept_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| OntologyError::UnknownConceptName(name.to_string()))
+    }
+
+    /// Name of a concept; panics on an id from a different ontology.
+    pub fn concept_name(&self, id: ConceptId) -> &str {
+        &self.concepts[id.0 as usize].name
+    }
+
+    /// All concepts.
+    pub fn concepts(&self) -> &[Concept] {
+        &self.concepts
+    }
+
+    /// All data properties.
+    pub fn data_properties(&self) -> &[DataProperty] {
+        &self.data_properties
+    }
+
+    /// Data property lookup by id.
+    pub fn data_property(&self, id: DataPropertyId) -> &DataProperty {
+        &self.data_properties[id.0 as usize]
+    }
+
+    /// Data properties of one concept.
+    pub fn data_properties_of(&self, id: ConceptId) -> impl Iterator<Item = &DataProperty> {
+        self.concepts[id.0 as usize]
+            .data_properties
+            .iter()
+            .map(move |&dp| &self.data_properties[dp.0 as usize])
+    }
+
+    /// All object properties (including hierarchical edges).
+    pub fn object_properties(&self) -> &[ObjectProperty] {
+        &self.object_properties
+    }
+
+    /// Object property lookup by id.
+    pub fn object_property(&self, id: ObjectPropertyId) -> &ObjectProperty {
+        &self.object_properties[id.0 as usize]
+    }
+
+    /// Outgoing object properties of a concept.
+    pub fn outgoing(&self, id: ConceptId) -> impl Iterator<Item = &ObjectProperty> {
+        self.outgoing[id.0 as usize]
+            .iter()
+            .map(move |&op| &self.object_properties[op.0 as usize])
+    }
+
+    /// Incoming object properties of a concept.
+    pub fn incoming(&self, id: ConceptId) -> impl Iterator<Item = &ObjectProperty> {
+        self.incoming[id.0 as usize]
+            .iter()
+            .map(move |&op| &self.object_properties[op.0 as usize])
+    }
+
+    /// Undirected neighbourhood of a concept: every concept reachable over a
+    /// single object property in either direction, paired with the edge.
+    ///
+    /// Hierarchical edges (isA/unionOf) are included; callers that only want
+    /// domain relationships filter on [`ObjectProperty::kind`].
+    pub fn neighbors(&self, id: ConceptId) -> impl Iterator<Item = (ConceptId, &ObjectProperty)> {
+        let out = self.outgoing(id).map(|op| (op.target, op));
+        let inc = self.incoming(id).map(|op| (op.source, op));
+        out.chain(inc)
+    }
+
+    /// Number of concepts.
+    pub fn concept_count(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Number of data properties across all concepts.
+    pub fn data_property_count(&self) -> usize {
+        self.data_properties.len()
+    }
+
+    /// Number of object properties (relationships), including isA/unionOf.
+    pub fn object_property_count(&self) -> usize {
+        self.object_properties.len()
+    }
+
+    /// Children of a concept under `isA` (i.e. concepts declared `isA` this
+    /// concept).
+    pub fn is_a_children(&self, parent: ConceptId) -> Vec<ConceptId> {
+        self.incoming(parent)
+            .filter(|op| op.kind == RelationKind::IsA)
+            .map(|op| op.source)
+            .collect()
+    }
+
+    /// Constituents of a union concept (empty if the concept is not a
+    /// union).
+    pub fn union_members(&self, parent: ConceptId) -> Vec<ConceptId> {
+        self.incoming(parent)
+            .filter(|op| op.kind == RelationKind::UnionOf)
+            .map(|op| op.source)
+            .collect()
+    }
+
+    /// Parents of a concept under `isA`.
+    pub fn is_a_parents(&self, child: ConceptId) -> Vec<ConceptId> {
+        self.outgoing(child)
+            .filter(|op| op.kind == RelationKind::IsA)
+            .map(|op| op.target)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Ontology, ConceptId, ConceptId) {
+        let mut o = Ontology::new("t");
+        let a = o.add_concept("A").unwrap();
+        let b = o.add_concept("B").unwrap();
+        (o, a, b)
+    }
+
+    #[test]
+    fn concept_names_are_unique() {
+        let (mut o, _, _) = tiny();
+        assert_eq!(
+            o.add_concept("A"),
+            Err(OntologyError::DuplicateConcept("A".into()))
+        );
+    }
+
+    #[test]
+    fn data_properties_unique_per_concept_but_shared_across() {
+        let (mut o, a, b) = tiny();
+        o.add_data_property(a, "name").unwrap();
+        assert!(o.add_data_property(a, "name").is_err());
+        // Same property name on another concept is fine.
+        o.add_data_property(b, "name").unwrap();
+        assert_eq!(o.data_property_count(), 2);
+    }
+
+    #[test]
+    fn neighbors_cover_both_directions() {
+        let (mut o, a, b) = tiny();
+        o.add_object_property("r", a, b, RelationKind::Association)
+            .unwrap();
+        let from_a: Vec<_> = o.neighbors(a).map(|(c, _)| c).collect();
+        let from_b: Vec<_> = o.neighbors(b).map(|(c, _)| c).collect();
+        assert_eq!(from_a, vec![b]);
+        assert_eq!(from_b, vec![a]);
+    }
+
+    #[test]
+    fn self_hierarchy_rejected() {
+        let (mut o, a, _) = tiny();
+        assert!(matches!(
+            o.add_is_a(a, a),
+            Err(OntologyError::SelfHierarchy(_))
+        ));
+        // A plain self-association is allowed (e.g. Drug interactsWith Drug).
+        assert!(o
+            .add_object_property("interactsWith", a, a, RelationKind::Association)
+            .is_ok());
+    }
+
+    #[test]
+    fn union_members_and_is_a_children() {
+        let mut o = Ontology::new("t");
+        let risk = o.add_concept("Risk").unwrap();
+        let ci = o.add_concept("ContraIndication").unwrap();
+        let bbw = o.add_concept("BlackBoxWarning").unwrap();
+        let di = o.add_concept("DrugInteraction").unwrap();
+        let dfi = o.add_concept("DrugFoodInteraction").unwrap();
+        o.add_union(risk, &[ci, bbw]).unwrap();
+        o.add_is_a(dfi, di).unwrap();
+        assert_eq!(o.union_members(risk), vec![ci, bbw]);
+        assert_eq!(o.is_a_children(di), vec![dfi]);
+        assert_eq!(o.is_a_parents(dfi), vec![di]);
+        assert!(o.union_members(di).is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure_and_indexes() {
+        let (mut o, a, b) = tiny();
+        o.add_data_property(a, "name").unwrap();
+        let r = o
+            .add_object_property("r", a, b, RelationKind::Functional)
+            .unwrap();
+        o.set_inverse_name(r, "r-inv");
+        o.set_description(a, "the A concept").unwrap();
+
+        let json = o.to_json();
+        let back = Ontology::from_json(&json).unwrap();
+        assert_eq!(back.concept_count(), 2);
+        assert_eq!(back.concept_id("A").unwrap(), a);
+        assert_eq!(back.neighbors(a).count(), 1);
+        assert_eq!(
+            back.object_property(r).inverse_name.as_deref(),
+            Some("r-inv")
+        );
+        assert_eq!(back.concept(a).unwrap().description.as_deref(), Some("the A concept"));
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let (o, _, _) = tiny();
+        assert!(o.concept(ConceptId(99)).is_err());
+        assert!(o.concept_id("Nope").is_err());
+        assert!(o.concept_by_name("Nope").is_none());
+    }
+}

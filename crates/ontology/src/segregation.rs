@@ -1,0 +1,135 @@
+//! Statistical segregation of ranked centrality scores.
+//!
+//! The paper (§4.2.1, citing \[25\]) selects the top-k key concepts by
+//! "statistical segregation" of the centrality ranking: rather than a fixed
+//! k, find the natural break in the score distribution that separates the
+//! standout concepts from the long tail.
+//!
+//! We implement this as a largest-relative-gap cut with a mean threshold
+//! fallback, plus a deterministic fixed-k mode for ablations.
+
+use crate::centrality::ScoredConcept;
+use crate::model::ConceptId;
+
+/// Strategy for cutting a descending score ranking into "key" vs "rest".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cut {
+    /// Find the largest relative gap between consecutive scores, searching
+    /// between `min` and `max` selected items.
+    LargestGap { min: usize, max: usize },
+    /// Keep everything with score strictly above the mean score.
+    AboveMean,
+    /// Keep exactly the first k items.
+    TopK(usize),
+}
+
+/// Applies the cut to a descending ranking, returning the selected concept
+/// ids in rank order.
+pub fn segregate(scored: &[ScoredConcept], cut: Cut) -> Vec<ConceptId> {
+    match cut {
+        Cut::TopK(k) => scored.iter().take(k).map(|s| s.concept).collect(),
+        Cut::AboveMean => {
+            if scored.is_empty() {
+                return Vec::new();
+            }
+            let mean = scored.iter().map(|s| s.score).sum::<f64>() / scored.len() as f64;
+            scored
+                .iter()
+                .take_while(|s| s.score > mean)
+                .map(|s| s.concept)
+                .collect()
+        }
+        Cut::LargestGap { min, max } => {
+            let min = min.max(1);
+            let max = max.min(scored.len());
+            if scored.len() <= min {
+                return scored.iter().map(|s| s.concept).collect();
+            }
+            // Search the boundary k in [min, max): cut after position k-1.
+            let mut best_k = min;
+            let mut best_gap = f64::MIN;
+            for k in min..max.max(min + 1) {
+                if k >= scored.len() {
+                    break;
+                }
+                let above = scored[k - 1].score;
+                let below = scored[k].score;
+                // Relative gap; guard against zero scores.
+                let gap = if above.abs() < f64::EPSILON {
+                    0.0
+                } else {
+                    (above - below) / above.abs()
+                };
+                if gap > best_gap {
+                    best_gap = gap;
+                    best_k = k;
+                }
+            }
+            scored.iter().take(best_k).map(|s| s.concept).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scored(scores: &[f64]) -> Vec<ScoredConcept> {
+        scores
+            .iter()
+            .enumerate()
+            .map(|(i, &score)| ScoredConcept { concept: ConceptId(i as u32), score })
+            .collect()
+    }
+
+    #[test]
+    fn top_k_is_exact() {
+        let s = scored(&[5.0, 4.0, 3.0, 2.0]);
+        assert_eq!(segregate(&s, Cut::TopK(2)).len(), 2);
+        assert_eq!(segregate(&s, Cut::TopK(10)).len(), 4);
+        assert!(segregate(&s, Cut::TopK(0)).is_empty());
+    }
+
+    #[test]
+    fn above_mean_keeps_standouts() {
+        // mean = 3.0; only 10 and 4 are above.
+        let s = scored(&[10.0, 4.0, 1.0, 0.5, 0.5, 2.0]);
+        let picked = segregate(&s, Cut::AboveMean);
+        assert_eq!(picked, vec![ConceptId(0), ConceptId(1)]);
+    }
+
+    #[test]
+    fn above_mean_empty_input() {
+        assert!(segregate(&[], Cut::AboveMean).is_empty());
+    }
+
+    #[test]
+    fn largest_gap_finds_natural_break() {
+        // Clear break between 8.0 and 2.0.
+        let s = scored(&[10.0, 9.0, 8.0, 2.0, 1.5, 1.0]);
+        let picked = segregate(&s, Cut::LargestGap { min: 1, max: 6 });
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn largest_gap_respects_min() {
+        // The biggest gap is after the first element, but min=3 forces more.
+        let s = scored(&[10.0, 1.0, 0.9, 0.8, 0.7]);
+        let picked = segregate(&s, Cut::LargestGap { min: 3, max: 5 });
+        assert!(picked.len() >= 3);
+    }
+
+    #[test]
+    fn largest_gap_short_input_returns_all() {
+        let s = scored(&[3.0, 2.0]);
+        let picked = segregate(&s, Cut::LargestGap { min: 4, max: 8 });
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn largest_gap_with_zero_scores_is_safe() {
+        let s = scored(&[0.0, 0.0, 0.0]);
+        let picked = segregate(&s, Cut::LargestGap { min: 1, max: 3 });
+        assert_eq!(picked.len(), 1);
+    }
+}

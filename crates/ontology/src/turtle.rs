@@ -1,0 +1,390 @@
+//! OWL export/import in Turtle syntax.
+//!
+//! The paper describes ontologies with OWL \[1\] and has SMEs refine the
+//! OWL description directly (§4.2.2). This module writes the ontology as
+//! Turtle using the OWL vocabulary — `owl:Class`, `owl:DatatypeProperty`,
+//! `owl:ObjectProperty`, `rdfs:subClassOf` for isA, `owl:unionOf` for
+//! union parents — and parses that subset back, so ontologies can round-
+//! trip through files SMEs edit.
+//!
+//! The parser accepts exactly the subset the writer produces (one
+//! statement per line, `obcs:` prefixed names); it is a faithful exchange
+//! format for this system, not a general Turtle implementation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::model::{Ontology, RelationKind};
+
+/// Errors from Turtle parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TurtleError {
+    /// A line could not be parsed.
+    Syntax { line: usize, message: String },
+    /// A statement referenced an undeclared class.
+    UnknownClass { line: usize, name: String },
+    /// The resulting ontology was structurally inconsistent.
+    Inconsistent(String),
+}
+
+impl fmt::Display for TurtleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TurtleError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            TurtleError::UnknownClass { line, name } => {
+                write!(f, "line {line}: unknown class `{name}`")
+            }
+            TurtleError::Inconsistent(msg) => write!(f, "inconsistent ontology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TurtleError {}
+
+/// Serialises the ontology as OWL/Turtle.
+///
+/// ```
+/// use obcs_ontology::OntologyBuilder;
+/// use obcs_ontology::turtle::{to_turtle, from_turtle};
+///
+/// let onto = OntologyBuilder::new("demo")
+///     .data("Drug", &["name"])
+///     .relation("treats", "Drug", "Indication")
+///     .build()
+///     .unwrap();
+/// let ttl = to_turtle(&onto);
+/// assert!(ttl.contains("obcs:Drug a owl:Class ."));
+/// let back = from_turtle(&ttl).unwrap();
+/// assert_eq!(back.concept_count(), 2);
+/// ```
+pub fn to_turtle(onto: &Ontology) -> String {
+    let mut out = String::new();
+    out.push_str("@prefix owl: <http://www.w3.org/2002/07/owl#> .\n");
+    out.push_str("@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n");
+    out.push_str(&format!("@prefix obcs: <urn:obcs:{}#> .\n\n", onto.name));
+    for c in onto.concepts() {
+        out.push_str(&format!("obcs:{} a owl:Class .\n", c.name));
+        if let Some(desc) = &c.description {
+            out.push_str(&format!(
+                "obcs:{} rdfs:comment \"{}\" .\n",
+                c.name,
+                escape(desc)
+            ));
+        }
+    }
+    out.push('\n');
+    for dp in onto.data_properties() {
+        out.push_str(&format!(
+            "obcs:{}.{} a owl:DatatypeProperty ; rdfs:domain obcs:{} .\n",
+            onto.concept_name(dp.concept),
+            dp.name,
+            onto.concept_name(dp.concept)
+        ));
+    }
+    out.push('\n');
+    for op in onto.object_properties() {
+        match op.kind {
+            RelationKind::IsA => {
+                out.push_str(&format!(
+                    "obcs:{} rdfs:subClassOf obcs:{} .\n",
+                    onto.concept_name(op.source),
+                    onto.concept_name(op.target)
+                ));
+            }
+            RelationKind::UnionOf => {
+                out.push_str(&format!(
+                    "obcs:{} owl:unionMember obcs:{} .\n",
+                    onto.concept_name(op.target),
+                    onto.concept_name(op.source)
+                ));
+            }
+            kind => {
+                let functional = if kind == RelationKind::Functional {
+                    ", owl:FunctionalProperty"
+                } else {
+                    ""
+                };
+                let inverse = op
+                    .inverse_name
+                    .as_ref()
+                    .map(|inv| format!(" ; obcs:inverseLabel \"{}\"", escape(inv)))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "obcs:{} a owl:ObjectProperty{functional} ; rdfs:domain obcs:{} ; rdfs:range obcs:{}{inverse} .\n",
+                    encode_name(&op.name),
+                    onto.concept_name(op.source),
+                    onto.concept_name(op.target)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses the Turtle subset produced by [`to_turtle`] back into an
+/// ontology.
+pub fn from_turtle(turtle: &str) -> Result<Ontology, TurtleError> {
+    let mut name = "imported".to_string();
+    // First pass: ontology name + classes.
+    for line in turtle.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("@prefix obcs: <urn:obcs:") {
+            if let Some(n) = rest.split('#').next() {
+                name = n.to_string();
+            }
+        }
+    }
+    let mut onto = Ontology::new(name);
+    let mut unions: HashMap<String, Vec<String>> = HashMap::new();
+
+    for (i, raw) in turtle.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim().trim_end_matches('.').trim();
+        if line.is_empty() || line.starts_with('@') || line.starts_with('#') {
+            continue;
+        }
+        if let Some((subject, "a owl:Class")) = split_statement(line) {
+            onto.add_concept(subject).map_err(|e| TurtleError::Syntax {
+                line: lineno,
+                message: e.to_string(),
+            })?;
+        }
+    }
+    // Second pass: everything that references classes.
+    for (i, raw) in turtle.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim().trim_end_matches('.').trim();
+        if line.is_empty() || line.starts_with('@') || line.starts_with('#') {
+            continue;
+        }
+        let Some((subject, predicate)) = split_statement(line) else {
+            return Err(TurtleError::Syntax {
+                line: lineno,
+                message: format!("unparseable statement `{line}`"),
+            });
+        };
+        let class_id = |onto: &Ontology, n: &str| {
+            onto.concept_id(n).map_err(|_| TurtleError::UnknownClass {
+                line: lineno,
+                name: n.to_string(),
+            })
+        };
+        if predicate == "a owl:Class" {
+            continue; // first pass
+        } else if let Some(comment) = predicate.strip_prefix("rdfs:comment ") {
+            let id = class_id(&onto, &subject)?;
+            onto.set_description(id, unescape(comment.trim().trim_matches('"')))
+                .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
+        } else if predicate.starts_with("a owl:DatatypeProperty") {
+            let (class, prop) = subject.rsplit_once('.').ok_or(TurtleError::Syntax {
+                line: lineno,
+                message: "datatype property subject must be Class.prop".into(),
+            })?;
+            let id = class_id(&onto, class)?;
+            onto.add_data_property(id, prop).map_err(|e| {
+                TurtleError::Inconsistent(e.to_string())
+            })?;
+        } else if let Some(parent) = predicate.strip_prefix("rdfs:subClassOf obcs:") {
+            let child = class_id(&onto, &subject)?;
+            let parent = class_id(&onto, parent.trim())?;
+            onto.add_is_a(child, parent)
+                .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
+        } else if let Some(member) = predicate.strip_prefix("owl:unionMember obcs:") {
+            unions
+                .entry(subject)
+                .or_default()
+                .push(member.trim().to_string());
+        } else if predicate.starts_with("a owl:ObjectProperty") {
+            let functional = predicate.contains("owl:FunctionalProperty");
+            let domain = extract(predicate, "rdfs:domain obcs:").ok_or(TurtleError::Syntax {
+                line: lineno,
+                message: "object property without rdfs:domain".into(),
+            })?;
+            let range = extract(predicate, "rdfs:range obcs:").ok_or(TurtleError::Syntax {
+                line: lineno,
+                message: "object property without rdfs:range".into(),
+            })?;
+            let source = class_id(&onto, &domain)?;
+            let target = class_id(&onto, &range)?;
+            let kind = if functional {
+                RelationKind::Functional
+            } else {
+                RelationKind::Association
+            };
+            let prop = onto
+                .add_object_property(decode_name(&subject), source, target, kind)
+                .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
+            if let Some(inv) = extract_quoted(predicate, "obcs:inverseLabel ") {
+                onto.set_inverse_name(prop, unescape(&inv));
+            }
+        } else {
+            return Err(TurtleError::Syntax {
+                line: lineno,
+                message: format!("unsupported predicate `{predicate}`"),
+            });
+        }
+    }
+    // Apply unions.
+    for (parent, members) in unions {
+        let p = onto
+            .concept_id(&parent)
+            .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
+        let ids = members
+            .iter()
+            .map(|m| onto.concept_id(m))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
+        onto.add_union(p, &ids)
+            .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
+    }
+    Ok(onto)
+}
+
+/// Splits `obcs:Subject rest-of-statement` into `(Subject, rest)`.
+fn split_statement(line: &str) -> Option<(String, &str)> {
+    let rest = line.strip_prefix("obcs:")?;
+    let (subject, predicate) = rest.split_once(' ')?;
+    Some((subject.to_string(), predicate.trim()))
+}
+
+fn extract(predicate: &str, key: &str) -> Option<String> {
+    let start = predicate.find(key)? + key.len();
+    let rest = &predicate[start..];
+    let end = rest
+        .find(|c: char| c.is_whitespace() || c == ';')
+        .unwrap_or(rest.len());
+    Some(rest[..end].to_string())
+}
+
+fn extract_quoted(predicate: &str, key: &str) -> Option<String> {
+    let start = predicate.find(key)? + key.len();
+    let rest = predicate[start..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Relationship names may contain spaces ("may cause"); encode them for
+/// the QName position.
+fn encode_name(name: &str) -> String {
+    name.replace(' ', "%20")
+}
+
+fn decode_name(name: &str) -> String {
+    name.replace("%20", " ")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("\\\"", "\"").replace("\\\\", "\\")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OntologyBuilder;
+    use crate::validate::validate;
+
+    fn sample() -> Ontology {
+        OntologyBuilder::new("mini")
+            .data("Drug", &["name", "brand"])
+            .data("Indication", &["name"])
+            .data("Risk", &["summary"])
+            .data("ContraIndication", &["description"])
+            .data("BlackBoxWarning", &["description"])
+            .data("DrugInteraction", &["description"])
+            .data("DrugFoodInteraction", &["mechanism"])
+            .concept_described("Drug", "a therapeutic substance")
+            .relation_with_inverse("treats", "is treated by", "Drug", "Indication")
+            .relation("may cause", "Drug", "Indication")
+            .union("Risk", &["ContraIndication", "BlackBoxWarning"])
+            .is_a("DrugFoodInteraction", "DrugInteraction")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn turtle_contains_owl_vocabulary() {
+        let ttl = to_turtle(&sample());
+        assert!(ttl.contains("obcs:Drug a owl:Class ."));
+        assert!(ttl.contains("obcs:Drug.name a owl:DatatypeProperty"));
+        assert!(ttl.contains("obcs:treats a owl:ObjectProperty, owl:FunctionalProperty"));
+        assert!(ttl.contains("rdfs:domain obcs:Drug"));
+        assert!(ttl.contains("obcs:DrugFoodInteraction rdfs:subClassOf obcs:DrugInteraction"));
+        assert!(ttl.contains("obcs:Risk owl:unionMember obcs:ContraIndication"));
+        assert!(ttl.contains("obcs:inverseLabel \"is treated by\""));
+        assert!(ttl.contains("rdfs:comment \"a therapeutic substance\""));
+        assert!(ttl.contains("obcs:may%20cause"), "spaces encoded: {ttl}");
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample();
+        let back = from_turtle(&to_turtle(&original)).expect("parse back");
+        assert_eq!(back.name, original.name);
+        assert_eq!(back.concept_count(), original.concept_count());
+        assert_eq!(back.data_property_count(), original.data_property_count());
+        assert_eq!(back.object_property_count(), original.object_property_count());
+        let risk = back.concept_id("Risk").unwrap();
+        assert_eq!(back.union_members(risk).len(), 2);
+        let drug = back.concept_id("Drug").unwrap();
+        assert_eq!(
+            back.concept(drug).unwrap().description.as_deref(),
+            Some("a therapeutic substance")
+        );
+        let treats = back.outgoing(drug).find(|op| op.name == "treats").unwrap();
+        assert_eq!(treats.inverse_name.as_deref(), Some("is treated by"));
+        assert_eq!(treats.kind, RelationKind::Functional);
+        assert!(back.outgoing(drug).any(|op| op.name == "may cause"));
+        assert!(validate(&back).is_empty());
+    }
+
+    #[test]
+    fn mdx_scale_round_trip() {
+        // The full builder API surface must survive: build a larger
+        // ontology programmatically.
+        let mut b = OntologyBuilder::new("big").data("Hub", &["name"]);
+        for i in 0..30 {
+            b = b
+                .data(&format!("C{i}"), &["description", "note"])
+                .relation(&format!("rel{i}"), "Hub", &format!("C{i}"));
+        }
+        let o = b.build().unwrap();
+        let back = from_turtle(&to_turtle(&o)).unwrap();
+        assert_eq!(back.concept_count(), o.concept_count());
+        assert_eq!(back.data_property_count(), o.data_property_count());
+        assert_eq!(back.object_property_count(), o.object_property_count());
+    }
+
+    #[test]
+    fn descriptions_with_quotes_escape() {
+        let mut o = Ontology::new("q");
+        let c = o.add_concept("A").unwrap();
+        o.set_description(c, r#"the "quoted" concept \ with backslash"#).unwrap();
+        let back = from_turtle(&to_turtle(&o)).unwrap();
+        assert_eq!(
+            back.concept_by_name("A").unwrap().description.as_deref(),
+            Some(r#"the "quoted" concept \ with backslash"#)
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = from_turtle("obcs:Ghost rdfs:subClassOf obcs:AlsoGhost .").unwrap_err();
+        assert!(matches!(err, TurtleError::UnknownClass { line: 1, .. }), "{err}");
+        let err = from_turtle("complete nonsense here").unwrap_err();
+        assert!(matches!(err, TurtleError::Syntax { .. }), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let ttl = "# a comment\n\nobcs:A a owl:Class .\n";
+        let o = from_turtle(ttl).unwrap();
+        assert_eq!(o.concept_count(), 1);
+    }
+}

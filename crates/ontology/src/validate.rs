@@ -1,0 +1,224 @@
+//! Structural validation of an ontology.
+//!
+//! The hybrid ontology-creation workflow of the paper (§3) lets SMEs refine
+//! an automatically generated ontology; validation catches the mistakes
+//! that refinement can introduce before the bootstrapper consumes the
+//! ontology.
+
+use std::collections::HashSet;
+
+use crate::model::{ConceptId, Ontology};
+
+/// A problem found in an ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationIssue {
+    /// An `isA`/`unionOf` cycle exists through this concept.
+    HierarchyCycle(ConceptId),
+    /// A concept is isolated: no object properties and no data properties.
+    IsolatedConcept(ConceptId),
+    /// A union parent has fewer than two members (unions must partition).
+    DegenerateUnion { parent: ConceptId, members: usize },
+    /// The same child appears multiple times under one union parent.
+    DuplicateUnionMember { parent: ConceptId, child: ConceptId },
+    /// A concept is simultaneously a union member and an isA child of the
+    /// same parent — ambiguous semantics.
+    MixedHierarchy { parent: ConceptId, child: ConceptId },
+}
+
+impl ValidationIssue {
+    /// Renders the issue with concept names resolved.
+    pub fn render(&self, onto: &Ontology) -> String {
+        match self {
+            ValidationIssue::HierarchyCycle(c) => {
+                format!("hierarchy cycle through `{}`", onto.concept_name(*c))
+            }
+            ValidationIssue::IsolatedConcept(c) => {
+                format!("concept `{}` has no properties or relationships", onto.concept_name(*c))
+            }
+            ValidationIssue::DegenerateUnion { parent, members } => format!(
+                "union `{}` has {} member(s); unions need at least 2",
+                onto.concept_name(*parent),
+                members
+            ),
+            ValidationIssue::DuplicateUnionMember { parent, child } => format!(
+                "union `{}` lists member `{}` more than once",
+                onto.concept_name(*parent),
+                onto.concept_name(*child)
+            ),
+            ValidationIssue::MixedHierarchy { parent, child } => format!(
+                "`{}` is both an isA child and a union member of `{}`",
+                onto.concept_name(*child),
+                onto.concept_name(*parent)
+            ),
+        }
+    }
+}
+
+/// Validates the ontology, returning all issues found (empty = valid).
+pub fn validate(onto: &Ontology) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    check_cycles(onto, &mut issues);
+    check_isolated(onto, &mut issues);
+    check_unions(onto, &mut issues);
+    issues
+}
+
+fn check_cycles(onto: &Ontology, issues: &mut Vec<ValidationIssue>) {
+    // DFS over hierarchical edges (child -> parent direction).
+    let n = onto.concept_count();
+    // 0 = unvisited, 1 = on stack, 2 = done
+    let mut state = vec![0u8; n];
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, Vec<usize>)> = vec![(
+            start,
+            hierarchy_parents(onto, ConceptId(start as u32)),
+        )];
+        state[start] = 1;
+        while let Some((node, children)) = stack.last_mut() {
+            if let Some(next) = children.pop() {
+                match state[next] {
+                    0 => {
+                        state[next] = 1;
+                        let parents = hierarchy_parents(onto, ConceptId(next as u32));
+                        stack.push((next, parents));
+                    }
+                    1 => issues.push(ValidationIssue::HierarchyCycle(ConceptId(next as u32))),
+                    _ => {}
+                }
+            } else {
+                state[*node] = 2;
+                stack.pop();
+            }
+        }
+    }
+}
+
+fn hierarchy_parents(onto: &Ontology, c: ConceptId) -> Vec<usize> {
+    onto.outgoing(c)
+        .filter(|op| op.kind.is_hierarchical())
+        .map(|op| op.target.0 as usize)
+        .collect()
+}
+
+fn check_isolated(onto: &Ontology, issues: &mut Vec<ValidationIssue>) {
+    for c in onto.concepts() {
+        let has_edges = onto.neighbors(c.id).next().is_some();
+        if !has_edges && c.data_properties.is_empty() {
+            issues.push(ValidationIssue::IsolatedConcept(c.id));
+        }
+    }
+}
+
+fn check_unions(onto: &Ontology, issues: &mut Vec<ValidationIssue>) {
+    for c in onto.concepts() {
+        let members = onto.union_members(c.id);
+        if members.is_empty() {
+            continue;
+        }
+        if members.len() < 2 {
+            issues.push(ValidationIssue::DegenerateUnion { parent: c.id, members: members.len() });
+        }
+        let mut seen = HashSet::new();
+        for &m in &members {
+            if !seen.insert(m) {
+                issues.push(ValidationIssue::DuplicateUnionMember { parent: c.id, child: m });
+            }
+        }
+        let isa_children: HashSet<ConceptId> = onto.is_a_children(c.id).into_iter().collect();
+        for &m in &members {
+            if isa_children.contains(&m) {
+                issues.push(ValidationIssue::MixedHierarchy { parent: c.id, child: m });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Ontology;
+
+    #[test]
+    fn valid_ontology_has_no_issues() {
+        let mut o = Ontology::new("t");
+        let risk = o.add_concept("Risk").unwrap();
+        let ci = o.add_concept("CI").unwrap();
+        let bbw = o.add_concept("BBW").unwrap();
+        o.add_union(risk, &[ci, bbw]).unwrap();
+        assert!(validate(&o).is_empty());
+    }
+
+    #[test]
+    fn detects_isa_cycle() {
+        let mut o = Ontology::new("t");
+        let a = o.add_concept("A").unwrap();
+        let b = o.add_concept("B").unwrap();
+        o.add_is_a(a, b).unwrap();
+        o.add_is_a(b, a).unwrap();
+        let issues = validate(&o);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::HierarchyCycle(_))));
+    }
+
+    #[test]
+    fn detects_isolated_concept() {
+        let mut o = Ontology::new("t");
+        let lonely = o.add_concept("Lonely").unwrap();
+        let issues = validate(&o);
+        assert_eq!(issues, vec![ValidationIssue::IsolatedConcept(lonely)]);
+        // Adding a data property cures isolation.
+        o.add_data_property(lonely, "name").unwrap();
+        assert!(validate(&o).is_empty());
+    }
+
+    #[test]
+    fn detects_degenerate_union() {
+        let mut o = Ontology::new("t");
+        let risk = o.add_concept("Risk").unwrap();
+        let ci = o.add_concept("CI").unwrap();
+        o.add_union(risk, &[ci]).unwrap();
+        let issues = validate(&o);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::DegenerateUnion { members: 1, .. })));
+    }
+
+    #[test]
+    fn detects_duplicate_union_member() {
+        let mut o = Ontology::new("t");
+        let risk = o.add_concept("Risk").unwrap();
+        let ci = o.add_concept("CI").unwrap();
+        let bbw = o.add_concept("BBW").unwrap();
+        o.add_union(risk, &[ci, bbw, ci]).unwrap();
+        let issues = validate(&o);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::DuplicateUnionMember { .. })));
+    }
+
+    #[test]
+    fn detects_mixed_hierarchy() {
+        let mut o = Ontology::new("t");
+        let p = o.add_concept("P").unwrap();
+        let c1 = o.add_concept("C1").unwrap();
+        let c2 = o.add_concept("C2").unwrap();
+        o.add_union(p, &[c1, c2]).unwrap();
+        o.add_is_a(c1, p).unwrap();
+        let issues = validate(&o);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::MixedHierarchy { .. })));
+    }
+
+    #[test]
+    fn issue_rendering_mentions_names() {
+        let mut o = Ontology::new("t");
+        o.add_concept("Quiet").unwrap();
+        let issues = validate(&o);
+        assert!(issues[0].render(&o).contains("Quiet"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # obcs-sim
+//!
+//! The user simulator and evaluation harness for the OBCS reproduction.
+//!
+//! The paper's §7 evaluation is computed over seven months of real
+//! clinician traffic against Conversational MDX. That log is proprietary
+//! and PHI-laden, so this crate substitutes a *seeded traffic simulator*
+//! (see DESIGN.md):
+//!
+//! * [`utterance`] — per-intent user phrasing generators whose surface
+//!   forms deliberately differ from the bootstrapped training frames, so
+//!   classifier evaluation measures generalisation, not memorisation;
+//! * [`noise`] — the noise sources the paper reports in its logs:
+//!   misspellings ("heavy misspellings"), keyword-style queries (§6.3
+//!   User 480), gibberish ("apfjhd"), and accidental thumbs-down taps;
+//! * [`traffic`] — the 7-month replay: interactions drawn from the
+//!   paper's published intent mix (Table 5 usage column), driven through
+//!   the full agent (including elicitation follow-ups), with a calibrated
+//!   feedback model (negative feedback is credible, positive is rare —
+//!   §7.2);
+//! * [`eval`] — the statistics of §7: per-intent F1 (Table 5), success
+//!   rate per Equation 1 from user feedback (Fig. 11), and the SME-judged
+//!   10% sample (Fig. 12).
+
+pub mod eval;
+pub mod noise;
+pub mod traffic;
+pub mod utterance;
+
+pub use traffic::{run_traffic, SimConfig, SimOutcome, SimRecord};

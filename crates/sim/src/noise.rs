@@ -1,0 +1,146 @@
+//! Noise models observed in the paper's real logs: misspellings,
+//! keyword-style queries, and gibberish.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Applies one random misspelling (adjacent swap, drop, or duplication) to
+/// a random word of length ≥ 4.
+pub fn misspell(text: &str, rng: &mut ChaCha8Rng) -> String {
+    let words: Vec<&str> = text.split(' ').collect();
+    let candidates: Vec<usize> = words
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.chars().count() >= 4)
+        .map(|(i, _)| i)
+        .collect();
+    let Some(&target) = pick(&candidates, rng) else {
+        return text.to_string();
+    };
+    let mut out = Vec::with_capacity(words.len());
+    for (i, w) in words.iter().enumerate() {
+        if i == target {
+            out.push(misspell_word(w, rng));
+        } else {
+            out.push((*w).to_string());
+        }
+    }
+    out.join(" ")
+}
+
+fn misspell_word(word: &str, rng: &mut ChaCha8Rng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    let n = chars.len();
+    match rng.gen_range(0..3) {
+        // Swap two adjacent interior characters.
+        0 => {
+            let i = rng.gen_range(1..n - 1);
+            let mut c = chars.clone();
+            c.swap(i, i - 1);
+            c.into_iter().collect()
+        }
+        // Drop one interior character.
+        1 => {
+            let i = rng.gen_range(1..n - 1);
+            chars
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &c)| c)
+                .collect()
+        }
+        // Duplicate one character.
+        _ => {
+            let i = rng.gen_range(0..n);
+            let mut c = chars.clone();
+            c.insert(i, chars[i]);
+            c.into_iter().collect()
+        }
+    }
+}
+
+/// Reduces an utterance to keyword style: keeps only capitalised words,
+/// digits, and words longer than 5 characters (entity-ish tokens), in
+/// order — "show me the dosage for Aspirin" → "dosage Aspirin".
+pub fn keywordize(text: &str) -> String {
+    let kept: Vec<&str> = text
+        .split_whitespace()
+        .filter(|w| {
+            w.chars().next().is_some_and(|c| c.is_uppercase() || c.is_ascii_digit())
+                || w.chars().count() > 5
+        })
+        .collect();
+    if kept.is_empty() {
+        text.to_string()
+    } else {
+        kept.join(" ")
+    }
+}
+
+/// A short burst of gibberish ("apfjhd").
+pub fn gibberish(rng: &mut ChaCha8Rng) -> String {
+    let len = rng.gen_range(4..9);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+fn pick<'a, T>(slice: &'a [T], rng: &mut ChaCha8Rng) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        Some(&slice[rng.gen_range(0..slice.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn misspell_changes_exactly_one_word() {
+        let mut r = rng();
+        let original = "show me the dosage for aspirin";
+        let noisy = misspell(original, &mut r);
+        assert_ne!(noisy, original);
+        let a: Vec<&str> = original.split(' ').collect();
+        let b: Vec<&str> = noisy.split(' ').collect();
+        assert_eq!(a.len(), b.len());
+        let diffs = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn misspell_short_text_is_identity() {
+        let mut r = rng();
+        assert_eq!(misspell("a b c", &mut r), "a b c");
+    }
+
+    #[test]
+    fn misspell_is_deterministic_per_seed() {
+        let a = misspell("dosage for tazarotene", &mut rng());
+        let b = misspell("dosage for tazarotene", &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keywordize_keeps_entities() {
+        assert_eq!(keywordize("show me the dosage for Aspirin"), "dosage Aspirin");
+        assert_eq!(keywordize("what treats Psoriasis"), "treats Psoriasis");
+        // Nothing survives → unchanged.
+        assert_eq!(keywordize("a b c"), "a b c");
+    }
+
+    #[test]
+    fn gibberish_is_alphabetic_and_short() {
+        let mut r = rng();
+        let g = gibberish(&mut r);
+        assert!(g.len() >= 4 && g.len() <= 9);
+        assert!(g.chars().all(|c| c.is_ascii_lowercase()));
+    }
+}

@@ -1,0 +1,448 @@
+//! The 7-month traffic replay (paper §7.2): simulated users drawn from the
+//! published intent mix interact with the agent; a calibrated feedback
+//! model attaches thumbs up/down the way the paper observed real users
+//! doing (negative feedback credible, positive rare, occasional
+//! accidental taps).
+
+use obcs_agent::{ConversationAgent, Feedback, ReplyKind};
+use obcs_ontology::Ontology;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::noise;
+use crate::utterance::{generate, ValuePools};
+
+/// The intent mix of the simulated traffic, in relative weights. The
+/// top-10 weights are the usage column of the paper's Table 5; the tail is
+/// split across the remaining intents.
+pub const INTENT_MIX: &[(&str, f64)] = &[
+    ("Drug Dosage for Condition", 150.0),
+    ("Administration of Drug", 120.0),
+    ("IV Compatibility of Drug", 110.0),
+    ("Drugs That Treat Condition", 100.0),
+    ("Uses of Drug", 90.0),
+    ("Adverse Effects of Drug", 50.0),
+    ("Drug-Drug Interactions", 40.0),
+    ("DRUG_GENERAL", 40.0),
+    ("Dose Adjustments for Drug", 30.0),
+    ("Regulatory Status for Drug", 20.0),
+    ("Pharmacokinetics", 30.0),
+    ("Precautions of Drug", 25.0),
+    ("Risks of Drug", 15.0),
+    ("Dosages of Drug", 15.0),
+    ("Toxicology of Drug", 10.0),
+    ("Monitoring of Drug", 10.0),
+    ("Mechanism of Action of Drug", 10.0),
+    ("Conditions Treated by Drug", 10.0),
+    ("Drugs That May Cause Condition", 5.0),
+    ("Conditions May Be Caused By Drug", 5.0),
+    ("Drugs and Dosage for Condition", 5.0),
+    ("Drug Toxicology for Condition", 3.0),
+    ("Drugs and Toxicology for Condition", 2.0),
+    ("Greeting", 20.0),
+    ("Appreciation", 20.0),
+    ("Acknowledgement", 12.0),
+    ("Affirmation", 10.0),
+    ("Disconfirmation", 8.0),
+    ("Closing", 15.0),
+    ("Help Request", 6.0),
+    ("Repeat Request", 3.0),
+    ("Definition Request", 5.0),
+    ("Paraphrase Request", 3.0),
+    ("Abort", 3.0),
+    ("Capability Check", 3.0),
+    ("Chitchat", 7.0),
+];
+
+/// The feedback behaviour of simulated users (§7.2 observations).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FeedbackModel {
+    /// P(thumbs down | interaction went wrong).
+    pub p_down_given_wrong: f64,
+    /// P(accidental thumbs down | interaction was fine).
+    pub p_down_accidental: f64,
+    /// P(thumbs up | interaction was fine) — rare, per the paper.
+    pub p_up_given_right: f64,
+}
+
+impl Default for FeedbackModel {
+    fn default() -> Self {
+        FeedbackModel {
+            p_down_given_wrong: 0.45,
+            p_down_accidental: 0.004,
+            p_up_given_right: 0.03,
+        }
+    }
+}
+
+/// Traffic-simulation configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of user interactions (logical requests, possibly multi-turn).
+    pub interactions: usize,
+    pub seed: u64,
+    /// Probability an utterance gets a misspelling.
+    pub misspell_rate: f64,
+    /// Probability a domain utterance is reduced to keyword style.
+    pub keyword_rate: f64,
+    /// Probability of a gibberish interaction ("apfjhd").
+    pub gibberish_rate: f64,
+    /// Mean number of requests per session (geometric). 1.0 = every
+    /// interaction starts a fresh conversation; larger values keep the
+    /// persistent context alive across requests, as the paper's real
+    /// sessions do (§6.3: treatment → definition → dosage in one session).
+    pub mean_session_length: f64,
+    pub feedback: FeedbackModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            interactions: 5000,
+            seed: 20200614,
+            misspell_rate: 0.04,
+            keyword_rate: 0.05,
+            gibberish_rate: 0.006,
+            mean_session_length: 1.0,
+            feedback: FeedbackModel::default(),
+        }
+    }
+}
+
+/// One simulated interaction with its ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimRecord {
+    /// The intent the simulated user had in mind (`None` for gibberish).
+    pub expected_intent: Option<String>,
+    /// The (possibly noisy) first utterance.
+    pub utterance: String,
+    /// The intent the system detected on the final reply.
+    pub detected_intent: Option<String>,
+    pub reply_kind: ReplyKind,
+    /// Ground truth: did the agent do the right thing (SME view)?
+    pub correct: bool,
+    pub feedback: Option<Feedback>,
+    /// Total user turns the interaction took (1 + elicitation answers).
+    pub turns: usize,
+}
+
+/// The traffic-simulation outcome.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimOutcome {
+    pub records: Vec<SimRecord>,
+}
+
+impl SimOutcome {
+    /// Overall success rate per the paper's Equation 1 (user feedback).
+    pub fn success_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let negative = self
+            .records
+            .iter()
+            .filter(|r| r.feedback == Some(Feedback::ThumbsDown))
+            .count();
+        (self.records.len() - negative) as f64 / self.records.len() as f64
+    }
+
+    /// Ground-truth accuracy (share of interactions the SME would mark
+    /// positive).
+    pub fn accuracy(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.correct).count() as f64 / self.records.len() as f64
+    }
+}
+
+/// Runs the traffic simulation against an assembled agent.
+pub fn run_traffic(
+    agent: &mut ConversationAgent,
+    onto: &Ontology,
+    pools: &ValuePools,
+    config: SimConfig,
+) -> SimOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let total_weight: f64 = INTENT_MIX.iter().map(|&(_, w)| w).sum();
+    let mut outcome = SimOutcome::default();
+    // P(session continues) under a geometric session-length model.
+    let p_continue = if config.mean_session_length <= 1.0 {
+        0.0
+    } else {
+        1.0 - 1.0 / config.mean_session_length
+    };
+    for _ in 0..config.interactions {
+        if !rng.gen_bool(p_continue) {
+            agent.reset();
+        }
+        let record = if rng.gen_bool(config.gibberish_rate) {
+            run_gibberish(agent, &mut rng)
+        } else {
+            let expected = draw_intent(&mut rng, total_weight);
+            run_interaction(agent, onto, pools, expected, config, &mut rng)
+        };
+        // Feedback model.
+        let feedback = if record.correct {
+            if rng.gen_bool(config.feedback.p_down_accidental) {
+                Some(Feedback::ThumbsDown)
+            } else if rng.gen_bool(config.feedback.p_up_given_right) {
+                Some(Feedback::ThumbsUp)
+            } else {
+                None
+            }
+        } else if rng.gen_bool(config.feedback.p_down_given_wrong) {
+            Some(Feedback::ThumbsDown)
+        } else {
+            None
+        };
+        if let Some(fb) = feedback {
+            agent.feedback(fb);
+        }
+        outcome.records.push(SimRecord { feedback, ..record });
+    }
+    outcome
+}
+
+fn draw_intent(rng: &mut ChaCha8Rng, total_weight: f64) -> &'static str {
+    let mut x = rng.gen_range(0.0..total_weight);
+    for (name, w) in INTENT_MIX {
+        if x < *w {
+            return name;
+        }
+        x -= w;
+    }
+    INTENT_MIX.last().expect("mix non-empty").0
+}
+
+fn run_gibberish(agent: &mut ConversationAgent, rng: &mut ChaCha8Rng) -> SimRecord {
+    let utterance = noise::gibberish(rng);
+    let reply = agent.respond(&utterance);
+    SimRecord {
+        expected_intent: None,
+        utterance,
+        detected_intent: None,
+        reply_kind: reply.kind,
+        // Meaningless input is a negative interaction in the SME review
+        // (§7.2), regardless of the agent's graceful fallback.
+        correct: false,
+        feedback: None,
+        turns: 1,
+    }
+}
+
+fn run_interaction(
+    agent: &mut ConversationAgent,
+    onto: &Ontology,
+    pools: &ValuePools,
+    expected: &str,
+    config: SimConfig,
+    rng: &mut ChaCha8Rng,
+) -> SimRecord {
+    let clean = generate(expected, pools, rng)
+        .unwrap_or_else(|| panic!("no templates for intent `{expected}`"));
+    let is_management = is_management_intent(expected);
+    let mut utterance = clean;
+    if !is_management && rng.gen_bool(config.keyword_rate) {
+        utterance = noise::keywordize(&utterance);
+    }
+    if rng.gen_bool(config.misspell_rate) {
+        utterance = noise::misspell(&utterance, rng);
+    }
+
+    let mut reply = agent.respond(&utterance);
+    let mut turns = 1;
+    // Answer elicitations the way a cooperative user would (Fig. 10b).
+    while reply.kind == ReplyKind::Elicitation && turns < 4 {
+        let answer = match agent.context().eliciting {
+            Some(concept) => match onto.concept_name(concept) {
+                "AgeGroup" => pools.ages[rng.gen_range(0..pools.ages.len())].clone(),
+                "Condition" => {
+                    pools.conditions[rng.gen_range(0..pools.conditions.len())].clone()
+                }
+                "Drug" => pools.drugs[rng.gen_range(0..pools.drugs.len())].clone(),
+                _ => "adult".to_string(),
+            },
+            None => "adult".to_string(),
+        };
+        reply = agent.respond(&answer);
+        turns += 1;
+    }
+
+    let detected_intent = reply
+        .intent
+        .and_then(|id| agent.space().intent(id))
+        .map(|i| i.name.clone());
+    let correct = judge(expected, &detected_intent, &reply);
+    SimRecord {
+        expected_intent: Some(expected.to_string()),
+        utterance,
+        detected_intent,
+        reply_kind: reply.kind,
+        correct,
+        feedback: None,
+        turns,
+    }
+}
+
+/// Ground-truth judgement of one interaction (the SME criterion of §7.2):
+/// the agent must have done the semantically right thing for the user's
+/// actual request.
+pub fn judge(
+    expected: &str,
+    detected: &Option<String>,
+    reply: &obcs_agent::AgentReply,
+) -> bool {
+    if expected == "DRUG_GENERAL" {
+        return reply.kind == ReplyKind::Proposal;
+    }
+    if is_management_intent(expected) {
+        return match expected {
+            "Closing" => reply.kind == ReplyKind::Closing,
+            // "no" with no pending proposal legitimately closes.
+            "Disconfirmation" => {
+                matches!(reply.kind, ReplyKind::Management | ReplyKind::Closing)
+            }
+            _ => reply.kind == ReplyKind::Management,
+        };
+    }
+    // A fulfilment of the right intent is correct even when the KB has no
+    // recorded content for the specific combination ("no results found" is
+    // a faithful answer); wrong-intent fulfilments and non-fulfilments are
+    // errors. Some intent pairs answer the same user need from different
+    // pattern shapes and count as equivalent.
+    if reply.kind != ReplyKind::Fulfilment {
+        return false;
+    }
+    let Some(det) = detected.as_deref() else {
+        return false;
+    };
+    det == expected
+        || EQUIVALENT.iter().any(|&(a, b)| {
+            (a == expected && b == det) || (b == expected && a == det)
+        })
+}
+
+/// Intent pairs that fulfil the same user need (a bare dosage request is
+/// answered correctly whether it is routed through the drug-scoped or the
+/// condition-scoped dosage intent).
+const EQUIVALENT: &[(&str, &str)] = &[
+    ("Dosages of Drug", "Drug Dosage for Condition"),
+    ("Toxicology of Drug", "Drug Toxicology for Condition"),
+    ("Drugs and Dosage for Condition", "Drugs That Treat Condition"),
+    ("Drugs and Toxicology for Condition", "Drug Toxicology for Condition"),
+];
+
+/// Whether an intent is conversation management (by the MDX intent names).
+pub fn is_management_intent(name: &str) -> bool {
+    obcs_mdx::sme::MANAGEMENT_INTENTS
+        .iter()
+        .any(|&(n, _)| n == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obcs_mdx::data::MdxDataConfig;
+    use obcs_mdx::ConversationalMdx;
+
+    fn small_sim(interactions: usize, seed: u64) -> SimOutcome {
+        let (onto, kb, _, _) = ConversationalMdx::bootstrap_space(MdxDataConfig {
+            drugs: 80,
+            seed: 7,
+        });
+        let pools = ValuePools::from_kb(&kb);
+        let mut mdx = ConversationalMdx::with_config(MdxDataConfig { drugs: 80, seed: 7 });
+        run_traffic(
+            &mut mdx.agent,
+            &onto,
+            &pools,
+            SimConfig { interactions, seed, ..SimConfig::default() },
+        )
+    }
+
+    #[test]
+    fn traffic_runs_and_mostly_succeeds() {
+        let outcome = small_sim(300, 1);
+        assert_eq!(outcome.records.len(), 300);
+        let acc = outcome.accuracy();
+        assert!(acc > 0.7, "ground-truth accuracy too low: {acc}");
+        let sr = outcome.success_rate();
+        assert!(sr > 0.9, "user-feedback success rate too low: {sr}");
+        assert!(sr > acc, "thumbs-down is sparser than true errors");
+    }
+
+    #[test]
+    fn traffic_is_deterministic() {
+        let a = small_sim(100, 5);
+        let b = small_sim(100, 5);
+        let ka: Vec<&str> = a.records.iter().map(|r| r.utterance.as_str()).collect();
+        let kb_: Vec<&str> = b.records.iter().map(|r| r.utterance.as_str()).collect();
+        assert_eq!(ka, kb_);
+        assert_eq!(a.success_rate(), b.success_rate());
+    }
+
+    #[test]
+    fn mix_covers_all_intents() {
+        let (_, _, _, space) = ConversationalMdx::bootstrap_space(MdxDataConfig {
+            drugs: 80,
+            seed: 7,
+        });
+        for (name, _) in INTENT_MIX {
+            assert!(
+                space.intent_by_name(name).is_some(),
+                "mix references unknown intent `{name}`"
+            );
+        }
+        assert_eq!(INTENT_MIX.len(), 36);
+    }
+
+    #[test]
+    fn elicitation_followups_happen() {
+        let outcome = small_sim(300, 2);
+        assert!(
+            outcome.records.iter().any(|r| r.turns > 1),
+            "some interactions should need elicitation follow-ups"
+        );
+    }
+
+    #[test]
+    fn multi_request_sessions_still_mostly_succeed() {
+        let (onto, kb, _, _) = ConversationalMdx::bootstrap_space(MdxDataConfig {
+            drugs: 80,
+            seed: 7,
+        });
+        let pools = ValuePools::from_kb(&kb);
+        let mut mdx = ConversationalMdx::with_config(MdxDataConfig { drugs: 80, seed: 7 });
+        let outcome = run_traffic(
+            &mut mdx.agent,
+            &onto,
+            &pools,
+            SimConfig {
+                interactions: 300,
+                seed: 21,
+                mean_session_length: 3.0,
+                ..SimConfig::default()
+            },
+        );
+        // Persistent context across requests costs a little accuracy
+        // (stale entities can leak between topics) but the system must
+        // stay in a usable band.
+        assert!(outcome.accuracy() > 0.6, "accuracy {}", outcome.accuracy());
+        assert!(outcome.success_rate() > 0.85, "rate {}", outcome.success_rate());
+    }
+
+    #[test]
+    fn gibberish_interactions_are_negative_ground_truth() {
+        let outcome = small_sim(600, 3);
+        let gibberish: Vec<&SimRecord> = outcome
+            .records
+            .iter()
+            .filter(|r| r.expected_intent.is_none())
+            .collect();
+        assert!(!gibberish.is_empty(), "gibberish rate should produce some");
+        assert!(gibberish.iter().all(|r| !r.correct));
+    }
+}

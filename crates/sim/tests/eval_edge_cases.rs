@@ -1,0 +1,92 @@
+//! Edge cases of the evaluation statistics: empty traffic, single-intent
+//! traffic, and sampling extremes must not panic or divide by zero.
+
+use obcs_agent::ReplyKind;
+use obcs_sim::eval::{fig11, fig12, render_success_rows};
+use obcs_sim::traffic::{SimOutcome, SimRecord};
+
+fn record(intent: Option<&str>, correct: bool, down: bool) -> SimRecord {
+    SimRecord {
+        expected_intent: intent.map(str::to_string),
+        utterance: "u".into(),
+        detected_intent: intent.map(str::to_string),
+        reply_kind: ReplyKind::Fulfilment,
+        correct,
+        feedback: down.then_some(obcs_agent::Feedback::ThumbsDown),
+        turns: 1,
+    }
+}
+
+#[test]
+fn empty_outcome_is_safe() {
+    let outcome = SimOutcome::default();
+    assert_eq!(outcome.success_rate(), 0.0);
+    assert_eq!(outcome.accuracy(), 0.0);
+    let (rows, overall) = fig11(&outcome, 10);
+    assert!(rows.is_empty());
+    assert_eq!(overall, 0.0);
+    // A 10% sample of nothing still keeps at least one slot guard.
+    let (rows, sme, user) = fig12(&outcome, 0.1, 10, 0);
+    assert!(rows.is_empty());
+    assert_eq!(sme, 0.0);
+    assert_eq!(user, 0.0);
+}
+
+#[test]
+fn single_intent_traffic_produces_one_bar() {
+    let outcome = SimOutcome {
+        records: vec![
+            record(Some("X"), true, false),
+            record(Some("X"), true, false),
+            record(Some("X"), false, true),
+        ],
+    };
+    let (rows, overall) = fig11(&outcome, 10);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].interactions, 3);
+    assert_eq!(rows[0].negative, 1);
+    assert!((overall - 2.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn fig12_full_sample_equals_whole_traffic() {
+    let outcome = SimOutcome {
+        records: (0..20)
+            .map(|i| record(Some("X"), i % 4 != 0, false))
+            .collect(),
+    };
+    let (_, sme, user) = fig12(&outcome, 0.999, 10, 1);
+    assert!((sme - outcome.accuracy()).abs() < 0.05, "near-full sample ≈ population");
+    assert_eq!(user, 1.0, "no thumbs-down in this traffic");
+}
+
+#[test]
+fn top_k_truncation_keeps_most_frequent() {
+    let mut records = Vec::new();
+    for _ in 0..5 {
+        records.push(record(Some("big"), true, false));
+    }
+    records.push(record(Some("small"), true, false));
+    let outcome = SimOutcome { records };
+    let (rows, _) = fig11(&outcome, 1);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].intent, "big");
+}
+
+#[test]
+fn rendering_handles_zero_interactions_gracefully() {
+    assert_eq!(render_success_rows(&[]), "");
+}
+
+#[test]
+fn undetected_interactions_count_in_overall_but_not_bars() {
+    let outcome = SimOutcome {
+        records: vec![
+            record(Some("X"), true, false),
+            record(None, false, true), // gibberish, thumbs-down
+        ],
+    };
+    let (rows, overall) = fig11(&outcome, 10);
+    assert_eq!(rows.len(), 1, "no bar for undetected");
+    assert!((overall - 0.5).abs() < 1e-12, "overall includes it");
+}

@@ -1,0 +1,74 @@
+//! Conversational MDX: the paper's §6 use case end to end — the synthetic
+//! Micromedex-scale medical KB, the bootstrapped conversation space, and
+//! the transcripts of §6.3 replayed. Pass `--interactive` to chat with the
+//! agent on stdin.
+//!
+//! ```text
+//! cargo run --release --example medical_assistant
+//! cargo run --release --example medical_assistant -- --interactive
+//! ```
+
+use std::io::{BufRead, Write};
+
+use obcs::agent::ReplyKind;
+use obcs::mdx::ConversationalMdx;
+
+fn main() {
+    let interactive = std::env::args().any(|a| a == "--interactive");
+    println!("building Conversational MDX (150 synthetic drugs)…");
+    let mut mdx = ConversationalMdx::new(20200614);
+    let inv = mdx.agent.space().inventory();
+    println!(
+        "ready: {} intents, {} entities, {} training examples\n",
+        inv.intents_total, inv.entities, inv.training_examples
+    );
+
+    if interactive {
+        repl(&mut mdx);
+        return;
+    }
+
+    // Replay the paper's §6.3 sample conversation.
+    let script = [
+        "hello",
+        "show me drugs that treat psoriasis",
+        "adult",
+        "I mean pediatric",
+        "what do you mean by effective?",
+        "thanks",
+        "dosage for Tazarotene",
+        "how about for Fluocinonide?",
+        "thanks",
+        "no",
+        "goodbye",
+    ];
+    for utterance in script {
+        let reply = mdx.agent.respond(utterance);
+        println!("U: {utterance}");
+        for line in reply.text.lines().take(3) {
+            println!("A: {line}");
+        }
+        if reply.kind == ReplyKind::Closing {
+            break;
+        }
+        println!();
+    }
+}
+
+fn repl(mdx: &mut ConversationalMdx) {
+    println!("type your question (\"goodbye\" to quit):");
+    let stdin = std::io::stdin();
+    loop {
+        print!("> ");
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let reply = mdx.agent.respond(line.trim());
+        println!("{}", reply.text);
+        if reply.kind == ReplyKind::Closing {
+            break;
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Ontology explorer: inspects the MDX domain ontology — centrality
+//! ranking, key-concept identification, dependent concepts, query
+//! patterns — and exports the graph as Graphviz DOT.
+//!
+//! ```text
+//! cargo run --example ontology_explorer              # analysis to stdout
+//! cargo run --example ontology_explorer -- --dot     # DOT graph to stdout
+//! cargo run --example ontology_explorer -- --turtle  # OWL/Turtle to stdout
+//! ```
+
+use obcs::core::concepts::{
+    identify_dependent_concepts, identify_key_concepts, DependentSemantics, KeyConceptConfig,
+};
+use obcs::kb::stats::CategoricalPolicy;
+use obcs::mdx::data::{build_mdx_kb, MdxDataConfig};
+use obcs::mdx::ontology::build_mdx_ontology;
+use obcs::nlq::OntologyMapping;
+use obcs::ontology::centrality::{centrality, CentralityMeasure};
+use obcs::ontology::dot::to_dot;
+use obcs::ontology::turtle::{from_turtle, to_turtle};
+use obcs::ontology::validate;
+
+fn main() {
+    let onto = build_mdx_ontology();
+    if std::env::args().any(|a| a == "--dot") {
+        print!("{}", to_dot(&onto));
+        return;
+    }
+    if std::env::args().any(|a| a == "--turtle") {
+        let ttl = to_turtle(&onto);
+        // Round-trip sanity before printing: the export must re-import.
+        let back = from_turtle(&ttl).expect("turtle round-trip");
+        assert_eq!(back.concept_count(), onto.concept_count());
+        print!("{ttl}");
+        return;
+    }
+
+    println!(
+        "MDX ontology: {} concepts, {} data properties, {} relationships",
+        onto.concept_count(),
+        onto.data_property_count(),
+        onto.object_property_count()
+    );
+    let issues = validate(&onto);
+    println!("validation issues: {}", issues.len());
+
+    println!("\ntop 10 concepts by degree centrality:");
+    for s in centrality(&onto, CentralityMeasure::Degree).iter().take(10) {
+        println!("  {:<24} {:.2}", onto.concept_name(s.concept), s.score);
+    }
+
+    let kb = build_mdx_kb(MdxDataConfig { drugs: 80, seed: 7 });
+    let mapping = OntologyMapping::infer(&onto, &kb);
+    let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
+    println!("\nkey concepts (centrality + segregation + nameability):");
+    for &k in &keys {
+        println!("  {}", onto.concept_name(k));
+    }
+
+    let deps = identify_dependent_concepts(
+        &onto,
+        &kb,
+        &mapping,
+        &keys,
+        CategoricalPolicy::default(),
+    );
+    println!("\ndependent concepts:");
+    for d in &deps {
+        let semantics = match &d.semantics {
+            DependentSemantics::Plain => String::new(),
+            DependentSemantics::Union(m) => format!(
+                "  [union of {}]",
+                m.iter().map(|&c| onto.concept_name(c)).collect::<Vec<_>>().join(", ")
+            ),
+            DependentSemantics::Inheritance(c) => format!(
+                "  [parent of {}]",
+                c.iter().map(|&c| onto.concept_name(c)).collect::<Vec<_>>().join(", ")
+            ),
+        };
+        println!(
+            "  {:<24} (describes {}){semantics}",
+            onto.concept_name(d.concept),
+            onto.concept_name(d.of_key)
+        );
+    }
+}

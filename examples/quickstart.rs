@@ -1,0 +1,65 @@
+//! Quickstart: bootstrap a conversation space from a small medical
+//! ontology and hold a short conversation.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use obcs::prelude::*;
+
+fn main() {
+    // A miniature version of the paper's Figure-2 world: Drug/Indication
+    // hubs, dependent concepts (Precaution, Dosage, Risk = ContraIndication
+    // ∪ BlackBoxWarning, DrugInteraction hierarchy), and a populated KB.
+    let (onto, kb, mapping) = obcs::core::testutil::fig2_fixture();
+    println!(
+        "ontology `{}`: {} concepts, {} properties, {} relationships",
+        onto.name,
+        onto.concept_count(),
+        onto.data_property_count(),
+        onto.object_property_count()
+    );
+
+    // Offline bootstrapping (paper §4): key concepts → query patterns →
+    // intents → training examples → entities → query templates.
+    let drug = onto.concept_id("Drug").expect("Drug concept");
+    let sme = SmeFeedback::new()
+        .synonym("Drug", &["medicine", "medication"])
+        .entity_only(drug);
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &sme);
+    let inv = space.inventory();
+    println!(
+        "bootstrapped: {} intents ({} lookup, {} relationship), {} entities, {} training examples",
+        inv.intents_total,
+        inv.lookup_intents,
+        inv.relationship_intents,
+        inv.entities,
+        inv.training_examples
+    );
+
+    // Online conversation (paper §2, Fig. 1b).
+    let mut agent = ConversationAgent::new(
+        onto,
+        kb,
+        mapping,
+        space,
+        AgentConfig { name: "DemoBot".into(), ..AgentConfig::default() },
+    );
+    for utterance in [
+        "hello",
+        "what drug treats Fever?",
+        "show me the precaution",
+        "Aspirin",
+        "what did you say?",
+        "thanks",
+        "goodbye",
+    ] {
+        let reply = agent.respond(utterance);
+        println!("U: {utterance}");
+        println!("A: {}   [{:?}]", reply.text.replace('\n', " | "), reply.kind);
+    }
+    println!(
+        "\nsession success rate (Eq. 1): {:.1}%",
+        agent.log.success_rate().unwrap_or(1.0) * 100.0
+    );
+}

@@ -1,0 +1,62 @@
+//! # obcs — Ontology-Based Conversation System for Knowledge Bases
+//!
+//! A from-scratch Rust reproduction of *"An Ontology-Based Conversation
+//! System for Knowledge Bases"* (SIGMOD 2020): a pipeline that bootstraps
+//! a full conversation space — intents, training examples, entities,
+//! dialogue, and structured query templates — from a domain ontology and
+//! the knowledge base it describes, then serves multi-turn conversations
+//! over it.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`ontology`] — OWL-flavoured domain ontologies, graph analysis,
+//!   centrality, validation.
+//! * [`kb`] — the in-memory relational knowledge base with a SQL subset
+//!   engine, statistics, and data-driven ontology generation.
+//! * [`nlq`] — ontology-driven NL→SQL interpretation and query templates.
+//! * [`classifier`] — text classification (Naive Bayes, logistic
+//!   regression) and evaluation metrics.
+//! * [`core`] — the paper's contribution: conversation-space
+//!   bootstrapping.
+//! * [`dialogue`] — the dialogue logic table, dialogue tree, persistent
+//!   context, and conversation-management patterns.
+//! * [`agent`] — the online conversation engine.
+//! * [`mdx`] — the synthetic Micromedex-scale medical use case.
+//! * [`sim`] — the user simulator and §7 evaluation harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use obcs::prelude::*;
+//!
+//! // A small medical world: ontology + knowledge base + schema mapping.
+//! let (onto, kb, mapping) = obcs::core::testutil::fig2_fixture();
+//!
+//! // Offline: bootstrap the conversation space from the ontology (§4).
+//! let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
+//! assert!(space.inventory().intents_total > 5);
+//!
+//! // Online: assemble the agent and converse (§2, Fig. 1b).
+//! let mut agent = ConversationAgent::new(onto, kb, mapping, space, AgentConfig::default());
+//! let reply = agent.respond("what drug treats Fever?");
+//! assert!(reply.text.contains("Aspirin"));
+//! ```
+
+pub use obcs_agent as agent;
+pub use obcs_classifier as classifier;
+pub use obcs_core as core;
+pub use obcs_dialogue as dialogue;
+pub use obcs_kb as kb;
+pub use obcs_mdx as mdx;
+pub use obcs_nlq as nlq;
+pub use obcs_ontology as ontology;
+pub use obcs_sim as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use obcs_agent::{AgentConfig, AgentReply, ConversationAgent, Feedback, ReplyKind};
+    pub use obcs_core::{bootstrap, BootstrapConfig, ConversationSpace, SmeFeedback};
+    pub use obcs_kb::{KnowledgeBase, Value};
+    pub use obcs_nlq::OntologyMapping;
+    pub use obcs_ontology::{Ontology, OntologyBuilder};
+}

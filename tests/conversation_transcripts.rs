@@ -1,0 +1,161 @@
+//! The paper's §6.3 transcripts replayed turn by turn against the
+//! assembled Conversational MDX system, asserting the *behavioural*
+//! properties each line demonstrates (slot filling, persistent context,
+//! incremental modification, repair, proposal flow).
+
+use obcs::agent::ReplyKind;
+use obcs::mdx::data::MdxDataConfig;
+use obcs::mdx::ConversationalMdx;
+
+fn mdx() -> ConversationalMdx {
+    ConversationalMdx::with_config(MdxDataConfig { drugs: 80, seed: 7 })
+}
+
+#[test]
+fn mdx_sample_conversation_lines_01_to_20() {
+    let mut m = mdx();
+
+    // 01: opening greeting identifies the application and offers help.
+    let r = m.agent.respond("hello");
+    assert!(r.text.contains("Micromedex"), "{}", r.text);
+    assert!(r.text.to_lowercase().contains("help"), "{}", r.text);
+
+    // 02-03: treatment request elicits the required age group.
+    let r = m.agent.respond("show me drugs that treat psoriasis");
+    assert_eq!(r.kind, ReplyKind::Elicitation, "{r:?}");
+    assert_eq!(r.text, "Adult or pediatric?");
+
+    // 04-05: the slot answer completes the request across two utterances
+    // (persistent context).
+    let r = m.agent.respond("adult");
+    assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
+
+    // 06-07: incremental modification — "I mean pediatric" re-fires the
+    // same request with the age group replaced.
+    let r = m.agent.respond("I mean pediatric");
+    assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
+    assert!(
+        r.text.contains("Tazarotene") || r.text.contains("Fluocinonide"),
+        "pediatric psoriasis drugs expected: {}",
+        r.text
+    );
+
+    // 08-09: definition request repair (B2.5.0).
+    let r = m.agent.respond("what do you mean by effective?");
+    assert!(r.text.contains("beneficial change"), "{}", r.text);
+
+    // 10-11: appreciation receipt checks for a next topic.
+    let r = m.agent.respond("thanks");
+    assert!(r.text.contains("Anything else?"), "{}", r.text);
+
+    // 12-13: dosage request reuses psoriasis + pediatric from context
+    // without re-eliciting.
+    let r = m.agent.respond("dosage for Tazarotene");
+    assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
+    assert!(r.text.contains("Tazorac"), "pinned §6.3 line 13 text: {}", r.text);
+    assert!(r.text.contains("0.05% gel"), "{}", r.text);
+
+    // 14-15: incremental drug switch keeps condition and age group.
+    let r = m.agent.respond("how about for Fluocinonide?");
+    assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
+    assert!(r.text.contains("0.1% cream"), "pinned §6.3 line 15 text: {}", r.text);
+
+    // 16-17: appreciation again.
+    let r = m.agent.respond("thanks");
+    assert!(r.text.contains("Anything else?"));
+
+    // 18-19: "no" with no pending proposal closes the conversation.
+    let r = m.agent.respond("no");
+    assert_eq!(r.kind, ReplyKind::Closing, "{r:?}");
+
+    // 20: goodbye reciprocation.
+    let r = m.agent.respond("goodbye");
+    assert_eq!(r.kind, ReplyKind::Closing);
+}
+
+#[test]
+fn user_480_keyword_search_flow() {
+    let mut m = mdx();
+
+    // 01-02: bare brand name resolves through the synonym to the canonical
+    // drug and triggers an intent proposal.
+    let r = m.agent.respond("cogentin");
+    assert_eq!(r.kind, ReplyKind::Proposal, "{r:?}");
+    assert!(r.text.contains("Would you like to see"), "{}", r.text);
+    assert!(r.text.contains("Benztropine Mesylate"), "{}", r.text);
+
+    // 03-04: with the synonym dictionary, "side effects" resolves (the
+    // paper's system initially failed here — the lesson of §6.3).
+    let r = m.agent.respond("What are the side effects of cogentin");
+    assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
+
+    // 05-06: rejecting a proposal asks for a modified search.
+    m.agent.respond("cogentin");
+    let r = m.agent.respond("no");
+    assert!(r.text.contains("modify your search"), "{}", r.text);
+
+    // 07-08: keyword-style "cogentin adverse effects" carries dependent
+    // concept + key entity and is fulfilled.
+    let r = m.agent.respond("cogentin adverse effects");
+    assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
+    assert!(r.found_results, "{r:?}");
+}
+
+#[test]
+fn proposal_accept_flow_fulfils_proposed_intent() {
+    let mut m = mdx();
+    let r = m.agent.respond("Warfarin");
+    assert_eq!(r.kind, ReplyKind::Proposal, "{r:?}");
+    let proposed = r.intent.expect("proposal names an intent");
+    let r = m.agent.respond("yes");
+    assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
+    assert_eq!(r.intent, Some(proposed));
+}
+
+#[test]
+fn abort_and_restart_mid_elicitation() {
+    let mut m = mdx();
+    let r = m.agent.respond("show me drugs that treat psoriasis");
+    assert_eq!(r.kind, ReplyKind::Elicitation);
+    let r = m.agent.respond("never mind");
+    assert!(r.text.contains("never mind"), "{}", r.text);
+    // The aborted topic is gone: a fresh dosage request does not inherit
+    // psoriasis.
+    let r = m.agent.respond("show me drugs that treat fever");
+    assert_eq!(r.kind, ReplyKind::Elicitation, "age group still required: {r:?}");
+    let r = m.agent.respond("adult");
+    assert_eq!(r.kind, ReplyKind::Fulfilment);
+    assert!(
+        r.text.contains("Aspirin") || r.text.contains("Ibuprofen") || r.text.contains("Acetaminophen"),
+        "{}",
+        r.text
+    );
+}
+
+#[test]
+fn repeat_request_replays_fulfilment() {
+    let mut m = mdx();
+    m.agent.respond("uses of Aspirin");
+    let r = m.agent.respond("what did you say?");
+    assert!(r.text.starts_with("I said:"), "{}", r.text);
+}
+
+#[test]
+fn partial_name_disambiguation_round_trip() {
+    let mut m = mdx();
+    let r = m.agent.respond("calcium");
+    assert_eq!(r.kind, ReplyKind::Disambiguation, "{r:?}");
+    assert!(r.text.contains("Calcium Carbonate") && r.text.contains("Calcium Citrate"));
+    // Choosing one of the candidates proceeds with that drug.
+    let r = m.agent.respond("calcium citrate");
+    assert_eq!(r.kind, ReplyKind::Proposal, "{r:?}");
+    assert!(r.text.contains("Calcium Citrate"), "{}", r.text);
+}
+
+#[test]
+fn gibberish_gets_graceful_fallback() {
+    let mut m = mdx();
+    let r = m.agent.respond("apfjhd");
+    assert_eq!(r.kind, ReplyKind::Fallback, "{r:?}");
+    assert!(r.text.to_lowercase().contains("help"), "{}", r.text);
+}

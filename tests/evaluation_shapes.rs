@@ -1,0 +1,129 @@
+//! Shape tests for the §7 evaluation: the reproduced statistics must show
+//! the same qualitative relationships the paper reports, at reduced scale
+//! so the suite stays fast.
+
+use obcs::mdx::data::MdxDataConfig;
+use obcs::mdx::ConversationalMdx;
+use obcs::sim::eval::{classifier_evaluation, fig11, fig12};
+use obcs::sim::traffic::{run_traffic, SimConfig};
+use obcs::sim::utterance::ValuePools;
+
+struct Evaluated {
+    overall_user_rate: f64,
+    macro_f1: f64,
+    top_rows: Vec<obcs::sim::eval::Table5Row>,
+    fig11_rows: Vec<obcs::sim::eval::SuccessRow>,
+    sme_rate: f64,
+    user_rate_on_sample: f64,
+}
+
+fn evaluate() -> Evaluated {
+    let cfg = MdxDataConfig { drugs: 80, seed: 7 };
+    let (onto, kb, mapping, space) = ConversationalMdx::bootstrap_space(cfg);
+    let mut mdx = ConversationalMdx::with_config(cfg);
+    let pools = ValuePools::from_kb(&kb);
+    let outcome = run_traffic(
+        &mut mdx.agent,
+        &onto,
+        &pools,
+        SimConfig { interactions: 1200, seed: 13, ..SimConfig::default() },
+    );
+    let (report, rows) =
+        classifier_evaluation(&space, &onto, &kb, &mapping, &outcome, 12, 13);
+    let (fig11_rows, overall) = fig11(&outcome, 10);
+    let (_, sme_rate, user_rate_on_sample) = fig12(&outcome, 0.10, 10, 13);
+    Evaluated {
+        overall_user_rate: overall,
+        macro_f1: report.macro_f1,
+        top_rows: rows,
+        fig11_rows,
+        sme_rate,
+        user_rate_on_sample,
+    }
+}
+
+#[test]
+fn evaluation_reproduces_paper_shape() {
+    let e = evaluate();
+
+    // Table 5 shape: dosage-for-condition dominates usage; F1 is high but
+    // imperfect (paper avg 0.85).
+    assert_eq!(e.top_rows[0].intent, "Drug Dosage for Condition");
+    assert!(e.top_rows.len() == 10);
+    assert!(
+        e.macro_f1 > 0.70 && e.macro_f1 < 0.98,
+        "macro F1 in the paper's band: {}",
+        e.macro_f1
+    );
+    // Usage shares decrease down the table.
+    for w in e.top_rows.windows(2) {
+        assert!(w[0].usage >= w[1].usage);
+    }
+
+    // Figure 11 shape: overall success high (paper 96.3%); per-intent bars
+    // above 80% for the top intents.
+    assert!(
+        e.overall_user_rate > 0.92,
+        "overall user success: {}",
+        e.overall_user_rate
+    );
+    for row in &e.fig11_rows {
+        assert!(row.success_rate > 0.80, "{row:?}");
+    }
+
+    // Figure 12 shape: the SME judgement is stricter than user feedback
+    // (paper: 90.8% vs 97.9%), but not catastrophically lower.
+    assert!(
+        e.sme_rate < e.user_rate_on_sample,
+        "SME {} vs user {}",
+        e.sme_rate,
+        e.user_rate_on_sample
+    );
+    assert!(e.sme_rate > 0.80, "SME rate: {}", e.sme_rate);
+}
+
+#[test]
+fn noise_rates_degrade_success_monotonically() {
+    let cfg = MdxDataConfig { drugs: 60, seed: 7 };
+    let (onto, kb, _, _) = ConversationalMdx::bootstrap_space(cfg);
+    let pools = ValuePools::from_kb(&kb);
+    let mut rates = Vec::new();
+    for misspell_rate in [0.0, 0.25] {
+        let mut mdx = ConversationalMdx::with_config(cfg);
+        let outcome = run_traffic(
+            &mut mdx.agent,
+            &onto,
+            &pools,
+            SimConfig {
+                interactions: 400,
+                seed: 5,
+                misspell_rate,
+                ..SimConfig::default()
+            },
+        );
+        rates.push(outcome.accuracy());
+    }
+    assert!(
+        rates[0] > rates[1],
+        "heavier misspelling must hurt accuracy: {rates:?}"
+    );
+}
+
+#[test]
+fn intent_mix_matches_table5_ranking() {
+    // The simulated usage ranking of the top intents follows the paper's
+    // Table 5 order.
+    use obcs::sim::traffic::INTENT_MIX;
+    let paper_order = [
+        "Drug Dosage for Condition",
+        "Administration of Drug",
+        "IV Compatibility of Drug",
+        "Drugs That Treat Condition",
+        "Uses of Drug",
+    ];
+    for pair in paper_order.windows(2) {
+        let w0 = INTENT_MIX.iter().find(|(n, _)| *n == pair[0]).unwrap().1;
+        let w1 = INTENT_MIX.iter().find(|(n, _)| *n == pair[1]).unwrap().1;
+        assert!(w0 >= w1, "{} should outweigh {}", pair[0], pair[1]);
+    }
+}

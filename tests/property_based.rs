@@ -1,0 +1,198 @@
+//! Property-based tests over the core data structures and cross-crate
+//! invariants.
+
+use obcs::classifier::metrics::evaluate;
+use obcs::classifier::naive_bayes::{NaiveBayes, NaiveBayesConfig};
+use obcs::classifier::{Classifier, Dataset};
+use obcs::kb::schema::{ColumnType, TableSchema};
+use obcs::kb::value::sql_quote;
+use obcs::prelude::*;
+use obcs::ontology::graph::{paths_up_to, shortest_path, EdgeFilter};
+use obcs::ontology::RelationKind;
+use proptest::prelude::*;
+
+/// Strategy: a random small ontology as (n concepts, edges between them).
+fn ontology_strategy() -> impl Strategy<Value = Ontology> {
+    (2usize..12, proptest::collection::vec((0usize..12, 0usize..12), 0..24)).prop_map(
+        |(n, edges)| {
+            let mut onto = Ontology::new("prop");
+            let ids: Vec<_> = (0..n)
+                .map(|i| onto.add_concept(format!("C{i}")).expect("unique"))
+                .collect();
+            for (a, b) in edges {
+                let (a, b) = (a % n, b % n);
+                let _ = onto.add_object_property(
+                    format!("r{a}_{b}"),
+                    ids[a],
+                    ids[b],
+                    RelationKind::Association,
+                );
+            }
+            onto
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn shortest_path_is_minimal(onto in ontology_strategy()) {
+        let concepts = onto.concepts();
+        for a in concepts.iter().take(4) {
+            for b in concepts.iter().take(4) {
+                if let Some(p) = shortest_path(&onto, a.id, b.id, EdgeFilter::All) {
+                    // No enumerated path of the same endpoints is shorter.
+                    for q in paths_up_to(&onto, a.id, b.id, 3, EdgeFilter::All) {
+                        prop_assert!(q.len() >= p.len().min(3));
+                    }
+                    // The path really connects a to b.
+                    prop_assert_eq!(p.end(&onto), b.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn centrality_scores_are_finite_and_complete(onto in ontology_strategy()) {
+        use obcs::ontology::centrality::{centrality, CentralityMeasure};
+        for measure in [
+            CentralityMeasure::Degree,
+            CentralityMeasure::PageRank,
+            CentralityMeasure::Betweenness,
+        ] {
+            let scored = centrality(&onto, measure);
+            prop_assert_eq!(scored.len(), onto.concept_count());
+            prop_assert!(scored.iter().all(|s| s.score.is_finite()));
+            // Descending order.
+            for w in scored.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+
+    #[test]
+    fn sql_quote_round_trips_through_the_engine(value in "[a-zA-Z' %_-]{0,30}") {
+        let mut kb = KnowledgeBase::new();
+        kb.create_table(
+            TableSchema::new("t")
+                .column("id", ColumnType::Int)
+                .column("x", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .expect("schema");
+        kb.insert("t", vec![Value::Int(1), Value::text(value.clone())]).expect("row");
+        let sql = format!("SELECT x FROM t WHERE x = {}", sql_quote(&value));
+        let rs = kb.query(&sql).expect("quoted literal must parse");
+        prop_assert_eq!(rs.rows.len(), 1);
+        prop_assert_eq!(&rs.rows[0][0], &Value::text(value));
+    }
+
+    #[test]
+    fn classifier_prediction_is_a_trained_label(
+        texts in proptest::collection::vec("[a-z ]{1,20}", 2..10),
+        probe in "[a-z ]{0,20}",
+    ) {
+        let mut data = Dataset::new();
+        for (i, t) in texts.iter().enumerate() {
+            data.push(t.clone(), format!("label{}", i % 3));
+        }
+        let model = NaiveBayes::train(&data, NaiveBayesConfig::default());
+        let pred = model.predict(&probe);
+        prop_assert!(data.label_set().contains(&pred.label.as_str()));
+        prop_assert!((0.0..=1.0).contains(&pred.confidence));
+        let all = model.predict_all(&probe);
+        let total: f64 = all.iter().map(|&(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_metrics_are_bounded(
+        labels in proptest::collection::vec(0u8..4, 1..40),
+        flips in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let gold: Vec<String> = labels.iter().map(|l| format!("c{l}")).collect();
+        let predicted: Vec<String> = labels
+            .iter()
+            .zip(flips.iter().cycle())
+            .map(|(l, flip)| format!("c{}", if *flip { (l + 1) % 4 } else { *l }))
+            .collect();
+        let report = evaluate(&gold, &predicted);
+        prop_assert!((0.0..=1.0).contains(&report.accuracy));
+        prop_assert!((0.0..=1.0).contains(&report.macro_f1));
+        for (_, m) in &report.per_class {
+            prop_assert!((0.0..=1.0).contains(&m.f1));
+            prop_assert!(m.support >= 1 || m.f1 == 0.0);
+        }
+        // All correct → perfect scores.
+        let perfect = evaluate(&gold, &gold);
+        prop_assert!((perfect.accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn like_patterns_never_panic(s in "[a-z%_]{0,12}", p in "[a-z%_]{0,12}") {
+        let mut kb = KnowledgeBase::new();
+        kb.create_table(
+            TableSchema::new("t")
+                .column("id", ColumnType::Int)
+                .column("x", ColumnType::Text)
+                .primary_key("id"),
+        )
+        .expect("schema");
+        kb.insert("t", vec![Value::Int(1), Value::text(s)]).expect("row");
+        let sql = format!("SELECT x FROM t WHERE x LIKE {}", sql_quote(&p));
+        // Must not panic; row count is 0 or 1.
+        let rs = kb.query(&sql).expect("parse");
+        prop_assert!(rs.rows.len() <= 1);
+    }
+}
+
+#[test]
+fn bootstrap_never_panics_on_random_star_ontologies() {
+    // Star domains of varying width: hub with k nameable satellites.
+    for k in 1..8 {
+        let mut kb = KnowledgeBase::new();
+        kb.create_table(
+            TableSchema::new("hub")
+                .column("hub_id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .primary_key("hub_id"),
+        )
+        .expect("schema");
+        let mut builder = OntologyBuilder::new("star").data("Hub", &["name"]);
+        for i in 0..k {
+            let table = format!("sat{i}");
+            kb.create_table(
+                TableSchema::new(&table)
+                    .column(format!("{table}_id"), ColumnType::Int)
+                    .column("hub_id", ColumnType::Int)
+                    .column("description", ColumnType::Text)
+                    .primary_key(format!("{table}_id"))
+                    .foreign_key("hub_id", "hub", "hub_id"),
+            )
+            .expect("schema");
+            builder = builder
+                .data(&format!("Sat{i}"), &["description"])
+                .relation(&format!("has{i}"), "Hub", &format!("Sat{i}"));
+        }
+        let onto = builder.build().expect("valid");
+        kb.insert("hub", vec![Value::Int(0), Value::text("Thing")]).expect("row");
+        for i in 0..k {
+            kb.insert(
+                &format!("sat{i}"),
+                vec![Value::Int(0), Value::Int(0), Value::text("info")],
+            )
+            .expect("row");
+        }
+        let mapping = OntologyMapping::infer(&onto, &kb);
+        let space = bootstrap(
+            &onto,
+            &kb,
+            &mapping,
+            BootstrapConfig::default(),
+            &SmeFeedback::new(),
+        );
+        // Every satellite yields a lookup intent once the hub is key.
+        if !space.key_concepts.is_empty() {
+            assert_eq!(space.inventory().lookup_intents, k);
+        }
+    }
+}
