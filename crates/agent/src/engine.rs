@@ -181,9 +181,7 @@ impl ConversationAgent {
                 .instances
                 .iter()
                 .find(|(c, v)| {
-                    self.pending_disambiguation
-                        .iter()
-                        .any(|(pc, pv)| pc == c && pv == v)
+                    self.pending_disambiguation.iter().any(|(pc, pv)| pc == c && pv == v)
                 })
                 .cloned()
                 .or_else(|| {
@@ -208,8 +206,7 @@ impl ConversationAgent {
                 if candidates.len() == 1 {
                     recognized.instances.push(candidates[0].clone());
                 } else {
-                    let names: Vec<&str> =
-                        candidates.iter().map(|(_, v)| v.as_str()).collect();
+                    let names: Vec<&str> = candidates.iter().map(|(_, v)| v.as_str()).collect();
                     let text = format!(
                         "I found several matches for \"{fragment}\": {}. Which one do you mean?",
                         names.join(", ")
@@ -238,8 +235,7 @@ impl ConversationAgent {
         // for Fluocinonide?") carries no intent of its own — it operates on
         // the previous request (or triggers the entity-only proposal flow),
         // so the classifier's guess is suppressed.
-        let entity_dominant =
-            crate::nlu::is_entity_dominant(utterance, &recognized.instances);
+        let entity_dominant = crate::nlu::is_entity_dominant(utterance, &recognized.instances);
         let mut accepted = classified
             .filter(|&(_, conf)| conf >= self.config.intent_confidence_threshold)
             .map(|(id, _)| id)
@@ -263,13 +259,8 @@ impl ConversationAgent {
         let strong_management = confidence.is_some_and(|c| c >= 0.5);
         if let (Some(id), false, true) = (accepted, catalog_handles, strong_management) {
             if let Some(intent) = self.space.intent(id) {
-                if matches!(
-                    intent.goal,
-                    obcs_core::intents::IntentGoal::ConversationManagement
-                ) {
-                    let text = intent
-                        .response_template
-                        .replace("{agent}", &self.config.name);
+                if matches!(intent.goal, obcs_core::intents::IntentGoal::ConversationManagement) {
+                    let text = intent.response_template.replace("{agent}", &self.config.name);
                     let reply = AgentReply {
                         text,
                         kind: ReplyKind::Management,
@@ -441,25 +432,16 @@ impl ConversationAgent {
             .required_entities
             .iter()
             .filter_map(|&c| {
-                self.ctx
-                    .entity(c)
-                    .map(|v| (self.onto.concept_name(c).to_string(), v.to_string()))
+                self.ctx.entity(c).map(|v| (self.onto.concept_name(c).to_string(), v.to_string()))
             })
             .collect();
         let text = if sections.is_empty() {
-            format!(
-                "I cannot answer {} requests against this knowledge base yet.",
-                intent.name
-            )
+            format!("I cannot answer {} requests against this knowledge base yet.", intent.name)
         } else {
             let entity_text = if entity_summary.is_empty() {
                 "your request".to_string()
             } else {
-                entity_summary
-                    .iter()
-                    .map(|(_, v)| v.clone())
-                    .collect::<Vec<_>>()
-                    .join(", ")
+                entity_summary.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>().join(", ")
             };
             intent
                 .response_template
@@ -467,8 +449,7 @@ impl ConversationAgent {
                 .replace("{results}", &nlg::render_merged(&sections))
         };
         // Record terms for definition repair.
-        self.ctx
-            .record_response(&text, vec![intent.name.to_lowercase()]);
+        self.ctx.record_response(&text, vec![intent.name.to_lowercase()]);
         AgentReply {
             text,
             kind: ReplyKind::Fulfilment,
@@ -505,10 +486,7 @@ impl ConversationAgent {
     /// mentioned concept), prefers the intent with the most required
     /// entities already available from the utterance and context, breaking
     /// ties toward fewer requirements.
-    fn resolve_by_concepts(
-        &self,
-        recognized: &crate::nlu::RecognizedEntities,
-    ) -> Option<IntentId> {
+    fn resolve_by_concepts(&self, recognized: &crate::nlu::RecognizedEntities) -> Option<IntentId> {
         if recognized.concepts.is_empty() {
             return None;
         }
@@ -520,23 +498,15 @@ impl ConversationAgent {
             .collect();
         let mut best: Option<(usize, usize, IntentId)> = None; // (satisfied, -required, id)
         for intent in self.space.intents.iter().filter(|i| i.is_query()) {
-            let anchors = intent
-                .patterns()
-                .iter()
-                .any(|p| {
-                    recognized.concepts.contains(&p.focus)
-                        || p.derived_from
-                            .map(|d| recognized.concepts.contains(&d))
-                            .unwrap_or(false)
-                });
+            let anchors = intent.patterns().iter().any(|p| {
+                recognized.concepts.contains(&p.focus)
+                    || p.derived_from.map(|d| recognized.concepts.contains(&d)).unwrap_or(false)
+            });
             if !anchors {
                 continue;
             }
-            let satisfied = intent
-                .required_entities
-                .iter()
-                .filter(|c| available.contains(c))
-                .count();
+            let satisfied =
+                intent.required_entities.iter().filter(|c| available.contains(c)).count();
             let candidate = (satisfied, usize::MAX - intent.required_entities.len(), intent.id);
             if best.map(|b| candidate > (b.0, b.1, b.2)).unwrap_or(true) {
                 best = Some(candidate);

@@ -72,28 +72,20 @@ impl InteractionLog {
         if self.records.is_empty() {
             return None;
         }
-        let negative = self
-            .records
-            .iter()
-            .filter(|r| r.feedback == Some(Feedback::ThumbsDown))
-            .count();
+        let negative =
+            self.records.iter().filter(|r| r.feedback == Some(Feedback::ThumbsDown)).count();
         Some((self.records.len() - negative) as f64 / self.records.len() as f64)
     }
 
     /// Success rate restricted to one intent.
     pub fn success_rate_for(&self, intent: IntentId) -> Option<f64> {
-        let of_intent: Vec<&InteractionRecord> = self
-            .records
-            .iter()
-            .filter(|r| r.intent == Some(intent))
-            .collect();
+        let of_intent: Vec<&InteractionRecord> =
+            self.records.iter().filter(|r| r.intent == Some(intent)).collect();
         if of_intent.is_empty() {
             return None;
         }
-        let negative = of_intent
-            .iter()
-            .filter(|r| r.feedback == Some(Feedback::ThumbsDown))
-            .count();
+        let negative =
+            of_intent.iter().filter(|r| r.feedback == Some(Feedback::ThumbsDown)).count();
         Some((of_intent.len() - negative) as f64 / of_intent.len() as f64)
     }
 

@@ -9,15 +9,9 @@ pub fn fill_response(template: &str, entities: &[(String, String)], results: &Re
     let entity_text = if entities.is_empty() {
         "your request".to_string()
     } else {
-        entities
-            .iter()
-            .map(|(_, v)| v.clone())
-            .collect::<Vec<_>>()
-            .join(", ")
+        entities.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>().join(", ")
     };
-    template
-        .replace("{entities}", &entity_text)
-        .replace("{results}", &render_results(results))
+    template.replace("{entities}", &entity_text).replace("{results}", &render_results(results))
 }
 
 /// Verbalises a result set: single-column results become a comma list,
@@ -69,10 +63,7 @@ mod tests {
     use obcs_kb::Value;
 
     fn rs(columns: &[&str], rows: Vec<Vec<Value>>) -> ResultSet {
-        ResultSet {
-            columns: columns.iter().map(|s| s.to_string()).collect(),
-            rows,
-        }
+        ResultSet { columns: columns.iter().map(|s| s.to_string()).collect(), rows }
     }
 
     #[test]
@@ -83,10 +74,7 @@ mod tests {
 
     #[test]
     fn multi_column_lines() {
-        let r = rs(
-            &["name", "dose"],
-            vec![vec![Value::text("A"), Value::text("5mg")]],
-        );
+        let r = rs(&["name", "dose"], vec![vec![Value::text("A"), Value::text("5mg")]]);
         assert_eq!(render_results(&r), "name: A; dose: 5mg");
     }
 

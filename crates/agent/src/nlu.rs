@@ -5,13 +5,13 @@
 use obcs_classifier::logreg::{LogReg, LogRegConfig};
 use obcs_classifier::naive_bayes::{NaiveBayes, NaiveBayesConfig};
 use obcs_classifier::{Classifier, Dataset};
-use serde::{Deserialize, Serialize};
 use obcs_core::entities::EntityKind;
 use obcs_core::{ConversationSpace, IntentId};
 use obcs_kb::KnowledgeBase;
 use obcs_nlq::annotate::{Evidence, Lexicon};
 use obcs_nlq::OntologyMapping;
 use obcs_ontology::{ConceptId, Ontology};
+use serde::{Deserialize, Serialize};
 
 /// The result of entity recognition on one utterance.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -86,9 +86,7 @@ impl Nlu {
         // instance.
         for (canonical, synonyms) in space.synonyms.iter() {
             for e in &space.entities {
-                if let Some(value) =
-                    e.examples.iter().find(|v| v.eq_ignore_ascii_case(canonical))
-                {
+                if let Some(value) = e.examples.iter().find(|v| v.eq_ignore_ascii_case(canonical)) {
                     for syn in synonyms {
                         lexicon.add_phrase(
                             syn,
@@ -118,11 +116,7 @@ impl Nlu {
             }
         };
 
-        let intents_by_name = space
-            .intents
-            .iter()
-            .map(|i| (i.name.clone(), i.id))
-            .collect();
+        let intents_by_name = space.intents.iter().map(|i| (i.name.clone(), i.id)).collect();
         let entity_only = space
             .intents
             .iter()
@@ -136,10 +130,8 @@ impl Nlu {
 
     /// Registers an extra instance synonym (e.g. brand names).
     pub fn add_instance_synonym(&mut self, concept: ConceptId, canonical: &str, synonym: &str) {
-        self.lexicon.add_phrase(
-            synonym,
-            Evidence::Instance { concept, value: canonical.to_string() },
-        );
+        self.lexicon
+            .add_phrase(synonym, Evidence::Instance { concept, value: canonical.to_string() });
     }
 
     /// Classifies the intent of an utterance; returns `(intent,
@@ -214,18 +206,16 @@ pub fn is_entity_dominant(utterance: &str, instances: &[(ConceptId, String)]) ->
         return false;
     }
     const FILLER: &[&str] = &[
-        "how", "about", "for", "what", "whats", "the", "a", "an", "i", "mean", "meant",
-        "please", "and", "also", "of", "in", "on", "to", "it", "that", "this", "now",
-        "instead", "try", "with", "same", "again", "ok", "okay",
+        "how", "about", "for", "what", "whats", "the", "a", "an", "i", "mean", "meant", "please",
+        "and", "also", "of", "in", "on", "to", "it", "that", "this", "now", "instead", "try",
+        "with", "same", "again", "ok", "okay",
     ];
     let mut remaining = obcs_nlq::annotate::normalize(utterance);
     for (_, value) in instances {
         let norm_value = obcs_nlq::annotate::normalize(value);
         remaining = remaining.replace(&norm_value, " ");
     }
-    remaining
-        .split_whitespace()
-        .all(|tok| FILLER.contains(&tok))
+    remaining.split_whitespace().all(|tok| FILLER.contains(&tok))
 }
 
 #[cfg(test)]
@@ -298,20 +288,10 @@ mod tests {
     #[test]
     fn logistic_regression_backend_classifies_too() {
         let (onto, kb, mapping) = fig2_fixture();
-        let space = bootstrap(
-            &onto,
-            &kb,
-            &mapping,
-            BootstrapConfig::default(),
-            &SmeFeedback::new(),
-        );
-        let nlu = Nlu::from_space_with(
-            &space,
-            &onto,
-            &kb,
-            &mapping,
-            ClassifierKind::LogisticRegression,
-        );
+        let space =
+            bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
+        let nlu =
+            Nlu::from_space_with(&space, &onto, &kb, &mapping, ClassifierKind::LogisticRegression);
         let (intent, conf) = nlu.classify("show me the precaution for Aspirin").unwrap();
         let expected = space.intent_by_name("Precautions of Drug").unwrap();
         assert_eq!(intent, expected.id);
@@ -327,4 +307,3 @@ mod tests {
         assert!(rec.partial.is_none());
     }
 }
-

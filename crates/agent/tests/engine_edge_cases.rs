@@ -41,13 +41,7 @@ fn rule_catalog_outranks_classifier_for_known_phrasings() {
 #[test]
 fn concept_mention_resolves_intent_when_classifier_is_unsure() {
     let (onto, kb, mapping) = fig2_fixture();
-    let space = bootstrap(
-        &onto,
-        &kb,
-        &mapping,
-        BootstrapConfig::default(),
-        &SmeFeedback::new(),
-    );
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
     // An impossible threshold forces the concept-guided path.
     let mut a = ConversationAgent::new(
         onto,
@@ -58,23 +52,14 @@ fn concept_mention_resolves_intent_when_classifier_is_unsure() {
     );
     let r = a.respond("precaution for Aspirin");
     assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
-    let name = r
-        .intent
-        .and_then(|id| a.space().intent(id))
-        .map(|i| i.name.clone());
+    let name = r.intent.and_then(|id| a.space().intent(id)).map(|i| i.name.clone());
     assert_eq!(name.as_deref(), Some("Precautions of Drug"));
 }
 
 #[test]
 fn concept_resolution_prefers_satisfied_requirements() {
     let (onto, kb, mapping) = fig2_fixture();
-    let space = bootstrap(
-        &onto,
-        &kb,
-        &mapping,
-        BootstrapConfig::default(),
-        &SmeFeedback::new(),
-    );
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
     let mut a = ConversationAgent::new(
         onto,
         kb,
@@ -86,10 +71,7 @@ fn concept_resolution_prefers_satisfied_requirements() {
     // the indirect dosage intents (require Drug + Indication). With only a
     // drug in hand, the drug-scoped intent must win.
     let r = a.respond("dosage for Aspirin");
-    let name = r
-        .intent
-        .and_then(|id| a.space().intent(id))
-        .map(|i| i.name.clone());
+    let name = r.intent.and_then(|id| a.space().intent(id)).map(|i| i.name.clone());
     assert_eq!(name.as_deref(), Some("Dosages of Drug"), "{r:?}");
     assert_eq!(r.kind, ReplyKind::Fulfilment);
 }
@@ -97,13 +79,7 @@ fn concept_resolution_prefers_satisfied_requirements() {
 #[test]
 fn elicitation_answer_with_unrelated_entity_still_merges() {
     let (onto, kb, mapping) = fig2_fixture();
-    let space = bootstrap(
-        &onto,
-        &kb,
-        &mapping,
-        BootstrapConfig::default(),
-        &SmeFeedback::new(),
-    );
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
     let mut a = ConversationAgent::new(onto, kb, mapping, space, AgentConfig::default());
     let r1 = a.respond("show me the precaution");
     assert_eq!(r1.kind, ReplyKind::Elicitation);
@@ -115,13 +91,7 @@ fn elicitation_answer_with_unrelated_entity_still_merges() {
 #[test]
 fn empty_and_whitespace_utterances_fall_back() {
     let (onto, kb, mapping) = fig2_fixture();
-    let space = bootstrap(
-        &onto,
-        &kb,
-        &mapping,
-        BootstrapConfig::default(),
-        &SmeFeedback::new(),
-    );
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
     let mut a = ConversationAgent::new(onto, kb, mapping, space, AgentConfig::default());
     for u in ["", "   ", "???"] {
         let r = a.respond(u);
@@ -133,13 +103,7 @@ fn empty_and_whitespace_utterances_fall_back() {
 #[test]
 fn turn_counter_advances_once_per_utterance() {
     let (onto, kb, mapping) = fig2_fixture();
-    let space = bootstrap(
-        &onto,
-        &kb,
-        &mapping,
-        BootstrapConfig::default(),
-        &SmeFeedback::new(),
-    );
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
     let mut a = ConversationAgent::new(onto, kb, mapping, space, AgentConfig::default());
     a.respond("hello");
     a.respond("what drug treats Fever?");

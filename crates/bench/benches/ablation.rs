@@ -17,9 +17,7 @@ fn bench_centrality_measures(c: &mut Criterion) {
         ("pagerank", CentralityMeasure::PageRank),
         ("betweenness", CentralityMeasure::Betweenness),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(centrality(&world.onto, measure)))
-        });
+        group.bench_function(name, |b| b.iter(|| black_box(centrality(&world.onto, measure))));
         group.bench_function(format!("{name}_full_selection"), |b| {
             b.iter(|| {
                 black_box(identify_key_concepts(
@@ -80,10 +78,5 @@ fn bench_union_detection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_centrality_measures,
-    bench_training_volume,
-    bench_union_detection
-);
+criterion_group!(benches, bench_centrality_measures, bench_training_volume, bench_union_detection);
 criterion_main!(benches);

@@ -21,15 +21,7 @@ fn bench_bootstrap(c: &mut Criterion) {
         let mapping = OntologyMapping::infer(&onto, &kb);
         let sme = mdx_sme_feedback(&onto);
         group.bench_with_input(BenchmarkId::new("full_space", drugs), &drugs, |b, _| {
-            b.iter(|| {
-                black_box(bootstrap(
-                    &onto,
-                    &kb,
-                    &mapping,
-                    BootstrapConfig::default(),
-                    &sme,
-                ))
-            })
+            b.iter(|| black_box(bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &sme)))
         });
     }
     group.finish();
@@ -41,13 +33,7 @@ fn bench_stages(c: &mut Criterion) {
     let mapping = OntologyMapping::infer(&onto, &kb);
 
     c.bench_function("stage/key_concepts", |b| {
-        b.iter(|| {
-            black_box(identify_key_concepts(
-                &onto,
-                &mapping,
-                KeyConceptConfig::default(),
-            ))
-        })
+        b.iter(|| black_box(identify_key_concepts(&onto, &mapping, KeyConceptConfig::default())))
     });
     let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
     c.bench_function("stage/dependent_concepts", |b| {

@@ -55,11 +55,7 @@ fn bench_kb(c: &mut Criterion) {
         })
     });
     group.bench_function("distinct_order_limit", |b| {
-        b.iter(|| {
-            black_box(kb.query(
-                "SELECT DISTINCT name FROM drug ORDER BY name DESC LIMIT 10",
-            ))
-        })
+        b.iter(|| black_box(kb.query("SELECT DISTINCT name FROM drug ORDER BY name DESC LIMIT 10")))
     });
     group.bench_function("column_stats", |b| {
         b.iter(|| black_box(column_stats(kb, "dosage", "description")))

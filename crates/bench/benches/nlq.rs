@@ -17,9 +17,7 @@ fn bench_nlq(c: &mut Criterion) {
         b.iter(|| black_box(Lexicon::build(&world.onto, &world.kb, &world.mapping)))
     });
     group.bench_function("annotate", |b| {
-        b.iter(|| {
-            black_box(lexicon.annotate("show me the precautions for benztropine mesylate"))
-        })
+        b.iter(|| black_box(lexicon.annotate("show me the precautions for benztropine mesylate")))
     });
     group.bench_function("mask", |b| {
         b.iter(|| {
@@ -54,10 +52,7 @@ fn bench_nlq(c: &mut Criterion) {
     });
 
     // Template instantiation (the online hot path).
-    let intent = world
-        .space
-        .intent_by_name("Precautions of Drug")
-        .expect("intent");
+    let intent = world.space.intent_by_name("Precautions of Drug").expect("intent");
     let tpl = &world.space.templates_for(intent.id)[0].template;
     group.bench_function("template_instantiate", |b| {
         b.iter(|| black_box(tpl.instantiate(&[(drug, "Aspirin".into())]).expect("sql")))

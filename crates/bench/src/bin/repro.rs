@@ -9,13 +9,15 @@
 //! table2 table3 table4 table5 fig11 fig12 inventory summary transcript
 //! ablation-centrality ablation-training ablation-synonyms
 //! ablation-augmentation ablation-classifier ablation-feedback-loop
-//! ablation-sessions all` (plus `export`, which writes the offline
-//! artifacts to `artifacts/`).
+//! ablation-sessions all` (plus `lint`, which runs the obcs-lint static
+//! analysis over the artifact chain, and `export`, which lint-gates and
+//! writes the offline artifacts to `artifacts/`).
 
 use obcs_agent::ReplyKind;
 use obcs_bench::World;
 use obcs_core::training::{generate_for_intent, ExampleSource, TrainingGenConfig};
 use obcs_dialogue::DialogueLogicTable;
+use obcs_lint::{run_all, LintConfig, LintContext};
 use obcs_mdx::data::MdxDataConfig;
 use obcs_sim::eval::{classifier_evaluation, fig11, fig12, render_success_rows};
 use obcs_sim::traffic::{run_traffic, SimConfig};
@@ -34,6 +36,9 @@ fn main() {
     let world = World::with_config(MdxDataConfig { drugs, seed });
     let run = |name: &str| cmd == name || cmd == "all";
 
+    if run("lint") {
+        lint_report(&world);
+    }
     if run("inventory") {
         inventory(&world);
     }
@@ -109,10 +114,7 @@ fn main() {
 }
 
 fn flag(args: &[String], name: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
 }
 
 fn heading(title: &str) {
@@ -146,11 +148,7 @@ fn fig2(world: &World) {
     }
     println!("relationships from Drug:");
     for op in world.onto.outgoing(drug) {
-        println!(
-            "  Drug -[{}]-> {}",
-            op.name,
-            world.onto.concept_name(op.target)
-        );
+        println!("  Drug -[{}]-> {}", op.name, world.onto.concept_name(op.target));
     }
     let risk = world.onto.concept_id("Risk").expect("Risk");
     println!("union:");
@@ -223,10 +221,7 @@ fn fig7(world: &World, seed: u64) {
 
 fn fig8(world: &World) {
     heading("Figure 8 — SME augmentation of training examples");
-    let intent = world
-        .space
-        .intent_by_name("Dose Adjustments for Drug")
-        .expect("intent");
+    let intent = world.space.intent_by_name("Dose Adjustments for Drug").expect("intent");
     let generated: Vec<&str> = world
         .space
         .training
@@ -259,10 +254,7 @@ fn fig9(world: &World) {
     println!("Pattern:   {}", intent.patterns()[0].render(&world.onto));
     println!("Template:  {}", labeled.template.sql());
     let drug = world.onto.concept_id("Drug").expect("Drug");
-    let sql = labeled
-        .template
-        .instantiate(&[(drug, "Ibuprofen".into())])
-        .expect("instantiation");
+    let sql = labeled.template.instantiate(&[(drug, "Ibuprofen".into())]).expect("instantiation");
     println!("Instance:  {sql}");
     let rs = world.kb.query(&sql).expect("execution");
     println!("Rows:      {}", rs.rows.len());
@@ -284,30 +276,17 @@ fn fig10(world: &World) {
 
 fn table1(world: &World) {
     heading("Table 1 — sample entity population");
-    let concepts: Vec<&str> = world
-        .onto
-        .concepts()
-        .iter()
-        .take(4)
-        .map(|c| c.name.as_str())
-        .collect();
+    let concepts: Vec<&str> =
+        world.onto.concepts().iter().take(4).map(|c| c.name.as_str()).collect();
     println!("{:<18} | Examples", "Entity");
     println!("{:<18} | {} … [Ontology Concepts]", "Concepts", concepts.join(", "));
     let risk = world.onto.concept_id("Risk").expect("Risk");
-    let members: Vec<&str> = world
-        .onto
-        .union_members(risk)
-        .iter()
-        .map(|&m| world.onto.concept_name(m))
-        .collect();
+    let members: Vec<&str> =
+        world.onto.union_members(risk).iter().map(|&m| world.onto.concept_name(m)).collect();
     println!("{:<18} | {} [Concepts under Risk]", "Risk", members.join(", "));
     let di = world.onto.concept_id("DrugInteraction").expect("DI");
-    let children: Vec<&str> = world
-        .onto
-        .is_a_children(di)
-        .iter()
-        .map(|&m| world.onto.concept_name(m))
-        .collect();
+    let children: Vec<&str> =
+        world.onto.is_a_children(di).iter().map(|&m| world.onto.concept_name(m)).collect();
     println!(
         "{:<18} | {} [Concepts under Drug Interaction]",
         "Drug Interaction",
@@ -356,12 +335,8 @@ fn table4(world: &World) {
         .rows
         .iter()
         .filter(|r| {
-            [
-                "Drugs That Treat Condition",
-                "Drug Dosage for Condition",
-                "Drug-Drug Interactions",
-            ]
-            .contains(&r.intent_name.as_str())
+            ["Drugs That Treat Condition", "Drug Dosage for Condition", "Drug-Drug Interactions"]
+                .contains(&r.intent_name.as_str())
         })
         .cloned()
         .collect();
@@ -486,28 +461,17 @@ fn ablation_centrality(world: &World) {
     heading("Ablation — key-concept identification: centrality measure × nameability");
     use obcs_core::concepts::{identify_key_concepts, KeyConceptConfig};
     use obcs_ontology::centrality::CentralityMeasure;
-    for measure in [
-        CentralityMeasure::Degree,
-        CentralityMeasure::PageRank,
-        CentralityMeasure::Betweenness,
-    ] {
+    for measure in
+        [CentralityMeasure::Degree, CentralityMeasure::PageRank, CentralityMeasure::Betweenness]
+    {
         for nameable in [true, false] {
             let keys = identify_key_concepts(
                 &world.onto,
                 &world.mapping,
-                KeyConceptConfig {
-                    measure,
-                    require_nameable: nameable,
-                    ..Default::default()
-                },
+                KeyConceptConfig { measure, require_nameable: nameable, ..Default::default() },
             );
-            let names: Vec<&str> =
-                keys.iter().map(|&k| world.onto.concept_name(k)).collect();
-            println!(
-                "{measure:?} nameable={nameable}: {} keys → {:?}",
-                keys.len(),
-                names
-            );
+            let names: Vec<&str> = keys.iter().map(|&k| world.onto.concept_name(k)).collect();
+            println!("{measure:?} nameable={nameable}: {} keys → {:?}", keys.len(), names);
         }
     }
     println!("(the paper's key concepts for MDX are Drug and Condition)");
@@ -541,8 +505,7 @@ fn ablation_training(seed: u64) {
         let (train, test) = obcs_classifier::split::stratified_split(&data, 0.3, seed);
         let model = obcs_classifier::naive_bayes::NaiveBayes::train(&train, Default::default());
         use obcs_classifier::Classifier;
-        let predicted: Vec<String> =
-            test.texts.iter().map(|t| model.predict(t).label).collect();
+        let predicted: Vec<String> = test.texts.iter().map(|t| model.predict(t).label).collect();
         let report = obcs_classifier::metrics::evaluate(&test.labels, &predicted);
         println!(
             "examples/pattern {per_pattern:>3}: {} examples, held-out macro F1 {:.3}",
@@ -567,12 +530,8 @@ fn ablation_synonyms(world: &World) {
     let mdx = world.agent();
     let rich = mdx.agent.space();
     let _ = rich;
-    let nlu_rich = obcs_agent::nlu::Nlu::from_space(
-        &world.space,
-        &world.onto,
-        &world.kb,
-        &world.mapping,
-    );
+    let nlu_rich =
+        obcs_agent::nlu::Nlu::from_space(&world.space, &world.onto, &world.kb, &world.mapping);
     println!("{:<32} {:>12} {:>12}", "probe", "no synonyms", "with synonyms");
     for (probe, _) in probes {
         let without = bare.annotate(probe).len();
@@ -596,12 +555,7 @@ fn ablation_augmentation(world: &World) {
         "\"black box warning for Aspirin\" → kind {:?} (member concept reachable only via augmentation)",
         r.kind
     );
-    let idx = world
-        .space
-        .intents
-        .iter()
-        .filter(|i| i.patterns().len() > 1)
-        .count();
+    let idx = world.space.intents.iter().filter(|i| i.patterns().len() > 1).count();
     println!("{idx} intents carry augmented pattern groups");
 }
 
@@ -609,8 +563,24 @@ fn ablation_augmentation(world: &World) {
 /// conversation space (the paper uploads these artifacts to Watson
 /// Assistant), the ontology as OWL/Turtle and Graphviz DOT, and the
 /// synthetic KB.
+/// Runs the obcs-lint pass over the freshly bootstrapped world and prints
+/// the report.
+fn lint_report(world: &World) -> obcs_lint::DiagnosticSet {
+    heading("Static analysis — obcs-lint over the artifact chain");
+    let ctx = LintContext::new(&world.onto, &world.kb, &world.mapping, &world.space);
+    let report = run_all(&ctx, &LintConfig::default());
+    print!("{}", report.render_text());
+    report
+}
+
 fn export(world: &World) {
     heading("Exporting offline artifacts to artifacts/");
+    // Deny gate: never export an artifact chain with lint errors.
+    let report = lint_report(world);
+    if let Err(msg) = report.gate(false) {
+        eprintln!("export aborted: {msg}");
+        std::process::exit(1);
+    }
     std::fs::create_dir_all("artifacts").expect("create artifacts dir");
     let writes: &[(&str, String)] = &[
         ("artifacts/mdx_space.json", world.space.to_json()),
@@ -632,12 +602,8 @@ fn ablation_classifier(world: &World, seed: u64) {
     use obcs_sim::utterance::generate;
 
     // Shared masked training set.
-    let nlu = obcs_agent::nlu::Nlu::from_space(
-        &world.space,
-        &world.onto,
-        &world.kb,
-        &world.mapping,
-    );
+    let nlu =
+        obcs_agent::nlu::Nlu::from_space(&world.space, &world.onto, &world.kb, &world.mapping);
     let mut data = obcs_classifier::Dataset::new();
     for e in &world.space.training {
         if let Some(i) = world.space.intent(e.intent) {
@@ -664,10 +630,7 @@ fn ablation_classifier(world: &World, seed: u64) {
     ] {
         let predicted: Vec<String> = masked.iter().map(|t| predict(t)).collect();
         let report = obcs_classifier::metrics::evaluate(&gold, &predicted);
-        println!(
-            "{name:<22} macro F1 {:.3}  accuracy {:.3}",
-            report.macro_f1, report.accuracy
-        );
+        println!("{name:<22} macro F1 {:.3}  accuracy {:.3}", report.macro_f1, report.accuracy);
     }
 }
 
@@ -684,10 +647,7 @@ fn ablation_feedback_loop(world: &World) {
     ]);
     mdx.agent.reset();
     let after = mdx.agent.respond(probe);
-    let name = after
-        .intent
-        .and_then(|id| mdx.agent.space().intent(id))
-        .map(|i| i.name.clone());
+    let name = after.intent.and_then(|id| mdx.agent.space().intent(id)).map(|i| i.name.clone());
     println!("after SME-labelled retraining: {:?} → {:?} ({:?})", probe, after.kind, name);
 }
 
@@ -713,7 +673,9 @@ fn ablation_sessions(world: &World, seed: u64) {
             outcome.success_rate() * 100.0
         );
     }
-    println!("(persistent context enables §6.3-style follow-ups; stale entities cost a little accuracy)");
+    println!(
+        "(persistent context enables §6.3-style follow-ups; stale entities cost a little accuracy)"
+    );
 }
 
 #[cfg(test)]

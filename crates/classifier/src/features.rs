@@ -30,10 +30,8 @@ impl Vocabulary {
                 *df.entry(f).or_insert(0) += 1;
             }
         }
-        let mut kept: Vec<(String, usize)> = df
-            .into_iter()
-            .filter(|&(_, c)| c >= min_df.max(1))
-            .collect();
+        let mut kept: Vec<(String, usize)> =
+            df.into_iter().filter(|&(_, c)| c >= min_df.max(1)).collect();
         // Deterministic index assignment.
         kept.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let mut index = HashMap::with_capacity(kept.len());

@@ -68,19 +68,12 @@ impl Dataset {
     /// Distinct labels in first-appearance order.
     pub fn label_set(&self) -> Vec<&str> {
         let mut seen = std::collections::HashSet::new();
-        self.labels
-            .iter()
-            .filter(|l| seen.insert(l.as_str()))
-            .map(String::as_str)
-            .collect()
+        self.labels.iter().filter(|l| seen.insert(l.as_str())).map(String::as_str).collect()
     }
 
     /// Iterates `(text, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.texts
-            .iter()
-            .map(String::as_str)
-            .zip(self.labels.iter().map(String::as_str))
+        self.texts.iter().map(String::as_str).zip(self.labels.iter().map(String::as_str))
     }
 
     /// Appends all examples of another dataset.

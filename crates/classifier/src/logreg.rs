@@ -47,8 +47,7 @@ impl LogReg {
         let labels: Vec<String> = data.label_set().into_iter().map(str::to_string).collect();
         let k = labels.len();
         let v = vocab.len();
-        let vectors: Vec<Vec<(usize, f64)>> =
-            data.texts.iter().map(|t| vocab.tfidf(t)).collect();
+        let vectors: Vec<Vec<(usize, f64)>> = data.texts.iter().map(|t| vocab.tfidf(t)).collect();
         let label_ids: Vec<usize> = data
             .labels
             .iter()
@@ -68,8 +67,7 @@ impl LogReg {
                 let yi = label_ids[i];
                 for li in 0..k {
                     let target = if li == yi { 1.0 } else { 0.0 };
-                    let z = bias[li]
-                        + x.iter().map(|&(f, w)| w * weights[li][f]).sum::<f64>();
+                    let z = bias[li] + x.iter().map(|&(f, w)| w * weights[li][f]).sum::<f64>();
                     let p = sigmoid(z);
                     let err = p - target;
                     bias[li] -= lr * err;
@@ -90,12 +88,7 @@ impl LogReg {
     fn scores(&self, text: &str) -> Vec<f64> {
         let x = self.vocab.tfidf(text);
         (0..self.labels.len())
-            .map(|li| {
-                self.bias[li]
-                    + x.iter()
-                        .map(|&(f, w)| w * self.weights[li][f])
-                        .sum::<f64>()
-            })
+            .map(|li| self.bias[li] + x.iter().map(|&(f, w)| w * self.weights[li][f]).sum::<f64>())
             .collect()
     }
 }
@@ -120,12 +113,9 @@ impl Classifier for LogReg {
 
     fn predict_all(&self, text: &str) -> Vec<(String, f64)> {
         let probs = softmax(&self.scores(text));
-        let mut out: Vec<(String, f64)> =
-            self.labels.iter().cloned().zip(probs).collect();
+        let mut out: Vec<(String, f64)> = self.labels.iter().cloned().zip(probs).collect();
         out.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("probabilities are finite")
-                .then_with(|| a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1).expect("probabilities are finite").then_with(|| a.0.cmp(&b.0))
         });
         out
     }

@@ -30,10 +30,7 @@ pub struct Report {
 impl Report {
     /// Metrics for one label.
     pub fn class(&self, label: &str) -> Option<ClassMetrics> {
-        self.per_class
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|&(_, m)| m)
+        self.per_class.iter().find(|(l, _)| l == label).map(|&(_, m)| m)
     }
 
     /// Renders the report as an aligned text table.
@@ -63,11 +60,7 @@ impl Report {
 /// Panics if the slices have different lengths.
 pub fn evaluate(gold: &[String], predicted: &[String]) -> Report {
     assert_eq!(gold.len(), predicted.len(), "gold/predicted length mismatch");
-    let mut labels: Vec<&str> = gold
-        .iter()
-        .chain(predicted.iter())
-        .map(String::as_str)
-        .collect();
+    let mut labels: Vec<&str> = gold.iter().chain(predicted.iter()).map(String::as_str).collect();
     labels.sort_unstable();
     labels.dedup();
 
@@ -103,12 +96,7 @@ pub fn evaluate(gold: &[String], predicted: &[String]) -> Report {
         macro_sum += f1;
         per_class.push((
             label.to_string(),
-            ClassMetrics {
-                precision,
-                recall,
-                f1,
-                support: *support.get(label).unwrap_or(&0),
-            },
+            ClassMetrics { precision, recall, f1, support: *support.get(label).unwrap_or(&0) },
         ));
     }
     let total = gold.len();
@@ -134,18 +122,11 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     pub fn compute(gold: &[String], predicted: &[String]) -> Self {
         assert_eq!(gold.len(), predicted.len());
-        let mut labels: Vec<String> = gold
-            .iter()
-            .chain(predicted.iter())
-            .cloned()
-            .collect();
+        let mut labels: Vec<String> = gold.iter().chain(predicted.iter()).cloned().collect();
         labels.sort();
         labels.dedup();
-        let index: HashMap<&str, usize> = labels
-            .iter()
-            .enumerate()
-            .map(|(i, l)| (l.as_str(), i))
-            .collect();
+        let index: HashMap<&str, usize> =
+            labels.iter().enumerate().map(|(i, l)| (l.as_str(), i)).collect();
         let mut counts = vec![vec![0usize; labels.len()]; labels.len()];
         for (g, p) in gold.iter().zip(predicted) {
             counts[index[g.as_str()]][index[p.as_str()]] += 1;

@@ -54,19 +54,14 @@ impl NaiveBayes {
             }
         }
         let n = data.len().max(1) as f64;
-        let log_prior: Vec<f64> = class_counts
-            .iter()
-            .map(|&c| ((c as f64 + 1.0) / (n + k as f64)).ln())
-            .collect();
+        let log_prior: Vec<f64> =
+            class_counts.iter().map(|&c| ((c as f64 + 1.0) / (n + k as f64)).ln()).collect();
         let mut log_likelihood = Vec::with_capacity(k);
         let mut log_unseen = Vec::with_capacity(k);
         for li in 0..k {
             let denom = total_counts[li] + config.alpha * (v as f64 + 1.0);
             log_likelihood.push(
-                feature_counts[li]
-                    .iter()
-                    .map(|&c| ((c + config.alpha) / denom).ln())
-                    .collect(),
+                feature_counts[li].iter().map(|&c| ((c + config.alpha) / denom).ln()).collect(),
             );
             log_unseen.push((config.alpha / denom).ln());
         }
@@ -116,12 +111,7 @@ impl Classifier for NaiveBayes {
 
     fn predict_all(&self, text: &str) -> Vec<(String, f64)> {
         let probs = softmax(&self.scores(text));
-        let mut out: Vec<(String, f64)> = self
-            .labels
-            .iter()
-            .cloned()
-            .zip(probs)
-            .collect();
+        let mut out: Vec<(String, f64)> = self.labels.iter().cloned().zip(probs).collect();
         out.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("softmax probabilities are finite")
@@ -229,9 +219,6 @@ mod tests {
         let m = NaiveBayes::train(&data(), NaiveBayesConfig::default());
         let json = serde_json::to_string(&m).unwrap();
         let m2: NaiveBayes = serde_json::from_str(&json).unwrap();
-        assert_eq!(
-            m.predict("dosage of tylenol").label,
-            m2.predict("dosage of tylenol").label
-        );
+        assert_eq!(m.predict("dosage of tylenol").label, m2.predict("dosage of tylenol").label);
     }
 }

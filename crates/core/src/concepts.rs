@@ -86,11 +86,8 @@ pub fn identify_key_concepts(
         .into_iter()
         .filter(|s| {
             let c = s.concept;
-            let in_hierarchy = onto
-                .neighbors(c)
-                .any(|(_, op)| op.kind.is_hierarchical());
-            let has_domain_edges =
-                onto.neighbors(c).any(|(_, op)| !op.kind.is_hierarchical());
+            let in_hierarchy = onto.neighbors(c).any(|(_, op)| op.kind.is_hierarchical());
+            let has_domain_edges = onto.neighbors(c).any(|(_, op)| !op.kind.is_hierarchical());
             has_domain_edges
                 && !in_hierarchy
                 && (!config.require_nameable || mapping.is_nameable(c))
@@ -126,8 +123,10 @@ pub fn identify_dependent_concepts(
                 // Abstract parents qualify through their members.
                 DependentSemantics::Union(_) | DependentSemantics::Inheritance(_) => true,
                 DependentSemantics::Plain => match mapping.table(n) {
-                    Some(table) => table_is_categorical(kb, table, policy).unwrap_or(false)
-                        || !kb.table(table).map(|t| t.is_empty()).unwrap_or(true),
+                    Some(table) => {
+                        table_is_categorical(kb, table, policy).unwrap_or(false)
+                            || !kb.table(table).map(|t| t.is_empty()).unwrap_or(true)
+                    }
                     None => false,
                 },
             };
@@ -223,13 +222,8 @@ mod tests {
     fn dependents_of_drug_include_precaution_and_risk() {
         let (onto, kb, mapping) = fig2_fixture();
         let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
-        let deps = identify_dependent_concepts(
-            &onto,
-            &kb,
-            &mapping,
-            &keys,
-            CategoricalPolicy::default(),
-        );
+        let deps =
+            identify_dependent_concepts(&onto, &kb, &mapping, &keys, CategoricalPolicy::default());
         let drug = onto.concept_id("Drug").unwrap();
         let prec = onto.concept_id("Precaution").unwrap();
         let risk = onto.concept_id("Risk").unwrap();
@@ -242,31 +236,19 @@ mod tests {
     fn inheritance_semantics_detected() {
         let (onto, kb, mapping) = fig2_fixture();
         let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
-        let deps = identify_dependent_concepts(
-            &onto,
-            &kb,
-            &mapping,
-            &keys,
-            CategoricalPolicy::default(),
-        );
+        let deps =
+            identify_dependent_concepts(&onto, &kb, &mapping, &keys, CategoricalPolicy::default());
         let di = onto.concept_id("DrugInteraction").unwrap();
         let dep = deps.iter().find(|d| d.concept == di).expect("DrugInteraction dependent");
-        assert!(
-            matches!(dep.semantics, DependentSemantics::Inheritance(ref c) if c.len() == 2)
-        );
+        assert!(matches!(dep.semantics, DependentSemantics::Inheritance(ref c) if c.len() == 2));
     }
 
     #[test]
     fn key_concepts_are_not_their_own_dependents() {
         let (onto, kb, mapping) = fig2_fixture();
         let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
-        let deps = identify_dependent_concepts(
-            &onto,
-            &kb,
-            &mapping,
-            &keys,
-            CategoricalPolicy::default(),
-        );
+        let deps =
+            identify_dependent_concepts(&onto, &kb, &mapping, &keys, CategoricalPolicy::default());
         for d in &deps {
             assert!(!keys.contains(&d.concept));
         }
@@ -276,13 +258,8 @@ mod tests {
     fn completion_metadata_roundtrip() {
         let (onto, kb, mapping) = fig2_fixture();
         let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
-        let deps = identify_dependent_concepts(
-            &onto,
-            &kb,
-            &mapping,
-            &keys,
-            CategoricalPolicy::default(),
-        );
+        let deps =
+            identify_dependent_concepts(&onto, &kb, &mapping, &keys, CategoricalPolicy::default());
         let meta = CompletionMetadata::build(&deps);
         let drug = onto.concept_id("Drug").unwrap();
         let prec = onto.concept_id("Precaution").unwrap();

@@ -59,9 +59,9 @@ impl SynonymDict {
                     }
                 }
             }
-            None => self
-                .entries
-                .push((canonical, synonyms.iter().map(|s| s.to_string()).collect())),
+            None => {
+                self.entries.push((canonical, synonyms.iter().map(|s| s.to_string()).collect()))
+            }
         }
     }
 
@@ -103,11 +103,8 @@ pub fn extract_entities(
             m.extend(onto.is_a_children(c.id));
             m
         };
-        let kind = if members.is_empty() {
-            EntityKind::Concept
-        } else {
-            EntityKind::Grouping(members)
-        };
+        let kind =
+            if members.is_empty() { EntityKind::Concept } else { EntityKind::Grouping(members) };
         let spaced = crate::patterns::spaced(&c.name);
         let examples = instance_values(onto, kb, mapping, c.id, max_examples);
         out.push(EntityDef {

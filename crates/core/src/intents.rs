@@ -66,11 +66,9 @@ impl Intent {
 pub fn intent_name(onto: &Ontology, group: &[QueryPattern]) -> String {
     let lead = &group[0];
     match lead.kind {
-        PatternKind::Lookup => format!(
-            "{} of {}",
-            pluralish(&lead.topic),
-            onto.concept_name(lead.required[0])
-        ),
+        PatternKind::Lookup => {
+            format!("{} of {}", pluralish(&lead.topic), onto.concept_name(lead.required[0]))
+        }
         PatternKind::DirectRelationship => format!(
             "{} That {} {}",
             pluralish(&lead.topic),
@@ -204,9 +202,7 @@ fn title_case(phrase: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::concepts::{
-        identify_dependent_concepts, identify_key_concepts, KeyConceptConfig,
-    };
+    use crate::concepts::{identify_dependent_concepts, identify_key_concepts, KeyConceptConfig};
     use crate::patterns::{
         direct_relationship_patterns, indirect_relationship_patterns, lookup_patterns,
     };
@@ -216,13 +212,8 @@ mod tests {
     fn intents() -> (Ontology, Vec<Intent>) {
         let (onto, kb, mapping) = fig2_fixture();
         let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
-        let deps = identify_dependent_concepts(
-            &onto,
-            &kb,
-            &mapping,
-            &keys,
-            CategoricalPolicy::default(),
-        );
+        let deps =
+            identify_dependent_concepts(&onto, &kb, &mapping, &keys, CategoricalPolicy::default());
         let lookups = lookup_patterns(&onto, &deps);
         let mut rels = direct_relationship_patterns(&onto, &keys);
         rels.extend(indirect_relationship_patterns(&onto, &keys, 2));

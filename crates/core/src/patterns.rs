@@ -112,10 +112,7 @@ pub fn spaced(name: &str) -> String {
 /// union/inheritance dependents. Returns groups — each group is the set of
 /// patterns that share one intent (Fig. 4: the union parent's pattern plus
 /// one per member).
-pub fn lookup_patterns(
-    onto: &Ontology,
-    dependents: &[DependentConcept],
-) -> Vec<Vec<QueryPattern>> {
+pub fn lookup_patterns(onto: &Ontology, dependents: &[DependentConcept]) -> Vec<Vec<QueryPattern>> {
     let mut groups = Vec::new();
     for dep in dependents {
         let mut group = Vec::new();
@@ -251,30 +248,21 @@ pub fn indirect_relationship_patterns(
 /// A human phrase for the path's relationship: the name of its last hop
 /// (the hop that reaches the far key concept).
 fn relation_of_path(onto: &Ontology, path: &Path) -> Option<String> {
-    path.hops
-        .last()
-        .map(|h| onto.object_property(h.property).name.clone())
+    path.hops.last().map(|h| onto.object_property(h.property).name.clone())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::concepts::{
-        identify_dependent_concepts, identify_key_concepts, KeyConceptConfig,
-    };
+    use crate::concepts::{identify_dependent_concepts, identify_key_concepts, KeyConceptConfig};
     use obcs_kb::stats::CategoricalPolicy;
     use obcs_ontology::OntologyBuilder;
 
     fn fig2() -> (Ontology, Vec<ConceptId>, Vec<DependentConcept>) {
         let (onto, kb, mapping) = crate::testutil::fig2_fixture();
         let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
-        let deps = identify_dependent_concepts(
-            &onto,
-            &kb,
-            &mapping,
-            &keys,
-            CategoricalPolicy::default(),
-        );
+        let deps =
+            identify_dependent_concepts(&onto, &kb, &mapping, &keys, CategoricalPolicy::default());
         (onto, keys, deps)
     }
 
@@ -282,10 +270,8 @@ mod tests {
     fn lookup_pattern_renders_like_figure3() {
         let (onto, _, deps) = fig2();
         let groups = lookup_patterns(&onto, &deps);
-        let rendered: Vec<String> = groups
-            .iter()
-            .flat_map(|g| g.iter().map(|p| p.render(&onto)))
-            .collect();
+        let rendered: Vec<String> =
+            groups.iter().flat_map(|g| g.iter().map(|p| p.render(&onto))).collect();
         assert!(
             rendered.contains(&"Show me the Precaution for <@Drug>?".to_string()),
             "rendered: {rendered:?}"
@@ -297,10 +283,7 @@ mod tests {
         let (onto, _, deps) = fig2();
         let groups = lookup_patterns(&onto, &deps);
         let risk = onto.concept_id("Risk").unwrap();
-        let group = groups
-            .iter()
-            .find(|g| g[0].focus == risk)
-            .expect("risk lookup group");
+        let group = groups.iter().find(|g| g[0].focus == risk).expect("risk lookup group");
         assert_eq!(group.len(), 3, "parent + two members");
         let topics: Vec<&str> = group.iter().map(|p| p.topic.as_str()).collect();
         assert!(topics.contains(&"Contra Indication"));
@@ -347,9 +330,7 @@ mod tests {
         let dosage = onto.concept_id("Dosage").unwrap();
         assert_eq!(pats.len(), 2, "one 2-hop path → two patterns, got {pats:?}");
         assert!(pats.iter().any(|p| p.focus == dosage && p.required.len() == 2));
-        assert!(pats
-            .iter()
-            .any(|p| p.intermediates == vec![dosage] && p.required.len() == 1));
+        assert!(pats.iter().any(|p| p.intermediates == vec![dosage] && p.required.len() == 1));
     }
 
     #[test]

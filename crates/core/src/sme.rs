@@ -66,19 +66,15 @@ impl SmeFeedback {
 
     /// Adds a labelled prior user query.
     pub fn labelled_query(mut self, intent_name: &str, text: &str) -> Self {
-        self.labelled_queries.push(LabelledQuery {
-            intent_name: intent_name.to_string(),
-            text: text.to_string(),
-        });
+        self.labelled_queries
+            .push(LabelledQuery { intent_name: intent_name.to_string(), text: text.to_string() });
         self
     }
 
     /// Adds synonyms for a canonical phrase.
     pub fn synonym(mut self, canonical: &str, synonyms: &[&str]) -> Self {
-        self.synonyms.push((
-            canonical.to_string(),
-            synonyms.iter().map(|s| s.to_string()).collect(),
-        ));
+        self.synonyms
+            .push((canonical.to_string(), synonyms.iter().map(|s| s.to_string()).collect()));
         self
     }
 
@@ -96,8 +92,7 @@ impl SmeFeedback {
 
     /// Registers a conversation-management intent.
     pub fn management_intent(mut self, name: &str, response: &str) -> Self {
-        self.management_intents
-            .push((name.to_string(), response.to_string()));
+        self.management_intents.push((name.to_string(), response.to_string()));
         self
     }
 

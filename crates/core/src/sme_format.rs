@@ -74,10 +74,7 @@ pub fn parse(text: &str, onto: &Ontology) -> Result<SmeFeedback, SmeFormatError>
             continue;
         }
         let Some((directive, rest)) = line.split_once(':') else {
-            return Err(SmeFormatError::UnknownDirective {
-                line: lineno,
-                text: line.to_string(),
-            });
+            return Err(SmeFormatError::UnknownDirective { line: lineno, text: line.to_string() });
         };
         let rest = rest.trim();
         match directive.trim() {
@@ -92,11 +89,10 @@ pub fn parse(text: &str, onto: &Ontology) -> Result<SmeFeedback, SmeFormatError>
                 fb = fb.rename(from.trim(), to.trim());
             }
             "synonym" => {
-                let (canonical, list) =
-                    rest.split_once('=').ok_or(SmeFormatError::Malformed {
-                        line: lineno,
-                        message: "synonym needs `Canonical = a, b, c`".into(),
-                    })?;
+                let (canonical, list) = rest.split_once('=').ok_or(SmeFormatError::Malformed {
+                    line: lineno,
+                    message: "synonym needs `Canonical = a, b, c`".into(),
+                })?;
                 let synonyms: Vec<&str> =
                     list.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
                 if synonyms.is_empty() {
@@ -108,27 +104,23 @@ pub fn parse(text: &str, onto: &Ontology) -> Result<SmeFeedback, SmeFormatError>
                 fb = fb.synonym(canonical.trim(), &synonyms);
             }
             "example" => {
-                let (intent, example) =
-                    rest.split_once("::").ok_or(SmeFormatError::Malformed {
-                        line: lineno,
-                        message: "example needs `Intent Name :: utterance`".into(),
-                    })?;
+                let (intent, example) = rest.split_once("::").ok_or(SmeFormatError::Malformed {
+                    line: lineno,
+                    message: "example needs `Intent Name :: utterance`".into(),
+                })?;
                 fb = fb.labelled_query(intent.trim(), example.trim());
             }
             "entity-only" => {
-                let concept =
-                    onto.concept_id(rest).map_err(|_| SmeFormatError::UnknownConcept {
-                        line: lineno,
-                        name: rest.to_string(),
-                    })?;
+                let concept = onto.concept_id(rest).map_err(|_| {
+                    SmeFormatError::UnknownConcept { line: lineno, name: rest.to_string() }
+                })?;
                 fb = fb.entity_only(concept);
             }
             "management" => {
-                let (name, response) =
-                    rest.split_once("::").ok_or(SmeFormatError::Malformed {
-                        line: lineno,
-                        message: "management needs `Name :: response`".into(),
-                    })?;
+                let (name, response) = rest.split_once("::").ok_or(SmeFormatError::Malformed {
+                    line: lineno,
+                    message: "management needs `Name :: response`".into(),
+                })?;
                 fb = fb.management_intent(name.trim(), response.trim());
             }
             "pattern" => {
@@ -157,10 +149,8 @@ fn parse_pattern(
     lineno: usize,
 ) -> Result<QueryPattern, SmeFormatError> {
     let resolve = |name: &str| {
-        onto.concept_id(name).map_err(|_| SmeFormatError::UnknownConcept {
-            line: lineno,
-            name: name.to_string(),
-        })
+        onto.concept_id(name)
+            .map_err(|_| SmeFormatError::UnknownConcept { line: lineno, name: name.to_string() })
     };
     let tokens: Vec<&str> = spec.split_whitespace().collect();
     match tokens.as_slice() {
@@ -274,10 +264,7 @@ pattern: Drugs That Treat Indication :: relationship Drug treats Indication
         assert_eq!(fb.management_intents[0].0, "Greeting");
         assert_eq!(fb.additional_intents.len(), 2);
         assert_eq!(fb.additional_intents[0].1[0].kind, PatternKind::Lookup);
-        assert_eq!(
-            fb.additional_intents[1].1[0].relation_phrase.as_deref(),
-            Some("treats")
-        );
+        assert_eq!(fb.additional_intents[1].1[0].relation_phrase.as_deref(), Some("treats"));
     }
 
     #[test]
@@ -317,17 +304,8 @@ pattern: Drugs That Treat Indication :: relationship Drug treats Indication
             &onto,
         )
         .expect("parses");
-        let space = crate::bootstrap(
-            &onto,
-            &kb,
-            &mapping,
-            crate::BootstrapConfig::default(),
-            &fb,
-        );
+        let space = crate::bootstrap(&onto, &kb, &mapping, crate::BootstrapConfig::default(), &fb);
         assert!(space.intent_by_name("DRUG_GENERAL").is_some());
-        assert!(space
-            .training
-            .iter()
-            .any(|e| e.text == "is aspirin safe to give"));
+        assert!(space.training.iter().any(|e| e.text == "is aspirin safe to give"));
     }
 }

@@ -182,12 +182,10 @@ pub fn bootstrap(
     // definitions).
     let mut synonyms = SynonymDict::new();
     sme.apply_synonyms(&mut synonyms);
-    let entities =
-        extract_entities(onto, kb, mapping, &synonyms, config.max_entity_examples);
+    let entities = extract_entities(onto, kb, mapping, &synonyms, config.max_entity_examples);
 
     // §4.3 — training examples: generated + SME augmentation.
-    let mut training =
-        generate_all(&intents, onto, kb, mapping, &synonyms, config.training);
+    let mut training = generate_all(&intents, onto, kb, mapping, &synonyms, config.training);
     let (sme_examples, _unresolved) = sme.training_examples(&intents);
     training.extend(sme_examples);
 
@@ -240,10 +238,7 @@ mod tests {
     #[test]
     fn sme_examples_present_in_training() {
         let (_, _, _, space) = space();
-        assert!(space
-            .training
-            .iter()
-            .any(|e| e.text == "is aspirin safe to give?"));
+        assert!(space.training.iter().any(|e| e.text == "is aspirin safe to give?"));
     }
 
     #[test]

@@ -67,10 +67,9 @@ pub fn generate_templates(
         let mut templates = Vec::new();
         for pattern in intent.patterns() {
             match template_for_pattern(pattern, onto, kb, mapping) {
-                Ok(t) => templates.push(LabeledTemplate {
-                    topic: pattern.topic.clone(),
-                    template: t,
-                }),
+                Ok(t) => {
+                    templates.push(LabeledTemplate { topic: pattern.topic.clone(), template: t })
+                }
                 Err(e) => skipped.push((intent.id, pattern.topic.clone(), e.to_string())),
             }
         }
@@ -84,32 +83,19 @@ pub fn generate_templates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::concepts::{
-        identify_dependent_concepts, identify_key_concepts, KeyConceptConfig,
-    };
+    use crate::concepts::{identify_dependent_concepts, identify_key_concepts, KeyConceptConfig};
     use crate::intents::build_intents;
     use crate::patterns::{
-        direct_relationship_patterns, indirect_relationship_patterns, lookup_patterns,
-        PatternKind,
+        direct_relationship_patterns, indirect_relationship_patterns, lookup_patterns, PatternKind,
     };
     use crate::testutil::fig2_fixture;
     use obcs_kb::stats::CategoricalPolicy;
 
-    fn setup() -> (
-        Ontology,
-        KnowledgeBase,
-        OntologyMapping,
-        Vec<Intent>,
-    ) {
+    fn setup() -> (Ontology, KnowledgeBase, OntologyMapping, Vec<Intent>) {
         let (onto, kb, mapping) = fig2_fixture();
         let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
-        let deps = identify_dependent_concepts(
-            &onto,
-            &kb,
-            &mapping,
-            &keys,
-            CategoricalPolicy::default(),
-        );
+        let deps =
+            identify_dependent_concepts(&onto, &kb, &mapping, &keys, CategoricalPolicy::default());
         let lookups = lookup_patterns(&onto, &deps);
         let mut rels = direct_relationship_patterns(&onto, &keys);
         rels.extend(indirect_relationship_patterns(&onto, &keys, 2));
@@ -121,12 +107,8 @@ mod tests {
     #[test]
     fn lookup_template_matches_figure9_shape() {
         let (onto, kb, mapping, intents) = setup();
-        let prec_intent = intents
-            .iter()
-            .find(|i| i.name == "Precautions of Drug")
-            .unwrap();
-        let tpl =
-            template_for_pattern(&prec_intent.patterns()[0], &onto, &kb, &mapping).unwrap();
+        let prec_intent = intents.iter().find(|i| i.name == "Precautions of Drug").unwrap();
+        let tpl = template_for_pattern(&prec_intent.patterns()[0], &onto, &kb, &mapping).unwrap();
         assert!(tpl.sql().contains("SELECT DISTINCT oPrecaution.description"), "{}", tpl.sql());
         assert!(tpl.sql().contains("INNER JOIN drug oDrug"), "{}", tpl.sql());
         assert!(tpl.sql().contains("oDrug.name = '<@Drug>'"), "{}", tpl.sql());
@@ -136,12 +118,8 @@ mod tests {
     fn templates_execute_after_instantiation() {
         let (onto, kb, mapping, intents) = setup();
         let drug = onto.concept_id("Drug").unwrap();
-        let prec_intent = intents
-            .iter()
-            .find(|i| i.name == "Precautions of Drug")
-            .unwrap();
-        let tpl =
-            template_for_pattern(&prec_intent.patterns()[0], &onto, &kb, &mapping).unwrap();
+        let prec_intent = intents.iter().find(|i| i.name == "Precautions of Drug").unwrap();
+        let tpl = template_for_pattern(&prec_intent.patterns()[0], &onto, &kb, &mapping).unwrap();
         let sql = tpl.instantiate(&[(drug, "Aspirin".into())]).unwrap();
         let rs = kb.query(&sql).unwrap();
         assert_eq!(rs.rows.len(), 1);
@@ -156,10 +134,8 @@ mod tests {
         // but the parent templates survive.
         assert!(!skipped.is_empty());
         let risk = onto.concept_id("Risk").unwrap();
-        let risk_intent = intents
-            .iter()
-            .find(|i| i.patterns().first().map(|p| p.focus) == Some(risk))
-            .unwrap();
+        let risk_intent =
+            intents.iter().find(|i| i.patterns().first().map(|p| p.focus) == Some(risk)).unwrap();
         let risk_templates = templates
             .iter()
             .find(|t| t.intent == risk_intent.id)

@@ -98,25 +98,18 @@ pub fn fig2_fixture() -> (Ontology, KnowledgeBase, OntologyMapping) {
         .expect("fixture rows");
     }
     for (i, n) in ["Fever", "Psoriasis"].iter().enumerate() {
-        kb.insert("indication", vec![Value::Int(i as i64), Value::text(*n)])
-            .expect("fixture rows");
+        kb.insert("indication", vec![Value::Int(i as i64), Value::text(*n)]).expect("fixture rows");
     }
     for t in ["precaution", "risk", "drug_interaction"] {
         for i in 0..3i64 {
-            kb.insert(
-                t,
-                vec![Value::Int(i), Value::Int(i), Value::text(format!("{t} info {i}"))],
-            )
-            .expect("fixture rows");
+            kb.insert(t, vec![Value::Int(i), Value::Int(i), Value::text(format!("{t} info {i}"))])
+                .expect("fixture rows");
         }
     }
     // Aspirin/Ibuprofen treat Fever; Tazarotene treats Psoriasis.
     for (i, (drug, ind)) in [(0, 0), (1, 0), (2, 1)].iter().enumerate() {
-        kb.insert(
-            "treats",
-            vec![Value::Int(i as i64), Value::Int(*drug), Value::Int(*ind)],
-        )
-        .expect("fixture rows");
+        kb.insert("treats", vec![Value::Int(i as i64), Value::Int(*drug), Value::Int(*ind)])
+            .expect("fixture rows");
     }
     for i in 0..3i64 {
         kb.insert(

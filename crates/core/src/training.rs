@@ -129,8 +129,7 @@ pub fn generate_for_intent(
     // Budget per pattern: intents grounded on several augmented patterns
     // (union/inheritance) share one intent-level budget so the classifier's
     // class sizes stay balanced.
-    let per_pattern =
-        ((config.examples_per_pattern * 3 / 2) / patterns.len().max(1)).max(4);
+    let per_pattern = ((config.examples_per_pattern * 3 / 2) / patterns.len().max(1)).max(4);
     for pattern in patterns {
         let frames = frames_for(pattern.kind, pattern.required.len());
         let instance_pools: Vec<Vec<String>> = pattern
@@ -145,22 +144,14 @@ pub fn generate_for_intent(
         // (§4.5 — synonyms are crucial for recall; "side effects" must
         // train the Adverse Effects intent).
         let mut topics = vec![pattern.topic.to_lowercase()];
-        topics.extend(
-            synonyms
-                .synonyms_of(&pattern.topic)
-                .iter()
-                .map(|s| s.to_lowercase()),
-        );
+        topics.extend(synonyms.synonyms_of(&pattern.topic).iter().map(|s| s.to_lowercase()));
         let mut seen = std::collections::HashSet::new();
         let mut attempts = 0;
         while seen.len() < per_pattern && attempts < per_pattern * 8 {
             attempts += 1;
             let frame = frames[rng.gen_range(0..frames.len())];
             let ip = LOOKUP_PHRASES[rng.gen_range(0..LOOKUP_PHRASES.len())];
-            let a = instance_pools[0]
-                .choose(rng)
-                .expect("pool non-empty")
-                .clone();
+            let a = instance_pools[0].choose(rng).expect("pool non-empty").clone();
             let b = instance_pools
                 .get(1)
                 .map(|p| p.choose(rng).expect("pool non-empty").clone())
@@ -173,11 +164,7 @@ pub fn generate_for_intent(
                 .join(" and ");
             // Relation names may be camelCase ontology identifiers
             // (`dosageFor`); verbalise them as words.
-            let rel = pattern
-                .relation_phrase
-                .as_deref()
-                .map(lower_spaced)
-                .unwrap_or_default();
+            let rel = pattern.relation_phrase.as_deref().map(lower_spaced).unwrap_or_default();
             let topic = &topics[rng.gen_range(0..topics.len())];
             let text = frame
                 .replace("{ip}", ip)
@@ -228,11 +215,7 @@ fn entity_only_examples(
             _ => format!("{v}?"),
         };
         if seen.insert(text.clone()) {
-            out.push(TrainingExample {
-                text,
-                intent: intent.id,
-                source: ExampleSource::Generated,
-            });
+            out.push(TrainingExample { text, intent: intent.id, source: ExampleSource::Generated });
         }
     }
     out
@@ -276,10 +259,8 @@ pub fn instance_values(
 ) -> Vec<String> {
     if let (Some(table), Some(label)) = (mapping.table(concept), mapping.label(concept)) {
         if let Ok(values) = sample_values(kb, table, label, limit) {
-            let texts: Vec<String> = values
-                .iter()
-                .filter_map(|v| v.as_text().map(str::to_string))
-                .collect();
+            let texts: Vec<String> =
+                values.iter().filter_map(|v| v.as_text().map(str::to_string)).collect();
             if !texts.is_empty() {
                 return texts;
             }
@@ -305,9 +286,7 @@ fn lower_spaced(name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::concepts::{
-        identify_dependent_concepts, identify_key_concepts, KeyConceptConfig,
-    };
+    use crate::concepts::{identify_dependent_concepts, identify_key_concepts, KeyConceptConfig};
     use crate::intents::{build_intents, entity_only_intent};
     use crate::patterns::{direct_relationship_patterns, lookup_patterns};
     use crate::testutil::fig2_fixture;
@@ -316,13 +295,8 @@ mod tests {
     fn setup() -> (Ontology, KnowledgeBase, OntologyMapping, Vec<Intent>) {
         let (onto, kb, mapping) = fig2_fixture();
         let keys = identify_key_concepts(&onto, &mapping, KeyConceptConfig::default());
-        let deps = identify_dependent_concepts(
-            &onto,
-            &kb,
-            &mapping,
-            &keys,
-            CategoricalPolicy::default(),
-        );
+        let deps =
+            identify_dependent_concepts(&onto, &kb, &mapping, &keys, CategoricalPolicy::default());
         let lookups = lookup_patterns(&onto, &deps);
         let rels = direct_relationship_patterns(&onto, &keys);
         let mut next = 0;
@@ -333,8 +307,14 @@ mod tests {
     #[test]
     fn examples_are_generated_and_labelled() {
         let (onto, kb, mapping, intents) = setup();
-        let examples =
-            generate_all(&intents, &onto, &kb, &mapping, &SynonymDict::new(), TrainingGenConfig::default());
+        let examples = generate_all(
+            &intents,
+            &onto,
+            &kb,
+            &mapping,
+            &SynonymDict::new(),
+            TrainingGenConfig::default(),
+        );
         assert!(!examples.is_empty());
         // Every query intent got some examples.
         for i in intents.iter().filter(|i| i.is_query()) {
@@ -359,14 +339,17 @@ mod tests {
     #[test]
     fn examples_are_unique_per_intent() {
         let (onto, kb, mapping, intents) = setup();
-        let examples =
-            generate_all(&intents, &onto, &kb, &mapping, &SynonymDict::new(), TrainingGenConfig::default());
+        let examples = generate_all(
+            &intents,
+            &onto,
+            &kb,
+            &mapping,
+            &SynonymDict::new(),
+            TrainingGenConfig::default(),
+        );
         for i in &intents {
-            let texts: Vec<&str> = examples
-                .iter()
-                .filter(|e| e.intent == i.id)
-                .map(|e| e.text.as_str())
-                .collect();
+            let texts: Vec<&str> =
+                examples.iter().filter(|e| e.intent == i.id).map(|e| e.text.as_str()).collect();
             let mut deduped = texts.clone();
             deduped.sort_unstable();
             deduped.dedup();
@@ -378,10 +361,8 @@ mod tests {
     fn union_intent_examples_cover_member_topics() {
         let (onto, kb, mapping, intents) = setup();
         let risk = onto.concept_id("Risk").unwrap();
-        let risk_intent = intents
-            .iter()
-            .find(|i| i.patterns().first().map(|p| p.focus) == Some(risk))
-            .unwrap();
+        let risk_intent =
+            intents.iter().find(|i| i.patterns().first().map(|p| p.focus) == Some(risk)).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let examples = generate_for_intent(
             risk_intent,

@@ -15,21 +15,15 @@ fn space_with(config: BootstrapConfig) -> obcs_core::ConversationSpace {
 
 #[test]
 fn every_centrality_measure_yields_a_usable_space() {
-    for measure in [
-        CentralityMeasure::Degree,
-        CentralityMeasure::PageRank,
-        CentralityMeasure::Betweenness,
-    ] {
+    for measure in
+        [CentralityMeasure::Degree, CentralityMeasure::PageRank, CentralityMeasure::Betweenness]
+    {
         let space = space_with(BootstrapConfig {
             key_concepts: KeyConceptConfig { measure, ..Default::default() },
             ..Default::default()
         });
         let inv = space.inventory();
-        assert!(
-            inv.lookup_intents >= 3,
-            "{measure:?}: lookup intents {}",
-            inv.lookup_intents
-        );
+        assert!(inv.lookup_intents >= 3, "{measure:?}: lookup intents {}", inv.lookup_intents);
         assert!(inv.training_examples > 0, "{measure:?}");
     }
 }
@@ -37,10 +31,7 @@ fn every_centrality_measure_yields_a_usable_space() {
 #[test]
 fn top_k_cut_bounds_the_key_set() {
     let space = space_with(BootstrapConfig {
-        key_concepts: KeyConceptConfig {
-            cut: Cut::TopK(1),
-            ..Default::default()
-        },
+        key_concepts: KeyConceptConfig { cut: Cut::TopK(1), ..Default::default() },
         ..Default::default()
     });
     assert_eq!(space.key_concepts.len(), 1);

@@ -83,18 +83,12 @@ impl ConversationContext {
 
     /// The current value of an entity concept.
     pub fn entity(&self, concept: ConceptId) -> Option<&str> {
-        self.entities
-            .iter()
-            .find(|e| e.concept == concept)
-            .map(|e| e.value.as_str())
+        self.entities.iter().find(|e| e.concept == concept).map(|e| e.value.as_str())
     }
 
     /// All `(concept, value)` pairs, e.g. for template instantiation.
     pub fn entity_values(&self) -> Vec<(ConceptId, String)> {
-        self.entities
-            .iter()
-            .map(|e| (e.concept, e.value.clone()))
-            .collect()
+        self.entities.iter().map(|e| (e.concept, e.value.clone())).collect()
     }
 
     /// Whether every concept in the slice has a value.

@@ -97,16 +97,16 @@ impl DialogueLogicTable {
         let mut out = String::new();
         out.push_str(&format!(
             "{:<38} | {:<44} | {:<22} | {:<28} | {}\n",
-            "Intent Name", "Intent Example", "Required Entities", "Agent Elicitation", "Agent Response"
+            "Intent Name",
+            "Intent Example",
+            "Required Entities",
+            "Agent Elicitation",
+            "Agent Response"
         ));
         for row in &self.rows {
-            let required: Vec<&str> = row
-                .required
-                .iter()
-                .map(|r| onto.concept_name(r.concept))
-                .collect();
-            let elicit: Vec<&str> =
-                row.required.iter().map(|r| r.elicitation.as_str()).collect();
+            let required: Vec<&str> =
+                row.required.iter().map(|r| onto.concept_name(r.concept)).collect();
+            let elicit: Vec<&str> = row.required.iter().map(|r| r.elicitation.as_str()).collect();
             out.push_str(&format!(
                 "{:<38} | {:<44} | {:<22} | {:<28} | {}\n",
                 truncate(&row.intent_name, 38),
@@ -138,18 +138,13 @@ fn truncate(s: &str, n: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use obcs_core::{bootstrap, BootstrapConfig, SmeFeedback};
     use obcs_core::testutil::fig2_fixture;
+    use obcs_core::{bootstrap, BootstrapConfig, SmeFeedback};
 
     fn table() -> (Ontology, ConversationSpace, DialogueLogicTable) {
         let (onto, kb, mapping) = fig2_fixture();
-        let space = bootstrap(
-            &onto,
-            &kb,
-            &mapping,
-            BootstrapConfig::default(),
-            &SmeFeedback::new(),
-        );
+        let space =
+            bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
         let table = DialogueLogicTable::from_space(&space, &onto);
         (onto, space, table)
     }

@@ -101,9 +101,7 @@ impl ManagementPattern {
     /// trigger matches any non-empty span: `what do you mean by *` is a
     /// prefix pattern, `what does * mean` an infix pattern.
     pub fn matches(&self, normalized: &str) -> bool {
-        self.triggers
-            .iter()
-            .any(|t| wildcard_capture(t, normalized).is_some())
+        self.triggers.iter().any(|t| wildcard_capture(t, normalized).is_some())
     }
 }
 
@@ -349,10 +347,7 @@ mod tests {
     #[test]
     fn repeat_and_abort_and_closing() {
         let c = ManagementCatalog::standard();
-        assert_eq!(
-            c.detect("What did you say?").unwrap().action,
-            ManagementAction::RepeatRequest
-        );
+        assert_eq!(c.detect("What did you say?").unwrap().action, ManagementAction::RepeatRequest);
         assert_eq!(c.detect("never mind").unwrap().action, ManagementAction::Abort);
         assert_eq!(c.detect("goodbye").unwrap().action, ManagementAction::Closing);
     }

@@ -75,11 +75,7 @@ pub struct DialogueTree {
 impl DialogueTree {
     /// Builds the tree from a bootstrapped conversation space (§5.2 steps
     /// 1–3).
-    pub fn from_space(
-        space: &ConversationSpace,
-        onto: &Ontology,
-        agent_name: &str,
-    ) -> Self {
+    pub fn from_space(space: &ConversationSpace, onto: &Ontology, agent_name: &str) -> Self {
         let logic = DialogueLogicTable::from_space(space, onto);
         // Proposals: for each key concept, the lookup intents that require
         // it, in intent order.
@@ -151,10 +147,7 @@ impl DialogueTree {
 
     fn definition_of(&self, term: &str) -> Option<&str> {
         let norm = crate::management::normalize(term);
-        self.glossary
-            .iter()
-            .find(|g| g.term == norm)
-            .map(|g| g.definition.as_str())
+        self.glossary.iter().find(|g| g.term == norm).map(|g| g.definition.as_str())
     }
 
     /// Evaluates one turn (Fig. 10). Mutates the context (entities, active
@@ -190,8 +183,7 @@ impl DialogueTree {
                     return AgentAction::Say { text };
                 }
                 ManagementAction::DefinitionRequest => {
-                    if let Some(term) =
-                        ManagementCatalog::captured_term(pattern, &input.utterance)
+                    if let Some(term) = ManagementCatalog::captured_term(pattern, &input.utterance)
                     {
                         if let Some(def) = self.definition_of(&term) {
                             return AgentAction::Say {
@@ -228,9 +220,7 @@ impl DialogueTree {
                 ManagementAction::Deny => {
                     if let Some(rejected) = ctx.proposal.take() {
                         ctx.rejected_proposals.push(rejected);
-                        return AgentAction::Say {
-                            text: "OK. Please modify your search.".into(),
-                        };
+                        return AgentAction::Say { text: "OK. Please modify your search.".into() };
                     }
                     return AgentAction::Close {
                         text: format!("Thank you for using {}. Goodbye.", self.agent_name),
@@ -253,9 +243,7 @@ impl DialogueTree {
 
         // 3. Domain intent handling with slot filling.
         if let Some(intent_id) = input.intent {
-            if let Some((_, concept)) =
-                self.entity_only.iter().find(|(id, _)| *id == intent_id)
-            {
+            if let Some((_, concept)) = self.entity_only.iter().find(|(id, _)| *id == intent_id) {
                 return self.propose_for(ctx, *concept);
             }
             ctx.set_intent(intent_id);
@@ -318,10 +306,7 @@ impl DialogueTree {
                     .to_string(),
             };
         };
-        let next = intents
-            .iter()
-            .find(|i| !ctx.rejected_proposals.contains(i))
-            .copied();
+        let next = intents.iter().find(|i| !ctx.rejected_proposals.contains(i)).copied();
         match next {
             Some(intent) => {
                 ctx.proposal = Some(intent);
@@ -332,9 +317,7 @@ impl DialogueTree {
                         // "Precautions of Drug" reads as "precautions" when
                         // proposed about a specific drug.
                         let n = r.intent_name.to_lowercase();
-                        n.trim_end_matches(" of drug")
-                            .trim_end_matches(" for drug")
-                            .to_string()
+                        n.trim_end_matches(" of drug").trim_end_matches(" for drug").to_string()
                     })
                     .unwrap_or_default();
                 let value = ctx.entity(concept).unwrap_or("it").to_string();
@@ -368,22 +351,22 @@ mod tests {
     fn tree() -> (Ontology, ConversationSpace, DialogueTree) {
         let (mut onto, kb, mapping) = fig2_fixture();
         let drug = onto.concept_id("Drug").unwrap();
-        onto.set_description(drug, "a substance used to treat a condition")
-            .unwrap();
+        onto.set_description(drug, "a substance used to treat a condition").unwrap();
         let sme = SmeFeedback::new().entity_only(drug);
         let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &sme);
         let tree = DialogueTree::from_space(&space, &onto, "Micromedex");
         (onto, space, tree)
     }
 
-    fn turn(intent: Option<IntentId>, utterance: &str, entities: &[(ConceptId, &str)]) -> TurnInput {
+    fn turn(
+        intent: Option<IntentId>,
+        utterance: &str,
+        entities: &[(ConceptId, &str)],
+    ) -> TurnInput {
         TurnInput {
             utterance: utterance.to_string(),
             intent,
-            entities: entities
-                .iter()
-                .map(|&(c, v)| (c, v.to_string()))
-                .collect(),
+            entities: entities.iter().map(|&(c, v)| (c, v.to_string())).collect(),
         }
     }
 
@@ -442,10 +425,8 @@ mod tests {
             &turn(Some(prec.id), "precautions for aspirin", &[(drug, "Aspirin")]),
         );
         // "how about for Ibuprofen?" — entity only, intent persists (§6.3).
-        let action = tree.evaluate(
-            &mut ctx,
-            &turn(None, "how about for ibuprofen", &[(drug, "Ibuprofen")]),
-        );
+        let action =
+            tree.evaluate(&mut ctx, &turn(None, "how about for ibuprofen", &[(drug, "Ibuprofen")]));
         assert_eq!(action, AgentAction::Fulfill { intent: prec.id });
         assert_eq!(ctx.entity(drug), Some("Ibuprofen"));
     }
@@ -458,8 +439,7 @@ mod tests {
             "the capacity for beneficial change of a given intervention.",
         );
         let mut ctx = ConversationContext::new();
-        let action =
-            tree.evaluate(&mut ctx, &turn(None, "what do you mean by effective?", &[]));
+        let action = tree.evaluate(&mut ctx, &turn(None, "what do you mean by effective?", &[]));
         match action {
             AgentAction::Say { text } => {
                 assert!(text.contains("Effective is the capacity"), "{text}");
@@ -487,10 +467,8 @@ mod tests {
         let general = space.intent_by_name("DRUG_GENERAL").unwrap();
         let mut ctx = ConversationContext::new();
         // "cogentin" — entity-only intent detected.
-        let action = tree.evaluate(
-            &mut ctx,
-            &turn(Some(general.id), "aspirin", &[(drug, "Aspirin")]),
-        );
+        let action =
+            tree.evaluate(&mut ctx, &turn(Some(general.id), "aspirin", &[(drug, "Aspirin")]));
         let first_proposal = match action {
             AgentAction::Propose { intent, text } => {
                 assert!(text.contains("Would you like to see"), "{text}");
@@ -501,10 +479,7 @@ mod tests {
         };
         // "no" → rejection prompt.
         let action = tree.evaluate(&mut ctx, &turn(None, "no", &[]));
-        assert_eq!(
-            action,
-            AgentAction::Say { text: "OK. Please modify your search.".into() }
-        );
+        assert_eq!(action, AgentAction::Say { text: "OK. Please modify your search.".into() });
         // Mentioning the entity again proposes a *different* intent.
         let action = tree.evaluate(&mut ctx, &turn(None, "aspirin", &[(drug, "Aspirin")]));
         match action {

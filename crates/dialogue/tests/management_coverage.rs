@@ -12,9 +12,9 @@ fn every_pattern_is_reachable_by_its_own_triggers() {
         for t in &p.triggers {
             // Wildcards stand in for some concrete term.
             let probe = t.replace('*', "something");
-            let hit = c.detect(&probe).unwrap_or_else(|| {
-                panic!("trigger `{t}` of `{}` matched nothing", p.id)
-            });
+            let hit = c
+                .detect(&probe)
+                .unwrap_or_else(|| panic!("trigger `{t}` of `{}` matched nothing", p.id));
             // The *first* matching pattern wins; it must at least be a
             // pattern with the same action, or the pattern itself.
             assert!(
@@ -45,10 +45,7 @@ fn trigger_phrases_are_normalised_and_unique_per_action() {
     for p in &c.patterns {
         for t in &p.triggers {
             if let Some((prev, action)) = seen.iter().find(|(s, _)| s == t) {
-                assert_eq!(
-                    *action, p.action,
-                    "trigger `{prev}` is claimed by two actions"
-                );
+                assert_eq!(*action, p.action, "trigger `{prev}` is claimed by two actions");
             }
             seen.push((t, p.action));
         }
@@ -71,9 +68,7 @@ fn paper_transcript_phrasings_resolve() {
         ("help", ManagementAction::HelpRequest),
     ];
     for (utterance, action) in cases {
-        let p = c
-            .detect(utterance)
-            .unwrap_or_else(|| panic!("`{utterance}` unmatched"));
+        let p = c.detect(utterance).unwrap_or_else(|| panic!("`{utterance}` unmatched"));
         assert_eq!(p.action, action, "`{utterance}`");
     }
 }

@@ -77,10 +77,8 @@ fn switching_topics_keeps_compatible_entities() {
     let prec = space.intent_by_name("Precautions of Drug").unwrap();
     let risks = space.intent_by_name("Risks of Drug").unwrap();
     let mut ctx = ConversationContext::new();
-    let a1 = tree.evaluate(
-        &mut ctx,
-        &turn(Some(prec.id), "precautions for aspirin", &[(drug, "Aspirin")]),
-    );
+    let a1 = tree
+        .evaluate(&mut ctx, &turn(Some(prec.id), "precautions for aspirin", &[(drug, "Aspirin")]));
     assert_eq!(a1, AgentAction::Fulfill { intent: prec.id });
     // New intent, no entity mentioned: Drug carries over, fulfils directly.
     let a2 = tree.evaluate(&mut ctx, &turn(Some(risks.id), "and the risks?", &[]));
@@ -107,10 +105,8 @@ fn definition_of_unknown_term_falls_through_to_domain() {
     // "what does Aspirin mean" captures a term with no glossary entry; the
     // engine treats it as domain input (here: an entity mention →
     // proposal).
-    let action = tree.evaluate(
-        &mut ctx,
-        &turn(None, "what does Aspirin mean", &[(drug, "Aspirin")]),
-    );
+    let action =
+        tree.evaluate(&mut ctx, &turn(None, "what does Aspirin mean", &[(drug, "Aspirin")]));
     assert!(
         matches!(action, AgentAction::Propose { .. }),
         "unknown term falls through: {action:?}"

@@ -62,10 +62,7 @@ pub fn generate_ontology(
         }
     }
     let concept_for = |table: &str| -> Option<ConceptId> {
-        concept_of
-            .iter()
-            .find(|(t, _)| t == table)
-            .map(|&(_, c)| c)
+        concept_of.iter().find(|(t, _)| t == table).map(|&(_, c)| c)
     };
 
     // Pass 2: relationships. PK-as-FK → isA candidate; other FK →
@@ -95,10 +92,8 @@ pub fn generate_ontology(
     parents.sort();
     parents.dedup();
     for parent in parents {
-        let children: Vec<&(ConceptId, ConceptId, String)> = isa_children
-            .iter()
-            .filter(|&&(_, p, _)| p == parent)
-            .collect();
+        let children: Vec<&(ConceptId, ConceptId, String)> =
+            isa_children.iter().filter(|&&(_, p, _)| p == parent).collect();
         let make_union = options.detect_unions
             && children.len() >= 2
             && partitions_parent(kb, &concept_of, parent, &children)?;
@@ -186,7 +181,9 @@ mod tests {
     use super::*;
     use crate::schema::{ColumnType, TableSchema};
 
-    fn kb() -> KnowledgeBase {
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn kb() -> Result<KnowledgeBase, Box<dyn std::error::Error>> {
         let mut kb = KnowledgeBase::new();
         kb.create_table(
             TableSchema::new("drug")
@@ -194,8 +191,7 @@ mod tests {
                 .column("name", ColumnType::Text)
                 .column("brand", ColumnType::Text)
                 .primary_key("drug_id"),
-        )
-        .unwrap();
+        )?;
         kb.create_table(
             TableSchema::new("precaution")
                 .column("prec_id", ColumnType::Int)
@@ -203,16 +199,14 @@ mod tests {
                 .column("description", ColumnType::Text)
                 .primary_key("prec_id")
                 .foreign_key("drug_id", "drug", "drug_id"),
-        )
-        .unwrap();
+        )?;
         // Risk hierarchy: risk(pk), contra_indication(pk=fk), black_box_warning(pk=fk)
         kb.create_table(
             TableSchema::new("risk")
                 .column("risk_id", ColumnType::Int)
                 .column("summary", ColumnType::Text)
                 .primary_key("risk_id"),
-        )
-        .unwrap();
+        )?;
         for child in ["contra_indication", "black_box_warning"] {
             kb.create_table(
                 TableSchema::new(child)
@@ -220,97 +214,101 @@ mod tests {
                     .column("detail", ColumnType::Text)
                     .primary_key("risk_id")
                     .foreign_key("risk_id", "risk", "risk_id"),
-            )
-            .unwrap();
+            )?;
         }
-        kb
+        Ok(kb)
     }
 
-    fn populate_union(kb: &mut KnowledgeBase) {
+    fn populate_union(kb: &mut KnowledgeBase) -> Result<(), Box<dyn std::error::Error>> {
         for i in 0..6 {
-            kb.insert("risk", vec![Value::Int(i), Value::text(format!("r{i}"))]).unwrap();
+            kb.insert("risk", vec![Value::Int(i), Value::text(format!("r{i}"))])?;
         }
         for i in 0..3 {
-            kb.insert("contra_indication", vec![Value::Int(i), Value::text("ci")]).unwrap();
+            kb.insert("contra_indication", vec![Value::Int(i), Value::text("ci")])?;
         }
         for i in 3..6 {
-            kb.insert("black_box_warning", vec![Value::Int(i), Value::text("bbw")]).unwrap();
+            kb.insert("black_box_warning", vec![Value::Int(i), Value::text("bbw")])?;
         }
+        Ok(())
     }
 
     #[test]
-    fn tables_become_concepts_with_data_properties() {
-        let kb = kb();
-        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
-        let drug = o.concept_by_name("Drug").unwrap();
+    fn tables_become_concepts_with_data_properties() -> TestResult {
+        let kb = kb()?;
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default())?;
+        let drug = o.concept_by_name("Drug").ok_or("Drug concept missing")?;
         let props: Vec<&str> = o.data_properties_of(drug.id).map(|p| p.name.as_str()).collect();
         assert_eq!(props, vec!["name", "brand"], "keys are not data properties");
         assert!(o.concept_by_name("Precaution").is_some());
         assert!(o.concept_by_name("BlackBoxWarning").is_some());
+        Ok(())
     }
 
     #[test]
-    fn fk_becomes_functional_relationship() {
-        let kb = kb();
-        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
-        let prec = o.concept_id("Precaution").unwrap();
-        let rels: Vec<_> = o
-            .outgoing(prec)
-            .filter(|op| op.kind == RelationKind::Functional)
-            .collect();
+    fn fk_becomes_functional_relationship() -> TestResult {
+        let kb = kb()?;
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default())?;
+        let prec = o.concept_id("Precaution")?;
+        let rels: Vec<_> =
+            o.outgoing(prec).filter(|op| op.kind == RelationKind::Functional).collect();
         assert_eq!(rels.len(), 1);
         assert_eq!(rels[0].name, "hasDrug");
         assert_eq!(o.concept_name(rels[0].target), "Drug");
+        Ok(())
     }
 
     #[test]
-    fn pk_as_fk_yields_isa_without_union_data() {
-        let kb = kb(); // empty instance data → cannot verify partition
-        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
-        let risk = o.concept_id("Risk").unwrap();
+    fn pk_as_fk_yields_isa_without_union_data() -> TestResult {
+        let kb = kb()?; // empty instance data → cannot verify partition
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default())?;
+        let risk = o.concept_id("Risk")?;
         assert_eq!(o.is_a_children(risk).len(), 2);
         assert!(o.union_members(risk).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn partitioning_children_upgrade_to_union() {
-        let mut kb = kb();
-        populate_union(&mut kb);
-        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
-        let risk = o.concept_id("Risk").unwrap();
+    fn partitioning_children_upgrade_to_union() -> TestResult {
+        let mut kb = kb()?;
+        populate_union(&mut kb)?;
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default())?;
+        let risk = o.concept_id("Risk")?;
         assert_eq!(o.union_members(risk).len(), 2);
         assert!(o.is_a_children(risk).is_empty());
+        Ok(())
     }
 
     #[test]
-    fn overlap_prevents_union() {
-        let mut kb = kb();
-        populate_union(&mut kb);
+    fn overlap_prevents_union() -> TestResult {
+        let mut kb = kb()?;
+        populate_union(&mut kb)?;
         // Key 0 is already a contra_indication; adding it as a black box
         // warning makes the children overlap → not disjoint.
-        kb.insert("black_box_warning", vec![Value::Int(0), Value::text("dup")]).unwrap();
-        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
-        let risk = o.concept_id("Risk").unwrap();
+        kb.insert("black_box_warning", vec![Value::Int(0), Value::text("dup")])?;
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default())?;
+        let risk = o.concept_id("Risk")?;
         assert!(o.union_members(risk).is_empty(), "overlapping children → isA only");
         assert_eq!(o.is_a_children(risk).len(), 2);
 
         // Non-exhaustive coverage also prevents the upgrade.
-        let mut kb2 = self::kb();
-        populate_union(&mut kb2);
-        kb2.insert("risk", vec![Value::Int(6), Value::text("uncovered")]).unwrap();
-        let o2 = generate_ontology(&kb2, "gen", OntogenOptions::default()).unwrap();
-        let risk2 = o2.concept_id("Risk").unwrap();
+        let mut kb2 = self::kb()?;
+        populate_union(&mut kb2)?;
+        kb2.insert("risk", vec![Value::Int(6), Value::text("uncovered")])?;
+        let o2 = generate_ontology(&kb2, "gen", OntogenOptions::default())?;
+        let risk2 = o2.concept_id("Risk")?;
         assert!(o2.union_members(risk2).is_empty(), "non-exhaustive → isA only");
+        Ok(())
     }
 
     #[test]
-    fn union_detection_can_be_disabled() {
-        let mut kb = kb();
-        populate_union(&mut kb);
-        let o = generate_ontology(&kb, "gen", OntogenOptions { detect_unions: false }).unwrap();
-        let risk = o.concept_id("Risk").unwrap();
+    fn union_detection_can_be_disabled() -> TestResult {
+        let mut kb = kb()?;
+        populate_union(&mut kb)?;
+        let o = generate_ontology(&kb, "gen", OntogenOptions { detect_unions: false })?;
+        let risk = o.concept_id("Risk")?;
         assert!(o.union_members(risk).is_empty());
         assert_eq!(o.is_a_children(risk).len(), 2);
+        Ok(())
     }
 
     #[test]
@@ -328,10 +326,11 @@ mod tests {
     }
 
     #[test]
-    fn generated_ontology_validates() {
-        let mut kb = kb();
-        populate_union(&mut kb);
-        let o = generate_ontology(&kb, "gen", OntogenOptions::default()).unwrap();
+    fn generated_ontology_validates() -> TestResult {
+        let mut kb = kb()?;
+        populate_union(&mut kb)?;
+        let o = generate_ontology(&kb, "gen", OntogenOptions::default())?;
         assert!(obcs_ontology::validate(&o).is_empty());
+        Ok(())
     }
 }

@@ -159,17 +159,14 @@ mod tests {
 
     #[test]
     fn check_rejects_duplicate_columns() {
-        let s = TableSchema::new("t")
-            .column("a", ColumnType::Int)
-            .column("a", ColumnType::Text);
+        let s = TableSchema::new("t").column("a", ColumnType::Int).column("a", ColumnType::Text);
         assert!(s.check().is_err());
     }
 
     #[test]
     fn check_rejects_missing_fk_column() {
-        let s = TableSchema::new("t")
-            .column("a", ColumnType::Int)
-            .foreign_key("nope", "other", "id");
+        let s =
+            TableSchema::new("t").column("a", ColumnType::Int).foreign_key("nope", "other", "id");
         assert!(s.check().is_err());
     }
 

@@ -14,10 +14,7 @@ pub struct ColumnRef {
 
 impl ColumnRef {
     pub fn new(qualifier: Option<&str>, column: &str) -> Self {
-        ColumnRef {
-            qualifier: qualifier.map(str::to_string),
-            column: column.to_string(),
-        }
+        ColumnRef { qualifier: qualifier.map(str::to_string), column: column.to_string() }
     }
 
     pub fn bare(column: &str) -> Self {

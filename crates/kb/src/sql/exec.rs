@@ -60,14 +60,13 @@ pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> 
                     .iter()
                     .position(|b| b.name == q)
                     .ok_or_else(|| KbError::Semantic(format!("unknown table or alias `{q}`")))?;
-                let col = bindings[slot]
-                    .columns
-                    .iter()
-                    .position(|c| *c == cref.column)
-                    .ok_or_else(|| KbError::UnknownColumn {
-                        table: bindings[slot].table.to_string(),
-                        column: cref.column.clone(),
-                    })?;
+                let col =
+                    bindings[slot].columns.iter().position(|c| *c == cref.column).ok_or_else(
+                        || KbError::UnknownColumn {
+                            table: bindings[slot].table.to_string(),
+                            column: cref.column.clone(),
+                        },
+                    )?;
                 Ok(Bound { slot, col })
             }
             None => {
@@ -90,11 +89,8 @@ pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> 
 
     // Start with the base table's rows as single-slot tuples.
     // A tuple is a Vec of row references, one per slot filled so far.
-    let mut tuples: Vec<Vec<&[Value]>> = from_table
-        .rows
-        .iter()
-        .map(|r| vec![r.as_slice()])
-        .collect();
+    let mut tuples: Vec<Vec<&[Value]>> =
+        from_table.rows.iter().map(|r| vec![r.as_slice()]).collect();
 
     // Apply each join with a hash join on the equality key.
     for (join_idx, join) in stmt.joins.iter().enumerate() {
@@ -187,12 +183,7 @@ pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> 
     }
     let mut rows: Vec<Vec<Value>> = tuples
         .iter()
-        .map(|t| {
-            projections
-                .iter()
-                .map(|b| t[b.slot][b.col].clone())
-                .collect()
-        })
+        .map(|t| projections.iter().map(|b| t[b.slot][b.col].clone()).collect())
         .collect();
 
     // DISTINCT.
@@ -258,9 +249,7 @@ fn compare(lhs: &Value, op: CompareOp, rhs: &Value) -> bool {
             _ => false,
         },
         CompareOp::Contains => match (lhs.as_text(), rhs.as_text()) {
-            (Some(s), Some(needle)) => {
-                s.to_lowercase().contains(&needle.to_lowercase())
-            }
+            (Some(s), Some(needle)) => s.to_lowercase().contains(&needle.to_lowercase()),
             _ => false,
         },
     }
@@ -315,11 +304,8 @@ mod tests {
             (2, 2, "take with food"),
             (3, 2, "avoid in third trimester"),
         ] {
-            kb.insert(
-                "precautions",
-                vec![Value::Int(id), Value::Int(drug), Value::text(desc)],
-            )
-            .unwrap();
+            kb.insert("precautions", vec![Value::Int(id), Value::Int(drug), Value::text(desc)])
+                .unwrap();
         }
         kb
     }
@@ -393,9 +379,7 @@ mod tests {
         let rs = kb.query("SELECT * FROM drug").unwrap();
         assert_eq!(rs.columns, vec!["drug_id", "name"]);
         let rs = kb
-            .query(
-                "SELECT * FROM precautions p INNER JOIN drug d ON p.drug_id = d.drug_id",
-            )
+            .query("SELECT * FROM precautions p INNER JOIN drug d ON p.drug_id = d.drug_id")
             .unwrap();
         assert!(rs.columns.contains(&"p.description".to_string()));
         assert!(rs.columns.contains(&"d.name".to_string()));
@@ -424,17 +408,11 @@ mod tests {
     #[test]
     fn like_and_contains() {
         let kb = medical_kb();
-        let rs = kb
-            .query("SELECT name FROM drug WHERE name LIKE 'Asp%'")
-            .unwrap();
+        let rs = kb.query("SELECT name FROM drug WHERE name LIKE 'Asp%'").unwrap();
         assert_eq!(rs.rows.len(), 1);
-        let rs = kb
-            .query("SELECT name FROM drug WHERE name CONTAINS 'IBU'")
-            .unwrap();
+        let rs = kb.query("SELECT name FROM drug WHERE name CONTAINS 'IBU'").unwrap();
         assert_eq!(rs.rows.len(), 1, "CONTAINS is case-insensitive");
-        let rs = kb
-            .query("SELECT name FROM drug WHERE name LIKE '%e_'")
-            .unwrap();
+        let rs = kb.query("SELECT name FROM drug WHERE name LIKE '%e_'").unwrap();
         // "Tazarotene" ends 'n','e' — pattern %e_ matches ...e + one char.
         assert_eq!(rs.rows.len(), 1);
     }
@@ -442,11 +420,7 @@ mod tests {
     #[test]
     fn null_join_keys_never_match() {
         let mut kb = medical_kb();
-        kb.insert(
-            "precautions",
-            vec![Value::Int(4), Value::Null, Value::text("orphan")],
-        )
-        .unwrap();
+        kb.insert("precautions", vec![Value::Int(4), Value::Null, Value::text("orphan")]).unwrap();
         let rs = kb
             .query(
                 "SELECT p.description FROM precautions p \
@@ -468,9 +442,7 @@ mod tests {
     #[test]
     fn empty_result_is_ok() {
         let kb = medical_kb();
-        let rs = kb
-            .query("SELECT name FROM drug WHERE name = 'Nothing'")
-            .unwrap();
+        let rs = kb.query("SELECT name FROM drug WHERE name = 'Nothing'").unwrap();
         assert!(rs.rows.is_empty());
         assert_eq!(rs.single_column().unwrap().len(), 0);
     }

@@ -169,10 +169,8 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, KbError> {
                         break;
                     }
                 }
-                tokens.push(Spanned {
-                    token: Token::Ident(input[i..j].to_string()),
-                    offset: start,
-                });
+                tokens
+                    .push(Spanned { token: Token::Ident(input[i..j].to_string()), offset: start });
                 i = j;
             }
             other => {
@@ -243,15 +241,7 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             toks("= != <> < <= > >="),
-            vec![
-                Token::Eq,
-                Token::Ne,
-                Token::Ne,
-                Token::Lt,
-                Token::Le,
-                Token::Gt,
-                Token::Ge
-            ]
+            vec![Token::Eq, Token::Ne, Token::Ne, Token::Lt, Token::Le, Token::Gt, Token::Ge]
         );
     }
 

@@ -3,9 +3,7 @@
 use crate::store::KbError;
 use crate::value::Value;
 
-use super::ast::{
-    ColumnRef, CompareOp, Join, OrderBy, Predicate, Select, SelectItem, TableRef,
-};
+use super::ast::{ColumnRef, CompareOp, Join, OrderBy, Predicate, Select, SelectItem, TableRef};
 use super::lexer::{lex, Spanned, Token};
 
 /// Parses one SELECT statement.
@@ -70,10 +68,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, KbError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(KbError::Parse(format!(
-                "expected identifier, got {other:?} {}",
-                self.here()
-            ))),
+            other => {
+                Err(KbError::Parse(format!("expected identifier, got {other:?} {}", self.here())))
+            }
         }
     }
 
@@ -189,9 +186,7 @@ impl Parser {
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("LIKE") => CompareOp::Like,
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("CONTAINS") => CompareOp::Contains,
             other => {
-                return Err(KbError::Parse(format!(
-                    "expected comparison operator, got {other:?}"
-                )))
+                return Err(KbError::Parse(format!("expected comparison operator, got {other:?}")))
             }
         };
         match self.peek() {
@@ -199,9 +194,8 @@ impl Parser {
                 let literal = match self.next() {
                     Some(Token::StringLit(s)) => Value::Text(s),
                     Some(Token::Int(i)) => Value::Int(i),
-                    Some(Token::Float(f)) => Value::float(f).ok_or_else(|| {
-                        KbError::Parse("non-finite float literal".to_string())
-                    })?,
+                    Some(Token::Float(f)) => Value::float(f)
+                        .ok_or_else(|| KbError::Parse("non-finite float literal".to_string()))?,
                     _ => unreachable!("peeked literal"),
                 };
                 Ok(Predicate::ColumnLiteral { column, op, literal })
@@ -285,10 +279,7 @@ mod tests {
     #[test]
     fn like_and_contains_operators() {
         let s = parse("SELECT x FROM t WHERE x LIKE '%asp%' AND x CONTAINS 'cal'").unwrap();
-        assert!(matches!(
-            s.predicates[0],
-            Predicate::ColumnLiteral { op: CompareOp::Like, .. }
-        ));
+        assert!(matches!(s.predicates[0], Predicate::ColumnLiteral { op: CompareOp::Like, .. }));
         assert!(matches!(
             s.predicates[1],
             Predicate::ColumnLiteral { op: CompareOp::Contains, .. }

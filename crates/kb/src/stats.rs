@@ -51,19 +51,12 @@ impl Default for CategoricalPolicy {
 }
 
 /// Computes statistics for one column.
-pub fn column_stats(
-    kb: &KnowledgeBase,
-    table: &str,
-    column: &str,
-) -> Result<ColumnStats, KbError> {
+pub fn column_stats(kb: &KnowledgeBase, table: &str, column: &str) -> Result<ColumnStats, KbError> {
     let t = kb.table(table)?;
-    let idx = t
-        .schema
-        .column_index(column)
-        .ok_or_else(|| KbError::UnknownColumn {
-            table: table.to_string(),
-            column: column.to_string(),
-        })?;
+    let idx = t.schema.column_index(column).ok_or_else(|| KbError::UnknownColumn {
+        table: table.to_string(),
+        column: column.to_string(),
+    })?;
     let mut distinct = std::collections::HashSet::new();
     let mut nulls = 0usize;
     for row in &t.rows {
@@ -208,8 +201,7 @@ mod tests {
     #[test]
     fn empty_table_not_categorical() {
         let mut kb = KnowledgeBase::new();
-        kb.create_table(TableSchema::new("e").column("x", ColumnType::Int))
-            .unwrap();
+        kb.create_table(TableSchema::new("e").column("x", ColumnType::Int)).unwrap();
         assert!(!table_is_categorical(&kb, "e", CategoricalPolicy::default()).unwrap());
     }
 

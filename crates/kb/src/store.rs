@@ -15,13 +15,33 @@ use crate::value::Value;
 pub enum KbError {
     TableExists(String),
     UnknownTable(String),
-    UnknownColumn { table: String, column: String },
+    UnknownColumn {
+        table: String,
+        column: String,
+    },
     SchemaInvalid(String),
-    ArityMismatch { table: String, expected: usize, got: usize },
-    TypeMismatch { table: String, column: String, value: String },
-    NullPrimaryKey { table: String },
-    DuplicatePrimaryKey { table: String, key: String },
-    ForeignKeyViolation { table: String, column: String, value: String },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
+    TypeMismatch {
+        table: String,
+        column: String,
+        value: String,
+    },
+    NullPrimaryKey {
+        table: String,
+    },
+    DuplicatePrimaryKey {
+        table: String,
+        key: String,
+    },
+    ForeignKeyViolation {
+        table: String,
+        column: String,
+        value: String,
+    },
     /// SQL parse error with position information.
     Parse(String),
     /// SQL semantic error (ambiguous column, unknown alias, ...).
@@ -162,10 +182,8 @@ impl KnowledgeBase {
         // FK checks need immutable access to other tables, so validate
         // before mutably borrowing the target table.
         {
-            let t = self
-                .tables
-                .get(table)
-                .ok_or_else(|| KbError::UnknownTable(table.to_string()))?;
+            let t =
+                self.tables.get(table).ok_or_else(|| KbError::UnknownTable(table.to_string()))?;
             if row.len() != t.schema.columns.len() {
                 return Err(KbError::ArityMismatch {
                     table: table.to_string(),
@@ -207,12 +225,13 @@ impl KnowledgeBase {
                 let ok = match (&target.schema.primary_key, &fk.references_column) {
                     (Some(pk), rc) if pk == rc => target.pk_index.contains_key(v),
                     _ => {
-                        let ridx = target.schema.column_index(&fk.references_column).ok_or_else(
-                            || KbError::UnknownColumn {
-                                table: fk.references_table.clone(),
-                                column: fk.references_column.clone(),
-                            },
-                        )?;
+                        let ridx =
+                            target.schema.column_index(&fk.references_column).ok_or_else(|| {
+                                KbError::UnknownColumn {
+                                    table: fk.references_table.clone(),
+                                    column: fk.references_column.clone(),
+                                }
+                            })?;
                         target.rows.iter().any(|r| r[ridx].sql_eq(v))
                     }
                 };
@@ -242,9 +261,7 @@ impl KnowledgeBase {
 
     /// Table lookup.
     pub fn table(&self, name: &str) -> Result<&Table, KbError> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| KbError::UnknownTable(name.to_string()))
+        self.tables.get(name).ok_or_else(|| KbError::UnknownTable(name.to_string()))
     }
 
     /// Whether a table exists.
@@ -262,19 +279,12 @@ impl KnowledgeBase {
     /// All distinct non-null values of one column, sorted.
     pub fn distinct_values(&self, table: &str, column: &str) -> Result<Vec<Value>, KbError> {
         let t = self.table(table)?;
-        let idx = t
-            .schema
-            .column_index(column)
-            .ok_or_else(|| KbError::UnknownColumn {
-                table: table.to_string(),
-                column: column.to_string(),
-            })?;
-        let mut vals: Vec<Value> = t
-            .rows
-            .iter()
-            .map(|r| r[idx].clone())
-            .filter(|v| !v.is_null())
-            .collect();
+        let idx = t.schema.column_index(column).ok_or_else(|| KbError::UnknownColumn {
+            table: table.to_string(),
+            column: column.to_string(),
+        })?;
+        let mut vals: Vec<Value> =
+            t.rows.iter().map(|r| r[idx].clone()).filter(|v| !v.is_null()).collect();
         vals.sort_by(|a, b| a.total_cmp(b));
         vals.dedup();
         Ok(vals)
@@ -322,18 +332,14 @@ mod tests {
         kb.insert("drug", vec![Value::Int(1), Value::text("Aspirin")]).unwrap();
         let t = kb.table("drug").unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(
-            t.row_by_pk(&Value::Int(1)).unwrap()[1],
-            Value::text("Aspirin")
-        );
+        assert_eq!(t.row_by_pk(&Value::Int(1)).unwrap()[1], Value::text("Aspirin"));
     }
 
     #[test]
     fn duplicate_table_rejected() {
         let mut kb = kb_with_drug();
-        let err = kb
-            .create_table(TableSchema::new("drug").column("x", ColumnType::Int))
-            .unwrap_err();
+        let err =
+            kb.create_table(TableSchema::new("drug").column("x", ColumnType::Int)).unwrap_err();
         assert_eq!(err, KbError::TableExists("drug".into()));
     }
 
@@ -411,8 +417,7 @@ mod tests {
     #[test]
     fn table_names_sorted() {
         let mut kb = kb_with_drug();
-        kb.create_table(TableSchema::new("a_table").column("x", ColumnType::Int))
-            .unwrap();
+        kb.create_table(TableSchema::new("a_table").column("x", ColumnType::Int)).unwrap();
         assert_eq!(kb.table_names(), vec!["a_table", "drug"]);
     }
 }

@@ -101,13 +101,8 @@ impl Value {
             (_, Bool(_)) => Ordering::Greater,
             (Int(a), Int(b)) => a.cmp(b),
             (Float(a), Float(b)) => a.cmp(b),
-            (Int(a), Float(b)) => (*a as f64)
-                .partial_cmp(&b.get())
-                .expect("finite comparison"),
-            (Float(a), Int(b)) => a
-                .get()
-                .partial_cmp(&(*b as f64))
-                .expect("finite comparison"),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(&b.get()).expect("finite comparison"),
+            (Float(a), Int(b)) => a.get().partial_cmp(&(*b as f64)).expect("finite comparison"),
             (Int(_) | Float(_), Text(_)) => Ordering::Less,
             (Text(_), Int(_) | Float(_)) => Ordering::Greater,
             (Text(a), Text(b)) => a.cmp(b),

@@ -159,12 +159,8 @@ fn distinct_removes_exact_duplicates_only() {
 #[test]
 fn limit_zero_is_empty() {
     let mut kb = KnowledgeBase::new();
-    kb.create_table(
-        TableSchema::new("t")
-            .column("id", ColumnType::Int)
-            .primary_key("id"),
-    )
-    .expect("schema");
+    kb.create_table(TableSchema::new("t").column("id", ColumnType::Int).primary_key("id"))
+        .expect("schema");
     kb.insert("t", vec![Value::Int(1)]).expect("insert");
     let rs = kb.query("SELECT id FROM t LIMIT 0").expect("parses");
     assert!(rs.rows.is_empty());

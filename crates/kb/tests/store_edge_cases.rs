@@ -15,11 +15,7 @@ fn kb() -> KnowledgeBase {
             .primary_key("id"),
     )
     .expect("schema");
-    kb.insert(
-        "t",
-        vec![Value::Int(1), Value::text("a"), Value::float(1.5).unwrap()],
-    )
-    .expect("row");
+    kb.insert("t", vec![Value::Int(1), Value::text("a"), Value::float(1.5).unwrap()]).expect("row");
     kb
 }
 
@@ -88,8 +84,5 @@ fn sql_quote_handles_pathological_values() {
 fn json_round_trip_preserves_float_bits() {
     let kb = kb();
     let back = KnowledgeBase::from_json(&kb.to_json()).expect("round trip");
-    assert_eq!(
-        back.table("t").unwrap().rows[0][2],
-        Value::float(1.5).unwrap()
-    );
+    assert_eq!(back.table("t").unwrap().rows[0][2], Value::float(1.5).unwrap());
 }

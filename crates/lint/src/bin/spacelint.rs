@@ -1,0 +1,170 @@
+//! `spacelint` — lint committed conversation-space artifacts.
+//!
+//! ```text
+//! spacelint <space.json> [kb.json] [--json] [--deny-warnings] [--floor N]
+//! ```
+//!
+//! The KB defaults to a `*_kb.json` sibling of the space file (e.g.
+//! `artifacts/mdx_space.json` → `artifacts/mdx_kb.json`). The ontology is
+//! reconstructed from the space's `ontology_name`; only the built-in
+//! `mdx` ontology can currently be reconstructed. The mapping is
+//! re-inferred from the ontology and KB, exactly as the bootstrapper
+//! infers it.
+//!
+//! Exit status: 0 when the gate passes, 1 when it fails, 2 on usage or
+//! I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use obcs_core::ConversationSpace;
+use obcs_kb::KnowledgeBase;
+use obcs_lint::{run_all, LintConfig, LintContext};
+use obcs_nlq::OntologyMapping;
+use obcs_ontology::Ontology;
+
+struct Args {
+    space_path: PathBuf,
+    kb_path: Option<PathBuf>,
+    json: bool,
+    deny_warnings: bool,
+    floor: Option<usize>,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: spacelint <space.json> [kb.json] [--json] [--deny-warnings] [--floor N]\n       spacelint --rules"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut floor = None;
+    let mut list_rules = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--rules" => list_rules = true,
+            "--floor" => {
+                i += 1;
+                let value = argv.get(i).ok_or("--floor needs a value")?;
+                floor = Some(value.parse::<usize>().map_err(|_| "--floor needs a number")?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            path => positional.push(path),
+        }
+        i += 1;
+    }
+    if list_rules {
+        return Ok(Args {
+            space_path: PathBuf::new(),
+            kb_path: None,
+            json,
+            deny_warnings,
+            floor,
+            list_rules,
+        });
+    }
+    let space_path = positional.first().ok_or_else(|| usage().to_string())?.into();
+    Ok(Args {
+        space_path,
+        kb_path: positional.get(1).map(PathBuf::from),
+        json,
+        deny_warnings,
+        floor,
+        list_rules,
+    })
+}
+
+/// `artifacts/mdx_space.json` → `artifacts/mdx_kb.json`.
+fn sibling_kb(space_path: &Path) -> Option<PathBuf> {
+    let stem = space_path.file_stem()?.to_str()?;
+    let kb_name = match stem.strip_suffix("_space") {
+        Some(prefix) => format!("{prefix}_kb.json"),
+        None => format!("{stem}_kb.json"),
+    };
+    let candidate = space_path.with_file_name(kb_name);
+    candidate.exists().then_some(candidate)
+}
+
+fn load(args: &Args) -> Result<(ConversationSpace, KnowledgeBase, Ontology), String> {
+    let space_text = std::fs::read_to_string(&args.space_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.space_path.display()))?;
+    let space: ConversationSpace = serde_json::from_str(&space_text)
+        .map_err(|e| format!("cannot parse {}: {e}", args.space_path.display()))?;
+
+    let kb_path = match &args.kb_path {
+        Some(p) => p.clone(),
+        None => sibling_kb(&args.space_path).ok_or_else(|| {
+            format!("no KB given and no `*_kb.json` sibling of {} found", args.space_path.display())
+        })?,
+    };
+    let kb_text = std::fs::read_to_string(&kb_path)
+        .map_err(|e| format!("cannot read {}: {e}", kb_path.display()))?;
+    let kb = KnowledgeBase::from_json(&kb_text)
+        .map_err(|e| format!("cannot parse {}: {e}", kb_path.display()))?;
+
+    let onto = match space.ontology_name.as_str() {
+        "mdx" => obcs_mdx::ontology::build_mdx_ontology(),
+        other => {
+            return Err(format!("cannot reconstruct ontology `{other}`; only `mdx` is supported"));
+        }
+    };
+    Ok((space, kb, onto))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            if msg != usage() {
+                eprintln!("{}", usage());
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for lint in obcs_lint::all_lints() {
+            println!("{:<28} {:<40} {}", lint.name(), lint.codes().join(","), lint.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let (space, kb, onto) = match load(&args) {
+        Ok(loaded) => loaded,
+        Err(msg) => {
+            eprintln!("spacelint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mapping = OntologyMapping::infer(&onto, &kb);
+    let ctx = LintContext::new(&onto, &kb, &mapping, &space);
+    let mut cfg = LintConfig::default();
+    if let Some(floor) = args.floor {
+        cfg.example_floor = floor;
+    }
+    let report = run_all(&ctx, &cfg);
+
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    match report.gate(args.deny_warnings) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("spacelint: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

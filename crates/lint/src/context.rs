@@ -1,0 +1,58 @@
+//! The lint context: one borrowed view of the entire artifact chain that
+//! every lint runs against.
+//!
+//! The derived artifacts (dialogue logic table and tree) are rebuilt from
+//! the space so lints see exactly what the online system would serve.
+
+use obcs_core::ConversationSpace;
+use obcs_dialogue::{DialogueLogicTable, DialogueTree};
+use obcs_kb::KnowledgeBase;
+use obcs_nlq::OntologyMapping;
+use obcs_ontology::{ConceptId, Ontology};
+
+/// Everything the lints inspect.
+pub struct LintContext<'a> {
+    pub onto: &'a Ontology,
+    pub kb: &'a KnowledgeBase,
+    pub mapping: &'a OntologyMapping,
+    pub space: &'a ConversationSpace,
+    /// Derived from the space, as the dialogue layer would.
+    pub logic: DialogueLogicTable,
+    /// Derived from the space, as the serving engine would.
+    pub tree: DialogueTree,
+}
+
+impl<'a> LintContext<'a> {
+    pub fn new(
+        onto: &'a Ontology,
+        kb: &'a KnowledgeBase,
+        mapping: &'a OntologyMapping,
+        space: &'a ConversationSpace,
+    ) -> Self {
+        let logic = DialogueLogicTable::from_space(space, onto);
+        let tree = DialogueTree::from_space(space, onto, "agent");
+        LintContext { onto, kb, mapping, space, logic, tree }
+    }
+
+    /// A concept's name, tolerant of ids the ontology does not know (a
+    /// stale space must produce a diagnostic, not a panic).
+    pub fn concept_label(&self, id: ConceptId) -> String {
+        match self.onto.concept(id) {
+            Ok(c) => c.name.clone(),
+            Err(_) => format!("<unknown concept #{}>", id.0),
+        }
+    }
+
+    /// Whether the ontology knows this concept id.
+    pub fn concept_exists(&self, id: ConceptId) -> bool {
+        self.onto.concept(id).is_ok()
+    }
+
+    /// Distinct instance values of a concept, through the mapping; `None`
+    /// when the concept has no table or no label column.
+    pub fn instance_count(&self, id: ConceptId) -> Option<usize> {
+        let table = self.mapping.table(id)?;
+        let label = self.mapping.label(id)?;
+        self.kb.distinct_values(table, label).ok().map(|v| v.len())
+    }
+}

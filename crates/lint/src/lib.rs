@@ -1,0 +1,38 @@
+//! # obcs-lint
+//!
+//! Compiler-style static analysis over the bootstrapped conversation
+//! space and every artifact it touches: the ontology, the KB schema and
+//! data, the ontology-to-schema mapping, the conversation space itself,
+//! and the derived dialogue logic table and tree.
+//!
+//! The paper's pipeline (§4–§5) machine-generates all of these artifacts;
+//! SME feedback and designer customisation then edit them by hand. This
+//! crate is the safety net between those edits and the online system: a
+//! single pass that cross-checks the whole chain and reports findings as
+//! [`Diagnostic`]s with stable `OBCS0xx` codes, rustc-like text rendering
+//! and machine-readable JSON.
+//!
+//! ```no_run
+//! use obcs_lint::{LintConfig, LintContext, run_all};
+//! # let (onto, kb, mapping, space) = todo!();
+//! let ctx = LintContext::new(&onto, &kb, &mapping, &space);
+//! let report = run_all(&ctx, &LintConfig::default());
+//! print!("{}", report.render_text());
+//! report.gate(/* deny_warnings */ false).expect("space must lint clean");
+//! ```
+//!
+//! The `spacelint` binary lints committed artifacts:
+//!
+//! ```text
+//! cargo run -p obcs-lint --bin spacelint -- artifacts/mdx_space.json
+//! ```
+
+pub mod context;
+pub mod diag;
+#[allow(clippy::module_inception)]
+pub mod lint;
+pub mod rules;
+
+pub use context::LintContext;
+pub use diag::{Diagnostic, DiagnosticSet, Location, Severity};
+pub use lint::{all_lints, run_all, Lint, LintConfig};

@@ -1,0 +1,85 @@
+//! The `Lint` trait, the rule registry and the driver.
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, DiagnosticSet};
+use crate::rules;
+
+/// Tunable thresholds of the lint pass.
+#[derive(Debug, Clone, Copy)]
+pub struct LintConfig {
+    /// Minimum training examples per intent before `OBCS012` fires.
+    pub example_floor: usize,
+    /// Rows scanned per table for the orphan-foreign-key check
+    /// (`OBCS052`); caps lint cost on large KBs.
+    pub fk_scan_cap: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig { example_floor: 3, fk_scan_cap: 2000 }
+    }
+}
+
+/// One static-analysis rule over the artifact chain.
+///
+/// A rule owns one or more stable `OBCS0xx` codes; `codes` documents them
+/// and `run` appends any findings to `out`.
+pub trait Lint {
+    /// Short kebab-case rule name, e.g. `training-duplicates`.
+    fn name(&self) -> &'static str;
+    /// The stable codes this rule can emit.
+    fn codes(&self) -> &'static [&'static str];
+    /// One-line description for `spacelint --rules`.
+    fn description(&self) -> &'static str;
+    fn run(&self, ctx: &LintContext<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>);
+}
+
+/// The full registry, in code order.
+pub fn all_lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(rules::ontology::OntologyValidity),
+        Box::new(rules::ontology::SpaceConceptRefs),
+        Box::new(rules::training::DuplicateTraining),
+        Box::new(rules::training::NearDuplicateTraining),
+        Box::new(rules::training::ExampleFloor),
+        Box::new(rules::patterns::DuplicatePatternRender),
+        Box::new(rules::entities::EntityCollisions),
+        Box::new(rules::entities::EmptyEntities),
+        Box::new(rules::templates::ResponsePlaceholders),
+        Box::new(rules::templates::MissingQueryTemplates),
+        Box::new(rules::templates::TemplateParamScope),
+        Box::new(rules::dialogue::LogicTableCompleteness),
+        Box::new(rules::tree::TreeReachability),
+        Box::new(rules::mapping::MappingIntegrity),
+        Box::new(rules::kbcheck::KbIntegrity),
+    ]
+}
+
+/// Runs every registered lint and returns the sorted diagnostic set.
+pub fn run_all(ctx: &LintContext<'_>, cfg: &LintConfig) -> DiagnosticSet {
+    let mut out = Vec::new();
+    for lint in all_lints() {
+        lint.run(ctx, cfg, &mut out);
+    }
+    let mut set = DiagnosticSet { diagnostics: out };
+    set.sort();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_codes_are_unique_and_well_formed() {
+        let mut seen = HashSet::new();
+        for lint in all_lints() {
+            assert!(!lint.codes().is_empty(), "{} declares no codes", lint.name());
+            for code in lint.codes() {
+                assert!(code.starts_with("OBCS") && code.len() == 7, "malformed code {code}");
+                assert!(seen.insert(*code), "code {code} registered twice");
+            }
+        }
+    }
+}

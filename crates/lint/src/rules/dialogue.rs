@@ -1,0 +1,100 @@
+//! Dialogue-logic-table rules (`OBCS020`–`OBCS022`).
+//!
+//! The logic table is the declarative source the dialogue tree is
+//! generated from (paper §5.2); holes here become dead conversations at
+//! serving time.
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::lint::{Lint, LintConfig};
+
+/// OBCS020: a required entity has no KB values to validate answers
+/// against *and* an empty elicitation prompt — the agent would ask the
+/// user nothing and accept nothing. OBCS021: a row has no representative
+/// example, which leaves designers reviewing the table blind. OBCS022: a
+/// row references an intent the space does not define.
+pub struct LogicTableCompleteness;
+
+impl Lint for LogicTableCompleteness {
+    fn name(&self) -> &'static str {
+        "logic-table-completeness"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["OBCS020", "OBCS021", "OBCS022"]
+    }
+
+    fn description(&self) -> &'static str {
+        "logic-table rows with unelicitable entities, missing examples, or unknown intents"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        for row in &ctx.logic.rows {
+            let location = Location::new("logic-table", format!("row `{}`", row.intent_name));
+            if ctx.space.intent(row.intent).is_none() {
+                out.push(
+                    Diagnostic::new(
+                        "OBCS022",
+                        Severity::Error,
+                        location.clone(),
+                        format!(
+                            "row references intent #{} which the space does not define",
+                            row.intent.0
+                        ),
+                    )
+                    .with_suggestion("regenerate the logic table from the current space"),
+                );
+            }
+            for req in &row.required {
+                let has_values = ctx.instance_count(req.concept).unwrap_or(0) > 0;
+                if req.elicitation.trim().is_empty() && !has_values {
+                    out.push(
+                        Diagnostic::new(
+                            "OBCS020",
+                            Severity::Error,
+                            location.clone(),
+                            format!(
+                                "required entity `{}` has no KB values and no elicitation prompt",
+                                ctx.concept_label(req.concept)
+                            ),
+                        )
+                        .with_suggestion(
+                            "set an elicitation prompt via set_elicitation, or populate the KB",
+                        ),
+                    );
+                } else if req.elicitation.trim().is_empty() {
+                    out.push(
+                        Diagnostic::new(
+                            "OBCS020",
+                            Severity::Warning,
+                            location.clone(),
+                            format!(
+                                "required entity `{}` has an empty elicitation prompt",
+                                ctx.concept_label(req.concept)
+                            ),
+                        )
+                        .with_suggestion("set an elicitation prompt via set_elicitation"),
+                    );
+                }
+            }
+            let is_management = ctx
+                .space
+                .intent(row.intent)
+                .map(|i| matches!(i.goal, obcs_core::intents::IntentGoal::ConversationManagement))
+                .unwrap_or(false);
+            if row.example.trim().is_empty() && !is_management {
+                out.push(
+                    Diagnostic::new(
+                        "OBCS021",
+                        Severity::Warning,
+                        location,
+                        "row has no representative example utterance",
+                    )
+                    .with_suggestion(
+                        "usually a symptom of an intent with no training examples (see OBCS013)",
+                    ),
+                );
+            }
+        }
+    }
+}

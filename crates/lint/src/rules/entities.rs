@@ -1,0 +1,132 @@
+//! Entity and synonym rules (`OBCS015`–`OBCS016`).
+
+use std::collections::{HashMap, HashSet};
+
+use obcs_ontology::ConceptId;
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::lint::{Lint, LintConfig};
+
+/// OBCS015: the same surface value is recognisable as two different
+/// entities (an instance example or synonym collides across entity
+/// definitions), making entity recognition ambiguous.
+pub struct EntityCollisions;
+
+impl Lint for EntityCollisions {
+    fn name(&self) -> &'static str {
+        "entity-collisions"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["OBCS015"]
+    }
+
+    fn description(&self) -> &'static str {
+        "surface values recognisable as more than one entity"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        // Concepts some intent actually captures or elicits: a collision
+        // between two of these can change slot filling (warning); any
+        // other collision is informational domain overlap.
+        let elicitable: HashSet<ConceptId> = ctx
+            .space
+            .intents
+            .iter()
+            .flat_map(|i| i.required_entities.iter().chain(&i.optional_entities).copied())
+            .collect();
+        // lowercased value → (entity name, concept) pairs it belongs to
+        let mut owners: HashMap<String, Vec<(&str, ConceptId)>> = HashMap::new();
+        for entity in &ctx.space.entities {
+            // Grouping entities intentionally re-list member values; only
+            // concrete concept entities participate in the collision check.
+            if !matches!(entity.kind, obcs_core::entities::EntityKind::Concept) {
+                continue;
+            }
+            for value in entity.examples.iter().chain(&entity.synonyms) {
+                let key = value.trim().to_lowercase();
+                if key.is_empty() {
+                    continue;
+                }
+                let names = owners.entry(key).or_default();
+                if !names.iter().any(|(n, _)| *n == entity.name) {
+                    names.push((&entity.name, entity.concept));
+                }
+            }
+        }
+        let mut collisions: Vec<(&String, &Vec<(&str, ConceptId)>)> =
+            owners.iter().filter(|(_, names)| names.len() > 1).collect();
+        collisions.sort_by_key(|(value, _)| value.as_str());
+        for (value, names) in collisions {
+            let elicitable_owners = names.iter().filter(|(_, c)| elicitable.contains(c)).count();
+            let severity = if elicitable_owners >= 2 { Severity::Warning } else { Severity::Info };
+            let listed: Vec<&str> = names.iter().map(|(n, _)| *n).collect();
+            out.push(
+                Diagnostic::new(
+                    "OBCS015",
+                    severity,
+                    Location::new("space", format!("value \"{value}\"")),
+                    format!(
+                        "value is recognisable as {} entities: {}",
+                        listed.len(),
+                        listed.join(", ")
+                    ),
+                )
+                .with_suggestion("disambiguate the instance values or drop the colliding synonym"),
+            );
+        }
+    }
+}
+
+/// OBCS016: an entity for a key concept has no instance examples — the
+/// recogniser can never match it, so every intent requiring it dead-ends
+/// in elicitation loops.
+pub struct EmptyEntities;
+
+impl Lint for EmptyEntities {
+    fn name(&self) -> &'static str {
+        "entity-empty"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["OBCS016"]
+    }
+
+    fn description(&self) -> &'static str {
+        "key-concept entities with no instance examples"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        for entity in &ctx.space.entities {
+            if !ctx.space.key_concepts.contains(&entity.concept) {
+                continue;
+            }
+            if entity.examples.is_empty() {
+                let kb_values = ctx.instance_count(entity.concept).unwrap_or(0);
+                let message = if kb_values == 0 {
+                    format!(
+                        "key-concept entity `{}` has no instance examples and its KB table has no values",
+                        entity.name
+                    )
+                } else {
+                    format!(
+                        "key-concept entity `{}` has no instance examples (KB holds {kb_values} values)",
+                        entity.name
+                    )
+                };
+                out.push(
+                    Diagnostic::new(
+                        "OBCS016",
+                        Severity::Error,
+                        Location::new("space", format!("entity `{}`", entity.name)),
+                        message,
+                    )
+                    .with_suggestion(
+                        "populate the KB table or raise max_entity_examples in the bootstrap config",
+                    ),
+                );
+            }
+        }
+    }
+}

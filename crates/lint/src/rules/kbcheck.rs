@@ -1,0 +1,121 @@
+//! KB schema and data rules (`OBCS050`–`OBCS052`).
+
+use obcs_kb::Value;
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::lint::{Lint, LintConfig};
+
+/// OBCS050: a table holds no rows (advisory — empty dependents starve
+/// entity extraction). OBCS051: a foreign key's referenced table or
+/// column does not exist. OBCS052: rows whose foreign-key value finds no
+/// match in the referenced table (orphans), scanned up to the config cap.
+pub struct KbIntegrity;
+
+impl Lint for KbIntegrity {
+    fn name(&self) -> &'static str {
+        "kb-integrity"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["OBCS050", "OBCS051", "OBCS052"]
+    }
+
+    fn description(&self) -> &'static str {
+        "empty tables, broken foreign-key declarations, and orphaned rows"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        let mut names = ctx.kb.table_names();
+        names.sort_unstable();
+        for name in names {
+            let Ok(table) = ctx.kb.table(name) else {
+                continue;
+            };
+            let location = Location::new("kb", format!("table `{name}`"));
+            if table.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        "OBCS050",
+                        Severity::Info,
+                        location.clone(),
+                        "table holds no rows",
+                    )
+                    .with_suggestion("empty tables starve entity extraction and query results"),
+                );
+            }
+            for fk in &table.schema.foreign_keys {
+                let target_ok = ctx
+                    .kb
+                    .table(&fk.references_table)
+                    .map(|t| t.schema.column_index(&fk.references_column).is_some())
+                    .unwrap_or(false);
+                if !target_ok {
+                    out.push(
+                        Diagnostic::new(
+                            "OBCS051",
+                            Severity::Error,
+                            location.clone(),
+                            format!(
+                                "foreign key `{}` references `{}.{}` which does not exist",
+                                fk.column, fk.references_table, fk.references_column
+                            ),
+                        )
+                        .with_suggestion("fix the schema declaration"),
+                    );
+                    continue;
+                }
+                let Some(col_idx) = table.schema.column_index(&fk.column) else {
+                    out.push(
+                        Diagnostic::new(
+                            "OBCS051",
+                            Severity::Error,
+                            location.clone(),
+                            format!(
+                                "foreign key declares column `{}` which the table does not have",
+                                fk.column
+                            ),
+                        )
+                        .with_suggestion("fix the schema declaration"),
+                    );
+                    continue;
+                };
+                // Orphan scan, capped so huge KBs stay cheap to lint.
+                let Ok(referenced) =
+                    ctx.kb.distinct_values(&fk.references_table, &fk.references_column)
+                else {
+                    continue;
+                };
+                let mut orphans = 0usize;
+                let mut first: Option<&Value> = None;
+                for row in table.rows.iter().take(cfg.fk_scan_cap) {
+                    let v = &row[col_idx];
+                    if matches!(v, Value::Null) {
+                        continue;
+                    }
+                    if !referenced.contains(v) {
+                        orphans += 1;
+                        first.get_or_insert(v);
+                    }
+                }
+                if orphans > 0 {
+                    out.push(
+                        Diagnostic::new(
+                            "OBCS052",
+                            Severity::Error,
+                            location.clone(),
+                            format!(
+                                "{orphans} row(s) hold `{}` values with no match in `{}.{}` (first: {:?})",
+                                fk.column,
+                                fk.references_table,
+                                fk.references_column,
+                                first.expect("orphans > 0 implies a first orphan"),
+                            ),
+                        )
+                        .with_suggestion("repair the orphaned rows or relax the foreign key"),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! NLQ-mapping rules (`OBCS040`–`OBCS043`).
+//!
+//! The ontology-to-schema mapping is the bridge the structured-query
+//! generator and the NLQ interpreter both stand on; a stale binding here
+//! turns every downstream query into a runtime error.
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::lint::{Lint, LintConfig};
+
+/// OBCS040: a concept maps to a table the KB does not have. OBCS041: a
+/// concept's label column is missing from its table. OBCS042: a join-path
+/// edge references a missing table or column. OBCS043: an object property
+/// between two mapped concepts has no join realisation, so relationship
+/// queries over it cannot be generated.
+pub struct MappingIntegrity;
+
+impl Lint for MappingIntegrity {
+    fn name(&self) -> &'static str {
+        "mapping-integrity"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["OBCS040", "OBCS041", "OBCS042", "OBCS043"]
+    }
+
+    fn description(&self) -> &'static str {
+        "mapping bindings to missing tables/columns and unjoined relationships"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        let has_column = |table: &str, column: &str| -> bool {
+            ctx.kb.table(table).map(|t| t.schema.column_index(column).is_some()).unwrap_or(false)
+        };
+        for concept in ctx.onto.concepts() {
+            let Some(table) = ctx.mapping.table(concept.id) else {
+                continue;
+            };
+            let location = Location::new("mapping", format!("concept `{}`", concept.name));
+            if !ctx.kb.has_table(table) {
+                out.push(
+                    Diagnostic::new(
+                        "OBCS040",
+                        Severity::Error,
+                        location,
+                        format!("maps to table `{table}` which the KB does not have"),
+                    )
+                    .with_suggestion("re-infer the mapping or rename the table"),
+                );
+                continue;
+            }
+            if let Some(label) = ctx.mapping.label(concept.id) {
+                if !has_column(table, label) {
+                    out.push(
+                        Diagnostic::new(
+                            "OBCS041",
+                            Severity::Error,
+                            location,
+                            format!("label column `{table}.{label}` does not exist"),
+                        )
+                        .with_suggestion("re-infer the mapping or fix the label column"),
+                    );
+                }
+            }
+        }
+        for prop in ctx.onto.object_properties() {
+            let location = Location::new("mapping", format!("object property `{}`", prop.name));
+            match ctx.mapping.join(prop.id) {
+                Some(path) => {
+                    for edge in &path.steps {
+                        for (table, column) in [
+                            (&edge.left_table, &edge.left_column),
+                            (&edge.right_table, &edge.right_column),
+                        ] {
+                            if !has_column(table, column) {
+                                out.push(
+                                    Diagnostic::new(
+                                        "OBCS042",
+                                        Severity::Error,
+                                        location.clone(),
+                                        format!(
+                                            "join path uses `{table}.{column}` which does not exist"
+                                        ),
+                                    )
+                                    .with_suggestion(
+                                        "re-infer the mapping against the current schema",
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Only a problem when both endpoints are physically
+                    // mapped: the relationship is realisable but unbound.
+                    let both_mapped = ctx.mapping.table(prop.source).is_some()
+                        && ctx.mapping.table(prop.target).is_some();
+                    if both_mapped && !prop.kind.is_hierarchical() {
+                        out.push(
+                            Diagnostic::new(
+                                "OBCS043",
+                                Severity::Warning,
+                                location,
+                                format!(
+                                    "relationship `{}` → `{}` has no join path; relationship \
+                                     queries over it cannot be generated",
+                                    ctx.concept_label(prop.source),
+                                    ctx.concept_label(prop.target)
+                                ),
+                            )
+                            .with_suggestion(
+                                "add a foreign key (or bridge table) between the two tables",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The rule set, grouped by the artifact each rule primarily inspects.
+//!
+//! Code ranges:
+//!
+//! | range      | artifact                         |
+//! |------------|----------------------------------|
+//! | OBCS001–00x | ontology structure               |
+//! | OBCS01x    | training examples and patterns   |
+//! | OBCS015–01x | entities, response templates     |
+//! | OBCS02x    | dialogue logic table             |
+//! | OBCS03x    | dialogue tree                    |
+//! | OBCS04x    | NLQ mapping                      |
+//! | OBCS05x    | KB schema and data               |
+
+pub mod dialogue;
+pub mod entities;
+pub mod kbcheck;
+pub mod mapping;
+pub mod ontology;
+pub mod patterns;
+pub mod templates;
+pub mod training;
+pub mod tree;

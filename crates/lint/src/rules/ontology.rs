@@ -1,0 +1,126 @@
+//! Ontology-structure rules (`OBCS001`–`OBCS006`).
+//!
+//! `OntologyValidity` unifies the pre-existing `obcs_ontology::validate`
+//! pass into the diagnostic framework: each `ValidationIssue` kind maps to
+//! a stable code.
+
+use obcs_ontology::validate::{validate, ValidationIssue};
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::lint::{Lint, LintConfig};
+
+/// OBCS001–OBCS005: the structural ontology checks of
+/// [`obcs_ontology::validate`], reframed as diagnostics.
+pub struct OntologyValidity;
+
+impl Lint for OntologyValidity {
+    fn name(&self) -> &'static str {
+        "ontology-validity"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["OBCS001", "OBCS002", "OBCS003", "OBCS004", "OBCS005"]
+    }
+
+    fn description(&self) -> &'static str {
+        "structural ontology problems: hierarchy cycles, isolated concepts, degenerate unions"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        for issue in validate(ctx.onto) {
+            let (code, severity, item, suggestion) = match &issue {
+                ValidationIssue::HierarchyCycle(c) => (
+                    "OBCS001",
+                    Severity::Error,
+                    format!("concept `{}`", ctx.concept_label(*c)),
+                    "break the isA/unionOf cycle; hierarchies must be acyclic",
+                ),
+                ValidationIssue::IsolatedConcept(c) => (
+                    "OBCS002",
+                    Severity::Warning,
+                    format!("concept `{}`", ctx.concept_label(*c)),
+                    "add properties or relationships, or remove the concept",
+                ),
+                ValidationIssue::DegenerateUnion { parent, .. } => (
+                    "OBCS003",
+                    Severity::Error,
+                    format!("union `{}`", ctx.concept_label(*parent)),
+                    "a union must list at least two members",
+                ),
+                ValidationIssue::DuplicateUnionMember { parent, .. } => (
+                    "OBCS004",
+                    Severity::Error,
+                    format!("union `{}`", ctx.concept_label(*parent)),
+                    "remove the duplicate unionOf edge",
+                ),
+                ValidationIssue::MixedHierarchy { parent, .. } => (
+                    "OBCS005",
+                    Severity::Error,
+                    format!("concept `{}`", ctx.concept_label(*parent)),
+                    "use either isA or unionOf for a child, not both",
+                ),
+            };
+            out.push(
+                Diagnostic::new(
+                    code,
+                    severity,
+                    Location::new("ontology", item),
+                    issue.render(ctx.onto),
+                )
+                .with_suggestion(suggestion),
+            );
+        }
+    }
+}
+
+/// OBCS006: the space references a concept id the ontology does not know.
+///
+/// Guards every other lint: a stale space (e.g. linted against the wrong
+/// ontology version) fails loudly here instead of producing nonsense
+/// downstream.
+pub struct SpaceConceptRefs;
+
+impl Lint for SpaceConceptRefs {
+    fn name(&self) -> &'static str {
+        "space-concept-refs"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["OBCS006"]
+    }
+
+    fn description(&self) -> &'static str {
+        "conversation-space references to concept ids missing from the ontology"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        let mut report = |id: obcs_ontology::ConceptId, item: String| {
+            if !ctx.concept_exists(id) {
+                out.push(
+                    Diagnostic::new(
+                        "OBCS006",
+                        Severity::Error,
+                        Location::new("space", item),
+                        format!("references concept #{} which the ontology does not define", id.0),
+                    )
+                    .with_suggestion("re-bootstrap the space against the current ontology"),
+                );
+            }
+        };
+        for (i, &c) in ctx.space.key_concepts.iter().enumerate() {
+            report(c, format!("key_concepts[{i}]"));
+        }
+        for d in &ctx.space.dependents {
+            report(d.concept, format!("dependent `{}`", ctx.concept_label(d.concept)));
+        }
+        for e in &ctx.space.entities {
+            report(e.concept, format!("entity `{}`", e.name));
+        }
+        for intent in &ctx.space.intents {
+            for &c in intent.required_entities.iter().chain(&intent.optional_entities) {
+                report(c, format!("intent `{}`", intent.name));
+            }
+        }
+    }
+}

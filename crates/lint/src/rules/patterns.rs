@@ -1,0 +1,65 @@
+//! Query-pattern rules (`OBCS014`).
+
+use std::collections::HashMap;
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::lint::{Lint, LintConfig};
+
+/// OBCS014: two intents ground patterns that render to the same canonical
+/// phrase — the training generator will produce overlapping examples and
+/// the intents are indistinguishable to users.
+pub struct DuplicatePatternRender;
+
+impl Lint for DuplicatePatternRender {
+    fn name(&self) -> &'static str {
+        "pattern-duplicates"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["OBCS014"]
+    }
+
+    fn description(&self) -> &'static str {
+        "identical canonical pattern renders across intents"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        // render → intent names that produce it
+        let mut renders: HashMap<String, Vec<&str>> = HashMap::new();
+        for intent in &ctx.space.intents {
+            for pattern in intent.patterns() {
+                // Skip patterns referencing unknown concepts; OBCS006
+                // already reports those.
+                if !pattern.required.iter().all(|&c| ctx.concept_exists(c)) {
+                    continue;
+                }
+                let rendered = pattern.render(ctx.onto);
+                let names = renders.entry(rendered).or_default();
+                if !names.contains(&intent.name.as_str()) {
+                    names.push(&intent.name);
+                }
+            }
+        }
+        let mut dups: Vec<(&String, &Vec<&str>)> =
+            renders.iter().filter(|(_, names)| names.len() > 1).collect();
+        dups.sort_by_key(|(render, _)| render.as_str());
+        for (render, names) in dups {
+            out.push(
+                Diagnostic::new(
+                    "OBCS014",
+                    Severity::Warning,
+                    Location::new("space", format!("pattern \"{render}\"")),
+                    format!(
+                        "pattern renders identically under {} intents: {}",
+                        names.len(),
+                        names.join(", ")
+                    ),
+                )
+                .with_suggestion(
+                    "merge the intents or differentiate the patterns' relation phrases",
+                ),
+            );
+        }
+    }
+}

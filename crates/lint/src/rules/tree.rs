@@ -1,0 +1,101 @@
+//! Dialogue-tree rules (`OBCS030`–`OBCS031`).
+//!
+//! The generated tree (paper Fig. 10) routes entity-only utterances
+//! through proposals; these rules find the nodes users can never leave or
+//! never reach.
+
+use obcs_core::intents::IntentGoal;
+
+use crate::context::LintContext;
+use crate::diag::{Diagnostic, Location, Severity};
+use crate::lint::{Lint, LintConfig};
+
+/// OBCS030: an entity-only intent whose concept has no proposal list —
+/// the node is a dead end: the tree detects the intent but has nothing to
+/// propose, so every hit falls back. OBCS031: a proposal references an
+/// intent that is unknown or undetectable (no training examples), i.e. an
+/// unreachable branch of the tree.
+pub struct TreeReachability;
+
+impl Lint for TreeReachability {
+    fn name(&self) -> &'static str {
+        "tree-reachability"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["OBCS030", "OBCS031"]
+    }
+
+    fn description(&self) -> &'static str {
+        "dead-end entity-only nodes and unreachable proposal branches"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        for intent in &ctx.space.intents {
+            let IntentGoal::EntityOnly(concept) = intent.goal else {
+                continue;
+            };
+            let has_proposals =
+                ctx.tree.proposals.iter().any(|(c, intents)| *c == concept && !intents.is_empty());
+            if !has_proposals {
+                out.push(
+                    Diagnostic::new(
+                        "OBCS030",
+                        Severity::Warning,
+                        Location::new("dialogue-tree", format!("intent `{}`", intent.name)),
+                        format!(
+                            "entity-only intent for `{}` has no proposals; every hit falls back",
+                            ctx.concept_label(concept)
+                        ),
+                    )
+                    .with_suggestion(
+                        "ensure at least one query intent requires exactly this concept",
+                    ),
+                );
+            }
+        }
+        for (concept, intents) in &ctx.tree.proposals {
+            for proposed in intents {
+                match ctx.space.intent(*proposed) {
+                    None => {
+                        out.push(
+                            Diagnostic::new(
+                                "OBCS031",
+                                Severity::Error,
+                                Location::new(
+                                    "dialogue-tree",
+                                    format!("proposals for `{}`", ctx.concept_label(*concept)),
+                                ),
+                                format!(
+                                    "proposal references intent #{} which the space does not define",
+                                    proposed.0
+                                ),
+                            )
+                            .with_suggestion("regenerate the tree from the current space"),
+                        );
+                    }
+                    Some(intent) => {
+                        let detectable = ctx.space.training.iter().any(|e| e.intent == *proposed);
+                        // A proposed intent is fulfilled directly on "yes",
+                        // so missing training alone does not break the
+                        // branch — but it does mean the intent is reachable
+                        // only through proposals, worth surfacing.
+                        if !detectable {
+                            out.push(
+                                Diagnostic::new(
+                                    "OBCS031",
+                                    Severity::Info,
+                                    Location::new(
+                                        "dialogue-tree",
+                                        format!("intent `{}`", intent.name),
+                                    ),
+                                    "intent is reachable only via proposals; it has no training examples of its own",
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

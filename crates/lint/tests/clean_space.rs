@@ -1,0 +1,38 @@
+//! The lint pass over a freshly bootstrapped MDX world: the pipeline's
+//! own output must produce zero errors and zero warnings — the same
+//! guarantee `spacelint --deny-warnings` enforces on the committed
+//! artifacts.
+
+use obcs_lint::{run_all, LintConfig, LintContext, Severity};
+use obcs_mdx::data::MdxDataConfig;
+use obcs_mdx::ConversationalMdx;
+
+#[test]
+fn bootstrapped_mdx_space_lints_clean() {
+    let (onto, kb, mapping, space) =
+        ConversationalMdx::bootstrap_space(MdxDataConfig { drugs: 40, seed: 20200614 });
+    let ctx = LintContext::new(&onto, &kb, &mapping, &space);
+    let report = run_all(&ctx, &LintConfig::default());
+    assert_eq!(
+        report.count(Severity::Error),
+        0,
+        "bootstrapped space must have no lint errors:\n{}",
+        report.render_text()
+    );
+    assert_eq!(
+        report.count(Severity::Warning),
+        0,
+        "bootstrapped space must have no lint warnings:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    let (onto, kb, mapping, space) =
+        ConversationalMdx::bootstrap_space(MdxDataConfig { drugs: 20, seed: 7 });
+    let ctx = LintContext::new(&onto, &kb, &mapping, &space);
+    let report = run_all(&ctx, &LintConfig::default());
+    let back = obcs_lint::DiagnosticSet::from_json(&report.to_json()).expect("parses");
+    assert_eq!(back.diagnostics, report.diagnostics);
+}

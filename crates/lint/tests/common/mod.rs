@@ -1,0 +1,237 @@
+//! Shared synthetic fixture for the lint tests: a minimal hand-built
+//! artifact chain (ontology, KB, mapping, space) that lints clean, plus
+//! variants with specific defects baked in at construction time.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of it.
+#![allow(dead_code)]
+
+use obcs_core::concepts::{CompletionMetadata, DependentConcept, DependentSemantics};
+use obcs_core::entities::{EntityDef, EntityKind, SynonymDict};
+use obcs_core::intents::{Intent, IntentGoal, IntentId};
+use obcs_core::patterns::{PatternKind, QueryPattern};
+use obcs_core::templates::{IntentTemplates, LabeledTemplate};
+use obcs_core::training::{ExampleSource, TrainingExample};
+use obcs_core::ConversationSpace;
+use obcs_kb::schema::{ColumnType, TableSchema};
+use obcs_kb::{KnowledgeBase, Value};
+use obcs_nlq::{OntologyMapping, QueryTemplate};
+use obcs_ontology::{ConceptId, Ontology, OntologyBuilder};
+
+pub struct Fixture {
+    pub onto: Ontology,
+    pub kb: KnowledgeBase,
+    pub mapping: OntologyMapping,
+    pub space: ConversationSpace,
+}
+
+impl Fixture {
+    pub fn drug(&self) -> ConceptId {
+        self.onto.concept_id("Drug").expect("fixture concept")
+    }
+
+    pub fn precaution(&self) -> ConceptId {
+        self.onto.concept_id("Precaution").expect("fixture concept")
+    }
+
+    pub fn indication(&self) -> ConceptId {
+        self.onto.concept_id("Indication").expect("fixture concept")
+    }
+}
+
+fn build_onto() -> Ontology {
+    OntologyBuilder::new("fixture")
+        .concept("Drug")
+        .concept("Precaution")
+        .concept("Indication")
+        .data("Drug", &["name"])
+        .data("Precaution", &["text"])
+        .data("Indication", &["name"])
+        .relation("hasPrecaution", "Drug", "Precaution")
+        .relation_with_inverse("treats", "is treated by", "Drug", "Indication")
+        .build()
+        .expect("fixture ontology")
+}
+
+/// Builds the KB. `indication_fk` controls whether the `indication` table
+/// declares its foreign key to `drug` (dropping it leaves the `treats`
+/// relationship unjoinable — OBCS043). `fk_target` is the table the
+/// `precaution.drug_id` foreign key claims to reference (a bogus name
+/// gives a broken declaration — OBCS051).
+pub fn build_kb(indication_fk: bool, fk_target: &str) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.create_table(
+        TableSchema::new("drug")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .primary_key("id"),
+    )
+    .expect("create drug");
+    kb.create_table(
+        TableSchema::new("precaution")
+            .column("id", ColumnType::Int)
+            .column("drug_id", ColumnType::Int)
+            .column("text", ColumnType::Text)
+            .primary_key("id")
+            .foreign_key("drug_id", fk_target, "id"),
+    )
+    .expect("create precaution");
+    let mut indication = TableSchema::new("indication")
+        .column("id", ColumnType::Int)
+        .column("drug_id", ColumnType::Int)
+        .column("name", ColumnType::Text)
+        .primary_key("id");
+    if indication_fk {
+        indication = indication.foreign_key("drug_id", "drug", "id");
+    }
+    kb.create_table(indication).expect("create indication");
+
+    kb.insert("drug", vec![Value::Int(7777), Value::text("aspirin")]).expect("insert drug");
+    kb.insert("drug", vec![Value::Int(7778), Value::text("ibuprofen")]).expect("insert drug");
+    if fk_target == "drug" {
+        kb.insert(
+            "precaution",
+            vec![Value::Int(1), Value::Int(7777), Value::text("avoid alcohol")],
+        )
+        .expect("insert precaution");
+    }
+    kb.insert("indication", vec![Value::Int(1), Value::Int(7777), Value::text("headache")])
+        .expect("insert indication");
+    kb
+}
+
+fn build_space(onto: &Ontology) -> ConversationSpace {
+    let drug = onto.concept_id("Drug").expect("fixture concept");
+    let precaution = onto.concept_id("Precaution").expect("fixture concept");
+    let lookup = QueryPattern {
+        kind: PatternKind::Lookup,
+        focus: precaution,
+        required: vec![drug],
+        intermediates: vec![],
+        relation_phrase: None,
+        topic: "Precautions".to_string(),
+        derived_from: None,
+    };
+    let query_intent = Intent {
+        id: IntentId(0),
+        name: "Precautions of Drug".to_string(),
+        goal: IntentGoal::Query(vec![lookup]),
+        required_entities: vec![drug],
+        optional_entities: vec![],
+        response_template: "Here are the {topic} for {entities}:\n{results}".to_string(),
+    };
+    let entity_only = Intent {
+        id: IntentId(1),
+        name: "DRUG_GENERAL".to_string(),
+        goal: IntentGoal::EntityOnly(drug),
+        required_entities: vec![],
+        optional_entities: vec![],
+        response_template: String::new(),
+    };
+    let training = [
+        ("show me the precautions for aspirin", 0u32),
+        ("what precautions does ibuprofen have", 0),
+        ("precautions of aspirin", 0),
+        ("aspirin", 1),
+        ("tell me about ibuprofen", 1),
+        ("aspirin please", 1),
+    ]
+    .into_iter()
+    .map(|(text, intent)| TrainingExample {
+        text: text.to_string(),
+        intent: IntentId(intent),
+        source: ExampleSource::Generated,
+    })
+    .collect();
+    let dependents = vec![DependentConcept {
+        concept: precaution,
+        of_key: drug,
+        semantics: DependentSemantics::Plain,
+    }];
+    let completion = CompletionMetadata::build(&dependents);
+    let sql = "SELECT precaution.text FROM precaution \
+               JOIN drug ON precaution.drug_id = drug.id \
+               WHERE drug.name = '<@Drug>'";
+    ConversationSpace {
+        ontology_name: "fixture".to_string(),
+        key_concepts: vec![drug],
+        dependents,
+        intents: vec![query_intent, entity_only],
+        training,
+        entities: vec![
+            EntityDef {
+                concept: drug,
+                name: "Drug".to_string(),
+                kind: EntityKind::Concept,
+                examples: vec!["aspirin".to_string(), "ibuprofen".to_string()],
+                synonyms: vec![],
+            },
+            EntityDef {
+                concept: precaution,
+                name: "Precaution".to_string(),
+                kind: EntityKind::Concept,
+                examples: vec!["avoid alcohol".to_string()],
+                synonyms: vec![],
+            },
+        ],
+        synonyms: SynonymDict::new(),
+        templates: vec![IntentTemplates {
+            intent: IntentId(0),
+            templates: vec![LabeledTemplate {
+                topic: "Precautions".to_string(),
+                template: QueryTemplate::new(sql.to_string(), vec![drug], onto),
+            }],
+        }],
+        completion,
+        skipped_templates: vec![],
+    }
+}
+
+/// The clean baseline fixture.
+pub fn fixture() -> Fixture {
+    let onto = build_onto();
+    let kb = build_kb(true, "drug");
+    let mapping = OntologyMapping::infer(&onto, &kb);
+    let space = build_space(&onto);
+    Fixture { onto, kb, mapping, space }
+}
+
+/// Variant without the `indication.drug_id` foreign key: the `treats`
+/// relationship has no join realisation (OBCS043).
+pub fn fixture_unjoined_relation() -> Fixture {
+    let onto = build_onto();
+    let kb = build_kb(false, "drug");
+    let mapping = OntologyMapping::infer(&onto, &kb);
+    let space = build_space(&onto);
+    Fixture { onto, kb, mapping, space }
+}
+
+/// Variant whose `precaution.drug_id` foreign key references a table that
+/// does not exist (OBCS051).
+pub fn fixture_broken_fk_decl() -> Fixture {
+    let onto = build_onto();
+    let kb = build_kb(true, "droog");
+    // The mapping must still bind `precaution` for the query intent, so
+    // infer against a well-formed twin of the KB.
+    let mapping = OntologyMapping::infer(&onto, &build_kb(true, "drug"));
+    let space = build_space(&onto);
+    Fixture { onto, kb, mapping, space }
+}
+
+/// Variant with an orphaned `precaution.drug_id` value (OBCS052). Insert
+/// enforces referential integrity, so the orphan is produced by editing
+/// the serialized KB: the referenced drug id `7777` is renumbered while
+/// the referencing row keeps it.
+pub fn fixture_orphan_row() -> Fixture {
+    let onto = build_onto();
+    let kb = build_kb(true, "drug");
+    let json = kb.to_json();
+    // Tables serialize sorted by name (drug < indication < precaution),
+    // so the first `7777` is the drug row's own id.
+    let doctored = json.replacen("7777", "1111", 1);
+    assert_ne!(doctored, json, "fixture drug id not found in KB JSON");
+    let kb = KnowledgeBase::from_json(&doctored).expect("doctored KB parses");
+    let mapping = OntologyMapping::infer(&onto, &kb);
+    let space = build_space(&onto);
+    Fixture { onto, kb, mapping, space }
+}

@@ -122,9 +122,7 @@ impl ConversationalMdx {
         let (age_group, condition) = {
             let space = agent.space();
             let find = |name: &str| {
-                space
-                    .intent_by_name(name)
-                    .map(|i| (i.id, i.required_entities.clone()))
+                space.intent_by_name(name).map(|i| (i.id, i.required_entities.clone()))
             };
             (find("Drugs That Treat Condition"), find("Drug Dosage for Condition"))
         };
@@ -165,16 +163,11 @@ impl ConversationalMdx {
         let drug_concept = {
             // The agent's space no longer exposes the ontology directly;
             // DRUG_GENERAL's required entity is the Drug concept.
-            agent
-                .space()
-                .intent_by_name("DRUG_GENERAL")
-                .map(|i| i.required_entities[0])
+            agent.space().intent_by_name("DRUG_GENERAL").map(|i| i.required_entities[0])
         };
         if let Some(drug_concept) = drug_concept {
             for (canonical, synonym) in drug_instance_synonyms() {
-                agent
-                    .nlu_mut()
-                    .add_instance_synonym(drug_concept, &canonical, &synonym);
+                agent.nlu_mut().add_instance_synonym(drug_concept, &canonical, &synonym);
             }
         }
     }
@@ -192,10 +185,8 @@ mod tests {
 
     #[test]
     fn space_matches_paper_inventory() {
-        let (_, _, _, space) = ConversationalMdx::bootstrap_space(MdxDataConfig {
-            drugs: 80,
-            seed: 7,
-        });
+        let (_, _, _, space) =
+            ConversationalMdx::bootstrap_space(MdxDataConfig { drugs: 80, seed: 7 });
         let inv = space.inventory();
         assert_eq!(inv.lookup_intents, 14, "paper: 14 lookup intents; {inv:?}");
         assert_eq!(inv.relationship_intents, 8, "paper: 8 relationship intents; {inv:?}");
@@ -208,10 +199,8 @@ mod tests {
 
     #[test]
     fn table5_intent_names_exist() {
-        let (_, _, _, space) = ConversationalMdx::bootstrap_space(MdxDataConfig {
-            drugs: 80,
-            seed: 7,
-        });
+        let (_, _, _, space) =
+            ConversationalMdx::bootstrap_space(MdxDataConfig { drugs: 80, seed: 7 });
         for name in [
             "Drug Dosage for Condition",
             "Administration of Drug",
@@ -231,10 +220,8 @@ mod tests {
 
     #[test]
     fn treatment_request_requires_condition_and_age_group() {
-        let (onto, _, _, space) = ConversationalMdx::bootstrap_space(MdxDataConfig {
-            drugs: 80,
-            seed: 7,
-        });
+        let (onto, _, _, space) =
+            ConversationalMdx::bootstrap_space(MdxDataConfig { drugs: 80, seed: 7 });
         let treat = space.intent_by_name("Drugs That Treat Condition").unwrap();
         let condition = onto.concept_id("Condition").unwrap();
         let age = onto.concept_id("AgeGroup").unwrap();

@@ -85,10 +85,11 @@ pub const CURATED_DRUGS: &[(&str, &str, &str, &str)] = &[
 
 /// Name fragments for generated (non-curated) drugs.
 const DRUG_PREFIXES: &[&str] = &[
-    "Cardio", "Neuro", "Gastro", "Pulmo", "Derma", "Osteo", "Hema", "Nephro", "Hepato",
-    "Immuno", "Endo", "Rheuma", "Onco",
+    "Cardio", "Neuro", "Gastro", "Pulmo", "Derma", "Osteo", "Hema", "Nephro", "Hepato", "Immuno",
+    "Endo", "Rheuma", "Onco",
 ];
-const DRUG_STEMS: &[&str] = &["vast", "pril", "sart", "olol", "zol", "micin", "cyclin", "dipine", "xaban", "tinib"];
+const DRUG_STEMS: &[&str] =
+    &["vast", "pril", "sart", "olol", "zol", "micin", "cyclin", "dipine", "xaban", "tinib"];
 const DRUG_SUFFIXES: &[&str] = &["in", "ol", "ide", "ate", "one", "ium"];
 
 /// Curated conditions: `(name, icd_code, category)`.
@@ -146,10 +147,7 @@ pub const CONDITIONS: &[(&str, &str, &str)] = &[
 /// Hand-pinned treatment facts used by the paper's transcripts:
 /// `(condition, drugs)`.
 pub const PINNED_TREATMENTS: &[(&str, &[&str])] = &[
-    (
-        "Psoriasis",
-        &["Acitretin", "Adalimumab", "Fluocinonide", "Salicylic Acid", "Tazarotene"],
-    ),
+    ("Psoriasis", &["Acitretin", "Adalimumab", "Fluocinonide", "Salicylic Acid", "Tazarotene"]),
     ("Fever", &["Aspirin", "Ibuprofen", "Acetaminophen"]),
     ("Acne", &["Tazarotene", "Doxycycline", "Salicylic Acid"]),
     ("Parkinsonism", &["Benztropine Mesylate"]),
@@ -197,177 +195,345 @@ macro_rules! sat {
 
 fn satellite_specs() -> Vec<SatSpec> {
     vec![
-        sat!("age_group", [("min_age", Int), ("max_age", Int)], [
-            &["adult", "18", "64"], &["pediatric", "0", "17"],
-            &["geriatric", "65", "120"], &["neonatal", "0", "0"],
-        ]),
-        sat!("dose_unit", [("system", Text), ("abbreviation", Text)], [
-            &["milligram", "metric", "mg"], &["milliliter", "metric", "mL"],
-            &["microgram", "metric", "mcg"], &["gram", "metric", "g"],
-            &["unit", "iu", "U"],
-        ]),
-        sat!("frequency", [("per_day", Int), ("interval_hours", Int)], [
-            &["once daily", "1", "24"], &["twice daily", "2", "12"],
-            &["three times daily", "3", "8"], &["every night", "1", "24"],
-            &["every 6 hours", "4", "6"], &["weekly", "0", "168"],
-        ]),
-        sat!("therapy_duration", [("days", Int), ("note_text", Text)], [
-            &["3 days", "3", "short course"], &["7 days", "7", "standard course"],
-            &["2 weeks", "14", "extended course"], &["4 weeks", "28", "long course"],
-            &["chronic", "0", "ongoing therapy"],
-        ]),
-        sat!("route", [("site", Text), ("invasive", Text)], [
-            &["ORAL", "mouth", "no"], &["TOPICAL", "skin", "no"],
-            &["INTRAVENOUS", "vein", "yes"], &["INTRAMUSCULAR", "muscle", "yes"],
-            &["SUBCUTANEOUS", "subcutis", "yes"], &["OPHTHALMIC", "eye", "no"],
-        ]),
-        sat!("dose_form", [("physical_state", Text), ("strength_note", Text)], [
-            &["tablet", "solid", "fixed strengths"], &["capsule", "solid", "fixed strengths"],
-            &["gel", "semisolid", "0.05% and 0.1%"], &["cream", "semisolid", "0.1%"],
-            &["solution", "liquid", "varied"], &["injection", "liquid", "varied"],
-        ]),
-        sat!("severity", [("rank", Int), ("action_required", Text)], [
-            &["mild", "1", "monitor"], &["moderate", "2", "consider alternatives"],
-            &["severe", "3", "discontinue"],
-        ]),
-        sat!("incidence", [("rate", Text)], [
-            &["common", ">10%"], &["uncommon", "1-10%"], &["rare", "<1%"],
-        ]),
-        sat!("organ_system", [("body_region", Text), ("icd_chapter", Text)], [
-            &["gastrointestinal", "abdomen", "XI"], &["dermatologic", "skin", "XII"],
-            &["neurologic", "nervous system", "VI"], &["cardiovascular", "heart", "IX"],
-            &["renal", "kidney", "XIV"], &["hepatic", "liver", "XI"],
-        ]),
-        sat!("efficacy", [("rank", Int), ("definition", Text)], [
-            &["effective", "1", "evidence favors efficacy"],
-            &["possibly effective", "2", "evidence is inconclusive"],
-            &["ineffective", "3", "evidence is against efficacy"],
-        ]),
-        sat!("evidence_rating", [("description", Text)], [
-            &["category A", "randomized controlled trials"],
-            &["category B", "nonrandomized studies"],
-            &["category C", "expert opinion"],
-        ]),
-        sat!("recommendation", [("strength", Text)], [
-            &["recommended", "strong"], &["conditional", "weak"], &["not recommended", "against"],
-        ]),
-        sat!("absorption", [("description", Text)], [
-            &["rapid", "peak within 1 hour"], &["moderate", "peak in 1-4 hours"],
-            &["slow", "peak after 4 hours"],
-        ]),
-        sat!("distribution", [("description", Text)], [
-            &["wide", "crosses most membranes"], &["plasma-bound", "high protein binding"],
-            &["limited", "low volume of distribution"],
-        ]),
-        sat!("metabolism", [("description", Text)], [
-            &["hepatic CYP3A4", "major oxidative pathway"],
-            &["hepatic CYP2D6", "polymorphic pathway"],
-            &["renal", "excreted largely unchanged"],
-            &["plasma esterases", "hydrolysis in blood"],
-        ]),
-        sat!("excretion", [("description", Text)], [
-            &["renal", "urine"], &["biliary", "feces"], &["mixed", "urine and feces"],
-        ]),
-        sat!("half_life", [("hours", Int)], [
-            &["short", "2"], &["intermediate", "8"], &["long", "24"], &["very long", "72"],
-        ]),
-        sat!("toxic_dose", [("threshold", Text)], [
-            &["low threshold", ">2x therapeutic dose"],
-            &["moderate threshold", ">5x therapeutic dose"],
-            &["high threshold", ">10x therapeutic dose"],
-        ]),
-        sat!("clinical_effect", [("description", Text)], [
-            &["CNS depression", "sedation to coma"], &["arrhythmia", "cardiac conduction changes"],
-            &["hepatotoxicity", "transaminase elevation"], &["nephrotoxicity", "acute kidney injury"],
-        ]),
-        sat!("overdose_treatment", [("description", Text)], [
-            &["activated charcoal", "within 1 hour of ingestion"],
-            &["supportive care", "airway, breathing, circulation"],
-            &["specific antidote", "per toxin"], &["hemodialysis", "for dialyzable agents"],
-        ]),
-        sat!("lab_test", [("specimen", Text), ("units", Text)], [
-            &["INR", "blood", "ratio"], &["serum creatinine", "blood", "mg/dL"],
-            &["liver function panel", "blood", "U/L"], &["complete blood count", "blood", "cells/uL"],
-            &["blood glucose", "blood", "mg/dL"],
-        ]),
-        sat!("schedule", [("authority", Text), ("restrictions", Text)], [
-            &["Schedule II", "DEA", "no refills"], &["Schedule IV", "DEA", "limited refills"],
-            &["Rx only", "FDA", "prescription required"], &["OTC", "FDA", "none"],
-        ]),
-        sat!("approval_status", [("description", Text)], [
-            &["approved", "full marketing approval"], &["investigational", "trials ongoing"],
-            &["withdrawn", "removed from market"],
-        ]),
-        sat!("solution", [("tonicity", Text), ("abbreviation", Text)], [
-            &["normal saline", "isotonic", "NS"], &["dextrose 5%", "isotonic", "D5W"],
-            &["lactated ringers", "isotonic", "LR"], &["half normal saline", "hypotonic", "1/2NS"],
-        ]),
-        sat!("compatibility_result", [("description", Text)], [
-            &["compatible", "no precipitation or loss"], &["incompatible", "precipitation or degradation"],
-            &["variable", "depends on concentration"],
-        ]),
-        sat!("patient_population", [("criteria", Text), ("note_text", Text)], [
-            &["pregnancy", "pregnant patients", "weigh risk and benefit"],
-            &["lactation", "breastfeeding patients", "consider infant exposure"],
-            &["elderly", "age 65 and older", "start low, go slow"],
-            &["renal impairment", "reduced kidney function", "adjust dose"],
-            &["hepatic impairment", "reduced liver function", "adjust dose"],
-        ]),
-        sat!("pregnancy_category", [("risk_summary", Text), ("authority", Text)], [
-            &["category A", "no demonstrated fetal risk", "FDA"],
-            &["category B", "no evidence of risk in humans", "FDA"],
-            &["category C", "risk cannot be ruled out", "FDA"],
-            &["category D", "positive evidence of risk", "FDA"],
-            &["category X", "contraindicated in pregnancy", "FDA"],
-        ]),
-        sat!("lactation_risk", [("description", Text)], [
-            &["compatible", "usual doses pose minimal risk"],
-            &["caution", "monitor the infant"], &["avoid", "significant infant exposure"],
-        ]),
-        sat!("renal_function", [("crcl_range", Text), ("stage", Text)], [
-            &["normal renal function", "CrCl > 60", "stage 1-2"],
-            &["moderate impairment", "CrCl 30-60", "stage 3"],
-            &["severe impairment", "CrCl < 30", "stage 4-5"],
-        ]),
-        sat!("hepatic_function", [("child_pugh", Text), ("stage", Text)], [
-            &["normal hepatic function", "none", "none"],
-            &["mild impairment", "Child-Pugh A", "compensated"],
-            &["moderate impairment", "Child-Pugh B", "significant"],
-            &["severe impairment", "Child-Pugh C", "decompensated"],
-        ]),
-        sat!("drug_class", [("atc_code", Text), ("description", Text)], [
-            &["NSAID", "M01A", "nonsteroidal anti-inflammatory"],
-            &["Retinoid", "D05B", "vitamin A derivative"],
-            &["Corticosteroid", "D07A", "anti-inflammatory steroid"],
-            &["ACE Inhibitor", "C09A", "angiotensin converting enzyme inhibitor"],
-            &["Beta Blocker", "C07A", "beta adrenergic antagonist"],
-            &["Statin", "C10AA", "HMG-CoA reductase inhibitor"],
-            &["SSRI", "N06AB", "selective serotonin reuptake inhibitor"],
-            &["Opioid", "N02A", "opioid receptor agonist"],
-            &["Antibiotic", "J01", "antibacterial"],
-            &["Anticoagulant", "B01A", "blood thinner"],
-        ]),
-        sat!("drug_target", [("target_type", Text)], [
-            &["COX-1", "enzyme"], &["COX-2", "enzyme"], &["retinoic acid receptor", "nuclear receptor"],
-            &["ACE", "enzyme"], &["beta-1 receptor", "GPCR"], &["serotonin transporter", "transporter"],
-            &["mu opioid receptor", "GPCR"], &["HMG-CoA reductase", "enzyme"],
-        ]),
-        sat!("interaction_effect", [("description", Text)], [
-            &["increased bleeding", "additive anticoagulation"],
-            &["reduced efficacy", "antagonism or induction"],
-            &["QT prolongation", "additive cardiac effect"],
-            &["serotonin syndrome", "additive serotonergic effect"],
-            &["increased levels", "metabolic inhibition"],
-        ]),
-        sat!("food", [("category", Text), ("note_text", Text)], [
-            &["grapefruit juice", "fruit", "CYP3A4 inhibition"],
-            &["dairy", "calcium-rich", "chelation reduces absorption"],
-            &["alcohol", "beverage", "additive CNS or hepatic effects"],
-            &["high-fat meal", "meal", "alters absorption"],
-        ]),
-        sat!("warning_source", [("region", Text)], [
-            &["FDA", "United States"], &["EMA", "Europe"],
-        ]),
+        sat!(
+            "age_group",
+            [("min_age", Int), ("max_age", Int)],
+            [
+                &["adult", "18", "64"],
+                &["pediatric", "0", "17"],
+                &["geriatric", "65", "120"],
+                &["neonatal", "0", "0"],
+            ]
+        ),
+        sat!(
+            "dose_unit",
+            [("system", Text), ("abbreviation", Text)],
+            [
+                &["milligram", "metric", "mg"],
+                &["milliliter", "metric", "mL"],
+                &["microgram", "metric", "mcg"],
+                &["gram", "metric", "g"],
+                &["unit", "iu", "U"],
+            ]
+        ),
+        sat!(
+            "frequency",
+            [("per_day", Int), ("interval_hours", Int)],
+            [
+                &["once daily", "1", "24"],
+                &["twice daily", "2", "12"],
+                &["three times daily", "3", "8"],
+                &["every night", "1", "24"],
+                &["every 6 hours", "4", "6"],
+                &["weekly", "0", "168"],
+            ]
+        ),
+        sat!(
+            "therapy_duration",
+            [("days", Int), ("note_text", Text)],
+            [
+                &["3 days", "3", "short course"],
+                &["7 days", "7", "standard course"],
+                &["2 weeks", "14", "extended course"],
+                &["4 weeks", "28", "long course"],
+                &["chronic", "0", "ongoing therapy"],
+            ]
+        ),
+        sat!(
+            "route",
+            [("site", Text), ("invasive", Text)],
+            [
+                &["ORAL", "mouth", "no"],
+                &["TOPICAL", "skin", "no"],
+                &["INTRAVENOUS", "vein", "yes"],
+                &["INTRAMUSCULAR", "muscle", "yes"],
+                &["SUBCUTANEOUS", "subcutis", "yes"],
+                &["OPHTHALMIC", "eye", "no"],
+            ]
+        ),
+        sat!(
+            "dose_form",
+            [("physical_state", Text), ("strength_note", Text)],
+            [
+                &["tablet", "solid", "fixed strengths"],
+                &["capsule", "solid", "fixed strengths"],
+                &["gel", "semisolid", "0.05% and 0.1%"],
+                &["cream", "semisolid", "0.1%"],
+                &["solution", "liquid", "varied"],
+                &["injection", "liquid", "varied"],
+            ]
+        ),
+        sat!(
+            "severity",
+            [("rank", Int), ("action_required", Text)],
+            [
+                &["mild", "1", "monitor"],
+                &["moderate", "2", "consider alternatives"],
+                &["severe", "3", "discontinue"],
+            ]
+        ),
+        sat!(
+            "incidence",
+            [("rate", Text)],
+            [&["common", ">10%"], &["uncommon", "1-10%"], &["rare", "<1%"],]
+        ),
+        sat!(
+            "organ_system",
+            [("body_region", Text), ("icd_chapter", Text)],
+            [
+                &["gastrointestinal", "abdomen", "XI"],
+                &["dermatologic", "skin", "XII"],
+                &["neurologic", "nervous system", "VI"],
+                &["cardiovascular", "heart", "IX"],
+                &["renal", "kidney", "XIV"],
+                &["hepatic", "liver", "XI"],
+            ]
+        ),
+        sat!(
+            "efficacy",
+            [("rank", Int), ("definition", Text)],
+            [
+                &["effective", "1", "evidence favors efficacy"],
+                &["possibly effective", "2", "evidence is inconclusive"],
+                &["ineffective", "3", "evidence is against efficacy"],
+            ]
+        ),
+        sat!(
+            "evidence_rating",
+            [("description", Text)],
+            [
+                &["category A", "randomized controlled trials"],
+                &["category B", "nonrandomized studies"],
+                &["category C", "expert opinion"],
+            ]
+        ),
+        sat!(
+            "recommendation",
+            [("strength", Text)],
+            [&["recommended", "strong"], &["conditional", "weak"], &["not recommended", "against"],]
+        ),
+        sat!(
+            "absorption",
+            [("description", Text)],
+            [
+                &["rapid", "peak within 1 hour"],
+                &["moderate", "peak in 1-4 hours"],
+                &["slow", "peak after 4 hours"],
+            ]
+        ),
+        sat!(
+            "distribution",
+            [("description", Text)],
+            [
+                &["wide", "crosses most membranes"],
+                &["plasma-bound", "high protein binding"],
+                &["limited", "low volume of distribution"],
+            ]
+        ),
+        sat!(
+            "metabolism",
+            [("description", Text)],
+            [
+                &["hepatic CYP3A4", "major oxidative pathway"],
+                &["hepatic CYP2D6", "polymorphic pathway"],
+                &["renal", "excreted largely unchanged"],
+                &["plasma esterases", "hydrolysis in blood"],
+            ]
+        ),
+        sat!(
+            "excretion",
+            [("description", Text)],
+            [&["renal", "urine"], &["biliary", "feces"], &["mixed", "urine and feces"],]
+        ),
+        sat!(
+            "half_life",
+            [("hours", Int)],
+            [&["short", "2"], &["intermediate", "8"], &["long", "24"], &["very long", "72"],]
+        ),
+        sat!(
+            "toxic_dose",
+            [("threshold", Text)],
+            [
+                &["low threshold", ">2x therapeutic dose"],
+                &["moderate threshold", ">5x therapeutic dose"],
+                &["high threshold", ">10x therapeutic dose"],
+            ]
+        ),
+        sat!(
+            "clinical_effect",
+            [("description", Text)],
+            [
+                &["CNS depression", "sedation to coma"],
+                &["arrhythmia", "cardiac conduction changes"],
+                &["hepatotoxicity", "transaminase elevation"],
+                &["nephrotoxicity", "acute kidney injury"],
+            ]
+        ),
+        sat!(
+            "overdose_treatment",
+            [("description", Text)],
+            [
+                &["activated charcoal", "within 1 hour of ingestion"],
+                &["supportive care", "airway, breathing, circulation"],
+                &["specific antidote", "per toxin"],
+                &["hemodialysis", "for dialyzable agents"],
+            ]
+        ),
+        sat!(
+            "lab_test",
+            [("specimen", Text), ("units", Text)],
+            [
+                &["INR", "blood", "ratio"],
+                &["serum creatinine", "blood", "mg/dL"],
+                &["liver function panel", "blood", "U/L"],
+                &["complete blood count", "blood", "cells/uL"],
+                &["blood glucose", "blood", "mg/dL"],
+            ]
+        ),
+        sat!(
+            "schedule",
+            [("authority", Text), ("restrictions", Text)],
+            [
+                &["Schedule II", "DEA", "no refills"],
+                &["Schedule IV", "DEA", "limited refills"],
+                &["Rx only", "FDA", "prescription required"],
+                &["OTC", "FDA", "none"],
+            ]
+        ),
+        sat!(
+            "approval_status",
+            [("description", Text)],
+            [
+                &["approved", "full marketing approval"],
+                &["investigational", "trials ongoing"],
+                &["withdrawn", "removed from market"],
+            ]
+        ),
+        sat!(
+            "solution",
+            [("tonicity", Text), ("abbreviation", Text)],
+            [
+                &["normal saline", "isotonic", "NS"],
+                &["dextrose 5%", "isotonic", "D5W"],
+                &["lactated ringers", "isotonic", "LR"],
+                &["half normal saline", "hypotonic", "1/2NS"],
+            ]
+        ),
+        sat!(
+            "compatibility_result",
+            [("description", Text)],
+            [
+                &["compatible", "no precipitation or loss"],
+                &["incompatible", "precipitation or degradation"],
+                &["variable", "depends on concentration"],
+            ]
+        ),
+        sat!(
+            "patient_population",
+            [("criteria", Text), ("note_text", Text)],
+            [
+                &["pregnancy", "pregnant patients", "weigh risk and benefit"],
+                &["lactation", "breastfeeding patients", "consider infant exposure"],
+                &["elderly", "age 65 and older", "start low, go slow"],
+                &["renal impairment", "reduced kidney function", "adjust dose"],
+                &["hepatic impairment", "reduced liver function", "adjust dose"],
+            ]
+        ),
+        sat!(
+            "pregnancy_category",
+            [("risk_summary", Text), ("authority", Text)],
+            [
+                &["category A", "no demonstrated fetal risk", "FDA"],
+                &["category B", "no evidence of risk in humans", "FDA"],
+                &["category C", "risk cannot be ruled out", "FDA"],
+                &["category D", "positive evidence of risk", "FDA"],
+                &["category X", "contraindicated in pregnancy", "FDA"],
+            ]
+        ),
+        sat!(
+            "lactation_risk",
+            [("description", Text)],
+            [
+                &["compatible", "usual doses pose minimal risk"],
+                &["caution", "monitor the infant"],
+                &["avoid", "significant infant exposure"],
+            ]
+        ),
+        sat!(
+            "renal_function",
+            [("crcl_range", Text), ("stage", Text)],
+            [
+                &["normal renal function", "CrCl > 60", "stage 1-2"],
+                &["moderate impairment", "CrCl 30-60", "stage 3"],
+                &["severe impairment", "CrCl < 30", "stage 4-5"],
+            ]
+        ),
+        sat!(
+            "hepatic_function",
+            [("child_pugh", Text), ("stage", Text)],
+            [
+                &["normal hepatic function", "none", "none"],
+                &["mild impairment", "Child-Pugh A", "compensated"],
+                &["moderate impairment", "Child-Pugh B", "significant"],
+                &["severe impairment", "Child-Pugh C", "decompensated"],
+            ]
+        ),
+        sat!(
+            "drug_class",
+            [("atc_code", Text), ("description", Text)],
+            [
+                &["NSAID", "M01A", "nonsteroidal anti-inflammatory"],
+                &["Retinoid", "D05B", "vitamin A derivative"],
+                &["Corticosteroid", "D07A", "anti-inflammatory steroid"],
+                &["ACE Inhibitor", "C09A", "angiotensin converting enzyme inhibitor"],
+                &["Beta Blocker", "C07A", "beta adrenergic antagonist"],
+                &["Statin", "C10AA", "HMG-CoA reductase inhibitor"],
+                &["SSRI", "N06AB", "selective serotonin reuptake inhibitor"],
+                &["Opioid", "N02A", "opioid receptor agonist"],
+                &["Antibiotic", "J01", "antibacterial"],
+                &["Anticoagulant", "B01A", "blood thinner"],
+            ]
+        ),
+        sat!(
+            "drug_target",
+            [("target_type", Text)],
+            [
+                &["COX-1", "enzyme"],
+                &["COX-2", "enzyme"],
+                &["retinoic acid receptor", "nuclear receptor"],
+                &["ACE", "enzyme"],
+                &["beta-1 receptor", "GPCR"],
+                &["serotonin transporter", "transporter"],
+                &["mu opioid receptor", "GPCR"],
+                &["HMG-CoA reductase", "enzyme"],
+            ]
+        ),
+        sat!(
+            "interaction_effect",
+            [("description", Text)],
+            [
+                &["increased bleeding", "additive anticoagulation"],
+                &["reduced efficacy", "antagonism or induction"],
+                &["QT prolongation", "additive cardiac effect"],
+                &["serotonin syndrome", "additive serotonergic effect"],
+                &["increased levels", "metabolic inhibition"],
+            ]
+        ),
+        sat!(
+            "food",
+            [("category", Text), ("note_text", Text)],
+            [
+                &["grapefruit juice", "fruit", "CYP3A4 inhibition"],
+                &["dairy", "calcium-rich", "chelation reduces absorption"],
+                &["alcohol", "beverage", "additive CNS or hepatic effects"],
+                &["high-fat meal", "meal", "alters absorption"],
+            ]
+        ),
+        sat!(
+            "warning_source",
+            [("region", Text)],
+            [&["FDA", "United States"], &["EMA", "Europe"],]
+        ),
     ]
 }
 
@@ -449,18 +615,54 @@ fn create_schema(kb: &mut KnowledgeBase) {
     }
     // Dependent tables: (table, satellite fk tables, extra text columns).
     let dependents: &[(&str, &[&str], &[&str])] = &[
-        ("administration", &["route", "dose_form"], &["description", "instructions", "timing", "note"]),
-        ("adverse_effect", &["severity", "incidence", "organ_system"], &["description", "effect", "onset", "note"]),
-        ("dose_adjustment", &["renal_function", "hepatic_function"], &["description", "adjustment", "rationale", "note"]),
+        (
+            "administration",
+            &["route", "dose_form"],
+            &["description", "instructions", "timing", "note"],
+        ),
+        (
+            "adverse_effect",
+            &["severity", "incidence", "organ_system"],
+            &["description", "effect", "onset", "note"],
+        ),
+        (
+            "dose_adjustment",
+            &["renal_function", "hepatic_function"],
+            &["description", "adjustment", "rationale", "note"],
+        ),
         ("drug_interaction", &[], &["description", "summary", "onset", "note"]),
-        ("iv_compatibility", &["solution", "compatibility_result"], &["description", "result_note", "study_basis", "note"]),
-        ("mechanism_of_action", &["drug_class", "drug_target"], &["description", "pathway", "pharmacology", "note"]),
+        (
+            "iv_compatibility",
+            &["solution", "compatibility_result"],
+            &["description", "result_note", "study_basis", "note"],
+        ),
+        (
+            "mechanism_of_action",
+            &["drug_class", "drug_target"],
+            &["description", "pathway", "pharmacology", "note"],
+        ),
         ("monitoring", &["lab_test"], &["description", "parameter", "target_range", "note"]),
-        ("pharmacokinetics", &["absorption", "distribution", "metabolism", "excretion", "half_life"], &["description", "profile", "kinetics_note", "note"]),
-        ("precaution", &["patient_population", "pregnancy_category", "lactation_risk"], &["description", "detail", "applies_to", "note"]),
-        ("regulatory_status", &["schedule", "approval_status"], &["description", "status_note", "region", "note"]),
+        (
+            "pharmacokinetics",
+            &["absorption", "distribution", "metabolism", "excretion", "half_life"],
+            &["description", "profile", "kinetics_note", "note"],
+        ),
+        (
+            "precaution",
+            &["patient_population", "pregnancy_category", "lactation_risk"],
+            &["description", "detail", "applies_to", "note"],
+        ),
+        (
+            "regulatory_status",
+            &["schedule", "approval_status"],
+            &["description", "status_note", "region", "note"],
+        ),
         ("risk", &[], &["description", "summary", "severity_note", "note"]),
-        ("use", &["efficacy", "evidence_rating", "recommendation"], &["description", "indication_note", "evidence_note", "note"]),
+        (
+            "use",
+            &["efficacy", "evidence_rating", "recommendation"],
+            &["description", "indication_note", "evidence_note", "note"],
+        ),
     ];
     for (table, sats, cols) in dependents {
         let mut s = TableSchema::new(*table)
@@ -469,9 +671,11 @@ fn create_schema(kb: &mut KnowledgeBase) {
             .primary_key(format!("{table}_id"))
             .foreign_key("drug_id", "drug", "drug_id");
         for sat in *sats {
-            s = s
-                .column(format!("{sat}_id"), Int)
-                .foreign_key(format!("{sat}_id"), *sat, format!("{sat}_id"));
+            s = s.column(format!("{sat}_id"), Int).foreign_key(
+                format!("{sat}_id"),
+                *sat,
+                format!("{sat}_id"),
+            );
         }
         for col in *cols {
             s = s.column(*col, Text);
@@ -714,8 +918,8 @@ fn populate_drugs(kb: &mut KnowledgeBase, rng: &mut ChaCha8Rng, total: usize) ->
             continue;
         }
         let id = names.len() as i64;
-        let class = ["Antibiotic", "Statin", "Beta Blocker", "SSRI", "NSAID"]
-            [rng.gen_range(0..5)];
+        let class =
+            ["Antibiotic", "Statin", "Beta Blocker", "SSRI", "NSAID"][rng.gen_range(0..5usize)];
         kb.insert(
             "drug",
             vec![
@@ -735,10 +939,7 @@ fn populate_drugs(kb: &mut KnowledgeBase, rng: &mut ChaCha8Rng, total: usize) ->
 }
 
 fn condition_id(name: &str) -> i64 {
-    CONDITIONS
-        .iter()
-        .position(|(n, _, _)| *n == name)
-        .expect("pinned condition exists") as i64
+    CONDITIONS.iter().position(|(n, _, _)| *n == name).expect("pinned condition exists") as i64
 }
 
 fn drug_id(names: &[String], name: &str) -> i64 {
@@ -836,7 +1037,8 @@ fn populate_dependents(kb: &mut KnowledgeBase, rng: &mut ChaCha8Rng, drugs: &[St
                 continue;
             }
             if rng.gen_bool(0.85) {
-                let amount = format!("{} mg", [5, 10, 20, 25, 50, 100, 250, 500][rng.gen_range(0..8)]);
+                let amount =
+                    format!("{} mg", [5, 10, 20, 25, 50, 100, 250, 500][rng.gen_range(0..8usize)]);
                 let freq = rng.gen_range(0..6i64);
                 kb.insert(
                     "dosage",
@@ -881,7 +1083,7 @@ fn populate_dependents(kb: &mut KnowledgeBase, rng: &mut ChaCha8Rng, drugs: &[St
                         name
                     )),
                     Value::text(format!("{name} risk summary {risk_id}")),
-                    Value::text(["low", "medium", "high"][rng.gen_range(0..3)]),
+                    Value::text(["low", "medium", "high"][rng.gen_range(0..3usize)]),
                     Value::text("see monograph"),
                 ],
             )
@@ -931,7 +1133,7 @@ fn populate_dependents(kb: &mut KnowledgeBase, rng: &mut ChaCha8Rng, drugs: &[St
                         _ => format!("{name} affects laboratory tests"),
                     }),
                     Value::text(format!("interaction summary {ia_id}")),
-                    Value::text(["rapid", "delayed"][rng.gen_range(0..2)]),
+                    Value::text(["rapid", "delayed"][rng.gen_range(0..2usize)]),
                     Value::text("monitor closely"),
                 ],
             )
@@ -1014,132 +1216,148 @@ fn populate_dependents(kb: &mut KnowledgeBase, rng: &mut ChaCha8Rng, drugs: &[St
             sats: &["route", "dose_form"],
             min: 1,
             max: 2,
-            text: |name, i| [
-                format!("Administer {name} as directed"),
-                format!("take {name} with a full glass of water"),
-                "morning".to_string(),
-                format!("administration note {i}"),
-            ],
+            text: |name, i| {
+                [
+                    format!("Administer {name} as directed"),
+                    format!("take {name} with a full glass of water"),
+                    "morning".to_string(),
+                    format!("administration note {i}"),
+                ]
+            },
         },
         Gen {
             table: "adverse_effect",
             sats: &["severity", "incidence", "organ_system"],
             min: 2,
             max: 5,
-            text: |name, i| [
-                format!("{name} adverse effect {i}"),
-                ["nausea", "rash", "dizziness", "headache", "fatigue", "insomnia"]
-                    [(i % 6) as usize]
-                    .to_string(),
-                "within days".to_string(),
-                "usually transient".to_string(),
-            ],
+            text: |name, i| {
+                [
+                    format!("{name} adverse effect {i}"),
+                    ["nausea", "rash", "dizziness", "headache", "fatigue", "insomnia"]
+                        [(i % 6) as usize]
+                        .to_string(),
+                    "within days".to_string(),
+                    "usually transient".to_string(),
+                ]
+            },
         },
         Gen {
             table: "dose_adjustment",
             sats: &["renal_function", "hepatic_function"],
             min: 1,
             max: 2,
-            text: |name, i| [
-                format!("Reduce {name} dose in organ impairment"),
-                format!("reduce by {}%", 25 + (i % 3) * 25),
-                "reduced clearance".to_string(),
-                "re-evaluate weekly".to_string(),
-            ],
+            text: |name, i| {
+                [
+                    format!("Reduce {name} dose in organ impairment"),
+                    format!("reduce by {}%", 25 + (i % 3) * 25),
+                    "reduced clearance".to_string(),
+                    "re-evaluate weekly".to_string(),
+                ]
+            },
         },
         Gen {
             table: "iv_compatibility",
             sats: &["solution", "compatibility_result"],
             min: 1,
             max: 2,
-            text: |name, i| [
-                format!("{name} IV compatibility record {i}"),
-                "visual and chemical stability assessed".to_string(),
-                "physical compatibility study".to_string(),
-                "4 hour observation".to_string(),
-            ],
+            text: |name, i| {
+                [
+                    format!("{name} IV compatibility record {i}"),
+                    "visual and chemical stability assessed".to_string(),
+                    "physical compatibility study".to_string(),
+                    "4 hour observation".to_string(),
+                ]
+            },
         },
         Gen {
             table: "mechanism_of_action",
             sats: &["drug_class", "drug_target"],
             min: 1,
             max: 1,
-            text: |name, _| [
-                format!("{name} mechanism of action"),
-                "receptor-level modulation".to_string(),
-                "dose-dependent effect".to_string(),
-                "see pharmacology section".to_string(),
-            ],
+            text: |name, _| {
+                [
+                    format!("{name} mechanism of action"),
+                    "receptor-level modulation".to_string(),
+                    "dose-dependent effect".to_string(),
+                    "see pharmacology section".to_string(),
+                ]
+            },
         },
         Gen {
             table: "monitoring",
             sats: &["lab_test"],
             min: 1,
             max: 2,
-            text: |name, i| [
-                format!("Monitor therapy with {name}"),
-                "laboratory parameter".to_string(),
-                "within reference range".to_string(),
-                format!("monitoring note {i}"),
-            ],
+            text: |name, i| {
+                [
+                    format!("Monitor therapy with {name}"),
+                    "laboratory parameter".to_string(),
+                    "within reference range".to_string(),
+                    format!("monitoring note {i}"),
+                ]
+            },
         },
         Gen {
             table: "pharmacokinetics",
             sats: &["absorption", "distribution", "metabolism", "excretion", "half_life"],
             min: 1,
             max: 1,
-            text: |name, _| [
-                format!("{name} pharmacokinetic profile"),
-                "single and multiple dose".to_string(),
-                "linear kinetics".to_string(),
-                "healthy volunteers".to_string(),
-            ],
+            text: |name, _| {
+                [
+                    format!("{name} pharmacokinetic profile"),
+                    "single and multiple dose".to_string(),
+                    "linear kinetics".to_string(),
+                    "healthy volunteers".to_string(),
+                ]
+            },
         },
         Gen {
             table: "precaution",
             sats: &["patient_population", "pregnancy_category", "lactation_risk"],
             min: 1,
             max: 3,
-            text: |name, i| [
-                format!("Use {name} with caution in special populations"),
-                format!("precaution detail {i}"),
-                "special population".to_string(),
-                "weigh risks and benefits".to_string(),
-            ],
+            text: |name, i| {
+                [
+                    format!("Use {name} with caution in special populations"),
+                    format!("precaution detail {i}"),
+                    "special population".to_string(),
+                    "weigh risks and benefits".to_string(),
+                ]
+            },
         },
         Gen {
             table: "regulatory_status",
             sats: &["schedule", "approval_status"],
             min: 1,
             max: 1,
-            text: |name, _| [
-                format!("{name} regulatory standing"),
-                "current marketing status".to_string(),
-                "United States".to_string(),
-                "subject to change".to_string(),
-            ],
+            text: |name, _| {
+                [
+                    format!("{name} regulatory standing"),
+                    "current marketing status".to_string(),
+                    "United States".to_string(),
+                    "subject to change".to_string(),
+                ]
+            },
         },
         Gen {
             table: "use",
             sats: &["efficacy", "evidence_rating", "recommendation"],
             min: 1,
             max: 3,
-            text: |name, i| [
-                format!("{name} labeled use {i}"),
-                "indicated per label".to_string(),
-                "supported by trials".to_string(),
-                "adult and pediatric where noted".to_string(),
-            ],
+            text: |name, i| {
+                [
+                    format!("{name} labeled use {i}"),
+                    "indicated per label".to_string(),
+                    "supported by trials".to_string(),
+                    "adult and pediatric where noted".to_string(),
+                ]
+            },
         },
     ];
     for g in generators {
         let mut row_id = 0i64;
         for (did, name) in drugs.iter().enumerate() {
-            let count = if g.min == g.max {
-                g.min
-            } else {
-                rng.gen_range(g.min..=g.max)
-            };
+            let count = if g.min == g.max { g.min } else { rng.gen_range(g.min..=g.max) };
             for _ in 0..count {
                 let texts = (g.text)(name, row_id);
                 let mut row = vec![Value::Int(row_id), Value::Int(did as i64)];
@@ -1198,9 +1416,7 @@ mod tests {
             .unwrap();
         assert!(rs.rows.iter().any(|r| r[0].to_string().contains("Tazorac")));
         // Cogentin exists as a brand.
-        let rs = kb
-            .query("SELECT name FROM drug WHERE brand = 'Cogentin'")
-            .unwrap();
+        let rs = kb.query("SELECT name FROM drug WHERE brand = 'Cogentin'").unwrap();
         assert_eq!(rs.rows[0][0], Value::text("Benztropine Mesylate"));
     }
 
@@ -1216,7 +1432,8 @@ mod tests {
             )
             .unwrap();
         let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
-        for expected in ["Acitretin", "Adalimumab", "Fluocinonide", "Salicylic Acid", "Tazarotene"] {
+        for expected in ["Acitretin", "Adalimumab", "Fluocinonide", "Salicylic Acid", "Tazarotene"]
+        {
             assert!(names.contains(&expected.to_string()), "missing {expected}");
         }
     }
@@ -1244,9 +1461,7 @@ mod tests {
     #[test]
     fn partial_name_bases_exist() {
         let kb = build_mdx_kb(MdxDataConfig::default());
-        let rs = kb
-            .query("SELECT name FROM drug WHERE name LIKE 'Calcium%'")
-            .unwrap();
+        let rs = kb.query("SELECT name FROM drug WHERE name LIKE 'Calcium%'").unwrap();
         assert_eq!(rs.rows.len(), 2, "Calcium Carbonate and Calcium Citrate");
     }
 

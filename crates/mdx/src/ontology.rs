@@ -7,14 +7,8 @@
 use obcs_ontology::{Ontology, OntologyBuilder};
 
 /// Key concept: Drug (6 data properties).
-pub const DRUG_PROPS: &[&str] = &[
-    "name",
-    "brand",
-    "base_salt",
-    "description",
-    "drug_class_name",
-    "approval_year",
-];
+pub const DRUG_PROPS: &[&str] =
+    &["name", "brand", "base_salt", "description", "drug_class_name", "approval_year"];
 
 /// Key concept: Condition (4 data properties).
 pub const CONDITION_PROPS: &[&str] = &["name", "icd_code", "description", "category"];
@@ -90,7 +84,12 @@ pub const SATELLITES: &[(&str, &str, &str, &[&str])] = &[
     ("CompatibilityResult", "IvCompatibility", "withResult", &["name", "description"]),
     // Precaution facets.
     ("PatientPopulation", "Precaution", "forPopulation", &["name", "criteria", "note_text"]),
-    ("PregnancyCategory", "Precaution", "inPregnancyCategory", &["name", "risk_summary", "authority"]),
+    (
+        "PregnancyCategory",
+        "Precaution",
+        "inPregnancyCategory",
+        &["name", "risk_summary", "authority"],
+    ),
     ("LactationRisk", "Precaution", "withLactationRisk", &["name", "description"]),
     // Dose-adjustment facets.
     ("RenalFunction", "DoseAdjustment", "forRenalFunction", &["name", "crcl_range", "stage"]),
@@ -164,10 +163,7 @@ pub fn build_mdx_ontology() -> Ontology {
             "BlackBoxWarning",
             "the strongest warning the FDA requires, indicating a serious or life-threatening risk",
         )
-        .concept_described(
-            "AdverseEffect",
-            "an unintended and harmful reaction to a medication",
-        )
+        .concept_described("AdverseEffect", "an unintended and harmful reaction to a medication")
         .concept_described(
             "IvCompatibility",
             "whether two intravenous preparations can be administered together",
@@ -203,10 +199,7 @@ mod tests {
         let di = o.concept_id("DrugInteraction").unwrap();
         assert_eq!(o.is_a_children(di).len(), 3);
         let drug = o.concept_id("Drug").unwrap();
-        let treats = o
-            .outgoing(drug)
-            .find(|op| op.name == "treats")
-            .expect("treats edge");
+        let treats = o.outgoing(drug).find(|op| op.name == "treats").expect("treats edge");
         assert_eq!(treats.inverse_name.as_deref(), Some("is treated by"));
         assert_eq!(o.concept_name(treats.target), "Condition");
     }

@@ -11,7 +11,10 @@ use obcs_ontology::Ontology;
 /// (the paper's §6.1 management intents), as `(name, response)`.
 pub const MANAGEMENT_INTENTS: &[(&str, &str)] = &[
     ("Greeting", "Hello. This is {agent}. How can I help you today?"),
-    ("Capability Check", "I can answer drug reference questions: treatments, dosing, interactions, and more."),
+    (
+        "Capability Check",
+        "I can answer drug reference questions: treatments, dosing, interactions, and more.",
+    ),
     ("Help Request", "Try asking, for example: \"show me drugs that treat psoriasis\"."),
     ("Appreciation", "You're welcome! Anything else?"),
     ("Acknowledgement", "Anything else?"),
@@ -28,103 +31,208 @@ pub const MANAGEMENT_INTENTS: &[(&str, &str)] = &[
 /// Training phrasings for each management intent (SME-labelled, since the
 /// classifier needs examples across all 36 intents for Table 5).
 const MANAGEMENT_EXAMPLES: &[(&str, &[&str])] = &[
-    ("Greeting", &["hello", "hi there", "hey", "good morning", "greetings to you", "hello micromedex"]),
-    ("Capability Check", &["what can you do", "what do you know", "what questions can i ask", "tell me your capabilities", "what are you able to answer"]),
-    ("Help Request", &["help", "i need help", "how does this work", "show me instructions", "how do i search", "what should i type"]),
-    ("Appreciation", &["thanks", "thank you", "thanks a lot", "thank you so much", "appreciate it", "many thanks"]),
+    (
+        "Greeting",
+        &["hello", "hi there", "hey", "good morning", "greetings to you", "hello micromedex"],
+    ),
+    (
+        "Capability Check",
+        &[
+            "what can you do",
+            "what do you know",
+            "what questions can i ask",
+            "tell me your capabilities",
+            "what are you able to answer",
+        ],
+    ),
+    (
+        "Help Request",
+        &[
+            "help",
+            "i need help",
+            "how does this work",
+            "show me instructions",
+            "how do i search",
+            "what should i type",
+        ],
+    ),
+    (
+        "Appreciation",
+        &[
+            "thanks",
+            "thank you",
+            "thanks a lot",
+            "thank you so much",
+            "appreciate it",
+            "many thanks",
+        ],
+    ),
     ("Acknowledgement", &["ok", "okay", "got it", "understood", "i see", "alright then"]),
     ("Affirmation", &["yes", "yes please", "yeah", "sure", "that would be great", "correct"]),
-    ("Disconfirmation", &["no", "nope", "no thanks", "not that", "that is not what i want", "wrong"]),
-    ("Repeat Request", &["what did you say", "please repeat", "say that again", "repeat the last answer", "come again please", "pardon me"]),
-    ("Definition Request", &["what do you mean by effective", "what does contraindication mean", "define black box warning", "meaning of adverse effect", "what do you mean by iv compatibility"]),
-    ("Paraphrase Request", &["what do you mean", "i don't understand", "can you rephrase", "please say that differently", "that was confusing"]),
+    (
+        "Disconfirmation",
+        &["no", "nope", "no thanks", "not that", "that is not what i want", "wrong"],
+    ),
+    (
+        "Repeat Request",
+        &[
+            "what did you say",
+            "please repeat",
+            "say that again",
+            "repeat the last answer",
+            "come again please",
+            "pardon me",
+        ],
+    ),
+    (
+        "Definition Request",
+        &[
+            "what do you mean by effective",
+            "what does contraindication mean",
+            "define black box warning",
+            "meaning of adverse effect",
+            "what do you mean by iv compatibility",
+        ],
+    ),
+    (
+        "Paraphrase Request",
+        &[
+            "what do you mean",
+            "i don't understand",
+            "can you rephrase",
+            "please say that differently",
+            "that was confusing",
+        ],
+    ),
     ("Abort", &["never mind", "forget it", "cancel that", "stop", "skip this", "drop it"]),
     ("Closing", &["goodbye", "bye", "see you later", "i'm done", "that's all for today", "exit"]),
-    ("Chitchat", &["how are you", "who are you", "are you a robot", "tell me about yourself", "what's your name"]),
+    (
+        "Chitchat",
+        &[
+            "how are you",
+            "who are you",
+            "are you a robot",
+            "tell me about yourself",
+            "what's your name",
+        ],
+    ),
 ];
 
 /// Prior user queries labelled by SMEs (Fig. 8 augmentation): phrasings the
 /// automatic generator would not produce.
 const PRIOR_QUERIES: &[(&str, &[&str])] = &[
-    ("Dose Adjustments for Drug", &[
-        "find dose adjustment for aspirin",
-        "give me the increased dosage for aspirin",
-        "how do i perform a dose adjustment for aspirin",
-        "i want to see the modifications to dosing for aspirin",
-        "renal dosing changes for metformin",
-    ]),
-    ("Adverse Effects of Drug", &[
-        "what are the side effects of cogentin",
-        "cogentin adverse effects",
-        "side effects of ibuprofen",
-        "does amoxicillin cause rash",
-        "negative reactions to warfarin",
-    ]),
-    ("Drugs That Treat Condition", &[
-        "show me drugs that treat psoriasis",
-        "what can i give for fever",
-        "treatment options for acne",
-        "what's used for bronchitis",
-        "best medication for hypertension",
-        "medications for migraine",
-        "meds for fever",
-        "drugs for psoriasis",
-    ]),
-    ("Dosages of Drug", &[
-        "how much aspirin should i give",
-        "how much amoxicillin can i give",
-        "dosing of warfarin",
-    ]),
-    ("Drug Dosage for Condition", &[
-        "give me the dosage for tazarotene for acne",
-        "dosage for tazarotene",
-        "how much ibuprofen for fever",
-        "tazarotene dosing in psoriasis",
-        "aspirin dose for headache",
-        "dose of amoxicillin to treat otitis media",
-        "dose of aspirin to treat fever",
-    ]),
-    ("Uses of Drug", &[
-        "what is aspirin used for",
-        "uses of benazepril",
-        "what is tazarotene for",
-        "why would someone take metformin",
-        "indication for adalimumab",
-        "what does aspirin do",
-        "what does metformin do",
-        "why take ibuprofen",
-    ]),
-    ("Drug-Drug Interactions", &[
-        "what are the drug interactions for aspirin",
-        "does warfarin interact with aspirin",
-        "drug-drug interactions of amiodarone",
-        "can i combine ibuprofen and warfarin",
-        "interactions between sertraline and tramadol",
-    ]),
-    ("IV Compatibility of Drug", &[
-        "iv compatibility of heparin",
-        "is heparin compatible with normal saline",
-        "y-site compatibility for furosemide",
-        "can i run morphine with d5w",
-    ]),
-    ("Administration of Drug", &[
-        "how do i administer adalimumab",
-        "how should tazarotene be applied",
-        "administration instructions for insulin glargine",
-        "how to take omeprazole",
-    ]),
-    ("Regulatory Status for Drug", &[
-        "regulatory status for oxycodone",
-        "is tramadol a controlled substance",
-        "what schedule is morphine",
-        "is loratadine over the counter",
-    ]),
-    ("Precautions of Drug", &[
-        "show me the precautions for benazepril",
-        "is aspirin safe to give in pregnancy",
-        "precautions for methotrexate",
-        "cautions for warfarin in elderly",
-    ]),
+    (
+        "Dose Adjustments for Drug",
+        &[
+            "find dose adjustment for aspirin",
+            "give me the increased dosage for aspirin",
+            "how do i perform a dose adjustment for aspirin",
+            "i want to see the modifications to dosing for aspirin",
+            "renal dosing changes for metformin",
+        ],
+    ),
+    (
+        "Adverse Effects of Drug",
+        &[
+            "what are the side effects of cogentin",
+            "cogentin adverse effects",
+            "side effects of ibuprofen",
+            "does amoxicillin cause rash",
+            "negative reactions to warfarin",
+        ],
+    ),
+    (
+        "Drugs That Treat Condition",
+        &[
+            "show me drugs that treat psoriasis",
+            "what can i give for fever",
+            "treatment options for acne",
+            "what's used for bronchitis",
+            "best medication for hypertension",
+            "medications for migraine",
+            "meds for fever",
+            "drugs for psoriasis",
+        ],
+    ),
+    (
+        "Dosages of Drug",
+        &[
+            "how much aspirin should i give",
+            "how much amoxicillin can i give",
+            "dosing of warfarin",
+        ],
+    ),
+    (
+        "Drug Dosage for Condition",
+        &[
+            "give me the dosage for tazarotene for acne",
+            "dosage for tazarotene",
+            "how much ibuprofen for fever",
+            "tazarotene dosing in psoriasis",
+            "aspirin dose for headache",
+            "dose of amoxicillin to treat otitis media",
+            "dose of aspirin to treat fever",
+        ],
+    ),
+    (
+        "Uses of Drug",
+        &[
+            "what is aspirin used for",
+            "uses of benazepril",
+            "what is tazarotene for",
+            "why would someone take metformin",
+            "indication for adalimumab",
+            "what does aspirin do",
+            "what does metformin do",
+            "why take ibuprofen",
+        ],
+    ),
+    (
+        "Drug-Drug Interactions",
+        &[
+            "what are the drug interactions for aspirin",
+            "does warfarin interact with aspirin",
+            "drug-drug interactions of amiodarone",
+            "can i combine ibuprofen and warfarin",
+            "interactions between sertraline and tramadol",
+        ],
+    ),
+    (
+        "IV Compatibility of Drug",
+        &[
+            "iv compatibility of heparin",
+            "is heparin compatible with normal saline",
+            "y-site compatibility for furosemide",
+            "can i run morphine with d5w",
+        ],
+    ),
+    (
+        "Administration of Drug",
+        &[
+            "how do i administer adalimumab",
+            "how should tazarotene be applied",
+            "administration instructions for insulin glargine",
+            "how to take omeprazole",
+        ],
+    ),
+    (
+        "Regulatory Status for Drug",
+        &[
+            "regulatory status for oxycodone",
+            "is tramadol a controlled substance",
+            "what schedule is morphine",
+            "is loratadine over the counter",
+        ],
+    ),
+    (
+        "Precautions of Drug",
+        &[
+            "show me the precautions for benazepril",
+            "is aspirin safe to give in pregnancy",
+            "precautions for methotrexate",
+            "cautions for warfarin in elderly",
+        ],
+    ),
 ];
 
 /// Intent names the generated space produces that SMEs prune as unlikely
@@ -214,7 +322,8 @@ mod tests {
         // Every prior-query intent name must be a post-rename product name
         // or an auto-generated name that survives.
         let renamed: Vec<&str> = RENAMES.iter().map(|&(_, to)| to).collect();
-        let auto_survivors = ["Uses of Drug", "Adverse Effects of Drug", "Precautions of Drug", "Dosages of Drug"];
+        let auto_survivors =
+            ["Uses of Drug", "Adverse Effects of Drug", "Precautions of Drug", "Dosages of Drug"];
         for (intent, _) in PRIOR_QUERIES {
             assert!(
                 renamed.contains(intent) || auto_survivors.contains(intent),

@@ -20,8 +20,15 @@ pub fn concept_synonyms() -> SynonymDict {
     dict.add("Dosage", &["dose", "dosing", "dose amount"]);
     dict.add(
         "Use",
-        &["uses", "indication for use", "what is it for", "indications", "indicated use",
-          "purpose", "used for"],
+        &[
+            "uses",
+            "indication for use",
+            "what is it for",
+            "indications",
+            "indicated use",
+            "purpose",
+            "used for",
+        ],
     );
     dict.add("Drug Interaction", &["interaction", "interactions"]);
     dict.add("Iv Compatibility", &["iv compatibility", "y-site compatibility", "iv compat"]);
@@ -32,8 +39,14 @@ pub fn concept_synonyms() -> SynonymDict {
     dict.add("Mechanism Of Action", &["mechanism", "how it works", "moa", "pharmacology"]);
     dict.add(
         "Pharmacokinetics",
-        &["pk", "kinetics", "half life", "metabolism", "pharmacokinetic profile",
-          "how it is metabolized"],
+        &[
+            "pk",
+            "kinetics",
+            "half life",
+            "metabolism",
+            "pharmacokinetic profile",
+            "how it is metabolized",
+        ],
     );
     dict.add("Toxicology", &["overdose", "poisoning", "tox", "toxicity", "too much"]);
     dict.add("Monitoring", &["labs to monitor", "monitoring parameters"]);
@@ -63,26 +76,16 @@ mod tests {
     #[test]
     fn table2_entries_present() {
         let dict = concept_synonyms();
-        assert!(dict
-            .synonyms_of("Adverse Effect")
-            .iter()
-            .any(|s| s == "side effect"));
+        assert!(dict.synonyms_of("Adverse Effect").iter().any(|s| s == "side effect"));
         assert!(dict.synonyms_of("Drug").iter().any(|s| s == "medication"));
-        assert!(dict
-            .synonyms_of("Dose Adjustment")
-            .iter()
-            .any(|s| s == "dosing modification"));
+        assert!(dict.synonyms_of("Dose Adjustment").iter().any(|s| s == "dosing modification"));
     }
 
     #[test]
     fn cogentin_maps_to_benztropine() {
         let syn = drug_instance_synonyms();
-        assert!(syn
-            .iter()
-            .any(|(c, s)| c == "Benztropine Mesylate" && s == "Cogentin"));
-        assert!(syn
-            .iter()
-            .any(|(c, s)| c == "Cyclopentolate" && s == "Cyclogel"));
+        assert!(syn.iter().any(|(c, s)| c == "Benztropine Mesylate" && s == "Cogentin"));
+        assert!(syn.iter().any(|(c, s)| c == "Cyclopentolate" && s == "Cyclogel"));
         assert!(syn
             .iter()
             .any(|(c, s)| c == "Cyclopentolate" && s == "Cyclopentolate Hydrochloride"));

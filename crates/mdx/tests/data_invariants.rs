@@ -99,16 +99,9 @@ fn every_drug_has_full_reference_coverage() {
         "risk",
     ] {
         let t = kb.table(table).unwrap();
-        let covered: std::collections::HashSet<i64> = t
-            .rows
-            .iter()
-            .map(|r| r[1].as_int().expect("drug_id column"))
-            .collect();
-        assert_eq!(
-            covered.len(),
-            n,
-            "table `{table}` does not cover every drug"
-        );
+        let covered: std::collections::HashSet<i64> =
+            t.rows.iter().map(|r| r[1].as_int().expect("drug_id column")).collect();
+        assert_eq!(covered.len(), n, "table `{table}` does not cover every drug");
     }
 }
 
@@ -122,13 +115,8 @@ fn pk_as_fk_children_are_subsets_of_parents() {
             vec!["drug_drug_interaction", "drug_food_interaction", "drug_lab_interaction"],
         ),
     ] {
-        let parent_keys: std::collections::HashSet<i64> = kb
-            .table(parent)
-            .unwrap()
-            .rows
-            .iter()
-            .map(|r| r[0].as_int().unwrap())
-            .collect();
+        let parent_keys: std::collections::HashSet<i64> =
+            kb.table(parent).unwrap().rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         let mut child_total = 0;
         for child in children {
             let t = kb.table(child).unwrap();
@@ -147,21 +135,13 @@ fn pk_as_fk_children_are_subsets_of_parents() {
 #[test]
 fn generated_drug_names_are_unique_and_capitalised() {
     let kb = build_mdx_kb(MdxDataConfig { drugs: 150, seed: 13 });
-    let names: Vec<String> = kb
-        .table("drug")
-        .unwrap()
-        .rows
-        .iter()
-        .map(|r| r[1].to_string())
-        .collect();
+    let names: Vec<String> =
+        kb.table("drug").unwrap().rows.iter().map(|r| r[1].to_string()).collect();
     let mut deduped = names.clone();
     deduped.sort();
     deduped.dedup();
     assert_eq!(deduped.len(), names.len(), "duplicate drug names");
     for n in &names {
-        assert!(
-            n.chars().next().unwrap().is_uppercase(),
-            "drug name not capitalised: {n}"
-        );
+        assert!(n.chars().next().unwrap().is_uppercase(), "drug name not capitalised: {n}");
     }
 }

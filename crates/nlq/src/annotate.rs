@@ -62,10 +62,7 @@ impl Lexicon {
             if let Ok(values) = kb.distinct_values(table, label) {
                 for v in values {
                     if let Some(s) = v.as_text() {
-                        lex.add_phrase(
-                            s,
-                            Evidence::Instance { concept, value: s.to_string() },
-                        );
+                        lex.add_phrase(s, Evidence::Instance { concept, value: s.to_string() });
                     }
                 }
             }
@@ -93,10 +90,7 @@ impl Lexicon {
 
     /// All evidences for a normalised phrase.
     pub fn lookup(&self, phrase: &str) -> &[Evidence] {
-        self.entries
-            .get(&normalize(phrase))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.entries.get(&normalize(phrase)).map(Vec::as_slice).unwrap_or(&[])
     }
 
     pub fn len(&self) -> usize {
@@ -150,16 +144,13 @@ impl Lexicon {
         let mut out: Vec<String> = Vec::with_capacity(tokens.len());
         let mut i = 0;
         while i < tokens.len() {
-            let instance_span = annotations.iter().find(|a| {
-                a.start == i && matches!(a.evidence, Evidence::Instance { .. })
-            });
+            let instance_span = annotations
+                .iter()
+                .find(|a| a.start == i && matches!(a.evidence, Evidence::Instance { .. }));
             match instance_span {
                 Some(a) => {
                     if let Evidence::Instance { concept, .. } = &a.evidence {
-                        out.push(format!(
-                            "ent{}",
-                            onto.concept_name(*concept).to_lowercase()
-                        ));
+                        out.push(format!("ent{}", onto.concept_name(*concept).to_lowercase()));
                     }
                     i = a.end;
                 }
@@ -295,10 +286,7 @@ mod tests {
         let anns = lex.annotate("show me the drug aspirin");
         assert_eq!(anns.len(), 2);
         assert_eq!(anns[0].evidence, Evidence::Concept(drug));
-        assert_eq!(
-            anns[1].evidence,
-            Evidence::Instance { concept: drug, value: "Aspirin".into() }
-        );
+        assert_eq!(anns[1].evidence, Evidence::Instance { concept: drug, value: "Aspirin".into() });
     }
 
     #[test]

@@ -128,11 +128,12 @@ pub fn build_query(
         }
         // All edges admitted: hierarchy edges let union/isA members reach
         // their key concept through the parent's table (PK-sharing join).
-        let path = shortest_path(onto, focus, f.concept, EdgeFilter::All)
-            .ok_or_else(|| NlqError::Disconnected {
+        let path = shortest_path(onto, focus, f.concept, EdgeFilter::All).ok_or_else(|| {
+            NlqError::Disconnected {
                 from: onto.concept_name(focus).to_string(),
                 to: onto.concept_name(f.concept).to_string(),
-            })?;
+            }
+        })?;
         paths.push(path);
     }
     Ok(InterpretedQuery { focus, paths, filters: filters.to_vec() })
@@ -157,9 +158,8 @@ impl InterpretedQuery {
         kb: &KnowledgeBase,
         mapping: &OntologyMapping,
     ) -> Result<QueryTemplate, NlqError> {
-        let sql = self.render(onto, kb, mapping, |f| {
-            format!("'<@{}>'", onto.concept_name(f.concept))
-        })?;
+        let sql =
+            self.render(onto, kb, mapping, |f| format!("'<@{}>'", onto.concept_name(f.concept)))?;
         let params: Vec<ConceptId> = self.filters.iter().map(|f| f.concept).collect();
         Ok(QueryTemplate::new(sql, params, onto))
     }
@@ -178,19 +178,18 @@ impl InterpretedQuery {
         // Assign one alias per concept appearing in the query, in
         // deterministic first-use order.
         let mut aliased: Vec<(ConceptId, String, String)> = Vec::new(); // (concept, table, alias)
-        let mut ensure_alias = |concept: ConceptId,
-                                mapping: &OntologyMapping|
-         -> Result<String, NlqError> {
-            if let Some((_, _, a)) = aliased.iter().find(|(c, _, _)| *c == concept) {
-                return Ok(a.clone());
-            }
-            let table = mapping
-                .table(concept)
-                .ok_or_else(|| NlqError::UnmappedConcept(onto.concept_name(concept).to_string()))?;
-            let alias = format!("o{}", onto.concept_name(concept));
-            aliased.push((concept, table.to_string(), alias.clone()));
-            Ok(alias)
-        };
+        let mut ensure_alias =
+            |concept: ConceptId, mapping: &OntologyMapping| -> Result<String, NlqError> {
+                if let Some((_, _, a)) = aliased.iter().find(|(c, _, _)| *c == concept) {
+                    return Ok(a.clone());
+                }
+                let table = mapping.table(concept).ok_or_else(|| {
+                    NlqError::UnmappedConcept(onto.concept_name(concept).to_string())
+                })?;
+                let alias = format!("o{}", onto.concept_name(concept));
+                aliased.push((concept, table.to_string(), alias.clone()));
+                Ok(alias)
+            };
         ensure_alias(self.focus, mapping)?;
 
         // Collect join clauses by walking each path; deduplicate edges.
@@ -210,11 +209,8 @@ impl InterpretedQuery {
                         .ok_or_else(|| NlqError::UnmappedRelationship(op.name.clone()))?;
                     // Orient the physical steps along the traversal
                     // direction of this hop.
-                    let oriented = if hop.forward {
-                        join_path.clone()
-                    } else {
-                        join_path.reversed()
-                    };
+                    let oriented =
+                        if hop.forward { join_path.clone() } else { join_path.reversed() };
                     let mut left_alias = ensure_alias(current, mapping)?;
                     let n_steps = oriented.steps.len();
                     for (si, step) in oriented.steps.iter().enumerate() {
@@ -249,9 +245,8 @@ impl InterpretedQuery {
             .map_err(|_| NlqError::UnmappedConcept(onto.concept_name(self.focus).to_string()))?;
         // A nameable focus (Drug, Condition) answers with its names — the
         // paper's treatment responses list drug names, not full records.
-        let mut proj: Vec<String> = if let Some(label) = mapping
-            .label(self.focus)
-            .filter(|_| mapping.is_nameable(self.focus))
+        let mut proj: Vec<String> = if let Some(label) =
+            mapping.label(self.focus).filter(|_| mapping.is_nameable(self.focus))
         {
             vec![format!("{focus_alias}.{label}")]
         } else {
@@ -276,13 +271,7 @@ impl InterpretedQuery {
         }
         if proj.is_empty() {
             // Degenerate table of nothing but keys: project the PK.
-            proj.extend(
-                table
-                    .schema
-                    .columns
-                    .iter()
-                    .map(|c| format!("{focus_alias}.{}", c.name)),
-            );
+            proj.extend(table.schema.columns.iter().map(|c| format!("{focus_alias}.{}", c.name)));
         }
 
         // WHERE clause.
@@ -292,12 +281,8 @@ impl InterpretedQuery {
             conditions.push(format!("{alias}.{} = {}", f.column, literal(f)));
         }
 
-        let mut sql = format!(
-            "SELECT DISTINCT {} FROM {} {}",
-            proj.join(", "),
-            focus_table,
-            focus_alias
-        );
+        let mut sql =
+            format!("SELECT DISTINCT {} FROM {} {}", proj.join(", "), focus_table, focus_alias);
         for j in &join_clauses {
             sql.push(' ');
             sql.push_str(j);
@@ -317,9 +302,13 @@ mod tests {
     use obcs_kb::Value;
     use obcs_ontology::OntologyBuilder;
 
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
     /// Drug(name) --has--> Precaution(description); Drug --treats--> Indication(name);
     /// Drug --has--> Dosage(amount) --for--> Indication.
-    fn fixture() -> (Ontology, KnowledgeBase, OntologyMapping, Lexicon) {
+    fn fixture(
+    ) -> Result<(Ontology, KnowledgeBase, OntologyMapping, Lexicon), Box<dyn std::error::Error>>
+    {
         let onto = OntologyBuilder::new("m")
             .data("Drug", &["name"])
             .data("Precaution", &["description"])
@@ -329,23 +318,20 @@ mod tests {
             .relation_with_inverse("treats", "is treated by", "Drug", "Indication")
             .relation("hasDosage", "Drug", "Dosage")
             .relation("dosageFor", "Dosage", "Indication")
-            .build()
-            .unwrap();
+            .build()?;
         let mut kb = KnowledgeBase::new();
         kb.create_table(
             TableSchema::new("drug")
                 .column("drug_id", ColumnType::Int)
                 .column("name", ColumnType::Text)
                 .primary_key("drug_id"),
-        )
-        .unwrap();
+        )?;
         kb.create_table(
             TableSchema::new("indication")
                 .column("indication_id", ColumnType::Int)
                 .column("name", ColumnType::Text)
                 .primary_key("indication_id"),
-        )
-        .unwrap();
+        )?;
         kb.create_table(
             TableSchema::new("precaution")
                 .column("prec_id", ColumnType::Int)
@@ -353,8 +339,7 @@ mod tests {
                 .column("description", ColumnType::Text)
                 .primary_key("prec_id")
                 .foreign_key("drug_id", "drug", "drug_id"),
-        )
-        .unwrap();
+        )?;
         kb.create_table(
             TableSchema::new("treats")
                 .column("treats_id", ColumnType::Int)
@@ -363,8 +348,7 @@ mod tests {
                 .primary_key("treats_id")
                 .foreign_key("drug_id", "drug", "drug_id")
                 .foreign_key("indication_id", "indication", "indication_id"),
-        )
-        .unwrap();
+        )?;
         kb.create_table(
             TableSchema::new("dosage")
                 .column("dosage_id", ColumnType::Int)
@@ -374,70 +358,67 @@ mod tests {
                 .primary_key("dosage_id")
                 .foreign_key("drug_id", "drug", "drug_id")
                 .foreign_key("indication_id", "indication", "indication_id"),
-        )
-        .unwrap();
+        )?;
         // Instances.
         for (i, n) in ["Aspirin", "Ibuprofen"].iter().enumerate() {
-            kb.insert("drug", vec![Value::Int(i as i64), Value::text(*n)]).unwrap();
+            kb.insert("drug", vec![Value::Int(i as i64), Value::text(*n)])?;
         }
         for (i, n) in ["Fever", "Psoriasis"].iter().enumerate() {
-            kb.insert("indication", vec![Value::Int(i as i64), Value::text(*n)]).unwrap();
+            kb.insert("indication", vec![Value::Int(i as i64), Value::text(*n)])?;
         }
-        kb.insert(
-            "precaution",
-            vec![Value::Int(0), Value::Int(0), Value::text("bleeding risk")],
-        )
-        .unwrap();
-        kb.insert("treats", vec![Value::Int(0), Value::Int(0), Value::Int(0)]).unwrap();
+        kb.insert("precaution", vec![Value::Int(0), Value::Int(0), Value::text("bleeding risk")])?;
+        kb.insert("treats", vec![Value::Int(0), Value::Int(0), Value::Int(0)])?;
         kb.insert(
             "dosage",
             vec![Value::Int(0), Value::Int(0), Value::Int(0), Value::text("500mg")],
-        )
-        .unwrap();
+        )?;
         let mapping = OntologyMapping::infer(&onto, &kb);
         let lexicon = Lexicon::build(&onto, &kb, &mapping);
-        (onto, kb, mapping, lexicon)
+        Ok((onto, kb, mapping, lexicon))
     }
 
     #[test]
-    fn lookup_query_interprets_and_executes() {
-        let (onto, kb, mapping, lex) = fixture();
-        let q = interpret("show me the precaution for aspirin", &onto, &lex, &mapping).unwrap();
-        assert_eq!(q.focus, onto.concept_id("Precaution").unwrap());
+    fn lookup_query_interprets_and_executes() -> TestResult {
+        let (onto, kb, mapping, lex) = fixture()?;
+        let q = interpret("show me the precaution for aspirin", &onto, &lex, &mapping)?;
+        assert_eq!(q.focus, onto.concept_id("Precaution")?);
         assert_eq!(q.filters.len(), 1);
-        let sql = q.to_sql(&onto, &kb, &mapping).unwrap();
+        let sql = q.to_sql(&onto, &kb, &mapping)?;
         assert!(sql.contains("INNER JOIN drug oDrug"), "sql: {sql}");
         assert!(sql.contains("oDrug.name = 'Aspirin'"), "sql: {sql}");
-        let rs = kb.query(&sql).unwrap();
+        let rs = kb.query(&sql)?;
         assert_eq!(rs.rows[0][0], Value::text("bleeding risk"));
+        Ok(())
     }
 
     #[test]
-    fn instance_only_utterance_focuses_its_concept() {
-        let (onto, kb, mapping, lex) = fixture();
-        let q = interpret("aspirin", &onto, &lex, &mapping).unwrap();
-        assert_eq!(q.focus, onto.concept_id("Drug").unwrap());
-        let sql = q.to_sql(&onto, &kb, &mapping).unwrap();
-        let rs = kb.query(&sql).unwrap();
+    fn instance_only_utterance_focuses_its_concept() -> TestResult {
+        let (onto, kb, mapping, lex) = fixture()?;
+        let q = interpret("aspirin", &onto, &lex, &mapping)?;
+        assert_eq!(q.focus, onto.concept_id("Drug")?);
+        let sql = q.to_sql(&onto, &kb, &mapping)?;
+        let rs = kb.query(&sql)?;
         assert_eq!(rs.rows, vec![vec![Value::text("Aspirin")]]);
+        Ok(())
     }
 
     #[test]
-    fn no_evidence_errors() {
-        let (onto, _, mapping, lex) = fixture();
+    fn no_evidence_errors() -> TestResult {
+        let (onto, _, mapping, lex) = fixture()?;
         assert_eq!(
             interpret("hello world", &onto, &lex, &mapping).unwrap_err(),
             NlqError::NoEvidence
         );
+        Ok(())
     }
 
     #[test]
-    fn two_hop_path_generates_two_joins() {
-        let (onto, kb, mapping, _) = fixture();
+    fn two_hop_path_generates_two_joins() -> TestResult {
+        let (onto, kb, mapping, _) = fixture()?;
         // Dosage of Aspirin for Fever: focus Dosage, filters Drug + Indication.
-        let drug = onto.concept_id("Drug").unwrap();
-        let ind = onto.concept_id("Indication").unwrap();
-        let dosage = onto.concept_id("Dosage").unwrap();
+        let drug = onto.concept_id("Drug")?;
+        let ind = onto.concept_id("Indication")?;
+        let dosage = onto.concept_id("Dosage")?;
         let q = build_query(
             &onto,
             &mapping,
@@ -446,41 +427,41 @@ mod tests {
                 Filter { concept: drug, column: "name".into(), value: "Aspirin".into() },
                 Filter { concept: ind, column: "name".into(), value: "Fever".into() },
             ],
-        )
-        .unwrap();
-        let sql = q.to_sql(&onto, &kb, &mapping).unwrap();
-        let rs = kb.query(&sql).unwrap();
+        )?;
+        let sql = q.to_sql(&onto, &kb, &mapping)?;
+        let rs = kb.query(&sql)?;
         assert_eq!(rs.rows, vec![vec![Value::text("500mg")]]);
+        Ok(())
     }
 
     #[test]
-    fn template_has_markers_and_instantiates() {
-        let (onto, kb, mapping, lex) = fixture();
-        let q = interpret("precaution for aspirin", &onto, &lex, &mapping).unwrap();
-        let tpl = q.to_template(&onto, &kb, &mapping).unwrap();
+    fn template_has_markers_and_instantiates() -> TestResult {
+        let (onto, kb, mapping, lex) = fixture()?;
+        let q = interpret("precaution for aspirin", &onto, &lex, &mapping)?;
+        let tpl = q.to_template(&onto, &kb, &mapping)?;
         assert!(tpl.sql().contains("'<@Drug>'"), "template: {}", tpl.sql());
-        let sql = tpl
-            .instantiate(&[(onto.concept_id("Drug").unwrap(), "Aspirin".to_string())])
-            .unwrap();
-        let rs = kb.query(&sql).unwrap();
+        let sql = tpl.instantiate(&[(onto.concept_id("Drug")?, "Aspirin".to_string())])?;
+        let rs = kb.query(&sql)?;
         assert_eq!(rs.rows.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn unmapped_focus_errors() {
-        let (mut onto, kb, mapping, _) = fixture();
-        let ghost = onto.add_concept("Ghost").unwrap();
+    fn unmapped_focus_errors() -> TestResult {
+        let (mut onto, kb, mapping, _) = fixture()?;
+        let ghost = onto.add_concept("Ghost")?;
         let err = build_query(&onto, &mapping, ghost, &[]).unwrap_err();
         assert!(matches!(err, NlqError::UnmappedConcept(_)));
         let _ = kb;
+        Ok(())
     }
 
     #[test]
-    fn disconnected_filter_errors() {
-        let (mut onto, kb, mapping, _) = fixture();
-        let island = onto.add_concept("Island").unwrap();
-        onto.add_data_property(island, "name").unwrap();
-        let drug = onto.concept_id("Drug").unwrap();
+    fn disconnected_filter_errors() -> TestResult {
+        let (mut onto, kb, mapping, _) = fixture()?;
+        let island = onto.add_concept("Island")?;
+        onto.add_data_property(island, "name")?;
+        let drug = onto.concept_id("Drug")?;
         // Need island mapped to err on path, not mapping — give it a table.
         let mut mapping = mapping;
         let mut kb = kb;
@@ -489,8 +470,7 @@ mod tests {
                 .column("island_id", ColumnType::Int)
                 .column("name", ColumnType::Text)
                 .primary_key("island_id"),
-        )
-        .unwrap();
+        )?;
         mapping.set_table(island, "island");
         mapping.set_label_column(island, "name");
         let err = build_query(
@@ -501,39 +481,40 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, NlqError::Disconnected { .. }));
+        Ok(())
     }
 
     #[test]
-    fn filter_on_focus_needs_no_join()  {
-        let (onto, kb, mapping, _) = fixture();
-        let drug = onto.concept_id("Drug").unwrap();
+    fn filter_on_focus_needs_no_join() -> TestResult {
+        let (onto, kb, mapping, _) = fixture()?;
+        let drug = onto.concept_id("Drug")?;
         let q = build_query(
             &onto,
             &mapping,
             drug,
             &[Filter { concept: drug, column: "name".into(), value: "Ibuprofen".into() }],
-        )
-        .unwrap();
-        let sql = q.to_sql(&onto, &kb, &mapping).unwrap();
+        )?;
+        let sql = q.to_sql(&onto, &kb, &mapping)?;
         assert!(!sql.contains("JOIN"), "sql: {sql}");
-        let rs = kb.query(&sql).unwrap();
+        let rs = kb.query(&sql)?;
         assert_eq!(rs.rows, vec![vec![Value::text("Ibuprofen")]]);
+        Ok(())
     }
 
     #[test]
-    fn quotes_in_values_are_escaped() {
-        let (onto, kb, mapping, _) = fixture();
-        let drug = onto.concept_id("Drug").unwrap();
+    fn quotes_in_values_are_escaped() -> TestResult {
+        let (onto, kb, mapping, _) = fixture()?;
+        let drug = onto.concept_id("Drug")?;
         let q = build_query(
             &onto,
             &mapping,
             drug,
             &[Filter { concept: drug, column: "name".into(), value: "O'Neil".into() }],
-        )
-        .unwrap();
-        let sql = q.to_sql(&onto, &kb, &mapping).unwrap();
+        )?;
+        let sql = q.to_sql(&onto, &kb, &mapping)?;
         assert!(sql.contains("'O''Neil'"));
         // Parses and executes (empty result).
-        assert!(kb.query(&sql).unwrap().rows.is_empty());
+        assert!(kb.query(&sql)?.rows.is_empty());
+        Ok(())
     }
 }

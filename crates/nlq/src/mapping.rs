@@ -48,9 +48,7 @@ impl JoinPath {
 
     /// The path traversed target-to-source.
     pub fn reversed(&self) -> JoinPath {
-        JoinPath {
-            steps: self.steps.iter().rev().map(JoinEdge::reversed).collect(),
-        }
+        JoinPath { steps: self.steps.iter().rev().map(JoinEdge::reversed).collect() }
     }
 }
 
@@ -142,12 +140,8 @@ impl OntologyMapping {
     /// Concepts that have both a table and a label column — i.e. whose
     /// instances can be referenced by name in utterances.
     pub fn nameable_concepts(&self) -> Vec<ConceptId> {
-        let mut out: Vec<ConceptId> = self
-            .table_of
-            .keys()
-            .filter(|c| self.label_column.contains_key(c))
-            .copied()
-            .collect();
+        let mut out: Vec<ConceptId> =
+            self.table_of.keys().filter(|c| self.label_column.contains_key(c)).copied().collect();
         out.sort();
         out
     }
@@ -192,12 +186,8 @@ fn find_join(kb: &KnowledgeBase, src: &str, tgt: &str, rel_name: &str) -> Option
     // stated left-to-right from `to`'s perspective when needed.
     let fk_between = |from: &str, to: &str| -> Option<JoinEdge> {
         let t = kb.table(from).ok()?;
-        let fks: Vec<_> = t
-            .schema
-            .foreign_keys
-            .iter()
-            .filter(|fk| fk.references_table == to)
-            .collect();
+        let fks: Vec<_> =
+            t.schema.foreign_keys.iter().filter(|fk| fk.references_table == to).collect();
         let chosen = if fks.len() > 1 {
             // Prefer an FK whose column name resembles the relationship.
             let rel = rel_name.to_lowercase();
@@ -235,9 +225,7 @@ fn find_join(kb: &KnowledgeBase, src: &str, tgt: &str, rel_name: &str) -> Option
         else {
             continue;
         };
-        return Some(JoinPath {
-            steps: vec![to_src.reversed(), to_tgt],
-        });
+        return Some(JoinPath { steps: vec![to_src.reversed(), to_tgt] });
     }
     None
 }
@@ -322,11 +310,7 @@ mod tests {
         let (onto, kb) = fixture();
         let m = OntologyMapping::infer(&onto, &kb);
         // Drug --has--> Precaution: FK lives in precaution table.
-        let has = onto
-            .object_properties()
-            .iter()
-            .find(|op| op.name == "has")
-            .unwrap();
+        let has = onto.object_properties().iter().find(|op| op.name == "has").unwrap();
         let path = m.join(has.id).unwrap();
         assert_eq!(path.steps.len(), 1);
         let edge = &path.steps[0];
@@ -340,11 +324,7 @@ mod tests {
         let (onto, kb) = fixture();
         let m = OntologyMapping::infer(&onto, &kb);
         // Drug --treats--> Indication realised by the `treats` bridge.
-        let treats = onto
-            .object_properties()
-            .iter()
-            .find(|op| op.name == "treats")
-            .unwrap();
+        let treats = onto.object_properties().iter().find(|op| op.name == "treats").unwrap();
         let path = m.join(treats.id).unwrap();
         assert_eq!(path.steps.len(), 2);
         assert_eq!(path.steps[0].left_table, "drug");

@@ -50,10 +50,7 @@ impl QueryTemplate {
     pub fn new(sql: String, param_concepts: Vec<ConceptId>, onto: &Ontology) -> Self {
         let params = param_concepts
             .into_iter()
-            .map(|c| TemplateParam {
-                concept: c,
-                marker: format!("<@{}>", onto.concept_name(c)),
-            })
+            .map(|c| TemplateParam { concept: c, marker: format!("<@{}>", onto.concept_name(c)) })
             .collect();
         QueryTemplate { sql, params }
     }
@@ -99,22 +96,15 @@ mod tests {
     use obcs_ontology::OntologyBuilder;
 
     fn onto() -> Ontology {
-        OntologyBuilder::new("t")
-            .concept("Drug")
-            .concept("Indication")
-            .build()
-            .unwrap()
+        OntologyBuilder::new("t").concept("Drug").concept("Indication").build().unwrap()
     }
 
     #[test]
     fn instantiate_replaces_markers() {
         let o = onto();
         let drug = o.concept_id("Drug").unwrap();
-        let tpl = QueryTemplate::new(
-            "SELECT x FROM t WHERE name = '<@Drug>'".into(),
-            vec![drug],
-            &o,
-        );
+        let tpl =
+            QueryTemplate::new("SELECT x FROM t WHERE name = '<@Drug>'".into(), vec![drug], &o);
         let sql = tpl.instantiate(&[(drug, "Aspirin".into())]).unwrap();
         assert_eq!(sql, "SELECT x FROM t WHERE name = 'Aspirin'");
     }
@@ -124,10 +114,7 @@ mod tests {
         let o = onto();
         let drug = o.concept_id("Drug").unwrap();
         let tpl = QueryTemplate::new("… '<@Drug>' …".into(), vec![drug], &o);
-        assert!(matches!(
-            tpl.instantiate(&[]),
-            Err(TemplateError::MissingParam(_))
-        ));
+        assert!(matches!(tpl.instantiate(&[]), Err(TemplateError::MissingParam(_))));
     }
 
     #[test]
@@ -150,9 +137,7 @@ mod tests {
             &o,
         );
         assert_eq!(tpl.required_concepts(), vec![drug, ind]);
-        let sql = tpl
-            .instantiate(&[(drug, "X".into()), (ind, "Y".into())])
-            .unwrap();
+        let sql = tpl.instantiate(&[(drug, "X".into()), (ind, "Y".into())]).unwrap();
         assert_eq!(sql, "a = 'X' AND b = 'Y' AND c = 'X'");
     }
 

@@ -19,10 +19,7 @@ impl OntologyBuilder {
     fn ensure(&mut self, name: &str) -> ConceptId {
         match self.onto.concept_id(name) {
             Ok(id) => id,
-            Err(_) => self
-                .onto
-                .add_concept(name)
-                .expect("concept absent, insertion cannot clash"),
+            Err(_) => self.onto.add_concept(name).expect("concept absent, insertion cannot clash"),
         }
     }
 
@@ -35,9 +32,7 @@ impl OntologyBuilder {
     /// Declares a concept with a natural-language description.
     pub fn concept_described(mut self, name: &str, description: &str) -> Self {
         let id = self.ensure(name);
-        self.onto
-            .set_description(id, description)
-            .expect("concept just ensured");
+        self.onto.set_description(id, description).expect("concept just ensured");
         self
     }
 
@@ -49,9 +44,7 @@ impl OntologyBuilder {
     pub fn data(mut self, concept: &str, properties: &[&str]) -> Self {
         let id = self.ensure(concept);
         for p in properties {
-            self.onto
-                .add_data_property(id, *p)
-                .unwrap_or_else(|e| panic!("builder: {e}"));
+            self.onto.add_data_property(id, *p).unwrap_or_else(|e| panic!("builder: {e}"));
         }
         self
     }
@@ -88,9 +81,7 @@ impl OntologyBuilder {
     pub fn is_a(mut self, child: &str, parent: &str) -> Self {
         let c = self.ensure(child);
         let p = self.ensure(parent);
-        self.onto
-            .add_is_a(c, p)
-            .unwrap_or_else(|e| panic!("builder: {e}"));
+        self.onto.add_is_a(c, p).unwrap_or_else(|e| panic!("builder: {e}"));
         self
     }
 
@@ -98,9 +89,7 @@ impl OntologyBuilder {
     pub fn union(mut self, parent: &str, children: &[&str]) -> Self {
         let p = self.ensure(parent);
         let ids: Vec<ConceptId> = children.iter().map(|c| self.ensure(c)).collect();
-        self.onto
-            .add_union(p, &ids)
-            .unwrap_or_else(|e| panic!("builder: {e}"));
+        self.onto.add_union(p, &ids).unwrap_or_else(|e| panic!("builder: {e}"));
         self
     }
 

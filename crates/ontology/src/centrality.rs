@@ -163,9 +163,7 @@ fn to_scored(scores: Vec<f64>) -> Vec<ScoredConcept> {
 /// Counts the number of *domain* (non-hierarchical) edges incident to a
 /// concept. Useful as a quick structural signal.
 pub fn domain_degree(onto: &Ontology, concept: ConceptId) -> usize {
-    onto.neighbors(concept)
-        .filter(|(_, op)| !op.kind.is_hierarchical())
-        .count()
+    onto.neighbors(concept).filter(|(_, op)| !op.kind.is_hierarchical()).count()
 }
 
 /// Convenience: true if a concept participates in any hierarchy edge with
@@ -185,8 +183,7 @@ mod tests {
         let hub = o.add_concept("Hub").unwrap();
         for i in 0..4 {
             let s = o.add_concept(format!("S{i}")).unwrap();
-            o.add_object_property("r", hub, s, RelationKind::Association)
-                .unwrap();
+            o.add_object_property("r", hub, s, RelationKind::Association).unwrap();
         }
         (o, hub)
     }
@@ -215,10 +212,8 @@ mod tests {
         let a = o.add_concept("A").unwrap();
         let b = o.add_concept("B").unwrap();
         let c = o.add_concept("C").unwrap();
-        o.add_object_property("r", a, b, RelationKind::Association)
-            .unwrap();
-        o.add_object_property("r", b, c, RelationKind::Association)
-            .unwrap();
+        o.add_object_property("r", a, b, RelationKind::Association).unwrap();
+        o.add_object_property("r", b, c, RelationKind::Association).unwrap();
         let scored = centrality(&o, CentralityMeasure::Betweenness);
         assert_eq!(scored[0].concept, b);
         assert!((scored[0].score - 1.0).abs() < 1e-9);
@@ -232,8 +227,7 @@ mod tests {
         let union_hub = o.add_concept("UnionHub").unwrap();
         for i in 0..3 {
             let s = o.add_concept(format!("D{i}")).unwrap();
-            o.add_object_property("r", domain_hub, s, RelationKind::Association)
-                .unwrap();
+            o.add_object_property("r", domain_hub, s, RelationKind::Association).unwrap();
             let u = o.add_concept(format!("U{i}")).unwrap();
             o.add_union(union_hub, &[u]).unwrap();
         }
@@ -244,11 +238,9 @@ mod tests {
     #[test]
     fn empty_ontology_yields_empty_scores() {
         let o = Ontology::new("empty");
-        for m in [
-            CentralityMeasure::Degree,
-            CentralityMeasure::PageRank,
-            CentralityMeasure::Betweenness,
-        ] {
+        for m in
+            [CentralityMeasure::Degree, CentralityMeasure::PageRank, CentralityMeasure::Betweenness]
+        {
             assert!(centrality(&o, m).is_empty());
         }
     }
@@ -269,8 +261,7 @@ mod tests {
         let a = o.add_concept("A").unwrap();
         let b = o.add_concept("B").unwrap();
         let c = o.add_concept("C").unwrap();
-        o.add_object_property("r", a, b, RelationKind::Association)
-            .unwrap();
+        o.add_object_property("r", a, b, RelationKind::Association).unwrap();
         o.add_is_a(c, a).unwrap();
         assert_eq!(domain_degree(&o, a), 1);
         assert!(is_hierarchy_parent(&o, a, RelationKind::IsA));

@@ -60,8 +60,7 @@ mod tests {
         let drug = o.add_concept("Drug").unwrap();
         let ind = o.add_concept("Indication").unwrap();
         o.add_data_property(drug, "name").unwrap();
-        o.add_object_property("treats", drug, ind, RelationKind::Association)
-            .unwrap();
+        o.add_object_property("treats", drug, ind, RelationKind::Association).unwrap();
         let dot = to_dot(&o);
         assert!(dot.contains("digraph \"demo\""));
         assert!(dot.contains("label=\"Drug\""));

@@ -101,10 +101,26 @@ pub fn shortest_path(
     queue.push_back(from);
     while let Some(node) = queue.pop_front() {
         for op in onto.outgoing(node).filter(|op| filter.admits(op.kind)) {
-            step(onto, &mut prev, &mut queue, node, op.target, Hop { property: op.id, forward: true }, from);
+            step(
+                onto,
+                &mut prev,
+                &mut queue,
+                node,
+                op.target,
+                Hop { property: op.id, forward: true },
+                from,
+            );
         }
         for op in onto.incoming(node).filter(|op| filter.admits(op.kind)) {
-            step(onto, &mut prev, &mut queue, node, op.source, Hop { property: op.id, forward: false }, from);
+            step(
+                onto,
+                &mut prev,
+                &mut queue,
+                node,
+                op.source,
+                Hop { property: op.id, forward: false },
+                from,
+            );
         }
         if prev.contains_key(&to) {
             break;
@@ -155,11 +171,7 @@ pub fn paths_up_to(
     let mut hops = Vec::new();
     dfs(onto, from, to, max_hops, filter, &mut visited, &mut hops, &mut results);
     // Deterministic order: shorter paths first, then by hop ids.
-    results.sort_by(|a, b| {
-        a.len()
-            .cmp(&b.len())
-            .then_with(|| hop_key(a).cmp(&hop_key(b)))
-    });
+    results.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| hop_key(a).cmp(&hop_key(b))));
     results
 }
 
@@ -224,11 +236,8 @@ pub fn reachable_within(
         if d == max_hops {
             continue;
         }
-        let neighbors: Vec<ConceptId> = onto
-            .neighbors(node)
-            .filter(|(_, op)| filter.admits(op.kind))
-            .map(|(c, _)| c)
-            .collect();
+        let neighbors: Vec<ConceptId> =
+            onto.neighbors(node).filter(|(_, op)| filter.admits(op.kind)).map(|(c, _)| c).collect();
         for next in neighbors {
             dist.entry(next).or_insert_with(|| {
                 queue.push_back(next);
@@ -263,12 +272,9 @@ mod tests {
         let drug = o.add_concept("Drug").unwrap();
         let ind = o.add_concept("Indication").unwrap();
         let dosage = o.add_concept("Dosage").unwrap();
-        o.add_object_property("treats", drug, ind, RelationKind::Association)
-            .unwrap();
-        o.add_object_property("has", drug, dosage, RelationKind::Association)
-            .unwrap();
-        o.add_object_property("for", dosage, ind, RelationKind::Association)
-            .unwrap();
+        o.add_object_property("treats", drug, ind, RelationKind::Association).unwrap();
+        o.add_object_property("has", drug, dosage, RelationKind::Association).unwrap();
+        o.add_object_property("for", dosage, ind, RelationKind::Association).unwrap();
         (o, drug, ind, dosage)
     }
 
@@ -336,10 +342,7 @@ mod tests {
         let (o, drug, ind, _) = diamond();
         let paths = paths_up_to(&o, drug, ind, 2, EdgeFilter::All);
         assert_eq!(paths[0].render(&o), "Drug -[treats]-> Indication");
-        assert_eq!(
-            paths[1].render(&o),
-            "Drug -[has]-> Dosage -[for]-> Indication"
-        );
+        assert_eq!(paths[1].render(&o), "Drug -[has]-> Dosage -[for]-> Indication");
     }
 
     #[test]
@@ -348,8 +351,7 @@ mod tests {
         assert_eq!(reachable_within(&o, drug, 1, EdgeFilter::All), vec![ind, dosage]);
         let mut o2 = o.clone();
         let far = o2.add_concept("Far").unwrap();
-        o2.add_object_property("r", ind, far, RelationKind::Association)
-            .unwrap();
+        o2.add_object_property("r", ind, far, RelationKind::Association).unwrap();
         assert!(!reachable_within(&o2, drug, 1, EdgeFilter::All).contains(&far));
         assert!(reachable_within(&o2, drug, 2, EdgeFilter::All).contains(&far));
     }

@@ -55,7 +55,7 @@ pub mod validate;
 
 pub use builder::OntologyBuilder;
 pub use model::{
-    Concept, ConceptId, DataProperty, DataPropertyId, ObjectProperty, ObjectPropertyId,
-    Ontology, OntologyError, RelationKind,
+    Concept, ConceptId, DataProperty, DataPropertyId, ObjectProperty, ObjectPropertyId, Ontology,
+    OntologyError, RelationKind,
 };
 pub use validate::{validate, ValidationIssue};

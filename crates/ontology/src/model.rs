@@ -175,11 +175,7 @@ impl Ontology {
     /// Rebuilds the derived indexes (name map, adjacency). Must be called
     /// after deserialisation; [`Ontology::from_json`] does so automatically.
     pub fn rebuild_indexes(&mut self) {
-        self.concept_index = self
-            .concepts
-            .iter()
-            .map(|c| (c.name.clone(), c.id))
-            .collect();
+        self.concept_index = self.concepts.iter().map(|c| (c.name.clone(), c.id)).collect();
         self.outgoing = vec![Vec::new(); self.concepts.len()];
         self.incoming = vec![Vec::new(); self.concepts.len()];
         for op in &self.object_properties {
@@ -208,12 +204,7 @@ impl Ontology {
         }
         let id = ConceptId(self.concepts.len() as u32);
         self.concept_index.insert(name.clone(), id);
-        self.concepts.push(Concept {
-            id,
-            name,
-            description: None,
-            data_properties: Vec::new(),
-        });
+        self.concepts.push(Concept { id, name, description: None, data_properties: Vec::new() });
         self.outgoing.push(Vec::new());
         self.incoming.push(Vec::new());
         Ok(id)
@@ -320,16 +311,12 @@ impl Ontology {
 
     /// Looks up a concept by id.
     pub fn concept(&self, id: ConceptId) -> Result<&Concept, OntologyError> {
-        self.concepts
-            .get(id.0 as usize)
-            .ok_or(OntologyError::UnknownConcept(id))
+        self.concepts.get(id.0 as usize).ok_or(OntologyError::UnknownConcept(id))
     }
 
     /// Looks up a concept by exact name.
     pub fn concept_by_name(&self, name: &str) -> Option<&Concept> {
-        self.concept_index
-            .get(name)
-            .map(|&id| &self.concepts[id.0 as usize])
+        self.concept_index.get(name).map(|&id| &self.concepts[id.0 as usize])
     }
 
     /// Id of a concept by exact name.
@@ -380,16 +367,12 @@ impl Ontology {
 
     /// Outgoing object properties of a concept.
     pub fn outgoing(&self, id: ConceptId) -> impl Iterator<Item = &ObjectProperty> {
-        self.outgoing[id.0 as usize]
-            .iter()
-            .map(move |&op| &self.object_properties[op.0 as usize])
+        self.outgoing[id.0 as usize].iter().map(move |&op| &self.object_properties[op.0 as usize])
     }
 
     /// Incoming object properties of a concept.
     pub fn incoming(&self, id: ConceptId) -> impl Iterator<Item = &ObjectProperty> {
-        self.incoming[id.0 as usize]
-            .iter()
-            .map(move |&op| &self.object_properties[op.0 as usize])
+        self.incoming[id.0 as usize].iter().map(move |&op| &self.object_properties[op.0 as usize])
     }
 
     /// Undirected neighbourhood of a concept: every concept reachable over a
@@ -438,10 +421,7 @@ impl Ontology {
 
     /// Parents of a concept under `isA`.
     pub fn is_a_parents(&self, child: ConceptId) -> Vec<ConceptId> {
-        self.outgoing(child)
-            .filter(|op| op.kind == RelationKind::IsA)
-            .map(|op| op.target)
-            .collect()
+        self.outgoing(child).filter(|op| op.kind == RelationKind::IsA).map(|op| op.target).collect()
     }
 }
 
@@ -459,10 +439,7 @@ mod tests {
     #[test]
     fn concept_names_are_unique() {
         let (mut o, _, _) = tiny();
-        assert_eq!(
-            o.add_concept("A"),
-            Err(OntologyError::DuplicateConcept("A".into()))
-        );
+        assert_eq!(o.add_concept("A"), Err(OntologyError::DuplicateConcept("A".into())));
     }
 
     #[test]
@@ -478,8 +455,7 @@ mod tests {
     #[test]
     fn neighbors_cover_both_directions() {
         let (mut o, a, b) = tiny();
-        o.add_object_property("r", a, b, RelationKind::Association)
-            .unwrap();
+        o.add_object_property("r", a, b, RelationKind::Association).unwrap();
         let from_a: Vec<_> = o.neighbors(a).map(|(c, _)| c).collect();
         let from_b: Vec<_> = o.neighbors(b).map(|(c, _)| c).collect();
         assert_eq!(from_a, vec![b]);
@@ -489,14 +465,9 @@ mod tests {
     #[test]
     fn self_hierarchy_rejected() {
         let (mut o, a, _) = tiny();
-        assert!(matches!(
-            o.add_is_a(a, a),
-            Err(OntologyError::SelfHierarchy(_))
-        ));
+        assert!(matches!(o.add_is_a(a, a), Err(OntologyError::SelfHierarchy(_))));
         // A plain self-association is allowed (e.g. Drug interactsWith Drug).
-        assert!(o
-            .add_object_property("interactsWith", a, a, RelationKind::Association)
-            .is_ok());
+        assert!(o.add_object_property("interactsWith", a, a, RelationKind::Association).is_ok());
     }
 
     #[test]
@@ -519,9 +490,7 @@ mod tests {
     fn json_roundtrip_preserves_structure_and_indexes() {
         let (mut o, a, b) = tiny();
         o.add_data_property(a, "name").unwrap();
-        let r = o
-            .add_object_property("r", a, b, RelationKind::Functional)
-            .unwrap();
+        let r = o.add_object_property("r", a, b, RelationKind::Functional).unwrap();
         o.set_inverse_name(r, "r-inv");
         o.set_description(a, "the A concept").unwrap();
 
@@ -530,10 +499,7 @@ mod tests {
         assert_eq!(back.concept_count(), 2);
         assert_eq!(back.concept_id("A").unwrap(), a);
         assert_eq!(back.neighbors(a).count(), 1);
-        assert_eq!(
-            back.object_property(r).inverse_name.as_deref(),
-            Some("r-inv")
-        );
+        assert_eq!(back.object_property(r).inverse_name.as_deref(), Some("r-inv"));
         assert_eq!(back.concept(a).unwrap().description.as_deref(), Some("the A concept"));
     }
 

@@ -33,11 +33,7 @@ pub fn segregate(scored: &[ScoredConcept], cut: Cut) -> Vec<ConceptId> {
                 return Vec::new();
             }
             let mean = scored.iter().map(|s| s.score).sum::<f64>() / scored.len() as f64;
-            scored
-                .iter()
-                .take_while(|s| s.score > mean)
-                .map(|s| s.concept)
-                .collect()
+            scored.iter().take_while(|s| s.score > mean).map(|s| s.concept).collect()
         }
         Cut::LargestGap { min, max } => {
             let min = min.max(1);
@@ -55,11 +51,8 @@ pub fn segregate(scored: &[ScoredConcept], cut: Cut) -> Vec<ConceptId> {
                 let above = scored[k - 1].score;
                 let below = scored[k].score;
                 // Relative gap; guard against zero scores.
-                let gap = if above.abs() < f64::EPSILON {
-                    0.0
-                } else {
-                    (above - below) / above.abs()
-                };
+                let gap =
+                    if above.abs() < f64::EPSILON { 0.0 } else { (above - below) / above.abs() };
                 if gap > best_gap {
                     best_gap = gap;
                     best_k = k;

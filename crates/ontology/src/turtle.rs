@@ -67,11 +67,7 @@ pub fn to_turtle(onto: &Ontology) -> String {
     for c in onto.concepts() {
         out.push_str(&format!("obcs:{} a owl:Class .\n", c.name));
         if let Some(desc) = &c.description {
-            out.push_str(&format!(
-                "obcs:{} rdfs:comment \"{}\" .\n",
-                c.name,
-                escape(desc)
-            ));
+            out.push_str(&format!("obcs:{} rdfs:comment \"{}\" .\n", c.name, escape(desc)));
         }
     }
     out.push('\n');
@@ -101,11 +97,8 @@ pub fn to_turtle(onto: &Ontology) -> String {
                 ));
             }
             kind => {
-                let functional = if kind == RelationKind::Functional {
-                    ", owl:FunctionalProperty"
-                } else {
-                    ""
-                };
+                let functional =
+                    if kind == RelationKind::Functional { ", owl:FunctionalProperty" } else { "" };
                 let inverse = op
                     .inverse_name
                     .as_ref()
@@ -146,10 +139,8 @@ pub fn from_turtle(turtle: &str) -> Result<Ontology, TurtleError> {
             continue;
         }
         if let Some((subject, "a owl:Class")) = split_statement(line) {
-            onto.add_concept(subject).map_err(|e| TurtleError::Syntax {
-                line: lineno,
-                message: e.to_string(),
-            })?;
+            onto.add_concept(subject)
+                .map_err(|e| TurtleError::Syntax { line: lineno, message: e.to_string() })?;
         }
     }
     // Second pass: everything that references classes.
@@ -166,10 +157,8 @@ pub fn from_turtle(turtle: &str) -> Result<Ontology, TurtleError> {
             });
         };
         let class_id = |onto: &Ontology, n: &str| {
-            onto.concept_id(n).map_err(|_| TurtleError::UnknownClass {
-                line: lineno,
-                name: n.to_string(),
-            })
+            onto.concept_id(n)
+                .map_err(|_| TurtleError::UnknownClass { line: lineno, name: n.to_string() })
         };
         if predicate == "a owl:Class" {
             continue; // first pass
@@ -183,19 +172,14 @@ pub fn from_turtle(turtle: &str) -> Result<Ontology, TurtleError> {
                 message: "datatype property subject must be Class.prop".into(),
             })?;
             let id = class_id(&onto, class)?;
-            onto.add_data_property(id, prop).map_err(|e| {
-                TurtleError::Inconsistent(e.to_string())
-            })?;
+            onto.add_data_property(id, prop)
+                .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
         } else if let Some(parent) = predicate.strip_prefix("rdfs:subClassOf obcs:") {
             let child = class_id(&onto, &subject)?;
             let parent = class_id(&onto, parent.trim())?;
-            onto.add_is_a(child, parent)
-                .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
+            onto.add_is_a(child, parent).map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
         } else if let Some(member) = predicate.strip_prefix("owl:unionMember obcs:") {
-            unions
-                .entry(subject)
-                .or_default()
-                .push(member.trim().to_string());
+            unions.entry(subject).or_default().push(member.trim().to_string());
         } else if predicate.starts_with("a owl:ObjectProperty") {
             let functional = predicate.contains("owl:FunctionalProperty");
             let domain = extract(predicate, "rdfs:domain obcs:").ok_or(TurtleError::Syntax {
@@ -208,11 +192,8 @@ pub fn from_turtle(turtle: &str) -> Result<Ontology, TurtleError> {
             })?;
             let source = class_id(&onto, &domain)?;
             let target = class_id(&onto, &range)?;
-            let kind = if functional {
-                RelationKind::Functional
-            } else {
-                RelationKind::Association
-            };
+            let kind =
+                if functional { RelationKind::Functional } else { RelationKind::Association };
             let prop = onto
                 .add_object_property(decode_name(&subject), source, target, kind)
                 .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
@@ -228,16 +209,13 @@ pub fn from_turtle(turtle: &str) -> Result<Ontology, TurtleError> {
     }
     // Apply unions.
     for (parent, members) in unions {
-        let p = onto
-            .concept_id(&parent)
-            .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
+        let p = onto.concept_id(&parent).map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
         let ids = members
             .iter()
             .map(|m| onto.concept_id(m))
             .collect::<Result<Vec<_>, _>>()
             .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
-        onto.add_union(p, &ids)
-            .map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
+        onto.add_union(p, &ids).map_err(|e| TurtleError::Inconsistent(e.to_string()))?;
     }
     Ok(onto)
 }
@@ -252,9 +230,7 @@ fn split_statement(line: &str) -> Option<(String, &str)> {
 fn extract(predicate: &str, key: &str) -> Option<String> {
     let start = predicate.find(key)? + key.len();
     let rest = &predicate[start..];
-    let end = rest
-        .find(|c: char| c.is_whitespace() || c == ';')
-        .unwrap_or(rest.len());
+    let end = rest.find(|c: char| c.is_whitespace() || c == ';').unwrap_or(rest.len());
     Some(rest[..end].to_string())
 }
 
@@ -350,9 +326,11 @@ mod tests {
         // ontology programmatically.
         let mut b = OntologyBuilder::new("big").data("Hub", &["name"]);
         for i in 0..30 {
-            b = b
-                .data(&format!("C{i}"), &["description", "note"])
-                .relation(&format!("rel{i}"), "Hub", &format!("C{i}"));
+            b = b.data(&format!("C{i}"), &["description", "note"]).relation(
+                &format!("rel{i}"),
+                "Hub",
+                &format!("C{i}"),
+            );
         }
         let o = b.build().unwrap();
         let back = from_turtle(&to_turtle(&o)).unwrap();

@@ -72,10 +72,8 @@ fn check_cycles(onto: &Ontology, issues: &mut Vec<ValidationIssue>) {
         if state[start] != 0 {
             continue;
         }
-        let mut stack: Vec<(usize, Vec<usize>)> = vec![(
-            start,
-            hierarchy_parents(onto, ConceptId(start as u32)),
-        )];
+        let mut stack: Vec<(usize, Vec<usize>)> =
+            vec![(start, hierarchy_parents(onto, ConceptId(start as u32)))];
         state[start] = 1;
         while let Some((node, children)) = stack.last_mut() {
             if let Some(next) = children.pop() {
@@ -97,10 +95,7 @@ fn check_cycles(onto: &Ontology, issues: &mut Vec<ValidationIssue>) {
 }
 
 fn hierarchy_parents(onto: &Ontology, c: ConceptId) -> Vec<usize> {
-    onto.outgoing(c)
-        .filter(|op| op.kind.is_hierarchical())
-        .map(|op| op.target.0 as usize)
-        .collect()
+    onto.outgoing(c).filter(|op| op.kind.is_hierarchical()).map(|op| op.target.0 as usize).collect()
 }
 
 fn check_isolated(onto: &Ontology, issues: &mut Vec<ValidationIssue>) {
@@ -159,9 +154,7 @@ mod tests {
         o.add_is_a(a, b).unwrap();
         o.add_is_a(b, a).unwrap();
         let issues = validate(&o);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, ValidationIssue::HierarchyCycle(_))));
+        assert!(issues.iter().any(|i| matches!(i, ValidationIssue::HierarchyCycle(_))));
     }
 
     #[test]
@@ -195,9 +188,7 @@ mod tests {
         let bbw = o.add_concept("BBW").unwrap();
         o.add_union(risk, &[ci, bbw, ci]).unwrap();
         let issues = validate(&o);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, ValidationIssue::DuplicateUnionMember { .. })));
+        assert!(issues.iter().any(|i| matches!(i, ValidationIssue::DuplicateUnionMember { .. })));
     }
 
     #[test]
@@ -209,9 +200,7 @@ mod tests {
         o.add_union(p, &[c1, c2]).unwrap();
         o.add_is_a(c1, p).unwrap();
         let issues = validate(&o);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, ValidationIssue::MixedHierarchy { .. })));
+        assert!(issues.iter().any(|i| matches!(i, ValidationIssue::MixedHierarchy { .. })));
     }
 
     #[test]

@@ -52,8 +52,7 @@ pub fn classifier_evaluation(
         let n = ((weight / total_weight) * (test_per_intent_base as f64 * 36.0)).ceil() as usize;
         let n = n.max(6);
         for _ in 0..n {
-            let mut text =
-                generate(intent, &pools, &mut rng).expect("all intents have templates");
+            let mut text = generate(intent, &pools, &mut rng).expect("all intents have templates");
             if rng.gen_bool(0.05) {
                 text = noise::misspell(&text, &mut rng);
             }
@@ -73,11 +72,7 @@ pub fn classifier_evaluation(
         if outcome.records.is_empty() {
             return 0.0;
         }
-        outcome
-            .records
-            .iter()
-            .filter(|r| r.expected_intent.as_deref() == Some(name))
-            .count() as f64
+        outcome.records.iter().filter(|r| r.expected_intent.as_deref() == Some(name)).count() as f64
             / outcome.records.len() as f64
     };
     let mut rows: Vec<Table5Row> = INTENT_MIX
@@ -124,12 +119,8 @@ pub fn fig12(
     indices.shuffle(&mut rng);
     let n = ((outcome.records.len() as f64) * sample_fraction).round() as usize;
     indices.truncate(n.max(1));
-    let sample = SimOutcome {
-        records: indices
-            .into_iter()
-            .map(|i| outcome.records[i].clone())
-            .collect(),
-    };
+    let sample =
+        SimOutcome { records: indices.into_iter().map(|i| outcome.records[i].clone()).collect() };
     let rows = success_rows(&sample, k, |r| !r.correct);
     let sme_rate = sample.accuracy();
     let user_rate = sample.success_rate();
@@ -141,11 +132,8 @@ fn success_rows(
     k: usize,
     is_negative: impl Fn(&crate::traffic::SimRecord) -> bool,
 ) -> Vec<SuccessRow> {
-    let mut names: Vec<&str> = outcome
-        .records
-        .iter()
-        .filter_map(|r| r.detected_intent.as_deref())
-        .collect();
+    let mut names: Vec<&str> =
+        outcome.records.iter().filter_map(|r| r.detected_intent.as_deref()).collect();
     names.sort_unstable();
     names.dedup();
     let mut rows: Vec<SuccessRow> = names
@@ -221,9 +209,8 @@ mod tests {
     fn full_evaluation_shapes_match_paper() {
         let w = world();
         // Table 5.
-        let (report, rows) = classifier_evaluation(
-            &w.space, &w.onto, &w.kb, &w.mapping, &w.outcome, 12, 99,
-        );
+        let (report, rows) =
+            classifier_evaluation(&w.space, &w.onto, &w.kb, &w.mapping, &w.outcome, 12, 99);
         assert_eq!(rows.len(), 10);
         assert!(
             report.macro_f1 > 0.6 && report.macro_f1 < 0.99,

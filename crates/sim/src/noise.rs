@@ -8,12 +8,8 @@ use rand_chacha::ChaCha8Rng;
 /// a random word of length ≥ 4.
 pub fn misspell(text: &str, rng: &mut ChaCha8Rng) -> String {
     let words: Vec<&str> = text.split(' ').collect();
-    let candidates: Vec<usize> = words
-        .iter()
-        .enumerate()
-        .filter(|(_, w)| w.chars().count() >= 4)
-        .map(|(i, _)| i)
-        .collect();
+    let candidates: Vec<usize> =
+        words.iter().enumerate().filter(|(_, w)| w.chars().count() >= 4).map(|(i, _)| i).collect();
     let Some(&target) = pick(&candidates, rng) else {
         return text.to_string();
     };
@@ -42,12 +38,7 @@ fn misspell_word(word: &str, rng: &mut ChaCha8Rng) -> String {
         // Drop one interior character.
         1 => {
             let i = rng.gen_range(1..n - 1);
-            chars
-                .iter()
-                .enumerate()
-                .filter(|&(j, _)| j != i)
-                .map(|(_, &c)| c)
-                .collect()
+            chars.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &c)| c).collect()
         }
         // Duplicate one character.
         _ => {
@@ -80,9 +71,7 @@ pub fn keywordize(text: &str) -> String {
 /// A short burst of gibberish ("apfjhd").
 pub fn gibberish(rng: &mut ChaCha8Rng) -> String {
     let len = rng.gen_range(4..9);
-    (0..len)
-        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
-        .collect()
+    (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect()
 }
 
 fn pick<'a, T>(slice: &'a [T], rng: &mut ChaCha8Rng) -> Option<&'a T> {

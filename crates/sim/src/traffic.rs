@@ -69,11 +69,7 @@ pub struct FeedbackModel {
 
 impl Default for FeedbackModel {
     fn default() -> Self {
-        FeedbackModel {
-            p_down_given_wrong: 0.45,
-            p_down_accidental: 0.004,
-            p_up_given_right: 0.03,
-        }
+        FeedbackModel { p_down_given_wrong: 0.45, p_down_accidental: 0.004, p_up_given_right: 0.03 }
     }
 }
 
@@ -140,11 +136,8 @@ impl SimOutcome {
         if self.records.is_empty() {
             return 0.0;
         }
-        let negative = self
-            .records
-            .iter()
-            .filter(|r| r.feedback == Some(Feedback::ThumbsDown))
-            .count();
+        let negative =
+            self.records.iter().filter(|r| r.feedback == Some(Feedback::ThumbsDown)).count();
         (self.records.len() - negative) as f64 / self.records.len() as f64
     }
 
@@ -259,9 +252,7 @@ fn run_interaction(
         let answer = match agent.context().eliciting {
             Some(concept) => match onto.concept_name(concept) {
                 "AgeGroup" => pools.ages[rng.gen_range(0..pools.ages.len())].clone(),
-                "Condition" => {
-                    pools.conditions[rng.gen_range(0..pools.conditions.len())].clone()
-                }
+                "Condition" => pools.conditions[rng.gen_range(0..pools.conditions.len())].clone(),
                 "Drug" => pools.drugs[rng.gen_range(0..pools.drugs.len())].clone(),
                 _ => "adult".to_string(),
             },
@@ -271,10 +262,8 @@ fn run_interaction(
         turns += 1;
     }
 
-    let detected_intent = reply
-        .intent
-        .and_then(|id| agent.space().intent(id))
-        .map(|i| i.name.clone());
+    let detected_intent =
+        reply.intent.and_then(|id| agent.space().intent(id)).map(|i| i.name.clone());
     let correct = judge(expected, &detected_intent, &reply);
     SimRecord {
         expected_intent: Some(expected.to_string()),
@@ -290,11 +279,7 @@ fn run_interaction(
 /// Ground-truth judgement of one interaction (the SME criterion of §7.2):
 /// the agent must have done the semantically right thing for the user's
 /// actual request.
-pub fn judge(
-    expected: &str,
-    detected: &Option<String>,
-    reply: &obcs_agent::AgentReply,
-) -> bool {
+pub fn judge(expected: &str, detected: &Option<String>, reply: &obcs_agent::AgentReply) -> bool {
     if expected == "DRUG_GENERAL" {
         return reply.kind == ReplyKind::Proposal;
     }
@@ -320,9 +305,9 @@ pub fn judge(
         return false;
     };
     det == expected
-        || EQUIVALENT.iter().any(|&(a, b)| {
-            (a == expected && b == det) || (b == expected && a == det)
-        })
+        || EQUIVALENT
+            .iter()
+            .any(|&(a, b)| (a == expected && b == det) || (b == expected && a == det))
 }
 
 /// Intent pairs that fulfil the same user need (a bare dosage request is
@@ -337,9 +322,7 @@ const EQUIVALENT: &[(&str, &str)] = &[
 
 /// Whether an intent is conversation management (by the MDX intent names).
 pub fn is_management_intent(name: &str) -> bool {
-    obcs_mdx::sme::MANAGEMENT_INTENTS
-        .iter()
-        .any(|&(n, _)| n == name)
+    obcs_mdx::sme::MANAGEMENT_INTENTS.iter().any(|&(n, _)| n == name)
 }
 
 #[cfg(test)]
@@ -349,10 +332,8 @@ mod tests {
     use obcs_mdx::ConversationalMdx;
 
     fn small_sim(interactions: usize, seed: u64) -> SimOutcome {
-        let (onto, kb, _, _) = ConversationalMdx::bootstrap_space(MdxDataConfig {
-            drugs: 80,
-            seed: 7,
-        });
+        let (onto, kb, _, _) =
+            ConversationalMdx::bootstrap_space(MdxDataConfig { drugs: 80, seed: 7 });
         let pools = ValuePools::from_kb(&kb);
         let mut mdx = ConversationalMdx::with_config(MdxDataConfig { drugs: 80, seed: 7 });
         run_traffic(
@@ -386,15 +367,10 @@ mod tests {
 
     #[test]
     fn mix_covers_all_intents() {
-        let (_, _, _, space) = ConversationalMdx::bootstrap_space(MdxDataConfig {
-            drugs: 80,
-            seed: 7,
-        });
+        let (_, _, _, space) =
+            ConversationalMdx::bootstrap_space(MdxDataConfig { drugs: 80, seed: 7 });
         for (name, _) in INTENT_MIX {
-            assert!(
-                space.intent_by_name(name).is_some(),
-                "mix references unknown intent `{name}`"
-            );
+            assert!(space.intent_by_name(name).is_some(), "mix references unknown intent `{name}`");
         }
         assert_eq!(INTENT_MIX.len(), 36);
     }
@@ -410,10 +386,8 @@ mod tests {
 
     #[test]
     fn multi_request_sessions_still_mostly_succeed() {
-        let (onto, kb, _, _) = ConversationalMdx::bootstrap_space(MdxDataConfig {
-            drugs: 80,
-            seed: 7,
-        });
+        let (onto, kb, _, _) =
+            ConversationalMdx::bootstrap_space(MdxDataConfig { drugs: 80, seed: 7 });
         let pools = ValuePools::from_kb(&kb);
         let mut mdx = ConversationalMdx::with_config(MdxDataConfig { drugs: 80, seed: 7 });
         let outcome = run_traffic(
@@ -437,11 +411,8 @@ mod tests {
     #[test]
     fn gibberish_interactions_are_negative_ground_truth() {
         let outcome = small_sim(600, 3);
-        let gibberish: Vec<&SimRecord> = outcome
-            .records
-            .iter()
-            .filter(|r| r.expected_intent.is_none())
-            .collect();
+        let gibberish: Vec<&SimRecord> =
+            outcome.records.iter().filter(|r| r.expected_intent.is_none()).collect();
         assert!(!gibberish.is_empty(), "gibberish rate should produce some");
         assert!(gibberish.iter().all(|r| !r.correct));
     }

@@ -39,11 +39,8 @@ impl ValuePools {
                  INNER JOIN condition c ON t.condition_id = c.condition_id",
             )
             .expect("treats join");
-        let treatment_pairs = pairs
-            .rows
-            .iter()
-            .map(|r| (r[0].to_string(), r[1].to_string()))
-            .collect();
+        let treatment_pairs =
+            pairs.rows.iter().map(|r| (r[0].to_string(), r[1].to_string())).collect();
         ValuePools { drugs, brands, conditions, ages, treatment_pairs }
     }
 }
@@ -51,154 +48,215 @@ impl ValuePools {
 /// Surface templates per MDX intent name. `{drug}`, `{drug2}`, `{brand}`,
 /// `{condition}`, `{age}` are substituted with pool values.
 pub const TEMPLATES: &[(&str, &[&str])] = &[
-    ("Drug Dosage for Condition", &[
-        "what dose of {drug} for {condition}",
-        "{drug} dosing for {condition}",
-        "how much {drug} for {condition} in {age} patients",
-        "dose of {drug} to treat {condition}",
-        "recommended {drug} dose for {age} {condition}",
-        "dosage {drug} {condition}",
-        "give me the dosage for {drug} for {condition}",
-    ]),
-    ("Administration of Drug", &[
-        "how do i give {drug}",
-        "how should {drug} be administered",
-        "administration of {drug}",
-        "how to take {drug}",
-        "instructions for giving {drug}",
-        "best way to administer {drug}",
-    ]),
-    ("IV Compatibility of Drug", &[
-        "iv compatibility for {drug}",
-        "is {drug} compatible with normal saline",
-        "can i run {drug} in the same iv line",
-        "y-site compatibility {drug}",
-        "{drug} iv compat",
-        "iv compatibility of {drug} with d5w",
-    ]),
-    ("Drugs That Treat Condition", &[
-        "show me drugs that treat {condition}",
-        "what treats {condition}",
-        "medications for {condition}",
-        "what can i give for {condition} in {age} patients",
-        "treatment options for {condition}",
-        "which drugs work for {condition}",
-    ]),
-    ("Uses of Drug", &[
-        "what is {drug} used for",
-        "uses of {drug}",
-        "why take {drug}",
-        "indications for {drug}",
-        "what does {drug} do",
-        "labeled uses of {drug}",
-    ]),
-    ("Adverse Effects of Drug", &[
-        "side effects of {drug}",
-        "adverse effects of {drug}",
-        "what are the side effects of {drug}",
-        "does {drug} cause problems",
-        "negative reactions to {drug}",
-        "{drug} adverse effects",
-    ]),
-    ("Drug-Drug Interactions", &[
-        "drug interactions for {drug}",
-        "does {drug} interact with {drug2}",
-        "can i combine {drug} and {drug2}",
-        "{drug} drug interactions",
-        "what interacts with {drug}",
-        "what are the drug interactions for {drug}",
-    ]),
+    (
+        "Drug Dosage for Condition",
+        &[
+            "what dose of {drug} for {condition}",
+            "{drug} dosing for {condition}",
+            "how much {drug} for {condition} in {age} patients",
+            "dose of {drug} to treat {condition}",
+            "recommended {drug} dose for {age} {condition}",
+            "dosage {drug} {condition}",
+            "give me the dosage for {drug} for {condition}",
+        ],
+    ),
+    (
+        "Administration of Drug",
+        &[
+            "how do i give {drug}",
+            "how should {drug} be administered",
+            "administration of {drug}",
+            "how to take {drug}",
+            "instructions for giving {drug}",
+            "best way to administer {drug}",
+        ],
+    ),
+    (
+        "IV Compatibility of Drug",
+        &[
+            "iv compatibility for {drug}",
+            "is {drug} compatible with normal saline",
+            "can i run {drug} in the same iv line",
+            "y-site compatibility {drug}",
+            "{drug} iv compat",
+            "iv compatibility of {drug} with d5w",
+        ],
+    ),
+    (
+        "Drugs That Treat Condition",
+        &[
+            "show me drugs that treat {condition}",
+            "what treats {condition}",
+            "medications for {condition}",
+            "what can i give for {condition} in {age} patients",
+            "treatment options for {condition}",
+            "which drugs work for {condition}",
+        ],
+    ),
+    (
+        "Uses of Drug",
+        &[
+            "what is {drug} used for",
+            "uses of {drug}",
+            "why take {drug}",
+            "indications for {drug}",
+            "what does {drug} do",
+            "labeled uses of {drug}",
+        ],
+    ),
+    (
+        "Adverse Effects of Drug",
+        &[
+            "side effects of {drug}",
+            "adverse effects of {drug}",
+            "what are the side effects of {drug}",
+            "does {drug} cause problems",
+            "negative reactions to {drug}",
+            "{drug} adverse effects",
+        ],
+    ),
+    (
+        "Drug-Drug Interactions",
+        &[
+            "drug interactions for {drug}",
+            "does {drug} interact with {drug2}",
+            "can i combine {drug} and {drug2}",
+            "{drug} drug interactions",
+            "what interacts with {drug}",
+            "what are the drug interactions for {drug}",
+        ],
+    ),
     ("DRUG_GENERAL", &["{drug}", "{drug}?", "{brand}", "{drug} please"]),
-    ("Dose Adjustments for Drug", &[
-        "dose adjustment for {drug}",
-        "renal dosing for {drug}",
-        "do i need to adjust {drug} in kidney disease",
-        "dose reduction for {drug}",
-        "dosing modification {drug}",
-        "hepatic dose adjustment for {drug}",
-    ]),
-    ("Regulatory Status for Drug", &[
-        "regulatory status for {drug}",
-        "is {drug} a controlled substance",
-        "what schedule is {drug}",
-        "is {drug} over the counter",
-        "regulatory standing of {drug}",
-    ]),
-    ("Pharmacokinetics", &[
-        "pharmacokinetics of {drug}",
-        "pk of {drug}",
-        "half life of {drug}",
-        "how is {drug} metabolized",
-        "kinetics of {drug}",
-    ]),
-    ("Precautions of Drug", &[
-        "precautions for {drug}",
-        "is {drug} safe to give",
-        "cautions with {drug}",
-        "precautions for {drug} in pregnancy",
-        "show me the precautions for {drug}",
-    ]),
-    ("Risks of Drug", &[
-        "risks of {drug}",
-        "contraindications for {drug}",
-        "black box warning for {drug}",
-        "is there a boxed warning on {drug}",
-        "show me the risks associated with {drug}",
-    ]),
-    ("Toxicology of Drug", &[
-        "overdose of {drug}",
-        "{drug} toxicity",
-        "what happens with too much {drug}",
-        "poisoning with {drug}",
-        "toxicology of {drug}",
-    ]),
-    ("Monitoring of Drug", &[
-        "what should i monitor with {drug}",
-        "labs for {drug}",
-        "monitoring parameters for {drug}",
-        "what labs to follow on {drug}",
-    ]),
-    ("Mechanism of Action of Drug", &[
-        "how does {drug} work",
-        "mechanism of action of {drug}",
-        "moa of {drug}",
-        "pharmacology of {drug}",
-    ]),
-    ("Dosages of Drug", &[
-        "dosage for {drug}",
-        "dosing of {drug}",
-        "how much {drug} should i give",
-        "{drug} dose",
-    ]),
-    ("Conditions Treated by Drug", &[
-        "what conditions are treated by {drug}",
-        "what does {drug} treat",
-        "which diseases does {drug} treat",
-        "what is treated by {drug}",
-    ]),
-    ("Drugs That May Cause Condition", &[
-        "what drugs may cause {condition}",
-        "which medications cause {condition}",
-        "drugs that can cause {condition}",
-    ]),
-    ("Conditions May Be Caused By Drug", &[
-        "what conditions may be caused by {drug}",
-        "what can {drug} cause",
-        "conditions caused by {drug}",
-    ]),
-    ("Drugs and Dosage for Condition", &[
-        "give me the drugs and their dosage that treat {condition}",
-        "drugs and dosing for {condition}",
-        "show me drugs with dosage for {condition}",
-    ]),
-    ("Drug Toxicology for Condition", &[
-        "toxicology of {drug} for {condition}",
-        "give me the toxicology for {drug} that treats {condition}",
-    ]),
-    ("Drugs and Toxicology for Condition", &[
-        "drugs and toxicology for {condition}",
-        "give me the drugs and their toxicology for {condition}",
-    ]),
+    (
+        "Dose Adjustments for Drug",
+        &[
+            "dose adjustment for {drug}",
+            "renal dosing for {drug}",
+            "do i need to adjust {drug} in kidney disease",
+            "dose reduction for {drug}",
+            "dosing modification {drug}",
+            "hepatic dose adjustment for {drug}",
+        ],
+    ),
+    (
+        "Regulatory Status for Drug",
+        &[
+            "regulatory status for {drug}",
+            "is {drug} a controlled substance",
+            "what schedule is {drug}",
+            "is {drug} over the counter",
+            "regulatory standing of {drug}",
+        ],
+    ),
+    (
+        "Pharmacokinetics",
+        &[
+            "pharmacokinetics of {drug}",
+            "pk of {drug}",
+            "half life of {drug}",
+            "how is {drug} metabolized",
+            "kinetics of {drug}",
+        ],
+    ),
+    (
+        "Precautions of Drug",
+        &[
+            "precautions for {drug}",
+            "is {drug} safe to give",
+            "cautions with {drug}",
+            "precautions for {drug} in pregnancy",
+            "show me the precautions for {drug}",
+        ],
+    ),
+    (
+        "Risks of Drug",
+        &[
+            "risks of {drug}",
+            "contraindications for {drug}",
+            "black box warning for {drug}",
+            "is there a boxed warning on {drug}",
+            "show me the risks associated with {drug}",
+        ],
+    ),
+    (
+        "Toxicology of Drug",
+        &[
+            "overdose of {drug}",
+            "{drug} toxicity",
+            "what happens with too much {drug}",
+            "poisoning with {drug}",
+            "toxicology of {drug}",
+        ],
+    ),
+    (
+        "Monitoring of Drug",
+        &[
+            "what should i monitor with {drug}",
+            "labs for {drug}",
+            "monitoring parameters for {drug}",
+            "what labs to follow on {drug}",
+        ],
+    ),
+    (
+        "Mechanism of Action of Drug",
+        &[
+            "how does {drug} work",
+            "mechanism of action of {drug}",
+            "moa of {drug}",
+            "pharmacology of {drug}",
+        ],
+    ),
+    (
+        "Dosages of Drug",
+        &["dosage for {drug}", "dosing of {drug}", "how much {drug} should i give", "{drug} dose"],
+    ),
+    (
+        "Conditions Treated by Drug",
+        &[
+            "what conditions are treated by {drug}",
+            "what does {drug} treat",
+            "which diseases does {drug} treat",
+            "what is treated by {drug}",
+        ],
+    ),
+    (
+        "Drugs That May Cause Condition",
+        &[
+            "what drugs may cause {condition}",
+            "which medications cause {condition}",
+            "drugs that can cause {condition}",
+        ],
+    ),
+    (
+        "Conditions May Be Caused By Drug",
+        &[
+            "what conditions may be caused by {drug}",
+            "what can {drug} cause",
+            "conditions caused by {drug}",
+        ],
+    ),
+    (
+        "Drugs and Dosage for Condition",
+        &[
+            "give me the drugs and their dosage that treat {condition}",
+            "drugs and dosing for {condition}",
+            "show me drugs with dosage for {condition}",
+        ],
+    ),
+    (
+        "Drug Toxicology for Condition",
+        &[
+            "toxicology of {drug} for {condition}",
+            "give me the toxicology for {drug} that treats {condition}",
+        ],
+    ),
+    (
+        "Drugs and Toxicology for Condition",
+        &[
+            "drugs and toxicology for {condition}",
+            "give me the drugs and their toxicology for {condition}",
+        ],
+    ),
     // Conversation management.
     ("Greeting", &["hello there", "hi", "good day", "hey", "hello"]),
     ("Capability Check", &["what can you do", "what can i ask", "what do you know"]),
@@ -208,11 +266,14 @@ pub const TEMPLATES: &[(&str, &[&str])] = &[
     ("Affirmation", &["yes", "yes please", "yeah"]),
     ("Disconfirmation", &["no", "no thanks", "nope"]),
     ("Repeat Request", &["what did you say", "say that again", "repeat that"]),
-    ("Definition Request", &[
-        "what do you mean by effective",
-        "what does contraindication mean",
-        "define black box warning",
-    ]),
+    (
+        "Definition Request",
+        &[
+            "what do you mean by effective",
+            "what does contraindication mean",
+            "define black box warning",
+        ],
+    ),
     ("Paraphrase Request", &["what do you mean", "i don't understand"]),
     ("Abort", &["never mind", "cancel", "forget it"]),
     ("Closing", &["goodbye", "bye now", "bye"]),
@@ -221,11 +282,7 @@ pub const TEMPLATES: &[(&str, &[&str])] = &[
 
 /// Generates one utterance for an intent; `None` if the intent has no
 /// templates.
-pub fn generate(
-    intent_name: &str,
-    pools: &ValuePools,
-    rng: &mut ChaCha8Rng,
-) -> Option<String> {
+pub fn generate(intent_name: &str, pools: &ValuePools, rng: &mut ChaCha8Rng) -> Option<String> {
     let (_, templates) = TEMPLATES.iter().find(|(n, _)| *n == intent_name)?;
     let template = templates[rng.gen_range(0..templates.len())];
     Some(fill(template, pools, rng))

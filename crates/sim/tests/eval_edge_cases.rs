@@ -50,11 +50,8 @@ fn single_intent_traffic_produces_one_bar() {
 
 #[test]
 fn fig12_full_sample_equals_whole_traffic() {
-    let outcome = SimOutcome {
-        records: (0..20)
-            .map(|i| record(Some("X"), i % 4 != 0, false))
-            .collect(),
-    };
+    let outcome =
+        SimOutcome { records: (0..20).map(|i| record(Some("X"), i % 4 != 0, false)).collect() };
     let (_, sme, user) = fig12(&outcome, 0.999, 10, 1);
     assert!((sme - outcome.accuracy()).abs() < 0.05, "near-full sample ≈ population");
     assert_eq!(user, 1.0, "no thumbs-down in this traffic");

@@ -62,11 +62,8 @@ fn build_library_kb() -> KnowledgeBase {
         ("Jorge Luis Borges", "Argentina"),
     ];
     for (i, (name, country)) in authors.iter().enumerate() {
-        kb.insert(
-            "author",
-            vec![Value::Int(i as i64), Value::text(*name), Value::text(*country)],
-        )
-        .expect("author row");
+        kb.insert("author", vec![Value::Int(i as i64), Value::text(*name), Value::text(*country)])
+            .expect("author row");
     }
     for (i, g) in ["science fiction", "fantasy", "short stories"].iter().enumerate() {
         kb.insert("genre", vec![Value::Int(i as i64), Value::text(*g)]).expect("genre row");
@@ -103,12 +100,7 @@ fn build_library_kb() -> KnowledgeBase {
     {
         kb.insert(
             "review",
-            vec![
-                Value::Int(i as i64),
-                Value::Int(*book),
-                Value::text(*text),
-                Value::Int(*rating),
-            ],
+            vec![Value::Int(i as i64), Value::Int(*book), Value::text(*text), Value::Int(*rating)],
         )
         .expect("review row");
     }

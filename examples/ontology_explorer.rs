@@ -57,13 +57,8 @@ fn main() {
         println!("  {}", onto.concept_name(k));
     }
 
-    let deps = identify_dependent_concepts(
-        &onto,
-        &kb,
-        &mapping,
-        &keys,
-        CategoricalPolicy::default(),
-    );
+    let deps =
+        identify_dependent_concepts(&onto, &kb, &mapping, &keys, CategoricalPolicy::default());
     println!("\ndependent concepts:");
     for d in &deps {
         let semantics = match &d.semantics {

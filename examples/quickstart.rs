@@ -23,9 +23,7 @@ fn main() {
     // Offline bootstrapping (paper §4): key concepts → query patterns →
     // intents → training examples → entities → query templates.
     let drug = onto.concept_id("Drug").expect("Drug concept");
-    let sme = SmeFeedback::new()
-        .synonym("Drug", &["medicine", "medication"])
-        .entity_only(drug);
+    let sme = SmeFeedback::new().synonym("Drug", &["medicine", "medication"]).entity_only(drug);
     let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &sme);
     let inv = space.inventory();
     println!(

@@ -14,21 +14,13 @@ use obcs::sim::traffic::{run_traffic, SimConfig};
 use obcs::sim::utterance::ValuePools;
 
 fn main() {
-    let interactions: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1000);
+    let interactions: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1000);
     let cfg = MdxDataConfig { drugs: 100, seed: 20200614 };
     println!("building Conversational MDX and simulating {interactions} interactions…");
     let (onto, kb, _, space) = ConversationalMdx::bootstrap_space(cfg);
     let pools = ValuePools::from_kb(&kb);
     let mut mdx = ConversationalMdx::with_config(cfg);
-    run_traffic(
-        &mut mdx.agent,
-        &onto,
-        &pools,
-        SimConfig { interactions, ..SimConfig::default() },
-    );
+    run_traffic(&mut mdx.agent, &onto, &pools, SimConfig { interactions, ..SimConfig::default() });
 
     // Persist and reload the log (the accumulation format of a long-running
     // deployment).
@@ -36,11 +28,7 @@ fn main() {
     std::fs::write(&path, mdx.agent.log.to_jsonl()).expect("write log");
     let text = std::fs::read_to_string(&path).expect("read log");
     let log = InteractionLog::from_jsonl(&text).expect("parse log");
-    println!(
-        "log: {} records persisted to {} and reloaded\n",
-        log.len(),
-        path.display()
-    );
+    println!("log: {} records persisted to {} and reloaded\n", log.len(), path.display());
 
     println!("{:<38} {:>8} {:>10}", "intent", "usage", "success");
     let total = log.len() as f64;
@@ -50,11 +38,7 @@ fn main() {
             .map(|i| i.name.clone())
             .unwrap_or_else(|| format!("{intent_id:?}"));
         let rate = log.success_rate_for(intent_id).unwrap_or(1.0);
-        println!(
-            "{name:<38} {:>7.1}% {:>9.1}%",
-            count as f64 / total * 100.0,
-            rate * 100.0
-        );
+        println!("{name:<38} {:>7.1}% {:>9.1}%", count as f64 / total * 100.0, rate * 100.0);
     }
     println!(
         "\noverall success rate (Eq. 1): {:.1}%  (paper: 96.3%)",

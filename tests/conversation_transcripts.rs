@@ -126,7 +126,9 @@ fn abort_and_restart_mid_elicitation() {
     let r = m.agent.respond("adult");
     assert_eq!(r.kind, ReplyKind::Fulfilment);
     assert!(
-        r.text.contains("Aspirin") || r.text.contains("Ibuprofen") || r.text.contains("Acetaminophen"),
+        r.text.contains("Aspirin")
+            || r.text.contains("Ibuprofen")
+            || r.text.contains("Acetaminophen"),
         "{}",
         r.text
     );

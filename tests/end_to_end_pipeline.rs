@@ -9,22 +9,13 @@ use obcs::prelude::*;
 #[test]
 fn offline_then_online_on_fig2_domain() {
     let (onto, kb, mapping) = obcs::core::testutil::fig2_fixture();
-    let space = bootstrap(
-        &onto,
-        &kb,
-        &mapping,
-        BootstrapConfig::default(),
-        &SmeFeedback::new(),
-    );
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
 
     // Every query intent has a template whose instantiation parses and
     // executes against the KB.
     let drug = onto.concept_id("Drug").unwrap();
     let ind = onto.concept_id("Indication").unwrap();
-    let values = vec![
-        (drug, "Aspirin".to_string()),
-        (ind, "Fever".to_string()),
-    ];
+    let values = vec![(drug, "Aspirin".to_string()), (ind, "Fever".to_string())];
     let mut executed = 0;
     for intent in space.intents.iter().filter(|i| i.is_query()) {
         for labeled in space.templates_for(intent.id) {
@@ -51,13 +42,7 @@ fn offline_then_online_on_fig2_domain() {
 #[test]
 fn conversation_space_round_trips_through_json() {
     let (onto, kb, mapping) = obcs::core::testutil::fig2_fixture();
-    let space = bootstrap(
-        &onto,
-        &kb,
-        &mapping,
-        BootstrapConfig::default(),
-        &SmeFeedback::new(),
-    );
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
     let json = space.to_json();
     let restored = ConversationSpace::from_json(&json).expect("deserialise");
     assert_eq!(restored.inventory(), space.inventory());
@@ -98,11 +83,8 @@ fn ontogen_domain_is_conversational_end_to_end() {
     )
     .unwrap();
     for (i, name) in ["Press A", "Lathe B", "Mill C"].iter().enumerate() {
-        kb.insert(
-            "machine",
-            vec![Value::Int(i as i64), Value::text(*name), Value::text("hall 1")],
-        )
-        .unwrap();
+        kb.insert("machine", vec![Value::Int(i as i64), Value::text(*name), Value::text("hall 1")])
+            .unwrap();
     }
     for i in 0..5i64 {
         kb.insert(
@@ -113,13 +95,7 @@ fn ontogen_domain_is_conversational_end_to_end() {
     }
     let onto = generate_ontology(&kb, "factory", OntogenOptions::default()).unwrap();
     let mapping = OntologyMapping::infer(&onto, &kb);
-    let space = bootstrap(
-        &onto,
-        &kb,
-        &mapping,
-        BootstrapConfig::default(),
-        &SmeFeedback::new(),
-    );
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
     assert!(space.intents.iter().any(|i| i.name == "Faults of Machine"));
     let mut agent = ConversationAgent::new(onto, kb, mapping, space, AgentConfig::default());
     let reply = agent.respond("show me the fault for Lathe B");
@@ -130,13 +106,7 @@ fn ontogen_domain_is_conversational_end_to_end() {
 #[test]
 fn feedback_flows_into_success_rate() {
     let (onto, kb, mapping) = obcs::core::testutil::fig2_fixture();
-    let space = bootstrap(
-        &onto,
-        &kb,
-        &mapping,
-        BootstrapConfig::default(),
-        &SmeFeedback::new(),
-    );
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
     let mut agent = ConversationAgent::new(onto, kb, mapping, space, AgentConfig::default());
     agent.respond("what drug treats Fever?");
     agent.feedback(Feedback::ThumbsUp);

@@ -28,8 +28,7 @@ fn evaluate() -> Evaluated {
         &pools,
         SimConfig { interactions: 1200, seed: 13, ..SimConfig::default() },
     );
-    let (report, rows) =
-        classifier_evaluation(&space, &onto, &kb, &mapping, &outcome, 12, 13);
+    let (report, rows) = classifier_evaluation(&space, &onto, &kb, &mapping, &outcome, 12, 13);
     let (fig11_rows, overall) = fig11(&outcome, 10);
     let (_, sme_rate, user_rate_on_sample) = fig12(&outcome, 0.10, 10, 13);
     Evaluated {
@@ -50,11 +49,7 @@ fn evaluation_reproduces_paper_shape() {
     // imperfect (paper avg 0.85).
     assert_eq!(e.top_rows[0].intent, "Drug Dosage for Condition");
     assert!(e.top_rows.len() == 10);
-    assert!(
-        e.macro_f1 > 0.70 && e.macro_f1 < 0.98,
-        "macro F1 in the paper's band: {}",
-        e.macro_f1
-    );
+    assert!(e.macro_f1 > 0.70 && e.macro_f1 < 0.98, "macro F1 in the paper's band: {}", e.macro_f1);
     // Usage shares decrease down the table.
     for w in e.top_rows.windows(2) {
         assert!(w[0].usage >= w[1].usage);
@@ -62,11 +57,7 @@ fn evaluation_reproduces_paper_shape() {
 
     // Figure 11 shape: overall success high (paper 96.3%); per-intent bars
     // above 80% for the top intents.
-    assert!(
-        e.overall_user_rate > 0.92,
-        "overall user success: {}",
-        e.overall_user_rate
-    );
+    assert!(e.overall_user_rate > 0.92, "overall user success: {}", e.overall_user_rate);
     for row in &e.fig11_rows {
         assert!(row.success_rate > 0.80, "{row:?}");
     }
@@ -94,19 +85,11 @@ fn noise_rates_degrade_success_monotonically() {
             &mut mdx.agent,
             &onto,
             &pools,
-            SimConfig {
-                interactions: 400,
-                seed: 5,
-                misspell_rate,
-                ..SimConfig::default()
-            },
+            SimConfig { interactions: 400, seed: 5, misspell_rate, ..SimConfig::default() },
         );
         rates.push(outcome.accuracy());
     }
-    assert!(
-        rates[0] > rates[1],
-        "heavier misspelling must hurt accuracy: {rates:?}"
-    );
+    assert!(rates[0] > rates[1], "heavier misspelling must hurt accuracy: {rates:?}");
 }
 
 #[test]

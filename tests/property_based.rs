@@ -6,9 +6,9 @@ use obcs::classifier::naive_bayes::{NaiveBayes, NaiveBayesConfig};
 use obcs::classifier::{Classifier, Dataset};
 use obcs::kb::schema::{ColumnType, TableSchema};
 use obcs::kb::value::sql_quote;
-use obcs::prelude::*;
 use obcs::ontology::graph::{paths_up_to, shortest_path, EdgeFilter};
 use obcs::ontology::RelationKind;
+use obcs::prelude::*;
 use proptest::prelude::*;
 
 /// Strategy: a random small ontology as (n concepts, edges between them).
@@ -16,9 +16,8 @@ fn ontology_strategy() -> impl Strategy<Value = Ontology> {
     (2usize..12, proptest::collection::vec((0usize..12, 0usize..12), 0..24)).prop_map(
         |(n, edges)| {
             let mut onto = Ontology::new("prop");
-            let ids: Vec<_> = (0..n)
-                .map(|i| onto.add_concept(format!("C{i}")).expect("unique"))
-                .collect();
+            let ids: Vec<_> =
+                (0..n).map(|i| onto.add_concept(format!("C{i}")).expect("unique")).collect();
             for (a, b) in edges {
                 let (a, b) = (a % n, b % n);
                 let _ = onto.add_object_property(
@@ -169,27 +168,21 @@ fn bootstrap_never_panics_on_random_star_ontologies() {
                     .foreign_key("hub_id", "hub", "hub_id"),
             )
             .expect("schema");
-            builder = builder
-                .data(&format!("Sat{i}"), &["description"])
-                .relation(&format!("has{i}"), "Hub", &format!("Sat{i}"));
+            builder = builder.data(&format!("Sat{i}"), &["description"]).relation(
+                &format!("has{i}"),
+                "Hub",
+                &format!("Sat{i}"),
+            );
         }
         let onto = builder.build().expect("valid");
         kb.insert("hub", vec![Value::Int(0), Value::text("Thing")]).expect("row");
         for i in 0..k {
-            kb.insert(
-                &format!("sat{i}"),
-                vec![Value::Int(0), Value::Int(0), Value::text("info")],
-            )
-            .expect("row");
+            kb.insert(&format!("sat{i}"), vec![Value::Int(0), Value::Int(0), Value::text("info")])
+                .expect("row");
         }
         let mapping = OntologyMapping::infer(&onto, &kb);
-        let space = bootstrap(
-            &onto,
-            &kb,
-            &mapping,
-            BootstrapConfig::default(),
-            &SmeFeedback::new(),
-        );
+        let space =
+            bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
         // Every satellite yields a lookup intent once the hub is key.
         if !space.key_concepts.is_empty() {
             assert_eq!(space.inventory().lookup_intents, k);

@@ -1,0 +1,485 @@
+//! Offline shim of serde for this workspace.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! real serde cannot be vendored. This shim keeps the public surface the
+//! workspace relies on — `Serialize`/`Deserialize` traits, the
+//! `#[derive(Serialize, Deserialize)]` macros, and `#[serde(skip)]` — but
+//! replaces serde's visitor architecture with a simple self-describing
+//! [`Content`] tree. `serde_json` (also shimmed) converts `Content` to and
+//! from JSON text. Representations match upstream serde_json: structs are
+//! maps, newtype structs are transparent, enums are externally tagged.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing data tree: the shim's stand-in for serde's data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Insertion-ordered map with string keys (the JSON object model).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view: accepts I64, U64 and integral F64.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) => i64::try_from(v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e15 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && v >= 0.0 && v < 1.9e16 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::I64(v) => Some(v as f64),
+            Content::U64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+
+    pub fn expected(what: &str, got: &Content) -> Self {
+        DeError::new(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Field lookup for derived struct impls.
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Missing-field recovery for derived struct impls: `Option` (and any other
+/// type deserializable from null) treats an absent field as null, matching
+/// serde_json; everything else reports the field.
+pub fn missing_field<T: Deserialize>(ty: &str, field: &str) -> Result<T, DeError> {
+    T::from_content(&Content::Null)
+        .map_err(|_| DeError::new(format!("missing field `{field}` in {ty}")))
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i128;
+                if v < 0 { Content::I64(v as i64) } else { Content::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c.as_i64().map(|v| v as i128).or_else(|| c.as_u64().map(|v| v as i128));
+                match v {
+                    Some(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError::new(format!("integer {v} out of range for {}", stringify!($t)))),
+                    None => Err(DeError::expected("integer", c)),
+                }
+            }
+        }
+    )*};
+}
+
+int_impl!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_f64().ok_or_else(|| DeError::expected("number", c))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_f64().map(|v| v as f32).ok_or_else(|| DeError::expected("number", c))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_bool().ok_or_else(|| DeError::expected("bool", c))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c.as_str().ok_or_else(|| DeError::expected("single-char string", c))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::new("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", c))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(()),
+            _ => Err(DeError::expected("null", c)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("array", c))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let seq = c.as_seq().ok_or_else(|| DeError::expected("array", c))?;
+                let expected = [$($n),+].len();
+                if seq.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected array of {expected}, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($t::from_content(&seq[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ---------------------------------------------------------------------------
+// Map / set impls (JSON keys are strings; integer and newtype-integer keys
+// are stringified like serde_json does)
+// ---------------------------------------------------------------------------
+
+fn key_to_string(content: Content) -> String {
+    match content {
+        Content::Str(s) => s,
+        Content::I64(v) => v.to_string(),
+        Content::U64(v) => v.to_string(),
+        Content::Bool(b) => b.to_string(),
+        other => panic!("map key must serialize to a string or integer, got {}", other.kind()),
+    }
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_content(&Content::Str(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(v) = s.parse::<i64>() {
+        let c = if v < 0 { Content::I64(v) } else { Content::U64(v as u64) };
+        if let Ok(k) = K::from_content(&c) {
+            return Ok(k);
+        }
+    }
+    if s == "true" || s == "false" {
+        if let Ok(k) = K::from_content(&Content::Bool(s == "true")) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::new(format!("cannot reconstruct map key from `{s}`")))
+}
+
+macro_rules! map_impl {
+    ($ty:ident, $($bound:path),*) => {
+        impl<K: Serialize $(+ $bound)*, V: Serialize> Serialize for $ty<K, V> {
+            fn to_content(&self) -> Content {
+                let mut entries: Vec<(String, Content)> = self
+                    .iter()
+                    .map(|(k, v)| (key_to_string(k.to_content()), v.to_content()))
+                    .collect();
+                // Deterministic output regardless of hash order.
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                Content::Map(entries)
+            }
+        }
+        impl<K: Deserialize $(+ $bound)*, V: Deserialize> Deserialize for $ty<K, V> {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let map = c.as_map().ok_or_else(|| DeError::expected("object", c))?;
+                map.iter()
+                    .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_content(v)?)))
+                    .collect()
+            }
+        }
+    };
+}
+
+map_impl!(HashMap, Eq, Hash);
+map_impl!(BTreeMap, Ord);
+
+macro_rules! set_impl {
+    ($ty:ident, $($bound:path),*) => {
+        impl<T: Serialize $(+ $bound)*> Serialize for $ty<T> {
+            fn to_content(&self) -> Content {
+                let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+                items.sort_by(content_order);
+                Content::Seq(items)
+            }
+        }
+        impl<T: Deserialize $(+ $bound)*> Deserialize for $ty<T> {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                c.as_seq()
+                    .ok_or_else(|| DeError::expected("array", c))?
+                    .iter()
+                    .map(T::from_content)
+                    .collect()
+            }
+        }
+    };
+}
+
+set_impl!(HashSet, Eq, Hash);
+set_impl!(BTreeSet, Ord);
+
+/// Total order over content for deterministic set serialization.
+fn content_order(a: &Content, b: &Content) -> std::cmp::Ordering {
+    match (a, b) {
+        (Content::I64(x), Content::I64(y)) => x.cmp(y),
+        (Content::U64(x), Content::U64(y)) => x.cmp(y),
+        (Content::Str(x), Content::Str(y)) => x.cmp(y),
+        _ => {
+            let ax = a.as_i64();
+            let bx = b.as_i64();
+            match (ax, bx) {
+                (Some(x), Some(y)) => x.cmp(&y),
+                _ => format!("{a:?}").cmp(&format!("{b:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_from_null_is_none() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_field_defaults_options_only() {
+        assert_eq!(missing_field::<Option<u32>>("T", "f").unwrap(), None);
+        assert!(missing_field::<u32>("T", "f").is_err());
+    }
+
+    #[test]
+    fn int_keys_round_trip() {
+        let mut m = HashMap::new();
+        m.insert(3u32, "x".to_string());
+        let c = m.to_content();
+        let back: HashMap<u32, String> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, m);
+    }
+}

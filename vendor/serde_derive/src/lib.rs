@@ -1,0 +1,443 @@
+//! Offline shim of `serde_derive`.
+//!
+//! With no crates.io access there is no `syn`/`quote`, so this macro parses
+//! the item's token stream by hand and emits impls of the shim `serde`
+//! traits as source strings. It supports exactly the item shapes this
+//! workspace derives on: non-generic structs (named, tuple/newtype, unit)
+//! and non-generic enums (unit, tuple and struct variants), plus the
+//! `#[serde(skip)]` field attribute. Representations match serde_json:
+//! structs are objects, newtype structs are transparent, enums are
+//! externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: Option<String>,
+    skip: bool,
+}
+
+enum Body {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Shape {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// `true` if an attribute token pair (`#` + `[...]`) is `#[serde(...)]`
+/// containing the ident `skip`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string().starts_with("skip"))),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes; returns whether any was `#[serde(skip)]`.
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while *pos + 1 < tokens.len() {
+        match (&tokens[*pos], &tokens[*pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                skip |= attr_is_serde_skip(g);
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    eat_attrs(&tokens, &mut pos);
+    eat_vis(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize/Deserialize) shim: expected struct/enum, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive shim: expected item name, got {other:?}"),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive shim: generic type `{name}` is not supported offline");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Body::Unit,
+            };
+            Item { name, shape: Shape::Struct(body) }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("derive shim: expected enum body, got {other:?}"),
+            };
+            Item { name, shape: Shape::Enum(parse_variants(body)) }
+        }
+        other => panic!("derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut pos);
+        eat_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive shim: expected field name, got {other:?}"),
+        };
+        pos += 1;
+        // Skip `:` then the type up to the next top-level comma.
+        pos += 1;
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name: Some(name), skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut pos);
+        eat_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name: None, skip });
+    }
+    fields
+}
+
+/// Advances past one type, tracking `<`/`>` depth outside groups; stops
+/// after the top-level `,` (or at end of stream).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    *pos += 1;
+                    return;
+                }
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' && !prev_dash {
+                    depth -= 1;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        eat_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive shim: expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let body = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Body::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let name = f.name.as_deref().expect("named field");
+        out.push_str(&format!(
+            "__m.push((\"{name}\".to_string(), ::serde::Serialize::to_content(&{})));\n",
+            accessor(name)
+        ));
+    }
+    out.push_str("::serde::Content::Map(__m)");
+    out
+}
+
+fn de_named_fields(ty: &str, fields: &[Field], map_expr: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let name = f.name.as_deref().expect("named field");
+        if f.skip {
+            out.push_str(&format!("{name}: ::std::default::Default::default(),\n"));
+        } else {
+            out.push_str(&format!(
+                "{name}: match ::serde::content_get({map_expr}, \"{name}\") {{\n\
+                 Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+                 None => ::serde::missing_field(\"{ty}\", \"{name}\")?,\n\
+                 }},\n"
+            ));
+        }
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Body::Unit) => "::serde::Content::Null".to_string(),
+        Shape::Struct(Body::Named(fields)) => {
+            ser_named_fields(fields, |f| format!("self.{f}"))
+        }
+        Shape::Struct(Body::Tuple(fields)) => {
+            let live: Vec<usize> =
+                (0..fields.len()).filter(|&i| !fields[i].skip).collect();
+            if live.len() == 1 && fields.len() == 1 {
+                // Newtype structs are transparent, like serde.
+                format!("::serde::Serialize::to_content(&self.{})", live[0])
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Body::Tuple(fields) if fields.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_content(__f0))]),\n"
+                    )),
+                    Body::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().filter_map(|f| f.name.as_deref()).collect();
+                        let inner = ser_named_fields(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ let __inner = {{ {inner} }}; ::serde::Content::Map(vec![(\"{vn}\".to_string(), __inner)]) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Body::Unit) => format!("let _ = __c; Ok({name})"),
+        Shape::Struct(Body::Named(fields)) => {
+            let inner = de_named_fields(name, fields, "__map");
+            format!(
+                "let __map = __c.as_map().ok_or_else(|| ::serde::DeError::expected(\"object for {name}\", __c))?;\n\
+                 Ok({name} {{\n{inner}}})"
+            )
+        }
+        Shape::Struct(Body::Tuple(fields)) if fields.len() == 1 && !fields[0].skip => format!(
+            "Ok({name}(::serde::Deserialize::from_content(__c)?))"
+        ),
+        Shape::Struct(Body::Tuple(fields)) => {
+            let n = fields.len();
+            let mut parts = Vec::new();
+            let mut live = 0usize;
+            for f in fields.iter() {
+                if f.skip {
+                    parts.push("::std::default::Default::default()".to_string());
+                } else {
+                    parts.push(format!("::serde::Deserialize::from_content(&__seq[{live}])?"));
+                    live += 1;
+                }
+            }
+            format!(
+                "let __seq = __c.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array for {name}\", __c))?;\n\
+                 if __seq.len() != {live} {{ return Err(::serde::DeError::new(format!(\"expected {live} elements for {name} ({n} fields), got {{}}\", __seq.len()))); }}\n\
+                 Ok({name}({}))",
+                parts.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    Body::Tuple(fields) if fields.len() == 1 => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_content(__v)?)),\n"
+                        ));
+                    }
+                    Body::Tuple(fields) => {
+                        let n = fields.len();
+                        let parts: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array for {name}::{vn}\", __v))?;\n\
+                             if __seq.len() != {n} {{ return Err(::serde::DeError::new(\"wrong tuple arity for {name}::{vn}\")); }}\n\
+                             return Ok({name}::{vn}({}));\n}}\n",
+                            parts.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let inner = de_named_fields(&format!("{name}::{vn}"), fields, "__map");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __map = __v.as_map().ok_or_else(|| ::serde::DeError::expected(\"object for {name}::{vn}\", __v))?;\n\
+                             return Ok({name}::{vn} {{\n{inner}}});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => return Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => return Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::DeError::expected(\"externally tagged {name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
