@@ -21,4 +21,9 @@ cargo test -q
 echo "==> spacelint --deny-warnings artifacts/mdx_space.json"
 cargo run -q --release -p obcs-lint --bin spacelint -- --deny-warnings artifacts/mdx_space.json
 
+echo "==> repro perf --quick --check BENCH_perf.json"
+# Perf smoke: re-measures the quick profile and fails on a malformed
+# baseline or any stage >5x slower than the committed BENCH_perf.json.
+cargo run -q --release -p obcs-bench --bin repro -- perf --quick --check BENCH_perf.json
+
 echo "CI gate passed."

@@ -1,6 +1,15 @@
 //! The conversation engine: ties NLU, the dialogue tree, template
 //! instantiation, KB execution, and NLG into a single `respond` loop —
 //! the fully automated online process of the paper's Figure 1(b).
+//!
+//! The trained NLU (classifier weights + entity lexicon) is by far the
+//! most expensive part of agent assembly, so it is held behind an [`Arc`]:
+//! [`ConversationAgent::fork_session`] stamps out an independent session
+//! (own context, own log) that *shares* the trained NLU — the mechanism
+//! the traffic replay uses to run shards on separate threads without
+//! retraining per shard.
+
+use std::sync::Arc;
 
 use obcs_core::{ConversationSpace, IntentId};
 use obcs_dialogue::tree::TurnInput;
@@ -59,7 +68,7 @@ pub struct ConversationAgent {
     mapping: OntologyMapping,
     space: ConversationSpace,
     tree: DialogueTree,
-    nlu: Nlu,
+    nlu: Arc<Nlu>,
     ctx: ConversationContext,
     pub log: InteractionLog,
     config: AgentConfig,
@@ -77,7 +86,7 @@ impl ConversationAgent {
         config: AgentConfig,
     ) -> Self {
         let tree = DialogueTree::from_space(&space, &onto, &config.name);
-        let nlu = Nlu::from_space(&space, &onto, &kb, &mapping);
+        let nlu = Arc::new(Nlu::from_space(&space, &onto, &kb, &mapping));
         ConversationAgent {
             onto,
             kb,
@@ -97,9 +106,37 @@ impl ConversationAgent {
         &mut self.tree
     }
 
-    /// Access to the NLU for synonym registration.
+    /// Access to the NLU for synonym registration. Only available while
+    /// this agent is the sole owner — customise the NLU *before* forking
+    /// sessions off it.
     pub fn nlu_mut(&mut self) -> &mut Nlu {
-        &mut self.nlu
+        Arc::get_mut(&mut self.nlu)
+            .expect("NLU is shared by forked sessions; customise before forking")
+    }
+
+    /// The shared trained NLU (cheap to clone the handle).
+    pub fn shared_nlu(&self) -> Arc<Nlu> {
+        Arc::clone(&self.nlu)
+    }
+
+    /// Stamps out an independent conversation session sharing this agent's
+    /// trained NLU: the classifier and lexicon are behind the same `Arc`
+    /// (no retraining), while the context, pending disambiguation, and log
+    /// start fresh. Forks are `Send` — the traffic replay runs one per
+    /// shard thread.
+    pub fn fork_session(&self) -> ConversationAgent {
+        ConversationAgent {
+            onto: self.onto.clone(),
+            kb: self.kb.clone(),
+            mapping: self.mapping.clone(),
+            space: self.space.clone(),
+            tree: self.tree.clone(),
+            nlu: Arc::clone(&self.nlu),
+            ctx: ConversationContext::new(),
+            log: InteractionLog::new(),
+            config: self.config.clone(),
+            pending_disambiguation: Vec::new(),
+        }
     }
 
     /// The conversation space the agent serves.
@@ -149,8 +186,10 @@ impl ConversationAgent {
         }
         if added {
             // Rebuild the NLU over the augmented training set; dialogue
-            // tree and templates are unaffected.
-            self.nlu = Nlu::from_space(&self.space, &self.onto, &self.kb, &self.mapping);
+            // tree and templates are unaffected. Existing forks keep the
+            // old NLU — retraining swaps the Arc, it never mutates through
+            // it.
+            self.nlu = Arc::new(Nlu::from_space(&self.space, &self.onto, &self.kb, &self.mapping));
         }
         unknown
     }
@@ -654,6 +693,28 @@ mod tests {
         let risks = a.space().intent_by_name("Risks of Drug").unwrap().id;
         assert_eq!(r.intent, Some(risks), "reply: {r:?}");
         assert_eq!(r.kind, ReplyKind::Fulfilment);
+    }
+
+    #[test]
+    fn forked_sessions_share_nlu_and_answer_independently() {
+        let mut a = agent();
+        a.respond("show me the precaution for Aspirin");
+        let mut forks: Vec<ConversationAgent> = (0..2).map(|_| a.fork_session()).collect();
+        // Forks share the trained NLU (same allocation)…
+        assert!(Arc::ptr_eq(&a.shared_nlu(), &forks[0].shared_nlu()));
+        // …but start with a fresh context and log.
+        assert!(forks[0].context().entities.is_empty());
+        assert_eq!(forks[0].log.len(), 0);
+        // A fork answers exactly like a reset original would.
+        let expected = {
+            let mut fresh = a.fork_session();
+            fresh.respond("what drug treats Fever?")
+        };
+        for f in &mut forks {
+            assert_eq!(f.respond("what drug treats Fever?"), expected);
+        }
+        // The parent's session state was untouched by the forks.
+        assert!(!a.context().entities.is_empty());
     }
 
     #[test]

@@ -28,7 +28,8 @@ pub struct RecognizedEntities {
 
 /// Which intent-classifier family to train (see the `ablation-classifier`
 /// harness for the accuracy/latency trade-off: logistic regression scores
-/// noticeably higher on the bootstrapped data but trains ~100× slower).
+/// noticeably higher on the bootstrapped data but trains slower — ~5× at
+/// MDX scale since the CSR/class-blocked rewrite; `repro perf` tracks it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum ClassifierKind {
     #[default]

@@ -1,0 +1,53 @@
+//! Entity-annotation benches: the interned-token trie hot path against the
+//! retained span-join scan oracle, on the full assembled NLU lexicon.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obcs_agent::nlu::Nlu;
+use obcs_bench::World;
+use obcs_sim::traffic::INTENT_MIX;
+use obcs_sim::utterance::generate;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_annotate(c: &mut Criterion) {
+    let world = World::small(7);
+    let nlu = Nlu::from_space(&world.space, &world.onto, &world.kb, &world.mapping);
+    let lex = nlu.lexicon();
+
+    // A realistic utterance workload drawn from the simulator's templates.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut utterances = Vec::new();
+    while utterances.len() < 64 {
+        for (intent, _) in INTENT_MIX {
+            if let Some(u) = generate(intent, &world.pools, &mut rng) {
+                utterances.push(u);
+            }
+        }
+    }
+    utterances.truncate(64);
+
+    let mut group = c.benchmark_group("annotate");
+    group.bench_function("trie", |b| {
+        b.iter(|| {
+            for u in &utterances {
+                black_box(lex.annotate(u));
+            }
+        })
+    });
+    group.bench_function("scan", |b| {
+        b.iter(|| {
+            for u in &utterances {
+                black_box(lex.annotate_scan(u));
+            }
+        })
+    });
+    group.bench_function("partial_indexed", |b| b.iter(|| black_box(lex.partial_matches("aspir"))));
+    group.bench_function("partial_scan", |b| {
+        b.iter(|| black_box(lex.partial_matches_scan("aspir")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_annotate);
+criterion_main!(benches);

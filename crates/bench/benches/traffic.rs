@@ -1,0 +1,33 @@
+//! Traffic-replay benches: the §7.2 simulated workload, sequential against
+//! session-sharded parallel replay (identical record streams; a test in
+//! obcs-sim enforces the bit-for-bit contract).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obcs_bench::World;
+use obcs_sim::traffic::{run_traffic, SimConfig};
+use std::hint::black_box;
+
+fn bench_traffic(c: &mut Criterion) {
+    let world = World::small(7);
+    let sim =
+        |parallelism| SimConfig { interactions: 100, seed: 7, parallelism, ..SimConfig::default() };
+
+    let mut group = c.benchmark_group("traffic");
+    group.sample_size(10);
+    group.bench_function("replay_sequential", |b| {
+        b.iter(|| {
+            let mut mdx = world.agent();
+            black_box(run_traffic(&mut mdx.agent, &world.onto, &world.pools, sim(1)))
+        })
+    });
+    group.bench_function("replay_parallel", |b| {
+        b.iter(|| {
+            let mut mdx = world.agent();
+            black_box(run_traffic(&mut mdx.agent, &world.onto, &world.pools, sim(0)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

@@ -33,6 +33,14 @@ fn main() {
     let interactions = flag(&args, "--interactions").unwrap_or(5000) as usize;
     let drugs = flag(&args, "--drugs").unwrap_or(150) as usize;
 
+    // `perf` manages its own worlds (it times bootstrap itself) and is
+    // deliberately not part of `all`: it is a measurement pass, not a
+    // paper artifact.
+    if cmd == "perf" {
+        perf(&args, seed);
+        return;
+    }
+
     let world = World::with_config(MdxDataConfig { drugs, seed });
     let run = |name: &str| cmd == name || cmd == "all";
 
@@ -115,6 +123,40 @@ fn main() {
 
 fn flag(args: &[String], name: &str) -> Option<u64> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}
+
+fn str_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// `repro perf [--quick] [--seed N] [--out PATH] [--check BASELINE]`
+///
+/// Times every pipeline stage, comparing the retained pre-optimisation
+/// implementations against the shipped ones on identical workloads.
+/// `--out` writes the JSON report (the committed `BENCH_perf.json` is a
+/// `--quick` run); `--check` compares this run against a committed
+/// baseline and exits non-zero on a malformed file or a regression.
+fn perf(args: &[String], seed: u64) {
+    use obcs_bench::perf;
+    let opts = perf::PerfOptions { quick: args.iter().any(|a| a == "--quick"), seed };
+    heading(&format!("Performance baseline ({} mode)", if opts.quick { "quick" } else { "full" }));
+    let report = perf::run(&opts);
+    print!("{}", report.render_text());
+    if let Some(path) = str_flag(args, "--out") {
+        std::fs::write(&path, report.to_json()).expect("write perf report");
+        println!("wrote {path}");
+    }
+    if let Some(path) = str_flag(args, "--check") {
+        let verdict =
+            perf::load_baseline(&path).and_then(|baseline| report.check_against(&baseline));
+        match verdict {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("perf check failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn heading(title: &str) {

@@ -4,6 +4,8 @@
 //! both the `repro` binary (which regenerates every table and figure of
 //! the paper) and the Criterion benches.
 
+pub mod perf;
+
 use obcs_core::ConversationSpace;
 use obcs_kb::KnowledgeBase;
 use obcs_mdx::data::MdxDataConfig;

@@ -1,4 +1,10 @@
 //! Vocabulary construction and TF-IDF feature vectors.
+//!
+//! Vectorization is the inner loop of both classifiers, so the vocabulary
+//! caches its IDF weights at build time and exposes a batch
+//! [`Vocabulary::vectorize_corpus`] API producing a sparse CSR matrix:
+//! training code vectorizes the corpus exactly once and then iterates over
+//! contiguous index/value slices instead of re-tokenizing text.
 
 use std::collections::HashMap;
 
@@ -13,6 +19,17 @@ pub struct Vocabulary {
     index: HashMap<String, usize>,
     doc_freq: Vec<usize>,
     documents: usize,
+    /// Smoothed IDF per feature, cached at build time.
+    idf: Vec<f64>,
+}
+
+/// How [`Vocabulary::vectorize_corpus`] weights features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureWeighting {
+    /// Raw term counts (Naive Bayes).
+    Counts,
+    /// L2-normalised TF-IDF (logistic regression).
+    Tfidf,
 }
 
 impl Vocabulary {
@@ -40,7 +57,11 @@ impl Vocabulary {
             index.insert(feat, i);
             doc_freq.push(c);
         }
-        Vocabulary { index, doc_freq, documents }
+        let idf = doc_freq
+            .iter()
+            .map(|&c| ((1.0 + documents as f64) / (1.0 + c as f64)).ln() + 1.0)
+            .collect();
+        Vocabulary { index, doc_freq, documents, idf }
     }
 
     pub fn len(&self) -> usize {
@@ -56,13 +77,39 @@ impl Vocabulary {
         self.index.get(feature).copied()
     }
 
-    /// Smoothed inverse document frequency of feature `i`.
+    /// Smoothed inverse document frequency of feature `i` (cached).
     pub fn idf(&self, i: usize) -> f64 {
-        ((1.0 + self.documents as f64) / (1.0 + self.doc_freq[i] as f64)).ln() + 1.0
+        self.idf[i]
     }
 
     /// Sparse raw term counts of a text, as (feature index, count).
+    /// Sort + run-length-encode; no per-call hash map.
     pub fn counts(&self, text: &str) -> Vec<(usize, f64)> {
+        let mut idx: Vec<usize> = features(text).into_iter().filter_map(|f| self.get(&f)).collect();
+        idx.sort_unstable();
+        let mut v: Vec<(usize, f64)> = Vec::with_capacity(idx.len());
+        for i in idx {
+            match v.last_mut() {
+                Some(last) if last.0 == i => last.1 += 1.0,
+                _ => v.push((i, 1.0)),
+            }
+        }
+        v
+    }
+
+    /// Sparse L2-normalised TF-IDF vector of a text.
+    pub fn tfidf(&self, text: &str) -> Vec<(usize, f64)> {
+        let mut v = self.counts(text);
+        tfidf_in_place(&self.idf, &mut v);
+        v
+    }
+
+    /// The pre-optimisation vectorizer, kept verbatim: rebuilds a hash map
+    /// and re-evaluates the IDF formula on every call. Produces bitwise
+    /// the same vector as [`Vocabulary::tfidf`] (a test enforces it); used
+    /// by `LogReg::train_scan` as the "before" side of `repro perf`.
+    #[doc(hidden)]
+    pub fn tfidf_scan(&self, text: &str) -> Vec<(usize, f64)> {
         let mut counts: HashMap<usize, f64> = HashMap::new();
         for f in features(text) {
             if let Some(i) = self.get(&f) {
@@ -71,14 +118,8 @@ impl Vocabulary {
         }
         let mut v: Vec<(usize, f64)> = counts.into_iter().collect();
         v.sort_unstable_by_key(|&(i, _)| i);
-        v
-    }
-
-    /// Sparse L2-normalised TF-IDF vector of a text.
-    pub fn tfidf(&self, text: &str) -> Vec<(usize, f64)> {
-        let mut v = self.counts(text);
         for (i, w) in v.iter_mut() {
-            *w *= self.idf(*i);
+            *w *= ((1.0 + self.documents as f64) / (1.0 + self.doc_freq[*i] as f64)).ln() + 1.0;
         }
         let norm: f64 = v.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
         if norm > 0.0 {
@@ -87,6 +128,84 @@ impl Vocabulary {
             }
         }
         v
+    }
+
+    /// Vectorizes a whole corpus into one sparse CSR matrix. Both
+    /// classifiers train from this: text is tokenized exactly once and the
+    /// SGD/counting loops run over contiguous slices.
+    pub fn vectorize_corpus<'a>(
+        &self,
+        corpus: impl Iterator<Item = &'a str>,
+        weighting: FeatureWeighting,
+    ) -> CsrMatrix {
+        let mut m = CsrMatrix::new();
+        for doc in corpus {
+            let mut row = self.counts(doc);
+            if weighting == FeatureWeighting::Tfidf {
+                tfidf_in_place(&self.idf, &mut row);
+            }
+            m.push_row(&row);
+        }
+        m
+    }
+}
+
+/// Scales a sorted sparse count vector by IDF and L2-normalises it.
+fn tfidf_in_place(idf: &[f64], v: &mut [(usize, f64)]) {
+    for (i, w) in v.iter_mut() {
+        *w *= idf[*i];
+    }
+    let norm: f64 = v.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for (_, w) in v.iter_mut() {
+            *w /= norm;
+        }
+    }
+}
+
+/// A compressed-sparse-row matrix: row `i` occupies
+/// `indices[indptr[i]..indptr[i+1]]` / `values[..]`, column indices sorted
+/// ascending within each row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl Default for CsrMatrix {
+    fn default() -> Self {
+        CsrMatrix::new()
+    }
+}
+
+impl CsrMatrix {
+    pub fn new() -> Self {
+        CsrMatrix { indptr: vec![0], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Appends a row given as sorted (feature index, value) pairs.
+    pub fn push_row(&mut self, row: &[(usize, f64)]) {
+        for &(i, w) in row {
+            self.indices.push(i as u32);
+            self.values.push(w);
+        }
+        self.indptr.push(self.indices.len());
+    }
+
+    pub fn rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Row `i` as parallel (column indices, values) slices.
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let (a, b) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[a..b], &self.values[a..b])
     }
 }
 
@@ -126,11 +245,26 @@ mod tests {
     }
 
     #[test]
+    fn cached_idf_matches_formula() {
+        let v = Vocabulary::build(corpus().into_iter(), 1);
+        let i = v.get("show").unwrap();
+        let expect = ((1.0 + v.documents as f64) / (1.0 + v.doc_freq[i] as f64)).ln() + 1.0;
+        assert!((v.idf(i) - expect).abs() < 1e-15);
+    }
+
+    #[test]
     fn counts_accumulate_repeats() {
         let v = Vocabulary::build(["a a b"].into_iter(), 1);
         let c = v.counts("a a a b");
         let a_idx = v.get("a").unwrap();
         assert!(c.contains(&(a_idx, 3.0)));
+    }
+
+    #[test]
+    fn counts_are_sorted_by_index() {
+        let v = Vocabulary::build(corpus().into_iter(), 1);
+        let c = v.counts("what drugs treat fever show me");
+        assert!(c.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]
@@ -142,8 +276,50 @@ mod tests {
     }
 
     #[test]
+    fn tfidf_scan_is_a_bitwise_oracle() {
+        let v = Vocabulary::build(corpus().into_iter(), 1);
+        for doc in corpus().into_iter().chain(["show show me aspirin zzz", ""]) {
+            assert_eq!(v.tfidf(doc), v.tfidf_scan(doc), "{doc:?}");
+        }
+    }
+
+    #[test]
     fn oov_text_yields_empty_vector() {
         let v = Vocabulary::build(corpus().into_iter(), 1);
         assert!(v.tfidf("zzz qqq").is_empty());
+    }
+
+    #[test]
+    fn vectorize_corpus_matches_per_text_vectors() {
+        let v = Vocabulary::build(corpus().into_iter(), 1);
+        for weighting in [FeatureWeighting::Counts, FeatureWeighting::Tfidf] {
+            let m = v.vectorize_corpus(corpus().into_iter(), weighting);
+            assert_eq!(m.rows(), corpus().len());
+            for (r, doc) in corpus().into_iter().enumerate() {
+                let expect = match weighting {
+                    FeatureWeighting::Counts => v.counts(doc),
+                    FeatureWeighting::Tfidf => v.tfidf(doc),
+                };
+                let (idx, vals) = m.row(r);
+                assert_eq!(idx.len(), expect.len());
+                for (k, &(i, w)) in expect.iter().enumerate() {
+                    assert_eq!(idx[k] as usize, i);
+                    assert!((vals[k] - w).abs() < 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_empty_rows_are_representable() {
+        let mut m = CsrMatrix::new();
+        m.push_row(&[]);
+        m.push_row(&[(2, 1.0)]);
+        m.push_row(&[]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.nnz(), 1);
+        assert!(m.row(0).0.is_empty());
+        assert_eq!(m.row(1).0, &[2]);
+        assert!(m.row(2).0.is_empty());
     }
 }

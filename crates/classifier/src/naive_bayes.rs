@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::features::Vocabulary;
+use crate::features::{FeatureWeighting, Vocabulary};
 use crate::{Classifier, Dataset, Prediction};
 
 /// Hyper-parameters for Naive Bayes training.
@@ -42,14 +42,19 @@ impl NaiveBayes {
         let k = labels.len();
         let v = vocab.len();
 
+        // One batch vectorization pass; the counting loop runs over the
+        // CSR matrix's contiguous slices, not over text.
+        let x =
+            vocab.vectorize_corpus(data.texts.iter().map(String::as_str), FeatureWeighting::Counts);
         let mut class_counts = vec![0usize; k];
         let mut feature_counts = vec![vec![0.0f64; v]; k];
         let mut total_counts = vec![0.0f64; k];
-        for (text, label) in data.iter() {
+        for (row, label) in data.labels.iter().enumerate() {
             let li = label_index(label);
             class_counts[li] += 1;
-            for (fi, c) in vocab.counts(text) {
-                feature_counts[li][fi] += c;
+            let (idx, vals) = x.row(row);
+            for (&fi, &c) in idx.iter().zip(vals) {
+                feature_counts[li][fi as usize] += c;
                 total_counts[li] += c;
             }
         }

@@ -5,6 +5,20 @@
 //! utterance is scanned for the longest token spans that match (a) concept
 //! names and their registered synonyms, (b) data property names, and (c)
 //! instance values from the label columns of nameable concepts.
+//!
+//! ## Hot-path layout
+//!
+//! Annotation runs on every utterance of every simulated user, so the
+//! lexicon is stored as an interned-token trie rather than a phrase map:
+//! tokens are interned to dense `u32` ids once at build time, and
+//! [`Lexicon::annotate`] walks the trie left to right over the utterance's
+//! token-id sequence. Matching a span costs a few binary searches over
+//! sorted edge lists — no per-span `String` joins, no hashing of candidate
+//! phrases. Partial-entity matching is served by a token-level inverted
+//! index (token id → phrases containing it) instead of a scan over the
+//! whole vocabulary. The original span-join implementation is kept as
+//! [`Lexicon::annotate_scan`], the equivalence oracle for tests and the
+//! "before" side of the tracked perf baseline.
 
 use std::collections::HashMap;
 
@@ -31,14 +45,55 @@ pub struct Annotation {
     pub evidence: Evidence,
 }
 
+/// One registered phrase: its normalised text and every evidence it may
+/// refer to.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Phrase {
+    text: String,
+    evidences: Vec<Evidence>,
+}
+
+/// A trie node; edges are token ids, kept sorted for binary search.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct TrieNode {
+    /// Sorted `(token id, child node index)` edges.
+    children: Vec<(u32, u32)>,
+    /// Phrase ending at this node, if any.
+    phrase: Option<u32>,
+}
+
 /// A lexicon mapping normalised phrases to evidence, built once per
 /// conversation space and reused for every utterance.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Lexicon {
-    /// Normalised phrase → all evidences it may refer to.
-    entries: HashMap<String, Vec<Evidence>>,
+    /// Interned token text → dense token id.
+    token_ids: HashMap<String, u32>,
+    /// Token id → token text (the interner's inverse), scanned by
+    /// substring during partial matching.
+    tokens: Vec<String>,
+    /// Normalised phrase → phrase id (exact lookups).
+    phrase_ids: HashMap<String, u32>,
+    phrases: Vec<Phrase>,
+    /// Inverted index: token id → sorted phrase ids containing the token.
+    occurrences: Vec<Vec<u32>>,
+    /// Trie over token-id paths; `nodes[0]` is the root.
+    nodes: Vec<TrieNode>,
     /// Longest phrase length in tokens (bounds the span search).
     max_tokens: usize,
+}
+
+impl Default for Lexicon {
+    fn default() -> Self {
+        Lexicon {
+            token_ids: HashMap::new(),
+            tokens: Vec::new(),
+            phrase_ids: HashMap::new(),
+            phrases: Vec::new(),
+            occurrences: Vec::new(),
+            nodes: vec![TrieNode::default()],
+            max_tokens: 0,
+        }
+    }
 }
 
 impl Lexicon {
@@ -79,31 +134,137 @@ impl Lexicon {
             return;
         }
         for variant in number_variants(&norm) {
-            let token_count = variant.split(' ').count();
-            self.max_tokens = self.max_tokens.max(token_count);
-            let entry = self.entries.entry(variant).or_default();
-            if !entry.contains(&evidence) {
-                entry.push(evidence.clone());
+            let tok_ids: Vec<u32> = variant.split(' ').map(|t| self.intern(t)).collect();
+            self.max_tokens = self.max_tokens.max(tok_ids.len());
+            let node = self.trie_insert(&tok_ids);
+            let pid = match self.nodes[node].phrase {
+                Some(pid) => pid,
+                None => {
+                    let pid = self.phrases.len() as u32;
+                    self.phrases.push(Phrase { text: variant.clone(), evidences: Vec::new() });
+                    self.phrase_ids.insert(variant, pid);
+                    self.nodes[node].phrase = Some(pid);
+                    for &t in &tok_ids {
+                        let occ = &mut self.occurrences[t as usize];
+                        if occ.last() != Some(&pid) {
+                            occ.push(pid);
+                        }
+                    }
+                    pid
+                }
+            };
+            let evs = &mut self.phrases[pid as usize].evidences;
+            if !evs.contains(&evidence) {
+                evs.push(evidence.clone());
             }
         }
     }
 
+    /// Interns a token, returning its dense id.
+    fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.token_ids.get(token) {
+            return id;
+        }
+        let id = self.tokens.len() as u32;
+        self.token_ids.insert(token.to_string(), id);
+        self.tokens.push(token.to_string());
+        self.occurrences.push(Vec::new());
+        id
+    }
+
+    /// Walks/extends the trie along a token-id path, returning the final
+    /// node index.
+    fn trie_insert(&mut self, tok_ids: &[u32]) -> usize {
+        let mut node = 0usize;
+        for &t in tok_ids {
+            node = match self.nodes[node].children.binary_search_by_key(&t, |e| e.0) {
+                Ok(i) => self.nodes[node].children[i].1 as usize,
+                Err(i) => {
+                    let child = self.nodes.len() as u32;
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node].children.insert(i, (t, child));
+                    child as usize
+                }
+            };
+        }
+        node
+    }
+
     /// All evidences for a normalised phrase.
     pub fn lookup(&self, phrase: &str) -> &[Evidence] {
-        self.entries.get(&normalize(phrase)).map(Vec::as_slice).unwrap_or(&[])
+        self.phrase_ids
+            .get(&normalize(phrase))
+            .map(|&pid| self.phrases[pid as usize].evidences.as_slice())
+            .unwrap_or(&[])
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.phrases.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.phrases.is_empty()
+    }
+
+    /// The utterance's tokens mapped to interned ids (`None` for tokens
+    /// the lexicon has never seen — no phrase can cross them).
+    fn token_id_seq(&self, text: &str) -> Vec<Option<u32>> {
+        let mut ids = Vec::new();
+        let mut buf = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                buf.extend(ch.to_lowercase());
+            } else if !buf.is_empty() {
+                ids.push(self.token_ids.get(buf.as_str()).copied());
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            ids.push(self.token_ids.get(buf.as_str()).copied());
+        }
+        ids
     }
 
     /// Annotates an utterance: greedy longest-match over token spans,
-    /// left to right, no overlaps.
+    /// left to right, no overlaps. One trie walk per start position; no
+    /// per-span allocations.
     pub fn annotate(&self, utterance: &str) -> Vec<Annotation> {
+        let ids = self.token_id_seq(utterance);
+        let mut annotations = Vec::new();
+        let mut i = 0;
+        while i < ids.len() {
+            let mut node = 0usize;
+            let mut best: Option<(usize, u32)> = None;
+            let limit = ids.len().min(i + self.max_tokens);
+            for (j, slot) in ids.iter().enumerate().take(limit).skip(i) {
+                let Some(tid) = *slot else { break };
+                let Ok(edge) = self.nodes[node].children.binary_search_by_key(&tid, |e| e.0) else {
+                    break;
+                };
+                node = self.nodes[node].children[edge].1 as usize;
+                if let Some(pid) = self.nodes[node].phrase {
+                    best = Some((j + 1, pid));
+                }
+            }
+            match best {
+                Some((end, pid)) => {
+                    for ev in &self.phrases[pid as usize].evidences {
+                        annotations.push(Annotation { start: i, end, evidence: ev.clone() });
+                    }
+                    i = end;
+                }
+                None => i += 1,
+            }
+        }
+        annotations
+    }
+
+    /// The pre-trie reference annotator: greedy longest match via per-span
+    /// token joins and hash lookups. Semantically identical to
+    /// [`Lexicon::annotate`] (a property test enforces it); kept as the
+    /// oracle and as the "before" side of `repro perf`.
+    #[doc(hidden)]
+    pub fn annotate_scan(&self, utterance: &str) -> Vec<Annotation> {
         let tokens = tokens_of(utterance);
         let mut annotations = Vec::new();
         let mut i = 0;
@@ -167,20 +328,58 @@ impl Lexicon {
     /// phrase — the paper's partial-entity matching (§6.1): "Calcium" →
     /// ["Calcium Carbonate", ...]. Returns (concept, value) pairs sorted
     /// for determinism.
+    ///
+    /// Candidates come from the inverted index: any phrase containing the
+    /// needle must have a token that contains the needle's first token as
+    /// a substring, so only the (much smaller) distinct-token inventory is
+    /// scanned and only indexed candidates are verified.
     pub fn partial_matches(&self, partial: &str) -> Vec<(ConceptId, String)> {
         let needle = normalize(partial);
         // Very short fragments match half the vocabulary; require a
         // meaningful stem. A phrase with an exact entry is a full match,
         // not a partial one.
-        if needle.len() < 4 || self.entries.contains_key(&needle) {
+        if needle.len() < 4 || self.phrase_ids.contains_key(&needle) {
+            return Vec::new();
+        }
+        let first = needle.split(' ').next().unwrap_or(&needle);
+        let mut candidates: Vec<u32> = Vec::new();
+        for (tid, token) in self.tokens.iter().enumerate() {
+            if token.contains(first) {
+                candidates.extend_from_slice(&self.occurrences[tid]);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut out: Vec<(ConceptId, String)> = candidates
+            .into_iter()
+            .map(|pid| &self.phrases[pid as usize])
+            .filter(|p| p.text.contains(&needle) && p.text != needle)
+            .flat_map(|p| {
+                p.evidences.iter().filter_map(|ev| match ev {
+                    Evidence::Instance { concept, value } => Some((*concept, value.clone())),
+                    Evidence::Concept(_) => None,
+                })
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The pre-index reference for [`Lexicon::partial_matches`]: a linear
+    /// `contains` scan over every phrase. Oracle + perf baseline.
+    #[doc(hidden)]
+    pub fn partial_matches_scan(&self, partial: &str) -> Vec<(ConceptId, String)> {
+        let needle = normalize(partial);
+        if needle.len() < 4 || self.phrase_ids.contains_key(&needle) {
             return Vec::new();
         }
         let mut out: Vec<(ConceptId, String)> = self
-            .entries
+            .phrases
             .iter()
-            .filter(|(phrase, _)| phrase.contains(&needle) && **phrase != needle)
-            .flat_map(|(_, evs)| {
-                evs.iter().filter_map(|ev| match ev {
+            .filter(|p| p.text.contains(&needle) && p.text != needle)
+            .flat_map(|p| {
+                p.evidences.iter().filter_map(|ev| match ev {
                     Evidence::Instance { concept, value } => Some((*concept, value.clone())),
                     Evidence::Concept(_) => None,
                 })
@@ -343,6 +542,19 @@ mod tests {
     }
 
     #[test]
+    fn partial_matching_spans_token_boundaries() {
+        let (onto, kb, mapping) = fixture();
+        let lex = Lexicon::build(&onto, &kb, &mapping);
+        // The needle crosses the space between two phrase tokens; the
+        // index must still surface the phrase (candidate generation goes
+        // through the needle's *first* token).
+        let matches = lex.partial_matches("cium carbo");
+        let values: Vec<&str> = matches.iter().map(|(_, v)| v.as_str()).collect();
+        assert_eq!(values, vec!["Calcium Carbonate"]);
+        assert_eq!(matches, lex.partial_matches_scan("cium carbo"));
+    }
+
+    #[test]
     fn no_overlapping_annotations() {
         let (onto, kb, mapping) = fixture();
         let lex = Lexicon::build(&onto, &kb, &mapping);
@@ -370,5 +582,43 @@ mod tests {
         lex.add_phrase("thing", Evidence::Concept(dfi));
         let anns = lex.annotate("thing");
         assert_eq!(anns.len(), 2);
+    }
+
+    #[test]
+    fn trie_matches_scan_on_fixture_probes() {
+        let (onto, kb, mapping) = fixture();
+        let lex = Lexicon::build(&onto, &kb, &mapping);
+        for probe in [
+            "show me the drug aspirin",
+            "dosage of calcium carbonate please",
+            "calcium carbonate calcium citrate",
+            "any drug food interaction for aspirin?",
+            "ASPIRIN",
+            "nothing matches here",
+            "",
+            "calcium calcium calcium",
+            "drug drug food interaction",
+        ] {
+            assert_eq!(lex.annotate(probe), lex.annotate_scan(probe), "probe `{probe}`");
+        }
+    }
+
+    #[test]
+    fn empty_lexicon_annotates_nothing() {
+        let lex = Lexicon::default();
+        assert!(lex.annotate("anything at all").is_empty());
+        assert!(lex.is_empty());
+        assert_eq!(lex.len(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_matching() {
+        let (onto, kb, mapping) = fixture();
+        let lex = Lexicon::build(&onto, &kb, &mapping);
+        let json = serde_json::to_string(&lex).unwrap();
+        let back: Lexicon = serde_json::from_str(&json).unwrap();
+        let probe = "dosage of calcium carbonate please";
+        assert_eq!(lex.annotate(probe), back.annotate(probe));
+        assert_eq!(lex.partial_matches("calcium"), back.partial_matches("calcium"));
     }
 }

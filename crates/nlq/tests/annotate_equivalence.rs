@@ -1,0 +1,72 @@
+//! Equivalence between the trie-based hot path and the naive scan oracles.
+//!
+//! `Lexicon::annotate` (interned-token trie) and `Lexicon::partial_matches`
+//! (token inverted index) must return exactly what the original span-join
+//! implementations (`annotate_scan`, `partial_matches_scan`) return, for any
+//! lexicon and any utterance. The token alphabet is kept tiny (`[a-d]{1,3}`)
+//! so phrases collide, overlap, and share prefixes aggressively.
+
+use obcs_nlq::annotate::{Evidence, Lexicon};
+use obcs_ontology::ConceptId;
+use proptest::prelude::*;
+
+fn build_lexicon(phrases: &[Vec<String>]) -> Lexicon {
+    let mut lex = Lexicon::default();
+    for (i, words) in phrases.iter().enumerate() {
+        let phrase = words.join(" ");
+        let concept = ConceptId(i as u32 % 3);
+        // Alternate evidence kinds so both enum arms flow through the trie.
+        let evidence = if i % 2 == 0 {
+            Evidence::Concept(concept)
+        } else {
+            Evidence::Instance { concept, value: phrase.clone() }
+        };
+        lex.add_phrase(&phrase, evidence);
+    }
+    lex
+}
+
+proptest! {
+    /// The trie walker finds the same leftmost-longest matches as the
+    /// join-and-hash scan, span for span and evidence for evidence.
+    #[test]
+    fn trie_annotate_matches_scan_oracle(
+        phrases in proptest::collection::vec(
+            proptest::collection::vec("[a-d]{1,3}", 1..4),
+            1..12,
+        ),
+        words in proptest::collection::vec("[a-d]{1,3}", 0..15),
+    ) {
+        let lex = build_lexicon(&phrases);
+        let utterance = words.join(" ");
+        prop_assert_eq!(lex.annotate(&utterance), lex.annotate_scan(&utterance));
+    }
+
+    /// Punctuation, casing, and camel-case splits go through the same
+    /// normalisation on both paths.
+    #[test]
+    fn trie_annotate_matches_scan_on_messy_text(
+        phrases in proptest::collection::vec(
+            proptest::collection::vec("[a-d]{1,3}", 1..4),
+            1..8,
+        ),
+        utterance in "[a-dA-D ,.?!0-9]{0,40}",
+    ) {
+        let lex = build_lexicon(&phrases);
+        prop_assert_eq!(lex.annotate(&utterance), lex.annotate_scan(&utterance));
+    }
+
+    /// The inverted index returns the same completion set, in the same
+    /// order, as the full phrase-table scan.
+    #[test]
+    fn indexed_partial_matches_match_scan_oracle(
+        phrases in proptest::collection::vec(
+            proptest::collection::vec("[a-d]{1,4}", 1..4),
+            1..12,
+        ),
+        fragment in "[a-d]{1,7}( [a-d]{1,3})?",
+    ) {
+        let lex = build_lexicon(&phrases);
+        prop_assert_eq!(lex.partial_matches(&fragment), lex.partial_matches_scan(&fragment));
+    }
+}

@@ -3,6 +3,28 @@
 //! model attaches thumbs up/down the way the paper observed real users
 //! doing (negative feedback credible, positive rare, occasional
 //! accidental taps).
+//!
+//! ## Sharded replay and the determinism contract
+//!
+//! Replay is the expensive side of regenerating the paper's Table 5 /
+//! Fig. 11–12 statistics, so it shards across threads. The unit of work is
+//! the *session* (a run of interactions sharing agent context):
+//!
+//! 1. session boundaries are planned up front from a dedicated RNG stream
+//!    (they depend only on `seed` and `mean_session_length`, never on what
+//!    happens inside an interaction);
+//! 2. every session draws its randomness from its own `ChaCha8Rng`,
+//!    derived from `(seed, first interaction index)`;
+//! 3. whole sessions are assigned to shards in contiguous, interaction-
+//!    balanced chunks; each shard replays its sessions on a
+//!    [`ConversationAgent::fork_session`] fork sharing the trained NLU via
+//!    `Arc`; records are concatenated in shard order.
+//!
+//! Because sessions are atomic and self-seeded, the record sequence is
+//! **bit-for-bit identical for every `parallelism` value** (a test
+//! enforces `parallelism = N` ≡ `parallelism = 1`). `parallelism = 1`
+//! replays every session on the caller's thread and agent — no forks, no
+//! threads.
 
 use obcs_agent::{ConversationAgent, Feedback, ReplyKind};
 use obcs_ontology::Ontology;
@@ -91,6 +113,11 @@ pub struct SimConfig {
     /// sessions do (§6.3: treatment → definition → dosage in one session).
     pub mean_session_length: f64,
     pub feedback: FeedbackModel,
+    /// Replay shard threads: `1` runs every session sequentially on the
+    /// caller's thread and agent, `0` uses one thread per available core,
+    /// `N` uses `N` threads. The produced record sequence is identical
+    /// for every value (see the module docs).
+    pub parallelism: usize,
 }
 
 impl Default for SimConfig {
@@ -103,12 +130,13 @@ impl Default for SimConfig {
             gibberish_rate: 0.006,
             mean_session_length: 1.0,
             feedback: FeedbackModel::default(),
+            parallelism: 1,
         }
     }
 }
 
 /// One simulated interaction with its ground truth.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimRecord {
     /// The intent the simulated user had in mind (`None` for gibberish).
     pub expected_intent: Option<String>,
@@ -125,7 +153,7 @@ pub struct SimRecord {
 }
 
 /// The traffic-simulation outcome.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimOutcome {
     pub records: Vec<SimRecord>,
 }
@@ -151,31 +179,71 @@ impl SimOutcome {
     }
 }
 
-/// Runs the traffic simulation against an assembled agent.
-pub fn run_traffic(
-    agent: &mut ConversationAgent,
-    onto: &Ontology,
-    pools: &ValuePools,
-    config: SimConfig,
-) -> SimOutcome {
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let total_weight: f64 = INTENT_MIX.iter().map(|&(_, w)| w).sum();
-    let mut outcome = SimOutcome::default();
+/// A planned session: `len` consecutive interactions starting at global
+/// interaction index `start`, sharing agent context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Session {
+    start: usize,
+    len: usize,
+}
+
+/// Draws the session boundaries for a configuration. Uses a dedicated RNG
+/// stream so the plan depends only on the config, never on interaction
+/// outcomes — the property that makes whole sessions relocatable across
+/// shards.
+fn plan_sessions(config: &SimConfig) -> Vec<Session> {
     // P(session continues) under a geometric session-length model.
     let p_continue = if config.mean_session_length <= 1.0 {
         0.0
     } else {
         1.0 - 1.0 / config.mean_session_length
     };
-    for _ in 0..config.interactions {
-        if !rng.gen_bool(p_continue) {
-            agent.reset();
+    let mut rng = ChaCha8Rng::seed_from_u64(splitmix64(config.seed ^ 0x5e55_10b0));
+    let mut sessions: Vec<Session> = Vec::new();
+    for i in 0..config.interactions {
+        if i > 0 && rng.gen_bool(p_continue) {
+            sessions.last_mut().expect("first interaction opened a session").len += 1;
+        } else {
+            sessions.push(Session { start: i, len: 1 });
         }
+    }
+    sessions
+}
+
+/// SplitMix64 finaliser — decorrelates per-session seeds derived from the
+/// master seed and the session's start index.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The session's private randomness, derived from the master seed and the
+/// session's first interaction index.
+fn session_rng(seed: u64, session: &Session) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(splitmix64(seed ^ splitmix64(session.start as u64 + 1)))
+}
+
+/// Replays one session: resets the agent, then runs its interactions in
+/// order, appending records to `out`.
+fn run_session(
+    agent: &mut ConversationAgent,
+    onto: &Ontology,
+    pools: &ValuePools,
+    config: &SimConfig,
+    session: &Session,
+    total_weight: f64,
+    out: &mut Vec<SimRecord>,
+) {
+    agent.reset();
+    let mut rng = session_rng(config.seed, session);
+    for _ in 0..session.len {
         let record = if rng.gen_bool(config.gibberish_rate) {
             run_gibberish(agent, &mut rng)
         } else {
             let expected = draw_intent(&mut rng, total_weight);
-            run_interaction(agent, onto, pools, expected, config, &mut rng)
+            run_interaction(agent, onto, pools, expected, *config, &mut rng)
         };
         // Feedback model.
         let feedback = if record.correct {
@@ -194,9 +262,91 @@ pub fn run_traffic(
         if let Some(fb) = feedback {
             agent.feedback(fb);
         }
-        outcome.records.push(SimRecord { feedback, ..record });
+        out.push(SimRecord { feedback, ..record });
     }
-    outcome
+}
+
+/// Splits the session plan into at most `shards` contiguous chunks,
+/// balanced by interaction count.
+fn partition_sessions(sessions: &[Session], shards: usize) -> Vec<&[Session]> {
+    let total: usize = sessions.iter().map(|s| s.len).sum();
+    let mut chunks = Vec::with_capacity(shards);
+    let mut begin = 0usize;
+    let mut done = 0usize;
+    for shard in 0..shards {
+        if begin >= sessions.len() {
+            break;
+        }
+        // Even share of the interactions still unassigned.
+        let target = (total - done).div_ceil(shards - shard);
+        let mut end = begin;
+        let mut taken = 0usize;
+        while end < sessions.len() && (taken < target || end == begin) {
+            taken += sessions[end].len;
+            end += 1;
+        }
+        chunks.push(&sessions[begin..end]);
+        begin = end;
+        done += taken;
+    }
+    chunks
+}
+
+/// Runs the traffic simulation against an assembled agent, sharding whole
+/// sessions across `config.parallelism` threads. The record sequence is
+/// identical for every parallelism value (see the module docs).
+pub fn run_traffic(
+    agent: &mut ConversationAgent,
+    onto: &Ontology,
+    pools: &ValuePools,
+    config: SimConfig,
+) -> SimOutcome {
+    let total_weight: f64 = INTENT_MIX.iter().map(|&(_, w)| w).sum();
+    let sessions = plan_sessions(&config);
+    let threads = if config.parallelism == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        config.parallelism
+    }
+    .min(sessions.len().max(1));
+
+    if threads <= 1 {
+        let mut records = Vec::with_capacity(config.interactions);
+        for session in &sessions {
+            run_session(agent, onto, pools, &config, session, total_weight, &mut records);
+        }
+        return SimOutcome { records };
+    }
+
+    let chunks = partition_sessions(&sessions, threads);
+    // Forks share the trained NLU via `Arc`; each shard owns its fork.
+    let forks: Vec<ConversationAgent> = chunks.iter().map(|_| agent.fork_session()).collect();
+    let shard_records: Vec<Vec<SimRecord>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .zip(forks)
+            .map(|(chunk, mut shard_agent)| {
+                let config = &config;
+                scope.spawn(move || {
+                    let mut records = Vec::new();
+                    for session in *chunk {
+                        run_session(
+                            &mut shard_agent,
+                            onto,
+                            pools,
+                            config,
+                            session,
+                            total_weight,
+                            &mut records,
+                        );
+                    }
+                    records
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("replay shard panicked")).collect()
+    });
+    SimOutcome { records: shard_records.into_iter().flatten().collect() }
 }
 
 fn draw_intent(rng: &mut ChaCha8Rng, total_weight: f64) -> &'static str {
