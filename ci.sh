@@ -18,6 +18,11 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+# Docs gate: every intra-doc link must resolve and every doctest-bearing
+# crate must document cleanly.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> spacelint --deny-warnings artifacts/mdx_space.json"
 cargo run -q --release -p obcs-lint --bin spacelint -- --deny-warnings artifacts/mdx_space.json
 
@@ -25,5 +30,12 @@ echo "==> repro perf --quick --check BENCH_perf.json"
 # Perf smoke: re-measures the quick profile and fails on a malformed
 # baseline or any stage >5x slower than the committed BENCH_perf.json.
 cargo run -q --release -p obcs-bench --bin repro -- perf --quick --check BENCH_perf.json
+
+echo "==> repro trace --quick"
+# Observability smoke: traced replay of the quick profile; validates the
+# emitted JSONL trace and fails on a malformed line (the trace itself is
+# deterministic — tick timing — so this also exercises the merge path).
+cargo run -q --release -p obcs-bench --bin repro -- trace --quick \
+  --out target/trace_quick.jsonl > /dev/null
 
 echo "CI gate passed."

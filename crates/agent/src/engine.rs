@@ -17,6 +17,7 @@ use obcs_dialogue::{AgentAction, ConversationContext, DialogueTree};
 use obcs_kb::KnowledgeBase;
 use obcs_nlq::OntologyMapping;
 use obcs_ontology::{ConceptId, Ontology};
+use obcs_telemetry::{metric, stage, NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 
 use crate::log::{Feedback, InteractionLog, InteractionRecord, LoggedAction};
@@ -74,6 +75,9 @@ pub struct ConversationAgent {
     config: AgentConfig,
     /// Pending partial-name candidates awaiting user choice (§6.1).
     pending_disambiguation: Vec<(ConceptId, String)>,
+    /// Telemetry sink for the turn pipeline (DESIGN.md §10). Defaults to
+    /// the zero-cost [`NoopRecorder`].
+    recorder: Arc<dyn Recorder>,
 }
 
 impl ConversationAgent {
@@ -98,7 +102,20 @@ impl ConversationAgent {
             log: InteractionLog::new(),
             config,
             pending_disambiguation: Vec::new(),
+            recorder: Arc::new(NoopRecorder),
         }
+    }
+
+    /// Installs a telemetry recorder; every subsequent turn records spans
+    /// and counters through it. Pass an `Arc<CollectingRecorder>` handle
+    /// you keep, then drain it with `take_report` (DESIGN.md §10).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The currently installed telemetry recorder handle.
+    pub fn recorder(&self) -> Arc<dyn Recorder> {
+        Arc::clone(&self.recorder)
     }
 
     /// Access to the dialogue tree for customisation (glossary, prompts).
@@ -136,6 +153,7 @@ impl ConversationAgent {
             log: InteractionLog::new(),
             config: self.config.clone(),
             pending_disambiguation: Vec::new(),
+            recorder: Arc::clone(&self.recorder),
         }
     }
 
@@ -207,8 +225,12 @@ impl ConversationAgent {
 
     /// Handles one user utterance and produces the agent's reply.
     pub fn respond(&mut self, utterance: &str) -> AgentReply {
+        // Hold a local handle so span guards can borrow the recorder while
+        // `&mut self` stays free for the pipeline below.
+        let rec = Arc::clone(&self.recorder);
+        let _turn = obcs_telemetry::span(&*rec, stage::TURN);
         // --- NLU ---
-        let mut recognized = self.nlu.recognize(utterance);
+        let mut recognized = self.nlu.recognize_traced(utterance, &*rec);
         // Management patterns outrank entity heuristics: "hi" must greet,
         // not fuzzy-match a drug name.
         let catalog_handles = self.tree.catalog.detect(utterance).is_some();
@@ -268,7 +290,12 @@ impl ConversationAgent {
             }
         }
 
-        let classified = self.nlu.classify(utterance);
+        let classified = self.nlu.classify_traced(utterance, &*rec);
+        if let Some((id, conf)) = classified {
+            if let Some(intent) = self.space.intent(id) {
+                rec.observe_ratio(metric::CONFIDENCE, &intent.name, conf);
+            }
+        }
         // Incremental specifications (paper §6.3): an utterance that is
         // nothing but entity mentions plus filler ("Ibuprofen", "how about
         // for Fluocinonide?") carries no intent of its own — it operates on
@@ -280,6 +307,9 @@ impl ConversationAgent {
             .map(|(id, _)| id)
             .filter(|_| !entity_dominant);
         let confidence = classified.map(|(_, c)| c);
+        if confidence.is_some_and(|c| c < self.config.intent_confidence_threshold) {
+            rec.incr(metric::REPAIR, "low_confidence");
+        }
 
         // Concept-guided resolution: when the classifier is unsure but the
         // utterance names a dependent concept ("moa of Albuterol",
@@ -325,7 +355,10 @@ impl ConversationAgent {
             intent: accepted,
             entities: recognized.instances.clone(),
         };
-        let action = self.tree.evaluate(&mut self.ctx, &input);
+        let action = {
+            let _eval = obcs_telemetry::span(&*rec, stage::DIALOGUE_EVAL);
+            self.tree.evaluate(&mut self.ctx, &input)
+        };
 
         // --- Action execution ---
         let (reply, logged) = match action {
@@ -392,6 +425,7 @@ impl ConversationAgent {
     /// Executes an intent's templates with the context entities and builds
     /// the fulfilment response.
     fn fulfill(&mut self, intent_id: IntentId, confidence: Option<f64>) -> AgentReply {
+        let rec = Arc::clone(&self.recorder);
         let Some(intent) = self.space.intent(intent_id).cloned() else {
             return AgentReply {
                 text: "Internal error: unknown intent.".to_string(),
@@ -434,18 +468,20 @@ impl ConversationAgent {
                 if !ok {
                     continue;
                 }
-                let Ok(query) = obcs_nlq::interpret::build_query(
-                    &self.onto,
-                    &self.mapping,
-                    pattern.focus,
-                    &filters,
-                ) else {
+                let sql = {
+                    let _interp = obcs_telemetry::span(&*rec, stage::NLQ_INTERPRET);
+                    obcs_nlq::interpret::build_query(
+                        &self.onto,
+                        &self.mapping,
+                        pattern.focus,
+                        &filters,
+                    )
+                    .and_then(|query| query.to_sql(&self.onto, &self.kb, &self.mapping))
+                };
+                let Ok(sql) = sql else {
                     continue;
                 };
-                let Ok(sql) = query.to_sql(&self.onto, &self.kb, &self.mapping) else {
-                    continue;
-                };
-                if let Ok(rs) = self.kb.query(&sql) {
+                if let Ok(rs) = self.kb.query_traced(&sql, &*rec) {
                     sections.push((pattern.topic.clone(), rs));
                 }
             }
@@ -457,10 +493,14 @@ impl ConversationAgent {
                 if !required.iter().all(|c| values.iter().any(|(vc, _)| vc == c)) {
                     continue;
                 }
-                let Ok(sql) = labeled.template.instantiate(&values) else {
+                let sql = {
+                    let _inst = obcs_telemetry::span(&*rec, stage::TEMPLATE_INSTANTIATE);
+                    labeled.template.instantiate(&values)
+                };
+                let Ok(sql) = sql else {
                     continue;
                 };
-                match self.kb.query(&sql) {
+                match self.kb.query_traced(&sql, &*rec) {
                     Ok(rs) => sections.push((labeled.topic.clone(), rs)),
                     Err(_) => continue,
                 }
@@ -482,10 +522,14 @@ impl ConversationAgent {
             } else {
                 entity_summary.iter().map(|(_, v)| v.clone()).collect::<Vec<_>>().join(", ")
             };
+            let rendered = {
+                let _nlg = obcs_telemetry::span(&*rec, stage::NLG);
+                nlg::render_merged(&sections)
+            };
             intent
                 .response_template
                 .replace("{entities}", &entity_text)
-                .replace("{results}", &nlg::render_merged(&sections))
+                .replace("{results}", &rendered)
         };
         // Record terms for definition repair.
         self.ctx.record_response(&text, vec![intent.name.to_lowercase()]);
@@ -506,6 +550,21 @@ impl ConversationAgent {
         action: LoggedAction,
         reply: AgentReply,
     ) -> AgentReply {
+        // Per-turn usage counters (DESIGN.md §10): every reply path in
+        // `respond` funnels through here exactly once.
+        self.recorder.incr(metric::TURNS, "");
+        self.recorder.incr(metric::REPLY_KIND, reply_kind_label(reply.kind));
+        if let Some(name) = intent.and_then(|id| self.space.intent(id)).map(|i| i.name.as_str()) {
+            self.recorder.incr(metric::INTENT, name);
+        }
+        // Repair turns: replies that ask the user to rephrase, pick, or
+        // fill in — the paper's §7 "conversation repair" bucket.
+        match reply.kind {
+            ReplyKind::Fallback => self.recorder.incr(metric::REPAIR, "fallback"),
+            ReplyKind::Disambiguation => self.recorder.incr(metric::REPAIR, "disambiguation"),
+            ReplyKind::Elicitation => self.recorder.incr(metric::REPAIR, "elicitation"),
+            _ => {}
+        }
         self.log.push(InteractionRecord {
             turn: self.ctx.turn,
             utterance: utterance.to_string(),
@@ -516,6 +575,19 @@ impl ConversationAgent {
             feedback: None,
         });
         reply
+    }
+}
+
+/// Stable counter label for a reply kind (the `reply_kind{...}` metric).
+fn reply_kind_label(kind: ReplyKind) -> &'static str {
+    match kind {
+        ReplyKind::Management => "management",
+        ReplyKind::Elicitation => "elicitation",
+        ReplyKind::Fulfilment => "fulfilment",
+        ReplyKind::Proposal => "proposal",
+        ReplyKind::Disambiguation => "disambiguation",
+        ReplyKind::Fallback => "fallback",
+        ReplyKind::Closing => "closing",
     }
 }
 
@@ -724,6 +796,49 @@ mod tests {
         a.feedback(Feedback::ThumbsDown);
         a.respond("what drug treats Fever");
         assert_eq!(a.negative_utterances(), vec!["apfjhd"]);
+    }
+
+    #[test]
+    fn traced_turn_records_spans_and_counters() {
+        use obcs_telemetry::CollectingRecorder;
+        let mut a = agent();
+        let rec = Arc::new(CollectingRecorder::ticks());
+        a.set_recorder(rec.clone());
+        a.respond("show me the precaution for Aspirin");
+        a.respond("apfjhd");
+        let report = rec.take_report();
+        // Each turn opened one root span with the pipeline stages inside.
+        assert_eq!(report.stages["turn"].count, 2);
+        for stage in ["annotate", "classify", "dialogue_eval", "kb_execute", "nlg"] {
+            assert!(report.stages.contains_key(stage), "missing stage {stage}");
+        }
+        let roots: Vec<_> = report.spans.iter().filter(|s| s.parent.is_none()).collect();
+        assert_eq!(roots.len(), 2);
+        assert!(roots.iter().all(|s| s.stage == "turn"));
+        // Usage counters: two turns, one fulfilment, one fallback repair.
+        assert_eq!(report.counters[&("turns".into(), String::new())], 2);
+        assert_eq!(report.counters[&("reply_kind".into(), "fulfilment".into())], 1);
+        assert_eq!(report.counters[&("repair".into(), "fallback".into())], 1);
+        assert_eq!(report.counters[&("kb_queries".into(), String::new())], 1);
+        assert!(report.counters[&("kb_rows".into(), String::new())] >= 1);
+        // Classifier confidence was observed for some intent.
+        assert!(!report.ratios.is_empty());
+        // The default recorder is inert: replacing it back loses nothing.
+        a.set_recorder(Arc::new(obcs_telemetry::NoopRecorder));
+        let r = a.respond("show me the precaution for Ibuprofen");
+        assert_eq!(r.kind, ReplyKind::Fulfilment);
+    }
+
+    #[test]
+    fn forked_sessions_inherit_the_recorder_handle() {
+        use obcs_telemetry::CollectingRecorder;
+        let mut a = agent();
+        let rec = Arc::new(CollectingRecorder::ticks());
+        a.set_recorder(rec.clone());
+        let mut fork = a.fork_session();
+        fork.respond("what drug treats Fever?");
+        let report = rec.take_report();
+        assert_eq!(report.counters[&("turns".into(), String::new())], 1);
     }
 
     #[test]

@@ -35,6 +35,10 @@
 //! let reply = agent.respond("Aspirin");
 //! assert_eq!(reply.kind, ReplyKind::Fulfilment);
 //! ```
+//!
+//! Crate role: DESIGN.md §2; turn-level observability (the engine's
+//! [`engine::ConversationAgent::set_recorder`] hook and the per-stage
+//! spans it emits): §10.
 
 pub mod engine;
 pub mod log;

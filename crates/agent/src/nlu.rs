@@ -139,7 +139,17 @@ impl Nlu {
     /// confidence)` of the winner even when weak — thresholding is the
     /// engine's call.
     pub fn classify(&self, utterance: &str) -> Option<(IntentId, f64)> {
-        let pred = self.classifier.predict(&self.lexicon.mask(utterance, &self.onto));
+        self.classify_traced(utterance, &obcs_telemetry::NoopRecorder)
+    }
+
+    /// Like [`Nlu::classify`], recording a
+    /// [`classify`](obcs_telemetry::stage::CLASSIFY) span on `rec`.
+    pub fn classify_traced(
+        &self,
+        utterance: &str,
+        rec: &dyn obcs_telemetry::Recorder,
+    ) -> Option<(IntentId, f64)> {
+        let pred = self.classifier.predict_traced(&self.lexicon.mask(utterance, &self.onto), rec);
         self.intents_by_name
             .iter()
             .find(|(name, _)| *name == pred.label)
@@ -166,8 +176,19 @@ impl Nlu {
 
     /// Recognises entities in an utterance.
     pub fn recognize(&self, utterance: &str) -> RecognizedEntities {
+        self.recognize_traced(utterance, &obcs_telemetry::NoopRecorder)
+    }
+
+    /// Like [`Nlu::recognize`], recording an
+    /// [`annotate`](obcs_telemetry::stage::ANNOTATE) span around the
+    /// lexicon scan on `rec`.
+    pub fn recognize_traced(
+        &self,
+        utterance: &str,
+        rec: &dyn obcs_telemetry::Recorder,
+    ) -> RecognizedEntities {
         let mut out = RecognizedEntities::default();
-        for ann in self.lexicon.annotate(utterance) {
+        for ann in self.lexicon.annotate_traced(utterance, rec) {
             match ann.evidence {
                 Evidence::Instance { concept, value } => {
                     if !out.instances.iter().any(|(c, v)| *c == concept && *v == value) {

@@ -9,9 +9,12 @@
 //! table2 table3 table4 table5 fig11 fig12 inventory summary transcript
 //! ablation-centrality ablation-training ablation-synonyms
 //! ablation-augmentation ablation-classifier ablation-feedback-loop
-//! ablation-sessions all` (plus `lint`, which runs the obcs-lint static
-//! analysis over the artifact chain, and `export`, which lint-gates and
-//! writes the offline artifacts to `artifacts/`).
+//! ablation-sessions all` — plus the non-artifact passes, which are not
+//! part of `all`: `lint` (obcs-lint static analysis over the artifact
+//! chain), `perf` (stage timings against the committed baseline), `trace`
+//! (traced traffic replay with per-stage latency breakdown), and `export`
+//! (lint-gates and writes the offline artifacts to `artifacts/`). The
+//! README's "Reproduction harness" section documents the full set.
 
 use obcs_agent::ReplyKind;
 use obcs_bench::World;
@@ -33,11 +36,15 @@ fn main() {
     let interactions = flag(&args, "--interactions").unwrap_or(5000) as usize;
     let drugs = flag(&args, "--drugs").unwrap_or(150) as usize;
 
-    // `perf` manages its own worlds (it times bootstrap itself) and is
-    // deliberately not part of `all`: it is a measurement pass, not a
-    // paper artifact.
+    // `perf` and `trace` manage their own worlds (they time or trace the
+    // whole pipeline themselves) and are deliberately not part of `all`:
+    // they are measurement passes, not paper artifacts.
     if cmd == "perf" {
         perf(&args, seed);
+        return;
+    }
+    if cmd == "trace" {
+        trace(&args, seed);
         return;
     }
 
@@ -156,6 +163,54 @@ fn perf(args: &[String], seed: u64) {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// `repro trace [--quick] [--wall] [--seed N] [--parallelism N] [--out PATH]`
+///
+/// Replays the traffic profile with telemetry collection on and prints
+/// the per-stage latency breakdown (p50/p95/p99), usage counters, and
+/// per-intent confidence histograms. Durations default to deterministic
+/// ticks (identical output for every run and parallelism at a fixed
+/// seed); `--wall` measures real nanoseconds. `--out` writes the JSONL
+/// trace; the emitted trace is validated either way and a malformed one
+/// exits non-zero.
+fn trace(args: &[String], seed: u64) {
+    use obcs_bench::trace;
+    let opts = trace::TraceOptions {
+        quick: args.iter().any(|a| a == "--quick"),
+        wall: args.iter().any(|a| a == "--wall"),
+        seed,
+        parallelism: flag(args, "--parallelism").unwrap_or(1) as usize,
+    };
+    heading(&format!(
+        "Traced traffic replay ({} profile, {} timing)",
+        if opts.quick { "quick" } else { "full" },
+        if opts.wall { "wall" } else { "tick" }
+    ));
+    let (report, outcome) = trace::run(&opts);
+    print!("{}", report.render_latency_table());
+    print!("{}", report.render_counter_table());
+    print!("{}", report.render_ratio_table());
+    println!(
+        "replayed {} interactions — success rate {:.1}%",
+        outcome.records.len(),
+        outcome.success_rate() * 100.0
+    );
+    let jsonl = report.to_jsonl();
+    match obcs_telemetry::validate_jsonl(&jsonl) {
+        Ok(stats) => println!(
+            "trace OK: {} spans, {} counters, {} histograms",
+            stats.spans, stats.counters, stats.histograms
+        ),
+        Err(msg) => {
+            eprintln!("malformed trace: {msg}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = str_flag(args, "--out") {
+        std::fs::write(&path, &jsonl).expect("write trace");
+        println!("wrote {path}");
     }
 }
 

@@ -3,8 +3,12 @@
 //! The benchmark and reproduction harness: shared world-building used by
 //! both the `repro` binary (which regenerates every table and figure of
 //! the paper) and the Criterion benches.
+//!
+//! Crate role: DESIGN.md §2; performance harness: §9; traced replay and
+//! the `repro trace` latency report ([`trace`]): §10.
 
 pub mod perf;
+pub mod trace;
 
 use obcs_core::ConversationSpace;
 use obcs_kb::KnowledgeBase;

@@ -30,6 +30,9 @@
 //! assert_eq!(pred.label, "precautions");
 //! assert!(pred.confidence > 0.5);
 //! ```
+//!
+//! Crate role: DESIGN.md §2; training-speed notes: §9; traced prediction
+//! (`predict_traced`): §10.
 
 pub mod features;
 pub mod logreg;
@@ -99,6 +102,14 @@ pub trait Classifier {
 
     /// Full (label, probability) distribution, descending by probability.
     fn predict_all(&self, text: &str) -> Vec<(String, f64)>;
+
+    /// Like [`Classifier::predict`], recording a
+    /// [`classify`](obcs_telemetry::stage::CLASSIFY) span on `rec`
+    /// (see DESIGN.md §10).
+    fn predict_traced(&self, text: &str, rec: &dyn obcs_telemetry::Recorder) -> Prediction {
+        let _span = obcs_telemetry::span(rec, obcs_telemetry::stage::CLASSIFY);
+        self.predict(text)
+    }
 }
 
 #[cfg(test)]

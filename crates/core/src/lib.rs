@@ -29,7 +29,21 @@
 //!   pruning, intent renames, labelled prior queries, synonyms ([`sme`]).
 //!
 //! The orchestration entry point is [`bootstrap`], which produces a
-//! [`ConversationSpace`].
+//! [`ConversationSpace`]:
+//!
+//! ```
+//! use obcs_core::{bootstrap, BootstrapConfig, SmeFeedback};
+//!
+//! let (onto, kb, mapping) = obcs_core::testutil::fig2_fixture();
+//! let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
+//!
+//! let inv = space.inventory();
+//! assert!(inv.intents_total > 0, "bootstrapping derives intents from the ontology");
+//! assert!(inv.training_examples > 0, "…and training examples for each");
+//! ```
+//!
+//! Crate role: DESIGN.md §2; as-built notes on the bootstrapping
+//! pipeline: §5.
 
 pub mod concepts;
 pub mod entities;

@@ -19,6 +19,8 @@
 //! Persistent [`context`] carries intents and entities across turns so
 //! users can build a query over multiple utterances and modify it
 //! incrementally ("I mean pediatric").
+//!
+//! Crate role: DESIGN.md §2; as-built notes: §5.
 
 pub mod context;
 pub mod logic_table;

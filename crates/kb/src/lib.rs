@@ -33,6 +33,9 @@
 //! let rows = kb.query("SELECT name FROM drug WHERE drug_id = 1").unwrap();
 //! assert_eq!(rows.rows[0][0], Value::text("Aspirin"));
 //! ```
+//!
+//! Crate role: DESIGN.md §2; executor performance architecture: §9;
+//! traced query execution (`query_traced`): §10.
 
 pub mod ontogen;
 pub mod schema;

@@ -259,6 +259,23 @@ impl KnowledgeBase {
         sql::exec::execute(self, &stmt)
     }
 
+    /// Like [`KnowledgeBase::query`], recording a
+    /// [`kb_execute`](obcs_telemetry::stage::KB_EXECUTE) span plus
+    /// query/row counters on `rec` (see DESIGN.md §10).
+    pub fn query_traced(
+        &self,
+        sql_text: &str,
+        rec: &dyn obcs_telemetry::Recorder,
+    ) -> Result<ResultSet, KbError> {
+        let _span = obcs_telemetry::span(rec, obcs_telemetry::stage::KB_EXECUTE);
+        let result = self.query(sql_text);
+        rec.incr(obcs_telemetry::metric::KB_QUERIES, "");
+        if let Ok(rs) = &result {
+            rec.add(obcs_telemetry::metric::KB_ROWS, "", rs.rows.len() as u64);
+        }
+        result
+    }
+
     /// Table lookup.
     pub fn table(&self, name: &str) -> Result<&Table, KbError> {
         self.tables.get(name).ok_or_else(|| KbError::UnknownTable(name.to_string()))

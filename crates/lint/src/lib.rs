@@ -26,6 +26,8 @@
 //! ```text
 //! cargo run -p obcs-lint --bin spacelint -- artifacts/mdx_space.json
 //! ```
+//!
+//! Crate role: DESIGN.md §2; rule catalogue and severity policy: §8.
 
 pub mod context;
 pub mod diag;

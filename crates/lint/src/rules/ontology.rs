@@ -11,7 +11,7 @@ use crate::diag::{Diagnostic, Location, Severity};
 use crate::lint::{Lint, LintConfig};
 
 /// OBCS001–OBCS005: the structural ontology checks of
-/// [`obcs_ontology::validate`], reframed as diagnostics.
+/// [`mod@obcs_ontology::validate`], reframed as diagnostics.
 pub struct OntologyValidity;
 
 impl Lint for OntologyValidity {

@@ -23,6 +23,8 @@
 //!   user queries, the DRUG_GENERAL entity-only intent, and the 13
 //!   conversation-management intents ([`sme`]);
 //! * the assembled [`ConversationalMdx`] agent ([`assemble`]).
+//!
+//! Crate role: DESIGN.md §2; synthetic-data substitutions: §1 and §5.
 
 pub mod assemble;
 pub mod data;

@@ -259,6 +259,18 @@ impl Lexicon {
         annotations
     }
 
+    /// Like [`Lexicon::annotate`], recording an
+    /// [`annotate`](obcs_telemetry::stage::ANNOTATE) span on `rec`
+    /// (see DESIGN.md §10).
+    pub fn annotate_traced(
+        &self,
+        utterance: &str,
+        rec: &dyn obcs_telemetry::Recorder,
+    ) -> Vec<Annotation> {
+        let _span = obcs_telemetry::span(rec, obcs_telemetry::stage::ANNOTATE);
+        self.annotate(utterance)
+    }
+
     /// The pre-trie reference annotator: greedy longest match via per-span
     /// token joins and hash lookups. Semantically identical to
     /// [`Lexicon::annotate`] (a property test enforces it); kept as the

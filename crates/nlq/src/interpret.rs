@@ -110,6 +110,20 @@ pub fn interpret(
     build_query(onto, mapping, focus, &filters)
 }
 
+/// Like [`fn@interpret`], recording an
+/// [`nlq_interpret`](obcs_telemetry::stage::NLQ_INTERPRET) span on `rec`
+/// (see DESIGN.md §10).
+pub fn interpret_traced(
+    utterance: &str,
+    onto: &Ontology,
+    lexicon: &Lexicon,
+    mapping: &OntologyMapping,
+    rec: &dyn obcs_telemetry::Recorder,
+) -> Result<InterpretedQuery, NlqError> {
+    let _span = obcs_telemetry::span(rec, obcs_telemetry::stage::NLQ_INTERPRET);
+    interpret(utterance, onto, lexicon, mapping)
+}
+
 /// Builds an interpreted query directly from a focus concept and filters
 /// (used by the bootstrapper, which knows the pattern structure).
 pub fn build_query(

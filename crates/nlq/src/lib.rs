@@ -14,17 +14,20 @@
 //!    column instances are referred to by).
 //! 2. [`annotate`] — evidence annotation: find mentions of concepts, data
 //!    properties, and instance values inside a user utterance.
-//! 3. [`interpret`] — assemble an interpreted query (focus concept,
+//! 3. [`mod@interpret`] — assemble an interpreted query (focus concept,
 //!    projections, join path over the ontology, filters) and render SQL.
 //! 4. [`template`] — parameterise SQL into a reusable template with
 //!    `<@Concept>` markers, instantiated at runtime with recognised
 //!    entities.
+//!
+//! Crate role: DESIGN.md §2; annotation performance architecture: §9;
+//! traced interpretation (`interpret_traced`, `annotate_traced`): §10.
 
 pub mod annotate;
 pub mod interpret;
 pub mod mapping;
 pub mod template;
 
-pub use interpret::{interpret, InterpretedQuery, NlqError};
+pub use interpret::{interpret, interpret_traced, InterpretedQuery, NlqError};
 pub use mapping::OntologyMapping;
 pub use template::QueryTemplate;

@@ -26,7 +26,7 @@
 //!   ([`centrality`]) — used to identify *key concepts* (§4.2.1),
 //! * statistical segregation of ranked scores ([`segregation`]) used to cut
 //!   the top-k key concepts,
-//! * structural validation ([`validate`]), DOT export ([`dot`]) and JSON
+//! * structural validation ([`mod@validate`]), DOT export ([`dot`]) and JSON
 //!   (de)serialisation via serde.
 //!
 //! ## Example
@@ -43,6 +43,8 @@
 //! assert_eq!(onto.concept_count(), 2);
 //! assert_eq!(onto.neighbors(drug).count(), 1);
 //! ```
+//!
+//! Crate role and dependencies: DESIGN.md §2; as-built notes: §5.
 
 pub mod builder;
 pub mod centrality;

@@ -21,10 +21,13 @@
 //! * [`eval`] — the statistics of §7: per-intent F1 (Table 5), success
 //!   rate per Equation 1 from user feedback (Fig. 11), and the SME-judged
 //!   10% sample (Fig. 12).
+//!
+//! Crate role: DESIGN.md §2; replay determinism contract: §7; traced
+//! replay ([`run_traffic_traced`], [`TraceMode`]): §10.
 
 pub mod eval;
 pub mod noise;
 pub mod traffic;
 pub mod utterance;
 
-pub use traffic::{run_traffic, SimConfig, SimOutcome, SimRecord};
+pub use traffic::{run_traffic, run_traffic_traced, SimConfig, SimOutcome, SimRecord, TraceMode};

@@ -26,8 +26,11 @@
 //! replays every session on the caller's thread and agent — no forks, no
 //! threads.
 
+use std::sync::Arc;
+
 use obcs_agent::{ConversationAgent, Feedback, ReplyKind};
 use obcs_ontology::Ontology;
+use obcs_telemetry::{CollectingRecorder, Recorder, TraceReport};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -292,6 +295,30 @@ fn partition_sessions(sessions: &[Session], shards: usize) -> Vec<&[Session]> {
     chunks
 }
 
+/// How a traced replay measures span durations (DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// No tracing: the replay runs through the agent's installed recorder
+    /// (the zero-cost no-op by default).
+    #[default]
+    Off,
+    /// Deterministic tick clock: traces are bit-for-bit identical across
+    /// runs, machines, and `parallelism` values.
+    Ticks,
+    /// Wall-clock nanoseconds: real latencies, machine-dependent.
+    Wall,
+}
+
+impl TraceMode {
+    fn recorder(self) -> Option<Arc<CollectingRecorder>> {
+        match self {
+            TraceMode::Off => None,
+            TraceMode::Ticks => Some(Arc::new(CollectingRecorder::ticks())),
+            TraceMode::Wall => Some(Arc::new(CollectingRecorder::wall())),
+        }
+    }
+}
+
 /// Runs the traffic simulation against an assembled agent, sharding whole
 /// sessions across `config.parallelism` threads. The record sequence is
 /// identical for every parallelism value (see the module docs).
@@ -301,6 +328,23 @@ pub fn run_traffic(
     pools: &ValuePools,
     config: SimConfig,
 ) -> SimOutcome {
+    run_traffic_traced(agent, onto, pools, config, TraceMode::Off).0
+}
+
+/// Like [`run_traffic`], optionally collecting a telemetry trace of every
+/// replayed turn. With `TraceMode::Off` the second element is `None` and
+/// the replay is exactly [`run_traffic`]. Otherwise each shard records
+/// into its own [`CollectingRecorder`] (per-shard tick clocks start at
+/// zero) and the per-shard reports are merged in shard order — which
+/// equals session order — so under [`TraceMode::Ticks`] the merged report
+/// is identical for every `parallelism` value (a test enforces it).
+pub fn run_traffic_traced(
+    agent: &mut ConversationAgent,
+    onto: &Ontology,
+    pools: &ValuePools,
+    config: SimConfig,
+    mode: TraceMode,
+) -> (SimOutcome, Option<TraceReport>) {
     let total_weight: f64 = INTENT_MIX.iter().map(|&(_, w)| w).sum();
     let sessions = plan_sessions(&config);
     let threads = if config.parallelism == 0 {
@@ -311,16 +355,40 @@ pub fn run_traffic(
     .min(sessions.len().max(1));
 
     if threads <= 1 {
+        // Install the collecting recorder on the caller's agent for the
+        // duration of the replay, restoring whatever was there before.
+        let recorder = mode.recorder();
+        let prev = recorder.as_ref().map(|rec| {
+            let prev = agent.recorder();
+            agent.set_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+            prev
+        });
         let mut records = Vec::with_capacity(config.interactions);
         for session in &sessions {
             run_session(agent, onto, pools, &config, session, total_weight, &mut records);
         }
-        return SimOutcome { records };
+        if let Some(prev) = prev {
+            agent.set_recorder(prev);
+        }
+        return (SimOutcome { records }, recorder.map(|rec| rec.take_report()));
     }
 
     let chunks = partition_sessions(&sessions, threads);
-    // Forks share the trained NLU via `Arc`; each shard owns its fork.
-    let forks: Vec<ConversationAgent> = chunks.iter().map(|_| agent.fork_session()).collect();
+    // Forks share the trained NLU via `Arc`; each shard owns its fork and
+    // (when tracing) its own recorder — the open-span stack is logically
+    // single-threaded, so recorders are never shared across shards.
+    let mut recorders: Vec<Arc<CollectingRecorder>> = Vec::new();
+    let forks: Vec<ConversationAgent> = chunks
+        .iter()
+        .map(|_| {
+            let mut fork = agent.fork_session();
+            if let Some(rec) = mode.recorder() {
+                fork.set_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+                recorders.push(rec);
+            }
+            fork
+        })
+        .collect();
     let shard_records: Vec<Vec<SimRecord>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
@@ -346,7 +414,9 @@ pub fn run_traffic(
             .collect();
         handles.into_iter().map(|h| h.join().expect("replay shard panicked")).collect()
     });
-    SimOutcome { records: shard_records.into_iter().flatten().collect() }
+    let report = (mode != TraceMode::Off)
+        .then(|| TraceReport::merge(recorders.iter().map(|rec| rec.take_report()).collect()));
+    (SimOutcome { records: shard_records.into_iter().flatten().collect() }, report)
 }
 
 fn draw_intent(rng: &mut ChaCha8Rng, total_weight: f64) -> &'static str {
@@ -556,6 +626,69 @@ mod tests {
         // stay in a usable band.
         assert!(outcome.accuracy() > 0.6, "accuracy {}", outcome.accuracy());
         assert!(outcome.success_rate() > 0.85, "rate {}", outcome.success_rate());
+    }
+
+    fn traced_sim(interactions: usize, seed: u64, parallelism: usize) -> (SimOutcome, TraceReport) {
+        let (onto, kb, _, _) =
+            ConversationalMdx::bootstrap_space(MdxDataConfig { drugs: 80, seed: 7 });
+        let pools = ValuePools::from_kb(&kb);
+        let mut mdx = ConversationalMdx::with_config(MdxDataConfig { drugs: 80, seed: 7 });
+        let (outcome, report) = run_traffic_traced(
+            &mut mdx.agent,
+            &onto,
+            &pools,
+            SimConfig { interactions, seed, parallelism, ..SimConfig::default() },
+            TraceMode::Ticks,
+        );
+        (outcome, report.expect("tracing was on"))
+    }
+
+    #[test]
+    fn traced_replay_collects_turn_spans() {
+        let (outcome, report) = traced_sim(60, 11, 1);
+        assert_eq!(report.unit, "ticks");
+        // One turn span per user turn replayed (interactions plus
+        // elicitation answers).
+        let turns: usize = outcome.records.iter().map(|r| r.turns).sum();
+        assert_eq!(report.stages["turn"].count, turns as u64);
+        assert_eq!(report.counters[&("turns".into(), String::new())], turns as u64);
+        for stage in ["annotate", "classify", "dialogue_eval"] {
+            assert!(report.stages.contains_key(stage), "missing stage {stage}");
+        }
+        obcs_telemetry::validate_jsonl(&report.to_jsonl()).expect("well-formed trace");
+    }
+
+    #[test]
+    fn traced_replay_is_deterministic_at_any_parallelism() {
+        // Two identical traced replays → identical reports; and the merged
+        // sharded report equals the sequential one bit for bit (per-shard
+        // tick clocks start at zero and sessions are atomic).
+        let (outcome1, sequential) = traced_sim(80, 13, 1);
+        let (outcome2, again) = traced_sim(80, 13, 1);
+        assert_eq!(outcome1, outcome2);
+        assert_eq!(sequential, again);
+        for parallelism in [3, 0] {
+            let (outcome_p, sharded) = traced_sim(80, 13, parallelism);
+            assert_eq!(outcome1, outcome_p, "records differ at parallelism {parallelism}");
+            assert_eq!(sequential, sharded, "trace differs at parallelism {parallelism}");
+            assert_eq!(sequential.to_jsonl(), sharded.to_jsonl());
+        }
+    }
+
+    #[test]
+    fn untraced_replay_returns_no_report() {
+        let (onto, kb, _, _) =
+            ConversationalMdx::bootstrap_space(MdxDataConfig { drugs: 80, seed: 7 });
+        let pools = ValuePools::from_kb(&kb);
+        let mut mdx = ConversationalMdx::with_config(MdxDataConfig { drugs: 80, seed: 7 });
+        let (_, report) = run_traffic_traced(
+            &mut mdx.agent,
+            &onto,
+            &pools,
+            SimConfig { interactions: 20, seed: 1, ..SimConfig::default() },
+            TraceMode::Off,
+        );
+        assert!(report.is_none());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Time sources for span measurement.
+//!
+//! Observability must serve two masters that pull in opposite directions:
+//! operators want *wall-clock* latencies, while the reproduction's
+//! determinism contract (DESIGN.md §7) wants traces that are bit-for-bit
+//! identical across runs. The [`Clock`] trait reconciles them: a
+//! [`CollectingRecorder`](crate::CollectingRecorder) measures spans
+//! through whichever clock it was built with —
+//!
+//! * [`MonotonicClock`] reads `std::time::Instant` and reports
+//!   nanoseconds — real latencies, machine-dependent;
+//! * [`TickClock`] advances a counter by one *tick* per reading — span
+//!   durations become a pure function of the instrumented call structure
+//!   (how many recorder readings happened inside the span), so two
+//!   identical replays produce identical traces on any machine at any
+//!   parallelism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic time source. `now` readings are `u64`s in the clock's
+/// [`unit`](Clock::unit); implementations must be cheap and never go
+/// backwards.
+pub trait Clock: Send + Sync {
+    /// The current reading. For virtual clocks a reading may itself
+    /// advance time (see [`TickClock`]).
+    fn now(&self) -> u64;
+
+    /// The unit one reading step represents: `"ns"` or `"ticks"`.
+    fn unit(&self) -> &'static str;
+}
+
+/// Wall-clock time in nanoseconds since the clock's creation.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose zero is now.
+    pub fn new() -> Self {
+        MonotonicClock { origin: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> u64 {
+        // u64 nanoseconds cover ~584 years of process uptime.
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn unit(&self) -> &'static str {
+        "ns"
+    }
+}
+
+/// A deterministic virtual clock: every reading returns the current
+/// counter and advances it by one tick. Span durations measured through
+/// it count the recorder readings taken inside the span — a structural
+/// cost measure that is identical across runs, machines, and replay
+/// parallelism (per-shard clocks all start at zero and sessions are
+/// atomic, so a turn's tick footprint never depends on shard layout).
+#[derive(Debug, Default)]
+pub struct TickClock {
+    ticks: AtomicU64,
+}
+
+impl TickClock {
+    /// A tick clock starting at zero.
+    pub fn new() -> Self {
+        TickClock { ticks: AtomicU64::new(0) }
+    }
+}
+
+impl Clock for TickClock {
+    fn now(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn unit(&self) -> &'static str {
+        "ticks"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_clock_advances_one_per_reading() {
+        let c = TickClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.now(), 1);
+        assert_eq!(c.now(), 2);
+        assert_eq!(c.unit(), "ticks");
+    }
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert_eq!(c.unit(), "ns");
+    }
+}

@@ -1,0 +1,213 @@
+//! Fixed-bucket latency histograms.
+//!
+//! The histogram trades exactness for a bounded, allocation-free
+//! footprint: values land in log-linear buckets (every power-of-two range
+//! is split into four linear sub-buckets, the HdrHistogram layout at 2
+//! significant bits), so any `u64` maps to one of [`BUCKETS`] counters
+//! with a relative quantile error of at most 25% (one sub-bucket width).
+//! Values below 4 are exact. Merging two histograms is bucket-wise addition, which makes
+//! per-shard aggregation order-insensitive — the property the sharded
+//! traffic replay relies on for deterministic merged reports.
+
+/// Sub-bucket resolution: each power-of-two range splits into
+/// `1 << SUB_BITS` linear sub-buckets.
+const SUB_BITS: u32 = 2;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range.
+pub const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// The bucket a value lands in.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        SUB + ((msb - SUB_BITS) as usize) * SUB + sub
+    }
+}
+
+/// The largest value that lands in bucket `idx` (inclusive upper bound).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let group = ((idx - SUB) / SUB) as u32;
+        let sub = ((idx - SUB) % SUB) as u64;
+        let low = (1u64 << (group + SUB_BITS)) + sub * (1u64 << group);
+        // `low + width` overflows in the topmost bucket (its upper bound
+        // is exactly `u64::MAX`), so add `width - 1` instead.
+        low + ((1u64 << group) - 1)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations with exact count,
+/// sum, min, and max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations (saturating).
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` while empty).
+    pub min: u64,
+    /// Largest observation (0 while empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: vec![0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The mean observation, or 0.0 while empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the ⌈q·count⌉-th smallest observation, clamped to
+    /// the exact observed min/max. Returns 0 while empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every observation of `other` into `self` (bucket-wise; the
+    /// result is independent of merge order).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotonic() {
+        // Every value maps to a bucket whose range contains it, and
+        // bucket indexes never decrease as values grow.
+        let mut last = 0usize;
+        for v in [4u64, 5, 6, 7, 8, 9, 15, 16, 17, 1000, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index regressed at {v}");
+            assert!(idx < BUCKETS);
+            assert!(bucket_upper(idx) >= v, "upper({idx}) < {v}");
+            if idx > 0 {
+                assert!(bucket_upper(idx - 1) < v, "v {v} should be past bucket {}", idx - 1);
+            }
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Log-linear with 4 sub-buckets: a sub-bucket is 2^(msb-2) wide
+        // and the value is at least 2^msb, so the upper bound overshoots
+        // by at most a quarter of the value.
+        for shift in 3..62 {
+            let v = (1u64 << shift) + (1u64 << (shift - 1)) + 3;
+            let upper = bucket_upper(bucket_index(v));
+            assert!(upper >= v);
+            assert!((upper - v) as f64 <= v as f64 / 4.0, "v={v} upper={upper}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count, 1000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((450..=600).contains(&p50), "p50 {p50}");
+        assert!((900..=1000).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(0.0) >= h.min);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_interleaved_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 9, 100, 5_000, 1 << 30] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 7, 70, 7_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, both);
+        // Merge order does not matter.
+        let mut other_way = b.clone();
+        other_way.merge(&a);
+        assert_eq!(other_way, both);
+    }
+}

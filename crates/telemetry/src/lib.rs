@@ -1,0 +1,96 @@
+//! # obcs-telemetry
+//!
+//! Zero-dependency tracing and metrics for the OBCS serving pipeline —
+//! the turn-level observability layer behind `repro trace` (see
+//! DESIGN.md §10 "Observability").
+//!
+//! The paper's §7 evaluation is built from per-turn behaviour observed
+//! over seven months of production traffic: classification confidence,
+//! repair rates, per-request latency. This crate makes the reproduction
+//! report the same signals from inside the hot path:
+//!
+//! * [`Recorder`] — the instrumentation sink. [`NoopRecorder`] makes
+//!   every call an immediate return (serving and benches);
+//!   [`CollectingRecorder`] keeps hierarchical spans, labelled counters,
+//!   and fixed-bucket histograms (replay and diagnostics).
+//! * [`clock`] — span timing is pluggable: [`MonotonicClock`] measures
+//!   wall nanoseconds, [`TickClock`] measures deterministic *ticks* so a
+//!   traced replay is bit-for-bit reproducible on any machine at any
+//!   parallelism (DESIGN.md §7's determinism contract, extended to
+//!   traces).
+//! * [`hist`] — log-linear fixed-bucket [`Histogram`]s with p50/p95/p99
+//!   quantiles; merging is bucket-wise addition, so per-shard aggregation
+//!   is order-insensitive.
+//! * [`trace`] — [`TraceReport`] (drained from a recorder, merged across
+//!   shards), text tables, JSONL export, and a self-contained
+//!   [`validate_jsonl`] checker that CI runs against every exported
+//!   trace.
+//!
+//! ## Example
+//!
+//! ```
+//! use obcs_telemetry::{span, CollectingRecorder, Recorder};
+//!
+//! let rec = CollectingRecorder::ticks();
+//! {
+//!     let _turn = span(&rec, "turn");
+//!     let _classify = span(&rec, "classify");
+//!     rec.observe_ratio("confidence", "Uses of Drug", 0.84);
+//! } // guards close the spans
+//! let report = rec.take_report();
+//! assert_eq!(report.spans.len(), 2);
+//! assert_eq!(report.spans[1].parent, Some(0));
+//! obcs_telemetry::validate_jsonl(&report.to_jsonl()).expect("well-formed trace");
+//! ```
+
+pub mod clock;
+pub mod hist;
+mod json;
+pub mod recorder;
+pub mod trace;
+
+pub use clock::{Clock, MonotonicClock, TickClock};
+pub use hist::Histogram;
+pub use recorder::{span, CollectingRecorder, NoopRecorder, Recorder, SpanGuard, SpanId};
+pub use trace::{validate_jsonl, SpanEvent, TraceReport, TraceStats};
+
+/// The shared stage vocabulary: every instrumented crate names its spans
+/// from here so traces aggregate under stable keys.
+pub mod stage {
+    /// One full `respond` turn (parent of everything below).
+    pub const TURN: &str = "turn";
+    /// Entity annotation over the utterance (`obcs-nlq` lexicon).
+    pub const ANNOTATE: &str = "annotate";
+    /// Intent classification (`obcs-classifier` predict).
+    pub const CLASSIFY: &str = "classify";
+    /// Dialogue-tree evaluation (`obcs-dialogue`).
+    pub const DIALOGUE_EVAL: &str = "dialogue_eval";
+    /// NL→SQL interpretation for dynamic queries (`obcs-nlq`).
+    pub const NLQ_INTERPRET: &str = "nlq_interpret";
+    /// Structured-query-template instantiation.
+    pub const TEMPLATE_INSTANTIATE: &str = "template_instantiate";
+    /// SQL execution against the knowledge base (`obcs-kb`).
+    pub const KB_EXECUTE: &str = "kb_execute";
+    /// Response verbalisation (`obcs-agent` NLG).
+    pub const NLG: &str = "nlg";
+}
+
+/// The shared counter/metric vocabulary.
+pub mod metric {
+    /// Counter: turns served (label empty).
+    pub const TURNS: &str = "turns";
+    /// Counter: replies by reply-kind label (`fulfilment`, `fallback`,
+    /// `elicitation`, …).
+    pub const REPLY_KIND: &str = "reply_kind";
+    /// Counter: accepted domain intents by intent-name label.
+    pub const INTENT: &str = "intent";
+    /// Counter: repair turns by kind label (`fallback`,
+    /// `disambiguation`, `elicitation`, `low_confidence`).
+    pub const REPAIR: &str = "repair";
+    /// Ratio histogram: classifier confidence by intent-name label.
+    pub const CONFIDENCE: &str = "confidence";
+    /// Counter: KB queries executed (label empty).
+    pub const KB_QUERIES: &str = "kb_queries";
+    /// Counter: KB rows returned (label empty).
+    pub const KB_ROWS: &str = "kb_rows";
+}

@@ -1,0 +1,313 @@
+//! The [`Recorder`] trait and its two implementations.
+//!
+//! Instrumented code (the agent engine, NLQ, classifier, KB) holds a
+//! `&dyn Recorder` and calls it unconditionally; the *recorder* decides
+//! whether anything happens. [`NoopRecorder`] compiles every call down to
+//! an immediate return, so serving with tracing off pays only a virtual
+//! dispatch per instrumentation point. [`CollectingRecorder`] keeps
+//! hierarchical spans (a well-nested open-span stack supplies parents),
+//! labelled counters, ratio observations, and per-stage fixed-bucket
+//! latency histograms, and drains into a
+//! [`TraceReport`].
+//!
+//! A `CollectingRecorder` is internally synchronised but *logically
+//! single-threaded*: the open-span stack assumes one conversation at a
+//! time, so concurrent serving must use one recorder per thread (the
+//! sharded traffic replay does exactly that) and merge the reports.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::clock::{Clock, MonotonicClock, TickClock};
+use crate::hist::Histogram;
+use crate::trace::{SpanEvent, TraceReport};
+
+/// Opaque handle for a span opened with [`Recorder::span_begin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// The id handed out by disabled recorders; ending it is a no-op.
+    pub const DISABLED: SpanId = SpanId(u64::MAX);
+}
+
+/// A sink for spans, counters, and observations.
+///
+/// All methods default to no-ops so that a disabled recorder is the
+/// one-line `impl Recorder for NoopRecorder {}`.
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder keeps anything. Instrumentation may use it
+    /// to skip *preparing* expensive attributes, never to skip the span
+    /// calls themselves.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Opens a span for `stage` nested under the innermost open span.
+    fn span_begin(&self, _stage: &'static str) -> SpanId {
+        SpanId::DISABLED
+    }
+
+    /// Closes a span. Spans left open above `id` are closed with it
+    /// (the recorder keeps traces well-nested even on early exits).
+    fn span_end(&self, _id: SpanId) {}
+
+    /// Adds `by` to the counter `name` partitioned by `label`.
+    fn add(&self, _name: &'static str, _label: &str, _by: u64) {}
+
+    /// Increments the counter `name{label}` by one.
+    fn incr(&self, name: &'static str, label: &str) {
+        self.add(name, label, 1);
+    }
+
+    /// Records a value in `[0, 1]` (a confidence, a rate) into the ratio
+    /// histogram `name{label}`, at permille resolution.
+    fn observe_ratio(&self, _name: &'static str, _label: &str, _value: f64) {}
+}
+
+/// The zero-cost recorder: every call returns immediately.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// RAII guard that ends its span on drop — the idiomatic way to cover
+/// every exit path of an instrumented function.
+#[must_use = "dropping the guard immediately would end the span at once"]
+pub struct SpanGuard<'a> {
+    rec: &'a dyn Recorder,
+    id: SpanId,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.span_end(self.id);
+    }
+}
+
+/// Opens a span on `rec` that ends when the returned guard drops.
+pub fn span<'a>(rec: &'a dyn Recorder, stage: &'static str) -> SpanGuard<'a> {
+    SpanGuard { rec, id: rec.span_begin(stage) }
+}
+
+/// An open span: index into the event list plus its start reading.
+#[derive(Debug)]
+struct OpenSpan {
+    index: usize,
+    start: u64,
+}
+
+#[derive(Debug, Default)]
+struct Collected {
+    spans: Vec<SpanEvent>,
+    open: Vec<OpenSpan>,
+    counters: BTreeMap<(String, String), u64>,
+    ratios: BTreeMap<(String, String), Histogram>,
+    stages: BTreeMap<String, Histogram>,
+}
+
+/// A recorder that collects everything, measuring spans through the
+/// [`Clock`] it was built with.
+pub struct CollectingRecorder {
+    clock: Box<dyn Clock>,
+    inner: Mutex<Collected>,
+}
+
+impl CollectingRecorder {
+    /// A collecting recorder over an arbitrary clock.
+    pub fn new(clock: Box<dyn Clock>) -> Self {
+        CollectingRecorder { clock, inner: Mutex::new(Collected::default()) }
+    }
+
+    /// Wall-clock (nanosecond) collection — real latencies.
+    pub fn wall() -> Self {
+        Self::new(Box::new(MonotonicClock::new()))
+    }
+
+    /// Deterministic tick collection — structural latencies that are
+    /// identical across runs and machines (see
+    /// [`TickClock`]).
+    pub fn ticks() -> Self {
+        Self::new(Box::new(TickClock::new()))
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Collected> {
+        // A poisoned recorder mutex means an instrumented panic already
+        // unwound through it; the partial trace is still the best
+        // diagnostic available, so keep collecting.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Drains everything collected so far into a report and resets the
+    /// recorder (open spans are discarded).
+    pub fn take_report(&self) -> TraceReport {
+        let mut g = self.locked();
+        let collected = std::mem::take(&mut *g);
+        drop(g);
+        TraceReport {
+            unit: self.clock.unit().to_string(),
+            spans: collected.spans,
+            counters: collected.counters,
+            ratios: collected.ratios,
+            stages: collected.stages,
+        }
+    }
+}
+
+impl Recorder for CollectingRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_begin(&self, stage: &'static str) -> SpanId {
+        let start = self.clock.now();
+        let mut g = self.locked();
+        let index = g.spans.len();
+        let parent = g.open.last().map(|o| o.index as u64);
+        g.spans.push(SpanEvent { id: index as u64, parent, stage: stage.to_string(), dur: 0 });
+        g.open.push(OpenSpan { index, start });
+        SpanId(index as u64)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        if id == SpanId::DISABLED {
+            return;
+        }
+        let end = self.clock.now();
+        let mut g = self.locked();
+        let Some(pos) = g.open.iter().rposition(|o| o.index as u64 == id.0) else {
+            return; // double end — ignore
+        };
+        // Close the span and anything left open inside it, keeping the
+        // trace well-nested.
+        while g.open.len() > pos {
+            let open = g.open.pop().expect("len checked above");
+            let dur = end.saturating_sub(open.start);
+            let stage = {
+                let event = &mut g.spans[open.index];
+                event.dur = dur;
+                event.stage.clone()
+            };
+            g.stages.entry(stage).or_default().record(dur);
+        }
+    }
+
+    fn add(&self, name: &'static str, label: &str, by: u64) {
+        let mut g = self.locked();
+        *g.counters.entry((name.to_string(), label.to_string())).or_insert(0) += by;
+    }
+
+    fn observe_ratio(&self, name: &'static str, label: &str, value: f64) {
+        let permille = (value.clamp(0.0, 1.0) * 1000.0).round() as u64;
+        let mut g = self.locked();
+        g.ratios.entry((name.to_string(), label.to_string())).or_default().record(permille);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_is_disabled_and_inert() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        let id = r.span_begin("turn");
+        assert_eq!(id, SpanId::DISABLED);
+        r.span_end(id);
+        r.incr("turns", "");
+        r.observe_ratio("confidence", "x", 0.5);
+    }
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let r = CollectingRecorder::ticks();
+        let turn = r.span_begin("turn");
+        let classify = r.span_begin("classify");
+        r.span_end(classify);
+        let kb = r.span_begin("kb_execute");
+        r.span_end(kb);
+        r.span_end(turn);
+        let report = r.take_report();
+        assert_eq!(report.spans.len(), 3);
+        assert_eq!(report.spans[0].stage, "turn");
+        assert_eq!(report.spans[0].parent, None);
+        assert_eq!(report.spans[1].stage, "classify");
+        assert_eq!(report.spans[1].parent, Some(0));
+        assert_eq!(report.spans[2].parent, Some(0));
+        // Tick durations: the turn span contains all inner readings.
+        assert!(report.spans[0].dur > report.spans[1].dur);
+        assert_eq!(report.stages.len(), 3);
+        assert_eq!(report.stages["turn"].count, 1);
+    }
+
+    #[test]
+    fn ending_an_outer_span_closes_dangling_children() {
+        let r = CollectingRecorder::ticks();
+        let turn = r.span_begin("turn");
+        let _leaked = r.span_begin("classify"); // never ended explicitly
+        r.span_end(turn);
+        let report = r.take_report();
+        assert_eq!(report.spans.len(), 2);
+        assert!(report.spans.iter().all(|s| s.dur > 0), "all spans closed: {:?}", report.spans);
+        // A second end of the same id is ignored.
+        let r = CollectingRecorder::ticks();
+        let t = r.span_begin("turn");
+        r.span_end(t);
+        r.span_end(t);
+        assert_eq!(r.take_report().spans.len(), 1);
+    }
+
+    #[test]
+    fn counters_and_ratios_accumulate() {
+        let r = CollectingRecorder::ticks();
+        r.incr("reply_kind", "Fulfilment");
+        r.incr("reply_kind", "Fulfilment");
+        r.add("reply_kind", "Fallback", 3);
+        r.observe_ratio("confidence", "Uses of Drug", 0.84);
+        r.observe_ratio("confidence", "Uses of Drug", 2.5); // clamped to 1.0
+        let report = r.take_report();
+        assert_eq!(report.counters[&("reply_kind".into(), "Fulfilment".into())], 2);
+        assert_eq!(report.counters[&("reply_kind".into(), "Fallback".into())], 3);
+        let h = &report.ratios[&("confidence".into(), "Uses of Drug".into())];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.min, 840);
+    }
+
+    #[test]
+    fn tick_spans_are_deterministic() {
+        let run = || {
+            let r = CollectingRecorder::ticks();
+            for _ in 0..5 {
+                let turn = r.span_begin("turn");
+                let inner = r.span_begin("classify");
+                r.span_end(inner);
+                r.span_end(turn);
+            }
+            r.take_report()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn take_report_resets() {
+        let r = CollectingRecorder::ticks();
+        r.incr("turns", "");
+        assert_eq!(r.take_report().counters.len(), 1);
+        assert!(r.take_report().counters.is_empty());
+    }
+
+    #[test]
+    fn guard_ends_span_on_drop() {
+        let r = CollectingRecorder::ticks();
+        {
+            let _turn = span(&r, "turn");
+            let _inner = span(&r, "classify");
+        } // guards drop in reverse order: classify, then turn
+        let report = r.take_report();
+        assert_eq!(report.spans.len(), 2);
+        assert!(report.spans.iter().all(|s| s.dur > 0));
+        assert_eq!(report.spans[1].parent, Some(0));
+    }
+}

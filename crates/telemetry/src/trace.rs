@@ -1,0 +1,438 @@
+//! Trace reports: merged span/metric collections, text rendering, and
+//! the JSONL interchange format.
+//!
+//! A [`TraceReport`] is what a
+//! [`CollectingRecorder`](crate::CollectingRecorder) drains into. Reports
+//! from per-shard recorders merge deterministically
+//! ([`TraceReport::merge`]): span ids are renumbered in shard order (so
+//! the merged span list equals what a single-threaded run would have
+//! produced), counters add, and histograms add bucket-wise.
+//!
+//! The JSONL layout is one self-describing object per line:
+//!
+//! ```text
+//! {"type":"meta","version":1,"unit":"ticks","spans":N,"counters":N,"histograms":N}
+//! {"type":"span","id":0,"parent":null,"stage":"turn","dur":13}
+//! {"type":"counter","name":"reply_kind","label":"Fulfilment","value":379}
+//! {"type":"histogram","kind":"stage","name":"turn","label":"","count":400,"sum":5208,
+//!  "min":3,"max":39,"p50":13,"p95":23,"p99":31}
+//! ```
+//!
+//! [`validate_jsonl`] re-parses an exported trace with the crate's own
+//! JSON reader and cross-checks the meta counts, span id sequence, and
+//! parent references — the `repro trace` subcommand runs it after every
+//! export so CI fails on a malformed trace.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+use crate::json::{self, Json};
+
+/// One finished span: `id`s are dense and ordered by span *begin*;
+/// `parent` points at the enclosing span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Dense index in begin order.
+    pub id: u64,
+    /// Enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Stage name (see [`crate::stage`]).
+    pub stage: String,
+    /// Duration in the report's [`unit`](TraceReport::unit). Start
+    /// offsets are deliberately not kept: durations are invariant under
+    /// replay sharding, absolute offsets are not.
+    pub dur: u64,
+}
+
+/// Everything one traced run collected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Duration unit: `"ns"` (wall clock) or `"ticks"` (deterministic).
+    pub unit: String,
+    /// Finished spans in begin order.
+    pub spans: Vec<SpanEvent>,
+    /// Counters keyed by `(name, label)`.
+    pub counters: BTreeMap<(String, String), u64>,
+    /// Ratio histograms (permille of `[0, 1]`) keyed by `(name, label)`.
+    pub ratios: BTreeMap<(String, String), Histogram>,
+    /// Per-stage span-duration histograms.
+    pub stages: BTreeMap<String, Histogram>,
+}
+
+impl TraceReport {
+    /// An empty report in `unit`.
+    pub fn empty(unit: &str) -> Self {
+        TraceReport {
+            unit: unit.to_string(),
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            ratios: BTreeMap::new(),
+            stages: BTreeMap::new(),
+        }
+    }
+
+    /// Merges per-shard reports in shard order: span ids renumber with a
+    /// running offset (shard order is session order, so the merged span
+    /// list is identical to a single-shard run's), counters add, and
+    /// histograms add bucket-wise. Panics if the units disagree.
+    pub fn merge(shards: Vec<TraceReport>) -> TraceReport {
+        let unit = shards.first().map(|s| s.unit.clone()).unwrap_or_else(|| "ticks".to_string());
+        let mut out = TraceReport::empty(&unit);
+        for shard in shards {
+            assert_eq!(shard.unit, out.unit, "cannot merge traces with different units");
+            let offset = out.spans.len() as u64;
+            for mut span in shard.spans {
+                span.id += offset;
+                span.parent = span.parent.map(|p| p + offset);
+                out.spans.push(span);
+            }
+            for (key, v) in shard.counters {
+                *out.counters.entry(key).or_insert(0) += v;
+            }
+            for (key, h) in shard.ratios {
+                out.ratios.entry(key).or_default().merge(&h);
+            }
+            for (stage, h) in shard.stages {
+                out.stages.entry(stage).or_default().merge(&h);
+            }
+        }
+        out
+    }
+
+    /// The per-stage latency table: count, p50/p95/p99, mean, total —
+    /// stages sorted by total time, heaviest first.
+    pub fn render_latency_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>9} {:>9} {:>9} {:>10} {:>12}  [{}]\n",
+            "stage", "count", "p50", "p95", "p99", "mean", "total", self.unit
+        ));
+        let mut rows: Vec<(&String, &Histogram)> = self.stages.iter().collect();
+        rows.sort_by(|a, b| b.1.sum.cmp(&a.1.sum).then_with(|| a.0.cmp(b.0)));
+        for (stage, h) in rows {
+            out.push_str(&format!(
+                "{:<22} {:>8} {:>9} {:>9} {:>9} {:>10.1} {:>12}\n",
+                stage,
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.mean(),
+                h.sum
+            ));
+        }
+        out
+    }
+
+    /// Counters grouped by name, labels sorted, descending by value
+    /// within a name.
+    pub fn render_counter_table(&self) -> String {
+        let mut out = String::new();
+        let mut by_name: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+        for ((name, label), &v) in &self.counters {
+            by_name.entry(name).or_default().push((label, v));
+        }
+        for (name, mut rows) in by_name {
+            rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            out.push_str(&format!("{name}:\n"));
+            for (label, v) in rows {
+                let label = if label.is_empty() { "(total)" } else { label };
+                out.push_str(&format!("  {label:<40} {v:>8}\n"));
+            }
+        }
+        out
+    }
+
+    /// Ratio metrics (e.g. per-intent classifier confidence): count,
+    /// mean, and p50, rendered back in `[0, 1]` units.
+    pub fn render_ratio_table(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for ((name, label), h) in &self.ratios {
+            if name != last_name {
+                out.push_str(&format!("{name}:\n"));
+                last_name = name;
+            }
+            let label = if label.is_empty() { "(all)" } else { label };
+            out.push_str(&format!(
+                "  {:<40} {:>6}x  mean {:.3}  p50 {:.3}\n",
+                label,
+                h.count,
+                h.mean() / 1000.0,
+                h.quantile(0.5) as f64 / 1000.0
+            ));
+        }
+        out
+    }
+
+    /// Serialises the report to JSONL (see the module docs for the
+    /// layout). Output is byte-stable: equal reports produce equal text.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\":\"meta\",\"version\":1,\"unit\":{},\"spans\":{},\"counters\":{},\"histograms\":{}}}\n",
+            json::escape(&self.unit),
+            self.spans.len(),
+            self.counters.len(),
+            self.ratios.len() + self.stages.len(),
+        ));
+        for s in &self.spans {
+            let parent = s.parent.map(|p| p.to_string()).unwrap_or_else(|| "null".to_string());
+            out.push_str(&format!(
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"stage\":{},\"dur\":{}}}\n",
+                s.id,
+                parent,
+                json::escape(&s.stage),
+                s.dur
+            ));
+        }
+        for ((name, label), v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":{},\"label\":{},\"value\":{}}}\n",
+                json::escape(name),
+                json::escape(label),
+                v
+            ));
+        }
+        for (stage, h) in &self.stages {
+            out.push_str(&hist_line("stage", stage, "", h));
+        }
+        for ((name, label), h) in &self.ratios {
+            out.push_str(&hist_line("ratio", name, label, h));
+        }
+        out
+    }
+}
+
+fn hist_line(kind: &str, name: &str, label: &str, h: &Histogram) -> String {
+    format!(
+        "{{\"type\":\"histogram\",\"kind\":{},\"name\":{},\"label\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}\n",
+        json::escape(kind),
+        json::escape(name),
+        json::escape(label),
+        h.count,
+        h.sum,
+        if h.count == 0 { 0 } else { h.min },
+        h.max,
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99),
+    )
+}
+
+/// Summary counts from a validated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of span lines.
+    pub spans: usize,
+    /// Number of counter lines.
+    pub counters: usize,
+    /// Number of histogram lines.
+    pub histograms: usize,
+}
+
+/// Validates an exported JSONL trace: every line must parse as JSON, the
+/// first line must be a `meta` record whose counts match the body, span
+/// ids must be dense and in order with parents pointing backwards, and
+/// every record must carry its required fields. Returns the body counts,
+/// or a message naming the offending line.
+pub fn validate_jsonl(text: &str) -> Result<TraceStats, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, meta_line) = lines.next().ok_or("empty trace")?;
+    let meta = parse_obj(meta_line, 1)?;
+    if field_str(&meta, "type", 1)? != "meta" {
+        return Err("line 1: first record must be \"meta\"".to_string());
+    }
+    if field_num(&meta, "version", 1)? != 1.0 {
+        return Err("line 1: unsupported trace version".to_string());
+    }
+    let unit = field_str(&meta, "unit", 1)?;
+    if unit != "ns" && unit != "ticks" {
+        return Err(format!("line 1: unknown unit {unit:?}"));
+    }
+
+    let mut stats = TraceStats { spans: 0, counters: 0, histograms: 0 };
+    for (idx, line) in lines {
+        let n = idx + 1;
+        let obj = parse_obj(line, n)?;
+        match field_str(&obj, "type", n)? {
+            "span" => {
+                let id = field_num(&obj, "id", n)?;
+                if id != stats.spans as f64 {
+                    return Err(format!("line {n}: span id {id} out of sequence"));
+                }
+                match obj.get("parent") {
+                    Some(Json::Null) => {}
+                    Some(Json::Num(p)) if *p < id => {}
+                    Some(_) => return Err(format!("line {n}: parent must be null or a prior id")),
+                    None => return Err(format!("line {n}: span missing \"parent\"")),
+                }
+                if field_str(&obj, "stage", n)?.is_empty() {
+                    return Err(format!("line {n}: empty stage name"));
+                }
+                field_num(&obj, "dur", n)?;
+                stats.spans += 1;
+            }
+            "counter" => {
+                field_str(&obj, "name", n)?;
+                field_str(&obj, "label", n)?;
+                field_num(&obj, "value", n)?;
+                stats.counters += 1;
+            }
+            "histogram" => {
+                let kind = field_str(&obj, "kind", n)?;
+                if kind != "stage" && kind != "ratio" {
+                    return Err(format!("line {n}: unknown histogram kind {kind:?}"));
+                }
+                field_str(&obj, "name", n)?;
+                let count = field_num(&obj, "count", n)?;
+                for key in ["sum", "min", "max", "p50", "p95", "p99"] {
+                    if field_num(&obj, key, n)? < 0.0 {
+                        return Err(format!("line {n}: negative {key:?}"));
+                    }
+                }
+                if count > 0.0 && field_num(&obj, "min", n)? > field_num(&obj, "max", n)? {
+                    return Err(format!("line {n}: min exceeds max"));
+                }
+                stats.histograms += 1;
+            }
+            other => return Err(format!("line {n}: unknown record type {other:?}")),
+        }
+    }
+
+    for (key, actual) in
+        [("spans", stats.spans), ("counters", stats.counters), ("histograms", stats.histograms)]
+    {
+        let declared = field_num(&meta, key, 1)?;
+        if declared != actual as f64 {
+            return Err(format!("meta declares {declared} {key}, body has {actual}"));
+        }
+    }
+    Ok(stats)
+}
+
+fn parse_obj(line: &str, n: usize) -> Result<BTreeMap<String, Json>, String> {
+    match json::parse(line) {
+        Ok(Json::Obj(map)) => Ok(map),
+        Ok(_) => Err(format!("line {n}: not a JSON object")),
+        Err(e) => Err(format!("line {n}: {e}")),
+    }
+}
+
+fn field_str<'a>(obj: &'a BTreeMap<String, Json>, key: &str, n: usize) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {n}: missing string field {key:?}"))
+}
+
+fn field_num(obj: &BTreeMap<String, Json>, key: &str, n: usize) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("line {n}: missing numeric field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{CollectingRecorder, Recorder};
+
+    fn sample_report() -> TraceReport {
+        let r = CollectingRecorder::ticks();
+        for conf in [0.9, 0.4] {
+            let turn = r.span_begin("turn");
+            let c = r.span_begin("classify");
+            r.span_end(c);
+            r.incr("reply_kind", "Fulfilment");
+            r.observe_ratio("confidence", "Uses of Drug", conf);
+            r.span_end(turn);
+        }
+        r.take_report()
+    }
+
+    #[test]
+    fn jsonl_roundtrip_validates() {
+        let report = sample_report();
+        let jsonl = report.to_jsonl();
+        let stats = validate_jsonl(&jsonl).expect("valid trace");
+        assert_eq!(stats.spans, 4);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.histograms, 3); // 2 stages + 1 ratio
+    }
+
+    #[test]
+    fn jsonl_is_byte_stable() {
+        assert_eq!(sample_report().to_jsonl(), sample_report().to_jsonl());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        let good = sample_report().to_jsonl();
+        // Truncate a line mid-object.
+        let broken = &good[..good.len() - 5];
+        assert!(validate_jsonl(broken).is_err());
+        // Flip the meta span count.
+        let wrong_meta = good.replacen("\"spans\":4", "\"spans\":7", 1);
+        assert!(validate_jsonl(&wrong_meta).expect_err("count").contains("declares"));
+        // Out-of-sequence span id.
+        let bad_id = good.replacen("\"id\":1", "\"id\":9", 1);
+        assert!(validate_jsonl(&bad_id).expect_err("seq").contains("out of sequence"));
+        // Unknown record type.
+        let bad_type = good.replacen("\"type\":\"counter\"", "\"type\":\"mystery\"", 1);
+        assert!(validate_jsonl(&bad_type).is_err());
+        // Empty input.
+        assert!(validate_jsonl("").is_err());
+    }
+
+    #[test]
+    fn merge_renumbers_and_matches_single_run() {
+        // Two shard recorders, each one turn …
+        let shard = |conf: f64| {
+            let r = CollectingRecorder::ticks();
+            let turn = r.span_begin("turn");
+            let c = r.span_begin("classify");
+            r.span_end(c);
+            r.incr("turns", "");
+            r.observe_ratio("confidence", "", conf);
+            r.span_end(turn);
+            r.take_report()
+        };
+        let merged = TraceReport::merge(vec![shard(0.9), shard(0.4)]);
+        // … must equal one recorder running both turns.
+        assert_eq!(merged, sample_report_with_turns_counter());
+        assert_eq!(merged.spans[2].id, 2);
+        assert_eq!(merged.spans[3].parent, Some(2));
+    }
+
+    fn sample_report_with_turns_counter() -> TraceReport {
+        let r = CollectingRecorder::ticks();
+        for conf in [0.9, 0.4] {
+            let turn = r.span_begin("turn");
+            let c = r.span_begin("classify");
+            r.span_end(c);
+            r.incr("turns", "");
+            r.observe_ratio("confidence", "", conf);
+            r.span_end(turn);
+        }
+        r.take_report()
+    }
+
+    #[test]
+    fn renderings_contain_the_data() {
+        let report = sample_report();
+        let latency = report.render_latency_table();
+        assert!(latency.contains("turn"), "{latency}");
+        assert!(latency.contains("classify"));
+        let counters = report.render_counter_table();
+        assert!(counters.contains("Fulfilment"));
+        let ratios = report.render_ratio_table();
+        assert!(ratios.contains("Uses of Drug"));
+        assert!(ratios.contains("mean 0.650"), "{ratios}");
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let m = TraceReport::merge(Vec::new());
+        assert!(m.spans.is_empty());
+        assert_eq!(m.unit, "ticks");
+    }
+}

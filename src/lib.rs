@@ -23,6 +23,9 @@
 //! * [`agent`] — the online conversation engine.
 //! * [`mdx`] — the synthetic Micromedex-scale medical use case.
 //! * [`sim`] — the user simulator and §7 evaluation harness.
+//! * [`lint`] — static analysis over the bootstrapped conversation space.
+//! * [`telemetry`] — zero-dependency tracing and metrics for the turn
+//!   pipeline (spans, counters, latency histograms).
 //!
 //! ## Quickstart
 //!
@@ -47,10 +50,12 @@ pub use obcs_classifier as classifier;
 pub use obcs_core as core;
 pub use obcs_dialogue as dialogue;
 pub use obcs_kb as kb;
+pub use obcs_lint as lint;
 pub use obcs_mdx as mdx;
 pub use obcs_nlq as nlq;
 pub use obcs_ontology as ontology;
 pub use obcs_sim as sim;
+pub use obcs_telemetry as telemetry;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -58,8 +58,8 @@ impl Bencher {
 
         // Aim for ~100ms of measurement, clamped by the sample-size hint.
         let target = Duration::from_millis(100);
-        let iters = (target.as_nanos() / estimate.as_nanos()).clamp(1, self.iters_hint as u128)
-            as u64;
+        let iters =
+            (target.as_nanos() / estimate.as_nanos()).clamp(1, self.iters_hint as u128) as u64;
         let start = Instant::now();
         for _ in 0..iters {
             black_box(routine());

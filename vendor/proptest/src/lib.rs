@@ -61,10 +61,7 @@ pub mod test_runner {
     }
 
     fn case_count() -> usize {
-        std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(48)
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48)
     }
 
     /// Runs one property over `case_count` generated cases, panicking on
@@ -400,8 +397,7 @@ mod regex_gen {
                     }
                 }
                 CharSet::Ranges(ranges) => {
-                    let total: u64 =
-                        ranges.iter().map(|&(a, b)| (b as u64) - (a as u64) + 1).sum();
+                    let total: u64 = ranges.iter().map(|&(a, b)| (b as u64) - (a as u64) + 1).sum();
                     let mut pick = rng.below(total);
                     for &(a, b) in ranges {
                         let span = (b as u64) - (a as u64) + 1;
@@ -517,8 +513,7 @@ mod regex_gen {
         let mut out = String::new();
         for element in parse(pattern) {
             let span = (element.max - element.min) as u64;
-            let count =
-                element.min + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+            let count = element.min + if span == 0 { 0 } else { rng.below(span + 1) as usize };
             for _ in 0..count {
                 out.push(element.set.sample(rng));
             }
@@ -592,10 +587,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr) => {{
         let (__l, __r) = (&$left, &$right);
-        $crate::prop_assert!(
-            *__l != *__r,
-            "assertion failed: `{:?}` == `{:?}`", __l, __r
-        );
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` == `{:?}`", __l, __r);
     }};
 }
 

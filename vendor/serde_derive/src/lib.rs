@@ -285,12 +285,9 @@ fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.shape {
         Shape::Struct(Body::Unit) => "::serde::Content::Null".to_string(),
-        Shape::Struct(Body::Named(fields)) => {
-            ser_named_fields(fields, |f| format!("self.{f}"))
-        }
+        Shape::Struct(Body::Named(fields)) => ser_named_fields(fields, |f| format!("self.{f}")),
         Shape::Struct(Body::Tuple(fields)) => {
-            let live: Vec<usize> =
-                (0..fields.len()).filter(|&i| !fields[i].skip).collect();
+            let live: Vec<usize> = (0..fields.len()).filter(|&i| !fields[i].skip).collect();
             if live.len() == 1 && fields.len() == 1 {
                 // Newtype structs are transparent, like serde.
                 format!("::serde::Serialize::to_content(&self.{})", live[0])
@@ -358,9 +355,9 @@ fn gen_deserialize(item: &Item) -> String {
                  Ok({name} {{\n{inner}}})"
             )
         }
-        Shape::Struct(Body::Tuple(fields)) if fields.len() == 1 && !fields[0].skip => format!(
-            "Ok({name}(::serde::Deserialize::from_content(__c)?))"
-        ),
+        Shape::Struct(Body::Tuple(fields)) if fields.len() == 1 && !fields[0].skip => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
         Shape::Struct(Body::Tuple(fields)) => {
             let n = fields.len();
             let mut parts = Vec::new();

@@ -363,8 +363,7 @@ impl<'a> Parser<'a> {
             return Err(self.err("truncated unicode escape"));
         }
         let hex = &self.input[self.pos..self.pos + 4];
-        let v = u32::from_str_radix(hex, 16)
-            .map_err(|_| self.err("invalid unicode escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape"))?;
         self.pos += 4;
         Ok(v)
     }
