@@ -38,4 +38,11 @@ echo "==> repro trace --quick"
 cargo run -q --release -p obcs-bench --bin repro -- trace --quick \
   --out target/trace_quick.jsonl > /dev/null
 
+echo "==> repro chaos --quick"
+# Robustness smoke: replays the quick profile under the seeded fault plan
+# and fails on a panic, a nondeterministic trace/record sequence across
+# parallelism, or any injected fault that was neither recovered by a
+# retry nor surfaced as a degraded reply.
+cargo run -q --release -p obcs-bench --bin repro -- chaos --quick > /dev/null
+
 echo "CI gate passed."

@@ -14,10 +14,14 @@ use std::sync::Arc;
 use obcs_core::{ConversationSpace, IntentId};
 use obcs_dialogue::tree::TurnInput;
 use obcs_dialogue::{AgentAction, ConversationContext, DialogueTree};
+use obcs_faults::{
+    run_resilient, FaultInjector, FaultStage, InjectedFault, NoFaults, ObcsError, Recovery,
+    ResilienceConfig,
+};
 use obcs_kb::KnowledgeBase;
 use obcs_nlq::OntologyMapping;
 use obcs_ontology::{ConceptId, Ontology};
-use obcs_telemetry::{metric, stage, NoopRecorder, Recorder};
+use obcs_telemetry::{metric, stage, Clock, NoopRecorder, Recorder, TickClock};
 use serde::{Deserialize, Serialize};
 
 use crate::log::{Feedback, InteractionLog, InteractionRecord, LoggedAction};
@@ -49,6 +53,11 @@ pub enum ReplyKind {
     Disambiguation,
     Fallback,
     Closing,
+    /// A system fault (KB, classifier, annotator, …) could not be
+    /// recovered within the turn's retry/deadline policy; the reply is an
+    /// apology/fallback rather than a panic or a silent empty answer
+    /// (DESIGN.md §11).
+    Degraded,
 }
 
 /// One agent reply.
@@ -75,9 +84,24 @@ pub struct ConversationAgent {
     config: AgentConfig,
     /// Pending partial-name candidates awaiting user choice (§6.1).
     pending_disambiguation: Vec<(ConceptId, String)>,
+    /// Consecutive turns the pending candidates went unmatched; after one
+    /// repair re-prompt the engine gives up and processes the turn
+    /// normally instead of looping forever.
+    disambiguation_misses: u8,
     /// Telemetry sink for the turn pipeline (DESIGN.md §10). Defaults to
     /// the zero-cost [`NoopRecorder`].
     recorder: Arc<dyn Recorder>,
+    /// Fault injector for chaos replays (DESIGN.md §11). Defaults to
+    /// [`NoFaults`], so production turns pay one virtual dispatch per
+    /// injection point and nothing else.
+    faults: Arc<dyn FaultInjector>,
+    /// Retry/backoff/deadline policy applied when a stage faults.
+    resilience: ResilienceConfig,
+    /// Per-session virtual clock driving retry backoff and the turn
+    /// budget. A fresh tick clock per fork, read only by this session's
+    /// turns, so all elapsed-tick measurements are a pure function of the
+    /// turn's call structure — deterministic at any replay parallelism.
+    chaos_clock: TickClock,
 }
 
 impl ConversationAgent {
@@ -102,8 +126,35 @@ impl ConversationAgent {
             log: InteractionLog::new(),
             config,
             pending_disambiguation: Vec::new(),
+            disambiguation_misses: 0,
             recorder: Arc::new(NoopRecorder),
+            faults: Arc::new(NoFaults),
+            resilience: ResilienceConfig::default(),
+            chaos_clock: TickClock::new(),
         }
+    }
+
+    /// Installs a fault injector; every subsequent turn consults it at
+    /// each injection point (annotate, classify, kb_execute). Pass
+    /// [`PlannedFaults`](obcs_faults::PlannedFaults) for chaos replays;
+    /// the default is the inert [`NoFaults`].
+    pub fn set_fault_injector(&mut self, faults: Arc<dyn FaultInjector>) {
+        self.faults = faults;
+    }
+
+    /// The currently installed fault injector handle.
+    pub fn fault_injector(&self) -> Arc<dyn FaultInjector> {
+        Arc::clone(&self.faults)
+    }
+
+    /// Sets the retry/backoff/deadline policy for degraded turns.
+    pub fn set_resilience(&mut self, config: ResilienceConfig) {
+        self.resilience = config;
+    }
+
+    /// The active resilience policy.
+    pub fn resilience(&self) -> ResilienceConfig {
+        self.resilience
     }
 
     /// Installs a telemetry recorder; every subsequent turn records spans
@@ -153,7 +204,11 @@ impl ConversationAgent {
             log: InteractionLog::new(),
             config: self.config.clone(),
             pending_disambiguation: Vec::new(),
+            disambiguation_misses: 0,
             recorder: Arc::clone(&self.recorder),
+            faults: Arc::clone(&self.faults),
+            resilience: self.resilience,
+            chaos_clock: TickClock::new(),
         }
     }
 
@@ -171,6 +226,7 @@ impl ConversationAgent {
     pub fn reset(&mut self) {
         self.ctx = ConversationContext::new();
         self.pending_disambiguation.clear();
+        self.disambiguation_misses = 0;
     }
 
     /// Records user feedback on the last reply.
@@ -229,8 +285,32 @@ impl ConversationAgent {
         // `&mut self` stays free for the pipeline below.
         let rec = Arc::clone(&self.recorder);
         let _turn = obcs_telemetry::span(&*rec, stage::TURN);
+        // Anchor of this turn's deadline budget; all resilience decisions
+        // measure elapsed ticks against it (DESIGN.md §11).
+        let turn_start = self.chaos_clock.now();
         // --- NLU ---
-        let mut recognized = self.nlu.recognize_traced(utterance, &*rec);
+        let annotate_fault = self.faults.inject(FaultStage::Annotate, utterance);
+        if let Some(f) = annotate_fault {
+            rec.incr(metric::FAULTS, f.kind.label());
+        }
+        let annotated = run_resilient(
+            FaultStage::Annotate,
+            annotate_fault,
+            &self.resilience,
+            &self.chaos_clock,
+            turn_start,
+            &*rec,
+            || Ok::<_, ObcsError>(self.nlu.recognize_traced(utterance, &*rec)),
+        );
+        let mut recognized = match annotated {
+            Ok((r, recovery)) => {
+                if let Recovery::Recovered(kind) = recovery {
+                    rec.incr(metric::FAULT_RECOVERED, kind.label());
+                }
+                r
+            }
+            Err(err) => return self.degrade(utterance, &err, None, None),
+        };
         // Management patterns outrank entity heuristics: "hi" must greet,
         // not fuzzy-match a drug name.
         let catalog_handles = self.tree.catalog.detect(utterance).is_some();
@@ -238,25 +318,91 @@ impl ConversationAgent {
         // Resolve a pending partial-name disambiguation: the user's next
         // input picks one of the offered candidates.
         if !self.pending_disambiguation.is_empty() {
-            let pick = recognized
+            // Full entity mentions that name a pending candidate.
+            let mut matched: Vec<(ConceptId, String)> = recognized
                 .instances
                 .iter()
-                .find(|(c, v)| {
+                .filter(|(c, v)| {
                     self.pending_disambiguation.iter().any(|(pc, pv)| pc == c && pv == v)
                 })
                 .cloned()
-                .or_else(|| {
-                    let norm = utterance.trim().to_lowercase();
-                    self.pending_disambiguation
+                .collect();
+            // Otherwise a fragment reply ("the extra-strength one")
+            // selects candidates by substring.
+            if matched.is_empty() {
+                let norm = utterance.trim().to_lowercase();
+                if !norm.is_empty() {
+                    matched = self
+                        .pending_disambiguation
                         .iter()
-                        .find(|(_, v)| v.to_lowercase().contains(&norm) && !norm.is_empty())
+                        .filter(|(_, v)| v.to_lowercase().contains(&norm))
                         .cloned()
-                });
-            self.pending_disambiguation.clear();
-            if let Some((concept, value)) = pick {
+                        .collect();
+                }
+            }
+            if matched.len() == 1 {
+                let (concept, value) = matched.swap_remove(0);
+                self.pending_disambiguation.clear();
+                self.disambiguation_misses = 0;
                 if !recognized.instances.iter().any(|(c, _)| *c == concept) {
                     recognized.instances.push((concept, value));
                 }
+            } else if matched.len() > 1 {
+                // Still ambiguous: narrow to the matched subset and
+                // re-prompt instead of silently picking the first.
+                let names: Vec<&str> = matched.iter().map(|(_, v)| v.as_str()).collect();
+                let text = format!(
+                    "That still matches several options: {}. Which one do you mean?",
+                    names.join(", ")
+                );
+                self.pending_disambiguation = matched;
+                self.disambiguation_misses = 0;
+                return self.record(
+                    utterance,
+                    None,
+                    None,
+                    LoggedAction::Disambiguate,
+                    AgentReply {
+                        text,
+                        kind: ReplyKind::Disambiguation,
+                        intent: None,
+                        confidence: None,
+                        found_results: true,
+                    },
+                );
+            } else if !recognized.instances.is_empty() || catalog_handles {
+                // A reply naming other entities or a management phrase is
+                // a topic change — drop the pending question and move on.
+                self.pending_disambiguation.clear();
+                self.disambiguation_misses = 0;
+            } else if self.disambiguation_misses == 0 {
+                // Nothing matched: repair once, keeping the candidates on
+                // the table for one more turn.
+                self.disambiguation_misses = 1;
+                let names: Vec<&str> =
+                    self.pending_disambiguation.iter().map(|(_, v)| v.as_str()).collect();
+                let text = format!(
+                    "Sorry, I didn't catch which one you meant. The options are: {}. Which one?",
+                    names.join(", ")
+                );
+                return self.record(
+                    utterance,
+                    None,
+                    None,
+                    LoggedAction::Disambiguate,
+                    AgentReply {
+                        text,
+                        kind: ReplyKind::Disambiguation,
+                        intent: None,
+                        confidence: None,
+                        found_results: true,
+                    },
+                );
+            } else {
+                // Second miss: give up on the offer and process the turn
+                // normally.
+                self.pending_disambiguation.clear();
+                self.disambiguation_misses = 0;
             }
         }
 
@@ -290,7 +436,28 @@ impl ConversationAgent {
             }
         }
 
-        let classified = self.nlu.classify_traced(utterance, &*rec);
+        let classify_fault = self.faults.inject(FaultStage::Classify, utterance);
+        if let Some(f) = classify_fault {
+            rec.incr(metric::FAULTS, f.kind.label());
+        }
+        let classify_outcome = run_resilient(
+            FaultStage::Classify,
+            classify_fault,
+            &self.resilience,
+            &self.chaos_clock,
+            turn_start,
+            &*rec,
+            || Ok::<_, ObcsError>(self.nlu.classify_traced(utterance, &*rec)),
+        );
+        let classified = match classify_outcome {
+            Ok((c, recovery)) => {
+                if let Recovery::Recovered(kind) = recovery {
+                    rec.incr(metric::FAULT_RECOVERED, kind.label());
+                }
+                c
+            }
+            Err(err) => return self.degrade(utterance, &err, None, None),
+        };
         if let Some((id, conf)) = classified {
             if let Some(intent) = self.space.intent(id) {
                 rec.observe_ratio(metric::CONFIDENCE, &intent.name, conf);
@@ -413,8 +580,10 @@ impl ConversationAgent {
                 LoggedAction::Propose,
             ),
             AgentAction::Fulfill { intent } => {
-                let reply = self.fulfill(intent, confidence);
-                (reply, LoggedAction::Fulfill)
+                match self.fulfill(intent, confidence, utterance, turn_start) {
+                    Ok(reply) => (reply, LoggedAction::Fulfill),
+                    Err(err) => return self.degrade(utterance, &err, Some(intent), confidence),
+                }
             }
         };
         let intent_for_log = reply.intent;
@@ -423,18 +592,27 @@ impl ConversationAgent {
     }
 
     /// Executes an intent's templates with the context entities and builds
-    /// the fulfilment response.
-    fn fulfill(&mut self, intent_id: IntentId, confidence: Option<f64>) -> AgentReply {
+    /// the fulfilment response. System faults (injected or real) that
+    /// survive the retry policy bubble up as [`ObcsError`]s; `respond`
+    /// turns them into a degraded reply.
+    fn fulfill(
+        &mut self,
+        intent_id: IntentId,
+        confidence: Option<f64>,
+        utterance: &str,
+        turn_start: u64,
+    ) -> Result<AgentReply, ObcsError> {
         let rec = Arc::clone(&self.recorder);
         let Some(intent) = self.space.intent(intent_id).cloned() else {
-            return AgentReply {
-                text: "Internal error: unknown intent.".to_string(),
-                kind: ReplyKind::Fallback,
-                intent: Some(intent_id),
-                confidence,
-                found_results: false,
-            };
+            // Historically a stringly "Internal error" fallback; now a
+            // typed engine fault that degrades like any other.
+            return Err(ObcsError::UnknownIntent(format!("{intent_id:?}")));
         };
+        // One injection decision per fulfilment, keyed on the utterance:
+        // every KB query this turn issues shares the same (deterministic)
+        // fault, and fault/recovery accounting happens exactly once.
+        let kb_fault = self.faults.inject(FaultStage::KbExecute, utterance);
+        let mut kb_fault_accounted = false;
         let values = self.ctx.entity_values();
         // Optional entities (paper Tables 3-4): captured when present but
         // never elicited. When one is in the context, the static template
@@ -481,8 +659,9 @@ impl ConversationAgent {
                 let Ok(sql) = sql else {
                     continue;
                 };
-                if let Ok(rs) = self.kb.query_traced(&sql, &*rec) {
-                    sections.push((pattern.topic.clone(), rs));
+                match self.kb_execute(&sql, kb_fault, &mut kb_fault_accounted, turn_start, &*rec)? {
+                    Some(rs) => sections.push((pattern.topic.clone(), rs)),
+                    None => continue,
                 }
             }
         }
@@ -500,9 +679,9 @@ impl ConversationAgent {
                 let Ok(sql) = sql else {
                     continue;
                 };
-                match self.kb.query_traced(&sql, &*rec) {
-                    Ok(rs) => sections.push((labeled.topic.clone(), rs)),
-                    Err(_) => continue,
+                match self.kb_execute(&sql, kb_fault, &mut kb_fault_accounted, turn_start, &*rec)? {
+                    Some(rs) => sections.push((labeled.topic.clone(), rs)),
+                    None => continue,
                 }
             }
         }
@@ -533,13 +712,81 @@ impl ConversationAgent {
         };
         // Record terms for definition repair.
         self.ctx.record_response(&text, vec![intent.name.to_lowercase()]);
-        AgentReply {
+        Ok(AgentReply {
             text,
             kind: ReplyKind::Fulfilment,
             intent: Some(intent_id),
             confidence,
             found_results: found,
+        })
+    }
+
+    /// Runs one KB query under the resilience policy. Returns `Ok(None)`
+    /// for a real (non-injected) KB error — those keep the historical
+    /// template-skip semantics, now counted under `pipeline_error` — and
+    /// `Err` for unrecovered injected faults and budget exhaustion, which
+    /// degrade the whole turn. The `accounted` flag makes fault/recovery
+    /// counters fire once per fulfilment even when several templates run.
+    fn kb_execute(
+        &self,
+        sql: &str,
+        fault: Option<InjectedFault>,
+        accounted: &mut bool,
+        turn_start: u64,
+        rec: &dyn Recorder,
+    ) -> Result<Option<obcs_kb::ResultSet>, ObcsError> {
+        let first = !*accounted;
+        *accounted = true;
+        if first {
+            if let Some(f) = fault {
+                rec.incr(metric::FAULTS, f.kind.label());
+            }
         }
+        let outcome = run_resilient(
+            FaultStage::KbExecute,
+            fault,
+            &self.resilience,
+            &self.chaos_clock,
+            turn_start,
+            rec,
+            || self.kb.query_traced(sql, rec).map_err(ObcsError::from),
+        );
+        match outcome {
+            Ok((rs, recovery)) => {
+                if first {
+                    if let Recovery::Recovered(kind) = recovery {
+                        rec.incr(metric::FAULT_RECOVERED, kind.label());
+                    }
+                }
+                Ok(Some(rs))
+            }
+            Err(ObcsError::Kb(_)) => {
+                rec.incr(metric::PIPELINE_ERRORS, "kb");
+                Ok(None)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Builds, counts, and records the degraded (apology) reply for an
+    /// unrecovered system fault.
+    fn degrade(
+        &mut self,
+        utterance: &str,
+        err: &ObcsError,
+        intent: Option<IntentId>,
+        confidence: Option<f64>,
+    ) -> AgentReply {
+        let cause = err.cause_label();
+        self.recorder.incr(metric::DEGRADED, cause);
+        let reply = AgentReply {
+            text: degraded_text(cause).to_string(),
+            kind: ReplyKind::Degraded,
+            intent,
+            confidence,
+            found_results: false,
+        };
+        self.record(utterance, intent, confidence, LoggedAction::Degraded, reply)
     }
 
     fn record(
@@ -563,6 +810,7 @@ impl ConversationAgent {
             ReplyKind::Fallback => self.recorder.incr(metric::REPAIR, "fallback"),
             ReplyKind::Disambiguation => self.recorder.incr(metric::REPAIR, "disambiguation"),
             ReplyKind::Elicitation => self.recorder.incr(metric::REPAIR, "elicitation"),
+            ReplyKind::Degraded => self.recorder.incr(metric::REPAIR, "degraded"),
             _ => {}
         }
         self.log.push(InteractionRecord {
@@ -588,6 +836,26 @@ fn reply_kind_label(kind: ReplyKind) -> &'static str {
         ReplyKind::Disambiguation => "disambiguation",
         ReplyKind::Fallback => "fallback",
         ReplyKind::Closing => "closing",
+        ReplyKind::Degraded => "degraded",
+    }
+}
+
+/// The user-visible apology for each degradation cause. Every unrecovered
+/// system fault funnels through one of these — never a panic, never a
+/// silent empty answer.
+fn degraded_text(cause: &str) -> &'static str {
+    match cause {
+        "kb" => {
+            "I'm sorry — I couldn't reach the knowledge base just now. \
+             Please try your question again in a moment."
+        }
+        "classifier" => {
+            "I'm sorry — I'm having trouble understanding requests right now. \
+             Please try again in a moment."
+        }
+        "annotator" => "I'm sorry — I had trouble reading that. Could you rephrase your question?",
+        "nlq" => "I'm sorry — I couldn't build a query for that request.",
+        _ => "I'm sorry — something went wrong on my side handling that request.",
     }
 }
 
@@ -839,6 +1107,161 @@ mod tests {
         fork.respond("what drug treats Fever?");
         let report = rec.take_report();
         assert_eq!(report.counters[&("turns".into(), String::new())], 1);
+    }
+
+    #[test]
+    fn ambiguous_disambiguation_reply_reprompts_with_subset() {
+        let mut a = agent();
+        let drug = a.onto.concept_id("Drug").unwrap();
+        a.pending_disambiguation =
+            vec![(drug, "Aspirin".into()), (drug, "Tazarotene".into()), (drug, "Ibuprofen".into())];
+        // "a" is a substring of both Aspirin and Tazarotene: the old code
+        // silently picked the first; now the engine narrows and re-prompts.
+        let r = a.respond("a");
+        assert_eq!(r.kind, ReplyKind::Disambiguation, "{r:?}");
+        assert!(r.text.contains("Aspirin") && r.text.contains("Tazarotene"), "{}", r.text);
+        assert!(!r.text.contains("Ibuprofen"), "narrowed out: {}", r.text);
+        assert_eq!(a.pending_disambiguation.len(), 2);
+        // A unique follow-up resolves the pick (entity-only → proposal).
+        let r = a.respond("Aspirin");
+        assert_eq!(r.kind, ReplyKind::Proposal, "{r:?}");
+        assert!(r.text.contains("Aspirin"), "{}", r.text);
+        assert!(a.pending_disambiguation.is_empty());
+    }
+
+    #[test]
+    fn unmatched_disambiguation_reply_repairs_then_gives_up() {
+        let mut a = agent();
+        let drug = a.onto.concept_id("Drug").unwrap();
+        a.pending_disambiguation = vec![(drug, "Aspirin".into()), (drug, "Tazarotene".into())];
+        // First miss: repair reply, candidates stay on the table.
+        let r = a.respond("qqqxyz");
+        assert_eq!(r.kind, ReplyKind::Disambiguation, "{r:?}");
+        assert!(r.text.contains("Aspirin") && r.text.contains("Tazarotene"), "{}", r.text);
+        assert_eq!(a.pending_disambiguation.len(), 2, "candidates kept one more turn");
+        // The kept candidates still work on the retry.
+        let r = a.respond("Tazarotene");
+        assert_eq!(r.kind, ReplyKind::Proposal, "{r:?}");
+        assert!(r.text.contains("Tazarotene"), "{}", r.text);
+    }
+
+    #[test]
+    fn second_unmatched_disambiguation_reply_falls_through() {
+        let mut a = agent();
+        let drug = a.onto.concept_id("Drug").unwrap();
+        a.pending_disambiguation = vec![(drug, "Aspirin".into()), (drug, "Tazarotene".into())];
+        let r = a.respond("qqqxyz");
+        assert_eq!(r.kind, ReplyKind::Disambiguation);
+        // Second miss: the engine gives up on the offer and processes the
+        // utterance normally (gibberish → fallback).
+        let r = a.respond("qqqxyz");
+        assert_eq!(r.kind, ReplyKind::Fallback, "{r:?}");
+        assert!(a.pending_disambiguation.is_empty());
+    }
+
+    #[test]
+    fn topic_change_cancels_pending_disambiguation() {
+        let mut a = agent();
+        let drug = a.onto.concept_id("Drug").unwrap();
+        a.pending_disambiguation = vec![(drug, "Aspirin".into()), (drug, "Tazarotene".into())];
+        // Naming an entirely different entity abandons the offer.
+        let r = a.respond("show me the precaution for Ibuprofen");
+        assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
+        assert!(r.text.contains("precaution info 1"), "{}", r.text);
+        assert!(a.pending_disambiguation.is_empty());
+    }
+
+    #[test]
+    fn persistent_kb_fault_degrades_with_counters() {
+        use obcs_faults::{FaultPlan, PlannedFaults};
+        use obcs_telemetry::CollectingRecorder;
+        let mut a = agent();
+        let rec = Arc::new(CollectingRecorder::ticks());
+        a.set_recorder(rec.clone());
+        // Every KB query fails, persistently (no transient recovery).
+        let plan = FaultPlan { kb_failure: 1.0, transient_share: 0.0, ..FaultPlan::quiet(7) };
+        a.set_fault_injector(Arc::new(PlannedFaults::new(plan)));
+        let r = a.respond("show me the precaution for Aspirin");
+        assert_eq!(r.kind, ReplyKind::Degraded, "{r:?}");
+        assert!(!r.text.is_empty() && r.text.contains("knowledge base"), "{}", r.text);
+        assert!(!r.found_results);
+        let report = rec.take_report();
+        assert_eq!(report.counters[&("fault".into(), "kb_failure".into())], 1);
+        assert_eq!(report.counters[&("degraded".into(), "kb".into())], 1);
+        assert_eq!(report.counters[&("repair".into(), "degraded".into())], 1);
+        assert!(report.counters[&("retry".into(), "kb_execute".into())] >= 1);
+        assert_eq!(a.log.records.last().map(|r| r.action), Some(LoggedAction::Degraded));
+    }
+
+    #[test]
+    fn transient_kb_fault_recovers_via_retry() {
+        use obcs_faults::{FaultPlan, PlannedFaults};
+        use obcs_telemetry::CollectingRecorder;
+        let mut a = agent();
+        let rec = Arc::new(CollectingRecorder::ticks());
+        a.set_recorder(rec.clone());
+        // Every KB query faults once, then the retry succeeds.
+        let plan = FaultPlan {
+            kb_failure: 1.0,
+            transient_share: 1.0,
+            transient_attempts: 1,
+            ..FaultPlan::quiet(7)
+        };
+        a.set_fault_injector(Arc::new(PlannedFaults::new(plan)));
+        let r = a.respond("show me the precaution for Aspirin");
+        assert_eq!(r.kind, ReplyKind::Fulfilment, "recovered turn answers normally: {r:?}");
+        assert!(r.text.contains("precaution info 0"), "{}", r.text);
+        let report = rec.take_report();
+        assert_eq!(report.counters[&("fault".into(), "kb_failure".into())], 1);
+        assert_eq!(report.counters[&("fault_recovered".into(), "kb_failure".into())], 1);
+        assert!(!report.counters.contains_key(&("degraded".into(), "kb".into())));
+    }
+
+    #[test]
+    fn classifier_collapse_degrades_before_fulfilment() {
+        use obcs_faults::{FaultPlan, PlannedFaults};
+        use obcs_telemetry::CollectingRecorder;
+        let mut a = agent();
+        let rec = Arc::new(CollectingRecorder::ticks());
+        a.set_recorder(rec.clone());
+        let plan =
+            FaultPlan { classifier_collapse: 1.0, transient_share: 0.0, ..FaultPlan::quiet(7) };
+        a.set_fault_injector(Arc::new(PlannedFaults::new(plan)));
+        let r = a.respond("show me the precaution for Aspirin");
+        assert_eq!(r.kind, ReplyKind::Degraded, "{r:?}");
+        assert!(r.text.contains("understanding"), "{}", r.text);
+        let report = rec.take_report();
+        assert_eq!(report.counters[&("fault".into(), "classifier_collapse".into())], 1);
+        assert_eq!(report.counters[&("degraded".into(), "classifier".into())], 1);
+        // The turn degraded before any KB work.
+        assert!(!report.counters.contains_key(&("kb_queries".into(), String::new())));
+    }
+
+    #[test]
+    fn exhausted_turn_budget_degrades_deterministically() {
+        use obcs_faults::{FaultPlan, PlannedFaults};
+        let build = || {
+            let mut a = agent();
+            let plan = FaultPlan { kb_timeout: 1.0, transient_share: 0.0, ..FaultPlan::quiet(7) };
+            a.set_fault_injector(Arc::new(PlannedFaults::new(plan)));
+            a.set_resilience(obcs_faults::ResilienceConfig::chaos());
+            a
+        };
+        let r1 = build().respond("show me the precaution for Aspirin");
+        let r2 = build().respond("show me the precaution for Aspirin");
+        assert_eq!(r1.kind, ReplyKind::Degraded, "{r1:?}");
+        assert_eq!(r1, r2, "degradation under a tick budget is deterministic");
+    }
+
+    #[test]
+    fn forks_inherit_injector_and_resilience() {
+        use obcs_faults::{FaultPlan, PlannedFaults};
+        let mut a = agent();
+        let plan = FaultPlan { kb_failure: 1.0, transient_share: 0.0, ..FaultPlan::quiet(7) };
+        a.set_fault_injector(Arc::new(PlannedFaults::new(plan)));
+        let mut fork = a.fork_session();
+        let r = fork.respond("show me the precaution for Aspirin");
+        assert_eq!(r.kind, ReplyKind::Degraded, "{r:?}");
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub enum LoggedAction {
     Disambiguate,
     Fallback,
     Close,
+    /// An unrecovered system fault degraded the turn (DESIGN.md §11).
+    Degraded,
 }
 
 /// One logged interaction.

@@ -12,7 +12,8 @@
 //! ablation-sessions all` — plus the non-artifact passes, which are not
 //! part of `all`: `lint` (obcs-lint static analysis over the artifact
 //! chain), `perf` (stage timings against the committed baseline), `trace`
-//! (traced traffic replay with per-stage latency breakdown), and `export`
+//! (traced traffic replay with per-stage latency breakdown), `chaos`
+//! (fault-injected replay checking the robustness contract), and `export`
 //! (lint-gates and writes the offline artifacts to `artifacts/`). The
 //! README's "Reproduction harness" section documents the full set.
 
@@ -45,6 +46,10 @@ fn main() {
     }
     if cmd == "trace" {
         trace(&args, seed);
+        return;
+    }
+    if cmd == "chaos" {
+        chaos(&args, seed);
         return;
     }
 
@@ -211,6 +216,50 @@ fn trace(args: &[String], seed: u64) {
     if let Some(path) = str_flag(args, "--out") {
         std::fs::write(&path, &jsonl).expect("write trace");
         println!("wrote {path}");
+    }
+}
+
+/// `repro chaos [--quick] [--seed N] [--parallelism N]`
+///
+/// Replays the traffic profile under the seeded chaos fault plan and
+/// checks the robustness contract (DESIGN.md §11): no panics, a trace
+/// and record sequence that are byte-identical at parallelism 1 and N,
+/// and no silent faults — every injected fault is either recovered by a
+/// retry or surfaced as a visible degraded reply. Any violation prints
+/// and exits non-zero.
+fn chaos(args: &[String], seed: u64) {
+    use obcs_bench::chaos;
+    let opts = chaos::ChaosOptions {
+        quick: args.iter().any(|a| a == "--quick"),
+        seed,
+        parallelism: flag(args, "--parallelism").unwrap_or(4) as usize,
+    };
+    heading(&format!(
+        "Chaos replay ({} profile, determinism checked at parallelism {})",
+        if opts.quick { "quick" } else { "full" },
+        opts.parallelism
+    ));
+    let chaos = chaos::run(&opts);
+    print!("{}", chaos.report.render_counter_table());
+    println!(
+        "replayed {} interactions under faults — success rate {:.1}%",
+        chaos.outcome.records.len(),
+        chaos.outcome.success_rate() * 100.0
+    );
+    println!(
+        "faults {}  recovered {}  degraded {}  retries {}",
+        chaos.counter_total(obcs_telemetry::metric::FAULTS),
+        chaos.counter_total(obcs_telemetry::metric::FAULT_RECOVERED),
+        chaos.counter_total(obcs_telemetry::metric::DEGRADED),
+        chaos.counter_total(obcs_telemetry::metric::RETRIES),
+    );
+    if chaos.passed() {
+        println!("chaos OK: deterministic, every fault recovered or surfaced");
+    } else {
+        for v in &chaos.violations {
+            eprintln!("chaos violation: {v}");
+        }
+        std::process::exit(1);
     }
 }
 

@@ -7,6 +7,7 @@
 //! Crate role: DESIGN.md §2; performance harness: §9; traced replay and
 //! the `repro trace` latency report ([`trace`]): §10.
 
+pub mod chaos;
 pub mod perf;
 pub mod trace;
 

@@ -82,6 +82,7 @@ pub fn evaluate(gold: &[String], predicted: &[String]) -> Report {
 
     let mut per_class = Vec::with_capacity(labels.len());
     let mut macro_sum = 0.0;
+    let mut macro_classes = 0usize;
     for label in &labels {
         let tp = *tp.get(label).unwrap_or(&0) as f64;
         let fp = *fp.get(label).unwrap_or(&0) as f64;
@@ -93,10 +94,19 @@ pub fn evaluate(gold: &[String], predicted: &[String]) -> Report {
         } else {
             0.0
         };
-        macro_sum += f1;
+        let class_support = *support.get(label).unwrap_or(&0);
+        // Standard macro-F1 averages over classes that exist in the gold
+        // set. Predicted-only (hallucinated) labels still get a per-class
+        // row — their false positives already penalise the gold classes'
+        // precision — but averaging in their structural 0.0 F1 would
+        // deflate the macro score below the paper's Table 5 definition.
+        if class_support > 0 {
+            macro_sum += f1;
+            macro_classes += 1;
+        }
         per_class.push((
             label.to_string(),
-            ClassMetrics { precision, recall, f1, support: *support.get(label).unwrap_or(&0) },
+            ClassMetrics { precision, recall, f1, support: class_support },
         ));
     }
     let total = gold.len();
@@ -104,7 +114,7 @@ pub fn evaluate(gold: &[String], predicted: &[String]) -> Report {
     // Micro F1 over single-label classification equals accuracy.
     Report {
         per_class,
-        macro_f1: if labels.is_empty() { 0.0 } else { macro_sum / labels.len() as f64 },
+        macro_f1: if macro_classes == 0 { 0.0 } else { macro_sum / macro_classes as f64 },
         micro_f1: accuracy,
         accuracy,
         total,
@@ -189,6 +199,19 @@ mod tests {
         assert_eq!(a.precision, 0.0);
         assert_eq!(a.recall, 0.0);
         assert_eq!(a.f1, 0.0);
+    }
+
+    #[test]
+    fn macro_f1_ignores_predicted_only_classes() {
+        // gold = [a, a], pred = [a, b]: class a has f1 = 2/3; class b has
+        // zero gold support (hallucinated prediction). Standard macro-F1
+        // averages over gold classes only → 2/3, not (2/3 + 0)/2 = 1/3.
+        let r = evaluate(&s(&["a", "a"]), &s(&["a", "b"]));
+        assert!((r.macro_f1 - 2.0 / 3.0).abs() < 1e-12, "macro_f1 = {}", r.macro_f1);
+        // The hallucinated class still appears per-class, with support 0.
+        let b = r.class("b").unwrap();
+        assert_eq!(b.support, 0);
+        assert_eq!(b.f1, 0.0);
     }
 
     #[test]

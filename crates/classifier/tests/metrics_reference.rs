@@ -38,9 +38,15 @@ fn label_in_predictions_only_still_reported() {
     assert_eq!(x.support, 0);
     assert_eq!(x.precision, 0.0);
     assert_eq!(x.f1, 0.0);
-    // Macro averages over the union of labels (the paper's per-intent
-    // table lists every intent, predicted or not).
+    // The per-class table lists every label, predicted or not (the
+    // paper's per-intent table shape)…
     assert_eq!(r.per_class.len(), 2);
+    // …but macro-F1 averages over gold-support classes only: the
+    // hallucination costs class `a` recall (f1 = 2/3), it does not also
+    // average in a structural zero for `x`.
+    let a = r.class("a").unwrap();
+    assert!((a.f1 - 2.0 / 3.0).abs() < 1e-12);
+    assert!((r.macro_f1 - a.f1).abs() < 1e-12, "macro_f1 = {}", r.macro_f1);
 }
 
 #[test]

@@ -1,0 +1,32 @@
+//! # obcs-faults
+//!
+//! The robustness layer for the online turn pipeline: a typed error
+//! taxonomy ([`ObcsError`]), deterministic seeded fault injection
+//! ([`FaultPlan`] / [`FaultInjector`]), and the retry/backoff/deadline
+//! policy the engine degrades under ([`ResilienceConfig`],
+//! [`run_resilient`]).
+//!
+//! The paper's §6 repair machinery covers *user* errors (misspellings,
+//! ambiguity, low-confidence intents); this crate covers *system* errors
+//! — a KB query that fails or times out, a classifier that collapses, an
+//! annotator that drops its spans — and guarantees each one surfaces as
+//! a user-visible degraded reply instead of a panic or a silent empty
+//! answer. Design notes: DESIGN.md §11.
+//!
+//! Like the telemetry `Recorder`, the injector is a trait object the
+//! engine always holds: production installs [`NoFaults`] (one virtual
+//! dispatch, no other cost), the chaos harness installs
+//! [`PlannedFaults`]. Injection decisions are stateless hashes of
+//! `(seed, stage, utterance)`, so a sharded chaos replay produces
+//! bit-for-bit identical fault, retry, and degradation counters at any
+//! parallelism.
+
+pub mod error;
+pub mod plan;
+pub mod resilience;
+
+pub use error::ObcsError;
+pub use plan::{
+    FaultInjector, FaultKind, FaultPlan, FaultStage, InjectedFault, NoFaults, PlannedFaults,
+};
+pub use resilience::{run_resilient, Recovery, ResilienceConfig};

@@ -140,7 +140,12 @@ pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> 
         .iter()
         .map(|p| match p {
             Predicate::ColumnLiteral { column, op, literal } => {
-                Ok((resolve(column)?, *op, PredRhs::Literal(literal.clone())))
+                // CONTAINS needles are lowered once here, not once per row.
+                let rhs = match (op, literal.as_text()) {
+                    (CompareOp::Contains, Some(t)) => PredRhs::Needle(t.to_lowercase()),
+                    _ => PredRhs::Literal(literal.clone()),
+                };
+                Ok((resolve(column)?, *op, rhs))
             }
             Predicate::ColumnColumn { left, op, right } => {
                 Ok((resolve(left)?, *op, PredRhs::Column(resolve(right)?)))
@@ -150,11 +155,13 @@ pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> 
     tuples.retain(|tuple| {
         preds.iter().all(|(bound, op, rhs)| {
             let lhs = &tuple[bound.slot][bound.col];
-            let rhs_val = match rhs {
-                PredRhs::Literal(v) => v,
-                PredRhs::Column(b) => &tuple[b.slot][b.col],
-            };
-            compare(lhs, *op, rhs_val)
+            match rhs {
+                PredRhs::Literal(v) => compare(lhs, *op, v),
+                PredRhs::Column(b) => compare(lhs, *op, &tuple[b.slot][b.col]),
+                PredRhs::Needle(needle) => {
+                    lhs.as_text().is_some_and(|s| contains_lowered(s, needle))
+                }
+            }
         })
     });
 
@@ -230,6 +237,8 @@ pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> 
 enum PredRhs {
     Literal(Value),
     Column(Bound),
+    /// Pre-lowered CONTAINS needle (text literal predicates only).
+    Needle(String),
 }
 
 fn compare(lhs: &Value, op: CompareOp, rhs: &Value) -> bool {
@@ -249,28 +258,67 @@ fn compare(lhs: &Value, op: CompareOp, rhs: &Value) -> bool {
             _ => false,
         },
         CompareOp::Contains => match (lhs.as_text(), rhs.as_text()) {
-            (Some(s), Some(needle)) => s.to_lowercase().contains(&needle.to_lowercase()),
+            (Some(s), Some(needle)) => contains_lowered(s, &needle.to_lowercase()),
             _ => false,
         },
     }
 }
 
-/// SQL LIKE with `%` (any sequence) and `_` (any single char) wildcards.
-fn like_match(s: &str, pattern: &str) -> bool {
-    fn rec(s: &[char], p: &[char]) -> bool {
-        match p.first() {
-            None => s.is_empty(),
-            Some('%') => {
-                // Try consuming 0..=len chars.
-                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
-            }
-            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
-            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
-        }
+/// Case-insensitive substring test against a pre-lowered needle. ASCII
+/// text (the overwhelmingly common case in this KB) is scanned without
+/// allocating; anything else falls back to a full lowercase pass.
+fn contains_lowered(haystack: &str, needle_lower: &str) -> bool {
+    if haystack.is_ascii() && needle_lower.is_ascii() {
+        let h = haystack.as_bytes();
+        let n = needle_lower.as_bytes();
+        n.is_empty() || h.windows(n.len()).any(|w| w.eq_ignore_ascii_case(n))
+    } else {
+        haystack.to_lowercase().contains(needle_lower)
     }
+}
+
+/// SQL LIKE with `%` (any sequence) and `_` (any single char) wildcards.
+///
+/// Iterative two-pointer matcher: on a mismatch it backtracks to the most
+/// recent `%` and lets it swallow one more character. Worst case is
+/// O(|s|·|pattern|) — the naive recursive formulation is exponential on
+/// patterns like `%a%a%a%b`, which generated traffic can produce.
+fn like_match(s: &str, pattern: &str) -> bool {
     let s: Vec<char> = s.chars().collect();
     let p: Vec<char> = pattern.chars().collect();
-    rec(&s, &p)
+    let (mut si, mut pi) = (0, 0);
+    // Position after the last `%`, and the text index it currently covers.
+    let mut star: Option<(usize, usize)> = None;
+    while si < s.len() {
+        match p.get(pi) {
+            Some('%') => {
+                star = Some((pi + 1, si));
+                pi += 1;
+            }
+            Some('_') => {
+                si += 1;
+                pi += 1;
+            }
+            Some(&c) if c == s[si] => {
+                si += 1;
+                pi += 1;
+            }
+            _ => match star {
+                Some((star_pi, star_si)) => {
+                    // Extend the last `%` by one character and retry.
+                    star = Some((star_pi, star_si + 1));
+                    pi = star_pi;
+                    si = star_si + 1;
+                }
+                None => return false,
+            },
+        }
+    }
+    // Only trailing `%`s may remain unconsumed.
+    while p.get(pi) == Some(&'%') {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 #[cfg(test)]
@@ -456,5 +504,84 @@ mod tests {
         assert!(like_match("ac", "a%c"));
         assert!(!like_match("ab", "a%c"));
         assert!(like_match("a%b", "a%b")); // literal interpretation via %
+        assert!(like_match("abc", "%%%"));
+        assert!(like_match("abc", "%b%"));
+        assert!(like_match("abc", "_%_"));
+        assert!(!like_match("ab", "_%_%_"));
+        assert!(like_match("aaab", "%a_b"));
+        assert!(!like_match("abc", "%d%"));
+    }
+
+    #[test]
+    fn like_match_pathological_pattern_terminates_fast() {
+        // The old recursive matcher was exponential on this shape: every
+        // `%` forked over all remaining suffixes. 2^40+ steps — hours.
+        // The two-pointer matcher is bounded by |s|·|pattern| steps.
+        let s = "a".repeat(400);
+        let pattern = format!("{}b", "%a".repeat(20));
+        let start = std::time::Instant::now();
+        assert!(!like_match(&s, &pattern));
+        assert!(like_match(&format!("{s}b"), &pattern));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "pathological LIKE took {:?} — backtracking blow-up regressed",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn like_match_agrees_with_recursive_reference() {
+        // Reference implementation: the old (correct but exponential)
+        // recursive matcher, safe at these tiny sizes.
+        fn reference(s: &[char], p: &[char]) -> bool {
+            match p.first() {
+                None => s.is_empty(),
+                Some('%') => (0..=s.len()).any(|k| reference(&s[k..], &p[1..])),
+                Some('_') => !s.is_empty() && reference(&s[1..], &p[1..]),
+                Some(c) => s.first() == Some(c) && reference(&s[1..], &p[1..]),
+            }
+        }
+        let alphabet = ['a', 'b', '%', '_'];
+        // Exhaustive over all strings/patterns of length ≤ 3 over {a,b}
+        // × patterns of length ≤ 3 over {a,b,%,_}: 2^0..3 × 4^0..3.
+        let mut strings = vec![String::new()];
+        for _ in 0..3 {
+            let next: Vec<String> = strings
+                .iter()
+                .flat_map(|s| ['a', 'b'].iter().map(move |c| format!("{s}{c}")))
+                .collect();
+            strings.extend(next);
+        }
+        let mut patterns = vec![String::new()];
+        for _ in 0..3 {
+            let next: Vec<String> = patterns
+                .iter()
+                .flat_map(|p| alphabet.iter().map(move |c| format!("{p}{c}")))
+                .collect();
+            patterns.extend(next);
+        }
+        for s in &strings {
+            let sc: Vec<char> = s.chars().collect();
+            for p in &patterns {
+                let pc: Vec<char> = p.chars().collect();
+                assert_eq!(
+                    like_match(s, p),
+                    reference(&sc, &pc),
+                    "disagreement on s={s:?} pattern={p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contains_lowered_matches_unicode_and_ascii() {
+        assert!(contains_lowered("Ibuprofen", "ibu"));
+        assert!(contains_lowered("IBUPROFEN", "profen"));
+        assert!(!contains_lowered("Aspirin", "ibu"));
+        assert!(contains_lowered("anything", ""));
+        assert!(!contains_lowered("ab", "abc"));
+        // Non-ASCII falls back to full lowercasing.
+        assert!(contains_lowered("Fiebersaft für Kinder", "für"));
+        assert!(contains_lowered("ÜBERDOSIS", "überdosis"));
     }
 }

@@ -181,6 +181,18 @@ fn label_column(kb: &KnowledgeBase, table: &str) -> Option<String> {
     first_text.map(str::to_string)
 }
 
+/// How strongly an FK column name matches a (snake-cased) relationship
+/// name: exact match (ignoring a trailing `_id`) ranks above the length of
+/// the shared suffix, so `drug_class_id` wins `drug_id` for relationship
+/// `drug_class` — and loses it for `drug`.
+fn fk_affinity(column: &str, rel_snake: &str) -> (bool, usize) {
+    let lower = column.to_lowercase();
+    let base = lower.strip_suffix("_id").unwrap_or(&lower);
+    let common_suffix =
+        base.chars().rev().zip(rel_snake.chars().rev()).take_while(|(a, b)| a == b).count();
+    (base == rel_snake, common_suffix)
+}
+
 fn find_join(kb: &KnowledgeBase, src: &str, tgt: &str, rel_name: &str) -> Option<JoinPath> {
     // A foreign key held by `from` that references `to`, as a join step
     // stated left-to-right from `to`'s perspective when needed.
@@ -189,12 +201,22 @@ fn find_join(kb: &KnowledgeBase, src: &str, tgt: &str, rel_name: &str) -> Option
         let fks: Vec<_> =
             t.schema.foreign_keys.iter().filter(|fk| fk.references_table == to).collect();
         let chosen = if fks.len() > 1 {
-            // Prefer an FK whose column name resembles the relationship.
-            let rel = rel_name.to_lowercase();
+            // Pick the FK whose column name best matches the relationship:
+            // exact (modulo `_id`) beats longest common suffix beats
+            // nothing, with a deterministic tie-break. A bare substring
+            // test bound the wrong key when names overlap (`drug_id`
+            // shadowing `drug_class_id` and vice versa).
+            let rel_snake = snake_case(rel_name);
             fks.iter()
-                .find(|fk| fk.column.to_lowercase().contains(&rel))
+                .max_by(|a, b| {
+                    fk_affinity(&a.column, &rel_snake)
+                        .cmp(&fk_affinity(&b.column, &rel_snake))
+                        // Prefer the shorter, then lexicographically
+                        // smaller column name.
+                        .then_with(|| b.column.len().cmp(&a.column.len()))
+                        .then_with(|| b.column.cmp(&a.column))
+                })
                 .copied()
-                .or_else(|| fks.first().copied())
         } else {
             fks.first().copied()
         };
@@ -335,6 +357,66 @@ mod tests {
         let rev = path.reversed();
         assert_eq!(rev.steps[0].left_table, "indication");
         assert_eq!(rev.steps[1].right_table, "drug");
+    }
+
+    #[test]
+    fn overlapping_fk_names_bind_the_right_key() {
+        // Two relationships into tables whose FK column names overlap as
+        // substrings: `drug_id` vs `drug_class_id`. The old lowercase
+        // `contains` chooser could bind `drug_class` through `drug_id`
+        // (and vice versa) depending on declaration order.
+        let onto = OntologyBuilder::new("m")
+            .data("Prescription", &["note"])
+            .data("Drug", &["name"])
+            .data("DrugClass", &["name"])
+            .relation("drug", "Prescription", "Drug")
+            .relation("drug_class", "Prescription", "Drug")
+            .build()
+            .unwrap();
+        let mut kb = KnowledgeBase::new();
+        kb.create_table(
+            TableSchema::new("drug")
+                .column("drug_id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .primary_key("drug_id"),
+        )
+        .unwrap();
+        // Both FKs reference `drug` (the class is modelled as a
+        // representative drug), so the chooser must disambiguate by name.
+        kb.create_table(
+            TableSchema::new("prescription")
+                .column("prescription_id", ColumnType::Int)
+                .column("drug_class_id", ColumnType::Int)
+                .column("drug_id", ColumnType::Int)
+                .column("note", ColumnType::Text)
+                .primary_key("prescription_id")
+                .foreign_key("drug_class_id", "drug", "drug_id")
+                .foreign_key("drug_id", "drug", "drug_id"),
+        )
+        .unwrap();
+        let m = OntologyMapping::infer(&onto, &kb);
+        let rel_drug = onto.object_properties().iter().find(|op| op.name == "drug").unwrap();
+        let rel_class = onto.object_properties().iter().find(|op| op.name == "drug_class").unwrap();
+        let drug_path = m.join(rel_drug.id).expect("drug relationship mapped");
+        assert_eq!(
+            drug_path.steps[0].left_column, "drug_id",
+            "`drug` must not bind through drug_class_id: {drug_path:?}"
+        );
+        let class_path = m.join(rel_class.id).expect("drug_class relationship mapped");
+        assert_eq!(
+            class_path.steps[0].left_column, "drug_class_id",
+            "`drug_class` must bind its exact column: {class_path:?}"
+        );
+    }
+
+    #[test]
+    fn fk_affinity_prefers_exact_then_suffix() {
+        // Exact (modulo _id) beats everything.
+        assert!(fk_affinity("drug_class_id", "drug_class") > fk_affinity("drug_id", "drug_class"));
+        assert!(fk_affinity("drug_id", "drug") > fk_affinity("drug_class_id", "drug"));
+        // Longest common suffix ranks next: `interacting_drug_id` shares
+        // the `drug` suffix with relationship `drug`; `class_id` none.
+        assert!(fk_affinity("interacting_drug_id", "drug") > fk_affinity("class_id", "drug"));
     }
 
     #[test]

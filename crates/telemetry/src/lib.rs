@@ -93,4 +93,17 @@ pub mod metric {
     pub const KB_QUERIES: &str = "kb_queries";
     /// Counter: KB rows returned (label empty).
     pub const KB_ROWS: &str = "kb_rows";
+    /// Counter: injected faults by fault-kind label (`kb_failure`,
+    /// `kb_timeout`, `classifier_collapse`, `annotation_dropout`).
+    pub const FAULTS: &str = "fault";
+    /// Counter: retry attempts by pipeline-stage label.
+    pub const RETRIES: &str = "retry";
+    /// Counter: injected faults cleared by retrying, by fault-kind label.
+    pub const FAULT_RECOVERED: &str = "fault_recovered";
+    /// Counter: degraded (apology/fallback) replies by cause label
+    /// (`kb`, `classifier`, `annotator`, `nlq`, `engine`).
+    pub const DEGRADED: &str = "degraded";
+    /// Counter: non-injected pipeline errors swallowed on the historical
+    /// template-skip path, by cause label.
+    pub const PIPELINE_ERRORS: &str = "pipeline_error";
 }
