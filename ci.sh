@@ -29,6 +29,10 @@ cargo run -q --release -p obcs-lint --bin spacelint -- --deny-warnings artifacts
 echo "==> repro perf --quick --check BENCH_perf.json"
 # Perf smoke: re-measures the quick profile and fails on a malformed
 # baseline or any stage >5x slower than the committed BENCH_perf.json.
+# The cached_replay stage also carries a committed speedup floor
+# (min_speedup in the baseline): the run fails if the plan/result/NLU
+# caches stop delivering at least that speedup over a cache-disabled
+# replay of the same workload.
 cargo run -q --release -p obcs-bench --bin repro -- perf --quick --check BENCH_perf.json
 
 echo "==> repro trace --quick"
@@ -41,8 +45,10 @@ cargo run -q --release -p obcs-bench --bin repro -- trace --quick \
 echo "==> repro chaos --quick"
 # Robustness smoke: replays the quick profile under the seeded fault plan
 # and fails on a panic, a nondeterministic trace/record sequence across
-# parallelism, or any injected fault that was neither recovered by a
-# retry nor surfaced as a degraded reply.
+# parallelism, a caches-off replay that diverges from the cached one
+# (DESIGN.md §12: caching must be observationally invisible), or any
+# injected fault that was neither recovered by a retry nor surfaced as
+# a degraded reply.
 cargo run -q --release -p obcs-bench --bin repro -- chaos --quick > /dev/null
 
 echo "CI gate passed."

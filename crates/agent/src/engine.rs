@@ -187,6 +187,43 @@ impl ConversationAgent {
         Arc::clone(&self.nlu)
     }
 
+    /// Enables or disables every cache layer of this agent's pipeline:
+    /// the KB's plan/result caches and the NLU classify/recognize memo
+    /// (DESIGN.md §12). All layers are on by default. Like
+    /// [`nlu_mut`](Self::nlu_mut), the NLU side requires sole ownership —
+    /// configure caching *before* forking sessions.
+    pub fn set_caching(&mut self, enabled: bool) {
+        self.kb.set_cache_enabled(enabled);
+        Arc::get_mut(&mut self.nlu)
+            .expect("NLU is shared by forked sessions; configure caching before forking")
+            .set_memo_enabled(enabled);
+    }
+
+    /// Whether the pipeline caches are enabled (they toggle together).
+    pub fn caching_enabled(&self) -> bool {
+        self.kb.cache_enabled()
+    }
+
+    /// Counters accumulated by this session's KB caches and the shared
+    /// NLU memo. Note the memo lives behind the shared `Arc`, so forks
+    /// see (and contribute to) one common classify/recognize count.
+    pub fn cache_stats(&self) -> (obcs_kb::KbCacheStats, crate::nlu::NluMemoStats) {
+        (self.kb.cache_stats(), self.nlu.memo_stats())
+    }
+
+    /// Publishes the cache counters through `rec` under the shared layer
+    /// labels (`kb_plan`, `kb_result`, `nlu_classify`, `nlu_recognize`).
+    /// Call on demand — end of a replay, a stats endpoint — never per
+    /// turn: hit patterns depend on shard layout, and per-turn recording
+    /// would break trace determinism (DESIGN.md §12).
+    pub fn record_cache_stats(&self, rec: &dyn Recorder) {
+        let (kb, memo) = self.cache_stats();
+        obcs_cache::record_stats(kb.plan, "kb_plan", rec);
+        obcs_cache::record_stats(kb.result, "kb_result", rec);
+        obcs_cache::record_stats(memo.classify, "nlu_classify", rec);
+        obcs_cache::record_stats(memo.recognize, "nlu_recognize", rec);
+    }
+
     /// Stamps out an independent conversation session sharing this agent's
     /// trained NLU: the classifier and lexicon are behind the same `Arc`
     /// (no retraining), while the context, pending disambiguation, and log
@@ -1262,6 +1299,76 @@ mod tests {
         let mut fork = a.fork_session();
         let r = fork.respond("show me the precaution for Aspirin");
         assert_eq!(r.kind, ReplyKind::Degraded, "{r:?}");
+    }
+
+    #[test]
+    fn abort_forgets_the_last_response() {
+        // Regression: `reset_topic` left `last_agent_response` (and
+        // `last_terms`) populated, so "never mind" followed by a repeat
+        // request replayed the aborted topic's answer.
+        let mut a = agent();
+        let r = a.respond("show me the precaution for Aspirin");
+        assert!(r.text.contains("precaution info 0"), "{}", r.text);
+        let r = a.respond("never mind");
+        assert_eq!(r.kind, ReplyKind::Management, "{r:?}");
+        let r = a.respond("can you repeat that?");
+        assert!(
+            !r.text.contains("precaution info 0"),
+            "aborted topic's answer must not replay: {}",
+            r.text
+        );
+        assert!(r.text.contains("haven't said anything"), "{}", r.text);
+    }
+
+    #[test]
+    fn intent_switch_drops_stale_proposal() {
+        // Regression: `set_intent` kept `proposal`/`rejected_proposals`
+        // across an intent switch, so a "yes" long after the user moved
+        // on fired the abandoned proposal.
+        let mut a = agent();
+        let r = a.respond("Tazarotene");
+        assert_eq!(r.kind, ReplyKind::Proposal, "{r:?}");
+        // The user ignores the offer and asks something concrete.
+        let r = a.respond("show me the precaution for Aspirin");
+        assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
+        // "yes" now has nothing on the table — it must not fulfil the
+        // abandoned Tazarotene proposal.
+        let r = a.respond("yes");
+        assert_ne!(r.kind, ReplyKind::Fulfilment, "stale proposal fired: {r:?}");
+        assert_eq!(r.kind, ReplyKind::Management, "{r:?}");
+    }
+
+    #[test]
+    fn caching_is_invisible_to_replies_and_reports_stats() {
+        use obcs_telemetry::CollectingRecorder;
+        let mut cached = agent();
+        let mut uncached = agent();
+        uncached.set_caching(false);
+        assert!(cached.caching_enabled() && !uncached.caching_enabled());
+        let script = [
+            "show me the precaution for Aspirin",
+            "show me the precaution for Aspirin",
+            "what drug treats Fever?",
+            "show me the precaution for Aspirin",
+        ];
+        for u in script {
+            assert_eq!(cached.respond(u), uncached.respond(u), "cache changed a reply for {u:?}");
+        }
+        let (kb, memo) = cached.cache_stats();
+        assert!(kb.result.hits >= 1, "repeated query served from the result cache: {kb:?}");
+        assert!(memo.classify.hits >= 1, "repeated utterance served from the memo: {memo:?}");
+        let (kb, _) = uncached.cache_stats();
+        assert_eq!(kb.result.lookups(), 0, "disabled caches see no traffic");
+
+        let rec = CollectingRecorder::ticks();
+        cached.record_cache_stats(&rec);
+        let report = rec.take_report();
+        for layer in ["kb_plan", "kb_result", "nlu_classify", "nlu_recognize"] {
+            assert!(
+                report.counters.contains_key(&("cache_hit".into(), layer.into())),
+                "missing cache_hit counter for layer {layer}"
+            );
+        }
     }
 
     #[test]

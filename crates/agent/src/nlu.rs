@@ -2,6 +2,9 @@
 //! bootstrapped training set plus dictionary-based entity recognition with
 //! synonyms and partial-name disambiguation (paper §6.1).
 
+use std::sync::{Mutex, MutexGuard};
+
+use obcs_cache::{CacheConfig, CacheStats, GenCache};
 use obcs_classifier::logreg::{LogReg, LogRegConfig};
 use obcs_classifier::naive_bayes::{NaiveBayes, NaiveBayesConfig};
 use obcs_classifier::{Classifier, Dataset};
@@ -37,6 +40,47 @@ pub enum ClassifierKind {
     LogisticRegression,
 }
 
+/// Hit/miss counters of the NLU memo's two layers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NluMemoStats {
+    /// Classification memo (`nlu_classify` telemetry layer).
+    pub classify: CacheStats,
+    /// Entity-recognition memo (`nlu_recognize` telemetry layer).
+    pub recognize: CacheStats,
+}
+
+/// Memoisation of classify/recognize on repeated utterances (DESIGN.md
+/// §12). Both results are pure functions of the utterance and the
+/// lexicon/classifier state, so entries are validated against a
+/// generation bumped on every post-build mutation
+/// ([`Nlu::add_instance_synonym`]). The memo sits inside `Nlu`, behind
+/// the engine's `Arc`, so forked sessions share one read-mostly memo —
+/// the `Mutex` keeps `Nlu: Sync` across shard threads.
+struct NluMemo {
+    enabled: bool,
+    classify: Mutex<GenCache<Option<(IntentId, f64)>>>,
+    recognize: Mutex<GenCache<RecognizedEntities>>,
+}
+
+/// Utterances are short and results small; cap by count only.
+const MEMO_ENTRIES: usize = 2048;
+
+impl Default for NluMemo {
+    fn default() -> Self {
+        NluMemo {
+            enabled: true,
+            classify: Mutex::new(GenCache::new(CacheConfig::entries(MEMO_ENTRIES))),
+            recognize: Mutex::new(GenCache::new(CacheConfig::entries(MEMO_ENTRIES))),
+        }
+    }
+}
+
+/// Locks a memo layer, recovering from a poisoned mutex (the memo holds
+/// no cross-panic invariants).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// NLU component: classifier + entity lexicon.
 pub struct Nlu {
     classifier: Box<dyn Classifier + Send + Sync>,
@@ -47,6 +91,9 @@ pub struct Nlu {
     entity_only: Vec<(ConceptId, IntentId)>,
     /// Concept names needed for entity masking during classification.
     onto: Ontology,
+    /// Bumped on every post-build mutation; validates memo entries.
+    generation: u64,
+    memo: NluMemo,
 }
 
 impl Nlu {
@@ -126,13 +173,46 @@ impl Nlu {
                 _ => None,
             })
             .collect();
-        Nlu { classifier, lexicon, intents_by_name, entity_only, onto: onto.clone() }
+        Nlu {
+            classifier,
+            lexicon,
+            intents_by_name,
+            entity_only,
+            onto: onto.clone(),
+            generation: 0,
+            memo: NluMemo::default(),
+        }
     }
 
     /// Registers an extra instance synonym (e.g. brand names).
     pub fn add_instance_synonym(&mut self, concept: ConceptId, canonical: &str, synonym: &str) {
         self.lexicon
             .add_phrase(synonym, Evidence::Instance { concept, value: canonical.to_string() });
+        // The lexicon changed: memoised results may now be stale.
+        self.generation += 1;
+    }
+
+    /// Enables or disables the classify/recognize memo. Disabling drops
+    /// every memoised entry (counters are kept).
+    pub fn set_memo_enabled(&mut self, on: bool) {
+        self.memo.enabled = on;
+        if !on {
+            lock(&self.memo.classify).clear();
+            lock(&self.memo.recognize).clear();
+        }
+    }
+
+    /// Whether the classify/recognize memo is enabled.
+    pub fn memo_enabled(&self) -> bool {
+        self.memo.enabled
+    }
+
+    /// Counters accumulated by the memo layers so far.
+    pub fn memo_stats(&self) -> NluMemoStats {
+        NluMemoStats {
+            classify: lock(&self.memo.classify).stats(),
+            recognize: lock(&self.memo.recognize).stats(),
+        }
     }
 
     /// Classifies the intent of an utterance; returns `(intent,
@@ -149,11 +229,27 @@ impl Nlu {
         utterance: &str,
         rec: &dyn obcs_telemetry::Recorder,
     ) -> Option<(IntentId, f64)> {
+        if self.memo.enabled {
+            let memoised = lock(&self.memo.classify).get(utterance, self.generation);
+            if let Some(result) = memoised {
+                // Replay the miss path's exact span structure — one
+                // `classify` span, nothing inside it — so a memo hit is
+                // tick-identical to a miss and traces stay bit-for-bit
+                // equal with the memo on or off (DESIGN.md §12).
+                let _span = obcs_telemetry::span(rec, obcs_telemetry::stage::CLASSIFY);
+                return result;
+            }
+        }
         let pred = self.classifier.predict_traced(&self.lexicon.mask(utterance, &self.onto), rec);
-        self.intents_by_name
+        let result = self
+            .intents_by_name
             .iter()
             .find(|(name, _)| *name == pred.label)
-            .map(|&(_, id)| (id, pred.confidence))
+            .map(|&(_, id)| (id, pred.confidence));
+        if self.memo.enabled {
+            lock(&self.memo.classify).put(utterance, self.generation, result, 1);
+        }
+        result
     }
 
     /// Stateless intent detection as the deployed system would label a
@@ -187,6 +283,16 @@ impl Nlu {
         utterance: &str,
         rec: &dyn obcs_telemetry::Recorder,
     ) -> RecognizedEntities {
+        if self.memo.enabled {
+            let memoised = lock(&self.memo.recognize).get(utterance, self.generation);
+            if let Some(result) = memoised {
+                // One `annotate` span, like the miss path (partial
+                // matching runs outside the span there); see
+                // `classify_traced` for the determinism argument.
+                let _span = obcs_telemetry::span(rec, obcs_telemetry::stage::ANNOTATE);
+                return result;
+            }
+        }
         let mut out = RecognizedEntities::default();
         for ann in self.lexicon.annotate_traced(utterance, rec) {
             match ann.evidence {
@@ -209,6 +315,9 @@ impl Nlu {
             if !candidates.is_empty() && candidates.len() <= 8 {
                 out.partial = Some((utterance.trim().to_string(), candidates));
             }
+        }
+        if self.memo.enabled {
+            lock(&self.memo.recognize).put(utterance, self.generation, out.clone(), 1);
         }
         out
     }
@@ -318,6 +427,65 @@ mod tests {
         let expected = space.intent_by_name("Precautions of Drug").unwrap();
         assert_eq!(intent, expected.id);
         assert!(conf > 0.2, "confidence {conf}");
+    }
+
+    #[test]
+    fn memo_hits_on_repeats_and_matches_unmemoised() {
+        let (_, _, nlu) = nlu();
+        assert!(nlu.memo_enabled(), "memo is on by default");
+        let utterance = "show me the precaution for Aspirin";
+        let first = nlu.classify(utterance);
+        let again = nlu.classify(utterance);
+        assert_eq!(first, again);
+        let rec1 = nlu.recognize(utterance);
+        let rec2 = nlu.recognize(utterance);
+        assert_eq!(rec1, rec2);
+        let stats = nlu.memo_stats();
+        assert_eq!(stats.classify.hits, 1);
+        assert_eq!(stats.recognize.hits, 1);
+    }
+
+    #[test]
+    fn add_synonym_invalidates_memo() {
+        let (onto, _, mut nlu) = nlu();
+        let drug = onto.concept_id("Drug").unwrap();
+        assert!(nlu.recognize("dosage of acetylsalicylic acid").instances.is_empty());
+        nlu.add_instance_synonym(drug, "Aspirin", "acetylsalicylic acid");
+        let rec = nlu.recognize("dosage of acetylsalicylic acid");
+        assert!(
+            rec.instances.contains(&(drug, "Aspirin".to_string())),
+            "memoised pre-synonym result must not serve"
+        );
+        assert_eq!(nlu.memo_stats().recognize.invalidations, 1);
+    }
+
+    #[test]
+    fn disabling_memo_clears_entries() {
+        let (_, _, mut nlu) = nlu();
+        nlu.recognize("aspirin");
+        nlu.set_memo_enabled(false);
+        assert!(!nlu.memo_enabled());
+        nlu.recognize("aspirin");
+        let stats = nlu.memo_stats();
+        assert_eq!(stats.recognize.hits, 0, "no hits once disabled");
+    }
+
+    #[test]
+    fn memo_hit_replays_identical_trace() {
+        use obcs_telemetry::CollectingRecorder;
+        let (_, _, nlu) = nlu();
+        let utterance = "show me the precaution for Aspirin";
+        let miss_rec = CollectingRecorder::ticks();
+        nlu.classify_traced(utterance, &miss_rec);
+        nlu.recognize_traced(utterance, &miss_rec);
+        let hit_rec = CollectingRecorder::ticks();
+        nlu.classify_traced(utterance, &hit_rec);
+        nlu.recognize_traced(utterance, &hit_rec);
+        assert_eq!(
+            miss_rec.take_report().to_jsonl(),
+            hit_rec.take_report().to_jsonl(),
+            "a memo hit must be span- and tick-identical to the miss that filled it"
+        );
     }
 
     #[test]

@@ -30,6 +30,13 @@ use crate::World;
 /// not scheduler noise on a loaded runner.
 pub const MAX_REGRESSION: f64 = 5.0;
 
+/// The committed floor for the `cached_replay` stage: replaying a
+/// repeated fulfilment-heavy mix with the pipeline caches on must beat
+/// the caches-off replay by at least this factor. Unlike the regression
+/// ceiling, this is an absolute speedup requirement recorded in the
+/// baseline and enforced by `check_against`.
+pub const CACHED_REPLAY_FLOOR: f64 = 2.0;
+
 /// How the harness was sized.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfOptions {
@@ -56,6 +63,12 @@ pub struct Comparison {
     pub before_ms: f64,
     pub after_ms: f64,
     pub speedup: f64,
+    /// When set (in the committed baseline), `check_against` fails any
+    /// run of this stage whose speedup falls below the floor. No serde
+    /// attribute: the offline derive shim treats any `skip*` ident as
+    /// `#[serde(skip)]`, and the shim already reads a missing or `null`
+    /// field as `None`, so old baselines stay parseable as-is.
+    pub min_speedup: Option<f64>,
 }
 
 /// The full perf report, as committed to `BENCH_perf.json`.
@@ -80,7 +93,7 @@ fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
 
 fn comparison(name: &str, work: String, before_ms: f64, after_ms: f64) -> Comparison {
     let speedup = if after_ms > 0.0 { before_ms / after_ms } else { f64::INFINITY };
-    Comparison { name: name.to_string(), work, before_ms, after_ms, speedup }
+    Comparison { name: name.to_string(), work, before_ms, after_ms, speedup, min_speedup: None }
 }
 
 /// Runs the full measurement pass.
@@ -177,6 +190,75 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
     assert_eq!(seq, par, "parallel replay diverged from sequential replay");
     comparisons.push(comparison("replay", format!("{interactions} interactions"), before, after));
 
+    // Stage: cached replay — the generation-checked plan/result caches
+    // plus the NLU memo vs the same pipeline with every cache disabled,
+    // over a repeated fulfilment-heavy (KB-bound) utterance mix
+    // (DESIGN.md §12). The committed baseline carries a hard speedup
+    // floor for this stage, not just the regression ceiling.
+    let heavy_intents = [
+        "Precautions of Drug",
+        "Uses of Drug",
+        "Adverse Effects of Drug",
+        "Drugs That Treat Condition",
+        "IV Compatibility of Drug",
+        "Drug-Drug Interactions",
+    ];
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0xcac4e);
+    let mix_n = 40;
+    let mut mix: Vec<String> = Vec::with_capacity(mix_n);
+    while mix.len() < mix_n {
+        for intent in heavy_intents {
+            if let Some(u) = generate(intent, &world.pools, &mut rng) {
+                mix.push(u);
+            }
+        }
+    }
+    mix.truncate(mix_n);
+    let rounds = if opts.quick { 6 } else { 10 };
+    let cached_base = world.agent();
+    let mut uncached_base = world.agent();
+    uncached_base.agent.set_caching(false);
+    // Caches must be value-invisible: identical replies turn for turn,
+    // including the warm rounds.
+    {
+        let mut c = cached_base.agent.fork_session();
+        let mut u = uncached_base.agent.fork_session();
+        for _ in 0..2 {
+            for utterance in &mix {
+                assert_eq!(
+                    c.respond(utterance),
+                    u.respond(utterance),
+                    "caching changed the reply to {utterance:?}"
+                );
+            }
+        }
+    }
+    // One pre-created fork per repetition so log growth never skews the
+    // later repetitions; per-fork KB caches start cold every time.
+    let mut uncached_forks: Vec<_> =
+        (0..reps).map(|_| uncached_base.agent.fork_session()).collect();
+    let before = best_of(reps, || {
+        let mut a = uncached_forks.pop().expect("one fork per rep");
+        for _ in 0..rounds {
+            for utterance in &mix {
+                black_box(a.respond(utterance));
+            }
+        }
+    });
+    let mut cached_forks: Vec<_> = (0..reps).map(|_| cached_base.agent.fork_session()).collect();
+    let after = best_of(reps, || {
+        let mut a = cached_forks.pop().expect("one fork per rep");
+        for _ in 0..rounds {
+            for utterance in &mix {
+                black_box(a.respond(utterance));
+            }
+        }
+    });
+    let mut cached_replay =
+        comparison("cached_replay", format!("{mix_n} utterances x {rounds} rounds"), before, after);
+    cached_replay.min_speedup = Some(CACHED_REPLAY_FLOOR);
+    comparisons.push(cached_replay);
+
     PerfReport {
         mode: if opts.quick { "quick" } else { "full" }.to_string(),
         seed: opts.seed,
@@ -241,6 +323,14 @@ impl PerfReport {
                 .find(|c| c.name == b.name)
                 .ok_or_else(|| format!("stage {:?} missing from this run", b.name))?;
             gate(&b.name, cur.after_ms, b.after_ms)?;
+            if let Some(floor) = b.min_speedup {
+                if cur.speedup < floor {
+                    return Err(format!(
+                        "stage {:?} speedup {:.2}x fell below the committed floor of {floor:.2}x",
+                        b.name, cur.speedup
+                    ));
+                }
+            }
             checked += 1;
         }
         Ok(format!("perf check passed: {checked} stages within {MAX_REGRESSION}x of baseline"))
@@ -279,6 +369,7 @@ mod tests {
                 before_ms: ms * 4.0,
                 after_ms: ms,
                 speedup: 4.0,
+                min_speedup: None,
             }],
         }
     }
@@ -323,6 +414,28 @@ mod tests {
         current.comparisons.clear();
         let err = current.check_against(&baseline).expect_err("should fail");
         assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn speedup_floor_from_the_baseline_is_enforced() {
+        let mut baseline = report(10.0);
+        baseline.comparisons[0].min_speedup = Some(2.0);
+        // 4.0x current speedup clears a 2.0x floor.
+        let current = report(10.0);
+        assert!(current.check_against(&baseline).is_ok());
+        // A run whose speedup collapsed below the floor fails even though
+        // its absolute time is within the regression ceiling.
+        let mut slow = report(10.0);
+        slow.comparisons[0].before_ms = 15.0;
+        slow.comparisons[0].speedup = 1.5;
+        let err = slow.check_against(&baseline).expect_err("floor should trip");
+        assert!(err.contains("floor"), "{err}");
+        // min_speedup in the baseline survives a JSON round-trip, and its
+        // absence stays absent (old baselines remain readable).
+        let parsed: PerfReport = serde_json::from_str(&baseline.to_json()).expect("parses");
+        assert_eq!(parsed.comparisons[0].min_speedup, Some(2.0));
+        let bare: PerfReport = serde_json::from_str(&report(10.0).to_json()).expect("parses");
+        assert_eq!(bare.comparisons[0].min_speedup, None);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! # obcs-cache
+//!
+//! Generation-checked, byte-budgeted LRU caches for the turn pipeline
+//! (see DESIGN.md §12 "Caching").
+//!
+//! Every cache layer in the system — the prepared-plan and result caches
+//! in `obcs-kb`, the NLU memo in `obcs-agent` — is an instance of one
+//! primitive: [`GenCache`], a string-keyed LRU whose entries carry the
+//! *generation* of the underlying data they were computed from. A lookup
+//! passes the current generation; an entry filled at an older generation
+//! is treated as absent (and dropped), so a mutation of the underlying
+//! store can never serve a stale value. Invalidation is O(1) per bump —
+//! nothing is scanned or cleared eagerly.
+//!
+//! The cache also enforces a byte budget (for value-heavy layers such as
+//! KB result sets) and an entry cap, evicting least-recently-used entries
+//! past either limit. [`CacheStats`] counts hits, misses, evictions, and
+//! generation invalidations; [`record_stats`] publishes them through the
+//! `obcs-telemetry` metric vocabulary on demand. Stats are surfaced
+//! *on demand* rather than recorded per lookup: cache warm-up differs
+//! across replay shard layouts, so per-turn hit/miss counters would break
+//! the bit-for-bit determinism contract of traced replays (DESIGN.md §12
+//! spells out the argument).
+//!
+//! `GenCache` itself is not synchronised — callers that share a cache
+//! across threads wrap it in a `Mutex`, which is how both `obcs-kb` and
+//! `obcs-agent` use it.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Sizing limits of one cache instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of entries kept (LRU eviction past it).
+    pub max_entries: usize,
+    /// Total byte budget across all entries (LRU eviction past it).
+    pub max_bytes: usize,
+    /// Values costed above this are not cached at all — one huge result
+    /// must not wipe the whole working set.
+    pub max_entry_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_entries: 1024,
+            max_bytes: 4 << 20,         // 4 MiB
+            max_entry_bytes: 256 << 10, // 256 KiB
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config for caches of small values (plans, predictions) where the
+    /// entry count, not bytes, is the limit that matters.
+    pub fn entries(max_entries: usize) -> Self {
+        CacheConfig { max_entries, max_bytes: usize::MAX, max_entry_bytes: usize::MAX }
+    }
+}
+
+/// Hit/miss/eviction/invalidation counters of one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing usable (includes invalidations).
+    pub misses: u64,
+    /// Entries dropped to stay within the entry/byte budget.
+    pub evictions: u64,
+    /// Entries dropped because their generation no longer matched.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Component-wise sum — for aggregating layers into one view.
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
+        }
+    }
+
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    generation: u64,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// A string-keyed LRU cache whose entries are validated against a data
+/// generation on every lookup (see the crate docs).
+pub struct GenCache<V> {
+    config: CacheConfig,
+    map: HashMap<String, Entry<V>>,
+    /// Recency index: stamp → key. Stamps are unique (monotone counter),
+    /// so the smallest stamp is always the least recently used entry.
+    recency: BTreeMap<u64, String>,
+    next_stamp: u64,
+    bytes: usize,
+    stats: CacheStats,
+}
+
+impl<V> GenCache<V> {
+    pub fn new(config: CacheConfig) -> Self {
+        GenCache {
+            config,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            next_stamp: 0,
+            bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total costed bytes of the live entries.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The counters accumulated so far (kept across `clear`).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every entry; counters are kept.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+        self.bytes = 0;
+    }
+
+    fn touch(&mut self, key: &str) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(entry) = self.map.get_mut(key) {
+            self.recency.remove(&entry.stamp);
+            entry.stamp = stamp;
+            self.recency.insert(stamp, key.to_string());
+        }
+    }
+
+    fn remove(&mut self, key: &str) -> Option<Entry<V>> {
+        let entry = self.map.remove(key)?;
+        self.recency.remove(&entry.stamp);
+        self.bytes -= entry.bytes;
+        Some(entry)
+    }
+
+    fn evict_past_budget(&mut self) {
+        while self.map.len() > self.config.max_entries || self.bytes > self.config.max_bytes {
+            let Some((_, key)) = self.recency.iter().next().map(|(s, k)| (*s, k.clone())) else {
+                break;
+            };
+            self.remove(&key);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+impl<V: Clone> GenCache<V> {
+    /// Looks up `key`, accepting the entry only if it was filled at
+    /// exactly `generation`. A generation mismatch drops the entry and
+    /// counts as both an invalidation and a miss.
+    pub fn get(&mut self, key: &str, generation: u64) -> Option<V> {
+        match self.map.get(key) {
+            Some(entry) if entry.generation == generation => {
+                self.stats.hits += 1;
+                let value = entry.value.clone();
+                self.touch(key);
+                Some(value)
+            }
+            Some(_) => {
+                self.remove(key);
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `value` for `key` at `generation`, costed at `bytes`.
+    /// Values over the per-entry budget are silently not cached; an
+    /// existing entry for the key is replaced.
+    pub fn put(&mut self, key: &str, generation: u64, value: V, bytes: usize) {
+        if bytes > self.config.max_entry_bytes || self.config.max_entries == 0 {
+            return;
+        }
+        self.remove(key);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.bytes += bytes;
+        self.map.insert(key.to_string(), Entry { value, generation, bytes, stamp });
+        self.recency.insert(stamp, key.to_string());
+        self.evict_past_budget();
+    }
+}
+
+/// Publishes one layer's counters through the shared telemetry metric
+/// vocabulary (`cache_hit{layer}`, `cache_miss{layer}`, …). Call this on
+/// demand — at the end of a replay or on a stats endpoint — never inside
+/// the per-turn path, where the hit pattern is shard-layout-dependent and
+/// would break trace determinism (DESIGN.md §12).
+pub fn record_stats(stats: CacheStats, layer: &str, rec: &dyn obcs_telemetry::Recorder) {
+    use obcs_telemetry::metric;
+    rec.add(metric::CACHE_HITS, layer, stats.hits);
+    rec.add(metric::CACHE_MISSES, layer, stats.misses);
+    rec.add(metric::CACHE_EVICTIONS, layer, stats.evictions);
+    rec.add(metric::CACHE_INVALIDATIONS, layer, stats.invalidations);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(entries: usize) -> GenCache<String> {
+        GenCache::new(CacheConfig::entries(entries))
+    }
+
+    #[test]
+    fn get_put_roundtrip_and_stats() {
+        let mut c = cache(8);
+        assert_eq!(c.get("k", 0), None);
+        c.put("k", 0, "v".to_string(), 1);
+        assert_eq!(c.get("k", 0), Some("v".to_string()));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.invalidations), (1, 1, 0, 0));
+        assert_eq!(s.lookups(), 2);
+    }
+
+    #[test]
+    fn generation_mismatch_invalidates() {
+        let mut c = cache(8);
+        c.put("k", 3, "old".to_string(), 1);
+        assert_eq!(c.get("k", 4), None, "stale generation must not serve");
+        assert_eq!(c.len(), 0, "stale entry dropped");
+        assert_eq!(c.stats().invalidations, 1);
+        c.put("k", 4, "new".to_string(), 1);
+        assert_eq!(c.get("k", 4), Some("new".to_string()));
+    }
+
+    #[test]
+    fn lru_eviction_by_entry_cap() {
+        let mut c = cache(2);
+        c.put("a", 0, "1".into(), 1);
+        c.put("b", 0, "2".into(), 1);
+        assert_eq!(c.get("a", 0), Some("1".into()), "touch a so b is LRU");
+        c.put("c", 0, "3".into(), 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("b", 0), None, "b was least recently used");
+        assert_eq!(c.get("a", 0), Some("1".into()));
+        assert_eq!(c.get("c", 0), Some("3".into()));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_and_oversized_values_skip() {
+        let mut c: GenCache<String> =
+            GenCache::new(CacheConfig { max_entries: 100, max_bytes: 10, max_entry_bytes: 8 });
+        c.put("big", 0, "x".into(), 9);
+        assert_eq!(c.len(), 0, "oversized value never cached");
+        c.put("a", 0, "1".into(), 6);
+        c.put("b", 0, "2".into(), 6);
+        assert_eq!(c.len(), 1, "12 bytes > 10-byte budget evicts the older");
+        assert_eq!(c.bytes(), 6);
+        assert_eq!(c.get("b", 0), Some("2".into()));
+    }
+
+    #[test]
+    fn replacing_a_key_updates_bytes() {
+        let mut c: GenCache<String> =
+            GenCache::new(CacheConfig { max_entries: 4, max_bytes: 100, max_entry_bytes: 100 });
+        c.put("k", 0, "v1".into(), 10);
+        c.put("k", 1, "v2".into(), 20);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 20);
+        assert_eq!(c.get("k", 1), Some("v2".into()));
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut c = cache(8);
+        c.put("k", 0, "v".into(), 1);
+        let _ = c.get("k", 0);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.stats().hits, 1, "counters survive a clear");
+    }
+
+    #[test]
+    fn merged_stats_add_component_wise() {
+        let a = CacheStats { hits: 1, misses: 2, evictions: 3, invalidations: 4 };
+        let b = CacheStats { hits: 10, misses: 20, evictions: 30, invalidations: 40 };
+        let m = a.merged(b);
+        assert_eq!((m.hits, m.misses, m.evictions, m.invalidations), (11, 22, 33, 44));
+    }
+
+    #[test]
+    fn record_stats_publishes_metric_counters() {
+        let rec = obcs_telemetry::CollectingRecorder::ticks();
+        record_stats(
+            CacheStats { hits: 5, misses: 2, evictions: 1, invalidations: 3 },
+            "kb_result",
+            &rec,
+        );
+        let report = rec.take_report();
+        assert_eq!(report.counters[&("cache_hit".into(), "kb_result".into())], 5);
+        assert_eq!(report.counters[&("cache_miss".into(), "kb_result".into())], 2);
+        assert_eq!(report.counters[&("cache_evict".into(), "kb_result".into())], 1);
+        assert_eq!(report.counters[&("cache_invalidate".into(), "kb_result".into())], 3);
+    }
+}

@@ -56,12 +56,15 @@ impl ConversationContext {
     }
 
     /// Sets the active intent. Switching to a *different* intent clears the
-    /// pending elicitation but keeps entities — the paper's context reuse:
-    /// a dosage request after a treatment request inherits the condition
-    /// and age group.
+    /// pending elicitation and any open proposal state (a "yes" after the
+    /// switch must not fire an offer the user moved past) but keeps
+    /// entities — the paper's context reuse: a dosage request after a
+    /// treatment request inherits the condition and age group.
     pub fn set_intent(&mut self, intent: IntentId) {
         if self.intent != Some(intent) {
             self.eliciting = None;
+            self.proposal = None;
+            self.rejected_proposals.clear();
         }
         self.intent = Some(intent);
     }
@@ -115,6 +118,10 @@ impl ConversationContext {
         self.eliciting = None;
         self.proposal = None;
         self.rejected_proposals.clear();
+        // Repair state goes too: after an abort, "repeat that" must not
+        // replay the abandoned topic's answer.
+        self.last_agent_response = None;
+        self.last_terms.clear();
     }
 }
 
@@ -168,16 +175,33 @@ mod tests {
     }
 
     #[test]
+    fn intent_switch_drops_proposal_state() {
+        let mut ctx = ConversationContext::new();
+        ctx.proposal = Some(IntentId(5));
+        ctx.rejected_proposals.push(IntentId(6));
+        // Same intent set twice: the proposal survives the first call.
+        ctx.set_intent(IntentId(1));
+        assert!(ctx.proposal.is_none(), "switch to a new intent drops the offer");
+        assert!(ctx.rejected_proposals.is_empty());
+        ctx.proposal = Some(IntentId(7));
+        ctx.set_intent(IntentId(1));
+        assert_eq!(ctx.proposal, Some(IntentId(7)), "re-setting the same intent keeps it");
+    }
+
+    #[test]
     fn reset_topic_clears_entities_keeps_turns() {
         let mut ctx = ConversationContext::new();
         ctx.begin_turn();
         ctx.begin_turn();
         ctx.put_entity(DRUG, "aspirin");
         ctx.set_intent(IntentId(3));
+        ctx.record_response("Here are the precautions", vec!["precaution".into()]);
         ctx.reset_topic();
         assert_eq!(ctx.turn, 2);
         assert!(ctx.intent.is_none());
         assert!(ctx.entities.is_empty());
+        assert!(ctx.last_agent_response.is_none(), "abort forgets the last response");
+        assert!(ctx.last_terms.is_empty());
     }
 
     #[test]

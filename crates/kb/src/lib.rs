@@ -44,5 +44,5 @@ pub mod stats;
 pub mod store;
 pub mod value;
 
-pub use store::{KbError, KnowledgeBase, ResultSet};
+pub use store::{KbCacheStats, KbError, KnowledgeBase, ResultSet};
 pub use value::Value;

@@ -1,5 +1,12 @@
-//! Executor for the SQL subset: binds column references, runs hash joins,
-//! filters, projects, and applies DISTINCT/ORDER BY/LIMIT.
+//! Executor for the SQL subset, split into two phases (DESIGN.md §12):
+//!
+//! * **bind** — schema-dependent name resolution: table lookups, column
+//!   references, predicate lowering, projection naming. Produces a
+//!   [`BoundPlan`] that depends only on the schemas of the referenced
+//!   tables, so the store can reuse it across executions of the same SQL
+//!   text (the prepared-plan cache).
+//! * **execute** — row-dependent work: hash joins, filtering, projection,
+//!   DISTINCT/ORDER BY/LIMIT, driven entirely by a `BoundPlan`.
 
 use std::collections::{HashMap, HashSet};
 
@@ -22,8 +29,36 @@ struct Binding<'a> {
     columns: Vec<&'a str>,
 }
 
-/// Executes a parsed SELECT against the knowledge base.
-pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> {
+/// One bound join: which table fills the new slot, the already-bound
+/// column it matches against, and the key column within the new table.
+#[derive(Debug, Clone)]
+struct BoundJoin {
+    table: String,
+    existing: Bound,
+    incoming: Bound,
+}
+
+/// A fully bound, reusable query plan: every name resolved to slot/column
+/// indices, every predicate lowered, the projection list and output
+/// headers fixed. A plan depends only on the *schemas* of the referenced
+/// tables (which this KB never alters after creation), never on row data —
+/// that is what makes it safe to cache across executions (DESIGN.md §12).
+#[derive(Debug)]
+pub struct BoundPlan {
+    from_table: String,
+    joins: Vec<BoundJoin>,
+    preds: Vec<(Bound, CompareOp, PredRhs)>,
+    projections: Vec<Bound>,
+    out_cols: Vec<String>,
+    distinct: bool,
+    /// ORDER BY as (position in the projection, descending).
+    order: Option<(usize, bool)>,
+    limit: Option<usize>,
+}
+
+/// Binds a parsed SELECT against the current schemas, producing a
+/// reusable [`BoundPlan`].
+pub fn bind(kb: &KnowledgeBase, stmt: &Select) -> Result<BoundPlan, KbError> {
     // Resolve bindings: FROM table plus one per join.
     let mut bindings: Vec<Binding<'_>> = Vec::with_capacity(1 + stmt.joins.len());
     let from_table = kb.table(&stmt.from.table)?;
@@ -87,14 +122,9 @@ pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> 
         }
     };
 
-    // Start with the base table's rows as single-slot tuples.
-    // A tuple is a Vec of row references, one per slot filled so far.
-    let mut tuples: Vec<Vec<&[Value]>> =
-        from_table.rows.iter().map(|r| vec![r.as_slice()]).collect();
-
-    // Apply each join with a hash join on the equality key.
+    // Bind each join's equality key pair.
+    let mut joins: Vec<BoundJoin> = Vec::with_capacity(stmt.joins.len());
     for (join_idx, join) in stmt.joins.iter().enumerate() {
-        let right_table = kb.table(&join.table.table)?;
         let left_bound = resolve(&join.left)?;
         let right_bound = resolve(&join.right)?;
         let new_slot = join_idx + 1;
@@ -109,32 +139,10 @@ pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> 
                 join.table.binding()
             )));
         };
-        // Build hash index over the incoming table's key column.
-        let mut index: HashMap<&Value, Vec<&[Value]>> = HashMap::new();
-        for row in &right_table.rows {
-            let key = &row[incoming.col];
-            if !key.is_null() {
-                index.entry(key).or_default().push(row.as_slice());
-            }
-        }
-        let mut next = Vec::new();
-        for tuple in &tuples {
-            let key = &tuple[existing.slot][existing.col];
-            if key.is_null() {
-                continue;
-            }
-            if let Some(matches) = index.get(key) {
-                for m in matches {
-                    let mut t = tuple.clone();
-                    t.push(m);
-                    next.push(t);
-                }
-            }
-        }
-        tuples = next;
+        joins.push(BoundJoin { table: join.table.table.clone(), existing, incoming });
     }
 
-    // Filter.
+    // Lower predicates.
     let preds: Vec<(Bound, CompareOp, PredRhs)> = stmt
         .predicates
         .iter()
@@ -152,23 +160,23 @@ pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> 
             }
         })
         .collect::<Result<_, KbError>>()?;
-    tuples.retain(|tuple| {
-        preds.iter().all(|(bound, op, rhs)| {
-            let lhs = &tuple[bound.slot][bound.col];
-            match rhs {
-                PredRhs::Literal(v) => compare(lhs, *op, v),
-                PredRhs::Column(b) => compare(lhs, *op, &tuple[b.slot][b.col]),
-                PredRhs::Needle(needle) => {
-                    lhs.as_text().is_some_and(|s| contains_lowered(s, needle))
-                }
-            }
-        })
-    });
 
-    // Project.
+    // Bind the projection. Explicit column items resolve first so
+    // same-named columns projected from *different* bindings can be
+    // qualified (`a.name`, `b.name` on a self-join), matching the `Star`
+    // path; a name projected from a single binding stays unqualified.
+    let mut column_items: Vec<(usize, &ColumnRef, Bound)> = Vec::new();
+    for (pos, item) in stmt.items.iter().enumerate() {
+        if let SelectItem::Column(cref) = item {
+            column_items.push((pos, cref, resolve(cref)?));
+        }
+    }
+    let needs_qualifier = |cref: &ColumnRef, bound: Bound| {
+        column_items.iter().any(|&(_, c, b)| c.column == cref.column && b.slot != bound.slot)
+    };
     let mut out_cols: Vec<String> = Vec::new();
     let mut projections: Vec<Bound> = Vec::new();
-    for item in &stmt.items {
+    for (pos, item) in stmt.items.iter().enumerate() {
         match item {
             SelectItem::Star => {
                 for (slot, b) in bindings.iter().enumerate() {
@@ -183,42 +191,117 @@ pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> 
                 }
             }
             SelectItem::Column(cref) => {
-                out_cols.push(cref.column.clone());
-                projections.push(resolve(cref)?);
+                let &(_, _, bound) = column_items
+                    .iter()
+                    .find(|&&(p, _, _)| p == pos)
+                    .expect("every column item was resolved above");
+                out_cols.push(if needs_qualifier(cref, bound) {
+                    format!("{}.{}", bindings[bound.slot].name, cref.column)
+                } else {
+                    cref.column.clone()
+                });
+                projections.push(bound);
             }
         }
     }
+
+    // Bind ORDER BY to a position in the projection.
+    let order = match &stmt.order_by {
+        Some(order) => {
+            let key_bound = resolve(&order.column)?;
+            let key_pos = projections
+                .iter()
+                .position(|b| b.slot == key_bound.slot && b.col == key_bound.col)
+                .ok_or_else(|| {
+                    KbError::Semantic(format!(
+                        "ORDER BY column `{}` must appear in the SELECT list",
+                        order.column
+                    ))
+                })?;
+            Some((key_pos, order.descending))
+        }
+        None => None,
+    };
+
+    Ok(BoundPlan {
+        from_table: stmt.from.table.clone(),
+        joins,
+        preds,
+        projections,
+        out_cols,
+        distinct: stmt.distinct,
+        order,
+        limit: stmt.limit,
+    })
+}
+
+/// Executes a bound plan against the knowledge base's current rows.
+pub fn execute_bound(kb: &KnowledgeBase, plan: &BoundPlan) -> Result<ResultSet, KbError> {
+    // Start with the base table's rows as single-slot tuples.
+    // A tuple is a Vec of row references, one per slot filled so far.
+    let from_table = kb.table(&plan.from_table)?;
+    let mut tuples: Vec<Vec<&[Value]>> =
+        from_table.rows.iter().map(|r| vec![r.as_slice()]).collect();
+
+    // Apply each join with a hash join on the equality key.
+    for join in &plan.joins {
+        let right_table = kb.table(&join.table)?;
+        // Build hash index over the incoming table's key column.
+        let mut index: HashMap<&Value, Vec<&[Value]>> = HashMap::new();
+        for row in &right_table.rows {
+            let key = &row[join.incoming.col];
+            if !key.is_null() {
+                index.entry(key).or_default().push(row.as_slice());
+            }
+        }
+        let mut next = Vec::new();
+        for tuple in &tuples {
+            let key = &tuple[join.existing.slot][join.existing.col];
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = index.get(key) {
+                for m in matches {
+                    let mut t = tuple.clone();
+                    t.push(m);
+                    next.push(t);
+                }
+            }
+        }
+        tuples = next;
+    }
+
+    // Filter.
+    tuples.retain(|tuple| {
+        plan.preds.iter().all(|(bound, op, rhs)| {
+            let lhs = &tuple[bound.slot][bound.col];
+            match rhs {
+                PredRhs::Literal(v) => compare(lhs, *op, v),
+                PredRhs::Column(b) => compare(lhs, *op, &tuple[b.slot][b.col]),
+                PredRhs::Needle(needle) => {
+                    lhs.as_text().is_some_and(|s| contains_lowered(s, needle))
+                }
+            }
+        })
+    });
+
+    // Project.
     let mut rows: Vec<Vec<Value>> = tuples
         .iter()
-        .map(|t| projections.iter().map(|b| t[b.slot][b.col].clone()).collect())
+        .map(|t| plan.projections.iter().map(|b| t[b.slot][b.col].clone()).collect())
         .collect();
 
     // DISTINCT.
-    if stmt.distinct {
+    if plan.distinct {
         let mut seen = HashSet::new();
         rows.retain(|r| seen.insert(r.clone()));
     }
 
-    // ORDER BY — applied on the projected columns if the sort column is
-    // projected, otherwise on the underlying tuples; since tuples are gone
-    // by now, we require the sort key to be among the projected columns or
-    // resolvable. For simplicity (and matching our generated queries), the
-    // sort key must resolve; we re-project it per row using its position in
-    // the projection when present, else error.
-    if let Some(order) = &stmt.order_by {
-        let key_bound = resolve(&order.column)?;
-        let key_pos = projections
-            .iter()
-            .position(|b| b.slot == key_bound.slot && b.col == key_bound.col)
-            .ok_or_else(|| {
-                KbError::Semantic(format!(
-                    "ORDER BY column `{}` must appear in the SELECT list",
-                    order.column
-                ))
-            })?;
+    // ORDER BY (bound to a projection position at bind time).
+    if let Some((key_pos, descending)) = plan.order {
         rows.sort_by(|a, b| {
             let ord = a[key_pos].total_cmp(&b[key_pos]);
-            if order.descending {
+            if descending {
                 ord.reverse()
             } else {
                 ord
@@ -227,13 +310,19 @@ pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> 
     }
 
     // LIMIT.
-    if let Some(n) = stmt.limit {
+    if let Some(n) = plan.limit {
         rows.truncate(n);
     }
 
-    Ok(ResultSet { columns: out_cols, rows })
+    Ok(ResultSet { columns: plan.out_cols.clone(), rows })
 }
 
+/// Executes a parsed SELECT against the knowledge base: bind + execute.
+pub fn execute(kb: &KnowledgeBase, stmt: &Select) -> Result<ResultSet, KbError> {
+    execute_bound(kb, &bind(kb, stmt)?)
+}
+
+#[derive(Debug)]
 enum PredRhs {
     Literal(Value),
     Column(Bound),
@@ -419,6 +508,38 @@ mod tests {
             .query("SELECT a.name FROM drug a INNER JOIN drug b ON a.drug_id = b.drug_id")
             .unwrap();
         assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn self_join_projection_qualifies_colliding_columns() {
+        // Regression: `SELECT a.name, b.name` used to drop both
+        // qualifiers, yielding two indistinguishable `name` columns.
+        let kb = medical_kb();
+        let rs = kb
+            .query("SELECT a.name, b.name FROM drug a INNER JOIN drug b ON a.drug_id = b.drug_id")
+            .unwrap();
+        assert_eq!(rs.columns, vec!["a.name", "b.name"]);
+        assert_eq!(rs.rows.len(), 3);
+        // A name projected from a single binding stays unqualified even
+        // when another (differently named) column rides along.
+        let rs = kb
+            .query(
+                "SELECT d.name, p.description FROM drug d \
+                 INNER JOIN precautions p ON d.drug_id = p.drug_id",
+            )
+            .unwrap();
+        assert_eq!(rs.columns, vec!["name", "description"]);
+    }
+
+    #[test]
+    fn bound_plan_is_reusable_across_inserts() {
+        let mut kb = medical_kb();
+        let stmt = super::super::parser::parse("SELECT name FROM drug WHERE drug_id >= 2").unwrap();
+        let plan = bind(&kb, &stmt).unwrap();
+        assert_eq!(execute_bound(&kb, &plan).unwrap().rows.len(), 2);
+        kb.insert("drug", vec![Value::Int(9), Value::text("Warfarin")]).unwrap();
+        // The plan depends only on schema, so it sees the new row.
+        assert_eq!(execute_bound(&kb, &plan).unwrap().rows.len(), 3);
     }
 
     #[test]

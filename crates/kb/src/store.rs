@@ -3,7 +3,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
 
+use obcs_cache::{CacheConfig, CacheStats, GenCache};
 use serde::{Deserialize, Serialize};
 
 use crate::schema::TableSchema;
@@ -155,10 +157,88 @@ impl ResultSet {
     }
 }
 
+/// Hit/miss counters of the KB's two cache layers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KbCacheStats {
+    /// Prepared-plan cache (`kb_plan` telemetry layer).
+    pub plan: CacheStats,
+    /// Result cache (`kb_result` telemetry layer).
+    pub result: CacheStats,
+}
+
+/// The query caches riding on a [`KnowledgeBase`] (DESIGN.md §12): a
+/// prepared-plan cache validated against the *schema* generation and a
+/// result cache validated against the *data* generation. Cloning a KB
+/// (e.g. `fork_session`) starts the clone with fresh empty caches so
+/// forks never share mutable state; only the enabled flag carries over.
+struct QueryCaches {
+    enabled: bool,
+    plan: Mutex<GenCache<Arc<sql::exec::BoundPlan>>>,
+    result: Mutex<GenCache<ResultSet>>,
+}
+
+/// Plans are small; cap by count only.
+const PLAN_CACHE_ENTRIES: usize = 512;
+
+impl Default for QueryCaches {
+    fn default() -> Self {
+        QueryCaches {
+            enabled: true,
+            plan: Mutex::new(GenCache::new(CacheConfig::entries(PLAN_CACHE_ENTRIES))),
+            result: Mutex::new(GenCache::new(CacheConfig::default())),
+        }
+    }
+}
+
+impl Clone for QueryCaches {
+    fn clone(&self) -> Self {
+        QueryCaches { enabled: self.enabled, ..QueryCaches::default() }
+    }
+}
+
+impl fmt::Debug for QueryCaches {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryCaches").field("enabled", &self.enabled).finish_non_exhaustive()
+    }
+}
+
+/// Locks a cache, recovering from a poisoned mutex: the caches hold no
+/// invariants across panics (worst case a half-touched LRU order), so a
+/// poisoned lock is safe to re-enter.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Rough serialized size of a result set, used to cost result-cache
+/// entries against the byte budget. Exactness doesn't matter — it only
+/// has to scale with the real footprint.
+fn approx_result_bytes(rs: &ResultSet) -> usize {
+    let mut bytes = 64 + rs.columns.iter().map(|c| c.len() + 24).sum::<usize>();
+    for row in &rs.rows {
+        bytes += 24;
+        for v in row {
+            bytes += 16 + v.as_text().map_or(0, str::len);
+        }
+    }
+    bytes
+}
+
 /// The in-memory knowledge base: a named collection of tables.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KnowledgeBase {
     tables: HashMap<String, Table>,
+    /// Data generation: bumped by every successful mutation
+    /// ([`insert`](Self::insert) and [`create_table`](Self::create_table));
+    /// validates result-cache entries.
+    #[serde(skip)]
+    generation: u64,
+    /// Schema generation: bumped by [`create_table`](Self::create_table)
+    /// only; validates plan-cache entries (plans depend on schemas, never
+    /// on row data, and this KB has no DROP/ALTER).
+    #[serde(skip)]
+    schema_generation: u64,
+    #[serde(skip)]
+    caches: QueryCaches,
 }
 
 impl KnowledgeBase {
@@ -173,6 +253,8 @@ impl KnowledgeBase {
             return Err(KbError::TableExists(schema.name));
         }
         self.tables.insert(schema.name.clone(), Table::new(schema));
+        self.generation += 1;
+        self.schema_generation += 1;
         Ok(())
     }
 
@@ -250,13 +332,76 @@ impl KnowledgeBase {
             t.pk_index.insert(row[idx].clone(), t.rows.len());
         }
         t.rows.push(row);
+        self.generation += 1;
         Ok(())
     }
 
     /// Parses and executes a SQL query against the store.
+    ///
+    /// With caching enabled (the default), the lookup goes through two
+    /// generation-checked layers keyed on the SQL text: the result cache
+    /// (validated against the data generation) and the prepared-plan
+    /// cache (validated against the schema generation). Cached and
+    /// uncached execution return identical values by construction — a hit
+    /// replays a value the same engine computed earlier at the same
+    /// generation — so callers cannot observe the cache except through
+    /// [`cache_stats`](Self::cache_stats). Errors are never cached.
     pub fn query(&self, sql_text: &str) -> Result<ResultSet, KbError> {
-        let stmt = sql::parser::parse(sql_text)?;
-        sql::exec::execute(self, &stmt)
+        if !self.caches.enabled {
+            let stmt = sql::parser::parse(sql_text)?;
+            return sql::exec::execute(self, &stmt);
+        }
+        if let Some(rs) = lock(&self.caches.result).get(sql_text, self.generation) {
+            return Ok(rs);
+        }
+        // Bind the lookup result before matching: a guard held across the
+        // match arms would self-deadlock on the `put` below.
+        let cached_plan = lock(&self.caches.plan).get(sql_text, self.schema_generation);
+        let plan = match cached_plan {
+            Some(plan) => plan,
+            None => {
+                let stmt = sql::parser::parse(sql_text)?;
+                let plan = Arc::new(sql::exec::bind(self, &stmt)?);
+                lock(&self.caches.plan).put(sql_text, self.schema_generation, plan.clone(), 1);
+                plan
+            }
+        };
+        let rs = sql::exec::execute_bound(self, &plan)?;
+        lock(&self.caches.result).put(
+            sql_text,
+            self.generation,
+            rs.clone(),
+            approx_result_bytes(&rs),
+        );
+        Ok(rs)
+    }
+
+    /// Enables or disables the query caches. Disabling drops every cached
+    /// entry (counters are kept), so a later re-enable starts cold.
+    pub fn set_cache_enabled(&mut self, on: bool) {
+        self.caches.enabled = on;
+        if !on {
+            lock(&self.caches.plan).clear();
+            lock(&self.caches.result).clear();
+        }
+    }
+
+    /// Whether the query caches are enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.caches.enabled
+    }
+
+    /// Counters accumulated by the plan and result caches so far.
+    pub fn cache_stats(&self) -> KbCacheStats {
+        KbCacheStats {
+            plan: lock(&self.caches.plan).stats(),
+            result: lock(&self.caches.result).stats(),
+        }
+    }
+
+    /// The data generation (bumped by every successful mutation).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Like [`KnowledgeBase::query`], recording a
@@ -429,6 +574,69 @@ mod tests {
         // And the rebuilt index still prevents duplicates.
         let mut kb3 = kb2.clone();
         assert!(kb3.insert("drug", vec![Value::Int(7), Value::text("B")]).is_err());
+    }
+
+    #[test]
+    fn cached_query_hits_and_matches_uncached() {
+        let mut kb = kb_with_drug();
+        for (i, n) in [(1, "Aspirin"), (2, "Ibuprofen")] {
+            kb.insert("drug", vec![Value::Int(i), Value::text(n)]).unwrap();
+        }
+        assert!(kb.cache_enabled(), "caching is on by default");
+        let sql = "SELECT name FROM drug WHERE drug_id >= 1";
+        let first = kb.query(sql).unwrap();
+        let second = kb.query(sql).unwrap();
+        assert_eq!(first, second);
+        let stats = kb.cache_stats();
+        assert_eq!(stats.result.hits, 1, "second run served from the result cache");
+        assert_eq!(stats.plan.misses, 1, "plan bound once");
+
+        let mut oracle = kb.clone();
+        oracle.set_cache_enabled(false);
+        assert_eq!(oracle.query(sql).unwrap(), first, "cache is value-invisible");
+    }
+
+    #[test]
+    fn insert_invalidates_results_but_keeps_plans() {
+        let mut kb = kb_with_drug();
+        kb.insert("drug", vec![Value::Int(1), Value::text("A")]).unwrap();
+        let sql = "SELECT name FROM drug";
+        assert_eq!(kb.query(sql).unwrap().rows.len(), 1);
+        kb.insert("drug", vec![Value::Int(2), Value::text("B")]).unwrap();
+        assert_eq!(kb.query(sql).unwrap().rows.len(), 2, "stale result must not serve");
+        let stats = kb.cache_stats();
+        assert_eq!(stats.result.invalidations, 1);
+        assert_eq!(stats.plan.hits, 1, "plans survive data mutations");
+    }
+
+    #[test]
+    fn create_table_invalidates_plans() {
+        let mut kb = kb_with_drug();
+        kb.insert("drug", vec![Value::Int(1), Value::text("A")]).unwrap();
+        let sql = "SELECT name FROM drug";
+        kb.query(sql).unwrap();
+        kb.create_table(TableSchema::new("other").column("x", ColumnType::Int)).unwrap();
+        kb.query(sql).unwrap();
+        assert_eq!(kb.cache_stats().plan.invalidations, 1, "schema bump drops the plan");
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let mut kb = kb_with_drug();
+        assert!(kb.query("SELECT nope FROM drug").is_err());
+        assert!(kb.query("SELECT nope FROM drug").is_err());
+        let stats = kb.cache_stats();
+        assert_eq!(stats.plan.hits + stats.result.hits, 0);
+    }
+
+    #[test]
+    fn clone_starts_with_cold_caches() {
+        let mut kb = kb_with_drug();
+        kb.insert("drug", vec![Value::Int(1), Value::text("A")]).unwrap();
+        kb.query("SELECT name FROM drug").unwrap();
+        let fork = kb.clone();
+        assert!(fork.cache_enabled());
+        assert_eq!(fork.cache_stats(), KbCacheStats::default(), "no shared or carried state");
     }
 
     #[test]

@@ -106,4 +106,20 @@ pub mod metric {
     /// Counter: non-injected pipeline errors swallowed on the historical
     /// template-skip path, by cause label.
     pub const PIPELINE_ERRORS: &str = "pipeline_error";
+    /// Counter: cache lookups answered from a cache, by layer label
+    /// (`kb_plan`, `kb_result`, `nlu_classify`, `nlu_recognize`).
+    ///
+    /// Cache counters are published *on demand* (end of a replay, stats
+    /// endpoint) via `obcs_cache::record_stats`, never per turn: the hit
+    /// pattern depends on shard layout, so per-turn recording would break
+    /// the trace determinism contract (DESIGN.md §12).
+    pub const CACHE_HITS: &str = "cache_hit";
+    /// Counter: cache lookups that found nothing usable, by layer label.
+    pub const CACHE_MISSES: &str = "cache_miss";
+    /// Counter: cache entries evicted to stay within budget, by layer
+    /// label.
+    pub const CACHE_EVICTIONS: &str = "cache_evict";
+    /// Counter: cache entries dropped on a generation mismatch, by layer
+    /// label.
+    pub const CACHE_INVALIDATIONS: &str = "cache_invalidate";
 }

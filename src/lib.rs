@@ -26,6 +26,10 @@
 //! * [`lint`] — static analysis over the bootstrapped conversation space.
 //! * [`telemetry`] — zero-dependency tracing and metrics for the turn
 //!   pipeline (spans, counters, latency histograms).
+//! * [`faults`] — fault injection, the resilience loop, and graceful
+//!   degradation for the turn pipeline.
+//! * [`cache`] — the generation-invalidated LRU backing the pipeline's
+//!   plan/result/NLU caches.
 //!
 //! ## Quickstart
 //!
@@ -46,9 +50,11 @@
 //! ```
 
 pub use obcs_agent as agent;
+pub use obcs_cache as cache;
 pub use obcs_classifier as classifier;
 pub use obcs_core as core;
 pub use obcs_dialogue as dialogue;
+pub use obcs_faults as faults;
 pub use obcs_kb as kb;
 pub use obcs_lint as lint;
 pub use obcs_mdx as mdx;

@@ -85,12 +85,23 @@ fn user_480_keyword_search_flow() {
     assert!(r.text.contains("Benztropine Mesylate"), "{}", r.text);
 
     // 03-04: with the synonym dictionary, "side effects" resolves (the
-    // paper's system initially failed here — the lesson of §6.3).
+    // paper's system initially failed here — the lesson of §6.3). Asking
+    // the direct question also moves past the open proposal: switching
+    // intents drops the offer, so a later yes/no cannot fire it.
     let r = m.agent.respond("What are the side effects of cogentin");
     assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
 
-    // 05-06: rejecting a proposal asks for a modified search.
-    m.agent.respond("cogentin");
+    // 05: with adverse effects now the active topic, re-mentioning the
+    // drug is an incremental modification (§6.3), not a new search.
+    let r = m.agent.respond("cogentin");
+    assert_eq!(r.kind, ReplyKind::Fulfilment, "{r:?}");
+
+    // 06-08: after an abort there is no topic, so the bare brand name
+    // proposes again — and rejecting that *fresh* proposal asks for a
+    // modified search.
+    m.agent.respond("never mind");
+    let r = m.agent.respond("cogentin");
+    assert_eq!(r.kind, ReplyKind::Proposal, "{r:?}");
     let r = m.agent.respond("no");
     assert!(r.text.contains("modify your search"), "{}", r.text);
 
