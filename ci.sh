@@ -12,8 +12,8 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test -q
@@ -23,8 +23,22 @@ echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
 # crate must document cleanly.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "==> spacelint --deny-warnings artifacts/mdx_space.json"
-cargo run -q --release -p obcs-lint --bin spacelint -- --deny-warnings artifacts/mdx_space.json
+echo "==> spacelint + spaceverify --deny-warnings over artifacts/*_space.json"
+# Static gates over every committed conversation space (the built-in MDX
+# domain and the data-driven library domain alike): the OBCS0xx artifact
+# lints, then the OBCS1xx whole-space verification (dialogue-flow model
+# checking, static query bind-checking, cross-artifact consistency).
+for space in artifacts/*_space.json; do
+  echo "    $space"
+  cargo run -q --release -p obcs-lint --bin spacelint -- --deny-warnings "$space"
+  cargo run -q --release -p obcs-verify --bin spaceverify -- --deny-warnings "$space"
+done
+
+echo "==> repro verify --quick"
+# Combined lint+verify pass exactly as the harness runs it (flow
+# exploration with the quick state cap; truncation is reported, never
+# silent). Fails on any error across every committed space.
+cargo run -q --release -p obcs-bench --bin repro -- verify --quick > /dev/null
 
 echo "==> repro perf --quick --check BENCH_perf.json"
 # Perf smoke: re-measures the quick profile and fails on a malformed

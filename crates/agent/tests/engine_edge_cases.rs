@@ -8,7 +8,7 @@ use obcs_core::{bootstrap, BootstrapConfig, SmeFeedback};
 
 fn agent_with_management() -> ConversationAgent {
     let (onto, kb, mapping) = fig2_fixture();
-    let drug = onto.concept_id("Drug").unwrap();
+    let drug = onto.concept_id("Drug").expect("Drug concept");
     let sme = SmeFeedback::new()
         .management_intent("Gratitude", "Happy to help! Anything else?")
         .labelled_query("Gratitude", "much obliged")

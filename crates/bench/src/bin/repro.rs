@@ -52,6 +52,10 @@ fn main() {
         chaos(&args, seed);
         return;
     }
+    if cmd == "verify" {
+        verify(&args);
+        return;
+    }
 
     let world = World::with_config(MdxDataConfig { drugs, seed });
     let run = |name: &str| cmd == name || cmd == "all";
@@ -261,6 +265,85 @@ fn chaos(args: &[String], seed: u64) {
         }
         std::process::exit(1);
     }
+}
+
+/// `repro verify [--quick]`
+///
+/// Runs the full static pass — obcs-lint (`OBCS0xx`) and obcs-verify
+/// (`OBCS1xx`: dialogue-flow model checking, query bind-checking,
+/// cross-artifact consistency) — over every committed
+/// `artifacts/*_space.json`, each loaded exactly as the `spacelint` /
+/// `spaceverify` binaries load it. Exits non-zero if any space produces
+/// an error. `--quick` lowers the flow-exploration state cap (a
+/// truncated exploration is reported as a warning, never silently).
+fn verify(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = obcs_verify::VerifyConfig {
+        max_states: if quick { 5_000 } else { obcs_verify::VerifyConfig::default().max_states },
+    };
+    heading(&format!(
+        "Static verification — lint + verify over committed artifacts ({} mode)",
+        if quick { "quick" } else { "full" }
+    ));
+
+    let mut spaces: Vec<std::path::PathBuf> = std::fs::read_dir("artifacts")
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.ends_with("_space.json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    spaces.sort();
+    if spaces.is_empty() {
+        eprintln!("verify: no artifacts/*_space.json found — run `repro export` first");
+        std::process::exit(1);
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for space_path in &spaces {
+        let (space, kb, onto) = match obcs_lint::load_artifacts(space_path, None) {
+            Ok(loaded) => loaded,
+            Err(msg) => {
+                eprintln!("verify: {msg}");
+                std::process::exit(1);
+            }
+        };
+        let mapping = obcs_nlq::OntologyMapping::infer(&onto, &kb);
+        let lint_ctx = LintContext::new(&onto, &kb, &mapping, &space);
+        let lint_report = run_all(&lint_ctx, &LintConfig::default());
+        let verify_ctx = obcs_verify::VerifyContext::new(&onto, &kb, &mapping, &space);
+        let verify_report = obcs_verify::run_all(&verify_ctx, &cfg);
+        let flow = verify_ctx.flow(&cfg);
+        println!(
+            "{}: lint {} finding(s), verify {} finding(s) — flow explored {} states / {} edges{}",
+            space_path.display(),
+            lint_report.len(),
+            verify_report.len(),
+            flow.states,
+            flow.edges,
+            if flow.truncated { " (truncated)" } else { "" },
+        );
+        for report in [&lint_report, &verify_report] {
+            if !report.is_empty() {
+                print!("{}", report.render_text());
+            }
+            errors += report.count(obcs_lint::Severity::Error);
+            warnings += report.count(obcs_lint::Severity::Warning);
+        }
+    }
+    println!("verified {} space(s): {} error(s), {} warning(s)", spaces.len(), errors, warnings);
+    if errors > 0 {
+        eprintln!("verify: FAILED with {errors} error(s)");
+        std::process::exit(1);
+    }
+    println!("verify OK");
 }
 
 fn heading(title: &str) {
@@ -727,12 +810,24 @@ fn export(world: &World) {
         eprintln!("export aborted: {msg}");
         std::process::exit(1);
     }
+    // The library custom domain ships alongside MDX so the gates always
+    // exercise a data-driven (non-built-in) ontology path too.
+    let (lib_onto, lib_kb, lib_mapping, lib_space) = obcs_bench::library::library_world();
+    let lib_ctx = LintContext::new(&lib_onto, &lib_kb, &lib_mapping, &lib_space);
+    let lib_report = run_all(&lib_ctx, &LintConfig::default());
+    if let Err(msg) = lib_report.gate(false) {
+        print!("{}", lib_report.render_text());
+        eprintln!("export aborted (library domain): {msg}");
+        std::process::exit(1);
+    }
     std::fs::create_dir_all("artifacts").expect("create artifacts dir");
     let writes: &[(&str, String)] = &[
         ("artifacts/mdx_space.json", world.space.to_json()),
         ("artifacts/mdx_ontology.ttl", obcs_ontology::turtle::to_turtle(&world.onto)),
         ("artifacts/mdx_ontology.dot", obcs_ontology::dot::to_dot(&world.onto)),
         ("artifacts/mdx_kb.json", world.kb.to_json()),
+        ("artifacts/library_space.json", lib_space.to_json()),
+        ("artifacts/library_kb.json", lib_kb.to_json()),
     ];
     for (path, content) in writes {
         std::fs::write(path, content).expect("write artifact");

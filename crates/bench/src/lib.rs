@@ -8,6 +8,7 @@
 //! the `repro trace` latency report ([`trace`]): §10.
 
 pub mod chaos;
+pub mod library;
 pub mod perf;
 pub mod trace;
 

@@ -1,0 +1,141 @@
+//! The library custom domain as a committed artifact source.
+//!
+//! The same world the `custom_domain` example builds interactively —
+//! author / genre / book / review with a data-driven ontology — packaged
+//! so `repro export` can commit it to `artifacts/library_{space,kb}.json`
+//! and the lint/verify gates can exercise a non-MDX space. Everything is
+//! deterministic: re-running export reproduces the same bytes.
+
+use obcs_core::{bootstrap, BootstrapConfig, ConversationSpace, SmeFeedback};
+use obcs_kb::ontogen::{generate_ontology, OntogenOptions};
+use obcs_kb::schema::{ColumnType, TableSchema};
+use obcs_kb::{KnowledgeBase, Value};
+use obcs_nlq::OntologyMapping;
+use obcs_ontology::Ontology;
+
+/// Builds the library KB: four tables with declared foreign keys and a
+/// small instance population (matches the `custom_domain` example).
+pub fn build_library_kb() -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.create_table(
+        TableSchema::new("author")
+            .column("author_id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("country", ColumnType::Text)
+            .primary_key("author_id"),
+    )
+    .expect("schema");
+    kb.create_table(
+        TableSchema::new("genre")
+            .column("genre_id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .primary_key("genre_id"),
+    )
+    .expect("schema");
+    kb.create_table(
+        TableSchema::new("book")
+            .column("book_id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("year", ColumnType::Int)
+            .column("author_id", ColumnType::Int)
+            .column("genre_id", ColumnType::Int)
+            .primary_key("book_id")
+            .foreign_key("author_id", "author", "author_id")
+            .foreign_key("genre_id", "genre", "genre_id"),
+    )
+    .expect("schema");
+    kb.create_table(
+        TableSchema::new("review")
+            .column("review_id", ColumnType::Int)
+            .column("book_id", ColumnType::Int)
+            .column("description", ColumnType::Text)
+            .column("rating", ColumnType::Int)
+            .primary_key("review_id")
+            .foreign_key("book_id", "book", "book_id"),
+    )
+    .expect("schema");
+
+    let authors = [
+        ("Ursula K. Le Guin", "United States"),
+        ("Stanislaw Lem", "Poland"),
+        ("Octavia Butler", "United States"),
+        ("Jorge Luis Borges", "Argentina"),
+    ];
+    for (i, (name, country)) in authors.iter().enumerate() {
+        kb.insert("author", vec![Value::Int(i as i64), Value::text(*name), Value::text(*country)])
+            .expect("author row");
+    }
+    for (i, g) in ["science fiction", "fantasy", "short stories"].iter().enumerate() {
+        kb.insert("genre", vec![Value::Int(i as i64), Value::text(*g)]).expect("genre row");
+    }
+    let books = [
+        ("The Dispossessed", 1974, 0, 0),
+        ("The Left Hand of Darkness", 1969, 0, 0),
+        ("Solaris", 1961, 1, 0),
+        ("Kindred", 1979, 2, 0),
+        ("Ficciones", 1944, 3, 2),
+        ("A Wizard of Earthsea", 1968, 0, 1),
+    ];
+    for (i, (title, year, author, genre)) in books.iter().enumerate() {
+        kb.insert(
+            "book",
+            vec![
+                Value::Int(i as i64),
+                Value::text(*title),
+                Value::Int(*year),
+                Value::Int(*author),
+                Value::Int(*genre),
+            ],
+        )
+        .expect("book row");
+    }
+    for (i, (book, text, rating)) in [
+        (0, "a thoughtful study of two worlds", 5),
+        (2, "claustrophobic and brilliant", 5),
+        (3, "devastating and essential", 5),
+        (5, "a quiet, perfect fantasy", 4),
+    ]
+    .iter()
+    .enumerate()
+    {
+        kb.insert(
+            "review",
+            vec![Value::Int(i as i64), Value::Int(*book), Value::text(*text), Value::Int(*rating)],
+        )
+        .expect("review row");
+    }
+    kb
+}
+
+/// The full library artifact chain: KB, data-driven ontology (§3 option
+/// 2), inferred mapping, bootstrapped space.
+pub fn library_world() -> (Ontology, KnowledgeBase, OntologyMapping, ConversationSpace) {
+    let kb = build_library_kb();
+    let onto =
+        generate_ontology(&kb, "library", OntogenOptions::default()).expect("ontology generation");
+    let mapping = OntologyMapping::infer(&onto, &kb);
+    let sme = SmeFeedback::new().synonym("Book", &["novel", "title"]);
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &sme);
+    (onto, kb, mapping, space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_world_bootstraps() {
+        let (onto, _, _, space) = library_world();
+        assert!(onto.concept_id("Book").is_ok());
+        assert!(!space.intents.is_empty());
+        assert!(!space.templates.is_empty());
+    }
+
+    #[test]
+    fn library_world_is_deterministic() {
+        let (_, kb_a, _, space_a) = library_world();
+        let (_, kb_b, _, space_b) = library_world();
+        assert_eq!(kb_a.to_json(), kb_b.to_json());
+        assert_eq!(space_a.to_json(), space_b.to_json());
+    }
+}

@@ -10,7 +10,7 @@ use obcs_ontology::ConceptId;
 
 fn world() -> (obcs_ontology::Ontology, obcs_core::ConversationSpace, DialogueTree) {
     let (onto, kb, mapping) = fig2_fixture();
-    let drug = onto.concept_id("Drug").unwrap();
+    let drug = onto.concept_id("Drug").expect("Drug concept");
     let sme = SmeFeedback::new().entity_only(drug);
     let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &sme);
     let tree = DialogueTree::from_space(&space, &onto, "Tester");

@@ -44,5 +44,6 @@ pub mod stats;
 pub mod store;
 pub mod value;
 
+pub use sql::exec::BoundPlan;
 pub use store::{KbCacheStats, KbError, KnowledgeBase, ResultSet};
 pub use value::Value;

@@ -56,6 +56,26 @@ pub struct BoundPlan {
     limit: Option<usize>,
 }
 
+impl BoundPlan {
+    /// The output column labels the plan projects, in SELECT-list order.
+    /// Labels are unqualified except where two projected columns share a
+    /// name across different bindings (then `binding.column`).
+    pub fn columns(&self) -> &[String] {
+        &self.out_cols
+    }
+
+    /// The tables the plan reads: the FROM table followed by each join's
+    /// table, in join order.
+    pub fn tables(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.from_table.as_str()).chain(self.joins.iter().map(|j| j.table.as_str()))
+    }
+
+    /// Number of lowered WHERE predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.preds.len()
+    }
+}
+
 /// Binds a parsed SELECT against the current schemas, producing a
 /// reusable [`BoundPlan`].
 pub fn bind(kb: &KnowledgeBase, stmt: &Select) -> Result<BoundPlan, KbError> {
@@ -540,6 +560,22 @@ mod tests {
         kb.insert("drug", vec![Value::Int(9), Value::text("Warfarin")]).unwrap();
         // The plan depends only on schema, so it sees the new row.
         assert_eq!(execute_bound(&kb, &plan).unwrap().rows.len(), 3);
+    }
+
+    #[test]
+    fn prepare_binds_without_executing() {
+        let kb = medical_kb();
+        let plan = kb
+            .prepare(
+                "SELECT a.name, b.name FROM drug a \
+                 INNER JOIN drug b ON a.drug_id = b.drug_id WHERE a.name = 'Aspirin'",
+            )
+            .unwrap();
+        assert_eq!(plan.columns(), ["a.name", "b.name"]);
+        assert_eq!(plan.tables().collect::<Vec<_>>(), ["drug", "drug"]);
+        assert_eq!(plan.predicate_count(), 1);
+        assert!(kb.prepare("SELECT nope FROM drug").is_err());
+        assert!(kb.prepare("SELECT name FROM nowhere").is_err());
     }
 
     #[test]

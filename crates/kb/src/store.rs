@@ -376,6 +376,19 @@ impl KnowledgeBase {
         Ok(rs)
     }
 
+    /// Parses and **binds** a query against the current schemas without
+    /// executing it: the static front half of [`query`](Self::query)
+    /// (DESIGN.md §12). Binding resolves every table and column name,
+    /// relates each join to an earlier table, lowers predicates, and
+    /// fixes the projection — so a successful `prepare` proves the SQL
+    /// type-checks against the schema without reading a single row.
+    /// Verification layers (`obcs-verify`) use this to statically check
+    /// every generated query template.
+    pub fn prepare(&self, sql_text: &str) -> Result<sql::exec::BoundPlan, KbError> {
+        let stmt = sql::parser::parse(sql_text)?;
+        sql::exec::bind(self, &stmt)
+    }
+
     /// Enables or disables the query caches. Disabling drops every cached
     /// entry (counters are kept), so a later re-enable starts cold.
     pub fn set_cache_enabled(&mut self, on: bool) {
@@ -622,7 +635,7 @@ mod tests {
 
     #[test]
     fn errors_are_not_cached() {
-        let mut kb = kb_with_drug();
+        let kb = kb_with_drug();
         assert!(kb.query("SELECT nope FROM drug").is_err());
         assert!(kb.query("SELECT nope FROM drug").is_err());
         let stats = kb.cache_stats();

@@ -15,7 +15,8 @@ fn kb() -> KnowledgeBase {
             .primary_key("id"),
     )
     .expect("schema");
-    kb.insert("t", vec![Value::Int(1), Value::text("a"), Value::float(1.5).unwrap()]).expect("row");
+    kb.insert("t", vec![Value::Int(1), Value::text("a"), Value::float(1.5).expect("finite")])
+        .expect("row");
     kb
 }
 

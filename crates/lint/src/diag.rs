@@ -185,6 +185,44 @@ impl DiagnosticSet {
     }
 }
 
+/// The machine-readable report envelope the `spacelint` and `spaceverify`
+/// binaries emit under `--json`: which tool ran, over which artifact,
+/// severity counts, and the findings themselves. CI consumers should key
+/// on `errors`/`warnings` rather than re-counting diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JsonReport {
+    /// The emitting tool, `spacelint` or `spaceverify`.
+    pub tool: String,
+    /// The artifact the report is about (the space file path).
+    pub artifact: String,
+    pub errors: usize,
+    pub warnings: usize,
+    pub infos: usize,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl JsonReport {
+    /// Wraps a finished diagnostic set in the report envelope.
+    pub fn new(tool: &str, artifact: &str, set: &DiagnosticSet) -> Self {
+        JsonReport {
+            tool: tool.to_string(),
+            artifact: artifact.to_string(),
+            errors: set.count(Severity::Error),
+            warnings: set.count(Severity::Warning),
+            infos: set.count(Severity::Info),
+            diagnostics: set.diagnostics.clone(),
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+    }
+
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +288,21 @@ mod tests {
         set.push(sample());
         let back = DiagnosticSet::from_json(&set.to_json()).unwrap();
         assert_eq!(back.diagnostics, set.diagnostics);
+    }
+
+    #[test]
+    fn json_report_round_trip() {
+        let mut set = DiagnosticSet::default();
+        set.push(sample());
+        set.push(Diagnostic::new(
+            "OBCS012",
+            Severity::Warning,
+            Location::new("space", "intent `X`"),
+            "below floor",
+        ));
+        let report = JsonReport::new("spacelint", "artifacts/mdx_space.json", &set);
+        assert_eq!((report.errors, report.warnings, report.infos), (1, 1, 0));
+        let back = JsonReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
     }
 }

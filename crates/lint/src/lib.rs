@@ -29,12 +29,14 @@
 //!
 //! Crate role: DESIGN.md §2; rule catalogue and severity policy: §8.
 
+pub mod artifacts;
 pub mod context;
 pub mod diag;
 #[allow(clippy::module_inception)]
 pub mod lint;
 pub mod rules;
 
+pub use artifacts::{load_artifacts, reconstruct_ontology, sibling_kb};
 pub use context::LintContext;
-pub use diag::{Diagnostic, DiagnosticSet, Location, Severity};
+pub use diag::{Diagnostic, DiagnosticSet, JsonReport, Location, Severity};
 pub use lint::{all_lints, run_all, Lint, LintConfig};

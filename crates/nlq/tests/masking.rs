@@ -16,7 +16,7 @@ fn world() -> (Ontology, KnowledgeBase, OntologyMapping) {
         .relation("treats", "Drug", "Condition")
         .relation("has", "Drug", "Precaution")
         .build()
-        .unwrap();
+        .expect("ontology");
     let mut kb = KnowledgeBase::new();
     kb.create_table(
         TableSchema::new("drug")
@@ -24,18 +24,18 @@ fn world() -> (Ontology, KnowledgeBase, OntologyMapping) {
             .column("name", ColumnType::Text)
             .primary_key("drug_id"),
     )
-    .unwrap();
+    .expect("schema");
     kb.create_table(
         TableSchema::new("condition")
             .column("condition_id", ColumnType::Int)
             .column("name", ColumnType::Text)
             .primary_key("condition_id"),
     )
-    .unwrap();
+    .expect("schema");
     for (i, n) in ["Aspirin", "Calcium Carbonate"].iter().enumerate() {
-        kb.insert("drug", vec![Value::Int(i as i64), Value::text(*n)]).unwrap();
+        kb.insert("drug", vec![Value::Int(i as i64), Value::text(*n)]).expect("drug row");
     }
-    kb.insert("condition", vec![Value::Int(0), Value::text("Fever")]).unwrap();
+    kb.insert("condition", vec![Value::Int(0), Value::text("Fever")]).expect("condition row");
     let mapping = OntologyMapping::infer(&onto, &kb);
     (onto, kb, mapping)
 }

@@ -1,17 +1,17 @@
-//! `spacelint` — lint committed conversation-space artifacts.
+//! `spaceverify` — statically verify committed conversation-space
+//! artifacts: dialogue-flow model checking, query bind-checking and
+//! cross-artifact consistency (`OBCS1xx`).
 //!
 //! ```text
-//! spacelint <space.json> [kb.json] [--json] [--deny-warnings] [--floor N]
+//! spaceverify <space.json> [kb.json] [--json] [--deny-warnings] [--max-states N]
 //! ```
 //!
-//! The KB defaults to a `*_kb.json` sibling of the space file (e.g.
-//! `artifacts/mdx_space.json` → `artifacts/mdx_kb.json`). The ontology is
-//! reconstructed from the space's `ontology_name`: the built-in `mdx`
-//! ontology from code, any other domain from the KB via the data-driven
-//! generator. The mapping is re-inferred from the ontology and KB,
-//! exactly as the bootstrapper infers it.
+//! The KB defaults to a `*_kb.json` sibling of the space file, and the
+//! ontology is reconstructed from the space's `ontology_name` — the same
+//! artifact-loading conventions as `spacelint`.
 //!
-//! `--json` emits the shared [`obcs_lint::JsonReport`] envelope.
+//! `--json` emits the shared [`obcs_lint::JsonReport`] envelope with
+//! `"tool": "spaceverify"`.
 //!
 //! Exit status: 0 when the gate passes, 1 when it fails, 2 on usage or
 //! I/O errors.
@@ -19,27 +19,28 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use obcs_lint::{load_artifacts, run_all, JsonReport, LintConfig, LintContext};
+use obcs_lint::{load_artifacts, JsonReport};
 use obcs_nlq::OntologyMapping;
+use obcs_verify::{all_checks, run_all, VerifyConfig, VerifyContext};
 
 struct Args {
     space_path: PathBuf,
     kb_path: Option<PathBuf>,
     json: bool,
     deny_warnings: bool,
-    floor: Option<usize>,
+    max_states: Option<usize>,
     list_rules: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: spacelint <space.json> [kb.json] [--json] [--deny-warnings] [--floor N]\n       spacelint --rules"
+    "usage: spaceverify <space.json> [kb.json] [--json] [--deny-warnings] [--max-states N]\n       spaceverify --rules"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional: Vec<&str> = Vec::new();
     let mut json = false;
     let mut deny_warnings = false;
-    let mut floor = None;
+    let mut max_states = None;
     let mut list_rules = false;
     let mut i = 0;
     while i < argv.len() {
@@ -47,10 +48,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
             "--rules" => list_rules = true,
-            "--floor" => {
+            "--max-states" => {
                 i += 1;
-                let value = argv.get(i).ok_or("--floor needs a value")?;
-                floor = Some(value.parse::<usize>().map_err(|_| "--floor needs a number")?);
+                let value = argv.get(i).ok_or("--max-states needs a value")?;
+                max_states =
+                    Some(value.parse::<usize>().map_err(|_| "--max-states needs a number")?);
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`"));
@@ -65,7 +67,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             kb_path: None,
             json,
             deny_warnings,
-            floor,
+            max_states,
             list_rules,
         });
     }
@@ -75,7 +77,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         kb_path: positional.get(1).map(PathBuf::from),
         json,
         deny_warnings,
-        floor,
+        max_states,
         list_rules,
     })
 }
@@ -94,8 +96,13 @@ fn main() -> ExitCode {
     };
 
     if args.list_rules {
-        for lint in obcs_lint::all_lints() {
-            println!("{:<28} {:<40} {}", lint.name(), lint.codes().join(","), lint.description());
+        for check in all_checks() {
+            println!(
+                "{:<28} {:<40} {}",
+                check.name(),
+                check.codes().join(","),
+                check.description()
+            );
         }
         return ExitCode::SUCCESS;
     }
@@ -103,22 +110,22 @@ fn main() -> ExitCode {
     let (space, kb, onto) = match load_artifacts(&args.space_path, args.kb_path.as_deref()) {
         Ok(loaded) => loaded,
         Err(msg) => {
-            eprintln!("spacelint: {msg}");
+            eprintln!("spaceverify: {msg}");
             return ExitCode::from(2);
         }
     };
 
     let mapping = OntologyMapping::infer(&onto, &kb);
-    let ctx = LintContext::new(&onto, &kb, &mapping, &space);
-    let mut cfg = LintConfig::default();
-    if let Some(floor) = args.floor {
-        cfg.example_floor = floor;
+    let ctx = VerifyContext::new(&onto, &kb, &mapping, &space);
+    let mut cfg = VerifyConfig::default();
+    if let Some(max_states) = args.max_states {
+        cfg.max_states = max_states;
     }
     let report = run_all(&ctx, &cfg);
 
     if args.json {
         let envelope =
-            JsonReport::new("spacelint", &args.space_path.display().to_string(), &report);
+            JsonReport::new("spaceverify", &args.space_path.display().to_string(), &report);
         println!("{}", envelope.to_json());
     } else {
         print!("{}", report.render_text());
@@ -127,7 +134,7 @@ fn main() -> ExitCode {
     match report.gate(args.deny_warnings) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("spacelint: {msg}");
+            eprintln!("spaceverify: {msg}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,137 @@
+//! The `Check` trait, the verification context, the rule registry and the
+//! driver — the `OBCS1xx` counterpart of `obcs-lint`'s `Lint`/`LintContext`
+//! machinery.
+
+use std::cell::OnceCell;
+
+use obcs_core::ConversationSpace;
+use obcs_kb::KnowledgeBase;
+use obcs_lint::{Diagnostic, DiagnosticSet, LintContext};
+use obcs_nlq::OntologyMapping;
+use obcs_ontology::{ConceptId, Ontology};
+
+use crate::flow::{explore, FlowExploration};
+
+/// A representative instance value for a concept, if the space or KB can
+/// supply one: the first entity example, else the first distinct text
+/// value of the concept's mapped label column. `None` means no user input
+/// could ever fill a slot of this concept — the fact behind both the
+/// elicitation-livelock flow check (OBCS101) and the static
+/// slot-fillability bind check (OBCS111).
+pub fn representative_value(lint: &LintContext<'_>, concept: ConceptId) -> Option<String> {
+    if let Some(def) = lint.space.entities.iter().find(|e| e.concept == concept) {
+        if let Some(example) = def.examples.first() {
+            return Some(example.clone());
+        }
+    }
+    let table = lint.mapping.table(concept)?;
+    let label = lint.mapping.label(concept)?;
+    lint.kb.distinct_values(table, label).ok()?.iter().find_map(|v| v.as_text().map(str::to_string))
+}
+
+/// Tunable bounds of the verification pass.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyConfig {
+    /// Abstract-state cap for the dialogue-flow exploration. When the
+    /// reachable state space exceeds this, exploration stops and
+    /// `OBCS105` reports the verification as incomplete.
+    pub max_states: usize,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig { max_states: 50_000 }
+    }
+}
+
+/// Everything the checks inspect: the lint context (artifact chain plus
+/// derived logic table and dialogue tree) and the lazily computed
+/// dialogue-flow exploration, shared across flow checks so the state
+/// machine is explored once per run.
+pub struct VerifyContext<'a> {
+    pub lint: LintContext<'a>,
+    flow: OnceCell<FlowExploration>,
+}
+
+impl<'a> VerifyContext<'a> {
+    pub fn new(
+        onto: &'a Ontology,
+        kb: &'a KnowledgeBase,
+        mapping: &'a OntologyMapping,
+        space: &'a ConversationSpace,
+    ) -> Self {
+        VerifyContext { lint: LintContext::new(onto, kb, mapping, space), flow: OnceCell::new() }
+    }
+
+    /// The dialogue-flow exploration, computed on first use with the
+    /// given config (subsequent calls reuse the first result).
+    pub fn flow(&self, cfg: &VerifyConfig) -> &FlowExploration {
+        self.flow.get_or_init(|| explore(&self.lint, cfg))
+    }
+
+    /// See [`representative_value`].
+    pub fn representative_value(&self, concept: ConceptId) -> Option<String> {
+        representative_value(&self.lint, concept)
+    }
+}
+
+/// One verification rule. A rule owns one or more stable `OBCS1xx` codes;
+/// `codes` documents them and `run` appends any findings to `out`.
+pub trait Check {
+    /// Short kebab-case rule name, e.g. `intent-reachability`.
+    fn name(&self) -> &'static str;
+    /// The stable codes this rule can emit.
+    fn codes(&self) -> &'static [&'static str];
+    /// One-line description for `spaceverify --rules`.
+    fn description(&self) -> &'static str;
+    fn run(&self, ctx: &VerifyContext<'_>, cfg: &VerifyConfig, out: &mut Vec<Diagnostic>);
+}
+
+/// The full registry, in code order.
+pub fn all_checks() -> Vec<Box<dyn Check>> {
+    vec![
+        Box::new(crate::flow::IntentReachability),
+        Box::new(crate::flow::ElicitationLiveness),
+        Box::new(crate::flow::ProposalEdges),
+        Box::new(crate::flow::DeadLogicRows),
+        Box::new(crate::flow::TreeNodeReachability),
+        Box::new(crate::flow::ExplorationBound),
+        Box::new(crate::bindcheck::TemplateBindCheck),
+        Box::new(crate::bindcheck::SlotFillability),
+        Box::new(crate::bindcheck::ProjectionCollisions),
+        Box::new(crate::bindcheck::PredicateTypes),
+        Box::new(crate::bindcheck::PatternCoverage),
+        Box::new(crate::consistency::TrainingLogicConsistency),
+        Box::new(crate::consistency::PatternTemplateConsistency),
+        Box::new(crate::consistency::JoinFkConsistency),
+    ]
+}
+
+/// Runs every registered check and returns the sorted diagnostic set.
+pub fn run_all(ctx: &VerifyContext<'_>, cfg: &VerifyConfig) -> DiagnosticSet {
+    let mut out = Vec::new();
+    for check in all_checks() {
+        check.run(ctx, cfg, &mut out);
+    }
+    let mut set = DiagnosticSet { diagnostics: out };
+    set.sort();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_codes_are_unique_and_in_the_1xx_range() {
+        let mut seen = HashSet::new();
+        for check in all_checks() {
+            assert!(!check.codes().is_empty(), "{} declares no codes", check.name());
+            for code in check.codes() {
+                assert!(code.starts_with("OBCS1") && code.len() == 7, "malformed code {code}");
+                assert!(seen.insert(*code), "code {code} registered twice");
+            }
+        }
+    }
+}

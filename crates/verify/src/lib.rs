@@ -1,0 +1,53 @@
+//! Whole-space static verification: dialogue-flow model checking,
+//! static query bind-checking and cross-artifact consistency for
+//! bootstrapped conversation spaces.
+//!
+//! Where `obcs-lint` (`OBCS0xx`) inspects each artifact in isolation,
+//! this crate (`OBCS1xx`) proves *behavioural* properties of the space
+//! as a whole, before any conversation is served:
+//!
+//! * [`flow`] symbolically explores the dialogue state machine — the
+//!   real [`obcs_dialogue::tree::DialogueTree::evaluate`] driven over an
+//!   abstract input alphabet — and proves every intent reachable, every
+//!   elicitation loop able to make progress, every proposal equipped
+//!   with both accept and reject edges, and reports dead logic rows and
+//!   unreachable tree nodes (`OBCS100`–`OBCS105`).
+//! * [`bindcheck`] runs the KB's bind phase ([`obcs_kb::KnowledgeBase::prepare`])
+//!   over every query template — no query is executed — proving the
+//!   whole query surface binds against the schema, every slot is
+//!   fillable, projections never collide, and literal predicates
+//!   type-check (`OBCS110`–`OBCS114`).
+//! * [`consistency`] pins referential invariants between artifact
+//!   layers: training → logic table, patterns → templates, SQL joins →
+//!   declared foreign keys (`OBCS120`–`OBCS122`).
+//!
+//! The crate reuses `obcs-lint`'s [`obcs_lint::Diagnostic`] framework, so
+//! `spaceverify` output (text and `--json`) is shaped exactly like
+//! `spacelint`'s. See DESIGN.md §13 for the state-machine abstraction
+//! and the bind-check soundness argument.
+//!
+//! ```
+//! use obcs_verify::{run_all, VerifyConfig, VerifyContext};
+//!
+//! let kb = obcs_mdx::data::build_mdx_kb(Default::default());
+//! let onto = obcs_mdx::ontology::build_mdx_ontology();
+//! let mapping = obcs_nlq::OntologyMapping::infer(&onto, &kb);
+//! let space = obcs_core::bootstrap(
+//!     &onto,
+//!     &kb,
+//!     &mapping,
+//!     obcs_core::BootstrapConfig::default(),
+//!     &obcs_core::SmeFeedback::default(),
+//! );
+//! let ctx = VerifyContext::new(&onto, &kb, &mapping, &space);
+//! let report = run_all(&ctx, &VerifyConfig::default());
+//! assert_eq!(report.count(obcs_lint::Severity::Error), 0);
+//! ```
+
+pub mod bindcheck;
+pub mod check;
+pub mod consistency;
+pub mod flow;
+
+pub use check::{all_checks, representative_value, run_all, Check, VerifyConfig, VerifyContext};
+pub use flow::FlowExploration;
