@@ -43,11 +43,32 @@ cargo run -q --release -p obcs-bench --bin repro -- verify --quick > /dev/null
 echo "==> repro perf --quick --check BENCH_perf.json"
 # Perf smoke: re-measures the quick profile and fails on a malformed
 # baseline or any stage >5x slower than the committed BENCH_perf.json.
-# The cached_replay stage also carries a committed speedup floor
-# (min_speedup in the baseline): the run fails if the plan/result/NLU
-# caches stop delivering at least that speedup over a cache-disabled
-# replay of the same workload.
+# Stages with a committed speedup floor (min_speedup in the baseline:
+# annotate, logreg_train, cached_replay, and the 15k scale stages) also
+# fail the run if the shipped implementation stops delivering at least
+# that factor over its unoptimised twin.
 cargo run -q --release -p obcs-bench --bin repro -- perf --quick --check BENCH_perf.json
+
+echo "==> repro scale --quick --check BENCH_perf.json"
+# Indexed-execution gate: re-measures the latency-vs-KB-size curve
+# (point lookup, FK join, LIKE-prefix at 150/1.5k/15k drugs), asserts
+# indexed results byte-identical to the scan twin's on every query, and
+# enforces the committed 15k-point min_speedup floors (>=10x point
+# lookup) plus the 5x regression ceiling against the scale_* subset of
+# the baseline.
+cargo run -q --release -p obcs-bench --bin repro -- scale --quick --check BENCH_perf.json
+
+echo "==> spacelint + spaceverify over a large-world export"
+# Bind-checks the static-analysis chain at scale: export a 1000-drug
+# world (auto-indexed KB included) to target/ and run the same OBCS0xx /
+# OBCS1xx gates the committed artifacts get. Guards against the lints or
+# the verifier degrading on large KBs.
+cargo run -q --release -p obcs-bench --bin repro -- export --drugs 1000 \
+  --dir target/large_world > /dev/null
+cargo run -q --release -p obcs-lint --bin spacelint -- --deny-warnings \
+  target/large_world/mdx_space.json
+cargo run -q --release -p obcs-verify --bin spaceverify -- --deny-warnings \
+  target/large_world/mdx_space.json
 
 echo "==> repro trace --quick"
 # Observability smoke: traced replay of the quick profile; validates the

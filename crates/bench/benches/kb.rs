@@ -1,11 +1,14 @@
 //! Knowledge-base engine benches: SQL parsing, single-table filters, hash
-//! joins (direct FK and M:N bridge), and the statistics the bootstrapper
-//! relies on.
+//! joins (direct FK and M:N bridge), the statistics the bootstrapper
+//! relies on, and the secondary-index hot paths (point lookup, FK join,
+//! LIKE-prefix) against a scan-only twin at small and large world sizes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use obcs_bench::World;
 use obcs_kb::sql::parser::parse;
 use obcs_kb::stats::{column_stats, table_is_categorical, CategoricalPolicy};
+use obcs_kb::KnowledgeBase;
+use obcs_mdx::data::{build_mdx_kb, MdxDataConfig};
 use std::hint::black_box;
 
 fn bench_kb(c: &mut Criterion) {
@@ -66,5 +69,48 @@ fn bench_kb(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kb);
+/// The auto-indexed KB and its scan-only twin, caches off on both so
+/// every iteration pays parse + bind + execute (never a cache hit).
+fn twins(drugs: usize) -> (KnowledgeBase, KnowledgeBase) {
+    let mut indexed = build_mdx_kb(MdxDataConfig { drugs, seed: 7 });
+    indexed.set_cache_enabled(false);
+    let mut scan = indexed.clone();
+    scan.set_cache_enabled(false);
+    scan.set_index_enabled(false);
+    (indexed, scan)
+}
+
+/// Indexed execution vs the scan twin on the three index-accelerated
+/// hot paths, at the paper-scale world and the 15k-drug large world
+/// (the same curve `repro scale` commits to `BENCH_perf.json`).
+fn bench_kb_index(c: &mut Criterion) {
+    for drugs in [150usize, 15_000] {
+        let (indexed, scan) = twins(drugs);
+        let n = drugs as i64;
+        let point = format!("SELECT name FROM drug WHERE drug_id = {}", (n * 37 + 11) % n);
+        let join = format!(
+            "SELECT a.effect FROM drug d \
+             INNER JOIN adverse_effect a ON a.drug_id = d.drug_id \
+             WHERE d.drug_id = {}",
+            (n * 53 + 7) % n
+        );
+        let prefix = "SELECT name FROM drug WHERE name LIKE 'Cardio%'";
+
+        let mut group = c.benchmark_group(format!("kb_index_{drugs}"));
+        for (label, kb) in [("indexed", &indexed), ("scan", &scan)] {
+            group.bench_function(format!("point_lookup_{label}"), |b| {
+                b.iter(|| black_box(kb.query(&point)))
+            });
+            group.bench_function(format!("fk_join_{label}"), |b| {
+                b.iter(|| black_box(kb.query(&join)))
+            });
+            group.bench_function(format!("like_prefix_{label}"), |b| {
+                b.iter(|| black_box(kb.query(prefix)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kb, bench_kb_index);
 criterion_main!(benches);

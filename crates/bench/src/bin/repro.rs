@@ -11,11 +11,13 @@
 //! ablation-augmentation ablation-classifier ablation-feedback-loop
 //! ablation-sessions all` — plus the non-artifact passes, which are not
 //! part of `all`: `lint` (obcs-lint static analysis over the artifact
-//! chain), `perf` (stage timings against the committed baseline), `trace`
-//! (traced traffic replay with per-stage latency breakdown), `chaos`
-//! (fault-injected replay checking the robustness contract), and `export`
-//! (lint-gates and writes the offline artifacts to `artifacts/`). The
-//! README's "Reproduction harness" section documents the full set.
+//! chain), `perf` (stage timings against the committed baseline), `scale`
+//! (the latency-vs-KB-size curve for indexed KB execution, with enforced
+//! speedup floors at the 15k-drug point), `trace` (traced traffic replay
+//! with per-stage latency breakdown), `chaos` (fault-injected replay
+//! checking the robustness contract), and `export` (lint-gates and writes
+//! the offline artifacts to `artifacts/`, or `--dir DIR`). The README's
+//! "Reproduction harness" section documents the full set.
 
 use obcs_agent::ReplyKind;
 use obcs_bench::World;
@@ -54,6 +56,10 @@ fn main() {
     }
     if cmd == "verify" {
         verify(&args);
+        return;
+    }
+    if cmd == "scale" {
+        scale(&args, seed);
         return;
     }
 
@@ -133,7 +139,8 @@ fn main() {
         ablation_sessions(&world, seed);
     }
     if cmd == "export" {
-        export(&world);
+        let dir = str_flag(&args, "--dir").unwrap_or_else(|| "artifacts".to_string());
+        export(&world, &dir);
     }
 }
 
@@ -169,6 +176,52 @@ fn perf(args: &[String], seed: u64) {
             Ok(msg) => println!("{msg}"),
             Err(msg) => {
                 eprintln!("perf check failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// `repro scale [--quick] [--seed N] [--check BASELINE]`
+///
+/// Runs just the large-world scaling curve (DESIGN.md §14): indexed vs
+/// scan-twin latency for point lookup, FK join, and LIKE-prefix at
+/// 150 / 1.5k / 15k drugs. The floors the run itself carries (10x point
+/// lookup at 15k, etc.) are enforced directly; `--check` additionally
+/// compares against the scale stages of a committed baseline.
+fn scale(args: &[String], seed: u64) {
+    use obcs_bench::{perf, scale};
+    let opts = perf::PerfOptions { quick: args.iter().any(|a| a == "--quick"), seed };
+    heading(&format!(
+        "Large-world scaling curve ({} mode)",
+        if opts.quick { "quick" } else { "full" }
+    ));
+    let outcome = scale::run(&opts);
+    let report = perf::PerfReport {
+        mode: if opts.quick { "quick" } else { "full" }.to_string(),
+        seed,
+        timings: outcome.timings,
+        comparisons: outcome.comparisons,
+    };
+    print!("{}", report.render_text());
+    for c in &report.comparisons {
+        if let Some(floor) = c.min_speedup {
+            if c.speedup < floor {
+                eprintln!(
+                    "scale check failed: {} speedup {:.2}x below the {floor:.2}x floor",
+                    c.name, c.speedup
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = str_flag(args, "--check") {
+        let verdict = perf::load_baseline(&path)
+            .and_then(|baseline| report.check_against(&baseline.filtered("scale_")));
+        match verdict {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("scale check failed: {msg}");
                 std::process::exit(1);
             }
         }
@@ -802,8 +855,14 @@ fn lint_report(world: &World) -> obcs_lint::DiagnosticSet {
     report
 }
 
-fn export(world: &World) {
-    heading("Exporting offline artifacts to artifacts/");
+/// `repro export [--drugs N] [--dir DIR]`
+///
+/// Lint-gates and writes the offline artifact chain. `--dir` (default
+/// `artifacts`) redirects the output, which ci.sh uses to materialise a
+/// large-world space under `target/` and bind-check it at scale without
+/// touching the committed artifacts.
+fn export(world: &World, dir: &str) {
+    heading(&format!("Exporting offline artifacts to {dir}/"));
     // Deny gate: never export an artifact chain with lint errors.
     let report = lint_report(world);
     if let Err(msg) = report.gate(false) {
@@ -820,14 +879,14 @@ fn export(world: &World) {
         eprintln!("export aborted (library domain): {msg}");
         std::process::exit(1);
     }
-    std::fs::create_dir_all("artifacts").expect("create artifacts dir");
-    let writes: &[(&str, String)] = &[
-        ("artifacts/mdx_space.json", world.space.to_json()),
-        ("artifacts/mdx_ontology.ttl", obcs_ontology::turtle::to_turtle(&world.onto)),
-        ("artifacts/mdx_ontology.dot", obcs_ontology::dot::to_dot(&world.onto)),
-        ("artifacts/mdx_kb.json", world.kb.to_json()),
-        ("artifacts/library_space.json", lib_space.to_json()),
-        ("artifacts/library_kb.json", lib_kb.to_json()),
+    std::fs::create_dir_all(dir).expect("create artifacts dir");
+    let writes: &[(String, String)] = &[
+        (format!("{dir}/mdx_space.json"), world.space.to_json()),
+        (format!("{dir}/mdx_ontology.ttl"), obcs_ontology::turtle::to_turtle(&world.onto)),
+        (format!("{dir}/mdx_ontology.dot"), obcs_ontology::dot::to_dot(&world.onto)),
+        (format!("{dir}/mdx_kb.json"), world.kb.to_json()),
+        (format!("{dir}/library_space.json"), lib_space.to_json()),
+        (format!("{dir}/library_kb.json"), lib_kb.to_json()),
     ];
     for (path, content) in writes {
         std::fs::write(path, content).expect("write artifact");

@@ -10,6 +10,7 @@
 pub mod chaos;
 pub mod library;
 pub mod perf;
+pub mod scale;
 pub mod trace;
 
 use obcs_core::ConversationSpace;

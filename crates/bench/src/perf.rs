@@ -37,6 +37,17 @@ pub const MAX_REGRESSION: f64 = 5.0;
 /// baseline and enforced by `check_against`.
 pub const CACHED_REPLAY_FLOOR: f64 = 2.0;
 
+/// Committed floor for the `annotate` comparison: the interned-token
+/// trie must beat the span-join scan by at least this factor (the
+/// baseline sits near 5x; 2x leaves headroom for runner noise without
+/// letting the trie silently degrade into a scan).
+pub const ANNOTATE_FLOOR: f64 = 2.0;
+
+/// Committed floor for the `logreg_train` comparison: pre-vectorised
+/// CSR training with parallel one-vs-rest vs the per-example
+/// re-featurising scan (baseline near 5x).
+pub const LOGREG_TRAIN_FLOOR: f64 = 2.0;
+
 /// How the harness was sized.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfOptions {
@@ -147,7 +158,9 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
             black_box(lex.annotate(u));
         }
     });
-    comparisons.push(comparison("annotate", format!("{utterances_n} utterances"), before, after));
+    let mut annotate = comparison("annotate", format!("{utterances_n} utterances"), before, after);
+    annotate.min_speedup = Some(ANNOTATE_FLOOR);
+    comparisons.push(annotate);
 
     // Stage: logistic-regression training — pre-vectorized CSR with
     // parallel one-vs-rest, vs the per-example re-featurising scan.
@@ -164,15 +177,21 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
     let after = best_of(reps, || {
         black_box(LogReg::train(&data, config));
     });
-    comparisons.push(comparison(
+    let mut logreg = comparison(
         "logreg_train",
         format!("{} examples, {} epochs", data.len(), config.epochs),
         before,
         after,
-    ));
+    );
+    logreg.min_speedup = Some(LOGREG_TRAIN_FLOOR);
+    comparisons.push(logreg);
 
-    // Stage: traffic replay — sharded sessions across threads vs the
-    // single caller thread. The outputs must be bit-for-bit identical.
+    // Stage: traffic replay — auto parallelism vs the single caller
+    // thread. The outputs must be bit-for-bit identical. In quick mode
+    // the replay sits under `AUTO_FORK_THRESHOLD`, so auto mode itself
+    // chooses the sequential path and the comparison pins that choice
+    // at ~1.0x (sharding small replays used to *lose* ~5% to fork and
+    // thread overhead); the full profile is large enough to shard.
     let sim = |parallelism| SimConfig {
         interactions,
         seed: opts.seed,
@@ -259,6 +278,13 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
     cached_replay.min_speedup = Some(CACHED_REPLAY_FLOOR);
     comparisons.push(cached_replay);
 
+    // Stage group: the large-world scaling curve (DESIGN.md §14) —
+    // point lookup, FK join, and LIKE-prefix at 150 / 1.5k / 15k drugs,
+    // indexed vs scan twin, with `min_speedup` floors at the 15k point.
+    let scale = crate::scale::run(opts);
+    timings.extend(scale.timings);
+    comparisons.extend(scale.comparisons);
+
     PerfReport {
         mode: if opts.quick { "quick" } else { "full" }.to_string(),
         seed: opts.seed,
@@ -334,6 +360,24 @@ impl PerfReport {
             checked += 1;
         }
         Ok(format!("perf check passed: {checked} stages within {MAX_REGRESSION}x of baseline"))
+    }
+
+    /// A copy of this report keeping only stages whose name starts with
+    /// `prefix`. `repro scale` uses this to run and check just the
+    /// scaling-curve stages against the full committed baseline without
+    /// tripping `check_against`'s missing-stage error on the rest.
+    pub fn filtered(&self, prefix: &str) -> PerfReport {
+        PerfReport {
+            mode: self.mode.clone(),
+            seed: self.seed,
+            timings: self.timings.iter().filter(|t| t.name.starts_with(prefix)).cloned().collect(),
+            comparisons: self
+                .comparisons
+                .iter()
+                .filter(|c| c.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
     }
 }
 
@@ -436,6 +480,28 @@ mod tests {
         assert_eq!(parsed.comparisons[0].min_speedup, Some(2.0));
         let bare: PerfReport = serde_json::from_str(&report(10.0).to_json()).expect("parses");
         assert_eq!(bare.comparisons[0].min_speedup, None);
+    }
+
+    #[test]
+    fn filtered_keeps_only_matching_stages() {
+        let mut r = report(10.0);
+        r.timings.push(Timing { name: "scale_build_150".into(), work: "w".into(), ms: 5.0 });
+        r.comparisons.push(Comparison {
+            name: "scale_point_lookup_150".into(),
+            work: "w".into(),
+            before_ms: 10.0,
+            after_ms: 1.0,
+            speedup: 10.0,
+            min_speedup: None,
+        });
+        let f = r.filtered("scale_");
+        assert_eq!(f.timings.len(), 1);
+        assert_eq!(f.comparisons.len(), 1);
+        assert_eq!(f.comparisons[0].name, "scale_point_lookup_150");
+        // A scale-only run checks cleanly against a filtered baseline.
+        assert!(f.check_against(&r.filtered("scale_")).is_ok());
+        // …but the full baseline would demand the missing stages.
+        assert!(f.check_against(&r).is_err());
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! * a SQL-subset parser and executor covering the query fragment the
 //!   conversation system generates — `SELECT [DISTINCT] … FROM … INNER JOIN
 //!   … ON … WHERE … AND … [ORDER BY …] [LIMIT …]` ([`sql`]),
+//! * planner-selected secondary indexes — hash for equality and join
+//!   probes, ordered for LIKE-prefix range reads — chosen at bind time
+//!   and guaranteed byte-identical to scan execution ([`index`],
+//!   DESIGN.md §14),
 //! * data statistics (row counts, distinct counts, categorical-attribute
 //!   detection) used by the bootstrapper to identify dependent concepts
 //!   (paper §4.2.1) ([`stats`]),
@@ -37,6 +41,7 @@
 //! Crate role: DESIGN.md §2; executor performance architecture: §9;
 //! traced query execution (`query_traced`): §10.
 
+pub mod index;
 pub mod ontogen;
 pub mod schema;
 pub mod sql;
@@ -44,6 +49,7 @@ pub mod stats;
 pub mod store;
 pub mod value;
 
+pub use index::{IndexKind, SecondaryIndex};
 pub use sql::exec::BoundPlan;
 pub use store::{KbCacheStats, KbError, KnowledgeBase, ResultSet};
 pub use value::Value;

@@ -10,6 +10,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::index::IndexKind;
+use crate::stats;
 use crate::store::{KbError, KnowledgeBase, ResultSet};
 use crate::value::Value;
 
@@ -54,6 +56,24 @@ pub struct BoundPlan {
     /// ORDER BY as (position in the projection, descending).
     order: Option<(usize, bool)>,
     limit: Option<usize>,
+    /// How the FROM table is read (DESIGN.md §14). Chosen at bind time
+    /// from the available indexes and cardinality estimates — safe to
+    /// cache because `create_index` bumps the schema generation.
+    access: AccessPath,
+}
+
+/// Index-backed access path over the FROM table. Always a *candidate
+/// generator*: the executor re-applies every predicate to the rows an
+/// index yields, so any path produces byte-identical results to a scan.
+#[derive(Debug, Clone)]
+enum AccessPath {
+    /// Read every row.
+    Scan,
+    /// Probe an equality index with the literal of `preds[pred]`.
+    IndexEq { pred: usize },
+    /// Range-read an ordered index over the literal prefix of the LIKE
+    /// pattern in `preds[pred]`.
+    IndexPrefix { pred: usize, prefix: String },
 }
 
 impl BoundPlan {
@@ -73,6 +93,34 @@ impl BoundPlan {
     /// Number of lowered WHERE predicates.
     pub fn predicate_count(&self) -> usize {
         self.preds.len()
+    }
+
+    /// Whether the planner chose an index-backed access path for the
+    /// FROM table (as opposed to a full scan).
+    pub fn uses_index(&self) -> bool {
+        !matches!(self.access, AccessPath::Scan)
+    }
+
+    /// A short human-readable label for the chosen access path
+    /// (`scan`, `index_eq`, `index_prefix`) — used by the verify
+    /// bind-check report and tests.
+    pub fn access_label(&self) -> &'static str {
+        match self.access {
+            AccessPath::Scan => "scan",
+            AccessPath::IndexEq { .. } => "index_eq",
+            AccessPath::IndexPrefix { .. } => "index_prefix",
+        }
+    }
+}
+
+/// The literal prefix of a LIKE pattern: everything before the first
+/// wildcard (`%` or `_`). A row can only match the pattern if its text
+/// starts with this prefix, which is what makes an ordered-index range
+/// a sound candidate generator.
+fn like_prefix(pattern: &str) -> &str {
+    match pattern.find(['%', '_']) {
+        Some(i) => &pattern[..i],
+        None => pattern,
     }
 }
 
@@ -243,6 +291,49 @@ pub fn bind(kb: &KnowledgeBase, stmt: &Select) -> Result<BoundPlan, KbError> {
         None => None,
     };
 
+    // Access-path selection (DESIGN.md §14): among the FROM table's
+    // indexable predicates, pick the one with the lowest estimated
+    // result cardinality, and only if it beats a meaningful fraction of
+    // a full scan. Estimates come from the O(1) distinct-key counts the
+    // indexes maintain (`stats::estimated_eq_rows`), so binding stays
+    // row-data-free except for these counters.
+    let rows = from_table.len() as f64;
+    let mut access = AccessPath::Scan;
+    let mut best = rows / 2.0;
+    for (i, (bound, op, rhs)) in preds.iter().enumerate() {
+        if bound.slot != 0 {
+            continue;
+        }
+        match (op, rhs) {
+            (CompareOp::Eq, PredRhs::Literal(_)) => {
+                let column = bindings[0].columns[bound.col];
+                if let Some(est) = stats::estimated_eq_rows(kb, &stmt.from.table, column) {
+                    if est < best {
+                        best = est;
+                        access = AccessPath::IndexEq { pred: i };
+                    }
+                }
+            }
+            (CompareOp::Like, PredRhs::Literal(v)) => {
+                let Some(prefix) = v.as_text().map(like_prefix) else { continue };
+                if prefix.is_empty()
+                    || from_table.index_of_kind(bound.col, IndexKind::Ordered).is_none()
+                {
+                    continue;
+                }
+                // No prefix histograms yet: assume a literal prefix
+                // narrows to ~10% of the table, which ranks it above a
+                // scan but below any selective equality index.
+                let est = rows / 10.0;
+                if est < best {
+                    best = est;
+                    access = AccessPath::IndexPrefix { pred: i, prefix: prefix.to_string() };
+                }
+            }
+            _ => {}
+        }
+    }
+
     Ok(BoundPlan {
         from_table: stmt.from.table.clone(),
         joins,
@@ -252,39 +343,96 @@ pub fn bind(kb: &KnowledgeBase, stmt: &Select) -> Result<BoundPlan, KbError> {
         distinct: stmt.distinct,
         order,
         limit: stmt.limit,
+        access,
     })
 }
 
 /// Executes a bound plan against the knowledge base's current rows.
 pub fn execute_bound(kb: &KnowledgeBase, plan: &BoundPlan) -> Result<ResultSet, KbError> {
-    // Start with the base table's rows as single-slot tuples.
+    // Start with the base table's rows as single-slot tuples — either
+    // every row (scan) or the ascending candidate positions an index
+    // yields. Candidates are a superset of the matching rows in row
+    // order, and every predicate is re-applied below, so both starts
+    // produce byte-identical results. A probe may decline (`None` from
+    // a saturated or inexact index), in which case we scan.
     // A tuple is a Vec of row references, one per slot filled so far.
     let from_table = kb.table(&plan.from_table)?;
-    let mut tuples: Vec<Vec<&[Value]>> =
-        from_table.rows.iter().map(|r| vec![r.as_slice()]).collect();
-
-    // Apply each join with a hash join on the equality key.
-    for join in &plan.joins {
-        let right_table = kb.table(&join.table)?;
-        // Build hash index over the incoming table's key column.
-        let mut index: HashMap<&Value, Vec<&[Value]>> = HashMap::new();
-        for row in &right_table.rows {
-            let key = &row[join.incoming.col];
-            if !key.is_null() {
-                index.entry(key).or_default().push(row.as_slice());
+    let candidates: Option<Vec<u32>> = if kb.index_enabled() {
+        match &plan.access {
+            AccessPath::Scan => None,
+            AccessPath::IndexEq { pred } => {
+                let (bound, _, rhs) = &plan.preds[*pred];
+                match rhs {
+                    PredRhs::Literal(key) => {
+                        from_table.index_for_eq(bound.col).and_then(|idx| idx.probe_sql_eq(key))
+                    }
+                    _ => None,
+                }
+            }
+            AccessPath::IndexPrefix { pred, prefix } => {
+                let (bound, _, _) = &plan.preds[*pred];
+                from_table
+                    .index_of_kind(bound.col, IndexKind::Ordered)
+                    .and_then(|idx| idx.probe_prefix(prefix))
             }
         }
+    } else {
+        None
+    };
+    let mut tuples: Vec<Vec<&[Value]>> = match &candidates {
+        Some(positions) => {
+            positions.iter().map(|&p| vec![from_table.rows[p as usize].as_slice()]).collect()
+        }
+        None => from_table.rows.iter().map(|r| vec![r.as_slice()]).collect(),
+    };
+
+    // Apply each join with a hash join on the equality key. When the
+    // incoming table carries a persistent hash index on the key column,
+    // probe it instead of building a per-query map: both group rows by
+    // raw `Value` equality in insertion order, so the output tuples are
+    // identical either way.
+    for join in &plan.joins {
+        let right_table = kb.table(&join.table)?;
+        let persistent = if kb.index_enabled() {
+            right_table.index_of_kind(join.incoming.col, IndexKind::Hash)
+        } else {
+            None
+        };
         let mut next = Vec::new();
-        for tuple in &tuples {
-            let key = &tuple[join.existing.slot][join.existing.col];
-            if key.is_null() {
-                continue;
+        if let Some(idx) = persistent {
+            for tuple in &tuples {
+                let key = &tuple[join.existing.slot][join.existing.col];
+                if key.is_null() {
+                    continue;
+                }
+                if let Some(positions) = idx.probe_raw(key) {
+                    for &p in positions {
+                        let mut t = tuple.clone();
+                        t.push(right_table.rows[p as usize].as_slice());
+                        next.push(t);
+                    }
+                }
             }
-            if let Some(matches) = index.get(key) {
-                for m in matches {
-                    let mut t = tuple.clone();
-                    t.push(m);
-                    next.push(t);
+        } else {
+            // Build hash index over the incoming table's key column.
+            let mut index: HashMap<&Value, Vec<&[Value]>> = HashMap::new();
+            for row in &right_table.rows {
+                let key = &row[join.incoming.col];
+                if !key.is_null() {
+                    index.entry(key).or_default().push(row.as_slice());
+                }
+            }
+            for tuple in &tuples {
+                let key = &tuple[join.existing.slot][join.existing.col];
+                if key.is_null() {
+                    continue;
+                }
+                if let Some(matches) = index.get(key) {
+                    for m in matches {
+                        let mut t = tuple.clone();
+                        t.push(m);
+                        next.push(t);
+                    }
                 }
             }
         }
@@ -728,6 +876,100 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn like_prefix_extraction() {
+        assert_eq!(like_prefix("Cardio%"), "Cardio");
+        assert_eq!(like_prefix("Car_io%"), "Car");
+        assert_eq!(like_prefix("%zol"), "");
+        assert_eq!(like_prefix("exact"), "exact");
+    }
+
+    #[test]
+    fn planner_picks_index_paths_and_results_match_scan() {
+        let mut kb = medical_kb();
+        for i in 4..200 {
+            kb.insert("drug", vec![Value::Int(i), Value::text(format!("Generic{i}"))]).unwrap();
+        }
+        let mut scan = kb.clone();
+        scan.set_index_enabled(false);
+        assert!(
+            !kb.prepare("SELECT name FROM drug WHERE drug_id = 2").unwrap().uses_index(),
+            "no index yet — plan must scan"
+        );
+        kb.create_index("drug", "drug_id", IndexKind::Hash).unwrap();
+        kb.create_index("drug", "name", IndexKind::Ordered).unwrap();
+        scan.create_index("drug", "drug_id", IndexKind::Hash).unwrap();
+        scan.create_index("drug", "name", IndexKind::Ordered).unwrap();
+
+        let eq = "SELECT name FROM drug WHERE drug_id = 2";
+        let plan = kb.prepare(eq).unwrap();
+        assert!(plan.uses_index());
+        assert_eq!(plan.access_label(), "index_eq");
+        assert_eq!(kb.query(eq).unwrap(), scan.query(eq).unwrap());
+        assert_eq!(kb.query(eq).unwrap().rows, vec![vec![Value::text("Ibuprofen")]]);
+
+        let like = "SELECT name FROM drug WHERE name LIKE 'Asp%'";
+        let plan = kb.prepare(like).unwrap();
+        assert_eq!(plan.access_label(), "index_prefix");
+        assert_eq!(kb.query(like).unwrap(), scan.query(like).unwrap());
+        assert_eq!(kb.query(like).unwrap().rows.len(), 1);
+
+        // An unanchored pattern has no literal prefix: scan.
+        let plan = kb.prepare("SELECT name FROM drug WHERE name LIKE '%zol'").unwrap();
+        assert_eq!(plan.access_label(), "scan");
+
+        // Joins probe the persistent hash index; results stay identical.
+        let join = "SELECT p.description FROM precautions p \
+                    INNER JOIN drug d ON p.drug_id = d.drug_id WHERE d.drug_id <= 5";
+        assert_eq!(kb.query(join).unwrap(), scan.query(join).unwrap());
+    }
+
+    #[test]
+    fn equality_via_ordered_index_when_no_hash_exists() {
+        let mut kb = medical_kb();
+        for i in 4..100 {
+            kb.insert("drug", vec![Value::Int(i), Value::text(format!("Generic{i}"))]).unwrap();
+        }
+        kb.create_index("drug", "name", IndexKind::Ordered).unwrap();
+        let sql = "SELECT drug_id FROM drug WHERE name = 'Aspirin'";
+        let plan = kb.prepare(sql).unwrap();
+        assert_eq!(plan.access_label(), "index_eq", "ordered index serves equality too");
+        assert_eq!(kb.query(sql).unwrap().rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn disabled_indexes_fall_back_to_scan_with_identical_results() {
+        let mut kb = medical_kb();
+        kb.create_index("drug", "drug_id", IndexKind::Hash).unwrap();
+        let sql = "SELECT name FROM drug WHERE drug_id = 3";
+        let with_index = kb.query(sql).unwrap();
+        kb.set_index_enabled(false);
+        assert_eq!(kb.query(sql).unwrap(), with_index);
+        kb.set_index_enabled(true);
+        assert_eq!(kb.query(sql).unwrap(), with_index);
+    }
+
+    #[test]
+    fn low_selectivity_index_loses_to_scan() {
+        let mut kb = KnowledgeBase::new();
+        kb.create_table(
+            TableSchema::new("t")
+                .column("id", ColumnType::Int)
+                .column("flag", ColumnType::Int)
+                .primary_key("id"),
+        )
+        .unwrap();
+        for i in 0..50 {
+            kb.insert("t", vec![Value::Int(i), Value::Int(i % 2)]).unwrap();
+        }
+        kb.create_index("t", "flag", IndexKind::Hash).unwrap();
+        // Two distinct values over 50 rows: estimated 25 ≥ rows/2, so the
+        // planner keeps the scan.
+        let plan = kb.prepare("SELECT id FROM t WHERE flag = 1").unwrap();
+        assert_eq!(plan.access_label(), "scan");
+        assert_eq!(kb.query("SELECT id FROM t WHERE flag = 1").unwrap().rows.len(), 25);
     }
 
     #[test]

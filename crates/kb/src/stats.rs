@@ -117,6 +117,23 @@ pub fn table_is_categorical(
     Ok(false)
 }
 
+/// O(1) index-backed estimate of how many rows an equality predicate on
+/// `table.column` selects: row count over the index's distinct-key count
+/// (uniform-distribution assumption). `None` when the column has no
+/// secondary index — the planner then has no cheap estimate and keeps
+/// the scan (DESIGN.md §14). Unlike [`column_stats`] this never touches
+/// row data, so the binder can afford it on every plan.
+pub fn estimated_eq_rows(kb: &KnowledgeBase, table: &str, column: &str) -> Option<f64> {
+    let t = kb.table(table).ok()?;
+    let col = t.schema.column_index(column)?;
+    let idx = t.index_for_eq(col)?;
+    let distinct = idx.distinct_count();
+    if distinct == 0 {
+        return Some(0.0);
+    }
+    Some(t.len() as f64 / distinct as f64)
+}
+
 /// Samples up to `limit` distinct non-null values of a column (sorted, so
 /// deterministic).
 pub fn sample_values(

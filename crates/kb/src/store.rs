@@ -8,8 +8,10 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use obcs_cache::{CacheConfig, CacheStats, GenCache};
 use serde::{Deserialize, Serialize};
 
+use crate::index::{IndexKind, SecondaryIndex};
 use crate::schema::TableSchema;
 use crate::sql;
+use crate::stats;
 use crate::value::Value;
 
 /// Errors produced by the store and the SQL engine.
@@ -90,11 +92,16 @@ pub struct Table {
     /// PK value → row position, present when the schema declares a PK.
     #[serde(skip)]
     pk_index: HashMap<Value, usize>,
+    /// Secondary indexes (DESIGN.md §14). Rebuilt on insert, never
+    /// persisted: a deserialised KB is scan-only until
+    /// [`KnowledgeBase::auto_index`] (or explicit `create_index`) runs.
+    #[serde(skip)]
+    secondary: Vec<SecondaryIndex>,
 }
 
 impl Table {
     fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Vec::new(), pk_index: HashMap::new() }
+        Table { schema, rows: Vec::new(), pk_index: HashMap::new(), secondary: Vec::new() }
     }
 
     /// Finds a row by primary-key value.
@@ -111,6 +118,39 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// The secondary indexes on this table.
+    pub fn secondary_indexes(&self) -> &[SecondaryIndex] {
+        &self.secondary
+    }
+
+    /// A secondary index of `kind` on column position `col`, if any.
+    pub fn index_of_kind(&self, col: usize, kind: IndexKind) -> Option<&SecondaryIndex> {
+        self.secondary.iter().find(|i| i.column_pos() == col && i.kind() == kind)
+    }
+
+    /// The best index for an equality probe on column position `col`:
+    /// a hash index if present, else an ordered one.
+    pub fn index_for_eq(&self, col: usize) -> Option<&SecondaryIndex> {
+        self.index_of_kind(col, IndexKind::Hash)
+            .or_else(|| self.index_of_kind(col, IndexKind::Ordered))
+    }
+
+    /// Adds (and builds) a secondary index; `false` if an identical one
+    /// already exists.
+    fn add_secondary(&mut self, column: &str, kind: IndexKind) -> Result<bool, KbError> {
+        let col = self.schema.column_index(column).ok_or_else(|| KbError::UnknownColumn {
+            table: self.schema.name.clone(),
+            column: column.to_string(),
+        })?;
+        if self.index_of_kind(col, kind).is_some() {
+            return Ok(false);
+        }
+        let mut idx = SecondaryIndex::new(column, col, kind);
+        idx.rebuild(&self.rows);
+        self.secondary.push(idx);
+        Ok(true)
+    }
+
     fn rebuild_pk_index(&mut self) {
         self.pk_index.clear();
         if let Some(pk) = self.schema.primary_key.clone() {
@@ -118,6 +158,9 @@ impl Table {
             for (i, row) in self.rows.iter().enumerate() {
                 self.pk_index.insert(row[idx].clone(), i);
             }
+        }
+        for sec in &mut self.secondary {
+            sec.rebuild(&self.rows);
         }
     }
 }
@@ -233,10 +276,15 @@ pub struct KnowledgeBase {
     #[serde(skip)]
     generation: u64,
     /// Schema generation: bumped by [`create_table`](Self::create_table)
-    /// only; validates plan-cache entries (plans depend on schemas, never
-    /// on row data, and this KB has no DROP/ALTER).
+    /// and [`create_index`](Self::create_index); validates plan-cache
+    /// entries (plans depend on schemas and on the available access
+    /// paths, never on row data, and this KB has no DROP/ALTER).
     #[serde(skip)]
     schema_generation: u64,
+    /// Inverted so the serde-skip `Default` (false) means "enabled":
+    /// see [`set_index_enabled`](Self::set_index_enabled).
+    #[serde(skip)]
+    indexes_disabled: bool,
     #[serde(skip)]
     caches: QueryCaches,
 }
@@ -331,9 +379,87 @@ impl KnowledgeBase {
             let idx = t.schema.column_index(&pk).expect("checked schema");
             t.pk_index.insert(row[idx].clone(), t.rows.len());
         }
+        let pos = t.rows.len() as u32;
+        for sec in &mut t.secondary {
+            sec.insert_row(pos, &row[sec.column_pos()]);
+        }
         t.rows.push(row);
         self.generation += 1;
         Ok(())
+    }
+
+    /// Creates (and builds) a secondary index on `table.column`; `false`
+    /// if an identical index already exists. Bumps both generations:
+    /// the schema generation because cached plans embed access-path
+    /// choices, and the data generation so PR 5's result cache revalidates
+    /// against index-backed execution (DESIGN.md §14).
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        column: &str,
+        kind: IndexKind,
+    ) -> Result<bool, KbError> {
+        let t =
+            self.tables.get_mut(table).ok_or_else(|| KbError::UnknownTable(table.to_string()))?;
+        let created = t.add_secondary(column, kind)?;
+        if created {
+            self.generation += 1;
+            self.schema_generation += 1;
+        }
+        Ok(created)
+    }
+
+    /// Stats-guided index selection over the whole KB (DESIGN.md §14):
+    /// hash indexes on every primary-key and foreign-key column (join
+    /// keys and point lookups), ordered indexes on high-cardinality
+    /// non-categorical text columns (LIKE-prefix targets). Idempotent;
+    /// returns the number of indexes newly created.
+    pub fn auto_index(&mut self) -> usize {
+        let policy = stats::CategoricalPolicy::default();
+        let mut wanted: Vec<(String, String, IndexKind)> = Vec::new();
+        for name in self.table_names() {
+            let t = &self.tables[name];
+            if let Some(pk) = &t.schema.primary_key {
+                wanted.push((name.to_string(), pk.clone(), IndexKind::Hash));
+            }
+            for fk in &t.schema.foreign_keys {
+                wanted.push((name.to_string(), fk.column.clone(), IndexKind::Hash));
+            }
+            for col in &t.schema.columns {
+                if col.ty != crate::schema::ColumnType::Text {
+                    continue;
+                }
+                let Ok(s) = stats::column_stats(self, name, &col.name) else { continue };
+                if s.distinct_count > policy.max_distinct && !stats::is_categorical(&s, policy) {
+                    wanted.push((name.to_string(), col.name.clone(), IndexKind::Ordered));
+                }
+            }
+        }
+        let mut created = 0;
+        for (table, column, kind) in wanted {
+            if self.create_index(&table, &column, kind).unwrap_or(false) {
+                created += 1;
+            }
+        }
+        created
+    }
+
+    /// Enables or disables index-backed execution at run time. Purely a
+    /// routing switch — indexed and scan execution return byte-identical
+    /// results (the index-oracle property test) — so no generation is
+    /// bumped and cached plans/results stay valid either way.
+    pub fn set_index_enabled(&mut self, on: bool) {
+        self.indexes_disabled = !on;
+    }
+
+    /// Whether index-backed execution is enabled (default: yes).
+    pub fn index_enabled(&self) -> bool {
+        !self.indexes_disabled
+    }
+
+    /// Total number of secondary indexes across all tables.
+    pub fn index_count(&self) -> usize {
+        self.tables.values().map(|t| t.secondary_indexes().len()).sum()
     }
 
     /// Parses and executes a SQL query against the store.
@@ -650,6 +776,93 @@ mod tests {
         let fork = kb.clone();
         assert!(fork.cache_enabled());
         assert_eq!(fork.cache_stats(), KbCacheStats::default(), "no shared or carried state");
+    }
+
+    #[test]
+    fn create_index_invalidates_plans_and_is_idempotent() {
+        let mut kb = kb_with_drug();
+        for i in 0..20 {
+            kb.insert("drug", vec![Value::Int(i), Value::text(format!("Drug{i}"))]).unwrap();
+        }
+        let sql = "SELECT name FROM drug WHERE drug_id = 3";
+        let before = kb.query(sql).unwrap();
+        assert!(!kb.prepare(sql).unwrap().uses_index());
+        assert!(kb.create_index("drug", "drug_id", IndexKind::Hash).unwrap());
+        assert_eq!(kb.query(sql).unwrap(), before, "index is value-invisible");
+        let stats = kb.cache_stats();
+        assert_eq!(stats.plan.invalidations, 1, "schema bump re-binds the plan");
+        assert_eq!(stats.result.invalidations, 1, "data bump revalidates the result");
+        assert!(kb.prepare(sql).unwrap().uses_index());
+        // Identical index again: no-op, no generation churn.
+        let gen = kb.generation();
+        assert!(!kb.create_index("drug", "drug_id", IndexKind::Hash).unwrap());
+        assert_eq!(kb.generation(), gen);
+        assert_eq!(kb.index_count(), 1);
+    }
+
+    #[test]
+    fn create_index_rejects_unknown_targets() {
+        let mut kb = kb_with_drug();
+        assert!(matches!(
+            kb.create_index("nope", "x", IndexKind::Hash),
+            Err(KbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            kb.create_index("drug", "nope", IndexKind::Hash),
+            Err(KbError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn inserts_maintain_secondary_indexes() {
+        let mut kb = kb_with_drug();
+        kb.create_index("drug", "name", IndexKind::Ordered).unwrap();
+        for (i, n) in [(1, "Cardiozol"), (2, "Aspirin"), (3, "Cardiomax")] {
+            kb.insert("drug", vec![Value::Int(i), Value::text(n)]).unwrap();
+        }
+        let idx = kb.table("drug").unwrap().index_for_eq(1).unwrap();
+        assert_eq!(idx.probe_prefix("Cardio"), Some(vec![0, 2]));
+        assert_eq!(idx.distinct_count(), 3);
+    }
+
+    #[test]
+    fn auto_index_covers_keys_and_high_cardinality_text() {
+        let mut kb = kb_with_drug();
+        kb.create_table(
+            TableSchema::new("dosage")
+                .column("dosage_id", ColumnType::Int)
+                .column("drug_id", ColumnType::Int)
+                .primary_key("dosage_id")
+                .foreign_key("drug_id", "drug", "drug_id"),
+        )
+        .unwrap();
+        for i in 0..100 {
+            kb.insert("drug", vec![Value::Int(i), Value::text(format!("Drug{i}"))]).unwrap();
+            kb.insert("dosage", vec![Value::Int(i), Value::Int(i)]).unwrap();
+        }
+        let created = kb.auto_index();
+        // drug.drug_id (PK hash), drug.name (ordered), dosage.dosage_id
+        // (PK hash), dosage.drug_id (FK hash).
+        assert_eq!(created, 4);
+        assert_eq!(kb.auto_index(), 0, "idempotent");
+        let drug = kb.table("drug").unwrap();
+        assert!(drug.index_of_kind(0, IndexKind::Hash).is_some());
+        assert!(drug.index_of_kind(1, IndexKind::Ordered).is_some());
+        assert!(kb.index_enabled());
+    }
+
+    #[test]
+    fn json_roundtrip_drops_secondary_indexes() {
+        let mut kb = kb_with_drug();
+        kb.insert("drug", vec![Value::Int(1), Value::text("A")]).unwrap();
+        kb.create_index("drug", "drug_id", IndexKind::Hash).unwrap();
+        let kb2 = KnowledgeBase::from_json(&kb.to_json()).unwrap();
+        assert_eq!(kb2.index_count(), 0, "indexes are not persisted; rebuild via auto_index");
+        assert_eq!(
+            kb2.query("SELECT name FROM drug WHERE drug_id = 1").unwrap().rows.len(),
+            1,
+            "scan-only KB still answers"
+        );
     }
 
     #[test]

@@ -562,6 +562,11 @@ pub fn build_mdx_kb(config: MdxDataConfig) -> KnowledgeBase {
     let drug_names = populate_drugs(&mut kb, &mut rng, config.drugs);
     populate_bridges(&mut kb, &mut rng, &drug_names);
     populate_dependents(&mut kb, &mut rng, &drug_names);
+    // Stats-guided secondary indexes (DESIGN.md §14): hash on PK/FK join
+    // keys, ordered on high-cardinality text (e.g. drug.name for
+    // LIKE-prefix). Purely an access-path change — results are
+    // byte-identical to scans (the index-oracle property).
+    kb.auto_index();
     kb
 }
 
@@ -904,20 +909,33 @@ fn populate_drugs(kb: &mut KnowledgeBase, rng: &mut ChaCha8Rng, total: usize) ->
         .expect("drug row");
         names.push(name.to_string());
     }
-    // Generated tail: synthetic but plausible names, deterministic.
-    let mut generated: std::collections::HashSet<String> = std::collections::HashSet::new();
+    // Generated tail: synthetic but plausible names, deterministic. The
+    // prefix×stem×suffix space holds only ~780 distinct compositions, so
+    // "large world" sizes (tens of thousands of drugs) must not rely on
+    // rejection sampling alone: after a few collisions the base name gets
+    // a deterministic numeric disambiguator instead of spinning forever.
+    let mut taken: std::collections::HashSet<String> = names.iter().cloned().collect();
     while names.len() < total {
-        let name = format!(
-            "{}{}{}",
-            DRUG_PREFIXES[rng.gen_range(0..DRUG_PREFIXES.len())].to_lowercase(),
-            DRUG_STEMS[rng.gen_range(0..DRUG_STEMS.len())],
-            DRUG_SUFFIXES[rng.gen_range(0..DRUG_SUFFIXES.len())]
-        );
-        let name = capitalize(&name);
-        if names.contains(&name) || !generated.insert(name.clone()) {
-            continue;
-        }
         let id = names.len() as i64;
+        let mut name = String::new();
+        for attempt in 0..8 {
+            let base = capitalize(&format!(
+                "{}{}{}",
+                DRUG_PREFIXES[rng.gen_range(0..DRUG_PREFIXES.len())].to_lowercase(),
+                DRUG_STEMS[rng.gen_range(0..DRUG_STEMS.len())],
+                DRUG_SUFFIXES[rng.gen_range(0..DRUG_SUFFIXES.len())]
+            ));
+            let candidate = if attempt < 4 { base } else { format!("{base} {id}") };
+            if taken.insert(candidate.clone()) {
+                name = candidate;
+                break;
+            }
+        }
+        if name.is_empty() {
+            // The `{base} {id}` form is unique per id; reaching here
+            // would mean the same id retried, which cannot happen.
+            unreachable!("drug name generation failed to disambiguate");
+        }
         let class =
             ["Antibiotic", "Statin", "Beta Blocker", "SSRI", "NSAID"][rng.gen_range(0..5usize)];
         kb.insert(
@@ -1469,5 +1487,22 @@ mod tests {
     fn smaller_config_for_fast_tests() {
         let kb = build_mdx_kb(MdxDataConfig { drugs: 80, seed: 1 });
         assert_eq!(kb.table("drug").unwrap().len(), 80);
+    }
+
+    #[test]
+    fn large_world_scales_past_the_compositional_namespace() {
+        // The prefix×stem×suffix space holds ~780 names; a "large world"
+        // must sail past it with unique, deterministic names (the old
+        // rejection-sampling loop spun forever here).
+        let kb = build_mdx_kb(MdxDataConfig { drugs: 2000, seed: 9 });
+        assert_eq!(kb.table("drug").unwrap().len(), 2000);
+        assert_eq!(kb.distinct_values("drug", "name").unwrap().len(), 2000, "names stay unique");
+        let again = build_mdx_kb(MdxDataConfig { drugs: 2000, seed: 9 });
+        assert_eq!(kb.table("drug").unwrap().rows, again.table("drug").unwrap().rows);
+        assert!(kb.index_count() > 0, "the world is auto-indexed");
+        assert_eq!(
+            kb.prepare("SELECT name FROM drug WHERE drug_id = 1423").unwrap().access_label(),
+            "index_eq"
+        );
     }
 }

@@ -117,9 +117,12 @@ pub struct SimConfig {
     pub mean_session_length: f64,
     pub feedback: FeedbackModel,
     /// Replay shard threads: `1` runs every session sequentially on the
-    /// caller's thread and agent, `0` uses one thread per available core,
-    /// `N` uses `N` threads. The produced record sequence is identical
-    /// for every value (see the module docs).
+    /// caller's thread and agent, `N` uses `N` threads, and `0` ("auto")
+    /// uses one thread per available core — but only once the replay is
+    /// at least [`AUTO_FORK_THRESHOLD`] interactions, because forking
+    /// per-shard agents and spawning threads costs more than it saves on
+    /// small replays. The produced record sequence is identical for
+    /// every value (see the module docs).
     pub parallelism: usize,
 }
 
@@ -180,6 +183,29 @@ impl SimOutcome {
         }
         self.records.iter().filter(|r| r.correct).count() as f64 / self.records.len() as f64
     }
+}
+
+/// Below this interaction count, auto parallelism (`parallelism = 0`)
+/// replays sequentially instead of forking shards: cloning per-shard
+/// agent forks and spawning threads is fixed overhead that a small
+/// replay never amortises (the quick perf profile measured sharded
+/// replay *slower* than sequential at 400 interactions). An explicit
+/// `parallelism = N` is always honoured — the threshold only gates the
+/// automatic choice.
+pub const AUTO_FORK_THRESHOLD: usize = 1_000;
+
+/// The shard-thread count a replay will actually use: explicit
+/// `parallelism = N` verbatim, auto (`0`) resolves to the core count
+/// once the replay clears [`AUTO_FORK_THRESHOLD`] interactions and to
+/// `1` below it, and everything is capped by the session count (a shard
+/// needs at least one whole session).
+pub fn planned_threads(config: &SimConfig, session_count: usize) -> usize {
+    let requested = match config.parallelism {
+        0 if config.interactions < AUTO_FORK_THRESHOLD => 1,
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    };
+    requested.min(session_count.max(1))
 }
 
 /// A planned session: `len` consecutive interactions starting at global
@@ -347,12 +373,7 @@ pub fn run_traffic_traced(
 ) -> (SimOutcome, Option<TraceReport>) {
     let total_weight: f64 = INTENT_MIX.iter().map(|&(_, w)| w).sum();
     let sessions = plan_sessions(&config);
-    let threads = if config.parallelism == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        config.parallelism
-    }
-    .min(sessions.len().max(1));
+    let threads = planned_threads(&config, sessions.len());
 
     if threads <= 1 {
         // Install the collecting recorder on the caller's agent for the
@@ -719,6 +740,27 @@ mod tests {
             TraceMode::Off,
         );
         assert!(report.is_none());
+    }
+
+    #[test]
+    fn auto_parallelism_stays_sequential_below_the_fork_threshold() {
+        let small = SimConfig { interactions: AUTO_FORK_THRESHOLD - 1, ..SimConfig::default() };
+        // parallelism = 0 on a small replay: no forks, no threads.
+        let auto_small = SimConfig { parallelism: 0, ..small };
+        assert_eq!(planned_threads(&auto_small, 500), 1);
+        // Above the threshold auto mode shards (given enough sessions
+        // and more than one core; single-core machines stay at 1).
+        let auto_big =
+            SimConfig { interactions: AUTO_FORK_THRESHOLD, parallelism: 0, ..SimConfig::default() };
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        assert_eq!(planned_threads(&auto_big, 10_000), cores);
+        // An explicit request is always honoured, threshold or not.
+        let explicit = SimConfig { parallelism: 3, ..small };
+        assert_eq!(planned_threads(&explicit, 500), 3);
+        // The session count caps everything: a shard replays whole
+        // sessions, so there is never a thread without one.
+        assert_eq!(planned_threads(&explicit, 2), 2);
+        assert_eq!(planned_threads(&auto_big, 1), 1);
     }
 
     #[test]

@@ -20,6 +20,17 @@ fn baseline_fixture_verifies_clean() {
     assert!(report.is_empty(), "clean fixture should verify clean:\n{}", report.render_text());
 }
 
+#[test]
+fn bind_checking_is_index_invariant() {
+    // The bind-checker drives the same bind phase the planner hangs
+    // access-path selection off (DESIGN.md §14); secondary indexes are
+    // an execution concern and must not change any binding verdict.
+    let mut f = fixture();
+    assert!(f.kb.auto_index() > 0, "fixture KB should accept some indexes");
+    let report = verify(&f);
+    assert!(report.is_empty(), "indexed fixture should verify clean:\n{}", report.render_text());
+}
+
 // ---- flow: OBCS100–OBCS105 ----
 
 #[test]
