@@ -58,6 +58,19 @@ echo "==> repro scale --quick --check BENCH_perf.json"
 # the baseline.
 cargo run -q --release -p obcs-bench --bin repro -- scale --quick --check BENCH_perf.json
 
+echo "==> repro serve --quick --check BENCH_perf.json"
+# Serving gate: starts a real obcs-serve server on an ephemeral port,
+# asserts served replies byte-identical to an in-process replay of the
+# same script, drives the Table 5 intent mix from concurrent socket
+# connections, and enforces the 5x regression ceiling on the serve_*
+# stages (p50/p99 served-turn latency, run wall time) of the baseline.
+cargo run -q --release -p obcs-bench --bin repro -- serve --quick --check BENCH_perf.json
+
+echo "==> protocol spec round-trip (docs/PROTOCOL.md vs serde types)"
+# Doc-rot gate: every fenced json example in docs/PROTOCOL.md must parse
+# as a protocol message and survive an encode/decode round trip.
+cargo test -q -p obcs-serve --test protocol_doc > /dev/null
+
 echo "==> spacelint + spaceverify over a large-world export"
 # Bind-checks the static-analysis chain at scale: export a 1000-drug
 # world (auto-indexed KB included) to target/ and run the same OBCS0xx /

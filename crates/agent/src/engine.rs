@@ -157,6 +157,13 @@ impl ConversationAgent {
         self.resilience
     }
 
+    /// The agent's construction config (display name, confidence
+    /// threshold) — read-only; serving layers use it to identify the
+    /// engine on the wire.
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
     /// Installs a telemetry recorder; every subsequent turn records spans
     /// and counters through it. Pass an `Arc<CollectingRecorder>` handle
     /// you keep, then drain it with `take_report` (DESIGN.md §10).

@@ -47,3 +47,4 @@ pub mod nlu;
 
 pub use engine::{AgentConfig, AgentReply, ConversationAgent, ReplyKind};
 pub use log::{Feedback, InteractionLog, InteractionRecord};
+pub use obcs_core::IntentId;

@@ -13,7 +13,9 @@
 //! part of `all`: `lint` (obcs-lint static analysis over the artifact
 //! chain), `perf` (stage timings against the committed baseline), `scale`
 //! (the latency-vs-KB-size curve for indexed KB execution, with enforced
-//! speedup floors at the 15k-drug point), `trace` (traced traffic replay
+//! speedup floors at the 15k-drug point), `serve` (the socket serving
+//! benchmark: a real `obcs-serve` server under the Table 5 load mix,
+//! with p50/p99 served-turn latency gates), `trace` (traced traffic replay
 //! with per-stage latency breakdown), `chaos` (fault-injected replay
 //! checking the robustness contract), and `export` (lint-gates and writes
 //! the offline artifacts to `artifacts/`, or `--dir DIR`). The README's
@@ -60,6 +62,10 @@ fn main() {
     }
     if cmd == "scale" {
         scale(&args, seed);
+        return;
+    }
+    if cmd == "serve" {
+        serve(&args, seed);
         return;
     }
 
@@ -222,6 +228,60 @@ fn scale(args: &[String], seed: u64) {
             Ok(msg) => println!("{msg}"),
             Err(msg) => {
                 eprintln!("scale check failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// `repro serve [--quick] [--seed N] [--check BASELINE]`
+///
+/// Runs the socket serving benchmark (DESIGN.md §15): starts a real
+/// `obcs-serve` server on an ephemeral port, proves served replies are
+/// byte-identical to an in-process replay of the same script, then
+/// drives the Table 5 intent mix from concurrent connections and
+/// reports p50/p99 served-turn latency and turns/sec. The invariants
+/// the run itself carries (all turns answered, zero shed, zero
+/// degraded, byte-identity) are enforced inside the run; `--check`
+/// additionally compares the `serve_` stages against a committed
+/// baseline.
+fn serve(args: &[String], seed: u64) {
+    use obcs_bench::{perf, serve};
+    let opts = perf::PerfOptions { quick: args.iter().any(|a| a == "--quick"), seed };
+    heading(&format!(
+        "Socket serving benchmark ({} mode)",
+        if opts.quick { "quick" } else { "full" }
+    ));
+    let outcome = serve::run(&opts);
+    let report = perf::PerfReport {
+        mode: if opts.quick { "quick" } else { "full" }.to_string(),
+        seed,
+        timings: outcome.timings,
+        comparisons: Vec::new(),
+    };
+    print!("{}", report.render_text());
+    println!(
+        "served {} turns over {} connections: p50 {:.3} ms, p99 {:.3} ms, {:.0} turns/s \
+         (shed {}, degraded {})",
+        outcome.turns,
+        outcome.connections,
+        outcome.p50_ms,
+        outcome.p99_ms,
+        outcome.turns_per_sec,
+        outcome.shed,
+        outcome.degraded
+    );
+    if outcome.p99_ms < outcome.p50_ms {
+        eprintln!("serve check failed: p99 below p50");
+        std::process::exit(1);
+    }
+    if let Some(path) = str_flag(args, "--check") {
+        let verdict = perf::load_baseline(&path)
+            .and_then(|baseline| report.check_against(&baseline.filtered("serve_")));
+        match verdict {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("serve check failed: {msg}");
                 std::process::exit(1);
             }
         }

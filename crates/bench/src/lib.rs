@@ -11,6 +11,7 @@ pub mod chaos;
 pub mod library;
 pub mod perf;
 pub mod scale;
+pub mod serve;
 pub mod trace;
 
 use obcs_core::ConversationSpace;

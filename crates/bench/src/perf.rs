@@ -285,6 +285,13 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
     timings.extend(scale.timings);
     comparisons.extend(scale.comparisons);
 
+    // Stage group: the socket serving benchmark (DESIGN.md §15) — a
+    // real server under the Table 5 load mix, byte-identity asserted
+    // before timing; p50/p99 served-turn latency plus run wall time
+    // (throughput) join the committed baseline.
+    let serve = crate::serve::run(opts);
+    timings.extend(serve.timings);
+
     PerfReport {
         mode: if opts.quick { "quick" } else { "full" }.to_string(),
         seed: opts.seed,

@@ -1,0 +1,144 @@
+//! The served-turn benchmark behind `repro serve` (DESIGN.md §15): a
+//! real `obcs-serve` server on an ephemeral port, driven by the
+//! `obcs-sim` socket load generator over N concurrent connections with
+//! the Table 5 intent mix. Before any timing counts, a deterministic
+//! multi-turn script is replayed both in-process and over the socket
+//! and the wire-encoded replies are asserted byte-identical — the same
+//! equality-before-speed contract the perf and scale stages follow.
+//! The timed stages join the `repro perf` report, so p50/p99 served
+//! turn latency and the run's wall time (throughput) are committed to
+//! `BENCH_perf.json` under the usual regression ceiling.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use obcs_serve::protocol::encode_line;
+use obcs_serve::{kind_label, Client, ServeConfig, Server, SessionConfig, TurnReply};
+use obcs_sim::load::{run_load, LoadConfig, LoadOutcome};
+use obcs_sim::traffic::INTENT_MIX;
+use obcs_sim::utterance::generate;
+
+use crate::perf::{PerfOptions, Timing};
+use crate::World;
+
+/// What one `repro serve` run produced: the gated timings plus the raw
+/// load numbers the report prints.
+pub struct ServeBenchOutcome {
+    /// Stages for the perf report (`serve_` prefix).
+    pub timings: Vec<Timing>,
+    /// Connections the load generator drove.
+    pub connections: usize,
+    /// Turns served (all connections).
+    pub turns: usize,
+    /// Median served-turn latency, ms.
+    pub p50_ms: f64,
+    /// p99 served-turn latency, ms.
+    pub p99_ms: f64,
+    /// Aggregate throughput, turns per second.
+    pub turns_per_sec: f64,
+    /// Turns shed by admission control (must be 0 at bench capacity).
+    pub shed: usize,
+    /// Engine-degraded replies (must be 0 with no fault injector).
+    pub degraded: usize,
+}
+
+/// Deterministic script for the byte-identity check: a greeting, a mix
+/// of generated domain utterances, and a gibberish repair turn.
+fn identity_script(world: &World, seed: u64) -> Vec<String> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut script = vec!["hello".to_string()];
+    for (name, _) in INTENT_MIX.iter().take(12) {
+        if let Some(utterance) = generate(name, &world.pools, &mut rng) {
+            script.push(utterance);
+        }
+    }
+    script.push("asdf qwerty zxcv".to_string());
+    script
+}
+
+/// Render an in-process reply exactly as the server puts it on the wire.
+fn wire(
+    session: &str,
+    agent: &obcs_agent::ConversationAgent,
+    reply: &obcs_agent::AgentReply,
+) -> TurnReply {
+    TurnReply {
+        session: session.to_string(),
+        text: reply.text.clone(),
+        kind: kind_label(reply.kind).to_string(),
+        intent: reply.intent.and_then(|id| agent.space().intent(id)).map(|i| i.name.clone()),
+        confidence: reply.confidence,
+        found_results: reply.found_results,
+        shed: false,
+    }
+}
+
+/// Run the serving benchmark. Panics on any divergence between served
+/// and in-process replies, on shed/degraded turns, or on a short turn
+/// count — a run with any of those is not a benchmark.
+pub fn run(opts: &PerfOptions) -> ServeBenchOutcome {
+    let world = if opts.quick { World::small(opts.seed) } else { World::full(opts.seed) };
+
+    // ---- byte-identity: served replies vs in-process replay --------
+    let script = identity_script(&world, opts.seed);
+    let base = world.agent().agent;
+    let mut local = base.fork_session();
+    let expected: Vec<String> = script
+        .iter()
+        .map(|utt| {
+            let reply = local.respond(utt);
+            encode_line(&wire("identity", &local, &reply))
+        })
+        .collect();
+
+    let mut server = Server::start(
+        world.agent().agent,
+        ServeConfig { session: SessionConfig::default(), ..ServeConfig::default() },
+    )
+    .expect("serve bench: bind ephemeral port");
+    let mut probe = Client::connect(server.addr()).expect("serve bench: connect");
+    let served: Vec<String> = script
+        .iter()
+        .map(|utt| encode_line(&probe.turn("identity", utt).expect("serve bench: identity turn")))
+        .collect();
+    assert_eq!(served, expected, "served replies must be byte-identical to the in-process replay");
+    probe.end("identity").expect("serve bench: end identity session");
+    drop(probe);
+
+    // ---- timed load: Table 5 mix over concurrent connections -------
+    let (connections, turns_per_connection) = if opts.quick { (4, 120) } else { (8, 400) };
+    let load =
+        LoadConfig { connections, turns_per_connection, seed: opts.seed, ..LoadConfig::default() };
+    let outcome: LoadOutcome =
+        run_load(server.addr(), &world.pools, &load).expect("serve bench: load run");
+    server.shutdown();
+
+    let total = connections * turns_per_connection;
+    assert_eq!(outcome.turns, total, "every load turn must be answered");
+    assert_eq!(outcome.shed, 0, "no shedding at bench capacity");
+    assert_eq!(outcome.degraded, 0, "no degradation without a fault injector");
+
+    let p50_ms = outcome.p50_ms();
+    let p99_ms = outcome.p99_ms();
+    let turns_per_sec = outcome.turns_per_sec();
+    let work = format!("{total} turns / {connections} conns");
+    let timings = vec![
+        Timing { name: "serve_turn_p50".to_string(), work: work.clone(), ms: p50_ms },
+        Timing { name: "serve_turn_p99".to_string(), work: work.clone(), ms: p99_ms },
+        Timing {
+            name: "serve_throughput".to_string(),
+            work: format!("{work} ({turns_per_sec:.0} turns/s)"),
+            ms: outcome.wall_ms,
+        },
+    ];
+    ServeBenchOutcome {
+        timings,
+        connections,
+        turns: outcome.turns,
+        p50_ms,
+        p99_ms,
+        turns_per_sec,
+        shed: outcome.shed,
+        degraded: outcome.degraded,
+    }
+}

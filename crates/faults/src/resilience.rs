@@ -56,6 +56,19 @@ impl ResilienceConfig {
             turn_budget: Some(96),
         }
     }
+
+    /// The profile `obcs-serve` installs on session forks: one retry
+    /// (a served turn would rather degrade fast than stall a socket) and
+    /// a generous-but-bounded per-turn tick budget so no single turn can
+    /// hold a connection thread indefinitely (DESIGN.md §15).
+    pub fn serving() -> Self {
+        ResilienceConfig {
+            max_retries: 1,
+            backoff_base: 2,
+            timeout_cost: 32,
+            turn_budget: Some(4096),
+        }
+    }
 }
 
 /// How a resilient call concluded, from the fault-accounting side.

@@ -1,0 +1,101 @@
+//! A minimal blocking client for the NDJSON protocol — used by the
+//! `obcs-sim` load generator, the end-to-end tests, and as reference
+//! code for anyone writing a client in another language.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{decode_response, encode_line, Request, Response, StatsSnapshot, TurnReply};
+
+/// Everything that can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, peer closed).
+    Io(std::io::Error),
+    /// The server's line did not parse as a [`Response`].
+    Decode(String),
+    /// The server answered, but with a different response than the
+    /// request calls for (including wire `Error` responses).
+    Unexpected(Response),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Decode(d) => write!(f, "bad response line: {d}"),
+            ClientError::Unexpected(r) => write!(f, "unexpected response: {r:?}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One blocking connection to an `obcs-serve` server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client { writer, reader: BufReader::new(stream) })
+    }
+
+    /// Send one request and read the matching response line.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.writer.write_all(encode_line(req).as_bytes())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        decode_response(&line).map_err(ClientError::Decode)
+    }
+
+    /// Handshake: returns `(server_name, protocol_version)`.
+    pub fn hello(&mut self, client_name: &str) -> Result<(String, u32), ClientError> {
+        match self.request(&Request::Hello { client: client_name.to_string() })? {
+            Response::Welcome { server, protocol } => Ok((server, protocol)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Serve one turn under `session` and return the reply (shed turns
+    /// come back as a normal [`TurnReply`] with `shed: true`).
+    pub fn turn(&mut self, session: &str, utterance: &str) -> Result<TurnReply, ClientError> {
+        let req = Request::Turn { session: session.to_string(), utterance: utterance.to_string() };
+        match self.request(&req)? {
+            Response::Reply(reply) => Ok(reply),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Close a session; returns whether the server still had it.
+    pub fn end(&mut self, session: &str) -> Result<bool, ClientError> {
+        match self.request(&Request::End { session: session.to_string() })? {
+            Response::Ended { existed, .. } => Ok(existed),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Fetch the server's lifetime counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Keeps `docs/PROTOCOL.md` honest: every fenced ```json block in the
+//! spec must parse as a protocol message (`Request` or `Response`) and
+//! survive an encode→decode round trip, so the examples cannot drift
+//! from the serde types.
+
+use obcs_serve::protocol::{decode_request, decode_response, encode_line, Request, Response};
+
+fn spec_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");
+    std::fs::read_to_string(path).expect("docs/PROTOCOL.md must exist")
+}
+
+/// Extract the contents of every fenced ```json block.
+fn json_blocks(text: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        match (&mut current, line.trim()) {
+            (None, "```json") => current = Some(String::new()),
+            (Some(block), "```") => {
+                blocks.push(std::mem::take(block));
+                current = None;
+            }
+            (Some(block), _) => {
+                block.push_str(line);
+                block.push('\n');
+            }
+            (None, _) => {}
+        }
+    }
+    assert!(current.is_none(), "unterminated ```json block in PROTOCOL.md");
+    blocks
+}
+
+#[test]
+fn every_spec_example_round_trips_through_the_serde_types() {
+    let blocks = json_blocks(&spec_text());
+    assert!(blocks.len() >= 10, "PROTOCOL.md should carry worked examples, found {}", blocks.len());
+    for (i, block) in blocks.iter().enumerate() {
+        let as_request: Result<Request, _> = decode_request(block);
+        let as_response: Result<Response, _> = decode_response(block);
+        match (as_request, as_response) {
+            (Ok(req), _) => {
+                let back = decode_request(&encode_line(&req))
+                    .unwrap_or_else(|e| panic!("example {i} re-decode failed: {e}"));
+                assert_eq!(back, req, "example {i} did not round-trip");
+            }
+            (_, Ok(resp)) => {
+                let back = decode_response(&encode_line(&resp))
+                    .unwrap_or_else(|e| panic!("example {i} re-decode failed: {e}"));
+                assert_eq!(back, resp, "example {i} did not round-trip");
+            }
+            (Err(req_err), Err(resp_err)) => panic!(
+                "PROTOCOL.md example {i} parses as neither a Request \
+                 ({req_err}) nor a Response ({resp_err}):\n{block}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn spec_quotes_the_real_line_ceiling() {
+    let spec = spec_text();
+    let ceiling = obcs_serve::MAX_LINE_BYTES.to_string();
+    assert!(
+        spec.contains(&ceiling),
+        "PROTOCOL.md must quote MAX_LINE_BYTES ({ceiling}) in its limits section"
+    );
+}
+
+#[test]
+fn spec_names_every_reply_kind() {
+    use obcs_agent::ReplyKind;
+    let spec = spec_text();
+    for kind in [
+        ReplyKind::Management,
+        ReplyKind::Elicitation,
+        ReplyKind::Fulfilment,
+        ReplyKind::Proposal,
+        ReplyKind::Disambiguation,
+        ReplyKind::Fallback,
+        ReplyKind::Closing,
+        ReplyKind::Degraded,
+    ] {
+        let label = obcs_serve::kind_label(kind);
+        assert!(spec.contains(label), "PROTOCOL.md must document reply kind `{label}`");
+    }
+}

@@ -26,6 +26,7 @@
 //! replay ([`run_traffic_traced`], [`TraceMode`]): §10.
 
 pub mod eval;
+pub mod load;
 pub mod noise;
 pub mod traffic;
 pub mod utterance;

@@ -1,0 +1,214 @@
+//! Socket load generator: drives the Table 5 intent mix against a
+//! running `obcs-serve` server from N concurrent connections.
+//!
+//! This is the over-the-wire sibling of [`crate::traffic::run_traffic`]:
+//! the same deterministic per-connection RNG streams, the same
+//! utterance generator and intent mix, but every turn crosses a real
+//! TCP socket and is timed wall-clock, so the outcome yields the
+//! p50/p99 turn latency and turns/sec numbers `repro serve` commits to
+//! BENCH_perf.json. Elicitation follow-ups are answered from the reply
+//! text (the remote client cannot see the engine's pending concept), so
+//! multi-turn sessions exercise the server's session table for real.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use obcs_serve::{Client, ClientError};
+
+use crate::traffic::{draw_intent, splitmix64, INTENT_MIX};
+use crate::utterance::{generate, ValuePools};
+
+/// Load-run shape: how many connections, how much traffic each.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections (each gets its own OS thread and
+    /// RNG stream).
+    pub connections: usize,
+    /// Turns each connection sends (elicitation follow-ups included).
+    pub turns_per_connection: usize,
+    /// Master seed; connection `c` derives its stream with the same
+    /// splitmix64 scheme the in-process replay shards use.
+    pub seed: u64,
+    /// Turns grouped under one session id before the client ends the
+    /// session and opens the next.
+    pub session_turns: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig { connections: 4, turns_per_connection: 100, seed: 7, session_turns: 6 }
+    }
+}
+
+/// Aggregated result of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadOutcome {
+    /// Wall-clock latency of every turn, nanoseconds, sorted ascending.
+    pub latencies_ns: Vec<u64>,
+    /// Total wall time of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Turns sent and answered.
+    pub turns: usize,
+    /// Turns answered with `shed: true` (admission control).
+    pub shed: usize,
+    /// Turns answered `degraded` by the engine itself (not shed).
+    pub degraded: usize,
+    /// Replies by reply-kind label.
+    pub kinds: BTreeMap<String, usize>,
+}
+
+impl LoadOutcome {
+    /// Latency quantile in milliseconds (`q` in `[0, 1]`).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * self.latencies_ns.len() as f64).ceil() as usize)
+            .clamp(1, self.latencies_ns.len());
+        self.latencies_ns[rank - 1] as f64 / 1e6
+    }
+
+    /// Median turn latency, milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.quantile_ms(0.50)
+    }
+
+    /// 99th-percentile turn latency, milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.quantile_ms(0.99)
+    }
+
+    /// Aggregate throughput over the run's wall time.
+    pub fn turns_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.turns as f64 / (self.wall_ms / 1e3)
+        }
+    }
+}
+
+/// Answer an elicitation prompt from its text alone — the remote client
+/// cannot inspect the engine's pending concept, so this mirrors the
+/// cooperative in-process user by keyword.
+fn elicitation_answer(prompt: &str, pools: &ValuePools, rng: &mut ChaCha8Rng) -> String {
+    let lower = prompt.to_lowercase();
+    let pick = |values: &[String], rng: &mut ChaCha8Rng| -> Option<String> {
+        if values.is_empty() {
+            None
+        } else {
+            Some(values[rng.gen_range(0..values.len())].clone())
+        }
+    };
+    if lower.contains("age") {
+        pick(&pools.ages, rng).unwrap_or_else(|| "adult".to_string())
+    } else if lower.contains("condition") {
+        pick(&pools.conditions, rng).unwrap_or_else(|| "adult".to_string())
+    } else if lower.contains("drug") || lower.contains("medication") {
+        pick(&pools.drugs, rng).unwrap_or_else(|| "adult".to_string())
+    } else {
+        "adult".to_string()
+    }
+}
+
+struct ConnOutcome {
+    latencies_ns: Vec<u64>,
+    shed: usize,
+    degraded: usize,
+    kinds: BTreeMap<String, usize>,
+}
+
+fn run_connection(
+    addr: SocketAddr,
+    pools: &ValuePools,
+    config: &LoadConfig,
+    conn: usize,
+) -> Result<ConnOutcome, ClientError> {
+    let mut client = Client::connect(addr)?;
+    client.hello(&format!("load-{conn}"))?;
+    let mut rng = ChaCha8Rng::seed_from_u64(splitmix64(config.seed ^ splitmix64(conn as u64 + 1)));
+    let total_weight: f64 = INTENT_MIX.iter().map(|(_, w)| w).sum();
+
+    let mut out = ConnOutcome {
+        latencies_ns: Vec::with_capacity(config.turns_per_connection),
+        shed: 0,
+        degraded: 0,
+        kinds: BTreeMap::new(),
+    };
+    let mut sent = 0usize;
+    let mut session_counter = 0usize;
+    while sent < config.turns_per_connection {
+        let session = format!("c{conn}-s{session_counter}");
+        session_counter += 1;
+        let mut in_session = 0usize;
+        while in_session < config.session_turns.max(1) && sent < config.turns_per_connection {
+            let intent = draw_intent(&mut rng, total_weight);
+            let Some(utterance) = generate(intent, pools, &mut rng) else {
+                continue;
+            };
+            let mut utterance = utterance;
+            // One drawn turn plus up to two elicitation follow-ups.
+            for _ in 0..3 {
+                let start = Instant::now();
+                let reply = client.turn(&session, &utterance)?;
+                out.latencies_ns.push(start.elapsed().as_nanos() as u64);
+                sent += 1;
+                in_session += 1;
+                *out.kinds.entry(reply.kind.clone()).or_insert(0) += 1;
+                if reply.shed {
+                    out.shed += 1;
+                } else if reply.kind == "degraded" {
+                    out.degraded += 1;
+                }
+                if reply.kind != "elicitation" || sent >= config.turns_per_connection {
+                    break;
+                }
+                utterance = elicitation_answer(&reply.text, pools, &mut rng);
+            }
+        }
+        client.end(&session)?;
+    }
+    Ok(out)
+}
+
+/// Run the full load profile against a server at `addr`. Fails on the
+/// first protocol or socket error on any connection — a load run with
+/// client bugs is not a benchmark.
+pub fn run_load(
+    addr: SocketAddr,
+    pools: &ValuePools,
+    config: &LoadConfig,
+) -> Result<LoadOutcome, ClientError> {
+    let started = Instant::now();
+    let results: Vec<Result<ConnOutcome, ClientError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|c| scope.spawn(move || run_connection(addr, pools, config, c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(ClientError::Decode("connection thread panicked".to_string())),
+            })
+            .collect()
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut outcome = LoadOutcome { wall_ms, ..LoadOutcome::default() };
+    for result in results {
+        let conn = result?;
+        outcome.latencies_ns.extend(conn.latencies_ns);
+        outcome.shed += conn.shed;
+        outcome.degraded += conn.degraded;
+        for (kind, n) in conn.kinds {
+            *outcome.kinds.entry(kind).or_insert(0) += n;
+        }
+    }
+    outcome.latencies_ns.sort_unstable();
+    outcome.turns = outcome.latencies_ns.len();
+    Ok(outcome)
+}

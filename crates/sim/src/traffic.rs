@@ -241,7 +241,7 @@ fn plan_sessions(config: &SimConfig) -> Vec<Session> {
 
 /// SplitMix64 finaliser — decorrelates per-session seeds derived from the
 /// master seed and the session's start index.
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -440,7 +440,7 @@ pub fn run_traffic_traced(
     (SimOutcome { records: shard_records.into_iter().flatten().collect() }, report)
 }
 
-fn draw_intent(rng: &mut ChaCha8Rng, total_weight: f64) -> &'static str {
+pub(crate) fn draw_intent(rng: &mut ChaCha8Rng, total_weight: f64) -> &'static str {
     let mut x = rng.gen_range(0.0..total_weight);
     for (name, w) in INTENT_MIX {
         if x < *w {

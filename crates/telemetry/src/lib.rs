@@ -73,6 +73,9 @@ pub mod stage {
     pub const KB_EXECUTE: &str = "kb_execute";
     /// Response verbalisation (`obcs-agent` NLG).
     pub const NLG: &str = "nlg";
+    /// One served socket turn (`obcs-serve`): session lookup/admission,
+    /// the engine [`TURN`] nested inside, and response encoding.
+    pub const SERVE_TURN: &str = "serve_turn";
 }
 
 /// The shared counter/metric vocabulary.
@@ -122,4 +125,10 @@ pub mod metric {
     /// Counter: cache entries dropped on a generation mismatch, by layer
     /// label.
     pub const CACHE_INVALIDATIONS: &str = "cache_invalidate";
+    /// Counter: turns shed by serving admission control before reaching
+    /// the engine, by cause label (`capacity`).
+    pub const SHED: &str = "shed";
+    /// Counter: sessions evicted from the serving session table, by cause
+    /// label (`ttl`, `end`).
+    pub const SESSION_EVICTIONS: &str = "session_evict";
 }

@@ -1,0 +1,35 @@
+//! Serve Conversational MDX over a TCP socket — the README's `nc`
+//! example, runnable. Boots the paper's §6 use case (150 synthetic
+//! drugs), starts an `obcs-serve` server, and prints the address; speak
+//! newline-delimited JSON to it (`docs/PROTOCOL.md`):
+//!
+//! ```text
+//! cargo run --release --example serve_mdx            # 127.0.0.1:7878
+//! cargo run --release --example serve_mdx -- 0       # ephemeral port
+//!
+//! printf '%s\n' '{"Turn":{"session":"s1","utterance":"what is the dosage of Tazarotene?"}}' \
+//!   | nc 127.0.0.1 7878
+//! ```
+
+use obcs::mdx::ConversationalMdx;
+use obcs::serve::{ServeConfig, Server};
+
+fn main() {
+    let port = std::env::args().nth(1).unwrap_or_else(|| "7878".to_string());
+    println!("building Conversational MDX (150 synthetic drugs)…");
+    let mdx = ConversationalMdx::new(20200614);
+
+    let config = ServeConfig { addr: format!("127.0.0.1:{port}"), ..ServeConfig::default() };
+    let server = Server::start(mdx.agent, config).expect("bind serve address");
+    println!("serving on {} — one JSON message per line, e.g.:", server.addr());
+    println!(r#"  {{"Hello":{{"client":"nc"}}}}"#);
+    println!(r#"  {{"Turn":{{"session":"s1","utterance":"show me drugs that treat psoriasis"}}}}"#);
+    println!(r#"  "Stats""#);
+    println!("press ctrl-c to stop.");
+
+    // The accept loop and connection handlers run on their own threads;
+    // keep the process alive until the operator kills it.
+    loop {
+        std::thread::park();
+    }
+}

@@ -32,6 +32,9 @@
 //!   degradation for the turn pipeline.
 //! * [`cache`] — the generation-invalidated LRU backing the pipeline's
 //!   plan/result/NLU caches.
+//! * [`serve`] — the concurrent socket serving layer: NDJSON protocol,
+//!   sharded session table with TTL eviction and admission control,
+//!   per-turn deadline budgets (`docs/PROTOCOL.md`, DESIGN.md §15).
 //!
 //! ## Quickstart
 //!
@@ -62,6 +65,7 @@ pub use obcs_lint as lint;
 pub use obcs_mdx as mdx;
 pub use obcs_nlq as nlq;
 pub use obcs_ontology as ontology;
+pub use obcs_serve as serve;
 pub use obcs_sim as sim;
 pub use obcs_telemetry as telemetry;
 pub use obcs_verify as verify;
