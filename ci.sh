@@ -66,6 +66,16 @@ echo "==> repro serve --quick --check BENCH_perf.json"
 # stages (p50/p99 served-turn latency, run wall time) of the baseline.
 cargo run -q --release -p obcs-bench --bin repro -- serve --quick --check BENCH_perf.json
 
+echo "==> repro recover --quick --check BENCH_perf.json"
+# Durability gate: seeds a snapshot + WAL directory, logs a mutation
+# tail, kills the handle without a snapshot, tears the log tail with
+# garbage bytes, and recovers — asserting the recovered KB is
+# byte-identical to a live oracle (same JSON image, generation
+# counters, and access paths) and that a server restarted over the
+# recovered directory serves byte-identical replies. Enforces the 5x
+# regression ceiling on the recover_* stages of the baseline.
+cargo run -q --release -p obcs-bench --bin repro -- recover --quick --check BENCH_perf.json
+
 echo "==> protocol spec round-trip (docs/PROTOCOL.md vs serde types)"
 # Doc-rot gate: every fenced json example in docs/PROTOCOL.md must parse
 # as a protocol message and survive an encode/decode round trip.

@@ -164,6 +164,21 @@ impl ConversationAgent {
         &self.config
     }
 
+    /// The agent's knowledge base — read-only; the durable serving layer
+    /// snapshots it when a durability directory is first created.
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Replaces the agent's knowledge base, e.g. with one recovered from
+    /// a snapshot + WAL (DESIGN.md §16). The conversation space, NLU, and
+    /// dialogue tree are untouched: they are derived from the schema and
+    /// instance names, which recovery restores identically — a recovered
+    /// KB with the same data yields byte-identical replies.
+    pub fn set_kb(&mut self, kb: KnowledgeBase) {
+        self.kb = kb;
+    }
+
     /// Installs a telemetry recorder; every subsequent turn records spans
     /// and counters through it. Pass an `Arc<CollectingRecorder>` handle
     /// you keep, then drain it with `take_report` (DESIGN.md §10).

@@ -15,7 +15,9 @@
 //! (the latency-vs-KB-size curve for indexed KB execution, with enforced
 //! speedup floors at the 15k-drug point), `serve` (the socket serving
 //! benchmark: a real `obcs-serve` server under the Table 5 load mix,
-//! with p50/p99 served-turn latency gates), `trace` (traced traffic replay
+//! with p50/p99 served-turn latency gates), `recover` (the durability
+//! benchmark: kill-style snapshot + WAL recovery over a torn log, with
+//! recovered-server replies gated byte-identical), `trace` (traced traffic replay
 //! with per-stage latency breakdown), `chaos` (fault-injected replay
 //! checking the robustness contract), and `export` (lint-gates and writes
 //! the offline artifacts to `artifacts/`, or `--dir DIR`). The README's
@@ -66,6 +68,10 @@ fn main() {
     }
     if cmd == "serve" {
         serve(&args, seed);
+        return;
+    }
+    if cmd == "recover" {
+        recover(&args, seed);
         return;
     }
 
@@ -282,6 +288,55 @@ fn serve(args: &[String], seed: u64) {
             Ok(msg) => println!("{msg}"),
             Err(msg) => {
                 eprintln!("serve check failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// `repro recover [--quick] [--seed N] [--check BASELINE]`
+///
+/// Runs the durability benchmark (DESIGN.md §16): seeds a snapshot +
+/// WAL pair from the MDX world, logs a mutation tail, drops the handle
+/// without a snapshot (kill-style), corrupts the log tail with garbage
+/// bytes, and recovers. The run itself enforces the correctness
+/// contract — recovered KB byte-identical to a live oracle (data,
+/// generation counters, secondary indexes, access paths) and a server
+/// restarted over the recovered directory serving byte-identical
+/// replies to the original. `--check` additionally compares the
+/// `recover_` stages against a committed baseline.
+fn recover(args: &[String], seed: u64) {
+    use obcs_bench::{perf, recover};
+    let opts = perf::PerfOptions { quick: args.iter().any(|a| a == "--quick"), seed };
+    heading(&format!("Durability benchmark ({} mode)", if opts.quick { "quick" } else { "full" }));
+    let outcome = recover::run(&opts);
+    let report = perf::PerfReport {
+        mode: if opts.quick { "quick" } else { "full" }.to_string(),
+        seed,
+        timings: outcome.timings,
+        comparisons: outcome.comparisons,
+    };
+    print!("{}", report.render_text());
+    println!(
+        "recovered {} WAL records (torn tail: {} bytes truncated) in {:.1} ms — \
+         rebuild twin {:.1} ms; {} served turns byte-identical after restart",
+        outcome.wal_records,
+        outcome.wal_truncated_bytes,
+        outcome.recover_ms,
+        outcome.rebuild_ms,
+        outcome.identity_turns
+    );
+    if outcome.wal_truncated_bytes == 0 {
+        eprintln!("recover check failed: the pass must exercise a torn tail");
+        std::process::exit(1);
+    }
+    if let Some(path) = str_flag(args, "--check") {
+        let verdict = perf::load_baseline(&path)
+            .and_then(|baseline| report.check_against(&baseline.filtered("recover_")));
+        match verdict {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("recover check failed: {msg}");
                 std::process::exit(1);
             }
         }

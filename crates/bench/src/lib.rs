@@ -10,6 +10,7 @@
 pub mod chaos;
 pub mod library;
 pub mod perf;
+pub mod recover;
 pub mod scale;
 pub mod serve;
 pub mod trace;

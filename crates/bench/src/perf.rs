@@ -292,6 +292,14 @@ pub fn run(opts: &PerfOptions) -> PerfReport {
     let serve = crate::serve::run(opts);
     timings.extend(serve.timings);
 
+    // Stage group: the durability benchmark (DESIGN.md §16) — snapshot
+    // write, WAL append, and kill-style recovery over a torn log, with
+    // recovered-vs-original served replies asserted byte-identical
+    // before any number counts.
+    let recover = crate::recover::run(opts);
+    timings.extend(recover.timings);
+    comparisons.extend(recover.comparisons);
+
     PerfReport {
         mode: if opts.quick { "quick" } else { "full" }.to_string(),
         seed: opts.seed,

@@ -1,0 +1,276 @@
+//! [`DurableKb`]: a [`KnowledgeBase`] paired with its write-ahead log
+//! and snapshot file (DESIGN.md §16).
+//!
+//! The handle owns one durability directory containing
+//! [`SNAPSHOT_FILE`] and [`WAL_FILE`]. Every mutating call is applied
+//! to the in-memory store *first* — the store is the validator; an
+//! insert the store rejects must never reach the log — and appended to
+//! the WAL second. The window between apply and append is the usual
+//! write-ahead trade made explicit: a crash there loses the final
+//! mutation entirely (prefix consistency) rather than ever replaying a
+//! half-applied or invalid record.
+//!
+//! [`DurableKb::snapshot`] compacts: it writes an atomic point-in-time
+//! snapshot and resets the log, after which recovery cost is
+//! proportional to the mutations since the last snapshot, not since
+//! the beginning of time.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::index::IndexKind;
+use crate::schema::TableSchema;
+use crate::snapshot::{self, RecoveryReport};
+use crate::store::KnowledgeBase;
+use crate::value::Value;
+use crate::wal::{DurabilityError, Wal, WalRecord};
+
+/// Snapshot file name inside a durability directory.
+pub const SNAPSHOT_FILE: &str = "kb.snapshot";
+
+/// WAL file name inside a durability directory.
+pub const WAL_FILE: &str = "kb.wal";
+
+/// A knowledge base whose mutations are durable: apply in memory, then
+/// log; recover by snapshot + WAL replay.
+pub struct DurableKb {
+    kb: KnowledgeBase,
+    wal: Wal,
+    snapshot_path: PathBuf,
+    /// Records appended since the last snapshot (compaction signal).
+    pending: usize,
+}
+
+impl fmt::Debug for DurableKb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableKb")
+            .field("snapshot_path", &self.snapshot_path)
+            .field("pending", &self.pending)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DurableKb {
+    /// Starts a fresh durability directory from `kb`: writes an initial
+    /// snapshot and an empty WAL (discarding any stale files from an
+    /// earlier incarnation).
+    pub fn create(dir: impl AsRef<Path>, kb: KnowledgeBase) -> Result<DurableKb, DurabilityError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        kb.snapshot_to(&snapshot_path)?;
+        let (mut wal, _) = Wal::open(dir.join(WAL_FILE))?;
+        wal.reset()?;
+        Ok(DurableKb { kb, wal, snapshot_path, pending: 0 })
+    }
+
+    /// Recovers from an existing durability directory: snapshot + WAL
+    /// replay with torn-tail truncation (see
+    /// [`KnowledgeBase::recover_from`]). The returned handle keeps the
+    /// log open, positioned to append after the last intact record.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(DurableKb, RecoveryReport), DurabilityError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let (kb, wal, report) = snapshot::recover(&snapshot_path, &dir.join(WAL_FILE))?;
+        let pending = report.wal_records;
+        Ok((DurableKb { kb, wal, snapshot_path, pending }, report))
+    }
+
+    /// Whether `dir` holds durable state to recover (a snapshot or a
+    /// WAL from an earlier run).
+    pub fn exists(dir: impl AsRef<Path>) -> bool {
+        let dir = dir.as_ref();
+        dir.join(SNAPSHOT_FILE).exists() || dir.join(WAL_FILE).exists()
+    }
+
+    /// The in-memory store. Mutations must go through the logged
+    /// methods below, so only shared access is exposed.
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Consumes the handle, returning the in-memory store (the log is
+    /// closed as written; un-synced bytes are flushed by the OS).
+    pub fn into_kb(self) -> KnowledgeBase {
+        self.kb
+    }
+
+    /// Logged [`KnowledgeBase::create_table`].
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), DurabilityError> {
+        self.kb.create_table(schema.clone())?;
+        self.log(WalRecord::CreateTable(schema))
+    }
+
+    /// Logged [`KnowledgeBase::insert`].
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), DurabilityError> {
+        self.kb.insert(table, row.clone())?;
+        self.log(WalRecord::Insert { table: table.to_string(), row })
+    }
+
+    /// Logged [`KnowledgeBase::create_index`]. No-op re-creations
+    /// return `Ok(false)` without writing a record.
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        column: &str,
+        kind: IndexKind,
+    ) -> Result<bool, DurabilityError> {
+        let created = self.kb.create_index(table, column, kind)?;
+        if created {
+            self.log(WalRecord::CreateIndex {
+                table: table.to_string(),
+                column: column.to_string(),
+                kind,
+            })?;
+        }
+        Ok(created)
+    }
+
+    /// Logged [`KnowledgeBase::auto_index`]: the sweep is deterministic
+    /// in KB state, so a single marker record replays it exactly.
+    pub fn auto_index(&mut self) -> Result<usize, DurabilityError> {
+        let created = self.kb.auto_index();
+        if created > 0 {
+            self.log(WalRecord::AutoIndex)?;
+        }
+        Ok(created)
+    }
+
+    fn log(&mut self, record: WalRecord) -> Result<(), DurabilityError> {
+        self.wal.append(&record)?;
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// fsyncs the log. Idempotent: syncing an already-synced log is a
+    /// cheap no-op, so shutdown paths may call this repeatedly.
+    pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.wal.sync()
+    }
+
+    /// Compaction: writes an atomic snapshot of the current store and
+    /// resets the log. Recovery afterwards replays zero records.
+    pub fn snapshot(&mut self) -> Result<(), DurabilityError> {
+        self.kb.snapshot_to(&self.snapshot_path)?;
+        self.wal.reset()?;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Records appended since the last snapshot (or open).
+    pub fn pending_records(&self) -> usize {
+        self.pending
+    }
+
+    /// Path of the snapshot file.
+    pub fn snapshot_path(&self) -> &Path {
+        &self.snapshot_path
+    }
+
+    /// Path of the WAL file.
+    pub fn wal_path(&self) -> &Path {
+        self.wal.path()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("obcs_durable_{}_{tag}_{n}", std::process::id()))
+    }
+
+    fn drug_schema() -> TableSchema {
+        TableSchema::new("drug")
+            .column("drug_id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .primary_key("drug_id")
+    }
+
+    #[test]
+    fn kill_style_restart_recovers_every_logged_mutation() {
+        let dir = temp_dir("kill");
+        let original = {
+            let mut d = DurableKb::create(&dir, KnowledgeBase::new()).unwrap();
+            d.create_table(drug_schema()).unwrap();
+            for i in 0..10 {
+                d.insert("drug", vec![Value::Int(i), Value::text(format!("Drug{i}"))]).unwrap();
+            }
+            d.create_index("drug", "name", IndexKind::Ordered).unwrap();
+            assert_eq!(d.auto_index().unwrap(), 1, "PK hash index");
+            d.sync().unwrap();
+            assert_eq!(d.pending_records(), 13);
+            d.into_kb() // dropped without snapshot(): kill-style exit
+        };
+        let (recovered, report) = DurableKb::open(&dir).unwrap();
+        assert!(report.snapshot_loaded, "create() wrote the initial snapshot");
+        assert_eq!(report.wal_records, 13);
+        assert_eq!(report.auto_indexes_created, 0);
+        assert_eq!(recovered.kb().to_json(), original.to_json());
+        assert_eq!(recovered.kb().generation(), original.generation());
+        assert_eq!(recovered.kb().schema_generation(), original.schema_generation());
+        assert_eq!(recovered.kb().index_count(), original.index_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejected_mutations_never_reach_the_log() {
+        let dir = temp_dir("reject");
+        let mut d = DurableKb::create(&dir, KnowledgeBase::new()).unwrap();
+        d.create_table(drug_schema()).unwrap();
+        d.insert("drug", vec![Value::Int(1), Value::text("A")]).unwrap();
+        let pending = d.pending_records();
+        assert!(d.insert("drug", vec![Value::Int(1), Value::text("dup")]).is_err());
+        assert!(d.insert("nope", vec![Value::Int(1)]).is_err());
+        assert_eq!(d.pending_records(), pending, "failed mutations are not logged");
+        drop(d);
+        let (recovered, report) = DurableKb::open(&dir).unwrap();
+        assert_eq!(report.wal_records, pending);
+        assert_eq!(recovered.kb().table("drug").unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_compacts_the_log() {
+        let dir = temp_dir("compact");
+        let mut d = DurableKb::create(&dir, KnowledgeBase::new()).unwrap();
+        d.create_table(drug_schema()).unwrap();
+        for i in 0..5 {
+            d.insert("drug", vec![Value::Int(i), Value::text(format!("D{i}"))]).unwrap();
+        }
+        d.snapshot().unwrap();
+        assert_eq!(d.pending_records(), 0);
+        d.insert("drug", vec![Value::Int(99), Value::text("After")]).unwrap();
+        let original = d.into_kb();
+        let (recovered, report) = DurableKb::open(&dir).unwrap();
+        assert_eq!(report.wal_records, 1, "only the post-snapshot record replays");
+        assert_eq!(recovered.kb().to_json(), original.to_json());
+        assert_eq!(recovered.kb().generation(), original.generation());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_discards_stale_durable_state() {
+        let dir = temp_dir("stale");
+        {
+            let mut d = DurableKb::create(&dir, KnowledgeBase::new()).unwrap();
+            d.create_table(drug_schema()).unwrap();
+            d.insert("drug", vec![Value::Int(1), Value::text("Old")]).unwrap();
+        }
+        assert!(DurableKb::exists(&dir));
+        // A fresh create over the same dir starts from the new KB alone.
+        let d = DurableKb::create(&dir, KnowledgeBase::new()).unwrap();
+        drop(d);
+        let (recovered, report) = DurableKb::open(&dir).unwrap();
+        assert_eq!(report.wal_records, 0);
+        assert!(!recovered.kb().has_table("drug"));
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(!DurableKb::exists(&dir));
+    }
+}

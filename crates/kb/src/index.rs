@@ -25,15 +25,30 @@
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 
+use serde::{Deserialize, Serialize};
+
 use crate::value::Value;
 
 /// The physical shape of a secondary index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum IndexKind {
     /// Raw-key hash map: equality probes and join builds.
     Hash,
     /// `total_cmp`-ordered map: prefix/range probes and equality.
     Ordered,
+}
+
+/// The durable description of one secondary index: which column, which
+/// shape. Persisted per table in the KB's JSON envelope (DESIGN.md §16)
+/// so deserialisation can rebuild the index structures — the structures
+/// themselves (hash maps, BTreeMaps) are derivable from the rows and
+/// are never serialised.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexSpec {
+    /// The indexed column's name.
+    pub column: String,
+    /// The physical index shape.
+    pub kind: IndexKind,
 }
 
 /// Adapter giving `Value` the `Ord` of [`Value::total_cmp`] so it can
@@ -137,6 +152,11 @@ impl SecondaryIndex {
             IndexData::Hash(_) => IndexKind::Hash,
             IndexData::Ordered(_) => IndexKind::Ordered,
         }
+    }
+
+    /// The persistable description of this index (column + kind).
+    pub fn spec(&self) -> IndexSpec {
+        IndexSpec { column: self.column.clone(), kind: self.kind() }
     }
 
     /// Number of distinct keys — the O(1) cardinality estimate behind

@@ -20,7 +20,13 @@
 //!   (paper §4.2.1) ([`stats`]),
 //! * the data-driven ontology generator of the paper's \[18\]: inferring
 //!   concepts, data properties, functional relationships, isA, and unionOf
-//!   from schema constraints plus instance statistics ([`ontogen`]).
+//!   from schema constraints plus instance statistics ([`ontogen`]),
+//! * durability: an append-only, checksummed write-ahead log of mutations
+//!   plus atomic point-in-time snapshots that compact it. Recovery replays
+//!   snapshot + WAL tail, truncates a torn final record instead of
+//!   panicking, and restores generation counters and secondary indexes so
+//!   a recovered KB serves with identical access paths ([`wal`],
+//!   [`snapshot`], [`durable`], DESIGN.md §16).
 //!
 //! ## Example
 //!
@@ -41,15 +47,21 @@
 //! Crate role: DESIGN.md §2; executor performance architecture: §9;
 //! traced query execution (`query_traced`): §10.
 
+pub mod durable;
 pub mod index;
 pub mod ontogen;
 pub mod schema;
+pub mod snapshot;
 pub mod sql;
 pub mod stats;
 pub mod store;
 pub mod value;
+pub mod wal;
 
-pub use index::{IndexKind, SecondaryIndex};
+pub use durable::{DurableKb, SNAPSHOT_FILE, WAL_FILE};
+pub use index::{IndexKind, IndexSpec, SecondaryIndex};
+pub use snapshot::RecoveryReport;
 pub use sql::exec::BoundPlan;
-pub use store::{KbCacheStats, KbError, KnowledgeBase, ResultSet};
+pub use store::{GenerationStamp, KbCacheStats, KbError, KnowledgeBase, ResultSet};
 pub use value::Value;
+pub use wal::{DurabilityError, Wal, WalRecord};

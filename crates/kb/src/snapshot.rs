@@ -1,0 +1,343 @@
+//! Point-in-time KB snapshots and recovery (DESIGN.md §16).
+//!
+//! A snapshot is the KB's JSON envelope (which since PR 9 carries the
+//! generation counters and the per-table secondary-index policy) in a
+//! single checksummed frame:
+//!
+//! ```text
+//! OBCSSNP1 [u32 payload_len LE] [u32 crc32(payload) LE] [payload: KB JSON]
+//! ```
+//!
+//! Snapshots are written atomically — serialize to `<path>.tmp`, fsync,
+//! rename over `<path>` — so a crash mid-snapshot leaves the previous
+//! snapshot intact. A torn *snapshot* therefore never occurs on the
+//! normal path, and [`read_snapshot`] treats any frame damage as hard
+//! corruption rather than something to silently truncate (unlike the
+//! WAL tail, where torn frames are the expected crash residue).
+//!
+//! [`KnowledgeBase::recover_from`] composes the two halves: load the
+//! snapshot (or start empty), replay the WAL's intact records through
+//! [`crate::wal::WalRecord::apply`], then re-run the `auto_index` policy sweep as a
+//! safety net for pre-policy snapshots. Generation counters come back
+//! exactly: the snapshot restores the counters it was taken at, and
+//! each replayed record bumps them precisely as the original call did.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::store::KnowledgeBase;
+use crate::wal::{crc32, DurabilityError, Wal};
+
+/// Magic header identifying a snapshot file (format version 1).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"OBCSSNP1";
+
+/// What one recovery pass did, for operators and the `repro recover`
+/// harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot file existed (false: recovery started from an
+    /// empty KB and replayed the WAL alone).
+    pub snapshot_loaded: bool,
+    /// Intact WAL records replayed on top of the snapshot.
+    pub wal_records: usize,
+    /// Torn-tail bytes truncated from the WAL (0 for a clean shutdown).
+    pub wal_truncated_bytes: u64,
+    /// Indexes created by the post-replay `auto_index` safety net. Zero
+    /// whenever the snapshot carried an index policy (the normal case —
+    /// the sweep is skipped entirely so recovery never invents access
+    /// paths or generation bumps the original lacked); non-zero only for
+    /// pre-policy snapshots, where the sweep restores the access paths
+    /// the envelope could not.
+    pub auto_indexes_created: usize,
+}
+
+/// Writes `kb` as a checksummed snapshot frame at `path`, atomically
+/// (tmp file + fsync + rename).
+pub fn write_snapshot(kb: &KnowledgeBase, path: &Path) -> Result<(), DurabilityError> {
+    let payload = kb.to_json().into_bytes();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(SNAPSHOT_MAGIC)?;
+        f.write_all(&(payload.len() as u32).to_le_bytes())?;
+        f.write_all(&crc32(&payload).to_le_bytes())?;
+        f.write_all(&payload)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself where the platform allows it.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = OpenOptions::new().read(true).open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads a snapshot frame back into a [`KnowledgeBase`] (indexes and
+/// generation counters restored by `from_json`). Any frame damage is
+/// [`DurabilityError::Corrupt`] — snapshot writes are atomic, so a torn
+/// snapshot means the file was damaged, not interrupted.
+pub fn read_snapshot(path: &Path) -> Result<KnowledgeBase, DurabilityError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let header = SNAPSHOT_MAGIC.len() + 8;
+    if bytes.len() < header || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(DurabilityError::Corrupt(format!(
+            "{} is not an OBCSSNP1 snapshot",
+            path.display()
+        )));
+    }
+    let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    if bytes.len() != header + len {
+        return Err(DurabilityError::Corrupt(format!(
+            "{}: frame says {len} payload bytes, file has {}",
+            path.display(),
+            bytes.len() - header
+        )));
+    }
+    let payload = &bytes[header..];
+    if crc32(payload) != crc {
+        return Err(DurabilityError::Corrupt(format!("{}: checksum mismatch", path.display())));
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| DurabilityError::Corrupt(format!("{}: {e}", path.display())))?;
+    KnowledgeBase::from_json(text)
+        .map_err(|e| DurabilityError::Corrupt(format!("{}: {e}", path.display())))
+}
+
+/// Recovery internals shared by [`KnowledgeBase::recover_from`] and
+/// `DurableKb::open`: load snapshot, replay the WAL (torn tail already
+/// truncated by `Wal::open`), re-run the index-policy sweep.
+pub(crate) fn recover(
+    snapshot_path: &Path,
+    wal_path: &Path,
+) -> Result<(KnowledgeBase, Wal, RecoveryReport), DurabilityError> {
+    let snapshot_loaded = snapshot_path.exists();
+    let mut kb = if snapshot_loaded { read_snapshot(snapshot_path)? } else { KnowledgeBase::new() };
+    let (wal, replay) = Wal::open(wal_path)?;
+    for record in &replay.records {
+        record.apply(&mut kb)?;
+    }
+    // Safety net for snapshots written before the envelope carried an
+    // index policy: their indexes are unrecoverable from the file, so
+    // re-run the policy sweep. Modern envelopes restore their exact
+    // access paths above, and running the sweep on them would *create*
+    // indexes (and generation bumps) the original never had.
+    let auto_indexes_created = if kb.from_legacy_envelope() { kb.auto_index() } else { 0 };
+    Ok((
+        kb,
+        wal,
+        RecoveryReport {
+            snapshot_loaded,
+            wal_records: replay.records.len(),
+            wal_truncated_bytes: replay.truncated_bytes,
+            auto_indexes_created,
+        },
+    ))
+}
+
+impl KnowledgeBase {
+    /// Writes this KB as an atomic point-in-time snapshot at `path`.
+    /// The snapshot compacts the WAL: once it is on disk, a paired
+    /// `Wal::reset` may drop every record it covers.
+    pub fn snapshot_to(&self, path: impl AsRef<Path>) -> Result<(), DurabilityError> {
+        write_snapshot(self, path.as_ref())
+    }
+
+    /// Rebuilds a KB from a snapshot plus the WAL tail: loads the
+    /// snapshot at `snapshot_path` (or starts empty if none exists),
+    /// replays every intact record of the log at `wal_path` — a torn
+    /// final record is truncated, never applied — and, for legacy
+    /// pre-policy snapshots only, re-runs the `auto_index` policy
+    /// sweep. Generation counters, secondary
+    /// indexes, and PK indexes all come back, so a recovered KB serves
+    /// with the same access paths and the same cache-validation stamps
+    /// as the original (see `WalRecord::apply`).
+    pub fn recover_from(
+        snapshot_path: impl AsRef<Path>,
+        wal_path: impl AsRef<Path>,
+    ) -> Result<(KnowledgeBase, RecoveryReport), DurabilityError> {
+        let (kb, _wal, report) = recover(snapshot_path.as_ref(), wal_path.as_ref())?;
+        Ok((kb, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::schema::{ColumnType, TableSchema};
+    use crate::value::Value;
+    use crate::wal::WalRecord;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("obcs_snap_{}_{tag}_{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.create_table(
+            TableSchema::new("drug")
+                .column("drug_id", ColumnType::Int)
+                .column("name", ColumnType::Text)
+                .primary_key("drug_id"),
+        )
+        .unwrap();
+        for (i, n) in [(1, "Aspirin"), (2, "Ibuprofen")] {
+            kb.insert("drug", vec![Value::Int(i), Value::text(n)]).unwrap();
+        }
+        kb.create_index("drug", "drug_id", IndexKind::Hash).unwrap();
+        kb
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_everything() {
+        let dir = temp_dir("roundtrip");
+        let kb = sample_kb();
+        let path = dir.join("kb.snapshot");
+        kb.snapshot_to(&path).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.to_json(), kb.to_json());
+        assert_eq!(back.generation(), kb.generation());
+        assert_eq!(back.schema_generation(), kb.schema_generation());
+        assert_eq!(back.index_count(), kb.index_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error_not_a_truncation() {
+        let dir = temp_dir("corrupt");
+        let path = dir.join("kb.snapshot");
+        sample_kb().snapshot_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(DurabilityError::Corrupt(_))));
+        // Truncated file: also hard corruption.
+        let full = {
+            sample_kb().snapshot_to(&path).unwrap();
+            std::fs::read(&path).unwrap()
+        };
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(DurabilityError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_from_snapshot_plus_wal_tail() {
+        let dir = temp_dir("recover");
+        let snap = dir.join("kb.snapshot");
+        let wal_path = dir.join("kb.wal");
+        let mut kb = sample_kb();
+        kb.snapshot_to(&snap).unwrap();
+        let (mut wal, _) = Wal::open(&wal_path).unwrap();
+        // Post-snapshot mutations, applied and logged in lockstep.
+        let tail = vec![
+            WalRecord::Insert {
+                table: "drug".to_string(),
+                row: vec![Value::Int(3), Value::text("Naproxen")],
+            },
+            WalRecord::CreateIndex {
+                table: "drug".to_string(),
+                column: "name".to_string(),
+                kind: IndexKind::Ordered,
+            },
+        ];
+        for r in &tail {
+            r.apply(&mut kb).unwrap();
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (recovered, report) = KnowledgeBase::recover_from(&snap, &wal_path).unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.wal_records, 2);
+        assert_eq!(report.wal_truncated_bytes, 0);
+        assert_eq!(report.auto_indexes_created, 0, "policy came back from the envelope");
+        assert_eq!(recovered.to_json(), kb.to_json());
+        assert_eq!(recovered.generation(), kb.generation());
+        assert_eq!(recovered.schema_generation(), kb.schema_generation());
+        assert_eq!(recovered.index_count(), kb.index_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_without_snapshot_replays_the_wal_alone() {
+        let dir = temp_dir("walonly");
+        let snap = dir.join("kb.snapshot");
+        let wal_path = dir.join("kb.wal");
+        let mut oracle = KnowledgeBase::new();
+        let records = vec![
+            WalRecord::CreateTable(
+                TableSchema::new("t").column("id", ColumnType::Int).primary_key("id"),
+            ),
+            WalRecord::Insert { table: "t".to_string(), row: vec![Value::Int(9)] },
+        ];
+        let (mut wal, _) = Wal::open(&wal_path).unwrap();
+        for r in &records {
+            r.apply(&mut oracle).unwrap();
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let (recovered, report) = KnowledgeBase::recover_from(&snap, &wal_path).unwrap();
+        assert!(!report.snapshot_loaded);
+        assert_eq!(report.wal_records, 2);
+        // The WAL replays everything from the beginning — including any
+        // CreateIndex/AutoIndex records — so no safety-net sweep runs.
+        assert_eq!(report.auto_indexes_created, 0);
+        assert_eq!(recovered.table("t").unwrap().len(), 1);
+        assert_eq!(recovered.generation(), oracle.generation());
+        assert_eq!(recovered.index_count(), oracle.index_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_snapshot_gets_the_auto_index_safety_net() {
+        let dir = temp_dir("legacy");
+        let snap = dir.join("kb.snapshot");
+        let wal_path = dir.join("kb.wal");
+        // A pre-durability envelope: no `generations`, no `index_policy`.
+        // Its indexes are unrecoverable from the file, so recovery
+        // re-runs the auto_index sweep and reports what it created.
+        let payload = br#"{
+            "tables": {
+                "drug": {
+                    "schema": {
+                        "name": "drug",
+                        "columns": [
+                            {"name": "drug_id", "ty": "Int"},
+                            {"name": "name", "ty": "Text"}
+                        ],
+                        "primary_key": "drug_id",
+                        "foreign_keys": []
+                    },
+                    "rows": [[{"Int": 1}, {"Text": "Aspirin"}]]
+                }
+            }
+        }"#;
+        let mut frame = Vec::new();
+        frame.extend_from_slice(SNAPSHOT_MAGIC);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        std::fs::write(&snap, &frame).unwrap();
+
+        let (recovered, report) = KnowledgeBase::recover_from(&snap, &wal_path).unwrap();
+        assert!(report.snapshot_loaded);
+        assert!(report.auto_indexes_created > 0, "sweep restores access paths");
+        assert!(recovered.index_count() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

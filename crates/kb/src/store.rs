@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use obcs_cache::{CacheConfig, CacheStats, GenCache};
 use serde::{Deserialize, Serialize};
 
-use crate::index::{IndexKind, SecondaryIndex};
+use crate::index::{IndexKind, IndexSpec, SecondaryIndex};
 use crate::schema::TableSchema;
 use crate::sql;
 use crate::stats;
@@ -92,16 +92,27 @@ pub struct Table {
     /// PK value → row position, present when the schema declares a PK.
     #[serde(skip)]
     pk_index: HashMap<Value, usize>,
-    /// Secondary indexes (DESIGN.md §14). Rebuilt on insert, never
-    /// persisted: a deserialised KB is scan-only until
-    /// [`KnowledgeBase::auto_index`] (or explicit `create_index`) runs.
+    /// Secondary index *structures* (DESIGN.md §14): maintained on
+    /// insert, rebuilt from rows on load, never serialised directly.
     #[serde(skip)]
     secondary: Vec<SecondaryIndex>,
+    /// Durable index policy (DESIGN.md §16): the `(column, kind)` specs
+    /// of `secondary`, stamped into the JSON envelope by
+    /// [`KnowledgeBase::to_json`] so deserialisation rebuilds the same
+    /// access paths. `None` in live tables and in pre-policy envelopes
+    /// (those deserialise scan-only, exactly as before).
+    index_policy: Option<Vec<IndexSpec>>,
 }
 
 impl Table {
     fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Vec::new(), pk_index: HashMap::new(), secondary: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+            pk_index: HashMap::new(),
+            secondary: Vec::new(),
+            index_policy: None,
+        }
     }
 
     /// Finds a row by primary-key value.
@@ -266,10 +277,27 @@ fn approx_result_bytes(rs: &ResultSet) -> usize {
     bytes
 }
 
+/// The durable form of the generation counters, stamped into the JSON
+/// envelope by [`KnowledgeBase::to_json`] and restored by `from_json`.
+/// Without it a reloaded KB would restart both counters at zero and
+/// could collide with generation stamps held by a live `GenCache`,
+/// serving stale plans or results (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenerationStamp {
+    /// The data generation at serialisation time.
+    pub data: u64,
+    /// The schema generation at serialisation time.
+    pub schema: u64,
+}
+
 /// The in-memory knowledge base: a named collection of tables.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KnowledgeBase {
     tables: HashMap<String, Table>,
+    /// Persisted envelope copy of the generation counters; `None` in
+    /// live KBs (the live counters below are authoritative) and in
+    /// pre-PR9 envelopes (those reload at generation zero, as before).
+    generations: Option<GenerationStamp>,
     /// Data generation: bumped by every successful mutation
     /// ([`insert`](Self::insert) and [`create_table`](Self::create_table));
     /// validates result-cache entries.
@@ -285,6 +313,11 @@ pub struct KnowledgeBase {
     /// see [`set_index_enabled`](Self::set_index_enabled).
     #[serde(skip)]
     indexes_disabled: bool,
+    /// Set by [`from_json`](Self::from_json) when the envelope predates
+    /// the durable format (no `generations` stamp). Recovery uses it to
+    /// decide whether an `auto_index` repair sweep is warranted.
+    #[serde(skip)]
+    legacy_envelope: bool,
     #[serde(skip)]
     caches: QueryCaches,
 }
@@ -543,6 +576,17 @@ impl KnowledgeBase {
         self.generation
     }
 
+    /// The schema generation (bumped by `create_table` / `create_index`).
+    pub fn schema_generation(&self) -> u64 {
+        self.schema_generation
+    }
+
+    /// Whether this KB was parsed from a pre-durability envelope (no
+    /// generation stamp, no index policy). See [`from_json`](Self::from_json).
+    pub fn from_legacy_envelope(&self) -> bool {
+        self.legacy_envelope
+    }
+
     /// Like [`KnowledgeBase::query`], recording a
     /// [`kb_execute`](obcs_telemetry::stage::KB_EXECUTE) span plus
     /// query/row counters on `rec` (see DESIGN.md §10).
@@ -598,15 +642,48 @@ impl KnowledgeBase {
         }
     }
 
-    /// Parses a KB from JSON, rebuilding indexes.
+    /// Parses a KB from JSON, restoring the envelope (DESIGN.md §16):
+    /// generation counters come back from the [`GenerationStamp`], and
+    /// each table's secondary indexes are rebuilt from its recorded
+    /// index policy before the PK indexes are rebuilt. Pre-policy
+    /// envelopes (no `generations`, no `index_policy`) deserialise
+    /// exactly as before: generation zero, scan-only.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         let mut kb: KnowledgeBase = serde_json::from_str(json)?;
+        match kb.generations.take() {
+            Some(stamp) => {
+                kb.generation = stamp.data;
+                kb.schema_generation = stamp.schema;
+            }
+            None => kb.legacy_envelope = true,
+        }
+        for t in kb.tables.values_mut() {
+            if let Some(policy) = t.index_policy.take() {
+                for spec in policy {
+                    // The schema the policy was recorded against is the
+                    // schema being deserialised, so the column resolves;
+                    // a hand-edited envelope that broke this simply
+                    // loses that index (add_secondary rejects it).
+                    let _ = t.add_secondary(&spec.column, spec.kind);
+                }
+            }
+        }
         kb.rebuild_indexes();
         Ok(kb)
     }
 
+    /// Serialises the KB with its durable envelope stamped in: the
+    /// current generation counters and each table's index policy, so
+    /// [`from_json`](Self::from_json) restores an equivalent KB —
+    /// same data, same access paths, same cache-validation stamps.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("KB serialisation cannot fail")
+        let mut kb = self.clone();
+        kb.generations =
+            Some(GenerationStamp { data: self.generation, schema: self.schema_generation });
+        for t in kb.tables.values_mut() {
+            t.index_policy = Some(t.secondary.iter().map(SecondaryIndex::spec).collect());
+        }
+        serde_json::to_string_pretty(&kb).expect("KB serialisation cannot fail")
     }
 }
 
@@ -852,17 +929,78 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip_drops_secondary_indexes() {
+    fn json_roundtrip_rebuilds_secondary_indexes_from_policy() {
         let mut kb = kb_with_drug();
-        kb.insert("drug", vec![Value::Int(1), Value::text("A")]).unwrap();
+        for i in 0..20 {
+            kb.insert("drug", vec![Value::Int(i), Value::text(format!("Drug{i}"))]).unwrap();
+        }
         kb.create_index("drug", "drug_id", IndexKind::Hash).unwrap();
+        kb.create_index("drug", "name", IndexKind::Ordered).unwrap();
         let kb2 = KnowledgeBase::from_json(&kb.to_json()).unwrap();
-        assert_eq!(kb2.index_count(), 0, "indexes are not persisted; rebuild via auto_index");
+        assert_eq!(kb2.index_count(), 2, "the recorded index policy rebuilds secondaries");
+        let t = kb2.table("drug").unwrap();
+        assert!(t.index_of_kind(0, IndexKind::Hash).is_some());
+        assert!(t.index_of_kind(1, IndexKind::Ordered).is_some());
         assert_eq!(
             kb2.query("SELECT name FROM drug WHERE drug_id = 1").unwrap().rows.len(),
             1,
-            "scan-only KB still answers"
+            "rebuilt indexes answer correctly"
         );
+        // Regression: the reload path must keep the planner's access
+        // paths — a dropped index here regresses point lookups to scans.
+        for sql in [
+            "SELECT name FROM drug WHERE drug_id = 3",
+            "SELECT drug_id FROM drug WHERE name LIKE 'Drug1%'",
+        ] {
+            assert_eq!(
+                kb2.prepare(sql).unwrap().access_label(),
+                kb.prepare(sql).unwrap().access_label(),
+                "access path changed across a JSON round-trip for {sql:?}"
+            );
+        }
+        assert!(kb2.prepare("SELECT name FROM drug WHERE drug_id = 3").unwrap().uses_index());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_generation_counters() {
+        let mut kb = kb_with_drug();
+        kb.insert("drug", vec![Value::Int(1), Value::text("A")]).unwrap();
+        kb.create_index("drug", "drug_id", IndexKind::Hash).unwrap();
+        assert!(kb.generation() > 0 && kb.schema_generation() > 0);
+        let kb2 = KnowledgeBase::from_json(&kb.to_json()).unwrap();
+        assert_eq!(kb2.generation(), kb.generation(), "data generation survives reload");
+        assert_eq!(kb2.schema_generation(), kb.schema_generation(), "schema generation survives");
+        // And keeps advancing from there, never re-treading old stamps.
+        let mut kb3 = kb2.clone();
+        kb3.insert("drug", vec![Value::Int(2), Value::text("B")]).unwrap();
+        assert_eq!(kb3.generation(), kb.generation() + 1);
+    }
+
+    #[test]
+    fn pre_policy_envelope_still_loads_scan_only_at_generation_zero() {
+        // A committed artifact written before the durable envelope: no
+        // `generations`, no `index_policy`. It must parse, scan-only.
+        let json = r#"{
+            "tables": {
+                "drug": {
+                    "schema": {
+                        "name": "drug",
+                        "columns": [
+                            {"name": "drug_id", "ty": "Int"},
+                            {"name": "name", "ty": "Text"}
+                        ],
+                        "primary_key": "drug_id",
+                        "foreign_keys": []
+                    },
+                    "rows": [[{"Int": 1}, {"Text": "Aspirin"}]]
+                }
+            }
+        }"#;
+        let kb = KnowledgeBase::from_json(json).expect("old envelope parses");
+        assert_eq!(kb.generation(), 0);
+        assert_eq!(kb.schema_generation(), 0);
+        assert_eq!(kb.index_count(), 0, "no recorded policy, no indexes");
+        assert_eq!(kb.query("SELECT name FROM drug WHERE drug_id = 1").unwrap().rows.len(), 1);
     }
 
     #[test]

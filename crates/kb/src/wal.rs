@@ -1,0 +1,449 @@
+//! The append-only write-ahead log of KB mutations (DESIGN.md §16).
+//!
+//! Every mutation that changes a [`KnowledgeBase`]'s durable state —
+//! `create_table`, `insert`, `create_index`, and the policy-driven
+//! `auto_index` sweep — has a [`WalRecord`] form. Records are framed as
+//!
+//! ```text
+//! [u32 payload_len LE] [u32 crc32(payload) LE] [payload: record JSON]
+//! ```
+//!
+//! after an 8-byte `OBCSWAL1` magic header. The frame makes the log
+//! self-validating: on [`Wal::open`] the file is replayed front to back
+//! and the scan stops at the first frame that is incomplete, fails its
+//! checksum, or does not decode — a *torn tail*, the expected residue of
+//! a crash mid-append. The torn bytes are truncated away (never
+//! replayed, never panicked over), so recovery is always
+//! prefix-consistent: every state the log can produce is a state the
+//! original KB passed through.
+//!
+//! Compaction is the snapshot's job ([`crate::snapshot`]): after a
+//! point-in-time snapshot is on disk, [`Wal::reset`] drops every logged
+//! record, since the snapshot already contains their effects.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::index::IndexKind;
+use crate::schema::TableSchema;
+use crate::store::{KbError, KnowledgeBase};
+use crate::value::Value;
+
+/// Magic header identifying a WAL file (format version 1).
+pub const WAL_MAGIC: &[u8; 8] = b"OBCSWAL1";
+
+/// Upper bound on a single record's payload. A length prefix beyond this
+/// is treated as frame corruption (torn tail), not an allocation request:
+/// a flipped bit in the length field must not ask for gigabytes.
+pub const MAX_RECORD_BYTES: usize = 64 * 1024 * 1024;
+
+/// One logged KB mutation, in the order the store applied it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// `KnowledgeBase::create_table` with the checked schema.
+    CreateTable(TableSchema),
+    /// `KnowledgeBase::insert` of one validated row.
+    Insert {
+        /// Target table name.
+        table: String,
+        /// The full row, in schema column order.
+        row: Vec<Value>,
+    },
+    /// `KnowledgeBase::create_index` that actually created an index
+    /// (no-op re-creations are not logged).
+    CreateIndex {
+        /// Target table name.
+        table: String,
+        /// Indexed column name.
+        column: String,
+        /// Physical index shape.
+        kind: IndexKind,
+    },
+    /// A `KnowledgeBase::auto_index` sweep that created at least one
+    /// index. The sweep is deterministic in the KB state, and replay
+    /// sees exactly the state the original saw (same snapshot, same
+    /// record prefix), so re-running it recreates the same indexes and
+    /// the same generation bumps.
+    AutoIndex,
+}
+
+impl WalRecord {
+    /// Re-applies this mutation to `kb`, exactly as the original call
+    /// did — including its generation bumps.
+    pub fn apply(&self, kb: &mut KnowledgeBase) -> Result<(), KbError> {
+        match self {
+            WalRecord::CreateTable(schema) => kb.create_table(schema.clone()),
+            WalRecord::Insert { table, row } => kb.insert(table, row.clone()),
+            WalRecord::CreateIndex { table, column, kind } => {
+                kb.create_index(table, column, *kind).map(|_| ())
+            }
+            WalRecord::AutoIndex => {
+                kb.auto_index();
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Errors of the durability subsystem (WAL, snapshot, recovery).
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A file is unrecoverably malformed — wrong magic, or a corrupt
+    /// snapshot body. (A torn WAL *tail* is not an error; it is
+    /// truncated and reported in [`WalReplay::truncated_bytes`].)
+    Corrupt(String),
+    /// Replaying a logged mutation failed against the store — the log
+    /// and snapshot disagree about KB history.
+    Kb(KbError),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "durability I/O error: {e}"),
+            DurabilityError::Corrupt(msg) => write!(f, "corrupt durability file: {msg}"),
+            DurabilityError::Kb(e) => write!(f, "WAL replay rejected by the store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+impl From<KbError> for DurabilityError {
+    fn from(e: KbError) -> Self {
+        DurabilityError::Kb(e)
+    }
+}
+
+/// What [`Wal::open`] found in an existing log.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn tail truncated away (0 for a cleanly closed log).
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log, positioned for appends past the last intact
+/// record.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal").field("path", &self.path).finish_non_exhaustive()
+    }
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, replaying every intact
+    /// record and truncating a torn tail. Errors only on I/O failure or
+    /// a wrong magic header — a file that is not a WAL at all.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Wal, WalReplay), DurabilityError> {
+        let path = path.as_ref().to_path_buf();
+        // truncate(false): an existing log must be replayed, not wiped.
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.is_empty() {
+            file.write_all(WAL_MAGIC)?;
+            file.sync_all()?;
+            return Ok((Wal { file, path }, WalReplay { records: Vec::new(), truncated_bytes: 0 }));
+        }
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(DurabilityError::Corrupt(format!(
+                "{} does not start with the OBCSWAL1 magic",
+                path.display()
+            )));
+        }
+
+        let mut records = Vec::new();
+        let mut pos = WAL_MAGIC.len();
+        // Scan frame by frame; stop at the first incomplete or invalid
+        // frame. Everything before `pos` is intact, everything after is
+        // the torn tail.
+        loop {
+            if pos == bytes.len() {
+                break;
+            }
+            if bytes.len() - pos < 8 {
+                break;
+            }
+            let len =
+                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+                    as usize;
+            let crc = u32::from_le_bytes([
+                bytes[pos + 4],
+                bytes[pos + 5],
+                bytes[pos + 6],
+                bytes[pos + 7],
+            ]);
+            if len > MAX_RECORD_BYTES || pos + 8 + len > bytes.len() {
+                break;
+            }
+            let payload = &bytes[pos + 8..pos + 8 + len];
+            if crc32(payload) != crc {
+                break;
+            }
+            let Ok(text) = std::str::from_utf8(payload) else { break };
+            let Ok(record) = serde_json::from_str::<WalRecord>(text) else { break };
+            records.push(record);
+            pos += 8 + len;
+        }
+
+        let truncated_bytes = (bytes.len() - pos) as u64;
+        if truncated_bytes > 0 {
+            file.set_len(pos as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(pos as u64))?;
+        Ok((Wal { file, path }, WalReplay { records, truncated_bytes }))
+    }
+
+    /// Appends one record frame. The bytes reach the OS here; call
+    /// [`Wal::sync`] to force them to stable storage.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), DurabilityError> {
+        let payload = serde_json::to_string(record)
+            .expect("WAL record serialisation cannot fail")
+            .into_bytes();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// fsyncs the log. Idempotent; cheap when nothing is pending.
+    pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Compaction: drops every logged record, keeping only the magic
+    /// header. Call after a snapshot has made the records redundant.
+    pub fn reset(&mut self) -> Result<(), DurabilityError> {
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o 3` variant) over
+/// `bytes`. Implemented locally — the offline build has no crc crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("obcs_wal_{}_{tag}_{n}.wal", std::process::id()))
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::CreateTable(
+                TableSchema::new("drug")
+                    .column("drug_id", ColumnType::Int)
+                    .column("name", ColumnType::Text)
+                    .primary_key("drug_id"),
+            ),
+            WalRecord::Insert {
+                table: "drug".to_string(),
+                row: vec![Value::Int(1), Value::text("Aspirin")],
+            },
+            WalRecord::CreateIndex {
+                table: "drug".to_string(),
+                column: "name".to_string(),
+                kind: IndexKind::Ordered,
+            },
+            WalRecord::AutoIndex,
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_reopen_replays_in_order() {
+        let path = temp_path("replay");
+        let records = sample_records();
+        {
+            let (mut wal, replay) = Wal::open(&path).unwrap();
+            assert!(replay.records.is_empty());
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.truncated_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_replayed() {
+        let path = temp_path("torn");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        // A crash mid-append: half a frame header and some garbage.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x90, 0x01, 0x00, 0x00, 0xde, 0xad]).unwrap();
+        drop(f);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, sample_records());
+        assert_eq!(replay.truncated_bytes, 6);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len, "tail truncated on disk");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checksum_cuts_the_log_there() {
+        let path = temp_path("crc");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Flip one payload byte of the second record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+        let second_payload = 8 + 8 + first_len + 8;
+        bytes[second_payload] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, sample_records()[..1], "scan stops at the corrupt record");
+        assert!(replay.truncated_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corruption_not_allocation() {
+        let path = temp_path("len");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(&sample_records()[0]).unwrap();
+            wal.sync().unwrap();
+        }
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        f.write_all(&[0u8; 4]).unwrap();
+        drop(f);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.truncated_bytes, 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_an_error() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTAWAL!xxxx").unwrap();
+        assert!(matches!(Wal::open(&path), Err(DurabilityError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_compacts_to_header_only() {
+        let path = temp_path("reset");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for r in sample_records() {
+                wal.append(&r).unwrap();
+            }
+            wal.reset().unwrap();
+            wal.append(&sample_records()[0]).unwrap();
+            wal.sync().unwrap();
+        }
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, sample_records()[..1], "only post-reset records survive");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_apply_matches_direct_mutation() {
+        let mut direct = KnowledgeBase::new();
+        let mut replayed = KnowledgeBase::new();
+        for r in sample_records() {
+            r.apply(&mut replayed).unwrap();
+        }
+        direct
+            .create_table(
+                TableSchema::new("drug")
+                    .column("drug_id", ColumnType::Int)
+                    .column("name", ColumnType::Text)
+                    .primary_key("drug_id"),
+            )
+            .unwrap();
+        direct.insert("drug", vec![Value::Int(1), Value::text("Aspirin")]).unwrap();
+        direct.create_index("drug", "name", IndexKind::Ordered).unwrap();
+        direct.auto_index();
+        assert_eq!(direct.to_json(), replayed.to_json());
+        assert_eq!(direct.generation(), replayed.generation());
+        assert_eq!(direct.schema_generation(), replayed.schema_generation());
+    }
+}

@@ -5,6 +5,7 @@
 //! errors — to a KB with caching off. Each query runs twice against the
 //! cached KB so the second execution exercises the hit path.
 
+use obcs_cache::{CacheConfig, GenCache};
 use obcs_kb::schema::{ColumnType, TableSchema};
 use obcs_kb::{KnowledgeBase, Value};
 use proptest::prelude::*;
@@ -124,4 +125,38 @@ proptest! {
             stats
         );
     }
+}
+
+/// A JSON reload must keep generation stamps sound for a `GenCache`
+/// that outlives the reload (DESIGN.md §16). Before the durable
+/// envelope, `from_json` restarted the counters at zero, so a cache
+/// holding entries stamped by the pre-reload KB could collide with the
+/// reloaded KB's re-used generation numbers and serve stale results.
+#[test]
+fn gen_cache_stamps_stay_sound_across_kb_reload() {
+    let sql = "SELECT name FROM drug WHERE drug_id = 1";
+    let mut kb = fresh_kb();
+    for i in 0..5 {
+        kb.insert("drug", vec![Value::Int(i), Value::text(format!("Drug{i}"))]).expect("insert");
+    }
+
+    // An external result cache, stamped with the live KB's generation —
+    // exactly how the serving layer memoises replies.
+    let mut cache: GenCache<String> = GenCache::new(CacheConfig::entries(16));
+    let reply = format!("{:?}", kb.query(sql).expect("query").rows);
+    cache.put(sql, kb.generation(), reply.clone(), reply.len());
+
+    // Restart: serialize, reload. The entry was computed from exactly
+    // this data, and the restored generation proves it — a hit.
+    let mut kb2 = KnowledgeBase::from_json(&kb.to_json()).expect("reload");
+    assert_eq!(kb2.generation(), kb.generation(), "data generation survives reload");
+    assert_eq!(kb2.schema_generation(), kb.schema_generation());
+    assert_eq!(cache.get(sql, kb2.generation()), Some(reply), "still-valid entry still hits");
+
+    // A post-reload mutation advances past every stamp the cache holds;
+    // the stale entry is treated as absent, never served.
+    kb2.insert("drug", vec![Value::Int(1000), Value::text("New")]).expect("insert");
+    assert!(kb2.generation() > kb.generation(), "reloaded KB advances, never re-treads stamps");
+    assert_eq!(cache.get(sql, kb2.generation()), None, "stale entry is dropped, not served");
+    assert_eq!(cache.stats().invalidations, 1);
 }

@@ -50,5 +50,5 @@ pub mod session;
 
 pub use client::{Client, ClientError};
 pub use protocol::{Request, Response, StatsSnapshot, TurnReply, MAX_LINE_BYTES, PROTOCOL_VERSION};
-pub use server::{kind_label, ServeConfig, Server, ServerHandle};
+pub use server::{kind_label, DurabilityConfig, ServeConfig, Server, ServerHandle};
 pub use session::{Admission, SessionConfig, SessionTable};

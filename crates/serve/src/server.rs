@@ -5,6 +5,7 @@
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -12,6 +13,7 @@ use std::time::Duration;
 
 use obcs_agent::{AgentReply, ConversationAgent, ReplyKind};
 use obcs_faults::ResilienceConfig;
+use obcs_kb::{DurableKb, RecoveryReport};
 use obcs_telemetry::{span, stage, CollectingRecorder, NoopRecorder, Recorder, TraceReport};
 
 use crate::protocol::{
@@ -35,6 +37,27 @@ pub struct ServeConfig {
     /// [`CollectingRecorder`]; reports merge into one [`TraceReport`]
     /// retrievable via [`ServerHandle::take_trace`].
     pub trace: bool,
+    /// Durability directory (DESIGN.md §16). When set, startup recovers
+    /// the KB from the directory's snapshot + WAL if one exists —
+    /// replacing the agent's KB with the recovered one — or seeds the
+    /// directory from the agent's KB if not, and shutdown fsyncs the
+    /// WAL. `None` (the default) serves purely in memory, as before.
+    pub durability: Option<DurabilityConfig>,
+}
+
+/// Where a durable server keeps its snapshot + WAL pair.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding [`obcs_kb::SNAPSHOT_FILE`] and
+    /// [`obcs_kb::WAL_FILE`] (created if absent).
+    pub dir: PathBuf,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig { dir: dir.into() }
+    }
 }
 
 impl Default for ServeConfig {
@@ -44,6 +67,7 @@ impl Default for ServeConfig {
             session: SessionConfig::default(),
             turn_budget: ResilienceConfig::serving().turn_budget,
             trace: false,
+            durability: None,
         }
     }
 }
@@ -63,6 +87,9 @@ struct Inner {
     traces: Mutex<Vec<TraceReport>>,
     trace: bool,
     shutdown: AtomicBool,
+    /// Open durable handle when the server was started with a
+    /// [`DurabilityConfig`]; shutdown fsyncs its WAL.
+    durable: Option<Mutex<DurableKb>>,
 }
 
 impl Inner {
@@ -87,6 +114,7 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    recovery: Option<RecoveryReport>,
 }
 
 /// Alias kept for readability at call sites: `Server::start` returns the
@@ -97,12 +125,35 @@ impl Server {
     /// Bind, install the serving resilience policy on `agent`, and start
     /// accepting connections. The agent becomes the base every session
     /// forks from.
+    ///
+    /// With [`ServeConfig::durability`] set, the agent's KB is first
+    /// reconciled with the durability directory: an existing snapshot +
+    /// WAL is recovered (torn tail truncated, generation counters and
+    /// index policy restored — see [`Server::recovery`]) and installed
+    /// on the agent; a fresh directory is seeded with a snapshot of the
+    /// agent's KB. Durability failures surface as `std::io::Error` here
+    /// rather than degrading to a silently non-durable server.
     pub fn start(mut agent: ConversationAgent, config: ServeConfig) -> std::io::Result<Server> {
         if let Some(budget) = config.turn_budget {
             agent.set_resilience(ResilienceConfig {
                 turn_budget: Some(budget),
                 ..ResilienceConfig::serving()
             });
+        }
+        let mut durable = None;
+        let mut recovery = None;
+        if let Some(durability) = &config.durability {
+            if DurableKb::exists(&durability.dir) {
+                let (d, report) =
+                    DurableKb::open(&durability.dir).map_err(std::io::Error::other)?;
+                agent.set_kb(d.kb().clone());
+                durable = Some(Mutex::new(d));
+                recovery = Some(report);
+            } else {
+                let d = DurableKb::create(&durability.dir, agent.kb().clone())
+                    .map_err(std::io::Error::other)?;
+                durable = Some(Mutex::new(d));
+            }
         }
         let server_name = agent.config().name.clone();
         let listener = TcpListener::bind(&config.addr)?;
@@ -114,6 +165,7 @@ impl Server {
             traces: Mutex::new(Vec::new()),
             trace: config.trace,
             shutdown: AtomicBool::new(false),
+            durable,
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -138,7 +190,15 @@ impl Server {
             }
         });
 
-        Ok(Server { inner, addr, accept: Some(accept), conns })
+        Ok(Server { inner, addr, accept: Some(accept), conns, recovery })
+    }
+
+    /// What startup recovery did, when this server was started with a
+    /// durability directory holding prior state: records replayed, torn
+    /// bytes truncated, whether a snapshot was found. `None` for a
+    /// non-durable server or a freshly seeded directory.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The bound address (resolves the ephemeral port when binding `:0`).
@@ -164,9 +224,13 @@ impl Server {
 
     /// Stop accepting, wake the accept loop, and join every thread.
     /// Connection handlers notice shutdown within their read-timeout
-    /// tick (250ms) even if the peer keeps the socket open. Idempotent;
-    /// the handle stays usable for [`Server::stats`] /
-    /// [`Server::take_trace`] afterwards.
+    /// tick (250ms) even if the peer keeps the socket open. On a
+    /// durable server, the WAL is fsynced after the last handler exits,
+    /// so a graceful shutdown never leaves logged state in page cache
+    /// only. Idempotent — a second call (or a call racing a first) just
+    /// re-joins nothing and re-syncs an already-synced log; the handle
+    /// stays usable for [`Server::stats`] / [`Server::take_trace`]
+    /// afterwards.
     pub fn shutdown(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking accept() with a throwaway connection.
@@ -178,6 +242,9 @@ impl Server {
             std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
         for h in handles {
             let _ = h.join();
+        }
+        if let Some(durable) = &self.inner.durable {
+            let _ = durable.lock().unwrap_or_else(|e| e.into_inner()).sync();
         }
     }
 }
