@@ -5,12 +5,19 @@
 //! snapshot, corrupts the log's tail with garbage bytes, and then times
 //! recovery — asserting the recovered KB matches a live oracle that
 //! applied the same mutations: same JSON image, same generation
-//! counters, same access paths. Finally a server started over the
-//! recovered directory replays a deterministic script and its replies
-//! are asserted byte-identical to a server holding the original KB —
-//! the same equality-before-speed contract every other stage follows.
-//! The timed stages join the `repro perf` report under the usual
-//! regression ceiling in `BENCH_perf.json`.
+//! counters, same access paths. The timed recovery is a *comparison*:
+//! the identical world and torn WAL are also recovered through a twin
+//! directory whose snapshot was written in the legacy `OBCSSNP1` JSON
+//! encoding, so `recover_replay` measures the streamed `OBCSSNB1`
+//! binary format against the JSON parse it replaced, under a committed
+//! `min_speedup` floor. A `recover_compact` stage times the full
+//! compaction swap (stream snapshot to tmp, rename, WAL handoff) over
+//! the recovered state. Finally a server started over the recovered
+//! directory replays a deterministic script and its replies are
+//! asserted byte-identical to a server holding the original KB — the
+//! same equality-before-speed contract every other stage follows. The
+//! timed stages join the `repro perf` report under the usual regression
+//! ceiling in `BENCH_perf.json`.
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -19,7 +26,8 @@ use std::time::Instant;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use obcs_kb::{DurableKb, IndexKind, Value};
+use obcs_kb::snapshot::write_snapshot_json;
+use obcs_kb::{DurableKb, IndexKind, Value, SNAPSHOT_FILE, WAL_FILE};
 use obcs_mdx::data::build_mdx_kb;
 use obcs_serve::protocol::encode_line;
 use obcs_serve::{Client, DurabilityConfig, ServeConfig, Server};
@@ -28,6 +36,21 @@ use obcs_sim::utterance::generate;
 
 use crate::perf::{Comparison, PerfOptions, Timing};
 use crate::World;
+
+/// Committed floor for the `recover_replay` comparison: recovering the
+/// binary `OBCSSNB1` snapshot must beat recovering the same image from
+/// the legacy JSON encoding by at least this factor (the baseline sits
+/// near 4x; 1.5x leaves headroom for runner noise while still failing a
+/// binary path that silently falls back to a JSON round-trip).
+pub const RECOVER_REPLAY_FLOOR: f64 = 1.5;
+
+/// Committed floor for the `recover_vs_rebuild` comparison. In the
+/// quick profile the 60-drug generator is about as cheap as recovery
+/// itself (both a handful of ms), so the floor does not demand a win —
+/// it demands recovery never become *materially slower* than throwing
+/// the directory away and regenerating the world, which is the point
+/// where durability stops paying for itself.
+pub const RECOVER_VS_REBUILD_FLOOR: f64 = 0.5;
 
 /// What one `repro recover` run produced: the gated timings plus the
 /// raw recovery numbers the report prints.
@@ -41,8 +64,13 @@ pub struct RecoverBenchOutcome {
     /// Garbage tail bytes the recovery truncated (must be non-zero: the
     /// pass always tears the log before recovering).
     pub wal_truncated_bytes: u64,
-    /// Wall time of the timed recovery, ms.
+    /// Wall time of the timed recovery (binary snapshot), ms.
     pub recover_ms: f64,
+    /// Wall time of recovering the same image + torn WAL through the
+    /// legacy JSON snapshot encoding, ms.
+    pub json_recover_ms: f64,
+    /// Wall time of one full compaction swap over the recovered state, ms.
+    pub compact_ms: f64,
     /// Wall time of rebuilding the same KB from the data generator, ms.
     pub rebuild_ms: f64,
     /// Turns in the byte-identity script served by both servers.
@@ -139,7 +167,34 @@ pub fn run(opts: &PerfOptions) -> RecoverBenchOutcome {
         .and_then(|mut f| f.write_all(garbage))
         .expect("recover bench: tear the tail");
 
-    // ---- timed recovery --------------------------------------------
+    // ---- JSON-encoding twin: same image, same torn WAL -------------
+    // The snapshot is rewritten in the legacy `OBCSSNP1` JSON envelope
+    // (the seeded KB is exactly the image `create` snapshotted) and the
+    // torn log is copied byte-for-byte, so the only difference the
+    // `recover_replay` comparison can measure is the snapshot format.
+    let json_dir =
+        dir.with_file_name(format!("obcs_recover_bench_json_{}_{}", std::process::id(), opts.seed));
+    std::fs::remove_dir_all(&json_dir).ok();
+    std::fs::create_dir_all(&json_dir).expect("recover bench: json twin dir");
+    write_snapshot_json(&world.kb, &json_dir.join(SNAPSHOT_FILE))
+        .expect("recover bench: json twin snapshot");
+    std::fs::copy(&wal_path, json_dir.join(WAL_FILE)).expect("recover bench: json twin wal");
+    let t = Instant::now();
+    let (json_recovered, json_report) =
+        DurableKb::open(&json_dir).expect("recover bench: json twin recover");
+    let json_recover_ms = t.elapsed().as_secs_f64() * 1000.0;
+    assert!(json_report.snapshot_loaded, "json twin: the snapshot must load");
+    assert_eq!(json_report.wal_records, expected_records, "json twin replays the same tail");
+    assert_eq!(json_report.wal_truncated_bytes, garbage.len() as u64);
+    assert_eq!(json_report.wal_discarded_records, 0, "a pre-epoch snapshot discards nothing");
+    assert_eq!(
+        json_recovered.into_kb().to_json(),
+        oracle.to_json(),
+        "both snapshot encodings must recover the identical image"
+    );
+    std::fs::remove_dir_all(&json_dir).ok();
+
+    // ---- timed recovery (binary snapshot) --------------------------
     let t = Instant::now();
     let (recovered, report) = DurableKb::open(&dir).expect("recover bench: recover");
     let recover_ms = t.elapsed().as_secs_f64() * 1000.0;
@@ -166,6 +221,37 @@ pub fn run(opts: &PerfOptions) -> RecoverBenchOutcome {
             "access path diverged on {probe:?}"
         );
     }
+
+    // ---- timed compaction swap over the recovered state ------------
+    // Runs on a copy of the recovered directory so the main directory
+    // keeps its replayable tail for the server-startup check below. One
+    // `snapshot()` is the full swap protocol: stream the image to a tmp
+    // file, stage the successor WAL, rename-commit, bump the epoch.
+    let compact_dir = dir.with_file_name(format!(
+        "obcs_recover_bench_compact_{}_{}",
+        std::process::id(),
+        opts.seed
+    ));
+    std::fs::remove_dir_all(&compact_dir).ok();
+    std::fs::create_dir_all(&compact_dir).expect("recover bench: compact dir");
+    for f in [SNAPSHOT_FILE, WAL_FILE] {
+        std::fs::copy(dir.join(f), compact_dir.join(f)).expect("recover bench: compact copy");
+    }
+    let (mut compactable, creport) =
+        DurableKb::open(&compact_dir).expect("recover bench: compact open");
+    assert_eq!(creport.wal_records, expected_records);
+    let compact_epoch = compactable.epoch();
+    let t = Instant::now();
+    compactable.snapshot().expect("recover bench: compaction swap");
+    let compact_ms = t.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(compactable.pending_records(), 0, "compaction empties the log");
+    assert_eq!(compactable.epoch(), compact_epoch + 1, "compaction bumps the epoch");
+    let compacted = compactable.into_kb();
+    let (reopened, rreport) = DurableKb::open(&compact_dir).expect("recover bench: compact reopen");
+    assert_eq!(rreport.wal_records, 0, "a compacted directory replays nothing");
+    assert_eq!(rreport.epoch, compact_epoch + 1);
+    assert_eq!(reopened.into_kb().to_json(), compacted.to_json(), "the swap lost nothing");
+    std::fs::remove_dir_all(&compact_dir).ok();
 
     // ---- byte-identity: recovered server vs original server --------
     let script = identity_script(&world, opts.seed);
@@ -205,23 +291,39 @@ pub fn run(opts: &PerfOptions) -> RecoverBenchOutcome {
             work: format!("{expected_records} records + fsync"),
             ms: wal_append_ms,
         },
-        Timing { name: "recover_replay".to_string(), work: work.clone(), ms: recover_ms },
+        Timing {
+            name: "recover_compact".to_string(),
+            work: format!("swap @ {expected_records} records"),
+            ms: compact_ms,
+        },
     ];
-    let speedup = if recover_ms > 0.0 { rebuild_ms / recover_ms } else { f64::INFINITY };
-    let comparisons = vec![Comparison {
-        name: "recover_vs_rebuild".to_string(),
-        work,
-        before_ms: rebuild_ms,
-        after_ms: recover_ms,
-        speedup,
-        min_speedup: None,
-    }];
+    let ratio = |before: f64, after: f64| if after > 0.0 { before / after } else { f64::INFINITY };
+    let comparisons = vec![
+        Comparison {
+            name: "recover_replay".to_string(),
+            work: work.clone(),
+            before_ms: json_recover_ms,
+            after_ms: recover_ms,
+            speedup: ratio(json_recover_ms, recover_ms),
+            min_speedup: Some(RECOVER_REPLAY_FLOOR),
+        },
+        Comparison {
+            name: "recover_vs_rebuild".to_string(),
+            work,
+            before_ms: rebuild_ms,
+            after_ms: recover_ms,
+            speedup: ratio(rebuild_ms, recover_ms),
+            min_speedup: Some(RECOVER_VS_REBUILD_FLOOR),
+        },
+    ];
     RecoverBenchOutcome {
         timings,
         comparisons,
         wal_records: expected_records,
         wal_truncated_bytes: garbage.len() as u64,
         recover_ms,
+        json_recover_ms,
+        compact_ms,
         rebuild_ms,
         identity_turns: script.len(),
     }

@@ -1,36 +1,62 @@
-//! Point-in-time KB snapshots and recovery (DESIGN.md §16).
+//! Point-in-time KB snapshots and epoch-checked recovery (DESIGN.md
+//! §16).
 //!
-//! A snapshot is the KB's JSON envelope (which since PR 9 carries the
-//! generation counters and the per-table secondary-index policy) in a
-//! single checksummed frame:
+//! Two snapshot formats exist. The current **binary streamed** format:
 //!
 //! ```text
-//! OBCSSNP1 [u32 payload_len LE] [u32 crc32(payload) LE] [payload: KB JSON]
+//! OBCSSNB1 [u64 epoch LE]
+//!   section: meta            [u64 data_gen] [u64 schema_gen] [u32 table_count]
+//!   per table (sorted by name):
+//!     section: table header  name, schema JSON, index specs, row count
+//!     section*: row chunks   [u32 rows] then rows, values tag-encoded
 //! ```
 //!
-//! Snapshots are written atomically — serialize to `<path>.tmp`, fsync,
+//! where every `section` is `[u32 len LE] [u32 crc32 LE] [payload]`.
+//! Values are encoded directly from their in-memory form (one tag byte
+//! plus a fixed-width integer/float or length-prefixed text) — no JSON
+//! string round-trips — and both sides stream through
+//! `BufWriter`/`BufReader` in bounded chunks, so neither writing nor
+//! reading materialises the whole image. The header's **epoch** pairs
+//! the snapshot with the WAL that extends it: recovery replays the log
+//! only when the epochs match, which is what makes the
+//! snapshot-then-reset compaction sequence crash-safe (see
+//! [`crate::wal`]).
+//!
+//! The legacy **JSON** format (`OBCSSNP1`: the KB's JSON envelope in a
+//! single checksummed frame) is still readable for recovery of
+//! pre-epoch durability directories; it is no longer written on the
+//! durable path.
+//!
+//! Snapshots are committed atomically — stream to `<path>.tmp`, fsync,
 //! rename over `<path>` — so a crash mid-snapshot leaves the previous
 //! snapshot intact. A torn *snapshot* therefore never occurs on the
-//! normal path, and [`read_snapshot`] treats any frame damage as hard
-//! corruption rather than something to silently truncate (unlike the
-//! WAL tail, where torn frames are the expected crash residue).
-//!
-//! [`KnowledgeBase::recover_from`] composes the two halves: load the
-//! snapshot (or start empty), replay the WAL's intact records through
-//! [`crate::wal::WalRecord::apply`], then re-run the `auto_index` policy sweep as a
-//! safety net for pre-policy snapshots. Generation counters come back
-//! exactly: the snapshot restores the counters it was taken at, and
-//! each replayed record bumps them precisely as the original call did.
+//! normal path, and [`read_snapshot`] treats any frame damage, in
+//! either format, as hard corruption rather than something to silently
+//! truncate (unlike the WAL tail, where torn frames are the expected
+//! crash residue).
 
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use crate::store::KnowledgeBase;
-use crate::wal::{crc32, DurabilityError, Wal};
+use crate::index::{IndexKind, IndexSpec};
+use crate::schema::TableSchema;
+use crate::store::{GenerationStamp, KnowledgeBase, Table};
+use crate::value::{FiniteF64, Value};
+use crate::wal::{self, crc32, DurabilityError, Wal, MAX_RECORD_BYTES};
 
-/// Magic header identifying a snapshot file (format version 1).
+/// Magic header identifying a legacy JSON snapshot (format version 1).
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"OBCSSNP1";
+
+/// Magic header identifying a binary streamed snapshot. The magic is
+/// followed by a little-endian u64 durability epoch.
+pub const SNAPSHOT_MAGIC_BINARY: &[u8; 8] = b"OBCSSNB1";
+
+/// Target payload size of one row-chunk section. Large enough to keep
+/// framing overhead negligible, small enough that neither side ever
+/// holds more than one chunk of encoded rows in memory.
+const CHUNK_TARGET_BYTES: usize = 256 * 1024;
 
 /// What one recovery pass did, for operators and the `repro recover`
 /// harness.
@@ -39,10 +65,22 @@ pub struct RecoveryReport {
     /// Whether a snapshot file existed (false: recovery started from an
     /// empty KB and replayed the WAL alone).
     pub snapshot_loaded: bool,
+    /// The durability epoch of the recovered state: the snapshot's
+    /// epoch, or the WAL's when no epoch-stamped snapshot exists (0 for
+    /// fully legacy directories).
+    pub epoch: u64,
     /// Intact WAL records replayed on top of the snapshot.
     pub wal_records: usize,
     /// Torn-tail bytes truncated from the WAL (0 for a clean shutdown).
     pub wal_truncated_bytes: u64,
+    /// Intact WAL records *discarded* instead of replayed, because the
+    /// log's epoch did not pair with the snapshot's — the residue of a
+    /// crash between a snapshot commit and its WAL reset. Their effects
+    /// are already in the snapshot; replaying them would double-apply.
+    pub wal_discarded_records: usize,
+    /// Why records were discarded, when [`Self::wal_discarded_records`]
+    /// is non-zero.
+    pub wal_discard_reason: Option<String>,
     /// Indexes created by the post-replay `auto_index` safety net. Zero
     /// whenever the snapshot carried an index policy (the normal case —
     /// the sweep is skipped entirely so recovery never invents access
@@ -52,9 +90,270 @@ pub struct RecoveryReport {
     pub auto_indexes_created: usize,
 }
 
-/// Writes `kb` as a checksummed snapshot frame at `path`, atomically
-/// (tmp file + fsync + rename).
-pub fn write_snapshot(kb: &KnowledgeBase, path: &Path) -> Result<(), DurabilityError> {
+// ---------------------------------------------------------------------
+// Binary format: value and section codecs
+// ---------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_TEXT: u8 = 4;
+
+fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(TAG_NULL),
+        Value::Bool(b) => {
+            buf.push(TAG_BOOL);
+            buf.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.push(TAG_INT);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(TAG_FLOAT);
+            buf.extend_from_slice(&f.get().to_bits().to_le_bytes());
+        }
+        Value::Text(s) => {
+            buf.push(TAG_TEXT);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// A bounds-checked cursor over one decoded section payload. Every read
+/// failure is a [`DurabilityError::Corrupt`]: the payload already passed
+/// its checksum, so running out of bytes means the writer and reader
+/// disagree about the layout — never something to tolerate.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    context: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], context: &'a str) -> Self {
+        Cursor { bytes, pos: 0, context }
+    }
+
+    fn corrupt(&self, what: &str) -> DurabilityError {
+        DurabilityError::Corrupt(format!("{}: {what}", self.context))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DurabilityError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(self.corrupt("section payload ends mid-field"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DurabilityError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DurabilityError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DurabilityError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn text(&mut self) -> Result<String, DurabilityError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("non-UTF-8 text field"))
+    }
+
+    fn value(&mut self) -> Result<Value, DurabilityError> {
+        match self.u8()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_BOOL => Ok(Value::Bool(self.u8()? != 0)),
+            TAG_INT => Ok(Value::Int(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))),
+            TAG_FLOAT => {
+                let bits = u64::from_le_bytes(self.take(8)?.try_into().expect("8"));
+                let f = f64::from_bits(bits);
+                if !f.is_finite() {
+                    return Err(self.corrupt("non-finite float value"));
+                }
+                Ok(Value::Float(FiniteF64::new(f)))
+            }
+            TAG_TEXT => Ok(Value::Text(self.text()?)),
+            tag => Err(self.corrupt(&format!("unknown value tag {tag}"))),
+        }
+    }
+
+    fn finish(&self) -> Result<(), DurabilityError> {
+        if self.pos != self.bytes.len() {
+            return Err(self.corrupt("trailing bytes after the last field"));
+        }
+        Ok(())
+    }
+}
+
+/// Writes one `[len][crc][payload]` section.
+fn write_section(w: &mut impl Write, payload: &[u8]) -> Result<(), DurabilityError> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one section. Every failure mode — a short header, an oversized
+/// length, a short payload, a checksum mismatch — is hard corruption:
+/// snapshot commits are atomic, so a damaged section means the file was
+/// damaged, not interrupted.
+fn read_section(r: &mut impl Read, path: &Path) -> Result<Vec<u8>, DurabilityError> {
+    let mut header = [0u8; 8];
+    read_exact_or_corrupt(r, &mut header, path, "section header")?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    if len > MAX_RECORD_BYTES {
+        return Err(DurabilityError::Corrupt(format!(
+            "{}: section claims {len} bytes (limit {MAX_RECORD_BYTES})",
+            path.display()
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_corrupt(r, &mut payload, path, "section payload")?;
+    if crc32(&payload) != crc {
+        return Err(DurabilityError::Corrupt(format!(
+            "{}: section checksum mismatch",
+            path.display()
+        )));
+    }
+    Ok(payload)
+}
+
+/// `read_exact` that reports a short read as corruption (a truncated
+/// snapshot) instead of a bare I/O error.
+fn read_exact_or_corrupt(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    path: &Path,
+    what: &str,
+) -> Result<(), DurabilityError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            DurabilityError::Corrupt(format!("{}: truncated {what}", path.display()))
+        } else {
+            DurabilityError::Io(e)
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------
+
+/// Streams `kb` as a binary snapshot image to exactly `path` — no tmp
+/// file, no rename — and fsyncs it. This is the compaction half that
+/// runs *without* holding the store lock; pair it with
+/// [`commit_snapshot`] to publish the image atomically.
+pub fn write_snapshot_file(
+    kb: &KnowledgeBase,
+    path: &Path,
+    epoch: u64,
+) -> Result<(), DurabilityError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(SNAPSHOT_MAGIC_BINARY)?;
+    w.write_all(&epoch.to_le_bytes())?;
+
+    let names = kb.table_names();
+    let mut meta = Vec::with_capacity(20);
+    meta.extend_from_slice(&kb.generation().to_le_bytes());
+    meta.extend_from_slice(&kb.schema_generation().to_le_bytes());
+    meta.extend_from_slice(&(names.len() as u32).to_le_bytes());
+    write_section(&mut w, &meta)?;
+
+    for name in names {
+        let table = kb.table(name).expect("table_names() returns existing tables");
+        let schema_json = serde_json::to_string(&table.schema)
+            .expect("schema serialisation cannot fail")
+            .into_bytes();
+        let specs = table.index_specs();
+
+        let mut header = Vec::new();
+        header.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        header.extend_from_slice(name.as_bytes());
+        header.extend_from_slice(&(schema_json.len() as u32).to_le_bytes());
+        header.extend_from_slice(&schema_json);
+        header.extend_from_slice(&(specs.len() as u32).to_le_bytes());
+        for spec in &specs {
+            header.extend_from_slice(&(spec.column.len() as u32).to_le_bytes());
+            header.extend_from_slice(spec.column.as_bytes());
+            header.push(match spec.kind {
+                IndexKind::Hash => 0,
+                IndexKind::Ordered => 1,
+            });
+        }
+        header.extend_from_slice(&(table.rows.len() as u64).to_le_bytes());
+        write_section(&mut w, &header)?;
+
+        // Row chunks: encode into a bounded buffer, flush a section
+        // whenever it passes the target. The chunk boundaries are not
+        // part of the format's meaning — the reader just consumes
+        // sections until the declared row count is reached.
+        let mut chunk = Vec::with_capacity(CHUNK_TARGET_BYTES + 1024);
+        let mut rows_in_chunk = 0u32;
+        chunk.extend_from_slice(&[0u8; 4]); // row-count placeholder
+        for row in &table.rows {
+            for v in row {
+                encode_value(&mut chunk, v);
+            }
+            rows_in_chunk += 1;
+            if chunk.len() >= CHUNK_TARGET_BYTES {
+                chunk[..4].copy_from_slice(&rows_in_chunk.to_le_bytes());
+                write_section(&mut w, &chunk)?;
+                chunk.clear();
+                chunk.extend_from_slice(&[0u8; 4]);
+                rows_in_chunk = 0;
+            }
+        }
+        if rows_in_chunk > 0 {
+            chunk[..4].copy_from_slice(&rows_in_chunk.to_le_bytes());
+            write_section(&mut w, &chunk)?;
+        }
+    }
+
+    let file = w.into_inner().map_err(|e| DurabilityError::Io(e.into_error()))?;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Publishes a snapshot image written by [`write_snapshot_file`]:
+/// renames `tmp` over `path` and syncs the directory. The rename is the
+/// durability commit point — before it the old snapshot (and its
+/// matching WAL) is the recovered state, after it the new one is.
+pub fn commit_snapshot(tmp: &Path, path: &Path) -> Result<(), DurabilityError> {
+    std::fs::rename(tmp, path)?;
+    // Persist the rename itself where the platform allows it.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = OpenOptions::new().read(true).open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Writes `kb` as a binary snapshot at `path`, atomically (stream to
+/// `<path>.tmp` + fsync + rename).
+pub fn write_snapshot(kb: &KnowledgeBase, path: &Path, epoch: u64) -> Result<(), DurabilityError> {
+    let tmp = path.with_extension("tmp");
+    write_snapshot_file(kb, &tmp, epoch)?;
+    commit_snapshot(&tmp, path)
+}
+
+/// Writes `kb` in the legacy JSON snapshot format (a single checksummed
+/// frame around the JSON envelope, no epoch). Kept for the legacy
+/// recovery path's tests and fixtures; the durable path always writes
+/// the binary format.
+pub fn write_snapshot_json(kb: &KnowledgeBase, path: &Path) -> Result<(), DurabilityError> {
     let payload = kb.to_json().into_bytes();
     let tmp = path.with_extension("tmp");
     {
@@ -65,21 +364,128 @@ pub fn write_snapshot(kb: &KnowledgeBase, path: &Path) -> Result<(), DurabilityE
         f.write_all(&payload)?;
         f.sync_all()?;
     }
-    std::fs::rename(&tmp, path)?;
-    // Persist the rename itself where the platform allows it.
-    if let Some(dir) = path.parent() {
-        if let Ok(d) = OpenOptions::new().read(true).open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
+    commit_snapshot(&tmp, path)
 }
 
-/// Reads a snapshot frame back into a [`KnowledgeBase`] (indexes and
-/// generation counters restored by `from_json`). Any frame damage is
-/// [`DurabilityError::Corrupt`] — snapshot writes are atomic, so a torn
-/// snapshot means the file was damaged, not interrupted.
-pub fn read_snapshot(path: &Path) -> Result<KnowledgeBase, DurabilityError> {
+// ---------------------------------------------------------------------
+// Readers
+// ---------------------------------------------------------------------
+
+/// Reads a snapshot in either format back into a [`KnowledgeBase`]
+/// (indexes and generation counters restored), returning the header
+/// epoch for the binary format and `None` for a legacy JSON snapshot.
+/// Any frame damage is [`DurabilityError::Corrupt`] — snapshot commits
+/// are atomic, so a torn snapshot means the file was damaged, not
+/// interrupted.
+pub fn read_snapshot(path: &Path) -> Result<(KnowledgeBase, Option<u64>), DurabilityError> {
+    let mut magic = [0u8; 8];
+    {
+        let mut f = File::open(path)?;
+        read_exact_or_corrupt(&mut f, &mut magic, path, "magic header")?;
+    }
+    if &magic == SNAPSHOT_MAGIC_BINARY {
+        let (kb, epoch) = read_snapshot_binary(path)?;
+        Ok((kb, Some(epoch)))
+    } else if &magic == SNAPSHOT_MAGIC {
+        Ok((read_snapshot_json(path)?, None))
+    } else {
+        Err(DurabilityError::Corrupt(format!(
+            "{} is neither an OBCSSNB1 nor an OBCSSNP1 snapshot",
+            path.display()
+        )))
+    }
+}
+
+/// Reads the epoch out of a binary snapshot header without loading the
+/// image. `None` for a missing, legacy, or torn file.
+pub(crate) fn peek_epoch(path: &Path) -> Option<u64> {
+    let mut header = [0u8; 16];
+    let mut f = File::open(path).ok()?;
+    f.read_exact(&mut header).ok()?;
+    if &header[..8] != SNAPSHOT_MAGIC_BINARY {
+        return None;
+    }
+    Some(u64::from_le_bytes(header[8..].try_into().expect("8 bytes")))
+}
+
+fn read_snapshot_binary(path: &Path) -> Result<(KnowledgeBase, u64), DurabilityError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut header = [0u8; 16];
+    read_exact_or_corrupt(&mut r, &mut header, path, "snapshot header")?;
+    debug_assert_eq!(&header[..8], SNAPSHOT_MAGIC_BINARY, "caller dispatched on the magic");
+    let epoch = u64::from_le_bytes(header[8..].try_into().expect("8 bytes"));
+
+    let meta = read_section(&mut r, path)?;
+    let mut c = Cursor::new(&meta, "meta section");
+    let data_gen = c.u64()?;
+    let schema_gen = c.u64()?;
+    let table_count = c.u32()? as usize;
+    c.finish()?;
+
+    let corrupt = |msg: String| DurabilityError::Corrupt(format!("{}: {msg}", path.display()));
+    let mut tables = HashMap::with_capacity(table_count);
+    for _ in 0..table_count {
+        let header = read_section(&mut r, path)?;
+        let mut c = Cursor::new(&header, "table header section");
+        let name = c.text()?;
+        let schema_json = c.text()?;
+        let schema: TableSchema = serde_json::from_str(&schema_json)
+            .map_err(|e| corrupt(format!("table {name:?} schema does not parse: {e}")))?;
+        let spec_count = c.u32()? as usize;
+        let mut specs = Vec::with_capacity(spec_count);
+        for _ in 0..spec_count {
+            let column = c.text()?;
+            let kind = match c.u8()? {
+                0 => IndexKind::Hash,
+                1 => IndexKind::Ordered,
+                k => return Err(corrupt(format!("table {name:?} has unknown index kind {k}"))),
+            };
+            specs.push(IndexSpec { column, kind });
+        }
+        let row_count = c.u64()? as usize;
+        c.finish()?;
+
+        let arity = schema.columns.len();
+        let mut rows = Vec::with_capacity(row_count);
+        while rows.len() < row_count {
+            let chunk = read_section(&mut r, path)?;
+            let mut c = Cursor::new(&chunk, "row chunk section");
+            let n = c.u32()? as usize;
+            if n == 0 || rows.len() + n > row_count {
+                return Err(corrupt(format!(
+                    "table {name:?} chunk carries {n} rows against {} remaining",
+                    row_count - rows.len()
+                )));
+            }
+            for _ in 0..n {
+                let mut row = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    row.push(c.value()?);
+                }
+                rows.push(row);
+            }
+            c.finish()?;
+        }
+
+        let table = Table::assemble(schema, rows, &specs)
+            .map_err(|e| corrupt(format!("table {name:?} does not reassemble: {e}")))?;
+        tables.insert(name, table);
+    }
+
+    // The image must end exactly where the declared sections do:
+    // trailing bytes mean the file and its framing disagree.
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(corrupt("trailing bytes after the final section".to_string()));
+    }
+
+    Ok((
+        KnowledgeBase::assemble(tables, GenerationStamp { data: data_gen, schema: schema_gen }),
+        epoch,
+    ))
+}
+
+fn read_snapshot_json(path: &Path) -> Result<KnowledgeBase, DurabilityError> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     let header = SNAPSHOT_MAGIC.len() + 8;
@@ -108,17 +514,82 @@ pub fn read_snapshot(path: &Path) -> Result<KnowledgeBase, DurabilityError> {
         .map_err(|e| DurabilityError::Corrupt(format!("{}: {e}", path.display())))
 }
 
+// ---------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------
+
 /// Recovery internals shared by [`KnowledgeBase::recover_from`] and
-/// `DurableKb::open`: load snapshot, replay the WAL (torn tail already
-/// truncated by `Wal::open`), re-run the index-policy sweep.
+/// `DurableKb::open`: load the snapshot, settle any interrupted
+/// compaction swap, replay the WAL *iff its epoch pairs with the
+/// snapshot's* (torn tail already truncated by `Wal::open`), then
+/// re-run the index-policy sweep for legacy envelopes.
 pub(crate) fn recover(
     snapshot_path: &Path,
     wal_path: &Path,
 ) -> Result<(KnowledgeBase, Wal, RecoveryReport), DurabilityError> {
     let snapshot_loaded = snapshot_path.exists();
-    let mut kb = if snapshot_loaded { read_snapshot(snapshot_path)? } else { KnowledgeBase::new() };
-    let (wal, replay) = Wal::open(wal_path)?;
-    for record in &replay.records {
+    let (mut kb, snap_epoch) =
+        if snapshot_loaded { read_snapshot(snapshot_path)? } else { (KnowledgeBase::new(), None) };
+
+    // An interrupted compaction swap: the successor WAL was staged at
+    // `<wal>.new` but the rename over the live log was lost. The
+    // snapshot rename is the commit point — if the staged log's epoch
+    // matches the snapshot's, the compaction committed and we redo the
+    // rename (the superseded live log's records are all covered by the
+    // snapshot); in any other state the compaction never committed and
+    // the staged file is residue to delete.
+    let swap = wal::swap_path(wal_path);
+    let mut swap_superseded = 0usize;
+    let mut swap_completed = false;
+    if swap.exists() {
+        if snap_epoch.is_some() && Wal::peek_epoch(&swap) == snap_epoch {
+            if wal_path.exists() {
+                swap_superseded =
+                    Wal::open(wal_path).map(|(_, replay)| replay.records.len()).unwrap_or(0);
+            }
+            std::fs::rename(&swap, wal_path)?;
+            swap_completed = true;
+        } else {
+            std::fs::remove_file(&swap)?;
+        }
+    }
+
+    let (mut wal, replay) = Wal::open(wal_path)?;
+    let intact = replay.records.len();
+    let (records, epoch, wal_discarded_records, mut wal_discard_reason) =
+        match (snap_epoch, replay.epoch) {
+            // The log extends this snapshot: replay it.
+            (Some(se), Some(we)) if se == we => (replay.records, se, 0, None),
+            // Epoch mismatch: a crash between a snapshot commit and its
+            // WAL reset (or a stale log from an earlier incarnation).
+            // The snapshot already contains the records' effects —
+            // discard them and realign the log, never double-apply.
+            (Some(se), we) => {
+                let reason = (intact > 0).then(|| match we {
+                    Some(we) => format!(
+                        "WAL at epoch {we} does not extend the snapshot at epoch {se}; \
+                         its {intact} records are already in the snapshot"
+                    ),
+                    None => format!(
+                        "legacy (pre-epoch) WAL cannot extend the snapshot at epoch {se}; \
+                         its {intact} records are already in the snapshot"
+                    ),
+                });
+                wal.reset(se)?;
+                (Vec::new(), se, intact, reason)
+            }
+            // No epoch-stamped snapshot (legacy JSON, or none at all):
+            // the log is the authority; adopt its epoch.
+            (None, we) => (replay.records, we.unwrap_or(0), 0, None),
+        };
+    if swap_completed && swap_superseded > 0 {
+        wal_discard_reason = Some(format!(
+            "completed an interrupted compaction swap; {swap_superseded} superseded records \
+             discarded (their effects are in the epoch-{epoch} snapshot)"
+        ));
+    }
+
+    for record in &records {
         record.apply(&mut kb)?;
     }
     // Safety net for snapshots written before the envelope carried an
@@ -132,25 +603,31 @@ pub(crate) fn recover(
         wal,
         RecoveryReport {
             snapshot_loaded,
-            wal_records: replay.records.len(),
+            epoch,
+            wal_records: records.len(),
             wal_truncated_bytes: replay.truncated_bytes,
+            wal_discarded_records: wal_discarded_records + swap_superseded,
+            wal_discard_reason,
             auto_indexes_created,
         },
     ))
 }
 
 impl KnowledgeBase {
-    /// Writes this KB as an atomic point-in-time snapshot at `path`.
-    /// The snapshot compacts the WAL: once it is on disk, a paired
-    /// `Wal::reset` may drop every record it covers.
+    /// Writes this KB as an atomic point-in-time binary snapshot at
+    /// `path`, stamped at epoch 0. Standalone use only — a snapshot
+    /// paired with a WAL must go through `DurableKb`, which manages the
+    /// epoch sequence.
     pub fn snapshot_to(&self, path: impl AsRef<Path>) -> Result<(), DurabilityError> {
-        write_snapshot(self, path.as_ref())
+        write_snapshot(self, path.as_ref(), 0)
     }
 
     /// Rebuilds a KB from a snapshot plus the WAL tail: loads the
     /// snapshot at `snapshot_path` (or starts empty if none exists),
     /// replays every intact record of the log at `wal_path` — a torn
-    /// final record is truncated, never applied — and, for legacy
+    /// final record is truncated, never applied, and a log whose epoch
+    /// does not pair with the snapshot's is discarded outright (its
+    /// records are already in the snapshot) — and, for legacy
     /// pre-policy snapshots only, re-runs the `auto_index` policy
     /// sweep. Generation counters, secondary
     /// indexes, and PK indexes all come back, so a recovered KB serves
@@ -200,15 +677,32 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_roundtrip_restores_everything() {
+    fn binary_snapshot_roundtrip_restores_everything() {
         let dir = temp_dir("roundtrip");
         let kb = sample_kb();
         let path = dir.join("kb.snapshot");
-        kb.snapshot_to(&path).unwrap();
-        let back = read_snapshot(&path).unwrap();
+        write_snapshot(&kb, &path, 42).unwrap();
+        assert_eq!(peek_epoch(&path), Some(42));
+        let (back, epoch) = read_snapshot(&path).unwrap();
+        assert_eq!(epoch, Some(42), "the header epoch comes back");
         assert_eq!(back.to_json(), kb.to_json());
         assert_eq!(back.generation(), kb.generation());
         assert_eq!(back.schema_generation(), kb.schema_generation());
+        assert_eq!(back.index_count(), kb.index_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_snapshot_is_still_readable() {
+        let dir = temp_dir("json");
+        let kb = sample_kb();
+        let path = dir.join("kb.snapshot");
+        write_snapshot_json(&kb, &path).unwrap();
+        assert_eq!(peek_epoch(&path), None, "JSON snapshots carry no epoch");
+        let (back, epoch) = read_snapshot(&path).unwrap();
+        assert_eq!(epoch, None);
+        assert_eq!(back.to_json(), kb.to_json());
+        assert_eq!(back.generation(), kb.generation());
         assert_eq!(back.index_count(), kb.index_count());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -229,6 +723,11 @@ mod tests {
             std::fs::read(&path).unwrap()
         };
         std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(DurabilityError::Corrupt(_))));
+        // Trailing garbage after the final section: also hard corruption.
+        let mut padded = full.clone();
+        padded.extend_from_slice(b"\x00");
+        std::fs::write(&path, &padded).unwrap();
         assert!(matches!(read_snapshot(&path), Err(DurabilityError::Corrupt(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -262,13 +761,50 @@ mod tests {
 
         let (recovered, report) = KnowledgeBase::recover_from(&snap, &wal_path).unwrap();
         assert!(report.snapshot_loaded);
+        assert_eq!(report.epoch, 0, "snapshot_to stamps epoch 0; the fresh WAL matches");
         assert_eq!(report.wal_records, 2);
         assert_eq!(report.wal_truncated_bytes, 0);
+        assert_eq!(report.wal_discarded_records, 0);
         assert_eq!(report.auto_indexes_created, 0, "policy came back from the envelope");
         assert_eq!(recovered.to_json(), kb.to_json());
         assert_eq!(recovered.generation(), kb.generation());
         assert_eq!(recovered.schema_generation(), kb.schema_generation());
         assert_eq!(recovered.index_count(), kb.index_count());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_mismatch_discards_the_stale_wal_with_a_reason() {
+        let dir = temp_dir("mismatch");
+        let snap = dir.join("kb.snapshot");
+        let wal_path = dir.join("kb.wal");
+        // A WAL at epoch 0 carrying records whose effects the epoch-1
+        // snapshot already contains — the exact residue of a crash
+        // between a snapshot commit and its WAL reset.
+        let mut kb = sample_kb();
+        let (mut wal, _) = Wal::open(&wal_path).unwrap();
+        let stale = WalRecord::Insert {
+            table: "drug".to_string(),
+            row: vec![Value::Int(3), Value::text("Naproxen")],
+        };
+        stale.apply(&mut kb).unwrap();
+        wal.append(&stale).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        write_snapshot(&kb, &snap, 1).unwrap();
+
+        let (recovered, report) = KnowledgeBase::recover_from(&snap, &wal_path).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.wal_records, 0, "stale records never replay");
+        assert_eq!(report.wal_discarded_records, 1);
+        let reason = report.wal_discard_reason.as_deref().expect("discard is reported");
+        assert!(reason.contains("epoch 0") && reason.contains("epoch 1"), "{reason}");
+        assert_eq!(recovered.to_json(), kb.to_json(), "no duplicate row");
+        // The realignment is durable: a second recovery is clean.
+        let (again, report) = KnowledgeBase::recover_from(&snap, &wal_path).unwrap();
+        assert_eq!(report.wal_discarded_records, 0);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(again.to_json(), kb.to_json());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -294,6 +830,7 @@ mod tests {
         let (recovered, report) = KnowledgeBase::recover_from(&snap, &wal_path).unwrap();
         assert!(!report.snapshot_loaded);
         assert_eq!(report.wal_records, 2);
+        assert_eq!(report.epoch, 0, "a fresh WAL starts the epoch sequence at 0");
         // The WAL replays everything from the beginning — including any
         // CreateIndex/AutoIndex records — so no safety-net sweep runs.
         assert_eq!(report.auto_indexes_created, 0);
@@ -338,6 +875,81 @@ mod tests {
         assert!(report.snapshot_loaded);
         assert!(report.auto_indexes_created > 0, "sweep restores access paths");
         assert!(recovered.index_count() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_swap_is_completed_when_the_snapshot_committed() {
+        let dir = temp_dir("swap");
+        let snap = dir.join("kb.snapshot");
+        let wal_path = dir.join("kb.wal");
+        // The crash point after commit_snapshot but before the WAL
+        // rename: the live log still wears epoch 1 with superseded
+        // records, the staged successor wears epoch 2 with the delta.
+        let mut kb = sample_kb();
+        let (mut wal, _) = Wal::open(&wal_path).unwrap();
+        wal.reset(1).unwrap();
+        let superseded = WalRecord::Insert {
+            table: "drug".to_string(),
+            row: vec![Value::Int(3), Value::text("Naproxen")],
+        };
+        superseded.apply(&mut kb).unwrap();
+        wal.append(&superseded).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        write_snapshot(&kb, &snap, 2).unwrap();
+        let delta = WalRecord::Insert {
+            table: "drug".to_string(),
+            row: vec![Value::Int(4), Value::text("Ketoprofen")],
+        };
+        let mut staged = Wal::create(wal::swap_path(&wal_path), 2).unwrap();
+        staged.append(&delta).unwrap();
+        staged.sync().unwrap();
+        drop(staged);
+
+        let mut oracle = kb.clone();
+        delta.apply(&mut oracle).unwrap();
+        let (recovered, report) = KnowledgeBase::recover_from(&snap, &wal_path).unwrap();
+        assert_eq!(report.epoch, 2);
+        assert_eq!(report.wal_records, 1, "the staged delta replays");
+        assert_eq!(report.wal_discarded_records, 1, "the superseded record is discarded");
+        assert!(report.wal_discard_reason.as_deref().unwrap().contains("compaction swap"));
+        assert_eq!(recovered.to_json(), oracle.to_json(), "no duplicate, no lost delta");
+        assert!(!wal::swap_path(&wal_path).exists(), "the swap completed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_swap_residue_is_deleted() {
+        let dir = temp_dir("residue");
+        let snap = dir.join("kb.snapshot");
+        let wal_path = dir.join("kb.wal");
+        // The crash point before commit_snapshot: snapshot and live log
+        // still agree at epoch 1; the staged epoch-2 successor never
+        // committed and must not clobber the live log.
+        let mut kb = sample_kb();
+        let (mut wal, _) = Wal::open(&wal_path).unwrap();
+        wal.reset(1).unwrap();
+        let live = WalRecord::Insert {
+            table: "drug".to_string(),
+            row: vec![Value::Int(3), Value::text("Naproxen")],
+        };
+        live.apply(&mut kb).unwrap();
+        wal.append(&live).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let mut pre_compaction = sample_kb();
+        write_snapshot(&pre_compaction, &snap, 1).unwrap();
+        let staged = Wal::create(wal::swap_path(&wal_path), 2).unwrap();
+        drop(staged);
+
+        live.apply(&mut pre_compaction).unwrap();
+        let (recovered, report) = KnowledgeBase::recover_from(&snap, &wal_path).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.wal_records, 1, "the live log replays untouched");
+        assert_eq!(report.wal_discarded_records, 0);
+        assert_eq!(recovered.to_json(), kb.to_json());
+        assert!(!wal::swap_path(&wal_path).exists(), "residue deleted");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

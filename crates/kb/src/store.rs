@@ -174,6 +174,33 @@ impl Table {
             sec.rebuild(&self.rows);
         }
     }
+
+    /// Reassembles a table from its durable parts — the binary snapshot
+    /// reader's entry point. Indexes (PK and the recorded policy) are
+    /// rebuilt from the rows, exactly as [`KnowledgeBase::from_json`]
+    /// does for the JSON envelope.
+    pub(crate) fn assemble(
+        schema: TableSchema,
+        rows: Vec<Vec<Value>>,
+        policy: &[IndexSpec],
+    ) -> Result<Table, KbError> {
+        schema.check().map_err(KbError::SchemaInvalid)?;
+        let mut t = Table::new(schema);
+        for spec in policy {
+            t.add_secondary(&spec.column, spec.kind)?;
+        }
+        t.rows = rows;
+        t.rebuild_pk_index();
+        Ok(t)
+    }
+
+    /// The durable `(column, kind)` specs of this table's secondary
+    /// indexes, in creation order — what [`KnowledgeBase::to_json`]
+    /// stamps as `index_policy` and the binary snapshot writes per
+    /// table.
+    pub(crate) fn index_specs(&self) -> Vec<IndexSpec> {
+        self.secondary.iter().map(SecondaryIndex::spec).collect()
+    }
 }
 
 /// The result of a query: column headers plus rows.
@@ -670,6 +697,22 @@ impl KnowledgeBase {
         }
         kb.rebuild_indexes();
         Ok(kb)
+    }
+
+    /// Reassembles a KB from tables plus its generation stamp — the
+    /// binary snapshot reader's entry point. The tables arrive already
+    /// indexed (see [`Table::assemble`]); the stamp restores the cache
+    /// validation counters exactly as `from_json` does.
+    pub(crate) fn assemble(tables: HashMap<String, Table>, stamp: GenerationStamp) -> Self {
+        KnowledgeBase {
+            tables,
+            generations: None,
+            generation: stamp.data,
+            schema_generation: stamp.schema,
+            indexes_disabled: false,
+            legacy_envelope: false,
+            caches: QueryCaches::default(),
+        }
     }
 
     /// Serialises the KB with its durable envelope stamped in: the

@@ -1,0 +1,108 @@
+//! Recovery of a *committed* JSON-era durability directory
+//! (`tests/data/legacy_durability/`): an `OBCSSNP1` JSON snapshot next
+//! to an `OBCSWAL1` (pre-epoch) WAL, exactly what a server built before
+//! the binary format and the epoch scheme leaves on disk. The fixture
+//! is checked into the repository so format drift that would strand
+//! real directories fails CI, not a user's restart.
+//!
+//! Regenerate with
+//! `cargo test -p obcs-kb --test legacy_fixture -- --ignored` after a
+//! *deliberate* envelope change, and commit the result.
+
+use std::path::PathBuf;
+
+use obcs_kb::schema::{ColumnType, TableSchema};
+use obcs_kb::snapshot::write_snapshot_json;
+use obcs_kb::wal::{crc32, WAL_MAGIC};
+use obcs_kb::{IndexKind, KnowledgeBase, Value, WalRecord};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/legacy_durability")
+}
+
+/// The KB the fixture snapshot holds, and the WAL tail appended after
+/// it — deterministic so the committed bytes are reproducible.
+fn fixture_state() -> (KnowledgeBase, Vec<WalRecord>) {
+    let mut kb = KnowledgeBase::new();
+    kb.create_table(
+        TableSchema::new("drug")
+            .column("drug_id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .primary_key("drug_id"),
+    )
+    .expect("schema");
+    for (id, name) in [(1, "Aspirin"), (2, "Ibuprofen"), (3, "Naproxen")] {
+        kb.insert("drug", vec![Value::Int(id), Value::text(name)]).expect("insert");
+    }
+    kb.create_index("drug", "name", IndexKind::Ordered).expect("index");
+    let tail = vec![
+        WalRecord::Insert {
+            table: "drug".to_string(),
+            row: vec![Value::Int(4), Value::text("Ketoprofen")],
+        },
+        WalRecord::CreateIndex {
+            table: "drug".to_string(),
+            column: "drug_id".to_string(),
+            kind: IndexKind::Hash,
+        },
+    ];
+    (kb, tail)
+}
+
+/// Serialize `records` as an `OBCSWAL1` log: the 8-byte legacy magic
+/// (no epoch field) followed by ordinary checksummed frames.
+fn v1_wal_bytes(records: &[WalRecord]) -> Vec<u8> {
+    let mut bytes = WAL_MAGIC.to_vec();
+    for r in records {
+        let payload = serde_json::to_string(r).expect("record json").into_bytes();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+    }
+    bytes
+}
+
+#[test]
+#[ignore = "writes tests/data/legacy_durability/; run only to regenerate the committed fixture"]
+fn regenerate_legacy_fixture() {
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).expect("fixture dir");
+    let (kb, tail) = fixture_state();
+    write_snapshot_json(&kb, &dir.join("kb.snapshot")).expect("snapshot");
+    std::fs::write(dir.join("kb.wal"), v1_wal_bytes(&tail)).expect("wal");
+}
+
+#[test]
+fn committed_json_era_directory_still_recovers() {
+    // Recover from a copy: recovery may write (torn-tail truncation,
+    // epoch realignment), and the committed fixture must stay pristine.
+    let src = fixture_dir();
+    assert!(
+        src.join("kb.snapshot").exists() && src.join("kb.wal").exists(),
+        "fixture missing — regenerate with `cargo test -p obcs-kb --test legacy_fixture -- --ignored`"
+    );
+    let work = std::env::temp_dir().join(format!("obcs_legacy_fixture_{}", std::process::id()));
+    std::fs::create_dir_all(&work).expect("work dir");
+    for f in ["kb.snapshot", "kb.wal"] {
+        std::fs::copy(src.join(f), work.join(f)).expect("copy fixture");
+    }
+
+    let (mut oracle, tail) = fixture_state();
+    for r in &tail {
+        r.apply(&mut oracle).expect("oracle apply");
+    }
+    let (recovered, report) =
+        KnowledgeBase::recover_from(work.join("kb.snapshot"), work.join("kb.wal"))
+            .expect("a JSON-era directory must keep recovering");
+    assert!(report.snapshot_loaded);
+    assert_eq!(report.epoch, 0, "pre-epoch files recover at epoch 0");
+    assert_eq!(report.wal_records, tail.len(), "the legacy WAL tail replays in full");
+    assert_eq!(report.wal_truncated_bytes, 0);
+    assert_eq!(report.wal_discarded_records, 0, "nothing is discarded on the legacy path");
+    assert_eq!(recovered.to_json(), oracle.to_json());
+    assert_eq!(recovered.generation(), oracle.generation());
+    assert_eq!(recovered.schema_generation(), oracle.schema_generation());
+    assert_eq!(recovered.index_count(), oracle.index_count());
+    assert_eq!(recovered.table("drug").expect("table").len(), 4);
+    std::fs::remove_dir_all(&work).ok();
+}

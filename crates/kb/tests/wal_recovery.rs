@@ -1,15 +1,22 @@
-//! Torn-tail recovery properties (DESIGN.md §16): a WAL cut at *any*
-//! byte offset recovers to a prefix-consistent KB — exactly the records
-//! whose frames survived in full, never a panic, never a half-applied
-//! record. The deterministic test walks every byte offset of the final
-//! record's frame; the property test cuts at arbitrary offsets over
-//! arbitrary insert batches so cut points interact with varied frame
-//! sizes.
+//! Torn-file recovery properties (DESIGN.md §16), for both durability
+//! formats. The WAL side: a log cut at *any* byte offset recovers to a
+//! prefix-consistent KB — exactly the records whose frames survived in
+//! full, never a panic, never a half-applied record. The deterministic
+//! test walks every byte offset of the final record's frame; the
+//! property test cuts at arbitrary offsets over arbitrary insert
+//! batches so cut points interact with varied frame sizes. The snapshot
+//! side is the opposite contract: snapshot commits are atomic (tmp +
+//! rename), so a binary snapshot cut at *any* byte offset is hard
+//! `Corrupt` — never a silent partial load. A property test also pins
+//! the two snapshot formats to each other: JSON and binary images of
+//! the same KB load back observationally identical (rows, generations,
+//! index policy, planner access labels).
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use obcs_kb::schema::{ColumnType, TableSchema};
+use obcs_kb::snapshot::{read_snapshot, write_snapshot, write_snapshot_json};
 use obcs_kb::{DurabilityError, IndexKind, KnowledgeBase, Value, Wal, WalRecord};
 use proptest::prelude::*;
 
@@ -22,11 +29,12 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 /// Writes `records` to a fresh WAL at `path`, returning the file length
-/// after each record (frame boundaries, starting with the 8-byte magic).
+/// after each record (frame boundaries, starting with the 16-byte v2
+/// header: magic + epoch).
 fn write_wal(path: &Path, records: &[WalRecord]) -> Vec<u64> {
     let (mut wal, replay) = Wal::open(path).expect("fresh wal");
     assert!(replay.records.is_empty());
-    let mut boundaries = vec![8u64];
+    let mut boundaries = vec![16u64];
     for r in records {
         wal.append(r).expect("append");
         wal.sync().expect("sync");
@@ -134,6 +142,19 @@ fn cuts_inside_the_magic_header_are_corruption_not_panics() {
             .expect_err("a torn magic header is not a valid log");
         assert!(matches!(err, DurabilityError::Corrupt(_)), "cut at {cut}: {err}");
     }
+    // Cuts inside the v2 *epoch* field are a crash mid-reset, not
+    // corruption: the truncate-first reset ordering guarantees nothing
+    // follows a torn header, so the file reopens as a fresh epoch-0 log.
+    for cut in 8..16 {
+        let path = dir.join(format!("epoch_{cut}.wal"));
+        std::fs::write(&path, &full[..cut]).expect("write");
+        let (kb, report) = KnowledgeBase::recover_from(dir.join("no_snapshot"), &path)
+            .expect("a torn epoch field repairs to a fresh log");
+        assert_eq!(report.wal_records, 0, "cut at {cut}");
+        assert_eq!(report.epoch, 0, "cut at {cut}");
+        assert_eq!(report.wal_truncated_bytes, cut as u64 - 8, "cut at {cut}");
+        assert_eq!(kb.to_json(), KnowledgeBase::new().to_json());
+    }
     // Cut to zero bytes: an empty file is a *fresh* log, not corruption.
     let path = dir.join("hdr_0.wal");
     std::fs::write(&path, b"").expect("write");
@@ -166,9 +187,154 @@ proptest! {
         let boundaries = write_wal(&wal_path, &records);
         let oracles = prefix_oracles(&records);
         let full = std::fs::read(&wal_path).expect("read full wal");
-        // Any offset from "just the magic" to "fully intact".
-        let cut = 8 + cut_seed % (full.len() - 7);
+        // Any offset from "just the header" to "fully intact".
+        let cut = 16 + cut_seed % (full.len() - 15);
         assert_prefix_consistent(&dir, &full, cut, &boundaries, &oracles);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary snapshot format: truncation is corruption, and the two formats
+// are observationally equivalent.
+// ---------------------------------------------------------------------
+
+/// A KB with enough variety to exercise every value tag and the index
+/// policy: two tables, an FK, mixed Int/Float/Null/Text values, huge
+/// (beyond-2^53) keys, and both index kinds.
+fn varied_kb(rows: &[(i64, u8, u8)]) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.create_table(
+        TableSchema::new("drug")
+            .column("drug_id", ColumnType::Int)
+            .column("name", ColumnType::Text)
+            .column("weight", ColumnType::Float)
+            .column("otc", ColumnType::Bool)
+            .primary_key("drug_id"),
+    )
+    .expect("schema");
+    kb.create_table(
+        TableSchema::new("precautions")
+            .column("prec_id", ColumnType::Int)
+            .column("drug_id", ColumnType::Int)
+            .column("description", ColumnType::Text)
+            .primary_key("prec_id")
+            .foreign_key("drug_id", "drug", "drug_id"),
+    )
+    .expect("schema");
+    for (i, (id, pad, sel)) in rows.iter().enumerate() {
+        let weight = match sel % 5 {
+            0 => Value::Int(id % 4),
+            1 => Value::float(*id as f64 + 0.5).expect("finite"),
+            2 => Value::Null,
+            3 => Value::Int((1i64 << 53) + id),
+            _ => Value::float(-(*id as f64)).expect("finite"),
+        };
+        let otc = match sel % 3 {
+            0 => Value::Bool(true),
+            1 => Value::Bool(false),
+            _ => Value::Null,
+        };
+        kb.insert(
+            "drug",
+            vec![
+                Value::Int(*id),
+                Value::text(format!("Drug{id}{}", "x".repeat(*pad as usize))),
+                weight,
+                otc,
+            ],
+        )
+        .expect("distinct PKs");
+        kb.insert(
+            "precautions",
+            vec![Value::Int(i as i64), Value::Int(*id), Value::text(format!("warning {id}"))],
+        )
+        .expect("FK holds");
+    }
+    kb.create_index("drug", "drug_id", IndexKind::Hash).expect("index");
+    kb.create_index("drug", "name", IndexKind::Ordered).expect("index");
+    kb.create_index("precautions", "drug_id", IndexKind::Hash).expect("index");
+    kb
+}
+
+/// Queries whose planner access labels must survive any snapshot format
+/// (point probe, LIKE prefix, FK join).
+const LABEL_QUERIES: &[&str] = &[
+    "SELECT name FROM drug WHERE drug_id = 3",
+    "SELECT name FROM drug WHERE name LIKE 'Drug1%'",
+    "SELECT p.description FROM precautions p \
+     INNER JOIN drug d ON p.drug_id = d.drug_id WHERE d.drug_id = 2",
+];
+
+#[test]
+fn every_byte_truncation_of_a_binary_snapshot_is_hard_corrupt() {
+    let dir = temp_dir("snap_trunc");
+    let rows: Vec<(i64, u8, u8)> = (0..12).map(|i| (i, (i % 5) as u8, (i % 7) as u8)).collect();
+    let kb = varied_kb(&rows);
+    let path = dir.join("kb.snapshot");
+    write_snapshot(&kb, &path, 9).expect("write");
+    let full = std::fs::read(&path).expect("read");
+    assert!(full.len() > 500, "image is big enough for the walk to mean something");
+    let cut_path = dir.join("cut.snapshot");
+    // Snapshot commits are atomic, so *no* truncation is a valid file:
+    // every cut — mid-magic, mid-epoch, mid-section-header, mid-payload,
+    // one byte short of intact — must be a hard error, never a silent
+    // partial load.
+    for cut in 0..full.len() {
+        std::fs::write(&cut_path, &full[..cut]).expect("write cut");
+        let err = read_snapshot(&cut_path).expect_err("truncated snapshot must not load");
+        assert!(matches!(err, DurabilityError::Corrupt(_)), "cut at {cut}: {err}");
+    }
+    // And the intact file still loads, proving the walk tested the real
+    // image rather than some always-rejected garbage.
+    std::fs::write(&cut_path, &full).expect("write intact");
+    let (back, epoch) = read_snapshot(&cut_path).expect("intact file loads");
+    assert_eq!(epoch, Some(9));
+    assert_eq!(back.to_json(), kb.to_json());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    /// JSON and binary snapshots of the same KB are observationally
+    /// identical after reload: same rows, same generation stamps, same
+    /// index policy, same planner access labels.
+    #[test]
+    fn json_and_binary_snapshots_load_back_identical(
+        ids in proptest::collection::vec((0i64..64, 0u8..9, 0u8..16), 1..24),
+        epoch in 0u64..1000,
+    ) {
+        let dir = temp_dir("snap_prop");
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<(i64, u8, u8)> =
+            ids.into_iter().filter(|(id, _, _)| seen.insert(*id)).collect();
+        let kb = varied_kb(&rows);
+
+        let json_path = dir.join("kb_json.snapshot");
+        let bin_path = dir.join("kb_bin.snapshot");
+        write_snapshot_json(&kb, &json_path).expect("json write");
+        write_snapshot(&kb, &bin_path, epoch).expect("binary write");
+        let (from_json, json_epoch) = read_snapshot(&json_path).expect("json read");
+        let (from_bin, bin_epoch) = read_snapshot(&bin_path).expect("binary read");
+        prop_assert_eq!(json_epoch, None, "the JSON format predates epochs");
+        prop_assert_eq!(bin_epoch, Some(epoch));
+
+        prop_assert_eq!(from_json.to_json(), from_bin.to_json());
+        prop_assert_eq!(from_bin.to_json(), kb.to_json());
+        prop_assert_eq!(from_json.generation(), from_bin.generation());
+        prop_assert_eq!(from_bin.generation(), kb.generation());
+        prop_assert_eq!(from_json.schema_generation(), from_bin.schema_generation());
+        prop_assert_eq!(from_bin.schema_generation(), kb.schema_generation());
+        prop_assert_eq!(from_json.index_count(), from_bin.index_count());
+        prop_assert_eq!(from_bin.index_count(), kb.index_count());
+        for sql in LABEL_QUERIES {
+            let a = from_json.prepare(sql).expect("plan").access_label();
+            let b = from_bin.prepare(sql).expect("plan").access_label();
+            prop_assert_eq!(a, b, "access path diverged between formats for {}", sql);
+            prop_assert_eq!(
+                a, kb.prepare(sql).expect("plan").access_label(),
+                "access path diverged from the original for {}", sql
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -45,18 +45,34 @@ pub struct ServeConfig {
     pub durability: Option<DurabilityConfig>,
 }
 
-/// Where a durable server keeps its snapshot + WAL pair.
+/// Where a durable server keeps its snapshot + WAL pair, and whether a
+/// background compactor folds the WAL into fresh snapshots while the
+/// server keeps taking turns.
 #[derive(Debug, Clone)]
 pub struct DurabilityConfig {
     /// Directory holding [`obcs_kb::SNAPSHOT_FILE`] and
     /// [`obcs_kb::WAL_FILE`] (created if absent).
     pub dir: PathBuf,
+    /// Interval between background compaction checks. `None` (the
+    /// default) disables the compactor; shutdown still leaves a
+    /// recoverable snapshot + WAL pair, recovery just replays more
+    /// records.
+    pub compact_interval: Option<Duration>,
+    /// Pending WAL records below which a compaction tick does nothing,
+    /// so an idle log is not endlessly re-snapshotted.
+    pub compact_min_records: usize,
 }
 
 impl DurabilityConfig {
-    /// Durability rooted at `dir`.
+    /// Durability rooted at `dir`, with background compaction off.
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        DurabilityConfig { dir: dir.into() }
+        DurabilityConfig { dir: dir.into(), compact_interval: None, compact_min_records: 1 }
+    }
+
+    /// Enable background compaction roughly every `interval`.
+    pub fn compact_every(mut self, interval: Duration) -> Self {
+        self.compact_interval = Some(interval);
+        self
     }
 }
 
@@ -78,6 +94,10 @@ struct Counters {
     shed: AtomicU64,
     protocol_errors: AtomicU64,
     connections: AtomicU64,
+    /// Background compactions committed. Process-local observability
+    /// (see [`Server::compactions`]); deliberately *not* part of the
+    /// wire [`StatsSnapshot`], whose shape is frozen by PROTOCOL.md.
+    compactions: AtomicU64,
 }
 
 struct Inner {
@@ -114,6 +134,7 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    compactor: Option<JoinHandle<()>>,
     recovery: Option<RecoveryReport>,
 }
 
@@ -190,7 +211,21 @@ impl Server {
             }
         });
 
-        Ok(Server { inner, addr, accept: Some(accept), conns, recovery })
+        // Background compaction (DESIGN.md §16): folds pending WAL
+        // records into a fresh snapshot at the next epoch while turns
+        // keep flowing. Turns never touch the DurableKb (the KB is
+        // seeded at startup), so the compactor contends only for the
+        // brief begin/finish critical sections.
+        let compactor = match (&inner.durable, config.durability.as_ref()) {
+            (Some(_), Some(durability)) => durability.compact_interval.map(|interval| {
+                let inner = Arc::clone(&inner);
+                let min_records = durability.compact_min_records;
+                std::thread::spawn(move || compaction_loop(&inner, interval, min_records))
+            }),
+            _ => None,
+        };
+
+        Ok(Server { inner, addr, accept: Some(accept), conns, compactor, recovery })
     }
 
     /// What startup recovery did, when this server was started with a
@@ -209,6 +244,12 @@ impl Server {
     /// Current lifetime counters (same data as a wire `Stats` request).
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats()
+    }
+
+    /// Background compactions committed since startup (0 when the
+    /// compactor is disabled).
+    pub fn compactions(&self) -> u64 {
+        self.inner.counters.compactions.load(Ordering::Relaxed)
     }
 
     /// Merge and take the per-connection trace reports collected so far.
@@ -243,8 +284,51 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        if let Some(compactor) = self.compactor.take() {
+            let _ = compactor.join();
+        }
         if let Some(durable) = &self.inner.durable {
             let _ = durable.lock().unwrap_or_else(|e| e.into_inner()).sync();
+        }
+    }
+}
+
+/// The background compactor: every `interval`, if at least
+/// `min_records` WAL records are pending, run the three-phase
+/// compaction protocol — clone under a brief lock, stream the snapshot
+/// to a tmp file with no lock held, swap by rename + epoch bump under a
+/// second brief lock ([`obcs_kb::CompactionJob`]). Sleeps in short
+/// ticks so shutdown is observed promptly.
+fn compaction_loop(inner: &Inner, interval: Duration, min_records: usize) {
+    let Some(durable) = &inner.durable else { return };
+    let tick = Duration::from_millis(10);
+    let mut elapsed = Duration::ZERO;
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(tick.min(interval));
+        elapsed += tick.min(interval);
+        if elapsed < interval {
+            continue;
+        }
+        elapsed = Duration::ZERO;
+        let job = {
+            let mut d = durable.lock().unwrap_or_else(|e| e.into_inner());
+            if d.pending_records() < min_records.max(1) {
+                continue;
+            }
+            d.begin_compaction()
+        };
+        if job.write().is_err() {
+            // Disk trouble streaming the tmp image; the live snapshot +
+            // WAL pair is untouched and still recoverable. Retry at the
+            // next interval.
+            continue;
+        }
+        let committed = {
+            let mut d = durable.lock().unwrap_or_else(|e| e.into_inner());
+            d.finish_compaction(job)
+        };
+        if let Ok(true) = committed {
+            inner.counters.compactions.fetch_add(1, Ordering::Relaxed);
         }
     }
 }

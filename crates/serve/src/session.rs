@@ -81,6 +81,23 @@ pub fn shed_reply() -> AgentReply {
     }
 }
 
+/// One reserved live-session slot, counted in `live` from the moment
+/// [`SessionTable::try_reserve`] succeeds. Dropping an uncommitted
+/// reservation releases the slot, so an abandoned fork (a panic in
+/// `fork_session`, a future early-return) can never leak capacity.
+struct Reservation<'a> {
+    live: &'a AtomicU64,
+    committed: bool,
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        if !self.committed {
+            self.live.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A sharded map of live sessions, each owning an engine fork.
 pub struct SessionTable {
     base: Mutex<ConversationAgent>,
@@ -141,13 +158,47 @@ impl SessionTable {
 
     /// Sweep every shard (used before shedding, so capacity pressure
     /// first reclaims idle sessions table-wide).
+    ///
+    /// Uses `try_lock`: the caller holds its own shard's lock, so
+    /// *blocking* on another shard here can deadlock with a second
+    /// at-capacity caller sweeping from that shard toward this one. A
+    /// shard that is contended is being actively served — its holder
+    /// swept it on entry, so skipping it loses nothing.
     fn sweep_all(&self, now: u64, skip: usize) {
         for (i, s) in self.shards.iter().enumerate() {
             if i == skip {
                 continue;
             }
-            let mut shard = s.lock().unwrap_or_else(|e| e.into_inner());
+            let mut shard = match s.try_lock() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => continue,
+            };
             self.sweep_shard(&mut shard, now);
+        }
+    }
+
+    /// Reserve one live-session slot with a compare-exchange loop, so
+    /// the check and the increment are a single atomic step. A plain
+    /// load-then-`fetch_add` here would let N first-contact turns racing
+    /// on *different* shards all pass the check at `capacity - 1` and
+    /// over-admit past the configured capacity.
+    fn try_reserve(&self) -> Option<Reservation<'_>> {
+        let capacity = self.config.capacity as u64;
+        let mut current = self.live.load(Ordering::Relaxed);
+        loop {
+            if current >= capacity {
+                return None;
+            }
+            match self.live.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Reservation { live: &self.live, committed: false }),
+                Err(actual) => current = actual,
+            }
         }
     }
 
@@ -161,24 +212,28 @@ impl SessionTable {
         self.sweep_shard(&mut shard, now);
 
         if !shard.contains_key(session) {
-            if self.live.load(Ordering::Relaxed) >= self.config.capacity as u64 {
-                // At capacity: reclaim idle sessions everywhere before
-                // giving up on this one.
-                self.sweep_all(now, idx);
-                if self.live.load(Ordering::Relaxed) >= self.config.capacity as u64 {
-                    return Admission::Shed;
+            let reservation = match self.try_reserve() {
+                Some(r) => Some(r),
+                None => {
+                    // At capacity: reclaim idle sessions everywhere
+                    // before giving up on this one.
+                    self.sweep_all(now, idx);
+                    self.try_reserve()
                 }
-            }
+            };
+            let Some(mut reservation) = reservation else {
+                return Admission::Shed;
+            };
             let fork = {
                 let base = self.base.lock().unwrap_or_else(|e| e.into_inner());
                 base.fork_session()
             };
-            self.live.fetch_add(1, Ordering::Relaxed);
-            self.opened.fetch_add(1, Ordering::Relaxed);
             shard.insert(
                 session.to_string(),
                 SessionEntry { agent: fork, last_used: now, log_bytes: 0 },
             );
+            reservation.committed = true;
+            self.opened.fetch_add(1, Ordering::Relaxed);
         }
 
         let entry = match shard.get_mut(session) {
@@ -189,10 +244,19 @@ impl SessionTable {
         entry.agent.set_recorder(Arc::clone(recorder));
         let reply = entry.agent.respond(utterance);
         entry.log_bytes += utterance.len() + reply.text.len();
-        while entry.log_bytes > self.config.byte_ceiling && entry.agent.log.records.len() > 1 {
-            let old = entry.agent.log.records.remove(0);
+        // Trim the oldest records in one pass: compute the cut index,
+        // then a single `drain`. Per-record `Vec::remove(0)` would be
+        // O(n²) under sustained ceiling pressure.
+        let records = &entry.agent.log.records;
+        let mut cut = 0;
+        while entry.log_bytes > self.config.byte_ceiling && records.len() - cut > 1 {
+            let old = &records[cut];
             entry.log_bytes =
                 entry.log_bytes.saturating_sub(old.utterance.len() + old.response.len());
+            cut += 1;
+        }
+        if cut > 0 {
+            entry.agent.log.records.drain(..cut);
         }
         Admission::Served(reply)
     }

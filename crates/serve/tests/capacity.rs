@@ -1,0 +1,113 @@
+//! Concurrent admission-control properties of the sharded
+//! [`SessionTable`]: the live-session count must never exceed the
+//! configured capacity, no matter how many first-contact turns race.
+//!
+//! Regression for a non-atomic load-then-`fetch_add` admission check:
+//! N threads opening sessions hashed to *different* shards could all
+//! observe `live == capacity - 1` simultaneously and all admit,
+//! over-committing the table by up to N-1 sessions. The slot is now
+//! reserved with a compare-exchange loop before the fork is built.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use obcs_agent::{AgentConfig, ConversationAgent};
+use obcs_core::{bootstrap, BootstrapConfig, SmeFeedback};
+use obcs_serve::{Admission, SessionConfig, SessionTable};
+use obcs_telemetry::{NoopRecorder, Recorder};
+
+fn fig2_agent() -> ConversationAgent {
+    let (onto, kb, mapping) = obcs_core::testutil::fig2_fixture();
+    let space = bootstrap(&onto, &kb, &mapping, BootstrapConfig::default(), &SmeFeedback::new());
+    ConversationAgent::new(
+        onto,
+        kb,
+        mapping,
+        space,
+        AgentConfig { name: "Micromedex".to_string(), intent_confidence_threshold: 0.3 },
+    )
+}
+
+#[test]
+fn concurrent_first_contacts_never_admit_past_capacity() {
+    const CAPACITY: usize = 6;
+    const THREADS: usize = 16;
+    const ROUNDS: usize = 8;
+
+    let table = Arc::new(SessionTable::new(
+        fig2_agent(),
+        SessionConfig {
+            shards: 8,
+            capacity: CAPACITY,
+            // Large enough that nothing expires mid-test: shedding must
+            // come from the capacity check alone.
+            ttl: u64::MAX / 2,
+            ..SessionConfig::default()
+        },
+    ));
+
+    for round in 0..ROUNDS {
+        // Walk the table up to one-below-capacity, so every round starts
+        // at the exact boundary the race needs: all contenders see
+        // `capacity - 1` live sessions.
+        for i in 0..CAPACITY - 1 {
+            let recorder: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+            let admitted = table.turn(&format!("warm-{round}-{i}"), "hello", &recorder);
+            assert!(matches!(admitted, Admission::Served(_)), "warm-up must admit");
+        }
+        assert_eq!(table.live(), (CAPACITY - 1) as u64);
+
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let over_admitted = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let table = Arc::clone(&table);
+                let barrier = Arc::clone(&barrier);
+                let over_admitted = Arc::clone(&over_admitted);
+                let served = Arc::clone(&served);
+                let shed = Arc::clone(&shed);
+                std::thread::spawn(move || {
+                    let recorder: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+                    barrier.wait();
+                    match table.turn(&format!("race-{round}-{t}"), "hello", &recorder) {
+                        Admission::Served(_) => served.fetch_add(1, Ordering::Relaxed),
+                        Admission::Shed => shed.fetch_add(1, Ordering::Relaxed),
+                    };
+                    // Observed from inside the race window, not just
+                    // after it settles.
+                    if table.live() > CAPACITY as u64 {
+                        over_admitted.store(true, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+
+        assert!(!over_admitted.load(Ordering::Relaxed), "live() exceeded capacity mid-race");
+        assert!(table.live() <= CAPACITY as u64, "round {round}: settled above capacity");
+        assert_eq!(
+            served.load(Ordering::Relaxed),
+            1,
+            "round {round}: exactly the one free slot is granted"
+        );
+        assert_eq!(shed.load(Ordering::Relaxed), (THREADS - 1) as u64);
+
+        // Established sessions are never shed, even at capacity.
+        let recorder: Arc<dyn Recorder> = Arc::new(NoopRecorder);
+        let again = table.turn(&format!("warm-{round}-0"), "hello again", &recorder);
+        assert!(matches!(again, Admission::Served(_)), "established sessions always serve");
+
+        // Drain for the next round.
+        for i in 0..CAPACITY - 1 {
+            table.end(&format!("warm-{round}-{i}"));
+        }
+        for t in 0..THREADS {
+            table.end(&format!("race-{round}-{t}"));
+        }
+        assert_eq!(table.live(), 0, "round {round}: table drained");
+    }
+}

@@ -290,3 +290,100 @@ fn durable_shutdown_is_idempotent_and_leaves_a_recoverable_log() {
     assert!(recovered.kb().has_table("drug"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn background_compaction_under_live_traffic_sheds_nothing_and_stays_byte_identical() {
+    use obcs_kb::{DurableKb, Value};
+    use obcs_serve::DurabilityConfig;
+    use std::time::{Duration, Instant};
+
+    let dir = temp_durability_dir("compact");
+
+    // Seed the directory, then land WAL records kill-style so the
+    // compactor has a log worth folding into a fresh snapshot.
+    Server::start(
+        fig2_agent(),
+        ServeConfig { durability: Some(DurabilityConfig::at(&dir)), ..ServeConfig::default() },
+    )
+    .expect("bind")
+    .shutdown();
+    {
+        let (mut durable, _) = DurableKb::open(&dir).expect("open between runs");
+        for i in 0..3 {
+            durable
+                .insert(
+                    "precaution",
+                    vec![Value::Int(100 + i), Value::Int(1), Value::text(format!("warning {i}"))],
+                )
+                .expect("insert");
+        }
+        durable.sync().expect("sync");
+    }
+    // The exact KB the server will recover and serve — the in-process
+    // replicas below must fork from the same state to predict replies.
+    let replica_kb = {
+        let (durable, _) = DurableKb::open(&dir).expect("replica open");
+        durable.into_kb()
+    };
+
+    let config = ServeConfig {
+        durability: Some(DurabilityConfig::at(&dir).compact_every(Duration::from_millis(15))),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(fig2_agent(), config).expect("bind");
+    let report = server.recovery().expect("prior state").clone();
+    assert_eq!(report.wal_records, 3, "the seeded records replayed");
+    let addr = server.addr();
+
+    // Drive concurrent multi-turn traffic while the compactor fires:
+    // every served reply must be byte-identical to an in-process replay
+    // of the same session — compaction must be invisible on the wire.
+    const THREADS: usize = 4;
+    const LOOPS: usize = 5;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let replica_kb = replica_kb.clone();
+            std::thread::spawn(move || {
+                let mut base = fig2_agent();
+                base.set_kb(replica_kb);
+                let mut local = base.fork_session();
+                let mut client = Client::connect(addr).expect("connect");
+                let session = format!("compact-{t}");
+                for _ in 0..LOOPS {
+                    for utt in SCRIPT {
+                        let expected = {
+                            let reply = local.respond(utt);
+                            encode_line(&wire(&session, &local, &reply))
+                        };
+                        let served = encode_line(&client.turn(&session, utt).expect("turn"));
+                        assert_eq!(served, expected, "reply diverged during compaction");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no panics");
+    }
+
+    // At least one compaction must have committed (the log had records
+    // and the interval is far shorter than the traffic run).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.compactions() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(server.compactions() >= 1, "the compactor never committed");
+    let stats = server.stats();
+    assert_eq!(stats.shed_turns, 0, "compaction must not shed turns");
+    assert_eq!(stats.turns, (THREADS * LOOPS * SCRIPT.len()) as u64, "every turn served");
+    server.shutdown();
+
+    // The compacted directory: everything folded into an epoch-bumped
+    // snapshot, nothing left to replay, state byte-identical.
+    let (recovered, report) = DurableKb::open(&dir).expect("recover after compaction");
+    assert_eq!(report.wal_records, 0, "the log was compacted away");
+    assert!(report.epoch >= 1, "compaction bumped the epoch");
+    assert_eq!(report.wal_discarded_records, 0);
+    assert_eq!(recovered.kb().to_json(), replica_kb.to_json());
+    std::fs::remove_dir_all(&dir).ok();
+}
